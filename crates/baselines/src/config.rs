@@ -1,0 +1,81 @@
+//! Shared configuration and result types for the baseline drivers.
+
+use skymr_common::Tuple;
+use skymr_mapreduce::{ClusterConfig, FailurePlan, PipelineMetrics};
+
+/// Configuration for the MapReduce baselines.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Number of mappers (input splits).
+    pub mappers: usize,
+    /// Number of angular partitions for MR-Angle (ignored by MR-BNL /
+    /// MR-SFS, whose cell count is fixed at `2^d` by construction).
+    pub angular_partitions: usize,
+    /// The simulated cluster.
+    pub cluster: ClusterConfig,
+    /// Failure injection for the skyline job (tests).
+    pub failures: FailurePlan,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        let cluster = ClusterConfig::default();
+        Self {
+            mappers: cluster.map_slots,
+            angular_partitions: cluster.nodes,
+            cluster,
+            failures: FailurePlan::none(),
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Small, fast configuration for tests.
+    pub fn test() -> Self {
+        Self {
+            mappers: 4,
+            angular_partitions: 4,
+            cluster: ClusterConfig::test(),
+            failures: FailurePlan::none(),
+        }
+    }
+
+    /// Sets the mapper count.
+    pub fn with_mappers(mut self, mappers: usize) -> Self {
+        self.mappers = mappers;
+        self
+    }
+}
+
+/// Result of one baseline MapReduce run.
+#[derive(Debug)]
+pub struct BaselineRun {
+    /// The global skyline, sorted by tuple id.
+    pub skyline: Vec<Tuple>,
+    /// Per-job metrics (baselines are single-job pipelines).
+    pub metrics: PipelineMetrics,
+}
+
+impl BaselineRun {
+    /// The skyline tuple ids, sorted — the canonical comparison form.
+    pub fn skyline_ids(&self) -> Vec<u64> {
+        self.skyline.iter().map(|t| t.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_cluster_shape() {
+        let c = BaselineConfig::default();
+        assert_eq!(c.mappers, 13);
+        assert_eq!(c.angular_partitions, 13);
+    }
+
+    #[test]
+    fn builder_sets_mappers() {
+        assert_eq!(BaselineConfig::test().with_mappers(7).mappers, 7);
+    }
+}

@@ -1,0 +1,420 @@
+//! MR-BNL (Zhang, Zhou, Guan — DASFAA 2011 workshops).
+//!
+//! Two MapReduce phases, as in the original:
+//!
+//! 1. **Partition + local skylines.** Each dimension is split into two
+//!    halves at the midpoint, giving `2^d` cells identified by a bit code
+//!    (bit `k` set ⇔ the tuple is in the upper half of dimension `k`).
+//!    Mappers tag every tuple with its cell code — shuffling the *entire
+//!    dataset* — and the reducers (one per cell, up to the slot count)
+//!    compute a BNL local skyline per cell in parallel.
+//! 2. **Global merge.** A second job with a **single reducer** merges all
+//!    local skylines, skipping cell pairs whose codes rule out dominance
+//!    (cell `A` can contain dominators of cell `B` only if `A`'s code is
+//!    bitwise ≤ `B`'s).
+//!
+//! Unlike the paper's bitstring, the cell codes say nothing about which
+//! cells are *occupied*, so no data is pruned before the shuffle — the
+//! distinction the paper's related-work section draws ("merely codes for
+//! data partitions but not for data contents"), and the reason MR-BNL
+//! ships the whole dataset where MR-GPSRS ships only local skylines.
+
+use std::collections::BTreeMap;
+
+use skymr_common::dominance::{compare, dominates, DomOrdering};
+use skymr_common::{dataset::canonicalize, Dataset, Tuple};
+use skymr_mapreduce::{
+    run_job, Emitter, JobConfig, MapFactory, MapTask, ModuloPartitioner, OutputCollector,
+    PipelineMetrics, ReduceFactory, ReduceTask, SingleReducerPartitioner, TaskContext,
+};
+
+use crate::config::{BaselineConfig, BaselineRun};
+
+/// Per-cell local skylines keyed by the `2^d` cell code.
+pub type CellSkylines = BTreeMap<u32, Vec<Tuple>>;
+
+/// A `(cell, local skyline)` pair as shuffled by the merge phase.
+pub type CellEntry = (u32, Vec<Tuple>);
+
+/// The 2-halves cell code of a tuple: bit `k` set iff `values[k] ≥ 0.5`.
+pub fn cell_code(t: &Tuple) -> u32 {
+    let mut code = 0u32;
+    for (k, &v) in t.values.iter().enumerate() {
+        if v >= 0.5 {
+            code |= 1 << k;
+        }
+    }
+    code
+}
+
+/// `true` iff cell `a` may contain tuples dominating tuples of cell `b`.
+pub fn cell_may_dominate(a: u32, b: u32) -> bool {
+    a != b && a & !b == 0
+}
+
+/// BNL window insert shared by the MapReduce baselines.
+pub(crate) fn window_insert(window: &mut Vec<Tuple>, t: Tuple) {
+    let mut i = 0;
+    while i < window.len() {
+        match compare(&window[i], &t) {
+            DomOrdering::Dominates => return,
+            DomOrdering::DominatedBy => {
+                window.swap_remove(i);
+            }
+            DomOrdering::Incomparable => i += 1,
+        }
+    }
+    window.push(t);
+}
+
+/// Cross-cell false-positive elimination with cell-code skipping: remove
+/// from each cell every tuple dominated by another cell's skyline,
+/// skipping pairs whose codes rule dominance out.
+///
+/// This is **not** what Zhang et al.'s MR-BNL does — their merge is a
+/// plain BNL over all local skylines (the flags are "merely codes for data
+/// partitions but not for data contents", as the paper's related-work
+/// section puts it). It is kept as the [`MergeStrategy::CellCodePruning`]
+/// ablation variant, quantifying how much a content-aware merge would have
+/// helped the baseline.
+pub fn eliminate_across_cells(cells: &mut CellSkylines) {
+    let codes: Vec<u32> = cells.keys().copied().collect();
+    for &b in &codes {
+        let Some(mut sb) = cells.remove(&b) else {
+            continue;
+        };
+        for (&a, sa) in cells.iter() {
+            if !cell_may_dominate(a, b) {
+                continue;
+            }
+            sb.retain(|t| !sa.iter().any(|ta| dominates(ta, t)));
+            if sb.is_empty() {
+                break;
+            }
+        }
+        if !sb.is_empty() {
+            cells.insert(b, sb);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: partition every tuple to its cell, local skyline per cell.
+// ---------------------------------------------------------------------
+
+/// Phase-1 mapper factory: tags tuples with their cell code.
+pub struct PartitionMapFactory;
+
+/// Phase-1 mapper.
+pub struct PartitionMapTask;
+
+impl MapTask for PartitionMapTask {
+    type In = Tuple;
+    type K = u32;
+    type V = Tuple;
+
+    fn map(&mut self, input: &Tuple, out: &mut Emitter<u32, Tuple>) {
+        out.emit(cell_code(input), input.clone());
+    }
+}
+
+impl MapFactory for PartitionMapFactory {
+    type Task = PartitionMapTask;
+    fn create(&self, _ctx: &TaskContext) -> PartitionMapTask {
+        PartitionMapTask
+    }
+}
+
+/// Phase-1 reducer factory: BNL local skyline per cell.
+pub struct LocalSkylineReduceFactory;
+
+/// Phase-1 reducer.
+pub struct LocalSkylineReduceTask;
+
+impl ReduceTask for LocalSkylineReduceTask {
+    type K = u32;
+    type V = Tuple;
+    type Out = CellEntry;
+
+    fn reduce(&mut self, key: u32, values: Vec<Tuple>, out: &mut OutputCollector<CellEntry>) {
+        let mut window = Vec::new();
+        for t in values {
+            window_insert(&mut window, t);
+        }
+        out.collect((key, window));
+    }
+}
+
+impl ReduceFactory for LocalSkylineReduceFactory {
+    type Task = LocalSkylineReduceTask;
+    fn create(&self, _ctx: &TaskContext) -> LocalSkylineReduceTask {
+        LocalSkylineReduceTask
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: single-reducer global merge.
+// ---------------------------------------------------------------------
+
+/// Phase-2 mapper factory: forwards `(cell, local skyline)` entries.
+pub struct ForwardMapFactory;
+
+/// Phase-2 mapper.
+pub struct ForwardMapTask;
+
+impl MapTask for ForwardMapTask {
+    type In = CellEntry;
+    type K = u8;
+    type V = CellEntry;
+
+    fn map(&mut self, input: &CellEntry, out: &mut Emitter<u8, CellEntry>) {
+        out.emit(0, input.clone());
+    }
+}
+
+impl MapFactory for ForwardMapFactory {
+    type Task = ForwardMapTask;
+    fn create(&self, _ctx: &TaskContext) -> ForwardMapTask {
+        ForwardMapTask
+    }
+}
+
+/// How the single merge reducer combines the per-cell local skylines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeStrategy {
+    /// Plain BNL over all local skylines — Zhang et al.'s MR-BNL. The
+    /// merge cost grows with the square of the combined skyline size,
+    /// which is what makes the baseline fail to terminate on
+    /// high-dimensional anti-correlated data in the paper's experiments.
+    #[default]
+    PlainBnl,
+    /// Cell-code-aware merge (ablation): per-cell windows, cross-cell
+    /// elimination only between code-comparable cells.
+    CellCodePruning,
+}
+
+/// Phase-2 reducer factory: single-reducer merge.
+pub struct MergeReduceFactory {
+    strategy: MergeStrategy,
+}
+
+impl MergeReduceFactory {
+    /// A factory using the given merge strategy.
+    pub fn new(strategy: MergeStrategy) -> Self {
+        Self { strategy }
+    }
+}
+
+/// Phase-2 reducer.
+pub struct MergeReduceTask {
+    strategy: MergeStrategy,
+}
+
+impl ReduceTask for MergeReduceTask {
+    type K = u8;
+    type V = CellEntry;
+    type Out = Tuple;
+
+    fn reduce(&mut self, _key: u8, values: Vec<CellEntry>, out: &mut OutputCollector<Tuple>) {
+        match self.strategy {
+            MergeStrategy::PlainBnl => {
+                let mut window: Vec<Tuple> = Vec::new();
+                for (_, tuples) in values {
+                    for t in tuples {
+                        window_insert(&mut window, t);
+                    }
+                }
+                for t in window {
+                    out.collect(t);
+                }
+            }
+            MergeStrategy::CellCodePruning => {
+                let mut cells = CellSkylines::new();
+                for (code, tuples) in values {
+                    let window = cells.entry(code).or_default();
+                    for t in tuples {
+                        window_insert(window, t);
+                    }
+                }
+                eliminate_across_cells(&mut cells);
+                for tuples in cells.into_values() {
+                    for t in tuples {
+                        out.collect(t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ReduceFactory for MergeReduceFactory {
+    type Task = MergeReduceTask;
+    fn create(&self, _ctx: &TaskContext) -> MergeReduceTask {
+        MergeReduceTask {
+            strategy: self.strategy,
+        }
+    }
+}
+
+/// Number of phase-1 reducers: one per cell, capped by the cluster's
+/// reduce slots.
+pub(crate) fn phase1_reducers(dim: usize, reduce_slots: usize) -> usize {
+    let cells = 1usize.checked_shl(dim as u32).unwrap_or(usize::MAX);
+    cells.min(reduce_slots).max(1)
+}
+
+/// Runs the two-phase MR-BNL pipeline with the faithful plain-BNL merge.
+pub fn mr_bnl(dataset: &Dataset, config: &BaselineConfig) -> BaselineRun {
+    mr_bnl_with_strategy(dataset, config, MergeStrategy::PlainBnl)
+}
+
+/// Runs MR-BNL with an explicit merge strategy (ablations).
+pub fn mr_bnl_with_strategy(
+    dataset: &Dataset,
+    config: &BaselineConfig,
+    strategy: MergeStrategy,
+) -> BaselineRun {
+    let splits = dataset.split(config.mappers);
+    let mut metrics = PipelineMetrics::new();
+
+    // Phase 1: shuffle all tuples to per-cell reducers.
+    let r1 = phase1_reducers(dataset.dim(), config.cluster.reduce_slots);
+    let job1 = JobConfig::new("mr-bnl-local", r1).with_failures(config.failures.clone());
+    let outcome1 = run_job(
+        &config.cluster,
+        &job1,
+        &splits,
+        &PartitionMapFactory,
+        &LocalSkylineReduceFactory,
+        &ModuloPartitioner,
+    );
+    metrics.push(outcome1.metrics.clone());
+
+    // Phase 2: single-reducer merge. Each phase-1 reducer's output plays
+    // the role of one input split (one HDFS file per reducer).
+    let splits2: Vec<Vec<CellEntry>> = outcome1.outputs;
+    let job2 = JobConfig::new("mr-bnl-merge", 1);
+    let outcome2 = run_job(
+        &config.cluster,
+        &job2,
+        &splits2,
+        &ForwardMapFactory,
+        &MergeReduceFactory::new(strategy),
+        &SingleReducerPartitioner,
+    );
+    metrics.push(outcome2.metrics.clone());
+
+    BaselineRun {
+        skyline: canonicalize(outcome2.into_flat_output()),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::bnl_skyline;
+    use skymr_datagen::{generate, Distribution};
+
+    #[test]
+    fn cell_code_splits_at_midpoint() {
+        assert_eq!(cell_code(&Tuple::new(0, vec![0.1, 0.1])), 0b00);
+        assert_eq!(cell_code(&Tuple::new(0, vec![0.9, 0.1])), 0b01);
+        assert_eq!(cell_code(&Tuple::new(0, vec![0.1, 0.9])), 0b10);
+        assert_eq!(cell_code(&Tuple::new(0, vec![0.5, 0.5])), 0b11);
+    }
+
+    #[test]
+    fn cell_dominance_codes() {
+        assert!(cell_may_dominate(0b00, 0b11));
+        assert!(cell_may_dominate(0b00, 0b01));
+        assert!(cell_may_dominate(0b01, 0b11));
+        assert!(
+            !cell_may_dominate(0b01, 0b10),
+            "disjoint halves cannot dominate"
+        );
+        assert!(!cell_may_dominate(0b11, 0b00));
+        assert!(
+            !cell_may_dominate(0b01, 0b01),
+            "a cell does not dominate itself"
+        );
+    }
+
+    #[test]
+    fn phase1_reducer_count_is_capped() {
+        assert_eq!(phase1_reducers(2, 13), 4);
+        assert_eq!(phase1_reducers(6, 13), 13);
+        assert_eq!(phase1_reducers(1, 13), 2);
+    }
+
+    #[test]
+    fn matches_bnl_oracle() {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Anticorrelated,
+            Distribution::Correlated,
+        ] {
+            for dim in [2, 3, 6] {
+                let ds = generate(dist, dim, 400, 61);
+                let run = mr_bnl(&ds, &BaselineConfig::test());
+                assert_eq!(
+                    run.skyline,
+                    bnl_skyline(ds.tuples()),
+                    "MR-BNL wrong on {dist:?} d={dim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runs_two_jobs_and_shuffles_whole_dataset() {
+        let ds = generate(Distribution::Independent, 3, 500, 65);
+        let run = mr_bnl(&ds, &BaselineConfig::test());
+        assert_eq!(run.metrics.jobs.len(), 2);
+        assert_eq!(run.metrics.jobs[0].name, "mr-bnl-local");
+        assert_eq!(run.metrics.jobs[1].name, "mr-bnl-merge");
+        // Phase 1 ships every input tuple through the shuffle.
+        assert_eq!(run.metrics.jobs[0].map_output_records, ds.len() as u64);
+    }
+
+    #[test]
+    fn merge_strategies_agree() {
+        for dist in [Distribution::Independent, Distribution::Anticorrelated] {
+            let ds = generate(dist, 4, 400, 64);
+            let plain = mr_bnl_with_strategy(&ds, &BaselineConfig::test(), MergeStrategy::PlainBnl);
+            let pruned =
+                mr_bnl_with_strategy(&ds, &BaselineConfig::test(), MergeStrategy::CellCodePruning);
+            assert_eq!(
+                plain.skyline_ids(),
+                pruned.skyline_ids(),
+                "strategies differ on {dist:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invariant_to_mapper_count() {
+        let ds = generate(Distribution::Anticorrelated, 3, 300, 62);
+        let base = mr_bnl(&ds, &BaselineConfig::test().with_mappers(1));
+        for m in [2, 4, 7] {
+            let run = mr_bnl(&ds, &BaselineConfig::test().with_mappers(m));
+            assert_eq!(run.skyline_ids(), base.skyline_ids());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let ds = Dataset::new(2, vec![]).unwrap();
+        assert!(mr_bnl(&ds, &BaselineConfig::test()).skyline.is_empty());
+    }
+
+    #[test]
+    fn survives_injected_failures() {
+        let ds = generate(Distribution::Independent, 3, 200, 63);
+        let clean = mr_bnl(&ds, &BaselineConfig::test());
+        let mut config = BaselineConfig::test();
+        config.failures = skymr_mapreduce::FailurePlan::fail_maps([0]);
+        let failed = mr_bnl(&ds, &config);
+        assert_eq!(failed.skyline_ids(), clean.skyline_ids());
+    }
+}

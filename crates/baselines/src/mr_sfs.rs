@@ -1,0 +1,136 @@
+//! MR-SFS (Zhang, Zhou, Guan — DASFAA 2011 workshops).
+//!
+//! The same two-phase pipeline as [`crate::mr_bnl`] — shuffle every tuple
+//! to its `2^d` midpoint cell, local skylines in parallel reducers, then a
+//! single-reducer merge — but the phase-1 reducers compute their local
+//! skylines with Sort-Filter-Skyline: buffer, presort by the entropy
+//! score, filter in one pass. The buffering and sorting make it strictly
+//! more expensive than MR-BNL on the same inputs, which is why the paper
+//! drops it from the comparison plots; it is included here for
+//! completeness.
+
+use skymr_common::{dataset::canonicalize, Dataset, Tuple};
+use skymr_mapreduce::{
+    run_job, JobConfig, ModuloPartitioner, OutputCollector, PipelineMetrics, ReduceFactory,
+    ReduceTask, SingleReducerPartitioner, TaskContext,
+};
+
+use crate::config::{BaselineConfig, BaselineRun};
+use crate::mr_bnl::{
+    phase1_reducers, CellEntry, ForwardMapFactory, MergeReduceFactory, MergeStrategy,
+    PartitionMapFactory,
+};
+use crate::sfs::{sfs_skyline, SfsOrder};
+
+/// Phase-1 reducer factory: SFS local skyline per cell.
+pub struct SfsLocalReduceFactory {
+    order: SfsOrder,
+}
+
+impl SfsLocalReduceFactory {
+    /// A factory computing local skylines with the given presort order.
+    pub fn new(order: SfsOrder) -> Self {
+        Self { order }
+    }
+}
+
+/// Phase-1 reducer.
+pub struct SfsLocalReduceTask {
+    order: SfsOrder,
+}
+
+impl ReduceTask for SfsLocalReduceTask {
+    type K = u32;
+    type V = Tuple;
+    type Out = CellEntry;
+
+    fn reduce(&mut self, key: u32, values: Vec<Tuple>, out: &mut OutputCollector<CellEntry>) {
+        out.collect((key, sfs_skyline(&values, self.order)));
+    }
+}
+
+impl ReduceFactory for SfsLocalReduceFactory {
+    type Task = SfsLocalReduceTask;
+    fn create(&self, _ctx: &TaskContext) -> SfsLocalReduceTask {
+        SfsLocalReduceTask { order: self.order }
+    }
+}
+
+/// Runs the two-phase MR-SFS pipeline.
+pub fn mr_sfs(dataset: &Dataset, config: &BaselineConfig) -> BaselineRun {
+    let splits = dataset.split(config.mappers);
+    let mut metrics = PipelineMetrics::new();
+
+    let r1 = phase1_reducers(dataset.dim(), config.cluster.reduce_slots);
+    let job1 = JobConfig::new("mr-sfs-local", r1).with_failures(config.failures.clone());
+    let outcome1 = run_job(
+        &config.cluster,
+        &job1,
+        &splits,
+        &PartitionMapFactory,
+        &SfsLocalReduceFactory::new(SfsOrder::Entropy),
+        &ModuloPartitioner,
+    );
+    metrics.push(outcome1.metrics.clone());
+
+    let splits2: Vec<Vec<CellEntry>> = outcome1.outputs;
+    let job2 = JobConfig::new("mr-sfs-merge", 1);
+    let outcome2 = run_job(
+        &config.cluster,
+        &job2,
+        &splits2,
+        &ForwardMapFactory,
+        &MergeReduceFactory::new(MergeStrategy::PlainBnl),
+        &SingleReducerPartitioner,
+    );
+    metrics.push(outcome2.metrics.clone());
+
+    BaselineRun {
+        skyline: canonicalize(outcome2.into_flat_output()),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::bnl_skyline;
+    use skymr_datagen::{generate, Distribution};
+
+    #[test]
+    fn matches_bnl_oracle() {
+        for dist in [Distribution::Independent, Distribution::Anticorrelated] {
+            for dim in [2, 4] {
+                let ds = generate(dist, dim, 350, 71);
+                let run = mr_sfs(&ds, &BaselineConfig::test());
+                assert_eq!(
+                    run.skyline,
+                    bnl_skyline(ds.tuples()),
+                    "MR-SFS wrong on {dist:?} d={dim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_mr_bnl() {
+        let ds = generate(Distribution::Clustered { clusters: 3 }, 3, 400, 72);
+        let a = mr_sfs(&ds, &BaselineConfig::test());
+        let b = crate::mr_bnl::mr_bnl(&ds, &BaselineConfig::test());
+        assert_eq!(a.skyline_ids(), b.skyline_ids());
+    }
+
+    #[test]
+    fn runs_two_jobs() {
+        let ds = generate(Distribution::Independent, 3, 300, 73);
+        let run = mr_sfs(&ds, &BaselineConfig::test());
+        let names: Vec<&str> = run.metrics.jobs.iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(names, vec!["mr-sfs-local", "mr-sfs-merge"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ds = Dataset::new(3, vec![]).unwrap();
+        assert!(mr_sfs(&ds, &BaselineConfig::test()).skyline.is_empty());
+    }
+}

@@ -1,0 +1,503 @@
+//! SKY-MR (Park, Min, Shim — PVLDB 2013), the sample-based competitor the
+//! paper's related-work section discusses.
+//!
+//! Before MapReduce starts, SKY-MR draws a random **sample** of the
+//! dataset and builds a [`SkyQuadtree`] whose dominated leaves are marked
+//! pruned ("to identify dominated sampled regions"). The tree — like the
+//! paper's bitstring — is broadcast to every mapper, which then
+//!
+//! 1. discards tuples falling in pruned leaves (they are dominated by a
+//!    sample tuple, which is itself part of the dataset),
+//! 2. maintains a BNL local skyline per surviving leaf, and
+//! 3. routes each leaf's local skyline to the reducer owning the leaf,
+//!    replicating it additionally to the reducers owning leaves whose
+//!    region it may dominate.
+//!
+//! Reducers then finalize their leaves **in parallel** — SKY-MR is, like
+//! MR-GPMRS, a multi-reducer algorithm; the contrast the paper draws is
+//! that its pruning structure needs an up-front sampling pass over the
+//! data, where the bitstring is computed *by* MapReduce.
+
+use std::sync::Arc;
+
+use skymr_common::dominance::dominates;
+use skymr_common::{dataset::canonicalize, Dataset, Tuple};
+use skymr_mapreduce::{
+    run_job, ClusterConfig, Emitter, FailurePlan, JobConfig, MapFactory, MapTask,
+    ModuloPartitioner, OutputCollector, PipelineMetrics, ReduceFactory, ReduceTask, TaskContext,
+};
+
+use crate::config::BaselineRun;
+use crate::mr_bnl::window_insert;
+use crate::quadtree::SkyQuadtree;
+
+/// Configuration for SKY-MR.
+#[derive(Debug, Clone)]
+pub struct SkyMrConfig {
+    /// Number of mappers (input splits).
+    pub mappers: usize,
+    /// Number of reducers (leaf owners).
+    pub reducers: usize,
+    /// Sample size for the sky-quadtree (drawn deterministically from the
+    /// dataset).
+    pub sample_size: usize,
+    /// Maximum sample tuples per quadtree leaf before splitting.
+    pub split_threshold: usize,
+    /// The simulated cluster.
+    pub cluster: ClusterConfig,
+    /// Failure injection (tests).
+    pub failures: FailurePlan,
+}
+
+impl Default for SkyMrConfig {
+    fn default() -> Self {
+        let cluster = ClusterConfig::default();
+        Self {
+            mappers: cluster.map_slots,
+            reducers: cluster.reduce_slots,
+            sample_size: 1_000,
+            split_threshold: 24,
+            cluster,
+            failures: FailurePlan::none(),
+        }
+    }
+}
+
+impl SkyMrConfig {
+    /// Small, fast configuration for tests.
+    pub fn test() -> Self {
+        Self {
+            mappers: 4,
+            reducers: 4,
+            sample_size: 100,
+            split_threshold: 8,
+            cluster: ClusterConfig::test(),
+            failures: FailurePlan::none(),
+        }
+    }
+}
+
+/// The shared, broadcast planning state derived from the sample.
+#[derive(Debug)]
+pub struct SkyMrPlan {
+    /// The sky-quadtree.
+    pub tree: SkyQuadtree,
+    /// For every leaf: the reducer that owns (finalizes) it.
+    owners: Vec<usize>,
+    /// For every leaf `l`: the reducers that need `l`'s local skyline as a
+    /// comparison source or target (owner of `l` plus owners of every leaf
+    /// `b` with `l ∈ ADR(b)`), deduplicated and sorted.
+    destinations: Vec<Vec<usize>>,
+    /// ADR leaf lists per leaf.
+    adr: Vec<Vec<usize>>,
+}
+
+impl SkyMrPlan {
+    /// Derives the plan from a sample.
+    pub fn build(dim: usize, sample: &[Tuple], split_threshold: usize, reducers: usize) -> Self {
+        let tree = SkyQuadtree::build(dim, sample, split_threshold);
+        let n = tree.num_leaves();
+        let owners: Vec<usize> = (0..n).map(|l| l % reducers).collect();
+        let adr: Vec<Vec<usize>> = (0..n).map(|l| tree.adr_leaves(l)).collect();
+        let mut destinations: Vec<Vec<usize>> = (0..n).map(|l| vec![owners[l]]).collect();
+        for (b, sources) in adr.iter().enumerate() {
+            for &l in sources {
+                destinations[l].push(owners[b]);
+            }
+        }
+        for d in &mut destinations {
+            d.sort_unstable();
+            d.dedup();
+        }
+        Self {
+            tree,
+            owners,
+            destinations,
+            adr,
+        }
+    }
+
+    /// The reducer owning leaf `l`.
+    pub fn owner(&self, leaf: usize) -> usize {
+        self.owners[leaf]
+    }
+
+    /// Approximate broadcast size of the plan (tree boxes + tables).
+    pub fn cache_bytes(&self) -> u64 {
+        let per_leaf = (2 * self.tree.dim() * 8 + 16) as u64;
+        self.tree.num_leaves() as u64 * per_leaf
+    }
+}
+
+/// A mapper's emitted value: `(leaf, local skyline)` pairs.
+pub type LeafPayload = Vec<(u32, Vec<Tuple>)>;
+
+/// Map side: quadtree filter + per-leaf local skylines.
+pub struct SkyMrMapFactory {
+    plan: Arc<SkyMrPlan>,
+}
+
+/// Per-split mapper state.
+pub struct SkyMrMapTask {
+    plan: Arc<SkyMrPlan>,
+    leaves: std::collections::BTreeMap<u32, Vec<Tuple>>,
+}
+
+impl MapTask for SkyMrMapTask {
+    type In = Tuple;
+    type K = u32;
+    type V = LeafPayload;
+
+    fn map(&mut self, input: &Tuple, _out: &mut Emitter<u32, LeafPayload>) {
+        if let Some(leaf) = self.plan.tree.locate(input) {
+            window_insert(self.leaves.entry(leaf as u32).or_default(), input.clone());
+        }
+    }
+
+    fn finish(&mut self, out: &mut Emitter<u32, LeafPayload>) {
+        // Group the local skylines by destination reducer.
+        let mut per_reducer: std::collections::BTreeMap<usize, LeafPayload> =
+            std::collections::BTreeMap::new();
+        for (&leaf, skyline) in &self.leaves {
+            for &dest in &self.plan.destinations[leaf as usize] {
+                per_reducer
+                    .entry(dest)
+                    .or_default()
+                    .push((leaf, skyline.clone()));
+            }
+        }
+        for (dest, payload) in per_reducer {
+            out.emit(dest as u32, payload);
+        }
+    }
+}
+
+impl MapFactory for SkyMrMapFactory {
+    type Task = SkyMrMapTask;
+    fn create(&self, _ctx: &TaskContext) -> SkyMrMapTask {
+        SkyMrMapTask {
+            plan: Arc::clone(&self.plan),
+            leaves: Default::default(),
+        }
+    }
+}
+
+/// Reduce side: finalize owned leaves against their ADR sources.
+pub struct SkyMrReduceFactory {
+    plan: Arc<SkyMrPlan>,
+}
+
+/// Per-reducer state.
+pub struct SkyMrReduceTask {
+    plan: Arc<SkyMrPlan>,
+}
+
+impl ReduceTask for SkyMrReduceTask {
+    type K = u32;
+    type V = LeafPayload;
+    type Out = Tuple;
+
+    fn reduce(&mut self, key: u32, values: Vec<LeafPayload>, out: &mut OutputCollector<Tuple>) {
+        let me = key as usize;
+        // Collect per-leaf unions; merge (BNL) only the leaves this
+        // reducer owns, concatenate the rest (sources).
+        let mut owned: std::collections::BTreeMap<u32, Vec<Tuple>> = Default::default();
+        let mut sources: std::collections::BTreeMap<u32, Vec<Tuple>> = Default::default();
+        for payload in values {
+            for (leaf, tuples) in payload {
+                if self.plan.owner(leaf as usize) == me {
+                    let window = owned.entry(leaf).or_default();
+                    for t in tuples {
+                        window_insert(window, t);
+                    }
+                } else {
+                    sources.entry(leaf).or_default().extend(tuples);
+                }
+            }
+        }
+        // Finalize each owned leaf against its ADR leaves (owned ones use
+        // their merged windows; foreign ones their concatenations).
+        let leaf_ids: Vec<u32> = owned.keys().copied().collect();
+        for leaf in leaf_ids {
+            let mut window = owned.remove(&leaf).expect("listed leaf present");
+            for &a in &self.plan.adr[leaf as usize] {
+                let a = a as u32;
+                let dominators: Option<&[Tuple]> = owned
+                    .get(&a)
+                    .map(|v| v.as_slice())
+                    .or_else(|| sources.get(&a).map(|v| v.as_slice()));
+                if let Some(dominators) = dominators {
+                    window.retain(|t| !dominators.iter().any(|d| dominates(d, t)));
+                    if window.is_empty() {
+                        break;
+                    }
+                }
+            }
+            for t in &window {
+                out.collect(t.clone());
+            }
+            owned.insert(leaf, window);
+        }
+    }
+}
+
+impl ReduceFactory for SkyMrReduceFactory {
+    type Task = SkyMrReduceTask;
+    fn create(&self, _ctx: &TaskContext) -> SkyMrReduceTask {
+        SkyMrReduceTask {
+            plan: Arc::clone(&self.plan),
+        }
+    }
+}
+
+/// Draws a deterministic sample of `size` tuples (evenly strided — the
+/// datasets in this workspace are generated in random order, so a stride
+/// is an unbiased sample, and determinism keeps runs reproducible).
+pub fn stride_sample(dataset: &Dataset, size: usize) -> Vec<Tuple> {
+    if size == 0 || dataset.is_empty() {
+        return Vec::new();
+    }
+    let stride = (dataset.len() / size.min(dataset.len())).max(1);
+    dataset
+        .tuples()
+        .iter()
+        .step_by(stride)
+        .take(size)
+        .cloned()
+        .collect()
+}
+
+/// Sampling-job mapper: emits every `stride`-th tuple of its split.
+pub struct SampleMapFactory {
+    stride: usize,
+}
+
+/// Per-split sampling state.
+pub struct SampleMapTask {
+    stride: usize,
+    seen: usize,
+}
+
+impl MapTask for SampleMapTask {
+    type In = Tuple;
+    type K = u8;
+    type V = Tuple;
+
+    fn map(&mut self, input: &Tuple, out: &mut Emitter<u8, Tuple>) {
+        if self.seen % self.stride == 0 {
+            out.emit(0, input.clone());
+        }
+        self.seen += 1;
+    }
+}
+
+impl MapFactory for SampleMapFactory {
+    type Task = SampleMapTask;
+    fn create(&self, _ctx: &TaskContext) -> SampleMapTask {
+        SampleMapTask {
+            stride: self.stride.max(1),
+            seen: 0,
+        }
+    }
+}
+
+/// Sampling-job reducer: builds the sky-quadtree plan from the collected
+/// sample.
+pub struct SampleReduceFactory {
+    dim: usize,
+    split_threshold: usize,
+    reducers: usize,
+}
+
+/// The single plan-building reducer.
+pub struct SampleReduceTask {
+    dim: usize,
+    split_threshold: usize,
+    reducers: usize,
+}
+
+impl ReduceTask for SampleReduceTask {
+    type K = u8;
+    type V = Tuple;
+    type Out = SkyMrPlan;
+
+    fn reduce(&mut self, _key: u8, values: Vec<Tuple>, out: &mut OutputCollector<SkyMrPlan>) {
+        out.collect(SkyMrPlan::build(
+            self.dim,
+            &values,
+            self.split_threshold,
+            self.reducers,
+        ));
+    }
+}
+
+impl ReduceFactory for SampleReduceFactory {
+    type Task = SampleReduceTask;
+    fn create(&self, _ctx: &TaskContext) -> SampleReduceTask {
+        SampleReduceTask {
+            dim: self.dim,
+            split_threshold: self.split_threshold,
+            reducers: self.reducers,
+        }
+    }
+}
+
+/// Runs SKY-MR end to end as a two-job pipeline: a sampling job that draws
+/// the sample and builds the sky-quadtree plan (so the pruning structure's
+/// cost is on the clock, comparable to the paper's bitstring job), then
+/// the skyline job. The plan is broadcast like a distributed-cache file.
+pub fn sky_mr(dataset: &Dataset, config: &SkyMrConfig) -> BaselineRun {
+    let mut metrics = PipelineMetrics::new();
+    let splits = dataset.split(config.mappers);
+    let dim = dataset.dim().max(1);
+    let reducers = config.reducers.max(1);
+
+    // Job 1: sample + plan construction.
+    let stride = if config.sample_size == 0 {
+        usize::MAX
+    } else {
+        (dataset.len() / config.sample_size.min(dataset.len().max(1))).max(1)
+    };
+    let sample_job = JobConfig::new("sky-mr-sample", 1);
+    let outcome1 = run_job(
+        &config.cluster,
+        &sample_job,
+        &splits,
+        &SampleMapFactory { stride },
+        &SampleReduceFactory {
+            dim,
+            split_threshold: config.split_threshold.max(1),
+            reducers,
+        },
+        &skymr_mapreduce::SingleReducerPartitioner,
+    );
+    metrics.push(outcome1.metrics.clone());
+    let plan = Arc::new(
+        outcome1
+            .into_flat_output()
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| SkyMrPlan::build(dim, &[], config.split_threshold.max(1), reducers)),
+    );
+
+    // Job 2: the skyline computation.
+    let job = JobConfig::new("sky-mr", reducers)
+        .with_cache_bytes(plan.cache_bytes())
+        .with_failures(config.failures.clone());
+    let outcome = run_job(
+        &config.cluster,
+        &job,
+        &splits,
+        &SkyMrMapFactory {
+            plan: Arc::clone(&plan),
+        },
+        &SkyMrReduceFactory {
+            plan: Arc::clone(&plan),
+        },
+        &ModuloPartitioner,
+    );
+    metrics.push(outcome.metrics.clone());
+    BaselineRun {
+        skyline: canonicalize(outcome.into_flat_output()),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::bnl_skyline;
+    use skymr_datagen::{generate, Distribution};
+
+    #[test]
+    fn matches_bnl_oracle_across_distributions() {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::Anticorrelated,
+            Distribution::Clustered { clusters: 3 },
+        ] {
+            for dim in [2usize, 3, 5] {
+                let ds = generate(dist, dim, 600, 131);
+                let run = sky_mr(&ds, &SkyMrConfig::test());
+                assert_eq!(
+                    run.skyline,
+                    bnl_skyline(ds.tuples()),
+                    "SKY-MR wrong on {dist:?} d={dim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_to_job_shape() {
+        let ds = generate(Distribution::Anticorrelated, 3, 500, 132);
+        let oracle = bnl_skyline(ds.tuples());
+        for mappers in [1usize, 3, 8] {
+            for reducers in [1usize, 2, 5] {
+                let config = SkyMrConfig {
+                    mappers,
+                    reducers,
+                    ..SkyMrConfig::test()
+                };
+                assert_eq!(
+                    sky_mr(&ds, &config).skyline,
+                    oracle,
+                    "m={mappers} r={reducers} broke SKY-MR"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_to_sample_size() {
+        let ds = generate(Distribution::Independent, 3, 700, 133);
+        let oracle = bnl_skyline(ds.tuples());
+        for sample_size in [0usize, 1, 10, 100, 700] {
+            let config = SkyMrConfig {
+                sample_size,
+                ..SkyMrConfig::test()
+            };
+            assert_eq!(
+                sky_mr(&ds, &config).skyline,
+                oracle,
+                "sample_size={sample_size} broke SKY-MR"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty = Dataset::new(2, vec![]).unwrap();
+        assert!(sky_mr(&empty, &SkyMrConfig::test()).skyline.is_empty());
+        let one = Dataset::new(2, vec![Tuple::new(5, vec![0.2, 0.8])]).unwrap();
+        assert_eq!(sky_mr(&one, &SkyMrConfig::test()).skyline_ids(), vec![5]);
+    }
+
+    #[test]
+    fn survives_injected_failures() {
+        let ds = generate(Distribution::Anticorrelated, 3, 400, 134);
+        let clean = sky_mr(&ds, &SkyMrConfig::test());
+        let mut config = SkyMrConfig::test();
+        config.failures = FailurePlan {
+            map_fail_once: [0].into(),
+            reduce_fail_once: [1].into(),
+        };
+        let failed = sky_mr(&ds, &config);
+        assert_eq!(failed.skyline_ids(), clean.skyline_ids());
+    }
+
+    #[test]
+    fn stride_sample_is_deterministic_subset() {
+        let ds = generate(Distribution::Independent, 2, 1_000, 135);
+        let a = stride_sample(&ds, 100);
+        let b = stride_sample(&ds, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let ids: std::collections::BTreeSet<u64> = ds.tuples().iter().map(|t| t.id).collect();
+        assert!(
+            a.iter().all(|t| ids.contains(&t.id)),
+            "sample must be a subset of the data"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. **Bitstring pruning on/off** — how much does Equation 2's partition
+//!    pruning save in shuffle bytes and runtime (the paper's "early and
+//!    much more aggressive pruning" claim vs MR-BNL's content-free codes)?
+//! 2. **PPD sensitivity** — fixed PPD sweep against the Section 3.3
+//!    auto-selection heuristic.
+//! 3. **Group-merge policy** — computation-cost vs communication-cost
+//!    merging (Section 5.4.1; the paper picked computation-cost after
+//!    preliminary tests).
+//! 4. **Local-skyline kernel** — BNL (the paper's choice) vs SFS vs
+//!    divide-and-conquer in the mappers (the paper's future-work
+//!    question about optimizing local skyline computation).
+
+use skymr::{mr_gpmrs, mr_gpsrs, LocalAlgo, MergePolicy, PpdPolicy, SkylineConfig};
+use skymr_bench::{dataset, HarnessOptions, Table};
+use skymr_datagen::Distribution;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let (card_low, _) = opts.scale.cardinalities();
+    let card = card_low * 2;
+
+    // ---- Ablation 1: bitstring pruning --------------------------------
+    // Shuffle traffic only separates the variants when dominating tuples
+    // are *not* replicated onto every mapper (mapper-side ComparePartitions
+    // already drops dominated-partition tuples when their dominators are
+    // co-located), so the honest scale-free metric is the mappers' tuple
+    // comparison count: pruned partitions never enter the BNL windows.
+    let mut t1 = Table::new(
+        format!("Ablation 1: bitstring pruning (MR-GPSRS, c={card}, independent)"),
+        "dim",
+        vec![
+            "pruned-runtime".into(),
+            "unpruned-runtime".into(),
+            "pruned-map-tuple-cmps".into(),
+            "unpruned-map-tuple-cmps".into(),
+        ],
+    );
+    for dim in [2usize, 4, 6, 8] {
+        let ds = dataset(Distribution::Independent, dim, card, opts.seed);
+        let mut row = Vec::new();
+        let mut cmps = Vec::new();
+        for prune in [true, false] {
+            let config = SkylineConfig {
+                prune_bitstring: prune,
+                ppd: PpdPolicy::auto(),
+                ..SkylineConfig::default()
+            };
+            let run = mr_gpsrs(&ds, &config).expect("valid config");
+            row.push(Some(run.metrics.sim_runtime().as_secs_f64()));
+            cmps.push(Some(
+                run.counters
+                    .get("gpsrs.map.tuple_cmps")
+                    .copied()
+                    .unwrap_or(0) as f64,
+            ));
+        }
+        row.extend(cmps);
+        t1.push_row(dim.to_string(), row);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", t1.render());
+    t1.write_csv(&opts.out_dir, "ablation_pruning.csv")
+        .expect("write CSV");
+
+    // ---- Ablation 2: PPD sensitivity ----------------------------------
+    let dim = 4;
+    let ds = dataset(Distribution::Anticorrelated, dim, card, opts.seed);
+    let mut t2 = Table::new(
+        format!("Ablation 2: PPD sensitivity (MR-GPMRS, {dim}-d, c={card}, anti-correlated)"),
+        "ppd",
+        vec!["runtime".into(), "surviving-partitions".into()],
+    );
+    for ppd in [1usize, 2, 3, 4, 6, 8, 12] {
+        let config = SkylineConfig::default().with_ppd(ppd);
+        let run = mr_gpmrs(&ds, &config).expect("valid config");
+        t2.push_row(
+            ppd.to_string(),
+            vec![
+                Some(run.metrics.sim_runtime().as_secs_f64()),
+                Some(run.info.surviving_partitions as f64),
+            ],
+        );
+        eprint!(".");
+    }
+    let auto = mr_gpmrs(
+        &ds,
+        &SkylineConfig {
+            ppd: PpdPolicy::auto(),
+            ..SkylineConfig::default()
+        },
+    )
+    .expect("valid config");
+    t2.push_row(
+        format!("auto({})", auto.info.ppd),
+        vec![
+            Some(auto.metrics.sim_runtime().as_secs_f64()),
+            Some(auto.info.surviving_partitions as f64),
+        ],
+    );
+    eprintln!();
+    println!("{}", t2.render());
+    t2.write_csv(&opts.out_dir, "ablation_ppd.csv")
+        .expect("write CSV");
+
+    // ---- Ablation 3: merge policy --------------------------------------
+    let ds = dataset(Distribution::Anticorrelated, 6, card, opts.seed);
+    let mut t3 = Table::new(
+        format!("Ablation 3: group-merge policy (MR-GPMRS, 6-d, c={card}, anti-correlated)"),
+        "reducers",
+        vec![
+            "computation-runtime".into(),
+            "communication-runtime".into(),
+            "computation-shuffle-KB".into(),
+            "communication-shuffle-KB".into(),
+        ],
+    );
+    for reducers in [2usize, 4, 8, 13] {
+        let mut runtimes = Vec::new();
+        let mut shuffles = Vec::new();
+        for policy in [MergePolicy::ComputationCost, MergePolicy::CommunicationCost] {
+            let config = SkylineConfig {
+                reducers,
+                merge_policy: policy,
+                ppd: PpdPolicy::auto(),
+                ..SkylineConfig::default()
+            };
+            let run = mr_gpmrs(&ds, &config).expect("valid config");
+            runtimes.push(Some(run.metrics.sim_runtime().as_secs_f64()));
+            shuffles.push(Some(run.metrics.jobs[1].shuffle_bytes as f64 / 1024.0));
+        }
+        runtimes.extend(shuffles);
+        t3.push_row(reducers.to_string(), runtimes);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", t3.render());
+    t3.write_csv(&opts.out_dir, "ablation_merge_policy.csv")
+        .expect("write CSV");
+
+    // ---- Ablation 4: local-skyline kernel -------------------------------
+    let mut t4 = Table::new(
+        format!("Ablation 4: local-skyline kernel (MR-GPSRS, c={card}, anti-correlated)"),
+        "dim",
+        vec![
+            "bnl-runtime".into(),
+            "sfs-runtime".into(),
+            "dnc-runtime".into(),
+            "bnl-map-cmps".into(),
+            "sfs-map-cmps".into(),
+            "dnc-map-cmps".into(),
+        ],
+    );
+    for dim in [3usize, 5, 7] {
+        let ds = dataset(Distribution::Anticorrelated, dim, card, opts.seed);
+        let mut runtimes = Vec::new();
+        let mut cmps = Vec::new();
+        for algo in [LocalAlgo::Bnl, LocalAlgo::Sfs, LocalAlgo::Dnc] {
+            let config = SkylineConfig {
+                local_algo: algo,
+                ppd: PpdPolicy::auto(),
+                ..SkylineConfig::default()
+            };
+            let run = mr_gpsrs(&ds, &config).expect("valid config");
+            runtimes.push(Some(run.metrics.sim_runtime().as_secs_f64()));
+            cmps.push(Some(
+                run.counters
+                    .get("gpsrs.map.tuple_cmps")
+                    .copied()
+                    .unwrap_or(0) as f64,
+            ));
+        }
+        runtimes.extend(cmps);
+        t4.push_row(dim.to_string(), runtimes);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", t4.render());
+    t4.write_csv(&opts.out_dir, "ablation_local_kernel.csv")
+        .expect("write CSV");
+}

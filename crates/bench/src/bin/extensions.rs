@@ -1,0 +1,64 @@
+//! Beyond-the-paper comparison: the paper's algorithms against SKY-MR
+//! (Park et al., the sample-based related-work competitor) and the hybrid
+//! planner the paper's conclusion calls for.
+//!
+//! Two sweeps mirror Figures 7/8 (dimensionality at high cardinality, both
+//! distributions); series are MR-GPSRS, MR-GPMRS, hybrid, SKY-MR. Expected
+//! outcome: the hybrid tracks whichever grid algorithm wins each cell, and
+//! SKY-MR sits close to MR-GPMRS (both are multi-reducer with up-front
+//! region pruning; they differ in who pays for the pruning structure — a
+//! serial sampling pass versus a parallel bitstring job).
+
+use skymr::{mr_gpmrs, mr_gpsrs, mr_hybrid, PpdPolicy, SkylineConfig};
+use skymr_baselines::{sky_mr, SkyMrConfig};
+use skymr_bench::{dataset, HarnessOptions, Table};
+use skymr_datagen::Distribution;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let (_, card_high) = opts.scale.cardinalities();
+    for (dist, label) in [
+        (Distribution::Independent, "independent"),
+        (Distribution::Anticorrelated, "anticorrelated"),
+    ] {
+        let mut table = Table::new(
+            format!("Extensions ({label}, c={card_high})"),
+            "dim",
+            vec![
+                "MR-GPSRS".into(),
+                "MR-GPMRS".into(),
+                "hybrid".into(),
+                "SKY-MR".into(),
+            ],
+        );
+        for dim in [2usize, 4, 6, 8, 10] {
+            let ds = dataset(dist, dim, card_high, opts.seed);
+            let config = SkylineConfig {
+                ppd: PpdPolicy::auto(),
+                ..SkylineConfig::default()
+            };
+            let gpsrs = mr_gpsrs(&ds, &config).expect("valid config");
+            let gpmrs = mr_gpmrs(&ds, &config).expect("valid config");
+            let hybrid = mr_hybrid(&ds, &config).expect("valid config");
+            let skymr_run = sky_mr(&ds, &SkyMrConfig::default());
+            assert_eq!(gpsrs.skyline_ids(), gpmrs.skyline_ids());
+            assert_eq!(gpsrs.skyline_ids(), hybrid.skyline_ids());
+            assert_eq!(gpsrs.skyline_ids(), skymr_run.skyline_ids());
+            table.push_row(
+                dim.to_string(),
+                vec![
+                    Some(gpsrs.metrics.sim_runtime().as_secs_f64()),
+                    Some(gpmrs.metrics.sim_runtime().as_secs_f64()),
+                    Some(hybrid.metrics.sim_runtime().as_secs_f64()),
+                    Some(skymr_run.metrics.sim_runtime().as_secs_f64()),
+                ],
+            );
+            eprint!(".");
+        }
+        eprintln!();
+        println!("{}", table.render());
+        table
+            .write_csv(&opts.out_dir, &format!("extensions_{label}.csv"))
+            .expect("write CSV");
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 10: effect of the number of reducers in MR-GPMRS.
+//!
+//! Paper setup: 8-dimensional data, cardinality 2×10⁶, both distributions,
+//! reducers swept 1..=17 (1 reducer = MR-GPSRS). Expected shape: on
+//! independent data adding reducers does not help (a small bump from the
+//! multi-reducer overhead, then flat); on anti-correlated data the largest
+//! improvement comes from 1 → 5 reducers, with moderate further gains —
+//! even past the node count, since nodes host multiple reducers.
+
+use skymr::{mr_gpmrs, mr_gpsrs, PpdPolicy, SkylineConfig};
+use skymr_bench::{dataset, HarnessOptions, Table};
+use skymr_datagen::Distribution;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let (_, card_high) = opts.scale.cardinalities();
+    let dim = 8;
+    let mut table = Table::new(
+        format!("Figure 10 (8-d, c={card_high}, reducers swept; 1 = MR-GPSRS)"),
+        "reducers",
+        vec!["independent".into(), "anticorrelated".into()],
+    );
+    let series = [
+        (Distribution::Independent, 0usize),
+        (Distribution::Anticorrelated, 1usize),
+    ];
+    let datasets: Vec<_> = series
+        .iter()
+        .map(|&(dist, _)| dataset(dist, dim, card_high, opts.seed))
+        .collect();
+    for reducers in [1usize, 3, 5, 9, 13, 17] {
+        let mut cells: Vec<Option<f64>> = vec![None, None];
+        for (&(_, slot), ds) in series.iter().zip(datasets.iter()) {
+            let config = SkylineConfig {
+                reducers,
+                ppd: PpdPolicy::auto(),
+                ..SkylineConfig::default()
+            };
+            let run = if reducers == 1 {
+                mr_gpsrs(ds, &config).expect("valid config")
+            } else {
+                mr_gpmrs(ds, &config).expect("valid config")
+            };
+            cells[slot] = Some(run.metrics.sim_runtime().as_secs_f64());
+            eprint!(".");
+        }
+        table.push_row(reducers.to_string(), cells);
+    }
+    eprintln!();
+    println!("{}", table.render());
+    let path = table
+        .write_csv(&opts.out_dir, "fig10_reducers.csv")
+        .expect("write CSV");
+    println!("wrote {}", path.display());
+}

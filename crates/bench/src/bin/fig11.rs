@@ -1,0 +1,81 @@
+//! Figure 11: validation of the Section 6 cost estimates.
+//!
+//! Paper setup: cardinality 1×10⁶, dimensionality swept, MR-GPMRS
+//! executed while recording the real number of partition-wise dominance
+//! comparisons of the busiest mapper and the busiest reducer, compared
+//! against the model's `κ_mapper(n, d)` and `κ_reducer(n, d)`. Expected
+//! shape: estimates track the measured mapper counts closely on
+//! independent data and upper-bound them everywhere (the model assumes a
+//! worst case); reducer estimates are looser but still upper bounds.
+
+use skymr::cost::{kappa_mapper, kappa_reducer};
+use skymr::{mr_gpmrs, PpdPolicy, SkylineConfig};
+use skymr_bench::{dataset, HarnessOptions, Table};
+use skymr_datagen::Distribution;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let (_, card_high) = opts.scale.cardinalities();
+    for (dist, label) in [
+        (Distribution::Independent, "independent"),
+        (Distribution::Anticorrelated, "anticorrelated"),
+    ] {
+        let mut mapper_table = Table::new(
+            format!("Figure 11a (mapper comparisons, c={card_high}, {label})"),
+            "dim",
+            vec!["measured-max".into(), "estimate".into(), "ppd".into()],
+        );
+        let mut reducer_table = Table::new(
+            format!("Figure 11b (reducer comparisons, c={card_high}, {label})"),
+            "dim",
+            vec!["measured-max".into(), "estimate".into(), "ppd".into()],
+        );
+        for dim in 2..=10usize {
+            let ds = dataset(dist, dim, card_high, opts.seed);
+            let config = SkylineConfig {
+                ppd: PpdPolicy::auto(),
+                ..SkylineConfig::default()
+            };
+            let run = mr_gpmrs(&ds, &config).expect("valid config");
+            let n = run.info.ppd as u64;
+            let d = dim as u32;
+            let map_measured = run
+                .counters
+                .get("gpmrs.map.partition_cmps.max")
+                .copied()
+                .unwrap_or(0);
+            let red_measured = run
+                .counters
+                .get("gpmrs.reduce.partition_cmps.max")
+                .copied()
+                .unwrap_or(0);
+            mapper_table.push_row(
+                dim.to_string(),
+                vec![
+                    Some(map_measured as f64),
+                    Some(kappa_mapper(n, d) as f64),
+                    Some(n as f64),
+                ],
+            );
+            reducer_table.push_row(
+                dim.to_string(),
+                vec![
+                    Some(red_measured as f64),
+                    Some(kappa_reducer(n, d) as f64),
+                    Some(n as f64),
+                ],
+            );
+            eprint!(".");
+        }
+        eprintln!();
+        println!("{}", mapper_table.render());
+        println!("{}", reducer_table.render());
+        mapper_table
+            .write_csv(&opts.out_dir, &format!("fig11_mapper_{label}.csv"))
+            .expect("write CSV");
+        reducer_table
+            .write_csv(&opts.out_dir, &format!("fig11_reducer_{label}.csv"))
+            .expect("write CSV");
+    }
+    println!("wrote fig11_*.csv to {}", opts.out_dir.display());
+}

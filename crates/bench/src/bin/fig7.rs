@@ -1,0 +1,41 @@
+//! Figure 7: effect of dimensionality on **independent** data.
+//!
+//! Paper setup: independent distribution, cardinalities 1×10⁵ and 2×10⁶,
+//! dimensionality 2..=10, runtime of MR-GPSRS / MR-GPMRS / MR-BNL /
+//! MR-Angle. Expected shape: MR-GPSRS best overall; MR-GPMRS slightly
+//! behind at low dimensionality (multi-reducer overhead with tiny
+//! skylines) and converging to MR-GPSRS at high dimensionality, while
+//! MR-BNL and MR-Angle deteriorate steeply from d ≈ 7.
+
+use skymr_bench::{dataset, measure_cell, Algo, DnfTracker, HarnessOptions, Table};
+use skymr_datagen::Distribution;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let (card_low, card_high) = opts.scale.cardinalities();
+    for (label, card) in [
+        ("low-cardinality", card_low),
+        ("high-cardinality", card_high),
+    ] {
+        let mut table = Table::new(
+            format!("Figure 7 ({label}, c={card}, independent)"),
+            "dim",
+            Algo::all().iter().map(|a| a.name().to_string()).collect(),
+        );
+        let mut tracker = DnfTracker::new();
+        for dim in 2..=10 {
+            let ds = dataset(Distribution::Independent, dim, card, opts.seed);
+            let cells = Algo::all()
+                .iter()
+                .map(|&algo| measure_cell(algo, &ds, 13, &mut tracker, opts.scale.dnf_budget()))
+                .collect();
+            table.push_row(dim.to_string(), cells);
+            eprint!(".");
+        }
+        eprintln!();
+        println!("{}", table.render());
+        let file = format!("fig7_{label}.csv");
+        let path = table.write_csv(&opts.out_dir, &file).expect("write CSV");
+        println!("wrote {}\n", path.display());
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 8: effect of dimensionality on **anti-correlated** data.
+//!
+//! Paper setup: anti-correlated distribution, cardinalities 1×10⁵ and
+//! 2×10⁶, dimensionality 2..=10. Expected shape: MR-GPMRS best almost
+//! everywhere (MR-GPSRS marginally ahead below d ≈ 5); MR-BNL and
+//! MR-Angle fail to terminate at high dimensionality (DNF), and MR-GPSRS
+//! itself falls behind — or DNFs — at high dimensionality and cardinality,
+//! its single reducer drowning in the huge skyline.
+
+use skymr_bench::{dataset, measure_cell, Algo, DnfTracker, HarnessOptions, Table};
+use skymr_datagen::Distribution;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let (card_low, card_high) = opts.scale.cardinalities();
+    for (label, card) in [
+        ("low-cardinality", card_low),
+        ("high-cardinality", card_high),
+    ] {
+        let mut table = Table::new(
+            format!("Figure 8 ({label}, c={card}, anti-correlated)"),
+            "dim",
+            Algo::all().iter().map(|a| a.name().to_string()).collect(),
+        );
+        let mut tracker = DnfTracker::new();
+        for dim in 2..=10 {
+            let ds = dataset(Distribution::Anticorrelated, dim, card, opts.seed);
+            let cells = Algo::all()
+                .iter()
+                .map(|&algo| measure_cell(algo, &ds, 13, &mut tracker, opts.scale.dnf_budget()))
+                .collect();
+            table.push_row(dim.to_string(), cells);
+            eprint!(".");
+        }
+        eprintln!();
+        println!("{}", table.render());
+        let file = format!("fig8_{label}.csv");
+        let path = table.write_csv(&opts.out_dir, &file).expect("write CSV");
+        println!("wrote {}\n", path.display());
+    }
+}

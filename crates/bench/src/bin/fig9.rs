@@ -1,0 +1,44 @@
+//! Figure 9: effect of cardinality.
+//!
+//! Paper setup: 3-dimensional and 8-dimensional data of both
+//! distributions, cardinality swept 1×10⁵ … 3×10⁶. Expected shape:
+//! (a) 3-d independent — MR-GPMRS slowest (overhead, tiny skyline),
+//! MR-GPSRS best; (b) 8-d independent — MR-GPSRS and MR-GPMRS together in
+//! front; (c) 3-d anti-correlated — grid algorithms ahead, MR-GPSRS
+//! marginally better; (d) 8-d anti-correlated — MR-GPMRS clearly best,
+//! MR-GPSRS degrading (DNF at the largest cardinalities in the paper).
+
+use skymr_bench::{dataset, measure_cell, Algo, DnfTracker, HarnessOptions, Table};
+use skymr_datagen::Distribution;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let sweep = opts.scale.cardinality_sweep();
+    for (dist, dist_label) in [
+        (Distribution::Independent, "independent"),
+        (Distribution::Anticorrelated, "anticorrelated"),
+    ] {
+        for dim in [3usize, 8] {
+            let mut table = Table::new(
+                format!("Figure 9 ({dim}-d {dist_label})"),
+                "cardinality",
+                Algo::all().iter().map(|a| a.name().to_string()).collect(),
+            );
+            let mut tracker = DnfTracker::new();
+            for &card in &sweep {
+                let ds = dataset(dist, dim, card, opts.seed);
+                let cells = Algo::all()
+                    .iter()
+                    .map(|&algo| measure_cell(algo, &ds, 13, &mut tracker, opts.scale.dnf_budget()))
+                    .collect();
+                table.push_row(card.to_string(), cells);
+                eprint!(".");
+            }
+            eprintln!();
+            println!("{}", table.render());
+            let file = format!("fig9_{dim}d_{dist_label}.csv");
+            let path = table.write_csv(&opts.out_dir, &file).expect("write CSV");
+            println!("wrote {}\n", path.display());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Extension benchmark: k-skyband scaling.
+//!
+//! Sweeps the band depth `k` on anti-correlated data and reports band
+//! size, countstring pruning power, and the simulated runtimes of the
+//! single-reducer and multi-reducer pipelines — showing (a) how pruning
+//! weakens as `k` grows (a partition needs `k` dominating *tuples* to be
+//! cut) and (b) that the multi-reducer topology keeps paying off as the
+//! band, like a large skyline, outgrows one reducer.
+
+use skymr::{mr_skyband, mr_skyband_multi, SkylineConfig};
+use skymr_bench::{dataset, HarnessOptions, Table};
+use skymr_datagen::Distribution;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let (card_low, _) = opts.scale.cardinalities();
+    let card = card_low * 2;
+    let dim = 5;
+    let ds = dataset(Distribution::Anticorrelated, dim, card, opts.seed);
+    let mut table = Table::new(
+        format!("k-skyband ({dim}-d, c={card}, anti-correlated)"),
+        "k",
+        vec![
+            "band-size".into(),
+            "active-partitions".into(),
+            "single-reducer-s".into(),
+            "multi-reducer-s".into(),
+        ],
+    );
+    for k in [1u32, 2, 4, 8, 16] {
+        let config = SkylineConfig::default();
+        let single = mr_skyband(&ds, k, &config).expect("valid config");
+        let multi = mr_skyband_multi(&ds, k, &config).expect("valid config");
+        assert_eq!(
+            single.skyline_ids(),
+            multi.skyline_ids(),
+            "topologies disagree at k={k}"
+        );
+        table.push_row(
+            k.to_string(),
+            vec![
+                Some(single.skyline.len() as f64),
+                Some(single.info.surviving_partitions as f64),
+                Some(single.metrics.sim_runtime().as_secs_f64()),
+                Some(multi.metrics.sim_runtime().as_secs_f64()),
+            ],
+        );
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", table.render());
+    let path = table
+        .write_csv(&opts.out_dir, "extension_skyband.csv")
+        .expect("write CSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,150 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Supports `--key value` options and positional arguments; unknown keys
+//! are errors so typos fail fast.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand, positionals, and `--key value` pairs.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The first positional (subcommand), if any.
+    pub command: Option<String>,
+    /// Remaining positionals.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    options: BTreeMap<String, String>,
+    /// Bare `--flag` options.
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// A `--key` followed by another `--…` token or end of input is a
+    /// flag; otherwise it consumes the next token as its value.
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let tokens: Vec<String> = raw.into_iter().collect();
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("bare `--` is not supported".into());
+                }
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    args.options.insert(key.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                if args.command.is_none() {
+                    args.command = Some(tok.clone());
+                } else {
+                    args.positional.push(tok.clone());
+                }
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parsed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad value for --{key}: {e}")),
+        }
+    }
+
+    /// `true` iff the bare flag was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// All option keys that were supplied (for unknown-option checking).
+    pub fn supplied_keys(&self) -> impl Iterator<Item = &str> {
+        self.options
+            .keys()
+            .map(String::as_str)
+            .chain(self.flags.iter().map(String::as_str))
+    }
+
+    /// Errors if any supplied option is not in `known`.
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        for key in self.supplied_keys() {
+            if !known.contains(&key) {
+                return Err(format!(
+                    "unknown option --{key} (expected one of: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse("run --algo gpmrs --card 1000 --verbose");
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get("algo"), Some("gpmrs"));
+        assert_eq!(a.get_parsed("card", 0usize).unwrap(), 1000);
+        assert!(a.has_flag("verbose"));
+        assert!(!a.has_flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let a = parse("run --algo gpsrs");
+        assert_eq!(a.get_parsed("card", 42usize).unwrap(), 42);
+        assert!(a.require("algo").is_ok());
+        assert!(a.require("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_options() {
+        let a = parse("run --algo gpsrs --oops 1");
+        assert!(a.reject_unknown(&["algo"]).is_err());
+        assert!(a.reject_unknown(&["algo", "oops"]).is_ok());
+    }
+
+    #[test]
+    fn bad_values_report_key() {
+        let a = parse("run --card notanumber");
+        let err = a.get_parsed("card", 0usize).unwrap_err();
+        assert!(err.contains("--card"));
+    }
+
+    #[test]
+    fn positionals_after_command() {
+        let a = parse("info data.csv");
+        assert_eq!(a.command.as_deref(), Some("info"));
+        assert_eq!(a.positional, vec!["data.csv"]);
+    }
+}

@@ -1,0 +1,521 @@
+//! The CLI subcommand implementations.
+
+use skymr::bitstring::job::generate_bitstring;
+use skymr::groups::plan_groups;
+use skymr::{mr_gpmrs, mr_gpsrs, mr_hybrid, mr_skyband, PpdPolicy, SkylineConfig};
+use skymr_baselines::{
+    bnl_skyline, discretize, dnc_skyline, mr_angle, mr_bitmap, mr_bnl, mr_sfs, sfs_skyline, sky_mr,
+    BaselineConfig, SfsOrder, SkyMrConfig,
+};
+use skymr_common::{Dataset, Tuple};
+use skymr_datagen::{generate as gen_data, io, Distribution};
+use skymr_mapreduce::PipelineMetrics;
+
+use crate::args::Args;
+
+fn parse_distribution(args: &Args) -> Result<Distribution, String> {
+    match args.require("dist")? {
+        "independent" => Ok(Distribution::Independent),
+        "correlated" => Ok(Distribution::Correlated),
+        "anticorrelated" => Ok(Distribution::Anticorrelated),
+        "clustered" => {
+            let clusters = args.get_parsed("clusters", 4usize)?;
+            Ok(Distribution::Clustered { clusters })
+        }
+        other => Err(format!(
+            "unknown distribution {other:?} (independent|correlated|anticorrelated|clustered)"
+        )),
+    }
+}
+
+/// Loads `--input FILE` (binary or CSV, auto-detected by magic bytes), or
+/// generates from `--dist/--dim/--card/--seed`; `--dims i,j,…` projects
+/// the result onto a subspace (subspace skyline queries).
+fn load_dataset(args: &Args) -> Result<Dataset, String> {
+    let data = if let Some(path) = args.get("input") {
+        let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        if raw.starts_with(b"SKYMR") {
+            io::decode_binary(raw.into()).map_err(|e| format!("cannot parse {path}: {e}"))?
+        } else {
+            io::read_csv(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+    } else {
+        let dist = parse_distribution(args)?;
+        let dim = args.get_parsed("dim", 0usize)?;
+        let card = args.get_parsed("card", 0usize)?;
+        if dim == 0 || card == 0 {
+            return Err("without --input, --dim and --card are required".into());
+        }
+        let seed = args.get_parsed("seed", 42u64)?;
+        gen_data(dist, dim, card, seed)
+    };
+    let data = if let Some(spec) = args.get("dims") {
+        let dims: Vec<usize> = spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|e| format!("bad --dims entry {s:?}: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        let projected = data.project(&dims).map_err(|e| e.to_string())?;
+        println!("projected onto dimensions {dims:?} (subspace query)");
+        projected
+    } else {
+        data
+    };
+    match (args.get("lo"), args.get("hi")) {
+        (None, None) => Ok(data),
+        (lo, hi) => {
+            let parse = |spec: Option<&str>, default: f64| -> Result<Vec<f64>, String> {
+                match spec {
+                    None => Ok(vec![default; data.dim()]),
+                    Some(s) => s
+                        .split(',')
+                        .map(|v| {
+                            v.trim()
+                                .parse()
+                                .map_err(|e| format!("bad bound {v:?}: {e}"))
+                        })
+                        .collect(),
+                }
+            };
+            let constraint = skymr::Constraint::new(parse(lo, 0.0)?, parse(hi, 1.0)?)
+                .map_err(|e| e.to_string())?;
+            let filtered = constraint.filter(&data);
+            println!(
+                "constrained to the given range box: {} of {} tuples remain",
+                filtered.len(),
+                data.len()
+            );
+            Ok(filtered)
+        }
+    }
+}
+
+fn parse_ppd(args: &Args) -> Result<PpdPolicy, String> {
+    match args.get("ppd") {
+        None | Some("auto") => Ok(PpdPolicy::auto()),
+        Some(v) => {
+            let n: usize = v.parse().map_err(|e| format!("bad --ppd: {e}"))?;
+            Ok(PpdPolicy::Fixed(n))
+        }
+    }
+}
+
+fn skyline_config(args: &Args) -> Result<SkylineConfig, String> {
+    let mut config = SkylineConfig::default();
+    config.mappers = args.get_parsed("mappers", config.mappers)?;
+    config.reducers = args.get_parsed("reducers", config.reducers)?;
+    config.ppd = parse_ppd(args)?;
+    config.local_algo = match args.get("local") {
+        None | Some("bnl") => skymr::LocalAlgo::Bnl,
+        Some("sfs") => skymr::LocalAlgo::Sfs,
+        Some("dnc") => skymr::LocalAlgo::Dnc,
+        Some(other) => return Err(format!("unknown local kernel {other:?} (bnl|sfs|dnc)")),
+    };
+    Ok(config)
+}
+
+fn baseline_config(args: &Args) -> Result<BaselineConfig, String> {
+    let mut config = BaselineConfig::default();
+    config.mappers = args.get_parsed("mappers", config.mappers)?;
+    Ok(config)
+}
+
+fn print_metrics(metrics: &PipelineMetrics) {
+    for job in &metrics.jobs {
+        println!(
+            "  job {:<18} sim {:>8.2?}  map {:>8.2?}  shuffle {:>7} KiB / {:>7.2?}  reduce {:>8.2?}",
+            job.name,
+            job.sim_runtime,
+            job.map_phase,
+            job.shuffle_bytes / 1024,
+            job.shuffle_time,
+            job.reduce_phase
+        );
+    }
+    println!(
+        "  total simulated runtime {:.2?}   (host wall {:.2?})",
+        metrics.sim_runtime(),
+        metrics.host_wall()
+    );
+}
+
+fn write_skyline(args: &Args, skyline: &[Tuple], dim: usize) -> Result<(), String> {
+    if let Some(path) = args.get("out") {
+        let ds = Dataset::new_unchecked(dim, skyline.to_vec());
+        io::write_csv(&ds, path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote skyline to {path}");
+    }
+    Ok(())
+}
+
+const GENERATE_OPTS: &[&str] = &["dist", "dim", "card", "seed", "clusters", "out", "format"];
+const RUN_OPTS: &[&str] = &[
+    "algo", "input", "dist", "dim", "card", "seed", "clusters", "mappers", "reducers", "ppd",
+    "out", "distinct", "verify", "k", "dims", "lo", "hi", "local",
+];
+const PLAN_OPTS: &[&str] = &[
+    "input", "dist", "dim", "card", "seed", "clusters", "ppd", "reducers", "dims", "lo", "hi",
+];
+const INFO_OPTS: &[&str] = &[
+    "input", "dist", "dim", "card", "seed", "clusters", "dims", "lo", "hi",
+];
+
+/// `skymr-cli generate`
+pub fn generate(args: &Args) -> Result<(), String> {
+    args.reject_unknown(GENERATE_OPTS)?;
+    let dist = parse_distribution(args)?;
+    let dim = args.get_parsed("dim", 0usize)?;
+    let card = args.get_parsed("card", 0usize)?;
+    if dim == 0 || card == 0 {
+        return Err("--dim and --card are required".into());
+    }
+    let seed = args.get_parsed("seed", 42u64)?;
+    let out = args.require("out")?;
+    let ds = gen_data(dist, dim, card, seed);
+    match args.get("format").unwrap_or("csv") {
+        "csv" => io::write_csv(&ds, out).map_err(|e| format!("cannot write {out}: {e}"))?,
+        "binary" | "bin" => {
+            io::write_binary(&ds, out).map_err(|e| format!("cannot write {out}: {e}"))?
+        }
+        other => return Err(format!("unknown format {other:?} (csv|binary)")),
+    }
+    println!(
+        "wrote {} {}-dimensional {} tuples to {out}",
+        ds.len(),
+        ds.dim(),
+        dist.name()
+    );
+    Ok(())
+}
+
+/// `skymr-cli run`
+pub fn run(args: &Args) -> Result<(), String> {
+    args.reject_unknown(RUN_OPTS)?;
+    let algo = args.require("algo")?.to_string();
+    let data = load_dataset(args)?;
+    println!("dataset: {} tuples, {} dimensions", data.len(), data.dim());
+    let (skyline, metrics): (Vec<Tuple>, Option<PipelineMetrics>) = match algo.as_str() {
+        "gpsrs" => {
+            let run = mr_gpsrs(&data, &skyline_config(args)?).map_err(|e| e.to_string())?;
+            (run.skyline, Some(run.metrics))
+        }
+        "gpmrs" => {
+            let run = mr_gpmrs(&data, &skyline_config(args)?).map_err(|e| e.to_string())?;
+            println!(
+                "grid: PPD {}, {} surviving of {} non-empty partitions, {} groups -> {} buckets",
+                run.info.ppd,
+                run.info.surviving_partitions,
+                run.info.non_empty_partitions,
+                run.info.independent_groups,
+                run.info.buckets
+            );
+            (run.skyline, Some(run.metrics))
+        }
+        "hybrid" => {
+            let run = mr_hybrid(&data, &skyline_config(args)?).map_err(|e| e.to_string())?;
+            (run.skyline, Some(run.metrics))
+        }
+        "skyband" => {
+            let k = args.get_parsed("k", 2u32)?;
+            println!("note: computing the {k}-skyband (tuples dominated by fewer than {k} others)");
+            let run = mr_skyband(&data, k, &skyline_config(args)?).map_err(|e| e.to_string())?;
+            (run.skyline, Some(run.metrics))
+        }
+        "topk" => {
+            let k = args.get_parsed("k", 10usize)?;
+            let run = skymr::mr_top_k_dominating(&data, k, &skyline_config(args)?)
+                .map_err(|e| e.to_string())?;
+            println!("top-{k} dominating tuples (score = tuples dominated):");
+            for (t, score) in &run.ranked {
+                println!("  #{:<8} score {score}", t.id);
+            }
+            (
+                run.ranked.into_iter().map(|(t, _)| t).collect(),
+                Some(run.metrics),
+            )
+        }
+        "mr-bnl" => {
+            let run = mr_bnl(&data, &baseline_config(args)?);
+            (run.skyline, Some(run.metrics))
+        }
+        "mr-sfs" => {
+            let run = mr_sfs(&data, &baseline_config(args)?);
+            (run.skyline, Some(run.metrics))
+        }
+        "mr-angle" => {
+            let run = mr_angle(&data, &baseline_config(args)?);
+            (run.skyline, Some(run.metrics))
+        }
+        "sky-mr" => {
+            let mut config = SkyMrConfig::default();
+            config.mappers = args.get_parsed("mappers", config.mappers)?;
+            config.reducers = args.get_parsed("reducers", config.reducers)?;
+            let run = sky_mr(&data, &config);
+            (run.skyline, Some(run.metrics))
+        }
+        "mr-bitmap" => {
+            let distinct = args.get_parsed("distinct", 16usize)?;
+            let discretized = discretize(&data, distinct);
+            println!("note: mr-bitmap runs on data discretized to {distinct} values/dimension");
+            let run = mr_bitmap(&discretized, &baseline_config(args)?);
+            (run.skyline, Some(run.metrics))
+        }
+        "bnl" => (bnl_skyline(data.tuples()), None),
+        "sfs" => (sfs_skyline(data.tuples(), SfsOrder::Entropy), None),
+        "dnc" => (dnc_skyline(data.tuples()), None),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    println!(
+        "skyline: {} of {} tuples ({:.2}%)",
+        skyline.len(),
+        data.len(),
+        100.0 * skyline.len() as f64 / data.len().max(1) as f64
+    );
+    if let Some(metrics) = &metrics {
+        print_metrics(metrics);
+    }
+    if args.has_flag("verify") && !matches!(algo.as_str(), "mr-bitmap" | "skyband" | "topk") {
+        // (mr-bitmap answers for the discretized dataset and skyband for
+        // k ≥ 1 bands, so the plain BNL oracle does not apply to them.)
+        let oracle = bnl_skyline(data.tuples());
+        let mut got: Vec<u64> = skyline.iter().map(|t| t.id).collect();
+        got.sort_unstable();
+        let want: Vec<u64> = oracle.iter().map(|t| t.id).collect();
+        if got == want {
+            println!("verify: OK — matches the centralized BNL oracle");
+        } else {
+            return Err(format!(
+                "verify FAILED: got {} tuples, oracle has {}",
+                got.len(),
+                want.len()
+            ));
+        }
+    }
+    write_skyline(args, &skyline, data.dim())
+}
+
+/// `skymr-cli plan`
+pub fn plan(args: &Args) -> Result<(), String> {
+    args.reject_unknown(PLAN_OPTS)?;
+    let data = load_dataset(args)?;
+    let config = SkylineConfig {
+        ppd: parse_ppd(args)?,
+        ..SkylineConfig::default()
+    };
+    let reducers = args.get_parsed("reducers", config.reducers)?;
+    let splits = data.split(config.mappers);
+    let (bitstring, info, _) =
+        generate_bitstring(&splits, data.dim(), data.len(), &config).map_err(|e| e.to_string())?;
+    println!(
+        "dataset   : {} tuples, {} dimensions",
+        data.len(),
+        data.dim()
+    );
+    println!(
+        "grid      : PPD {} -> {} partitions ({} non-empty, {} after pruning)",
+        info.ppd,
+        bitstring.grid().num_partitions(),
+        info.non_empty,
+        info.surviving
+    );
+    let plan = plan_groups(&bitstring, reducers, config.merge_policy);
+    println!(
+        "groups    : {} independent partition groups",
+        plan.groups.len()
+    );
+    println!(
+        "buckets   : {} (of {} requested reducers)",
+        plan.num_buckets(),
+        reducers
+    );
+    for (i, bucket) in plan.buckets.iter().enumerate() {
+        println!(
+            "  bucket {i}: {} partitions ({} groups, cost {})",
+            bucket.partitions.len(),
+            bucket.group_indices.len(),
+            bucket.cost
+        );
+    }
+    let replicated = plan
+        .buckets
+        .iter()
+        .map(|b| b.partitions.len())
+        .sum::<usize>()
+        .saturating_sub(info.surviving);
+    println!("replicated partition copies across buckets: {replicated}");
+    Ok(())
+}
+
+/// `skymr-cli info`
+pub fn info(args: &Args) -> Result<(), String> {
+    args.reject_unknown(INFO_OPTS)?;
+    let data = load_dataset(args)?;
+    println!("tuples     : {}", data.len());
+    println!("dimensions : {}", data.dim());
+    if data.is_empty() {
+        return Ok(());
+    }
+    for d in 0..data.dim() {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for t in data.tuples() {
+            let v = t.values[d];
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        println!(
+            "  dim {d}: min {min:.4}  mean {:.4}  max {max:.4}",
+            sum / data.len() as f64
+        );
+    }
+    let skyline = bnl_skyline(data.tuples());
+    println!(
+        "skyline    : {} tuples ({:.2}%)",
+        skyline.len(),
+        100.0 * skyline.len() as f64 / data.len() as f64
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn run_all_algorithms_on_generated_data() {
+        for algo in [
+            "gpsrs",
+            "gpmrs",
+            "hybrid",
+            "mr-bnl",
+            "mr-sfs",
+            "mr-angle",
+            "sky-mr",
+            "mr-bitmap",
+            "bnl",
+            "sfs",
+            "dnc",
+        ] {
+            let a = args(&format!(
+                "run --algo {algo} --dist independent --dim 3 --card 200 --seed 5 --mappers 2 --reducers 2"
+            ));
+            run(&a).unwrap_or_else(|e| panic!("{algo} failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn run_skyband_with_k() {
+        let a = args("run --algo skyband --k 3 --dist independent --dim 3 --card 200");
+        run(&a).unwrap();
+    }
+
+    #[test]
+    fn run_topk_dominating() {
+        let a = args("run --algo topk --k 5 --dist anticorrelated --dim 3 --card 200");
+        run(&a).unwrap();
+    }
+
+    #[test]
+    fn run_with_each_local_kernel() {
+        for kernel in ["bnl", "sfs", "dnc"] {
+            let a = args(&format!(
+                "run --algo gpsrs --dist anticorrelated --dim 3 --card 200 --local {kernel} --verify"
+            ));
+            run(&a).unwrap_or_else(|e| panic!("kernel {kernel} failed: {e}"));
+        }
+        let a = args("run --algo gpsrs --dist independent --dim 2 --card 50 --local nope");
+        assert!(run(&a).is_err());
+    }
+
+    #[test]
+    fn run_constrained_skyline() {
+        let a = args(
+            "run --algo gpmrs --dist anticorrelated --dim 2 --card 300 --lo 0.2,0.1 --hi 0.9,0.8 --verify",
+        );
+        run(&a).unwrap();
+        // --hi alone defaults the lower bounds to zero.
+        let a = args("run --algo bnl --dist independent --dim 2 --card 100 --hi 0.5,0.5");
+        run(&a).unwrap();
+    }
+
+    #[test]
+    fn run_subspace_projection() {
+        let a =
+            args("run --algo gpmrs --dist anticorrelated --dim 5 --card 200 --dims 0,2,4 --verify");
+        run(&a).unwrap();
+        let a = args("run --algo bnl --dist independent --dim 3 --card 50 --dims 9");
+        assert!(run(&a).is_err(), "out-of-range projection must fail");
+    }
+
+    #[test]
+    fn run_with_verify_flag_checks_oracle() {
+        let a = args("run --algo gpmrs --dist anticorrelated --dim 3 --card 300 --verify");
+        run(&a).unwrap();
+    }
+
+    #[test]
+    fn run_rejects_unknown_algorithm_and_options() {
+        let a = args("run --algo nope --dist independent --dim 2 --card 10");
+        assert!(run(&a).is_err());
+        let a = args("run --algo bnl --dist independent --dim 2 --card 10 --bogus 1");
+        assert!(run(&a).unwrap_err().contains("--bogus"));
+    }
+
+    #[test]
+    fn generate_binary_and_reload() {
+        let path = std::env::temp_dir().join(format!("skymr-cli-bin-{}.bin", std::process::id()));
+        let a = args(&format!(
+            "generate --dist independent --dim 3 --card 80 --format binary --out {}",
+            path.display()
+        ));
+        generate(&a).unwrap();
+        let a = args(&format!(
+            "run --algo gpsrs --input {} --verify",
+            path.display()
+        ));
+        run(&a).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn generate_and_reload_roundtrip() {
+        let path = std::env::temp_dir().join(format!("skymr-cli-test-{}.csv", std::process::id()));
+        let a = args(&format!(
+            "generate --dist anticorrelated --dim 3 --card 100 --seed 9 --out {}",
+            path.display()
+        ));
+        generate(&a).unwrap();
+        let a = args(&format!("info --input {}", path.display()));
+        info(&a).unwrap();
+        let a = args(&format!("run --algo gpmrs --input {}", path.display()));
+        run(&a).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn plan_reports_structure() {
+        let a = args("plan --dist anticorrelated --dim 3 --card 500 --ppd 4 --reducers 3");
+        plan(&a).unwrap();
+    }
+
+    #[test]
+    fn load_requires_input_or_shape() {
+        let a = args("info --dist independent");
+        assert!(info(&a).is_err());
+    }
+
+    #[test]
+    fn clustered_distribution_parses() {
+        let a = args("info --dist clustered --clusters 2 --dim 2 --card 50");
+        info(&a).unwrap();
+    }
+}

@@ -1,0 +1,124 @@
+//! Byte-size accounting for simulated network traffic.
+//!
+//! The MapReduce engine charges shuffle and distributed-cache traffic to a
+//! simulated cluster clock (the paper's testbed moved data over a
+//! 100 Mbit/s LAN, and the communication overhead of MR-GPMRS is one of the
+//! effects its evaluation studies). [`ByteSized`] reports how many bytes a
+//! value would occupy in a compact on-the-wire encoding.
+
+use crate::bitgrid::BitGrid;
+use crate::tuple::Tuple;
+
+/// Size of a value in a compact wire encoding, in bytes.
+pub trait ByteSized {
+    /// Encoded size in bytes.
+    fn byte_size(&self) -> u64;
+}
+
+macro_rules! fixed_size {
+    ($($t:ty => $n:expr),* $(,)?) => {
+        $(impl ByteSized for $t {
+            #[inline]
+            fn byte_size(&self) -> u64 { $n }
+        })*
+    };
+}
+
+fixed_size!(u8 => 1, u16 => 2, u32 => 4, u64 => 8, usize => 8, f32 => 4, f64 => 8, i32 => 4, i64 => 8, bool => 1, () => 0);
+
+impl<T: ByteSized> ByteSized for Vec<T> {
+    fn byte_size(&self) -> u64 {
+        // 4-byte length prefix, like a Hadoop Writable collection.
+        4 + self.iter().map(ByteSized::byte_size).sum::<u64>()
+    }
+}
+
+impl<T: ByteSized> ByteSized for Box<[T]> {
+    fn byte_size(&self) -> u64 {
+        4 + self.iter().map(ByteSized::byte_size).sum::<u64>()
+    }
+}
+
+impl<A: ByteSized, B: ByteSized> ByteSized for (A, B) {
+    fn byte_size(&self) -> u64 {
+        self.0.byte_size() + self.1.byte_size()
+    }
+}
+
+impl<A: ByteSized, B: ByteSized, C: ByteSized> ByteSized for (A, B, C) {
+    fn byte_size(&self) -> u64 {
+        self.0.byte_size() + self.1.byte_size() + self.2.byte_size()
+    }
+}
+
+impl<T: ByteSized> ByteSized for Option<T> {
+    fn byte_size(&self) -> u64 {
+        1 + self.as_ref().map_or(0, ByteSized::byte_size)
+    }
+}
+
+impl ByteSized for Tuple {
+    fn byte_size(&self) -> u64 {
+        // id + length prefix + one f64 per dimension.
+        8 + 4 + 8 * self.values.len() as u64
+    }
+}
+
+impl ByteSized for BitGrid {
+    fn byte_size(&self) -> u64 {
+        4 + self.packed_bytes()
+    }
+}
+
+impl ByteSized for String {
+    fn byte_size(&self) -> u64 {
+        4 + self.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_have_fixed_sizes() {
+        assert_eq!(1u8.byte_size(), 1);
+        assert_eq!(1u32.byte_size(), 4);
+        assert_eq!(1.0f64.byte_size(), 8);
+        assert_eq!(().byte_size(), 0);
+    }
+
+    #[test]
+    fn vec_adds_length_prefix() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(v.byte_size(), 4 + 24);
+        let empty: Vec<u64> = vec![];
+        assert_eq!(empty.byte_size(), 4);
+    }
+
+    #[test]
+    fn tuple_size_scales_with_dimensionality() {
+        let t2 = Tuple::new(0, vec![0.0, 0.0]);
+        let t5 = Tuple::new(0, vec![0.0; 5]);
+        assert_eq!(t2.byte_size(), 8 + 4 + 16);
+        assert_eq!(t5.byte_size(), 8 + 4 + 40);
+    }
+
+    #[test]
+    fn nested_collections_compose() {
+        let v: Vec<Vec<u8>> = vec![vec![1, 2], vec![3]];
+        assert_eq!(v.byte_size(), 4 + (4 + 2) + (4 + 1));
+    }
+
+    #[test]
+    fn option_charges_tag_byte() {
+        assert_eq!(None::<u64>.byte_size(), 1);
+        assert_eq!(Some(1u64).byte_size(), 9);
+    }
+
+    #[test]
+    fn bitgrid_charges_packed_words() {
+        let b = BitGrid::zeros(128);
+        assert_eq!(b.byte_size(), 4 + 16);
+    }
+}

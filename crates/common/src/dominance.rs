@@ -1,0 +1,152 @@
+//! Tuple dominance (paper Definition 1).
+//!
+//! Tuple `ri` dominates `rj` (`ri ≺ rj`) iff `ri` is not worse than `rj` on
+//! every dimension and strictly better on at least one. Smaller is better.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::tuple::Tuple;
+
+/// Outcome of comparing two tuples for dominance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomOrdering {
+    /// The left tuple dominates the right one (`a ≺ b`).
+    Dominates,
+    /// The left tuple is dominated by the right one (`b ≺ a`).
+    DominatedBy,
+    /// Neither dominates the other (including equal value vectors).
+    Incomparable,
+}
+
+/// Returns `true` iff `a ≺ b` (Definition 1): `a` is ≤ `b` on all dimensions
+/// and < on at least one.
+///
+/// ```
+/// use skymr_common::{dominance::dominates, Tuple};
+///
+/// let cheap_near = Tuple::new(0, vec![0.2, 0.1]);
+/// let pricey_far = Tuple::new(1, vec![0.8, 0.9]);
+/// let pricey_near = Tuple::new(2, vec![0.8, 0.1]);
+/// assert!(dominates(&cheap_near, &pricey_far));
+/// assert!(dominates(&cheap_near, &pricey_near)); // ties on one dimension still dominate
+/// assert!(!dominates(&pricey_near, &cheap_near));
+/// ```
+///
+/// # Panics
+///
+/// Debug-asserts that the tuples share the same dimensionality.
+#[inline]
+pub fn dominates(a: &Tuple, b: &Tuple) -> bool {
+    debug_assert_eq!(a.dim(), b.dim(), "dominance requires equal dimensionality");
+    let mut strictly_better = false;
+    for (&av, &bv) in a.values.iter().zip(b.values.iter()) {
+        if av > bv {
+            return false;
+        }
+        if av < bv {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Performs a single pass that classifies the pair in both directions.
+///
+/// One joint pass is what the BNL window check needs (paper Algorithm 4
+/// tests both `t' ≺ t` and `t ≺ t'`); it costs roughly half of two separate
+/// [`dominates`] calls.
+#[inline]
+pub fn compare(a: &Tuple, b: &Tuple) -> DomOrdering {
+    debug_assert_eq!(a.dim(), b.dim(), "dominance requires equal dimensionality");
+    let mut a_better = false;
+    let mut b_better = false;
+    for (&av, &bv) in a.values.iter().zip(b.values.iter()) {
+        if av < bv {
+            a_better = true;
+        } else if bv < av {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return DomOrdering::Incomparable;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => DomOrdering::Dominates,
+        (false, true) => DomOrdering::DominatedBy,
+        _ => DomOrdering::Incomparable,
+    }
+}
+
+/// Like [`dominates`] but bumps `counter` by one — used by the cost-model
+/// validation (paper Section 7.5 / Figure 11) to count tuple-dominance
+/// checks executed by mappers and reducers.
+#[inline]
+pub fn dominates_counted(a: &Tuple, b: &Tuple, counter: &AtomicU64) -> bool {
+    counter.fetch_add(1, Ordering::Relaxed);
+    dominates(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[f64]) -> Tuple {
+        Tuple::new(0, vals.to_vec())
+    }
+
+    #[test]
+    fn strictly_smaller_dominates() {
+        assert!(dominates(&t(&[0.1, 0.1]), &t(&[0.2, 0.2])));
+    }
+
+    #[test]
+    fn equal_on_some_dims_still_dominates() {
+        assert!(dominates(&t(&[0.1, 0.2]), &t(&[0.1, 0.3])));
+    }
+
+    #[test]
+    fn equal_tuples_do_not_dominate() {
+        assert!(!dominates(&t(&[0.1, 0.2]), &t(&[0.1, 0.2])));
+    }
+
+    #[test]
+    fn incomparable_tuples_do_not_dominate() {
+        assert!(!dominates(&t(&[0.1, 0.9]), &t(&[0.9, 0.1])));
+        assert!(!dominates(&t(&[0.9, 0.1]), &t(&[0.1, 0.9])));
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric() {
+        let a = t(&[0.1, 0.1]);
+        let b = t(&[0.2, 0.2]);
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+    }
+
+    #[test]
+    fn compare_matches_directional_checks() {
+        let a = t(&[0.1, 0.5]);
+        let b = t(&[0.2, 0.6]);
+        assert_eq!(compare(&a, &b), DomOrdering::Dominates);
+        assert_eq!(compare(&b, &a), DomOrdering::DominatedBy);
+        let c = t(&[0.9, 0.1]);
+        assert_eq!(compare(&a, &c), DomOrdering::Incomparable);
+        assert_eq!(compare(&a, &a), DomOrdering::Incomparable);
+    }
+
+    #[test]
+    fn counted_variant_counts() {
+        let counter = AtomicU64::new(0);
+        let a = t(&[0.1]);
+        let b = t(&[0.2]);
+        assert!(dominates_counted(&a, &b, &counter));
+        assert!(!dominates_counted(&b, &a, &counter));
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn single_dimension_dominance() {
+        assert!(dominates(&t(&[0.0]), &t(&[0.5])));
+        assert!(!dominates(&t(&[0.5]), &t(&[0.0])));
+    }
+}

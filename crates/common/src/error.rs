@@ -1,0 +1,77 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by validation and configuration across the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Dimensionality must be at least 1.
+    InvalidDimension(usize),
+    /// A tuple's dimensionality disagreed with its dataset.
+    DimensionMismatch {
+        /// The dataset's dimensionality.
+        expected: usize,
+        /// The offending tuple's dimensionality.
+        got: usize,
+        /// The offending tuple's id.
+        tuple_id: u64,
+    },
+    /// A tuple value fell outside the `[0,1)` data space (or was NaN).
+    ValueOutOfRange {
+        /// The offending tuple's id.
+        tuple_id: u64,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidDimension(d) => write!(f, "invalid dimensionality {d}; must be >= 1"),
+            Error::DimensionMismatch {
+                expected,
+                got,
+                tuple_id,
+            } => {
+                write!(
+                    f,
+                    "tuple {tuple_id} has {got} dimensions, dataset expects {expected}"
+                )
+            }
+            Error::ValueOutOfRange { tuple_id } => {
+                write!(f, "tuple {tuple_id} has a value outside [0,1) (or NaN)")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(Error::InvalidDimension(0).to_string().contains(">= 1"));
+        let e = Error::DimensionMismatch {
+            expected: 3,
+            got: 2,
+            tuple_id: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('3') && s.contains('2'));
+        assert!(Error::ValueOutOfRange { tuple_id: 1 }
+            .to_string()
+            .contains("[0,1)"));
+        assert!(Error::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+}

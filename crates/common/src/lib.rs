@@ -1,0 +1,35 @@
+//! Foundation types for the `skyline-mr` workspace.
+//!
+//! This crate holds the vocabulary shared by every other crate in the
+//! reproduction of *"Efficient Skyline Computation in MapReduce"*
+//! (Mullesgaard, Pedersen, Lu, Zhou — EDBT 2014):
+//!
+//! * [`Tuple`] and [`Dataset`] — the multi-dimensional records a skyline
+//!   query runs over (paper Section 1, Definition 1),
+//! * [`dominance`] — the tuple-dominance kernel (`ri ≺ rj`),
+//! * [`BitGrid`] — the compact bitstring the paper uses to describe the
+//!   empty/non-empty state of grid partitions (paper Section 3.2),
+//! * [`ByteSized`] — byte-size accounting used by the MapReduce engine to
+//!   model shuffle and broadcast traffic.
+//!
+//! The convention throughout the workspace follows the paper: the data space
+//! is `[0,1)^d` and **smaller values are better** on every dimension.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bitgrid;
+pub mod bytes;
+pub mod dataset;
+pub mod dominance;
+pub mod error;
+pub mod stats;
+pub mod tuple;
+
+pub use bitgrid::BitGrid;
+pub use bytes::ByteSized;
+pub use dataset::Dataset;
+pub use dominance::{dominates, dominates_counted, DomOrdering};
+pub use error::{Error, Result};
+pub use stats::Counters;
+pub use tuple::Tuple;

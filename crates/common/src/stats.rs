@@ -1,0 +1,137 @@
+//! Named counters shared by tasks of a MapReduce job.
+//!
+//! Hadoop exposes job counters; the engine mirrors that so the cost-model
+//! validation (paper Section 7.5) can record how many partition-wise and
+//! tuple-wise dominance comparisons each mapper and reducer executed.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A set of named monotonically increasing counters.
+///
+/// Counter handles are cheap `Arc<AtomicU64>` clones; taking a handle once
+/// and bumping it in a hot loop avoids the map lookup per increment.
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    inner: Arc<Mutex<BTreeMap<String, Arc<AtomicU64>>>>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero if absent.
+    pub fn handle(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.inner.lock().expect("counter mutex poisoned");
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let counter = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_owned(), Arc::clone(&counter));
+        counter
+    }
+
+    /// Adds `delta` to the counter named `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.handle(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Records `value` into the counter named `name` if it exceeds the
+    /// current value — a max-aggregation used for "busiest task" metrics
+    /// (Figure 11 reports the mapper/reducer with the most comparisons).
+    pub fn record_max(&self, name: &str, value: u64) {
+        self.handle(name).fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value of the counter named `name` (0 if it was never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        let map = self.inner.lock().expect("counter mutex poisoned");
+        map.get(name).map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        let map = self.inner.lock().expect("counter mutex poisoned");
+        map.iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let c = Counters::new();
+        assert_eq!(c.get("anything"), 0);
+    }
+
+    #[test]
+    fn add_and_get() {
+        let c = Counters::new();
+        c.add("x", 3);
+        c.add("x", 4);
+        c.add("y", 1);
+        assert_eq!(c.get("x"), 7);
+        assert_eq!(c.get("y"), 1);
+    }
+
+    #[test]
+    fn handle_is_stable() {
+        let c = Counters::new();
+        let h1 = c.handle("h");
+        let h2 = c.handle("h");
+        h1.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(h2.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn record_max_keeps_largest() {
+        let c = Counters::new();
+        c.record_max("m", 5);
+        c.record_max("m", 3);
+        c.record_max("m", 9);
+        assert_eq!(c.get("m"), 9);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_name() {
+        let c = Counters::new();
+        c.add("b", 2);
+        c.add("a", 1);
+        let snap = c.snapshot();
+        let keys: Vec<&String> = snap.keys().collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Counters::new();
+        let c2 = c.clone();
+        c.add("shared", 1);
+        c2.add("shared", 2);
+        assert_eq!(c.get("shared"), 3);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let c = Counters::new();
+        let h = c.handle("hot");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get("hot"), 4000);
+    }
+}

@@ -1,0 +1,92 @@
+//! The multi-dimensional tuple type skyline queries operate on.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A `d`-dimensional tuple (paper notation: `r`, `ri`, `rj`, `t`).
+///
+/// Every tuple carries a workspace-unique `id` so that results can be
+/// compared across algorithms (skylines are sets; two algorithms agree when
+/// they return the same id set), and so duplicate elimination in
+/// MR-GPMRS (paper Section 5.4.2) can be verified exactly.
+///
+/// Values live in `[0,1)` and **smaller is better** on every dimension,
+/// matching the paper's convention ("this paper assumes that a smaller value
+/// is better", Section 1).
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Stable identifier, assigned by the generator or loader.
+    pub id: u64,
+    /// Dimension values; length is the dimensionality `d`.
+    pub values: Box<[f64]>,
+}
+
+impl Tuple {
+    /// Creates a tuple from an id and its dimension values.
+    pub fn new(id: u64, values: impl Into<Box<[f64]>>) -> Self {
+        Self {
+            id,
+            values: values.into(),
+        }
+    }
+
+    /// The dimensionality `d` of this tuple.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sum of the dimension values — the monotone scoring function used by
+    /// sort-based skyline algorithms (SFS presorting, Chomicki et al.).
+    #[inline]
+    pub fn score_sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// The entropy score `Σ ln(1 + v_k)` — the alternative monotone scoring
+    /// function proposed for SFS. Like [`Tuple::score_sum`], if `a` dominates
+    /// `b` then `a.score_entropy() < b.score_entropy()`.
+    #[inline]
+    pub fn score_entropy(&self) -> f64 {
+        self.values.iter().map(|v| (1.0 + v).ln()).sum()
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tuple#{}{:?}", self.id, &self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_assigns_id_and_values() {
+        let t = Tuple::new(7, vec![0.25, 0.5]);
+        assert_eq!(t.id, 7);
+        assert_eq!(t.dim(), 2);
+        assert_eq!(&t.values[..], &[0.25, 0.5]);
+    }
+
+    #[test]
+    fn score_sum_adds_all_dimensions() {
+        let t = Tuple::new(0, vec![0.1, 0.2, 0.3]);
+        assert!((t.score_sum() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_entropy_is_monotone_under_dominance() {
+        let better = Tuple::new(0, vec![0.1, 0.2]);
+        let worse = Tuple::new(1, vec![0.3, 0.2]);
+        assert!(better.score_entropy() < worse.score_entropy());
+    }
+
+    #[test]
+    fn debug_output_contains_id() {
+        let t = Tuple::new(42, vec![0.5]);
+        assert!(format!("{t:?}").contains("42"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the foundation types: dominance must be a strict
+//! partial order, the joint comparison must agree with the directional
+//! checks, and the bitset must behave like a set of integers.
+
+use proptest::prelude::*;
+
+use skymr_common::dominance::{compare, dominates, DomOrdering};
+use skymr_common::{BitGrid, Tuple};
+
+fn arb_tuple(dim: usize) -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(0.0f64..1.0, dim).prop_map(|v| Tuple::new(0, v))
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_irreflexive(t in arb_tuple(4)) {
+        prop_assert!(!dominates(&t, &t));
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric(a in arb_tuple(4), b in arb_tuple(4)) {
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+    }
+
+    #[test]
+    fn dominance_is_transitive(a in arb_tuple(3), b in arb_tuple(3), c in arb_tuple(3)) {
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c));
+        }
+    }
+
+    #[test]
+    fn compare_agrees_with_dominates(a in arb_tuple(5), b in arb_tuple(5)) {
+        let expected = match (dominates(&a, &b), dominates(&b, &a)) {
+            (true, false) => DomOrdering::Dominates,
+            (false, true) => DomOrdering::DominatedBy,
+            (false, false) => DomOrdering::Incomparable,
+            (true, true) => unreachable!("antisymmetry violated"),
+        };
+        prop_assert_eq!(compare(&a, &b), expected);
+    }
+
+    #[test]
+    fn componentwise_shift_dominates(t in arb_tuple(4), shift in 1e-6f64..0.1) {
+        let better = Tuple::new(
+            1,
+            t.values.iter().map(|v| (v - shift).max(0.0)).collect::<Vec<_>>(),
+        );
+        if better.values.iter().zip(t.values.iter()).any(|(b, o)| b < o) {
+            prop_assert!(dominates(&better, &t));
+        }
+    }
+
+    #[test]
+    fn bitgrid_behaves_like_a_set(
+        len in 1usize..500,
+        ops in proptest::collection::vec((0usize..500, any::<bool>()), 0..100),
+    ) {
+        let mut bits = BitGrid::zeros(len);
+        let mut reference = std::collections::BTreeSet::new();
+        for (idx, set) in ops {
+            let idx = idx % len;
+            if set {
+                bits.set(idx);
+                reference.insert(idx);
+            } else {
+                bits.clear(idx);
+                reference.remove(&idx);
+            }
+        }
+        prop_assert_eq!(bits.count_ones(), reference.len());
+        prop_assert_eq!(bits.iter_ones().collect::<Vec<_>>(), reference.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(bits.highest_one(), reference.iter().next_back().copied());
+        prop_assert_eq!(bits.is_zero(), reference.is_empty());
+    }
+
+    #[test]
+    fn bitgrid_or_is_union(
+        len in 1usize..300,
+        a in proptest::collection::vec(0usize..300, 0..50),
+        b in proptest::collection::vec(0usize..300, 0..50),
+    ) {
+        let mut ga = BitGrid::zeros(len);
+        let mut gb = BitGrid::zeros(len);
+        let mut union = std::collections::BTreeSet::new();
+        for i in a {
+            ga.set(i % len);
+            union.insert(i % len);
+        }
+        for i in b {
+            gb.set(i % len);
+            union.insert(i % len);
+        }
+        ga.or_assign(&gb);
+        prop_assert_eq!(ga.iter_ones().collect::<Vec<_>>(), union.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bitgrid_and_is_intersection(
+        len in 1usize..300,
+        a in proptest::collection::vec(0usize..300, 0..50),
+        b in proptest::collection::vec(0usize..300, 0..50),
+    ) {
+        let mut ga = BitGrid::zeros(len);
+        let mut gb = BitGrid::zeros(len);
+        let sa: std::collections::BTreeSet<usize> = a.into_iter().map(|i| i % len).collect();
+        let sb: std::collections::BTreeSet<usize> = b.into_iter().map(|i| i % len).collect();
+        for &i in &sa {
+            ga.set(i);
+        }
+        for &i in &sb {
+            gb.set(i);
+        }
+        prop_assert_eq!(ga.intersects(&gb), sa.intersection(&sb).next().is_some());
+        ga.and_assign(&gb);
+        prop_assert_eq!(
+            ga.iter_ones().collect::<Vec<_>>(),
+            sa.intersection(&sb).copied().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! The bitstring-generation MapReduce job (paper Algorithms 1 and 2,
+//! Figure 3) and the shared driver used by both skyline algorithms.
+
+use skymr_common::{BitGrid, Tuple};
+use skymr_mapreduce::{
+    run_job, ClusterConfig, Emitter, JobConfig, JobMetrics, MapFactory, MapTask, OutputCollector,
+    ReduceFactory, ReduceTask, SingleReducerPartitioner, TaskContext,
+};
+
+use crate::bitstring::ppd::run_ppd_selection_job;
+use crate::bitstring::Bitstring;
+use crate::config::{PpdPolicy, SkylineConfig};
+use crate::grid::Grid;
+
+/// What the bitstring pre-job learned about the data.
+#[derive(Debug, Clone, Copy)]
+pub struct BitstringInfo {
+    /// PPD of the grid that was (chosen and) used.
+    pub ppd: usize,
+    /// Non-empty partitions before pruning (the paper's `ρ`).
+    pub non_empty: usize,
+    /// Partitions surviving dominance pruning (Equation 2).
+    pub surviving: usize,
+}
+
+/// Mapper (Algorithm 1): builds a local bitstring for its split and emits
+/// it once the split is exhausted.
+pub struct BitstringMapFactory {
+    grid: Grid,
+}
+
+impl BitstringMapFactory {
+    /// A factory producing mappers for `grid`.
+    pub fn new(grid: Grid) -> Self {
+        Self { grid }
+    }
+}
+
+/// Per-split mapper state: the local bitstring `BS_{R_i}`.
+pub struct BitstringMapTask {
+    grid: Grid,
+    local: BitGrid,
+}
+
+impl MapTask for BitstringMapTask {
+    type In = Tuple;
+    type K = u8;
+    type V = BitGrid;
+
+    fn map(&mut self, input: &Tuple, _out: &mut Emitter<u8, BitGrid>) {
+        self.local.set(self.grid.partition_of(input));
+    }
+
+    fn finish(&mut self, out: &mut Emitter<u8, BitGrid>) {
+        out.emit(0, std::mem::replace(&mut self.local, BitGrid::zeros(0)));
+    }
+}
+
+impl MapFactory for BitstringMapFactory {
+    type Task = BitstringMapTask;
+    fn create(&self, _ctx: &TaskContext) -> BitstringMapTask {
+        BitstringMapTask {
+            grid: self.grid,
+            local: BitGrid::zeros(self.grid.num_partitions()),
+        }
+    }
+}
+
+/// Reducer (Algorithm 2): ORs all local bitstrings and prunes dominated
+/// partitions.
+pub struct BitstringReduceFactory {
+    grid: Grid,
+    prune: bool,
+}
+
+impl BitstringReduceFactory {
+    /// A factory producing the single merge reducer.
+    pub fn new(grid: Grid, prune: bool) -> Self {
+        Self { grid, prune }
+    }
+}
+
+/// The single reducer's state.
+pub struct BitstringReduceTask {
+    grid: Grid,
+    prune: bool,
+}
+
+/// Reducer output: the global bitstring plus its pre-pruning occupancy.
+#[derive(Debug, Clone)]
+pub struct BitstringJobOutput {
+    /// The (pruned) global bitstring's bit pattern.
+    pub bits: BitGrid,
+    /// Non-empty partition count before pruning.
+    pub non_empty: u64,
+}
+
+impl ReduceTask for BitstringReduceTask {
+    type K = u8;
+    type V = BitGrid;
+    type Out = BitstringJobOutput;
+
+    fn reduce(
+        &mut self,
+        _key: u8,
+        values: Vec<BitGrid>,
+        out: &mut OutputCollector<BitstringJobOutput>,
+    ) {
+        let mut merged = BitGrid::zeros(self.grid.num_partitions());
+        for local in &values {
+            merged.or_assign(local);
+        }
+        let non_empty = merged.count_ones() as u64;
+        let mut bs = Bitstring::from_parts(self.grid, merged);
+        if self.prune {
+            bs.prune_dominated();
+        }
+        out.collect(BitstringJobOutput {
+            bits: bs.bits().clone(),
+            non_empty,
+        });
+    }
+}
+
+impl ReduceFactory for BitstringReduceFactory {
+    type Task = BitstringReduceTask;
+    fn create(&self, _ctx: &TaskContext) -> BitstringReduceTask {
+        BitstringReduceTask {
+            grid: self.grid,
+            prune: self.prune,
+        }
+    }
+}
+
+/// Runs the bitstring-generation job for a fixed grid.
+pub fn run_bitstring_job(
+    cluster: &ClusterConfig,
+    splits: &[Vec<Tuple>],
+    grid: Grid,
+    prune: bool,
+) -> (Bitstring, BitstringInfo, JobMetrics) {
+    let config = JobConfig::new("bitstring", 1);
+    let outcome = run_job(
+        cluster,
+        &config,
+        splits,
+        &BitstringMapFactory::new(grid),
+        &BitstringReduceFactory::new(grid, prune),
+        &SingleReducerPartitioner,
+    );
+    let metrics = outcome.metrics.clone();
+    let output = outcome
+        .into_flat_output()
+        .into_iter()
+        .next()
+        .unwrap_or(BitstringJobOutput {
+            bits: BitGrid::zeros(grid.num_partitions()),
+            non_empty: 0,
+        });
+    let bs = Bitstring::from_parts(grid, output.bits);
+    let info = BitstringInfo {
+        ppd: grid.ppd(),
+        non_empty: output.non_empty as usize,
+        surviving: bs.count_set(),
+    };
+    (bs, info, metrics)
+}
+
+/// Runs whichever bitstring pre-job the configuration asks for: the fixed-
+/// PPD job (Algorithms 1–2) or the Section 3.3 multi-PPD selection job.
+///
+/// `dim`/`cardinality` describe the full dataset the splits were cut from.
+pub fn generate_bitstring(
+    splits: &[Vec<Tuple>],
+    dim: usize,
+    cardinality: usize,
+    config: &SkylineConfig,
+) -> skymr_common::Result<(Bitstring, BitstringInfo, JobMetrics)> {
+    match config.ppd {
+        PpdPolicy::Fixed(n) => {
+            let grid = Grid::new(dim, n)?;
+            Ok(run_bitstring_job(
+                &config.cluster,
+                splits,
+                grid,
+                config.prune_bitstring,
+            ))
+        }
+        PpdPolicy::Auto {
+            max_ppd,
+            max_partitions,
+        } => run_ppd_selection_job(
+            &config.cluster,
+            splits,
+            dim,
+            cardinality,
+            max_ppd,
+            max_partitions,
+            config.prune_bitstring,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skymr_common::Dataset;
+    use skymr_mapreduce::FailurePlan;
+
+    fn dataset() -> Dataset {
+        // 3×3 grid occupancy mirroring Figure 2: partitions 1,2,3,4,6.
+        let tuples = vec![
+            Tuple::new(0, vec![0.4, 0.1]),   // (1,0) -> 1
+            Tuple::new(1, vec![0.8, 0.2]),   // (2,0) -> 2
+            Tuple::new(2, vec![0.1, 0.5]),   // (0,1) -> 3
+            Tuple::new(3, vec![0.5, 0.5]),   // (1,1) -> 4
+            Tuple::new(4, vec![0.2, 0.9]),   // (0,2) -> 6
+            Tuple::new(5, vec![0.45, 0.15]), // (1,0) -> 1 again
+        ];
+        Dataset::new(2, tuples).unwrap()
+    }
+
+    #[test]
+    fn job_reproduces_figure2_bitstring() {
+        let ds = dataset();
+        let grid = Grid::new(2, 3).unwrap();
+        let (bs, info, metrics) =
+            run_bitstring_job(&ClusterConfig::test(), &ds.split(3), grid, false);
+        let rendered: String = (0..9)
+            .map(|i| if bs.is_set(i) { '1' } else { '0' })
+            .collect();
+        assert_eq!(rendered, "011110100");
+        assert_eq!(info.non_empty, 5);
+        assert_eq!(info.surviving, 5);
+        assert_eq!(metrics.map_tasks, 3);
+        assert_eq!(metrics.reduce_tasks, 1);
+    }
+
+    #[test]
+    fn pruning_runs_in_reducer() {
+        // Add a far-corner tuple dominated by partition 4's contents.
+        let mut tuples = dataset().into_tuples();
+        tuples.push(Tuple::new(6, vec![0.95, 0.95])); // (2,2) -> 8
+        let ds = Dataset::new(2, tuples).unwrap();
+        let grid = Grid::new(2, 3).unwrap();
+        let (bs, info, _) = run_bitstring_job(&ClusterConfig::test(), &ds.split(2), grid, true);
+        assert!(
+            !bs.is_set(8),
+            "partition 8 is dominated by partition 4 and must be pruned"
+        );
+        assert_eq!(info.non_empty, 6);
+        assert_eq!(info.surviving, 5);
+    }
+
+    #[test]
+    fn job_is_split_invariant() {
+        let ds = dataset();
+        let grid = Grid::new(2, 3).unwrap();
+        let cluster = ClusterConfig::test();
+        let (a, _, _) = run_bitstring_job(&cluster, &ds.split(1), grid, true);
+        let (b, _, _) = run_bitstring_job(&cluster, &ds.split(5), grid, true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_bitstring() {
+        let grid = Grid::new(2, 3).unwrap();
+        let splits: Vec<Vec<Tuple>> = vec![vec![], vec![]];
+        let (bs, info, _) = run_bitstring_job(&ClusterConfig::test(), &splits, grid, true);
+        assert_eq!(bs.count_set(), 0);
+        assert_eq!(info.non_empty, 0);
+    }
+
+    #[test]
+    fn generate_bitstring_respects_fixed_policy() {
+        let ds = dataset();
+        let config = SkylineConfig::test().with_ppd(2);
+        let (bs, info, _) = generate_bitstring(&ds.split(2), ds.dim(), ds.len(), &config).unwrap();
+        assert_eq!(bs.grid().ppd(), 2);
+        assert_eq!(info.ppd, 2);
+    }
+
+    #[test]
+    fn job_survives_injected_map_failures() {
+        let ds = dataset();
+        let grid = Grid::new(2, 3).unwrap();
+        let cluster = ClusterConfig::test();
+        let config = JobConfig::new("bitstring", 1).with_failures(FailurePlan::fail_maps([0]));
+        let outcome = run_job(
+            &cluster,
+            &config,
+            &ds.split(3),
+            &BitstringMapFactory::new(grid),
+            &BitstringReduceFactory::new(grid, false),
+            &SingleReducerPartitioner,
+        );
+        assert_eq!(outcome.metrics.map_retries, 1);
+        let output = outcome.into_flat_output().pop().unwrap();
+        let bs = Bitstring::from_parts(grid, output.bits);
+        assert_eq!(bs.count_set(), 5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Configuration for the skyline pipelines.
+
+use skymr_common::{Error, Result};
+use skymr_mapreduce::{ClusterConfig, FailurePlan};
+
+use crate::groups::MergePolicy;
+use crate::local::LocalAlgo;
+
+/// How the grid's partitions-per-dimension (PPD) value is chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PpdPolicy {
+    /// Use exactly this PPD.
+    Fixed(usize),
+    /// The paper's Section 3.3 heuristic: mappers emit one bitstring per
+    /// candidate PPD `j ∈ 2..=n_m`, the reducer counts non-empty partitions
+    /// `ρ_j` per candidate, and the candidate minimizing
+    /// `|c/ρ_j − c/j^d|` wins.
+    Auto {
+        /// Hard cap on the candidate PPD (`n_m = min(⌈c^(1/d)⌉, max_ppd)`);
+        /// keeps mapper-side bitstring memory bounded on large cardinality /
+        /// low dimensionality inputs where `c^(1/d)` explodes.
+        max_ppd: usize,
+        /// Hard cap on `j^d` per candidate bitstring, for the same reason.
+        max_partitions: usize,
+    },
+}
+
+impl PpdPolicy {
+    /// The paper's heuristic with engineering caps suitable for this
+    /// simulation (documented in DESIGN.md).
+    pub fn auto() -> Self {
+        PpdPolicy::Auto {
+            max_ppd: 32,
+            max_partitions: 1 << 18,
+        }
+    }
+}
+
+/// Configuration shared by MR-GPSRS, MR-GPMRS, and the baselines' drivers.
+#[derive(Debug, Clone)]
+pub struct SkylineConfig {
+    /// Number of mappers `m` (input splits).
+    pub mappers: usize,
+    /// Number of reducers for MR-GPMRS (the paper defaults to one per
+    /// cluster node). MR-GPSRS always uses a single reducer.
+    pub reducers: usize,
+    /// Grid PPD selection.
+    pub ppd: PpdPolicy,
+    /// How independent groups are merged when there are more groups than
+    /// reducers (paper Section 5.4.1).
+    pub merge_policy: MergePolicy,
+    /// Whether to prune dominated partitions from the bitstring
+    /// (Equation 2). Disabled only by the ablation benchmarks.
+    pub prune_bitstring: bool,
+    /// The local-skyline kernel mappers run per partition (the paper's
+    /// future-work knob; BNL is the paper's own choice).
+    pub local_algo: LocalAlgo,
+    /// The simulated cluster.
+    pub cluster: ClusterConfig,
+    /// Failure injection for the skyline job (tests).
+    pub failures: FailurePlan,
+}
+
+impl Default for SkylineConfig {
+    fn default() -> Self {
+        let cluster = ClusterConfig::default();
+        Self {
+            mappers: cluster.map_slots,
+            reducers: cluster.reduce_slots,
+            ppd: PpdPolicy::auto(),
+            merge_policy: MergePolicy::ComputationCost,
+            prune_bitstring: true,
+            local_algo: LocalAlgo::Bnl,
+            cluster,
+            failures: FailurePlan::none(),
+        }
+    }
+}
+
+impl SkylineConfig {
+    /// Small, fast configuration for tests: 4-node cluster with negligible
+    /// simulated overheads and a fixed 3-PPD grid.
+    pub fn test() -> Self {
+        Self {
+            mappers: 4,
+            reducers: 4,
+            ppd: PpdPolicy::Fixed(3),
+            merge_policy: MergePolicy::ComputationCost,
+            prune_bitstring: true,
+            local_algo: LocalAlgo::Bnl,
+            cluster: ClusterConfig::test(),
+            failures: FailurePlan::none(),
+        }
+    }
+
+    /// Sets a fixed PPD.
+    pub fn with_ppd(mut self, ppd: usize) -> Self {
+        self.ppd = PpdPolicy::Fixed(ppd);
+        self
+    }
+
+    /// Sets the mapper count.
+    pub fn with_mappers(mut self, mappers: usize) -> Self {
+        self.mappers = mappers;
+        self
+    }
+
+    /// Sets the reducer count (MR-GPMRS).
+    pub fn with_reducers(mut self, reducers: usize) -> Self {
+        self.reducers = reducers;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.mappers == 0 {
+            return Err(Error::InvalidConfig("mappers must be >= 1".into()));
+        }
+        if self.reducers == 0 {
+            return Err(Error::InvalidConfig("reducers must be >= 1".into()));
+        }
+        match self.ppd {
+            PpdPolicy::Fixed(0) => Err(Error::InvalidConfig("fixed PPD must be >= 1".into())),
+            PpdPolicy::Auto {
+                max_ppd,
+                max_partitions,
+            } if max_ppd < 2 || max_partitions < 4 => {
+                Err(Error::InvalidConfig("auto PPD caps too small".into()))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mirrors_cluster_shape() {
+        let c = SkylineConfig::default();
+        assert_eq!(c.mappers, 13);
+        assert_eq!(c.reducers, 13);
+        assert!(c.prune_bitstring);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let c = SkylineConfig::test()
+            .with_ppd(5)
+            .with_mappers(2)
+            .with_reducers(3);
+        assert_eq!(c.ppd, PpdPolicy::Fixed(5));
+        assert_eq!(c.mappers, 2);
+        assert_eq!(c.reducers, 3);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut c = SkylineConfig::test();
+        c.mappers = 0;
+        assert!(c.validate().is_err());
+        let mut c = SkylineConfig::test();
+        c.reducers = 0;
+        assert!(c.validate().is_err());
+        let mut c = SkylineConfig::test();
+        c.ppd = PpdPolicy::Fixed(0);
+        assert!(c.validate().is_err());
+        let mut c = SkylineConfig::test();
+        c.ppd = PpdPolicy::Auto {
+            max_ppd: 1,
+            max_partitions: 100,
+        };
+        assert!(c.validate().is_err());
+    }
+}

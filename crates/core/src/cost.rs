@@ -1,0 +1,217 @@
+//! The cost-estimation model of paper Section 6.
+//!
+//! The model upper-bounds the number of **partition-wise comparisons**
+//! (executions of `ComparePartitions`' inner body, one per `(p, p_i ∈
+//! ADR(p))` pair) performed by a mapper and by the busiest reducer, under
+//! two worst-case assumptions: every partition a mapper builds is
+//! non-empty, and comparing partitions prunes tuples but never empties a
+//! partition.
+//!
+//! Under those assumptions the partitions surviving bitstring pruning are
+//! exactly the `d` origin-side `d−1`-dimensional surfaces of the grid
+//! (`ρ_rem(n,d) = n^d − (n−1)^d`, Equation 5). A single partition with
+//! 1-based grid coordinates `(i_1, …, i_d)` compares against
+//! `ρ_dom = i_1·i_2·…·i_d − 1` partitions (Equation 6); summing over a
+//! surface gives `κ` (Equation 7), and summing over the `d` surfaces while
+//! subtracting their pairwise overlaps gives the mapper bound `κ_mapper`
+//! (Equation 8). A reducer of MR-GPMRS handles one surface-shaped
+//! independent group, so its bound is the first (overlap-free) surface sum:
+//! `κ_reducer = κ_1` (Equation 9).
+//!
+//! All quantities are exact integer computations in `u128` (the sums grow
+//! like `(n(n+1)/2)^{d−1}`).
+
+/// `ρ_rem(n, d) = n^d − (n−1)^d`: partitions remaining after bitstring
+/// pruning when every partition is non-empty (Equation 5).
+pub fn rho_rem(n: u64, d: u32) -> u64 {
+    n.pow(d) - (n - 1).pow(d)
+}
+
+/// `ρ_dom` (Equation 6): partition-wise comparisons for a single partition
+/// with **1-based** grid coordinates `coords`.
+pub fn rho_dom(coords: &[u64]) -> u128 {
+    coords.iter().map(|&c| c as u128).product::<u128>() - 1
+}
+
+/// Sum `Σ_{i=a}^{n} i`, the per-dimension factor of a surface sum.
+fn tri_range(a: u64, n: u64) -> u128 {
+    if a > n {
+        return 0;
+    }
+    let full = (n as u128 * (n as u128 + 1)) / 2;
+    let skipped = (a as u128 * (a as u128 - 1)) / 2;
+    full - skipped
+}
+
+/// `κ_j(n, d)`: partition-wise comparisons on the `j`-th origin surface,
+/// with overlaps against surfaces `1..j` removed (the itemized sums before
+/// Equation 8). `j` is 1-based; the surface is `d−1`-dimensional with its
+/// first `j−1` free coordinates starting from 2 instead of 1.
+///
+/// For `d = 1` a surface is a single partition with coordinate product 1,
+/// so every `κ_j(n, 1) = 0`.
+pub fn kappa_surface(n: u64, d: u32, j: u32) -> u128 {
+    assert!(j >= 1 && j <= d, "surface index {j} out of 1..={d}");
+    if d == 1 {
+        return 0;
+    }
+    let vars = (d - 1) as usize;
+    // Saturating products: combinatorially absurd inputs (say n = 1000 at
+    // d = 10) pin to u128::MAX instead of wrapping — the estimate is "more
+    // comparisons than you can ever run" either way.
+    let mut product: u128 = 1; // Π_k Σ_{i=a_k}^n i
+    let mut terms: u128 = 1; // number of summands = Π_k (n − a_k + 1)
+    for k in 0..vars {
+        let a = if (k as u32) < j - 1 { 2 } else { 1 };
+        product = product.saturating_mul(tri_range(a, n));
+        // Number of summands on this axis; zero when the range is empty
+        // (a > n, e.g. overlap-corrected surfaces of a 1-PPD grid).
+        let count = if n >= a { (n - a + 1) as u128 } else { 0 };
+        terms = terms.saturating_mul(count);
+    }
+    debug_assert!(product >= terms, "surface sum must dominate its term count");
+    product - terms
+}
+
+/// `κ_mapper(n, d) = Σ_{j=1}^{d} κ_j` (Equation 8): the worst-case
+/// partition-wise comparisons on one mapper (also the single reducer of
+/// MR-GPSRS, by the model's assumptions).
+pub fn kappa_mapper(n: u64, d: u32) -> u128 {
+    (1..=d)
+        .map(|j| kappa_surface(n, d, j))
+        .fold(0u128, u128::saturating_add)
+}
+
+/// `κ_reducer(n, d) = κ_1` (Equation 9): the worst-case partition-wise
+/// comparisons on the busiest MR-GPMRS reducer — the biggest independent
+/// group is one full surface, counted without overlap deductions.
+pub fn kappa_reducer(n: u64, d: u32) -> u128 {
+    kappa_surface(n, d, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_rem_matches_paper_example() {
+        // Section 6: 3×3 grid -> 3² − 2² = 5 remaining partitions.
+        assert_eq!(rho_rem(3, 2), 5);
+        assert_eq!(rho_rem(2, 8), 256 - 1);
+        assert_eq!(rho_rem(4, 3), 64 - 27);
+        assert_eq!(rho_rem(1, 4), 1);
+    }
+
+    #[test]
+    fn rho_dom_matches_paper_example() {
+        // Section 6: partition with 1-based coordinates (1,3) -> 1×3−1 = 2.
+        assert_eq!(rho_dom(&[1, 3]), 2);
+        assert_eq!(rho_dom(&[1, 1]), 0);
+        assert_eq!(rho_dom(&[3, 3]), 8);
+    }
+
+    #[test]
+    fn surface_sums_for_3x3() {
+        // d=2, n=3: κ1 = Σ_{i=1}^3 (i−1) = 3; κ2 = Σ_{i=2}^3 (i−1) = 3.
+        assert_eq!(kappa_surface(3, 2, 1), 3);
+        assert_eq!(kappa_surface(3, 2, 2), 3);
+        assert_eq!(kappa_mapper(3, 2), 6);
+        assert_eq!(kappa_reducer(3, 2), 3);
+    }
+
+    /// Brute-force κ_mapper: enumerate the d origin surfaces with overlap
+    /// removal (a partition counted once, on its first surface) and sum
+    /// ρ_dom over them.
+    fn kappa_mapper_brute(n: u64, d: u32) -> u128 {
+        let d = d as usize;
+        let mut total: u128 = 0;
+        // Enumerate all partitions with 1-based coords via odometer.
+        let mut coords = vec![1u64; d];
+        loop {
+            // Is this partition on some origin surface (any coord == 1)?
+            if let Some(first_surface) = coords.iter().position(|&c| c == 1) {
+                // Count it on its *first* surface only — overlap handling:
+                // surface j covers partitions with coord_j == 1 and all
+                // earlier coords >= 2.
+                let _ = first_surface;
+                total += rho_dom(&coords);
+            }
+            // Odometer advance.
+            let mut k = 0;
+            loop {
+                if k == d {
+                    return total;
+                }
+                if coords[k] < n {
+                    coords[k] += 1;
+                    break;
+                }
+                coords[k] = 1;
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn kappa_mapper_equals_brute_force_surface_enumeration() {
+        for (n, d) in [
+            (2u64, 2u32),
+            (3, 2),
+            (4, 2),
+            (2, 3),
+            (3, 3),
+            (4, 3),
+            (2, 4),
+            (3, 4),
+            (2, 5),
+        ] {
+            assert_eq!(
+                kappa_mapper(n, d),
+                kappa_mapper_brute(n, d),
+                "κ_mapper mismatch n={n} d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn kappa_reducer_is_the_largest_surface() {
+        for (n, d) in [(3u64, 2u32), (4, 3), (2, 8), (5, 4)] {
+            let k1 = kappa_reducer(n, d);
+            for j in 2..=d {
+                assert!(
+                    kappa_surface(n, d, j) <= k1,
+                    "surface {j} exceeds surface 1 for n={n} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kappa_is_monotone_in_n_and_d() {
+        assert!(kappa_mapper(4, 3) > kappa_mapper(3, 3));
+        assert!(kappa_mapper(3, 4) > kappa_mapper(3, 3));
+        assert!(kappa_reducer(4, 3) > kappa_reducer(3, 3));
+    }
+
+    #[test]
+    fn one_dimensional_model_is_zero() {
+        assert_eq!(kappa_mapper(5, 1), 0);
+        assert_eq!(kappa_reducer(5, 1), 0);
+    }
+
+    #[test]
+    fn tri_range_basics() {
+        assert_eq!(tri_range(1, 3), 6);
+        assert_eq!(tri_range(2, 3), 5);
+        assert_eq!(tri_range(4, 3), 0);
+    }
+
+    #[test]
+    fn large_inputs_do_not_overflow() {
+        // Realistic extremes of the paper's parameter space.
+        assert!(kappa_mapper(1000, 2) > 0); // high PPD, low dim
+        assert!(kappa_mapper(4, 10) > 0); // low PPD, high dim
+                                          // Absurd combinations saturate instead of wrapping.
+        assert!(kappa_mapper(1000, 10) >= kappa_mapper(1000, 9));
+    }
+}

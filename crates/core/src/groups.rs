@@ -1,0 +1,434 @@
+//! Independent partition groups (paper Sections 5.1–5.2) and their
+//! distribution to reducers (Sections 5.3–5.4).
+//!
+//! An *independent partition group* `P_I` is a set of partitions closed
+//! under anti-dominating regions: `∀p ∈ P_I ⇒ ADR(p) ⊆ P_I` (Definition 5,
+//! restricted to surviving partitions — empty and dominated partitions
+//! contribute no skyline tuples, see the module docs of [`crate::grid`]).
+//! Lemma 2 then guarantees the skyline of the tuples in `P_I` is a subset
+//! of the global skyline, so each group can be finalized by a reducer in
+//! isolation.
+//!
+//! Generation (Algorithm 7) repeatedly takes the surviving partition with
+//! the **largest index** as a seed — with column-major indexing that
+//! partition is always a *maximum partition* (Definition 6) among the
+//! remaining set, because `q.c ≥ p.c` componentwise implies
+//! `index(q) ≥ index(p)` — and forms the group `{seed} ∪ ADR(seed)`.
+//! Partitions may be replicated across groups (paper Figure 6).
+//!
+//! When there are more groups than reducers, groups are **merged**
+//! (Section 5.4.1) under one of two policies; and because replicated
+//! partitions would be reported by several reducers, exactly one bucket is
+//! **designated responsible** for each partition (Section 5.4.2).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::bitstring::Bitstring;
+
+/// One independent partition group: a seed (maximum partition) plus every
+/// surviving partition in its anti-dominating region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndependentGroup {
+    /// The maximum partition this group was grown from.
+    pub seed: u32,
+    /// All partitions of the group, sorted ascending; includes `seed`.
+    pub partitions: Vec<u32>,
+}
+
+impl IndependentGroup {
+    /// The paper's computation-cost estimate for the group: `|ADR(seed)|`
+    /// restricted to surviving partitions, i.e. the group size minus the
+    /// seed itself.
+    pub fn cost(&self) -> u64 {
+        (self.partitions.len() - 1) as u64
+    }
+}
+
+/// Generates independent partition groups from a (pruned) bitstring
+/// (Algorithm 7).
+pub fn generate_independent_groups(bs: &Bitstring) -> Vec<IndependentGroup> {
+    let grid = bs.grid();
+    let mut working = bs.bits().clone();
+    let mut groups = Vec::new();
+    while let Some(seed) = working.highest_one() {
+        let mut partitions: Vec<u32> = grid
+            .adr(seed)
+            .filter(|&q| bs.is_set(q))
+            .map(|q| q as u32)
+            .collect();
+        partitions.push(seed as u32);
+        partitions.sort_unstable();
+        for &p in &partitions {
+            if working.get(p as usize) {
+                working.clear(p as usize);
+            }
+        }
+        groups.push(IndependentGroup {
+            seed: seed as u32,
+            partitions,
+        });
+    }
+    groups
+}
+
+/// How groups are merged when there are more groups than reducers
+/// (Section 5.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Balance the estimated computation cost (`|seed.ADR|`) across
+    /// reducers — the option the paper found superior and uses in its
+    /// experiments.
+    ComputationCost,
+    /// Merge groups sharing the most partitions, minimizing replicated
+    /// communication — the alternative the paper describes and rejects for
+    /// load-balance reasons. Kept for the ablation benchmarks.
+    CommunicationCost,
+}
+
+/// One reducer's share of the groups.
+#[derive(Debug, Clone, Default)]
+pub struct Bucket {
+    /// Indices into [`GroupPlan::groups`] of the merged groups.
+    pub group_indices: Vec<usize>,
+    /// Union of the partitions of all merged groups.
+    pub partitions: BTreeSet<u32>,
+    /// Total estimated computation cost.
+    pub cost: u64,
+}
+
+/// The deterministic distribution plan every mapper (and the driver)
+/// derives from the bitstring: groups, merged buckets, and per-partition
+/// responsibility designations.
+#[derive(Debug, Clone)]
+pub struct GroupPlan {
+    /// All independent groups, in generation order.
+    pub groups: Vec<IndependentGroup>,
+    /// Reducer buckets (at most the requested reducer count).
+    pub buckets: Vec<Bucket>,
+    /// For each partition, the single bucket that must output its local
+    /// skyline (duplicate elimination, Section 5.4.2).
+    pub designated: BTreeMap<u32, usize>,
+}
+
+impl GroupPlan {
+    /// Number of reducers the plan actually uses.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// Builds the full distribution plan for `reducers` reducers.
+///
+/// Deterministic: depends only on the bitstring contents, the reducer
+/// count, and the policy — the property MR-GPMRS relies on for all mappers
+/// to derive identical plans ("this step is the same on all mappers",
+/// Section 5.3).
+///
+/// ```
+/// use skymr::bitstring::Bitstring;
+/// use skymr::groups::{plan_groups, MergePolicy};
+/// use skymr::Grid;
+/// use skymr_common::BitGrid;
+///
+/// // The paper's Figure 6 occupancy on a 3×3 grid.
+/// let grid = Grid::new(2, 3).unwrap();
+/// let mut bits = BitGrid::zeros(9);
+/// for i in [1, 2, 3, 4, 6] {
+///     bits.set(i);
+/// }
+/// let bs = Bitstring::from_parts(grid, bits);
+/// let plan = plan_groups(&bs, 2, MergePolicy::ComputationCost);
+/// assert_eq!(plan.groups.len(), 3); // IG1={3,6}, IG2={1,3,4}, IG3={1,2}
+/// assert_eq!(plan.num_buckets(), 2);
+/// assert_eq!(plan.designated.len(), 5); // every partition exactly once
+/// ```
+pub fn plan_groups(bs: &Bitstring, reducers: usize, policy: MergePolicy) -> GroupPlan {
+    assert!(reducers > 0, "plan needs at least one reducer");
+    let groups = generate_independent_groups(bs);
+    let num_buckets = reducers.min(groups.len());
+    let mut buckets: Vec<Bucket> = (0..num_buckets).map(|_| Bucket::default()).collect();
+
+    // Merge order: largest first so the greedy placements balance well.
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    match policy {
+        MergePolicy::ComputationCost => {
+            order.sort_by_key(|&i| (std::cmp::Reverse(groups[i].cost()), groups[i].seed));
+            for gi in order {
+                // Least-loaded bucket (ties -> lowest index): LPT balancing
+                // of the per-group cost estimates.
+                let (bi, _) = buckets
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, b)| (b.cost, *i))
+                    .expect("at least one bucket");
+                assign(&mut buckets[bi], gi, &groups[gi]);
+            }
+        }
+        MergePolicy::CommunicationCost => {
+            order.sort_by_key(|&i| {
+                (
+                    std::cmp::Reverse(groups[i].partitions.len()),
+                    groups[i].seed,
+                )
+            });
+            for (slot, &gi) in order.iter().take(num_buckets).enumerate() {
+                assign(&mut buckets[slot], gi, &groups[gi]);
+            }
+            for &gi in order.iter().skip(num_buckets) {
+                // Bucket sharing the most partitions with this group
+                // (ties -> smaller bucket, then lowest index).
+                let (bi, _) = buckets
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(i, b)| {
+                        let overlap = groups[gi]
+                            .partitions
+                            .iter()
+                            .filter(|p| b.partitions.contains(p))
+                            .count();
+                        (
+                            overlap,
+                            std::cmp::Reverse(b.partitions.len()),
+                            std::cmp::Reverse(*i),
+                        )
+                    })
+                    .expect("at least one bucket");
+                assign(&mut buckets[bi], gi, &groups[gi]);
+            }
+        }
+    }
+
+    // Responsibility designation: the group with the minimal cost estimate
+    // wins the partitions it replicates (ties -> smaller seed), so already
+    // expensive reducers are not burdened further (Section 5.4.2).
+    let mut responsible_group: BTreeMap<u32, usize> = BTreeMap::new();
+    for (gi, g) in groups.iter().enumerate() {
+        for &p in &g.partitions {
+            let better = match responsible_group.get(&p) {
+                None => true,
+                Some(&cur) => (g.cost(), g.seed) < (groups[cur].cost(), groups[cur].seed),
+            };
+            if better {
+                responsible_group.insert(p, gi);
+            }
+        }
+    }
+    let group_to_bucket: BTreeMap<usize, usize> = buckets
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, b)| b.group_indices.iter().map(move |&gi| (gi, bi)))
+        .collect();
+    let designated = responsible_group
+        .into_iter()
+        .map(|(p, gi)| (p, group_to_bucket[&gi]))
+        .collect();
+
+    GroupPlan {
+        groups,
+        buckets,
+        designated,
+    }
+}
+
+fn assign(bucket: &mut Bucket, group_index: usize, group: &IndependentGroup) {
+    bucket.group_indices.push(group_index);
+    bucket.partitions.extend(group.partitions.iter().copied());
+    bucket.cost += group.cost();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use skymr_common::BitGrid;
+
+    /// Figure 6's occupancy: non-empty partitions {1,2,3,4,6} in a 3×3
+    /// grid (p8's block empty; nothing pruned).
+    fn figure6_bitstring() -> Bitstring {
+        let grid = Grid::new(2, 3).unwrap();
+        let mut bits = BitGrid::zeros(9);
+        for i in [1, 2, 3, 4, 6] {
+            bits.set(i);
+        }
+        Bitstring::from_parts(grid, bits)
+    }
+
+    #[test]
+    fn figure6_groups_match_paper() {
+        let groups = generate_independent_groups(&figure6_bitstring());
+        // Paper: IG1 = {p3, p6}, IG2 = {p1, p3, p4}, IG3 = {p1, p2}.
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].seed, 6);
+        assert_eq!(groups[0].partitions, vec![3, 6]);
+        assert_eq!(groups[1].seed, 4);
+        assert_eq!(groups[1].partitions, vec![1, 3, 4]);
+        assert_eq!(groups[2].seed, 2);
+        assert_eq!(groups[2].partitions, vec![1, 2]);
+    }
+
+    #[test]
+    fn groups_cover_all_surviving_partitions() {
+        let bs = figure6_bitstring();
+        let groups = generate_independent_groups(&bs);
+        let covered: BTreeSet<u32> = groups.iter().flat_map(|g| g.partitions.clone()).collect();
+        let surviving: BTreeSet<u32> = bs.iter_set().map(|p| p as u32).collect();
+        assert_eq!(covered, surviving);
+    }
+
+    #[test]
+    fn groups_are_adr_closed() {
+        // Definition 5 restricted to surviving partitions: for every p in a
+        // group, every surviving q ∈ ADR(p) is also in the group.
+        let bs = figure6_bitstring();
+        let grid = bs.grid();
+        for g in generate_independent_groups(&bs) {
+            let set: BTreeSet<u32> = g.partitions.iter().copied().collect();
+            for &p in &g.partitions {
+                for q in grid.adr(p as usize) {
+                    if bs.is_set(q) {
+                        assert!(
+                            set.contains(&(q as u32)),
+                            "group seeded at {} misses {} ∈ ADR({p})",
+                            g.seed,
+                            q
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_maximum_partitions() {
+        // A seed must not lie in the ADR of any other surviving partition
+        // that is still unassigned when it is chosen; the simplest sound
+        // check: the seed of group k is not in the ADR of any later seed.
+        let bs = figure6_bitstring();
+        let grid = bs.grid();
+        let groups = generate_independent_groups(&bs);
+        for (i, g) in groups.iter().enumerate() {
+            for later in &groups[i + 1..] {
+                assert!(
+                    !grid.in_adr(later.seed as usize, g.seed as usize) || g.seed == later.seed,
+                    "seed {} is inside ADR of later seed {}",
+                    g.seed,
+                    later.seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_bitstring_yields_no_groups() {
+        let grid = Grid::new(2, 3).unwrap();
+        let bs = Bitstring::empty(grid);
+        assert!(generate_independent_groups(&bs).is_empty());
+        let plan = plan_groups(&bs, 4, MergePolicy::ComputationCost);
+        assert_eq!(plan.num_buckets(), 0);
+        assert!(plan.designated.is_empty());
+    }
+
+    #[test]
+    fn plan_uses_at_most_requested_reducers() {
+        let bs = figure6_bitstring();
+        for r in 1..=5 {
+            let plan = plan_groups(&bs, r, MergePolicy::ComputationCost);
+            assert!(plan.num_buckets() <= r);
+            assert!(plan.num_buckets() <= plan.groups.len());
+            // Every group lands in exactly one bucket.
+            let mut seen = BTreeSet::new();
+            for b in &plan.buckets {
+                for &gi in &b.group_indices {
+                    assert!(seen.insert(gi), "group {gi} assigned twice");
+                }
+            }
+            assert_eq!(seen.len(), plan.groups.len());
+        }
+    }
+
+    #[test]
+    fn designations_cover_every_partition_exactly_once() {
+        let bs = figure6_bitstring();
+        for policy in [MergePolicy::ComputationCost, MergePolicy::CommunicationCost] {
+            for r in 1..=4 {
+                let plan = plan_groups(&bs, r, policy);
+                let surviving: BTreeSet<u32> = bs.iter_set().map(|p| p as u32).collect();
+                assert_eq!(
+                    plan.designated.keys().copied().collect::<BTreeSet<u32>>(),
+                    surviving
+                );
+                // The designated bucket actually holds the partition.
+                for (&p, &bi) in &plan.designated {
+                    assert!(
+                        plan.buckets[bi].partitions.contains(&p),
+                        "partition {p} designated to bucket {bi} that lacks it"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn designation_prefers_cheapest_group() {
+        // Figure 6: p3 is in IG1 (cost 1) and IG2 (cost 2) -> IG1 wins;
+        // p1 is in IG2 (cost 2) and IG3 (cost 1) -> IG3 wins.
+        let bs = figure6_bitstring();
+        let plan = plan_groups(&bs, 3, MergePolicy::ComputationCost);
+        let bucket_of_group = |gi: usize| {
+            plan.buckets
+                .iter()
+                .position(|b| b.group_indices.contains(&gi))
+                .unwrap()
+        };
+        assert_eq!(plan.designated[&3], bucket_of_group(0), "p3 belongs to IG1");
+        assert_eq!(plan.designated[&1], bucket_of_group(2), "p1 belongs to IG3");
+    }
+
+    #[test]
+    fn computation_cost_merging_balances_load() {
+        // An 8×8 anti-diagonal plus the origin: eight groups of cost 1
+        // (each anti-diagonal partition plus the origin), which two buckets
+        // must split evenly.
+        let grid = Grid::new(2, 8).unwrap();
+        let mut bits = BitGrid::zeros(64);
+        bits.set(grid.index_of(&[0, 0]));
+        for i in 0..8 {
+            bits.set(grid.index_of(&[i, 7 - i]));
+        }
+        let bs = Bitstring::from_parts(grid, bits);
+        let plan = plan_groups(&bs, 2, MergePolicy::ComputationCost);
+        assert_eq!(plan.num_buckets(), 2);
+        let costs: Vec<u64> = plan.buckets.iter().map(|b| b.cost).collect();
+        let max = *costs.iter().max().unwrap();
+        let min = *costs.iter().min().unwrap();
+        assert!(max - min <= 1, "unbalanced buckets: {costs:?}");
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let bs = figure6_bitstring();
+        for policy in [MergePolicy::ComputationCost, MergePolicy::CommunicationCost] {
+            let a = plan_groups(&bs, 2, policy);
+            let b = plan_groups(&bs, 2, policy);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "plan not deterministic");
+        }
+    }
+
+    #[test]
+    fn communication_policy_prefers_overlap() {
+        let bs = figure6_bitstring();
+        // Groups: IG1{3,6} IG2{1,3,4} IG3{1,2}. With 2 buckets and
+        // communication merging, IG2 (largest) and IG1/IG3 seed the
+        // buckets; the leftover group joins whichever shares more
+        // partitions.
+        let plan = plan_groups(&bs, 2, MergePolicy::CommunicationCost);
+        assert_eq!(plan.num_buckets(), 2);
+        let total_partitions: usize = plan.buckets.iter().map(|b| b.partitions.len()).sum();
+        let comp = plan_groups(&bs, 2, MergePolicy::ComputationCost);
+        let comp_total: usize = comp.buckets.iter().map(|b| b.partitions.len()).sum();
+        assert!(
+            total_partitions <= comp_total,
+            "communication merging should not replicate more than computation merging here"
+        );
+    }
+}

@@ -1,0 +1,445 @@
+//! Per-partition local skylines: `InsertTuple` (Algorithm 4) and
+//! `ComparePartitions` (Algorithm 5).
+//!
+//! Both MR-GPSRS and MR-GPMRS maintain, per grid partition, the skyline of
+//! the tuples seen so far ([`insert_tuple`], a BNL-style window update) and
+//! then eliminate *false positives* — local skyline tuples dominated by a
+//! tuple of another partition — by comparing each partition only against
+//! the partitions in its anti-dominating region ([`compare_partitions`]).
+//!
+//! The module also tracks the two comparison counts the paper's cost model
+//! and Figure 11 are about: partition-wise comparisons (executions of
+//! Algorithm 5's line 3 body, one per `(p, p_i ∈ ADR(p))` pair) and
+//! tuple-wise dominance checks.
+
+use std::collections::BTreeMap;
+
+use skymr_common::dominance::{compare, dominates, DomOrdering};
+use skymr_common::Tuple;
+
+use crate::grid::Grid;
+
+/// Comparison-work tally for one task (mapper or reducer).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CmpStats {
+    /// Partition-wise comparisons: pairs `(p, p_i)` with `p_i ∈ ADR(p)`
+    /// whose skylines were compared (the paper's κ unit).
+    pub partition_cmps: u64,
+    /// Tuple-dominance checks performed.
+    pub tuple_cmps: u64,
+}
+
+impl CmpStats {
+    /// Accumulates another tally into this one.
+    pub fn absorb(&mut self, other: CmpStats) {
+        self.partition_cmps += other.partition_cmps;
+        self.tuple_cmps += other.tuple_cmps;
+    }
+}
+
+/// The local skylines of one task, keyed by partition index.
+///
+/// A `BTreeMap` keeps partition order deterministic, which in turn makes
+/// emitted MapReduce values — and therefore the whole pipeline — exactly
+/// reproducible across runs and retries.
+pub type LocalSkylines = BTreeMap<u32, Vec<Tuple>>;
+
+/// Algorithm 4 (`InsertTuple`): BNL window update of a local skyline.
+///
+/// Adds `t` to `s` unless some tuple of `s` dominates it; removes tuples of
+/// `s` that `t` dominates. Returns `true` iff `t` was inserted. Each window
+/// tuple is examined once with a single joint comparison.
+pub fn insert_tuple(s: &mut Vec<Tuple>, t: Tuple, stats: &mut CmpStats) -> bool {
+    let mut i = 0;
+    while i < s.len() {
+        stats.tuple_cmps += 1;
+        match compare(&s[i], &t) {
+            // An existing tuple dominates t: t is discarded. No earlier
+            // removals can have happened (s was a skyline and dominance is
+            // transitive), so returning here is safe.
+            DomOrdering::Dominates => return false,
+            // t dominates an existing tuple: evict it.
+            DomOrdering::DominatedBy => {
+                s.swap_remove(i);
+            }
+            DomOrdering::Incomparable => i += 1,
+        }
+    }
+    s.push(t);
+    true
+}
+
+/// Inserts `t` into the local skyline of its grid partition, respecting the
+/// bitstring filter the caller applied (Algorithm 3 / 8, lines 2–8).
+pub fn insert_into_partition(
+    skylines: &mut LocalSkylines,
+    partition: u32,
+    t: Tuple,
+    stats: &mut CmpStats,
+) {
+    insert_tuple(skylines.entry(partition).or_default(), t, stats);
+}
+
+/// Algorithm 5 (`ComparePartitions`): removes from partition `p`'s local
+/// skyline every tuple dominated by a tuple of another partition's skyline,
+/// considering only partitions in `ADR(p)`.
+///
+/// `others` yields `(partition, skyline)` pairs; entries not in `ADR(p)`
+/// are skipped (and not counted). Returns the number of tuples removed.
+pub fn compare_partitions<'a>(
+    grid: &Grid,
+    p: u32,
+    sp: &mut Vec<Tuple>,
+    others: impl Iterator<Item = (u32, &'a [Tuple])>,
+    stats: &mut CmpStats,
+) -> usize {
+    let before = sp.len();
+    let mut p_coords = vec![0usize; grid.dim()];
+    grid.coords_into(p as usize, &mut p_coords);
+    let mut q_coords = vec![0usize; grid.dim()];
+    for (q, sq) in others {
+        if q == p {
+            continue;
+        }
+        grid.coords_into(q as usize, &mut q_coords);
+        // q ∈ ADR(p) ⟺ q.c ≤ p.c componentwise.
+        if !q_coords.iter().zip(p_coords.iter()).all(|(&b, &a)| b <= a) {
+            continue;
+        }
+        stats.partition_cmps += 1;
+        sp.retain(|t| {
+            for tq in sq {
+                stats.tuple_cmps += 1;
+                if dominates(tq, t) {
+                    return false;
+                }
+            }
+            true
+        });
+        if sp.is_empty() {
+            break;
+        }
+    }
+    before - sp.len()
+}
+
+/// Applies [`compare_partitions`] to every partition of `skylines` against
+/// all the others (Algorithm 3 lines 9–10 and Algorithm 6 lines 7–8).
+/// Partitions emptied by the comparison are dropped from the map.
+pub fn compare_all_partitions(grid: &Grid, skylines: &mut LocalSkylines, stats: &mut CmpStats) {
+    let partitions: Vec<u32> = skylines.keys().copied().collect();
+    for &p in &partitions {
+        let mut sp = skylines.remove(&p).expect("partition listed but missing");
+        compare_partitions(
+            grid,
+            p,
+            &mut sp,
+            skylines.iter().map(|(&q, sq)| (q, sq.as_slice())),
+            stats,
+        );
+        if !sp.is_empty() {
+            skylines.insert(p, sp);
+        }
+    }
+}
+
+/// Computes the skyline of `tuples` with plain BNL — the reference used by
+/// unit tests in this crate (the full baseline lives in `skymr-baselines`).
+pub fn bnl_reference(tuples: &[Tuple]) -> Vec<Tuple> {
+    let mut window: Vec<Tuple> = Vec::new();
+    let mut stats = CmpStats::default();
+    for t in tuples {
+        insert_tuple(&mut window, t.clone(), &mut stats);
+    }
+    window.sort_by_key(|t| t.id);
+    window
+}
+
+/// The algorithm a mapper uses for its per-partition local skylines.
+///
+/// The paper leaves single-node skyline computation as future work ("it is
+/// still interesting to optimize the local skyline computations and
+/// explore how such optimizations would affect the overall performance");
+/// this knob makes that exploration a configuration change. BNL streams
+/// (constant state per partition, no buffering); the sort-based kernels
+/// buffer the split and pay a sort for a strictly filter-only pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalAlgo {
+    /// Streaming block-nested-loops window (the paper's `InsertTuple`).
+    #[default]
+    Bnl,
+    /// Sort-filter-skyline: presort by the entropy score, filter once;
+    /// window tuples are never evicted.
+    Sfs,
+    /// Divide and conquer on the buffered partition contents.
+    Dnc,
+}
+
+/// Computes one partition's local skyline with the chosen kernel,
+/// counting tuple comparisons into `stats`.
+pub fn local_skyline(mut tuples: Vec<Tuple>, algo: LocalAlgo, stats: &mut CmpStats) -> Vec<Tuple> {
+    match algo {
+        LocalAlgo::Bnl => {
+            let mut window = Vec::new();
+            for t in tuples {
+                insert_tuple(&mut window, t, stats);
+            }
+            window
+        }
+        LocalAlgo::Sfs => {
+            tuples.sort_by(|a, b| {
+                a.score_entropy()
+                    .partial_cmp(&b.score_entropy())
+                    .expect("scores are finite on valid data")
+                    .then(a.id.cmp(&b.id))
+            });
+            let mut window: Vec<Tuple> = Vec::new();
+            'next: for t in tuples {
+                for w in &window {
+                    stats.tuple_cmps += 1;
+                    if dominates(w, &t) {
+                        continue 'next;
+                    }
+                }
+                window.push(t);
+            }
+            window
+        }
+        LocalAlgo::Dnc => dnc_local(&mut tuples, 0, stats),
+    }
+}
+
+/// Median-split divide and conquer over one partition's tuples.
+fn dnc_local(tuples: &mut Vec<Tuple>, depth: usize, stats: &mut CmpStats) -> Vec<Tuple> {
+    const BASE_CASE: usize = 48;
+    if tuples.is_empty() {
+        return Vec::new();
+    }
+    let dim = tuples[0].dim();
+    if tuples.len() <= BASE_CASE || depth >= 2 * dim {
+        return local_skyline(std::mem::take(tuples), LocalAlgo::Bnl, stats);
+    }
+    let split_dim = depth % dim;
+    let mid = tuples.len() / 2;
+    tuples.select_nth_unstable_by(mid, |a, b| {
+        a.values[split_dim]
+            .partial_cmp(&b.values[split_dim])
+            .expect("values are not NaN")
+            .then(a.id.cmp(&b.id))
+    });
+    let mut upper = tuples.split_off(mid);
+    let mut sky_lower = dnc_local(tuples, depth + 1, stats);
+    let sky_upper = dnc_local(&mut upper, depth + 1, stats);
+    let boundary = sky_lower
+        .iter()
+        .map(|t| t.values[split_dim])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let survivors: Vec<Tuple> = sky_upper
+        .into_iter()
+        .filter(|u| {
+            !sky_lower.iter().any(|l| {
+                stats.tuple_cmps += 1;
+                dominates(l, u)
+            })
+        })
+        .collect();
+    sky_lower.retain(|l| {
+        l.values[split_dim] < boundary
+            || !survivors.iter().any(|u| {
+                stats.tuple_cmps += 1;
+                dominates(u, l)
+            })
+    });
+    sky_lower.extend(survivors);
+    sky_lower
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64, vals: &[f64]) -> Tuple {
+        Tuple::new(id, vals.to_vec())
+    }
+
+    #[test]
+    fn insert_keeps_incomparable_tuples() {
+        let mut s = vec![];
+        let mut stats = CmpStats::default();
+        assert!(insert_tuple(&mut s, t(0, &[0.1, 0.9]), &mut stats));
+        assert!(insert_tuple(&mut s, t(1, &[0.9, 0.1]), &mut stats));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn insert_rejects_dominated_tuple() {
+        let mut s = vec![t(0, &[0.1, 0.1])];
+        let mut stats = CmpStats::default();
+        assert!(!insert_tuple(&mut s, t(1, &[0.5, 0.5]), &mut stats));
+        assert_eq!(s.len(), 1);
+        assert_eq!(stats.tuple_cmps, 1);
+    }
+
+    #[test]
+    fn insert_evicts_dominated_window_tuples() {
+        let mut s = vec![t(0, &[0.5, 0.5]), t(1, &[0.4, 0.9])];
+        let mut stats = CmpStats::default();
+        assert!(insert_tuple(&mut s, t(2, &[0.1, 0.1]), &mut stats));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].id, 2);
+    }
+
+    #[test]
+    fn insert_keeps_duplicates() {
+        // Equal vectors do not dominate each other (Definition 1 requires a
+        // strictly better dimension), so both stay — consistent with BNL.
+        let mut s = vec![t(0, &[0.3, 0.3])];
+        let mut stats = CmpStats::default();
+        assert!(insert_tuple(&mut s, t(1, &[0.3, 0.3]), &mut stats));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn bnl_reference_small_case() {
+        let tuples = vec![
+            t(0, &[0.2, 0.8]),
+            t(1, &[0.8, 0.2]),
+            t(2, &[0.5, 0.5]),
+            t(3, &[0.9, 0.9]),
+            t(4, &[0.1, 0.9]),
+        ];
+        let sky = bnl_reference(&tuples);
+        let ids: Vec<u64> = sky.iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn compare_partitions_removes_false_positives() {
+        let grid = Grid::new(2, 3).unwrap();
+        // p4 (center) vs p0 (origin): p0's tuple dominates one of p4's.
+        let p0 = grid.index_of(&[0, 0]) as u32;
+        let p4 = grid.index_of(&[1, 1]) as u32;
+        let s0 = vec![t(0, &[0.1, 0.4])];
+        let mut s4 = vec![t(1, &[0.4, 0.5]), t(2, &[0.6, 0.35])];
+        let mut stats = CmpStats::default();
+        let removed = compare_partitions(
+            &grid,
+            p4,
+            &mut s4,
+            std::iter::once((p0, s0.as_slice())),
+            &mut stats,
+        );
+        // t1 = (0.4,0.5) is dominated by (0.1,0.4); t2 = (0.6,0.35) is not.
+        assert_eq!(removed, 1);
+        assert_eq!(s4.len(), 1);
+        assert_eq!(s4[0].id, 2);
+        assert_eq!(stats.partition_cmps, 1);
+    }
+
+    #[test]
+    fn compare_partitions_skips_non_adr_partitions() {
+        let grid = Grid::new(2, 3).unwrap();
+        let p4 = grid.index_of(&[1, 1]) as u32;
+        let p2 = grid.index_of(&[2, 0]) as u32; // not in ADR(p4)
+        let s2 = vec![t(0, &[0.7, 0.01])];
+        let mut s4 = vec![t(1, &[0.4, 0.4])];
+        let mut stats = CmpStats::default();
+        compare_partitions(
+            &grid,
+            p4,
+            &mut s4,
+            std::iter::once((p2, s2.as_slice())),
+            &mut stats,
+        );
+        assert_eq!(s4.len(), 1, "non-ADR partition must not affect p4");
+        assert_eq!(stats.partition_cmps, 0, "non-ADR pairs are not counted");
+    }
+
+    #[test]
+    fn compare_all_drops_emptied_partitions() {
+        let grid = Grid::new(2, 2).unwrap();
+        let mut skylines = LocalSkylines::new();
+        skylines.insert(grid.index_of(&[0, 0]) as u32, vec![t(0, &[0.05, 0.05])]);
+        // Partition (1,1): its only tuple is dominated by p0's.
+        skylines.insert(grid.index_of(&[1, 1]) as u32, vec![t(1, &[0.8, 0.8])]);
+        let mut stats = CmpStats::default();
+        compare_all_partitions(&grid, &mut skylines, &mut stats);
+        assert_eq!(skylines.len(), 1);
+        assert!(skylines.contains_key(&(grid.index_of(&[0, 0]) as u32)));
+    }
+
+    #[test]
+    fn compare_all_matches_global_bnl() {
+        // Partition-aware elimination must agree with a flat BNL skyline.
+        let grid = Grid::new(2, 4).unwrap();
+        let tuples: Vec<Tuple> = (0..200)
+            .map(|i| {
+                let a = ((i * 37) % 199) as f64 / 199.0;
+                let b = ((i * 83) % 197) as f64 / 197.0;
+                t(i as u64, &[a, b])
+            })
+            .collect();
+        let mut skylines = LocalSkylines::new();
+        let mut stats = CmpStats::default();
+        for tup in &tuples {
+            let p = grid.partition_of(tup) as u32;
+            insert_into_partition(&mut skylines, p, tup.clone(), &mut stats);
+        }
+        compare_all_partitions(&grid, &mut skylines, &mut stats);
+        let mut got: Vec<Tuple> = skylines.into_values().flatten().collect();
+        got.sort_by_key(|x| x.id);
+        assert_eq!(got, bnl_reference(&tuples));
+        assert!(stats.partition_cmps > 0);
+        assert!(stats.tuple_cmps > 0);
+    }
+
+    #[test]
+    fn all_local_kernels_agree_with_bnl() {
+        let tuples: Vec<Tuple> = (0..300)
+            .map(|i| {
+                let a = ((i * 37) % 199) as f64 / 199.0;
+                let b = ((i * 83) % 197) as f64 / 197.0;
+                let c = ((i * 11) % 193) as f64 / 193.0;
+                t(i as u64, &[a, b, c])
+            })
+            .collect();
+        let expected = bnl_reference(&tuples);
+        for algo in [LocalAlgo::Bnl, LocalAlgo::Sfs, LocalAlgo::Dnc] {
+            let mut stats = CmpStats::default();
+            let mut got = local_skyline(tuples.clone(), algo, &mut stats);
+            got.sort_by_key(|x| x.id);
+            assert_eq!(got, expected, "{algo:?} kernel disagrees with BNL");
+            assert!(stats.tuple_cmps > 0, "{algo:?} counted no comparisons");
+        }
+    }
+
+    #[test]
+    fn local_kernels_handle_duplicates_and_empties() {
+        for algo in [LocalAlgo::Bnl, LocalAlgo::Sfs, LocalAlgo::Dnc] {
+            let mut stats = CmpStats::default();
+            assert!(local_skyline(vec![], algo, &mut stats).is_empty());
+            let dupes = vec![t(0, &[0.3, 0.3]), t(1, &[0.3, 0.3]), t(2, &[0.5, 0.5])];
+            let got = local_skyline(dupes, algo, &mut stats);
+            assert_eq!(got.len(), 2, "{algo:?} mishandled duplicates");
+        }
+    }
+
+    #[test]
+    fn cmp_stats_absorb_adds() {
+        let mut a = CmpStats {
+            partition_cmps: 1,
+            tuple_cmps: 10,
+        };
+        a.absorb(CmpStats {
+            partition_cmps: 2,
+            tuple_cmps: 5,
+        });
+        assert_eq!(
+            a,
+            CmpStats {
+                partition_cmps: 3,
+                tuple_cmps: 15
+            }
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! The result of running a skyline pipeline.
+
+use std::collections::BTreeMap;
+
+use skymr_common::Tuple;
+use skymr_mapreduce::PipelineMetrics;
+
+/// Structural facts about a pipeline run, for reports and assertions.
+#[derive(Debug, Clone, Default)]
+pub struct RunInfo {
+    /// PPD actually used (after auto-selection, if any).
+    pub ppd: usize,
+    /// Total grid partitions `n^d`.
+    pub partitions: usize,
+    /// Partitions flagged non-empty before pruning.
+    pub non_empty_partitions: usize,
+    /// Partitions surviving bitstring pruning (Equation 2).
+    pub surviving_partitions: usize,
+    /// Independent partition groups generated (MR-GPMRS only).
+    pub independent_groups: usize,
+    /// Reducer buckets after group merging (MR-GPMRS only).
+    pub buckets: usize,
+}
+
+/// Output of one skyline computation: the skyline itself plus metrics.
+#[derive(Debug)]
+pub struct SkylineRun {
+    /// The global skyline, sorted by tuple id (canonical order).
+    pub skyline: Vec<Tuple>,
+    /// Per-job simulated/measured metrics, in job order.
+    pub metrics: PipelineMetrics,
+    /// Merged job counters (comparison counts etc.).
+    pub counters: BTreeMap<String, u64>,
+    /// Structural run facts.
+    pub info: RunInfo,
+}
+
+impl SkylineRun {
+    /// The skyline tuple ids, sorted — the canonical comparison form.
+    pub fn skyline_ids(&self) -> Vec<u64> {
+        self.skyline.iter().map(|t| t.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skyline_ids_reflect_tuples() {
+        let run = SkylineRun {
+            skyline: vec![Tuple::new(2, vec![0.1]), Tuple::new(5, vec![0.2])],
+            metrics: PipelineMetrics::new(),
+            counters: BTreeMap::new(),
+            info: RunInfo::default(),
+        };
+        assert_eq!(run.skyline_ids(), vec![2, 5]);
+    }
+}

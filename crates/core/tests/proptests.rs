@@ -1,0 +1,226 @@
+//! Property tests for the paper's core machinery: grid geometry,
+//! bitstring pruning, independent groups, and the cost model.
+
+use proptest::prelude::*;
+
+use skymr::bitstring::Bitstring;
+use skymr::cost::{kappa_mapper, kappa_reducer, kappa_surface, rho_dom, rho_rem};
+use skymr::groups::{generate_independent_groups, plan_groups, MergePolicy};
+use skymr::local::{bnl_reference, compare_all_partitions, insert_into_partition, CmpStats};
+use skymr::Grid;
+use skymr_common::{dominance::dominates, BitGrid, Tuple};
+
+/// A random small grid (d, n) with n^d capped to keep cases fast.
+fn arb_grid() -> impl Strategy<Value = Grid> {
+    (1usize..=4, 1usize..=5)
+        .prop_filter("cap partitions", |(d, n)| n.pow(*d as u32) <= 700)
+        .prop_map(|(d, n)| Grid::new(d, n).expect("valid grid"))
+}
+
+/// A random bit pattern over a grid.
+fn arb_bitstring() -> impl Strategy<Value = Bitstring> {
+    arb_grid().prop_flat_map(|grid| {
+        proptest::collection::vec(any::<bool>(), grid.num_partitions()).prop_map(move |flags| {
+            let mut bits = BitGrid::zeros(grid.num_partitions());
+            for (i, f) in flags.iter().enumerate() {
+                if *f {
+                    bits.set(i);
+                }
+            }
+            Bitstring::from_parts(grid, bits)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn grid_index_coordinate_roundtrip(grid in arb_grid()) {
+        for i in 0..grid.num_partitions() {
+            prop_assert_eq!(grid.index_of(&grid.coords_of(i)), i);
+        }
+    }
+
+    #[test]
+    fn adr_and_dr_are_dual(grid in arb_grid()) {
+        for p in 0..grid.num_partitions() {
+            for q in grid.dr(p) {
+                // q is dominated by p, so p is an anti-dominator of q …
+                prop_assert!(grid.in_adr(q, p), "p={p} q={q}: DR/ADR duality broken");
+                // … and the dominance predicate agrees.
+                prop_assert!(grid.partition_dominates(p, q));
+            }
+            for q in grid.adr(p) {
+                prop_assert!(!grid.partition_dominates(p, q), "ADR member dominated by p");
+            }
+        }
+    }
+
+    #[test]
+    fn adr_size_matches_iterator(grid in arb_grid()) {
+        for p in 0..grid.num_partitions() {
+            prop_assert_eq!(grid.adr_size(p), grid.adr(p).count() as u64);
+        }
+    }
+
+    #[test]
+    fn partition_of_respects_cell_bounds(grid in arb_grid(), raw in proptest::collection::vec(0.0f64..1.0, 1..=4)) {
+        if raw.len() != grid.dim() {
+            return Ok(());
+        }
+        let t = Tuple::new(0, raw);
+        let p = grid.partition_of(&t);
+        let coords = grid.coords_of(p);
+        let w = 1.0 / grid.ppd() as f64;
+        for (k, &c) in coords.iter().enumerate() {
+            prop_assert!(t.values[k] >= c as f64 * w - 1e-12);
+            prop_assert!(t.values[k] < (c + 1) as f64 * w + 1e-12);
+        }
+    }
+
+    #[test]
+    fn prune_fast_equals_naive(bs in arb_bitstring()) {
+        let mut fast = bs.clone();
+        let mut naive = bs;
+        fast.prune_dominated();
+        naive.prune_dominated_naive();
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn pruning_never_removes_undominated_partitions(bs in arb_bitstring()) {
+        let mut pruned = bs.clone();
+        pruned.prune_dominated();
+        let grid = *bs.grid();
+        for p in 0..grid.num_partitions() {
+            let dominated = bs
+                .iter_set()
+                .any(|q| grid.partition_dominates(q, p));
+            if bs.is_set(p) {
+                prop_assert_eq!(
+                    pruned.is_set(p),
+                    !dominated,
+                    "partition {} wrongly pruned/kept", p
+                );
+            } else {
+                prop_assert!(!pruned.is_set(p));
+            }
+        }
+    }
+
+    #[test]
+    fn groups_cover_and_are_adr_closed(bs in arb_bitstring()) {
+        let mut pruned = bs;
+        pruned.prune_dominated();
+        let grid = *pruned.grid();
+        let groups = generate_independent_groups(&pruned);
+        let surviving: std::collections::BTreeSet<u32> =
+            pruned.iter_set().map(|p| p as u32).collect();
+        let covered: std::collections::BTreeSet<u32> =
+            groups.iter().flat_map(|g| g.partitions.iter().copied()).collect();
+        prop_assert_eq!(&covered, &surviving);
+        for g in &groups {
+            let members: std::collections::BTreeSet<u32> =
+                g.partitions.iter().copied().collect();
+            for &p in &g.partitions {
+                for q in grid.adr(p as usize) {
+                    if pruned.is_set(q) {
+                        prop_assert!(members.contains(&(q as u32)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plans_designate_every_partition_once(
+        bs in arb_bitstring(),
+        reducers in 1usize..6,
+        comm in any::<bool>(),
+    ) {
+        let mut pruned = bs;
+        pruned.prune_dominated();
+        let policy = if comm { MergePolicy::CommunicationCost } else { MergePolicy::ComputationCost };
+        let plan = plan_groups(&pruned, reducers, policy);
+        let surviving: std::collections::BTreeSet<u32> =
+            pruned.iter_set().map(|p| p as u32).collect();
+        prop_assert_eq!(
+            plan.designated.keys().copied().collect::<std::collections::BTreeSet<u32>>(),
+            surviving
+        );
+        for (&p, &b) in &plan.designated {
+            prop_assert!(b < plan.num_buckets());
+            prop_assert!(plan.buckets[b].partitions.contains(&p));
+        }
+        // Every group lands in exactly one bucket.
+        let mut assigned = std::collections::BTreeSet::new();
+        for bucket in &plan.buckets {
+            for &gi in &bucket.group_indices {
+                prop_assert!(assigned.insert(gi));
+            }
+        }
+        prop_assert_eq!(assigned.len(), plan.groups.len());
+    }
+
+    #[test]
+    fn local_skyline_machinery_equals_flat_bnl(
+        rows in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 3), 0..150),
+        ppd in 1usize..5,
+    ) {
+        let tuples: Vec<Tuple> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| Tuple::new(i as u64, v))
+            .collect();
+        let grid = Grid::new(3, ppd).expect("valid grid");
+        let mut skylines = skymr::local::LocalSkylines::new();
+        let mut stats = CmpStats::default();
+        for t in &tuples {
+            let p = grid.partition_of(t) as u32;
+            insert_into_partition(&mut skylines, p, t.clone(), &mut stats);
+        }
+        compare_all_partitions(&grid, &mut skylines, &mut stats);
+        let mut got: Vec<Tuple> = skylines.into_values().flatten().collect();
+        got.sort_by_key(|t| t.id);
+        prop_assert_eq!(got, bnl_reference(&tuples));
+    }
+
+    #[test]
+    fn window_is_always_an_antichain(
+        rows in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 2), 0..100),
+    ) {
+        let mut window = Vec::new();
+        let mut stats = CmpStats::default();
+        for (i, v) in rows.into_iter().enumerate() {
+            skymr::local::insert_tuple(&mut window, Tuple::new(i as u64, v), &mut stats);
+            for a in &window {
+                for b in &window {
+                    prop_assert!(!dominates(a, b), "window holds a dominated tuple");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_identities(n in 1u64..8, d in 1u32..6) {
+        // ρ_rem counts the union of the d origin surfaces.
+        let grid = Grid::new(d as usize, n as usize).expect("valid grid");
+        let on_surface = (0..grid.num_partitions())
+            .filter(|&p| grid.coords_of(p).contains(&0))
+            .count() as u64;
+        prop_assert_eq!(rho_rem(n, d), on_surface);
+        // κ_mapper sums ρ_dom over exactly those partitions.
+        let brute: u128 = (0..grid.num_partitions())
+            .filter(|&p| grid.coords_of(p).contains(&0))
+            .map(|p| {
+                let coords: Vec<u64> =
+                    grid.coords_of(p).iter().map(|&c| c as u64 + 1).collect();
+                rho_dom(&coords)
+            })
+            .sum();
+        prop_assert_eq!(kappa_mapper(n, d), brute);
+        // κ_reducer is the first surface and at least every later one.
+        for j in 1..=d {
+            prop_assert!(kappa_surface(n, d, j) <= kappa_reducer(n, d));
+        }
+    }
+}

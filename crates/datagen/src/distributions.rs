@@ -1,0 +1,302 @@
+//! The four synthetic distributions and their sampling routines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use skymr_common::{Dataset, Tuple};
+
+/// Upper bound used to keep generated values strictly below 1.0 after
+/// clamping (the data space is half-open, `[0,1)`).
+const MAX_VALUE: f64 = 1.0 - 1e-9;
+
+/// A synthetic data distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Each dimension i.i.d. uniform on `[0,1)`.
+    Independent,
+    /// Dimensions positively correlated around a common base value.
+    Correlated,
+    /// Dimensions anti-correlated around the hyperplane `Σ x_k = d/2`
+    /// (Börzsönyi et al.'s construction).
+    Anticorrelated,
+    /// Gaussian blobs around `clusters` random centers.
+    Clustered {
+        /// Number of blob centers.
+        clusters: usize,
+    },
+}
+
+impl Distribution {
+    /// A short machine-friendly name (used in CSV outputs and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distribution::Independent => "independent",
+            Distribution::Correlated => "correlated",
+            Distribution::Anticorrelated => "anticorrelated",
+            Distribution::Clustered { .. } => "clustered",
+        }
+    }
+}
+
+/// Generates a dataset of `cardinality` tuples of dimensionality `dim`.
+///
+/// Deterministic: the same `(dist, dim, cardinality, seed)` always yields
+/// the same dataset, so experiments are reproducible and algorithms can be
+/// compared on identical inputs.
+///
+/// ```
+/// use skymr_datagen::{generate, Distribution};
+///
+/// let data = generate(Distribution::Anticorrelated, 4, 1_000, 7);
+/// assert_eq!(data.len(), 1_000);
+/// assert_eq!(data.dim(), 4);
+/// assert_eq!(data, generate(Distribution::Anticorrelated, 4, 1_000, 7));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or (for [`Distribution::Clustered`]) if
+/// `clusters == 0`.
+pub fn generate(dist: Distribution, dim: usize, cardinality: usize, seed: u64) -> Dataset {
+    assert!(dim >= 1, "dimensionality must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5f3759df);
+    let mut tuples = Vec::with_capacity(cardinality);
+    let centers = match dist {
+        Distribution::Clustered { clusters } => {
+            assert!(
+                clusters >= 1,
+                "clustered distribution needs at least one cluster"
+            );
+            (0..clusters)
+                .map(|_| {
+                    (0..dim)
+                        .map(|_| rng.gen_range(0.1..0.9))
+                        .collect::<Vec<f64>>()
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    };
+    for id in 0..cardinality {
+        let values = match dist {
+            Distribution::Independent => independent(&mut rng, dim),
+            Distribution::Correlated => correlated(&mut rng, dim),
+            Distribution::Anticorrelated => anticorrelated(&mut rng, dim),
+            Distribution::Clustered { .. } => clustered(&mut rng, dim, &centers),
+        };
+        tuples.push(Tuple::new(id as u64, values));
+    }
+    Dataset::new_unchecked(dim, tuples)
+}
+
+fn clamp01(v: f64) -> f64 {
+    v.clamp(0.0, MAX_VALUE)
+}
+
+/// Standard normal via Box–Muller (avoids a dependency on `rand_distr`).
+fn normal(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+fn independent(rng: &mut StdRng, dim: usize) -> Vec<f64> {
+    (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+fn correlated(rng: &mut StdRng, dim: usize) -> Vec<f64> {
+    // All dimensions follow a common base value with small jitter, so good
+    // tuples are good everywhere: the skyline is tiny.
+    let base = clamp01(normal(rng, 0.5, 0.18));
+    (0..dim)
+        .map(|_| clamp01(base + normal(rng, 0.0, 0.05)))
+        .collect()
+}
+
+fn anticorrelated(rng: &mut StdRng, dim: usize) -> Vec<f64> {
+    // Börzsönyi et al.: points scattered tightly around hyperplanes
+    // Σ x_k = l (so that a tuple good in one dimension is bad in another),
+    // with the plane offset `l/d` normally distributed around 0.5. The
+    // planes must be *tight* (small σ) relative to the within-plane spread:
+    // dominance then requires beating a tuple on every dimension across a
+    // narrow sum gap, which almost never happens — the signature huge
+    // skylines of anti-correlated data.
+    if dim == 1 {
+        return vec![clamp01(normal(rng, 0.5, 0.25))];
+    }
+    loop {
+        let c = normal(rng, 0.5, 0.05).clamp(0.2, 0.8);
+        let l = c * dim as f64;
+        // Uniform point on the simplex {x ≥ 0 : Σ x_k = l} via normalized
+        // exponential spacings.
+        let spacings: Vec<f64> = (0..dim)
+            .map(|_| -(rng.gen_range(f64::EPSILON..1.0f64)).ln())
+            .collect();
+        let total: f64 = spacings.iter().sum();
+        let values: Vec<f64> = spacings.into_iter().map(|e| e / total * l).collect();
+        // Reject points leaving the unit cube (only likely at low
+        // dimensionality, where `l` approaches 1).
+        if values.iter().all(|&v| v < MAX_VALUE) {
+            return values;
+        }
+    }
+}
+
+fn clustered(rng: &mut StdRng, dim: usize, centers: &[Vec<f64>]) -> Vec<f64> {
+    let center = &centers[rng.gen_range(0..centers.len())];
+    (0..dim)
+        .map(|k| clamp01(normal(rng, center[k], 0.05)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DISTS: [Distribution; 4] = [
+        Distribution::Independent,
+        Distribution::Correlated,
+        Distribution::Anticorrelated,
+        Distribution::Clustered { clusters: 3 },
+    ];
+
+    #[test]
+    fn values_stay_in_unit_interval() {
+        for dist in DISTS {
+            for dim in [1, 2, 5, 8] {
+                let ds = generate(dist, dim, 500, 42);
+                assert_eq!(ds.len(), 500);
+                assert_eq!(ds.dim(), dim);
+                for t in ds.tuples() {
+                    for &v in t.values.iter() {
+                        assert!(
+                            (0.0..1.0).contains(&v),
+                            "{dist:?} d={dim} value {v} out of range"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for dist in DISTS {
+            let a = generate(dist, 4, 200, 7);
+            let b = generate(dist, 4, 200, 7);
+            assert_eq!(a, b, "{dist:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(Distribution::Independent, 3, 100, 1);
+        let b = generate(Distribution::Independent, 3, 100, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let ds = generate(Distribution::Independent, 2, 10, 0);
+        let ids: Vec<u64> = ds.tuples().iter().map(|t| t.id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+    }
+
+    /// Pearson correlation between the first two dimensions.
+    fn pearson(ds: &Dataset) -> f64 {
+        let n = ds.len() as f64;
+        let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for t in ds.tuples() {
+            let (x, y) = (t.values[0], t.values[1]);
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+        }
+        let cov = sxy / n - (sx / n) * (sy / n);
+        let vx = sxx / n - (sx / n) * (sx / n);
+        let vy = syy / n - (sy / n) * (sy / n);
+        cov / (vx * vy).sqrt()
+    }
+
+    #[test]
+    fn correlated_data_has_positive_correlation() {
+        let ds = generate(Distribution::Correlated, 2, 5000, 11);
+        assert!(pearson(&ds) > 0.5, "correlation {} too weak", pearson(&ds));
+    }
+
+    #[test]
+    fn anticorrelated_data_has_negative_correlation() {
+        let ds = generate(Distribution::Anticorrelated, 2, 5000, 11);
+        assert!(
+            pearson(&ds) < -0.2,
+            "correlation {} not negative enough",
+            pearson(&ds)
+        );
+    }
+
+    #[test]
+    fn independent_data_has_near_zero_correlation() {
+        let ds = generate(Distribution::Independent, 2, 5000, 11);
+        assert!(
+            pearson(&ds).abs() < 0.1,
+            "correlation {} too strong",
+            pearson(&ds)
+        );
+    }
+
+    #[test]
+    fn independent_mean_is_centered() {
+        let ds = generate(Distribution::Independent, 3, 5000, 3);
+        let mean: f64 = ds.tuples().iter().map(|t| t.values[0]).sum::<f64>() / ds.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn anticorrelated_sum_is_concentrated() {
+        // The per-tuple value sum should cluster near d/2 much tighter than
+        // independent data does.
+        let d = 4;
+        let anti = generate(Distribution::Anticorrelated, d, 3000, 5);
+        let indep = generate(Distribution::Independent, d, 3000, 5);
+        let var_of_sum = |ds: &Dataset| {
+            let sums: Vec<f64> = ds.tuples().iter().map(Tuple::score_sum).collect();
+            let mean = sums.iter().sum::<f64>() / sums.len() as f64;
+            sums.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / sums.len() as f64
+        };
+        assert!(
+            var_of_sum(&anti) < var_of_sum(&indep) * 0.8,
+            "anticorrelated sums not concentrated: {} vs {}",
+            var_of_sum(&anti),
+            var_of_sum(&indep)
+        );
+    }
+
+    #[test]
+    fn clustered_needs_at_least_one_cluster() {
+        assert!(std::panic::catch_unwind(|| generate(
+            Distribution::Clustered { clusters: 0 },
+            2,
+            10,
+            0
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Distribution::Independent.name(), "independent");
+        assert_eq!(Distribution::Anticorrelated.name(), "anticorrelated");
+        assert_eq!(Distribution::Correlated.name(), "correlated");
+        assert_eq!(Distribution::Clustered { clusters: 2 }.name(), "clustered");
+    }
+
+    #[test]
+    fn zero_cardinality_is_fine() {
+        let ds = generate(Distribution::Independent, 2, 0, 0);
+        assert!(ds.is_empty());
+    }
+}

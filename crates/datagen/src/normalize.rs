@@ -1,0 +1,256 @@
+//! Normalization of raw, real-world attributes into the skyline data
+//! space.
+//!
+//! Every algorithm in this workspace works on `[0,1)^d` with
+//! *smaller-is-better* semantics (the paper's convention). Real data has
+//! arbitrary ranges and mixed optimization directions — hotel ratings are
+//! maximized, prices minimized. [`Normalizer`] learns per-column ranges
+//! from the raw rows and maps them into the canonical space, keeping
+//! enough information to map skyline answers back to the original units.
+
+use serde::{Deserialize, Serialize};
+
+use skymr_common::{Dataset, Error, Result, Tuple};
+
+/// Which direction is "better" for a raw column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Smaller raw values are better (price, distance, latency).
+    Minimize,
+    /// Larger raw values are better (rating, review count, throughput).
+    Maximize,
+}
+
+/// Per-column normalization parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (for reports).
+    pub name: String,
+    /// Optimization direction.
+    pub direction: Direction,
+    min: f64,
+    max: f64,
+}
+
+impl Column {
+    /// Raw → canonical: min-max scale, flipping maximized columns so that
+    /// smaller is better, clamped into `[0, 1)`.
+    fn to_canonical(&self, raw: f64) -> f64 {
+        let span = self.max - self.min;
+        let scaled = if span <= 0.0 {
+            0.0
+        } else {
+            (raw - self.min) / span
+        };
+        let oriented = match self.direction {
+            Direction::Minimize => scaled,
+            Direction::Maximize => 1.0 - scaled,
+        };
+        oriented.clamp(0.0, 1.0 - 1e-9)
+    }
+
+    /// Canonical → raw (inverse of [`Column::to_canonical`], up to the
+    /// clamp).
+    fn to_raw(&self, canonical: f64) -> f64 {
+        let oriented = match self.direction {
+            Direction::Minimize => canonical,
+            Direction::Maximize => 1.0 - canonical,
+        };
+        self.min + oriented * (self.max - self.min)
+    }
+}
+
+/// A fitted normalizer: maps raw rows to canonical tuples and back.
+///
+/// ```
+/// use skymr_datagen::{Direction, Normalizer};
+///
+/// let rows = vec![vec![120.0, 4.5], vec![90.0, 3.0]]; // (price, rating)
+/// let norm = Normalizer::fit(
+///     &[("price", Direction::Minimize), ("rating", Direction::Maximize)],
+///     &rows,
+/// )
+/// .unwrap();
+/// let data = norm.to_dataset(&rows).unwrap();
+/// // Cheaper is smaller; better-rated is smaller too (flipped).
+/// assert!(data.tuples()[1].values[0] < data.tuples()[0].values[0]);
+/// assert!(data.tuples()[0].values[1] < data.tuples()[1].values[1]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Normalizer {
+    columns: Vec<Column>,
+}
+
+impl Normalizer {
+    /// Learns per-column ranges from raw rows.
+    ///
+    /// `spec` names every column and its direction; every row must have
+    /// exactly one value per column and no NaNs.
+    pub fn fit(spec: &[(&str, Direction)], rows: &[Vec<f64>]) -> Result<Self> {
+        if spec.is_empty() {
+            return Err(Error::InvalidDimension(0));
+        }
+        let dim = spec.len();
+        let mut columns: Vec<Column> = spec
+            .iter()
+            .map(|(name, direction)| Column {
+                name: (*name).to_owned(),
+                direction: *direction,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            })
+            .collect();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != dim {
+                return Err(Error::DimensionMismatch {
+                    expected: dim,
+                    got: row.len(),
+                    tuple_id: i as u64,
+                });
+            }
+            for (col, &v) in columns.iter_mut().zip(row.iter()) {
+                if v.is_nan() {
+                    return Err(Error::ValueOutOfRange { tuple_id: i as u64 });
+                }
+                col.min = col.min.min(v);
+                col.max = col.max.max(v);
+            }
+        }
+        Ok(Self { columns })
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The fitted columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Maps raw rows into a canonical [`Dataset`]; tuple ids are the row
+    /// indexes, so answers can be joined back to the source records.
+    pub fn to_dataset(&self, rows: &[Vec<f64>]) -> Result<Dataset> {
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let values: Vec<f64> = self
+                    .columns
+                    .iter()
+                    .zip(row.iter())
+                    .map(|(c, &v)| c.to_canonical(v))
+                    .collect();
+                Tuple::new(i as u64, values)
+            })
+            .collect();
+        Dataset::new(self.dim(), tuples)
+    }
+
+    /// Maps a canonical tuple back to raw units (column order).
+    pub fn to_raw_row(&self, t: &Tuple) -> Vec<f64> {
+        self.columns
+            .iter()
+            .zip(t.values.iter())
+            .map(|(c, &v)| c.to_raw(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skymr_common::dominance::dominates;
+
+    fn spec() -> Vec<(&'static str, Direction)> {
+        vec![
+            ("price", Direction::Minimize),
+            ("rating", Direction::Maximize),
+        ]
+    }
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![100.0, 4.5],
+            vec![300.0, 3.0],
+            vec![50.0, 2.0],
+            vec![500.0, 5.0],
+        ]
+    }
+
+    #[test]
+    fn fit_learns_ranges() {
+        let n = Normalizer::fit(&spec(), &rows()).unwrap();
+        assert_eq!(n.dim(), 2);
+        assert_eq!(n.columns()[0].name, "price");
+        assert_eq!(n.columns()[0].min, 50.0);
+        assert_eq!(n.columns()[0].max, 500.0);
+    }
+
+    #[test]
+    fn canonical_space_is_smaller_is_better() {
+        let n = Normalizer::fit(&spec(), &rows()).unwrap();
+        let ds = n.to_dataset(&rows()).unwrap();
+        // Cheapest hotel -> dimension 0 value 0; best rated -> dim 1 value 0.
+        assert!(ds.tuples()[2].values[0] < 1e-9);
+        assert!(ds.tuples()[3].values[1] < 1e-9);
+        // A cheaper AND better-rated hotel dominates in canonical space.
+        let a = Tuple::new(
+            10,
+            vec![
+                n.columns()[0].to_canonical(80.0),
+                n.columns()[1].to_canonical(4.9),
+            ],
+        );
+        let b = Tuple::new(
+            11,
+            vec![
+                n.columns()[0].to_canonical(200.0),
+                n.columns()[1].to_canonical(3.5),
+            ],
+        );
+        assert!(dominates(&a, &b));
+    }
+
+    #[test]
+    fn roundtrip_recovers_raw_values() {
+        let n = Normalizer::fit(&spec(), &rows()).unwrap();
+        let ds = n.to_dataset(&rows()).unwrap();
+        for (row, t) in rows().iter().zip(ds.tuples()) {
+            let back = n.to_raw_row(t);
+            for (orig, rec) in row.iter().zip(back.iter()) {
+                assert!(
+                    (orig - rec).abs() < 1e-6,
+                    "roundtrip drift: {orig} vs {rec}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_columns_collapse_to_zero() {
+        let spec = vec![("x", Direction::Minimize)];
+        let rows = vec![vec![7.0], vec![7.0]];
+        let n = Normalizer::fit(&spec, &rows).unwrap();
+        let ds = n.to_dataset(&rows).unwrap();
+        assert_eq!(ds.tuples()[0].values[0], 0.0);
+    }
+
+    #[test]
+    fn fit_validates_input() {
+        assert!(Normalizer::fit(&[], &[]).is_err());
+        let bad_row = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(Normalizer::fit(&spec(), &bad_row).is_err());
+        let nan_row = vec![vec![1.0, f64::NAN]];
+        assert!(Normalizer::fit(&spec(), &nan_row).is_err());
+    }
+
+    #[test]
+    fn ids_are_row_indexes() {
+        let n = Normalizer::fit(&spec(), &rows()).unwrap();
+        let ds = n.to_dataset(&rows()).unwrap();
+        let ids: Vec<u64> = ds.tuples().iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

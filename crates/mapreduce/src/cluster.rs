@@ -1,0 +1,267 @@
+//! The simulated cluster: topology, cost constants, and per-job metrics.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// Describes the (simulated) cluster a job runs on.
+///
+/// Defaults mirror the paper's testbed (Section 7.1): thirteen commodity
+/// machines connected by a 100 Mbit/s LAN, one map slot and one reduce slot
+/// per machine, Hadoop 1.1.0. Job-startup and per-task overheads give the
+/// algorithms the fixed-cost floor the paper's runtime plots show at small
+/// inputs; they are set to roughly one eighth of typical Hadoop-1 values
+/// because the default benchmark scale runs at a comparable fraction of the
+/// paper's cardinalities — a scale model that keeps the compute-to-overhead
+/// *ratios*, and therefore the relative shapes of the runtime curves,
+/// intact (see DESIGN.md).
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterConfig {
+    /// Number of worker machines.
+    pub nodes: usize,
+    /// Cluster-wide concurrent map task slots.
+    pub map_slots: usize,
+    /// Cluster-wide concurrent reduce task slots.
+    pub reduce_slots: usize,
+    /// Link bandwidth per node, bytes/second (100 Mbit/s = 12.5 MB/s).
+    pub network_bytes_per_sec: f64,
+    /// Fixed job launch overhead (job setup, scheduling, HDFS round trips).
+    pub job_startup: Duration,
+    /// Per-task launch overhead (Hadoop-1 spawns a JVM per task).
+    pub task_overhead: Duration,
+    /// Maximum OS threads used to execute tasks concurrently. Task *timing*
+    /// is derived from per-task measured durations placed onto slots, so
+    /// this only bounds host parallelism, not the simulated clock.
+    pub host_threads: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 13,
+            map_slots: 13,
+            reduce_slots: 13,
+            network_bytes_per_sec: 12.5e6,
+            job_startup: Duration::from_secs(2),
+            task_overhead: Duration::from_millis(200),
+            host_threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A small, fast configuration for unit tests: tiny fixed overheads so
+    /// tests run in milliseconds while the accounting stays observable.
+    pub fn test() -> Self {
+        Self {
+            nodes: 4,
+            map_slots: 4,
+            reduce_slots: 4,
+            network_bytes_per_sec: 1e9,
+            job_startup: Duration::from_micros(10),
+            task_overhead: Duration::from_micros(1),
+            host_threads: 4,
+        }
+    }
+
+    /// Fraction of shuffle bytes that crosses the network. With `p`
+    /// reducers spread over `nodes` machines, a map output lands on the
+    /// mapper's own machine with probability `1/nodes`.
+    pub fn remote_fraction(&self) -> f64 {
+        if self.nodes <= 1 {
+            0.0
+        } else {
+            (self.nodes as f64 - 1.0) / self.nodes as f64
+        }
+    }
+
+    /// Time to broadcast `bytes` of distributed-cache data to every node.
+    /// The source's uplink is the bottleneck: it must push one copy per
+    /// other node over its single link.
+    pub fn broadcast_time(&self, bytes: u64) -> Duration {
+        let secs =
+            bytes as f64 * (self.nodes.saturating_sub(1)) as f64 / self.network_bytes_per_sec;
+        Duration::from_secs_f64(secs)
+    }
+
+    /// Time for reducers to pull their shuffle inputs. Reducers are placed
+    /// round-robin on nodes; each node's downlink carries the bytes of the
+    /// reducers it hosts, in parallel with other nodes.
+    pub fn shuffle_time(&self, per_reducer_bytes: &[u64]) -> Duration {
+        if per_reducer_bytes.is_empty() {
+            return Duration::ZERO;
+        }
+        let node_count = self.nodes.max(1);
+        let mut per_node = vec![0u64; node_count];
+        for (r, &b) in per_reducer_bytes.iter().enumerate() {
+            per_node[r % node_count] += b;
+        }
+        let bottleneck = per_node.into_iter().max().unwrap_or(0);
+        Duration::from_secs_f64(
+            bottleneck as f64 * self.remote_fraction() / self.network_bytes_per_sec,
+        )
+    }
+}
+
+/// Places measured task durations onto `slots` machines with longest-
+/// processing-time-first list scheduling and returns the makespan. This is
+/// the simulated duration of a task phase (a "wave" of Hadoop tasks).
+pub fn makespan(durations: &[Duration], slots: usize, per_task_overhead: Duration) -> Duration {
+    assert!(slots > 0, "makespan requires at least one slot");
+    let mut sorted: Vec<Duration> = durations.iter().map(|d| *d + per_task_overhead).collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut loads = vec![Duration::ZERO; slots];
+    for d in sorted {
+        // Place on the least-loaded slot.
+        let min = loads.iter_mut().min().expect("slots > 0");
+        *min += d;
+    }
+    loads.into_iter().max().unwrap_or(Duration::ZERO)
+}
+
+/// Metrics for one executed MapReduce job.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobMetrics {
+    /// Job name (for reports).
+    pub name: String,
+    /// Number of map tasks (input splits).
+    pub map_tasks: usize,
+    /// Number of reduce tasks.
+    pub reduce_tasks: usize,
+    /// Modeled map-phase duration (makespan over map slots).
+    pub map_phase: Duration,
+    /// Modeled reduce-phase duration (makespan over reduce slots).
+    pub reduce_phase: Duration,
+    /// Total intermediate bytes emitted by mappers.
+    pub shuffle_bytes: u64,
+    /// Per-reducer shuffle bytes.
+    pub per_reducer_bytes: Vec<u64>,
+    /// Modeled shuffle transfer time.
+    pub shuffle_time: Duration,
+    /// Distributed-cache bytes broadcast to all nodes.
+    pub cache_bytes: u64,
+    /// Modeled cache broadcast time.
+    pub broadcast_time: Duration,
+    /// Fixed job startup charge.
+    pub startup_time: Duration,
+    /// Simulated end-to-end job runtime.
+    pub sim_runtime: Duration,
+    /// Real wall-clock time spent executing the job on the host.
+    pub host_wall: Duration,
+    /// Records emitted by all mappers.
+    pub map_output_records: u64,
+    /// Distinct keys seen by all reducers.
+    pub reduce_input_keys: u64,
+    /// Output records produced by all reducers.
+    pub output_records: u64,
+    /// Map task executions that were failed and retried (failure injection).
+    pub map_retries: u64,
+    /// Reduce task executions that were failed and retried.
+    pub reduce_retries: u64,
+    /// Measured per-map-task compute durations.
+    pub map_task_durations: Vec<Duration>,
+    /// Measured per-reduce-task compute durations.
+    pub reduce_task_durations: Vec<Duration>,
+}
+
+impl JobMetrics {
+    /// The busiest reducer's modeled compute duration — the bottleneck the
+    /// paper attributes MR-GPSRS's degradation to.
+    pub fn max_reduce_task(&self) -> Duration {
+        self.reduce_task_durations
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn default_mirrors_paper_testbed() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.nodes, 13);
+        assert_eq!(c.map_slots, 13);
+        assert!((c.network_bytes_per_sec - 12.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn makespan_single_slot_is_sum() {
+        let d = [ms(10), ms(20), ms(30)];
+        assert_eq!(makespan(&d, 1, Duration::ZERO), ms(60));
+    }
+
+    #[test]
+    fn makespan_many_slots_is_max() {
+        let d = [ms(10), ms(20), ms(30)];
+        assert_eq!(makespan(&d, 3, Duration::ZERO), ms(30));
+        assert_eq!(makespan(&d, 10, Duration::ZERO), ms(30));
+    }
+
+    #[test]
+    fn makespan_balances_with_lpt() {
+        // LPT on 2 slots: 30 | 20+10 -> makespan 30.
+        let d = [ms(10), ms(20), ms(30)];
+        assert_eq!(makespan(&d, 2, Duration::ZERO), ms(30));
+        // 4 tasks of 10 on 2 slots -> 20.
+        let d = [ms(10); 4];
+        assert_eq!(makespan(&d, 2, Duration::ZERO), ms(20));
+    }
+
+    #[test]
+    fn makespan_charges_per_task_overhead() {
+        let d = [ms(10), ms(10)];
+        assert_eq!(makespan(&d, 1, ms(5)), ms(30));
+        assert_eq!(makespan(&d, 2, ms(5)), ms(15));
+    }
+
+    #[test]
+    fn makespan_empty_phase_is_zero() {
+        assert_eq!(makespan(&[], 4, ms(5)), Duration::ZERO);
+    }
+
+    #[test]
+    fn broadcast_scales_with_nodes_and_bytes() {
+        let mut c = ClusterConfig::test();
+        c.nodes = 5;
+        c.network_bytes_per_sec = 1000.0;
+        // 1000 bytes to 4 other nodes over a 1000 B/s uplink = 4 s.
+        assert_eq!(c.broadcast_time(1000), Duration::from_secs(4));
+        c.nodes = 1;
+        assert_eq!(c.broadcast_time(1000), Duration::ZERO);
+    }
+
+    #[test]
+    fn shuffle_time_bottleneck_is_busiest_node() {
+        let mut c = ClusterConfig::test();
+        c.nodes = 2;
+        c.network_bytes_per_sec = 1000.0;
+        // Reducers 0 and 2 land on node 0 (2000 bytes), reducer 1 on node 1.
+        let t = c.shuffle_time(&[1000, 500, 1000]);
+        let expected = 2000.0 * 0.5 / 1000.0;
+        assert!((t.as_secs_f64() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuffle_time_zero_for_single_node() {
+        let mut c = ClusterConfig::test();
+        c.nodes = 1;
+        assert_eq!(c.shuffle_time(&[1_000_000]), Duration::ZERO);
+    }
+
+    #[test]
+    fn remote_fraction_bounds() {
+        let mut c = ClusterConfig::test();
+        c.nodes = 1;
+        assert_eq!(c.remote_fraction(), 0.0);
+        c.nodes = 13;
+        assert!((c.remote_fraction() - 12.0 / 13.0).abs() < 1e-12);
+    }
+}

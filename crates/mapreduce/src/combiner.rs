@@ -1,0 +1,78 @@
+//! Map-side combiners (Hadoop's `Combiner`).
+//!
+//! A combiner folds the values a single map task emitted under one key
+//! into fewer values *before* the shuffle, trading mapper CPU for network
+//! traffic. Semantically it must be a local pre-aggregation of what the
+//! reducer would do — associative and commutative over values — which all
+//! the aggregations in this workspace (bitwise OR of bitstrings, addition
+//! of countstrings, sums) satisfy.
+//!
+//! The engine applies the combiner per map task, after [`super::task::MapTask::finish`]
+//! and before partitioning, so byte accounting reflects the combined
+//! traffic exactly as Hadoop's "map output bytes" does.
+
+/// A map-side pre-aggregation of values under one key.
+pub trait Combiner<K, V>: Sync {
+    /// Folds `values` (all emitted by one map task under `key`) into a
+    /// smaller list. Must preserve reducer semantics: the reducer sees the
+    /// combined values in place of the originals.
+    fn combine(&self, key: &K, values: Vec<V>) -> Vec<V>;
+}
+
+/// The identity combiner: no combining (the engine default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoCombiner;
+
+impl<K, V> Combiner<K, V> for NoCombiner {
+    fn combine(&self, _key: &K, values: Vec<V>) -> Vec<V> {
+        values
+    }
+}
+
+/// Combines by folding all values into one with a binary operation.
+pub struct FoldCombiner<F> {
+    fold: F,
+}
+
+impl<F> FoldCombiner<F> {
+    /// A combiner applying `fold` pairwise left-to-right.
+    pub fn new(fold: F) -> Self {
+        Self { fold }
+    }
+}
+
+impl<K, V, F> Combiner<K, V> for FoldCombiner<F>
+where
+    F: Fn(V, V) -> V + Sync,
+{
+    fn combine(&self, _key: &K, values: Vec<V>) -> Vec<V> {
+        let mut it = values.into_iter();
+        match it.next() {
+            None => Vec::new(),
+            Some(first) => vec![it.fold(first, &self.fold)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_combiner_is_identity() {
+        let c = NoCombiner;
+        let vals = vec![1, 2, 3];
+        assert_eq!(Combiner::<u8, i32>::combine(&c, &0, vals.clone()), vals);
+    }
+
+    #[test]
+    fn fold_combiner_reduces_to_one() {
+        let c = FoldCombiner::new(|a: u64, b: u64| a + b);
+        assert_eq!(
+            Combiner::<u8, u64>::combine(&c, &0, vec![1, 2, 3, 4]),
+            vec![10]
+        );
+        assert_eq!(Combiner::<u8, u64>::combine(&c, &0, vec![7]), vec![7]);
+        assert!(Combiner::<u8, u64>::combine(&c, &0, vec![]).is_empty());
+    }
+}

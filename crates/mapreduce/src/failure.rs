@@ -1,0 +1,68 @@
+//! Deterministic failure injection.
+//!
+//! MapReduce's fault-tolerance contract is that a failed task is simply
+//! re-executed, which is only correct if tasks are deterministic and
+//! side-effect free. The paper leans on this property ("MapReduce … is
+//! being increasingly used … for its scalability and fault-tolerance");
+//! tests use [`FailurePlan`] to assert that every skyline job in this
+//! workspace produces identical output when arbitrary tasks fail once and
+//! re-run.
+
+use std::collections::BTreeSet;
+
+/// Which task executions should fail on their first attempt.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    /// Map task indices whose first attempt is discarded and re-run.
+    pub map_fail_once: BTreeSet<usize>,
+    /// Reduce task indices whose first attempt is discarded and re-run.
+    pub reduce_fail_once: BTreeSet<usize>,
+}
+
+impl FailurePlan {
+    /// A plan with no injected failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fails the first attempt of the given map tasks.
+    pub fn fail_maps(indices: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            map_fail_once: indices.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Fails the first attempt of the given reduce tasks.
+    pub fn fail_reduces(indices: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            reduce_fail_once: indices.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    /// `true` iff the plan injects no failures.
+    pub fn is_empty(&self) -> bool {
+        self.map_fail_once.is_empty() && self.reduce_fail_once.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty() {
+        assert!(FailurePlan::none().is_empty());
+    }
+
+    #[test]
+    fn constructors_populate_sets() {
+        let p = FailurePlan::fail_maps([0, 2]);
+        assert!(p.map_fail_once.contains(&0) && p.map_fail_once.contains(&2));
+        assert!(p.reduce_fail_once.is_empty());
+        let p = FailurePlan::fail_reduces([1]);
+        assert!(p.reduce_fail_once.contains(&1));
+        assert!(!p.is_empty());
+    }
+}

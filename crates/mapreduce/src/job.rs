@@ -1,0 +1,669 @@
+//! The job driver: map phase → shuffle → reduce phase.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use skymr_common::Counters;
+
+use crate::cluster::{makespan, ClusterConfig, JobMetrics};
+use crate::combiner::{Combiner, NoCombiner};
+use crate::failure::FailurePlan;
+use crate::partitioner::Partitioner;
+use crate::pool::run_indexed;
+use crate::task::{
+    Emitter, MapFactory, MapTask, OutputCollector, ReduceFactory, ReduceTask, TaskContext,
+};
+
+/// Per-job configuration.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Job name, used in metrics and reports.
+    pub name: String,
+    /// Number of reduce tasks.
+    pub num_reducers: usize,
+    /// Bytes of read-only data broadcast to every node before the job
+    /// starts (the Hadoop Distributed Cache; the paper ships the global
+    /// bitstring this way). Charged to the simulated clock.
+    pub cache_bytes: u64,
+    /// Failure-injection plan (empty by default).
+    pub failures: FailurePlan,
+}
+
+impl JobConfig {
+    /// A job with the given name and reducer count, no cache, no failures.
+    pub fn new(name: impl Into<String>, num_reducers: usize) -> Self {
+        Self {
+            name: name.into(),
+            num_reducers,
+            cache_bytes: 0,
+            failures: FailurePlan::none(),
+        }
+    }
+
+    /// Sets the distributed-cache byte charge.
+    pub fn with_cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the failure-injection plan.
+    pub fn with_failures(mut self, failures: FailurePlan) -> Self {
+        self.failures = failures;
+        self
+    }
+}
+
+/// Result of a job: per-reducer outputs plus metrics and counters.
+#[derive(Debug)]
+pub struct JobOutcome<Out> {
+    /// Output records, indexed by reducer.
+    pub outputs: Vec<Vec<Out>>,
+    /// Simulated and measured execution metrics.
+    pub metrics: JobMetrics,
+    /// Job counters populated by tasks.
+    pub counters: Counters,
+}
+
+impl<Out> JobOutcome<Out> {
+    /// Flattens per-reducer outputs into one vector (reducer order).
+    pub fn into_flat_output(self) -> Vec<Out> {
+        self.outputs.into_iter().flatten().collect()
+    }
+}
+
+struct MapResult<K, V> {
+    buckets: Vec<Vec<(K, V)>>,
+    bucket_bytes: Vec<u64>,
+    records: u64,
+}
+
+/// Runs one MapReduce job (no combiner).
+///
+/// `splits` is the pre-split input `R_1, …, R_m` — one map task per split,
+/// exactly as the paper's job flows show (Figures 3–5). The reduce phase
+/// runs `config.num_reducers` tasks; keys are routed by `partitioner`,
+/// sorted, and grouped.
+///
+/// ```
+/// use skymr_mapreduce::*;
+///
+/// // Word count: the canonical MapReduce example.
+/// struct Wc;
+/// struct WcTask;
+/// impl MapTask for WcTask {
+///     type In = String;
+///     type K = String;
+///     type V = u64;
+///     fn map(&mut self, line: &String, out: &mut Emitter<String, u64>) {
+///         for word in line.split_whitespace() {
+///             out.emit(word.to_string(), 1);
+///         }
+///     }
+/// }
+/// impl MapFactory for Wc {
+///     type Task = WcTask;
+///     fn create(&self, _: &TaskContext) -> WcTask { WcTask }
+/// }
+/// struct Sum;
+/// struct SumTask;
+/// impl ReduceTask for SumTask {
+///     type K = String;
+///     type V = u64;
+///     type Out = (String, u64);
+///     fn reduce(&mut self, k: String, vs: Vec<u64>, out: &mut OutputCollector<(String, u64)>) {
+///         out.collect((k, vs.iter().sum()));
+///     }
+/// }
+/// impl ReduceFactory for Sum {
+///     type Task = SumTask;
+///     fn create(&self, _: &TaskContext) -> SumTask { SumTask }
+/// }
+///
+/// let splits = vec![vec!["a b a".to_string()], vec!["b".to_string()]];
+/// let outcome = run_job(
+///     &ClusterConfig::test(),
+///     &JobConfig::new("wc", 2),
+///     &splits,
+///     &Wc,
+///     &Sum,
+///     &HashPartitioner,
+/// );
+/// let mut counts = outcome.into_flat_output();
+/// counts.sort();
+/// assert_eq!(counts, vec![("a".to_string(), 2), ("b".to_string(), 2)]);
+/// ```
+pub fn run_job<In, K, V, Out, MF, RF, P>(
+    cluster: &ClusterConfig,
+    config: &JobConfig,
+    splits: &[Vec<In>],
+    map_factory: &MF,
+    reduce_factory: &RF,
+    partitioner: &P,
+) -> JobOutcome<Out>
+where
+    In: Send + Sync,
+    K: crate::task::JobKey,
+    V: crate::task::JobValue + Clone,
+    Out: Send,
+    MF: MapFactory,
+    MF::Task: MapTask<In = In, K = K, V = V>,
+    RF: ReduceFactory,
+    RF::Task: ReduceTask<K = K, V = V, Out = Out>,
+    P: Partitioner<K>,
+{
+    run_job_with_combiner(
+        cluster,
+        config,
+        splits,
+        map_factory,
+        reduce_factory,
+        partitioner,
+        &NoCombiner,
+    )
+}
+
+/// Runs one MapReduce job with a map-side [`Combiner`] applied to each map
+/// task's output before the shuffle.
+pub fn run_job_with_combiner<In, K, V, Out, MF, RF, P, C>(
+    cluster: &ClusterConfig,
+    config: &JobConfig,
+    splits: &[Vec<In>],
+    map_factory: &MF,
+    reduce_factory: &RF,
+    partitioner: &P,
+    combiner: &C,
+) -> JobOutcome<Out>
+where
+    In: Send + Sync,
+    K: crate::task::JobKey,
+    V: crate::task::JobValue + Clone,
+    Out: Send,
+    MF: MapFactory,
+    MF::Task: MapTask<In = In, K = K, V = V>,
+    RF: ReduceFactory,
+    RF::Task: ReduceTask<K = K, V = V, Out = Out>,
+    P: Partitioner<K>,
+    C: Combiner<K, V>,
+{
+    assert!(config.num_reducers > 0, "a job needs at least one reducer");
+    let started = Instant::now();
+    let counters = Counters::new();
+    let m = splits.len();
+    let r = config.num_reducers;
+    let map_retries = AtomicU64::new(0);
+    let reduce_retries = AtomicU64::new(0);
+
+    // ---- Map phase -------------------------------------------------------
+    let run_map_attempt = |i: usize, attempt: u32| -> MapResult<K, V> {
+        let ctx = TaskContext {
+            task_index: i,
+            num_tasks: m,
+            num_reducers: r,
+            attempt,
+            counters: counters.clone(),
+        };
+        let mut task = map_factory.create(&ctx);
+        let mut emitter = Emitter::new();
+        for record in &splits[i] {
+            task.map(record, &mut emitter);
+        }
+        task.finish(&mut emitter);
+        let (pairs, _) = emitter.into_parts();
+        // Group this task's output per key and apply the combiner (the
+        // identity combiner leaves values untouched); the key-sorted order
+        // keeps the downstream pipeline deterministic.
+        let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for (k, v) in pairs {
+            grouped.entry(k).or_default().push(v);
+        }
+        let mut buckets: Vec<Vec<(K, V)>> = (0..r).map(|_| Vec::new()).collect();
+        let mut bucket_bytes = vec![0u64; r];
+        let mut records = 0u64;
+        for (k, vs) in grouped {
+            let combined = combiner.combine(&k, vs);
+            let dest = partitioner.partition(&k, r);
+            assert!(dest < r, "partitioner returned reducer {dest} of {r}");
+            for v in combined {
+                records += 1;
+                bucket_bytes[dest] += k.byte_size() + v.byte_size();
+                buckets[dest].push((k.clone(), v));
+            }
+        }
+        MapResult {
+            buckets,
+            bucket_bytes,
+            records,
+        }
+    };
+
+    let map_results = run_indexed(m, cluster.host_threads, |i| {
+        if config.failures.map_fail_once.contains(&i) {
+            // First attempt runs to completion, then its output is lost
+            // (simulated node failure); the framework re-executes.
+            let _lost = run_map_attempt(i, 0);
+            map_retries.fetch_add(1, Ordering::Relaxed);
+            run_map_attempt(i, 1)
+        } else {
+            run_map_attempt(i, 0)
+        }
+    });
+
+    let map_task_durations: Vec<Duration> = map_results.iter().map(|(_, d)| *d).collect();
+    let map_output_records: u64 = map_results.iter().map(|(res, _)| res.records).sum();
+
+    // ---- Shuffle ---------------------------------------------------------
+    let mut per_reducer_bytes = vec![0u64; r];
+    let mut groups: Vec<BTreeMap<K, Vec<V>>> = (0..r).map(|_| BTreeMap::new()).collect();
+    for (result, _) in map_results {
+        for (j, bucket) in result.buckets.into_iter().enumerate() {
+            per_reducer_bytes[j] += result.bucket_bytes[j];
+            for (k, v) in bucket {
+                groups[j].entry(k).or_default().push(v);
+            }
+        }
+    }
+    let shuffle_bytes: u64 = per_reducer_bytes.iter().sum();
+    let reduce_input_keys: u64 = groups.iter().map(|g| g.len() as u64).sum();
+
+    // ---- Reduce phase ----------------------------------------------------
+    type GroupSlot<K, V> = parking_lot::Mutex<Option<BTreeMap<K, Vec<V>>>>;
+    let group_slots: Vec<GroupSlot<K, V>> = groups
+        .into_iter()
+        .map(|g| parking_lot::Mutex::new(Some(g)))
+        .collect();
+
+    let run_reduce_attempt = |j: usize, attempt: u32, input: BTreeMap<K, Vec<V>>| -> Vec<Out> {
+        let ctx = TaskContext {
+            task_index: j,
+            num_tasks: r,
+            num_reducers: r,
+            attempt,
+            counters: counters.clone(),
+        };
+        let mut task = reduce_factory.create(&ctx);
+        let mut out = OutputCollector::new();
+        for (k, vs) in input {
+            task.reduce(k, vs, &mut out);
+        }
+        task.finish(&mut out);
+        out.into_records()
+    };
+
+    let reduce_results = run_indexed(r, cluster.host_threads, |j| {
+        let input = group_slots[j]
+            .lock()
+            .take()
+            .expect("reduce input taken twice");
+        if config.failures.reduce_fail_once.contains(&j) {
+            let _lost = run_reduce_attempt(j, 0, input.clone());
+            reduce_retries.fetch_add(1, Ordering::Relaxed);
+            run_reduce_attempt(j, 1, input)
+        } else {
+            run_reduce_attempt(j, 0, input)
+        }
+    });
+
+    let reduce_task_durations: Vec<Duration> = reduce_results.iter().map(|(_, d)| *d).collect();
+    let outputs: Vec<Vec<Out>> = reduce_results.into_iter().map(|(o, _)| o).collect();
+    let output_records: u64 = outputs.iter().map(|o| o.len() as u64).sum();
+
+    // ---- Simulated clock -------------------------------------------------
+    let map_phase = makespan(
+        &map_task_durations,
+        cluster.map_slots,
+        cluster.task_overhead,
+    );
+    let reduce_phase = makespan(
+        &reduce_task_durations,
+        cluster.reduce_slots,
+        cluster.task_overhead,
+    );
+    let shuffle_time = cluster.shuffle_time(&per_reducer_bytes);
+    let broadcast_time = cluster.broadcast_time(config.cache_bytes);
+    let sim_runtime =
+        cluster.job_startup + broadcast_time + map_phase + shuffle_time + reduce_phase;
+
+    let metrics = JobMetrics {
+        name: config.name.clone(),
+        map_tasks: m,
+        reduce_tasks: r,
+        map_phase,
+        reduce_phase,
+        shuffle_bytes,
+        per_reducer_bytes,
+        shuffle_time,
+        cache_bytes: config.cache_bytes,
+        broadcast_time,
+        startup_time: cluster.job_startup,
+        sim_runtime,
+        host_wall: started.elapsed(),
+        map_output_records,
+        reduce_input_keys,
+        output_records,
+        map_retries: map_retries.into_inner(),
+        reduce_retries: reduce_retries.into_inner(),
+        map_task_durations,
+        reduce_task_durations,
+    };
+
+    JobOutcome {
+        outputs,
+        metrics,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::{HashPartitioner, ModuloPartitioner};
+
+    /// Word-count: the canonical MapReduce smoke test.
+    struct WcMap;
+    struct WcMapTask;
+    impl MapTask for WcMapTask {
+        type In = String;
+        type K = String;
+        type V = u64;
+        fn map(&mut self, input: &String, out: &mut Emitter<String, u64>) {
+            for word in input.split_whitespace() {
+                out.emit(word.to_owned(), 1);
+            }
+        }
+    }
+    impl MapFactory for WcMap {
+        type Task = WcMapTask;
+        fn create(&self, _ctx: &TaskContext) -> WcMapTask {
+            WcMapTask
+        }
+    }
+
+    struct WcReduce;
+    struct WcReduceTask;
+    impl ReduceTask for WcReduceTask {
+        type K = String;
+        type V = u64;
+        type Out = (String, u64);
+        fn reduce(
+            &mut self,
+            key: String,
+            values: Vec<u64>,
+            out: &mut OutputCollector<(String, u64)>,
+        ) {
+            out.collect((key, values.iter().sum()));
+        }
+    }
+    impl ReduceFactory for WcReduce {
+        type Task = WcReduceTask;
+        fn create(&self, _ctx: &TaskContext) -> WcReduceTask {
+            WcReduceTask
+        }
+    }
+
+    fn word_count(
+        splits: &[Vec<String>],
+        reducers: usize,
+        failures: FailurePlan,
+    ) -> JobOutcome<(String, u64)> {
+        let cluster = ClusterConfig::test();
+        let config = JobConfig::new("wc", reducers).with_failures(failures);
+        run_job(
+            &cluster,
+            &config,
+            splits,
+            &WcMap,
+            &WcReduce,
+            &HashPartitioner,
+        )
+    }
+
+    fn splits() -> Vec<Vec<String>> {
+        vec![
+            vec!["a b a".into(), "c".into()],
+            vec!["b b".into()],
+            vec!["a c".into()],
+        ]
+    }
+
+    fn sorted_counts(outcome: JobOutcome<(String, u64)>) -> Vec<(String, u64)> {
+        let mut v = outcome.into_flat_output();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn word_count_single_reducer() {
+        let out = word_count(&splits(), 1, FailurePlan::none());
+        assert_eq!(out.metrics.map_tasks, 3);
+        assert_eq!(out.metrics.reduce_tasks, 1);
+        assert_eq!(out.metrics.map_output_records, 8);
+        assert_eq!(
+            sorted_counts(out),
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 3),
+                ("c".to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn word_count_multiple_reducers_same_answer() {
+        for r in [2, 3, 7] {
+            let out = word_count(&splits(), r, FailurePlan::none());
+            assert_eq!(
+                sorted_counts(out),
+                vec![
+                    ("a".to_string(), 3),
+                    ("b".to_string(), 3),
+                    ("c".to_string(), 2)
+                ],
+                "wrong counts with {r} reducers"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_bytes_are_positive_and_distributed() {
+        let out = word_count(&splits(), 2, FailurePlan::none());
+        assert!(out.metrics.shuffle_bytes > 0);
+        assert_eq!(out.metrics.per_reducer_bytes.len(), 2);
+        assert_eq!(
+            out.metrics.per_reducer_bytes.iter().sum::<u64>(),
+            out.metrics.shuffle_bytes
+        );
+    }
+
+    #[test]
+    fn map_failures_are_retried_without_changing_output() {
+        let clean = sorted_counts(word_count(&splits(), 2, FailurePlan::none()));
+        let out = word_count(&splits(), 2, FailurePlan::fail_maps([0, 2]));
+        assert_eq!(out.metrics.map_retries, 2);
+        assert_eq!(out.metrics.reduce_retries, 0);
+        assert_eq!(sorted_counts(out), clean);
+    }
+
+    #[test]
+    fn reduce_failures_are_retried_without_changing_output() {
+        let clean = sorted_counts(word_count(&splits(), 3, FailurePlan::none()));
+        let out = word_count(&splits(), 3, FailurePlan::fail_reduces([1]));
+        assert_eq!(out.metrics.reduce_retries, 1);
+        assert_eq!(sorted_counts(out), clean);
+    }
+
+    #[test]
+    fn sim_runtime_includes_all_components() {
+        let out = word_count(&splits(), 1, FailurePlan::none());
+        let m = &out.metrics;
+        assert_eq!(
+            m.sim_runtime,
+            m.startup_time + m.broadcast_time + m.map_phase + m.shuffle_time + m.reduce_phase
+        );
+        assert!(m.map_phase > Duration::ZERO);
+    }
+
+    #[test]
+    fn cache_bytes_charge_broadcast() {
+        let cluster = ClusterConfig::test();
+        let config = JobConfig::new("wc", 1).with_cache_bytes(1_000_000);
+        let out = run_job(
+            &cluster,
+            &config,
+            &splits(),
+            &WcMap,
+            &WcReduce,
+            &HashPartitioner,
+        );
+        assert_eq!(out.metrics.cache_bytes, 1_000_000);
+        assert!(out.metrics.broadcast_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let empty: Vec<Vec<String>> = vec![vec![], vec![]];
+        let out = word_count(&empty, 2, FailurePlan::none());
+        assert_eq!(out.metrics.map_output_records, 0);
+        assert!(out.into_flat_output().is_empty());
+    }
+
+    #[test]
+    fn combiner_cuts_shuffle_without_changing_results() {
+        use crate::combiner::FoldCombiner;
+        let cluster = ClusterConfig::test();
+        let config = JobConfig::new("wc", 2);
+        let plain = run_job(
+            &cluster,
+            &config,
+            &splits(),
+            &WcMap,
+            &WcReduce,
+            &HashPartitioner,
+        );
+        let combined = crate::job::run_job_with_combiner(
+            &cluster,
+            &config,
+            &splits(),
+            &WcMap,
+            &WcReduce,
+            &HashPartitioner,
+            &FoldCombiner::new(|a: u64, b: u64| a + b),
+        );
+        // Split 0 holds "a b a" + "c": the duplicate 'a' combines away.
+        assert!(combined.metrics.map_output_records < plain.metrics.map_output_records);
+        assert!(combined.metrics.shuffle_bytes < plain.metrics.shuffle_bytes);
+        let mut a = plain.into_flat_output();
+        let mut b = combined.into_flat_output();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "combiner changed the job result");
+    }
+
+    #[test]
+    fn keys_arrive_sorted_at_reducers() {
+        struct OrderMap;
+        struct OrderMapTask;
+        impl MapTask for OrderMapTask {
+            type In = u32;
+            type K = u32;
+            type V = u32;
+            fn map(&mut self, input: &u32, out: &mut Emitter<u32, u32>) {
+                out.emit(*input, *input);
+            }
+        }
+        impl MapFactory for OrderMap {
+            type Task = OrderMapTask;
+            fn create(&self, _: &TaskContext) -> OrderMapTask {
+                OrderMapTask
+            }
+        }
+        struct OrderReduce;
+        struct OrderReduceTask {
+            last: Option<u32>,
+        }
+        impl ReduceTask for OrderReduceTask {
+            type K = u32;
+            type V = u32;
+            type Out = u32;
+            fn reduce(&mut self, key: u32, _values: Vec<u32>, out: &mut OutputCollector<u32>) {
+                if let Some(last) = self.last {
+                    assert!(key > last, "keys not sorted: {key} after {last}");
+                }
+                self.last = Some(key);
+                out.collect(key);
+            }
+        }
+        impl ReduceFactory for OrderReduce {
+            type Task = OrderReduceTask;
+            fn create(&self, _: &TaskContext) -> OrderReduceTask {
+                OrderReduceTask { last: None }
+            }
+        }
+        let splits: Vec<Vec<u32>> = vec![vec![5, 3, 9], vec![1, 7, 3]];
+        let cluster = ClusterConfig::test();
+        let out = run_job(
+            &cluster,
+            &JobConfig::new("order", 2),
+            &splits,
+            &OrderMap,
+            &OrderReduce,
+            &ModuloPartitioner,
+        );
+        let mut keys = out.into_flat_output();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn counters_flow_from_tasks_to_outcome() {
+        struct CountingMap;
+        struct CountingMapTask {
+            counters: Counters,
+        }
+        impl MapTask for CountingMapTask {
+            type In = u32;
+            type K = u32;
+            type V = u32;
+            fn map(&mut self, input: &u32, out: &mut Emitter<u32, u32>) {
+                self.counters.add("records", 1);
+                out.emit(*input % 2, *input);
+            }
+        }
+        impl MapFactory for CountingMap {
+            type Task = CountingMapTask;
+            fn create(&self, ctx: &TaskContext) -> CountingMapTask {
+                CountingMapTask {
+                    counters: ctx.counters.clone(),
+                }
+            }
+        }
+        let splits: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![4, 5]];
+        let cluster = ClusterConfig::test();
+        let out = run_job(
+            &cluster,
+            &JobConfig::new("count", 1),
+            &splits,
+            &CountingMap,
+            &WcReduceLike,
+            &ModuloPartitioner,
+        );
+        assert_eq!(out.counters.get("records"), 5);
+    }
+
+    struct WcReduceLike;
+    struct WcReduceLikeTask;
+    impl ReduceTask for WcReduceLikeTask {
+        type K = u32;
+        type V = u32;
+        type Out = u32;
+        fn reduce(&mut self, _key: u32, values: Vec<u32>, out: &mut OutputCollector<u32>) {
+            out.collect(values.into_iter().sum());
+        }
+    }
+    impl ReduceFactory for WcReduceLike {
+        type Task = WcReduceLikeTask;
+        fn create(&self, _: &TaskContext) -> WcReduceLikeTask {
+            WcReduceLikeTask
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Metrics aggregation for chained jobs.
+//!
+//! The paper's skyline algorithms are two-job pipelines: the bitstring
+//! generation job followed by the skyline computation job ("For MR-GPSRS
+//! and MR-GPMRS algorithms, we include the time cost of the bitstring
+//! generation in the runtime", Section 7.1). [`PipelineMetrics`] holds the
+//! per-job metrics of such a chain and exposes the end-to-end simulated
+//! runtime the benchmarks report.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+use crate::cluster::JobMetrics;
+
+/// Metrics of a chain of MapReduce jobs executed one after another.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PipelineMetrics {
+    /// Per-job metrics in execution order.
+    pub jobs: Vec<JobMetrics>,
+}
+
+impl PipelineMetrics {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a job's metrics.
+    pub fn push(&mut self, metrics: JobMetrics) {
+        self.jobs.push(metrics);
+    }
+
+    /// End-to-end simulated runtime: jobs run back to back.
+    pub fn sim_runtime(&self) -> Duration {
+        self.jobs.iter().map(|j| j.sim_runtime).sum()
+    }
+
+    /// Total host wall-clock time actually spent executing.
+    pub fn host_wall(&self) -> Duration {
+        self.jobs.iter().map(|j| j.host_wall).sum()
+    }
+
+    /// Total bytes shuffled across all jobs.
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.shuffle_bytes).sum()
+    }
+
+    /// Looks up a job's metrics by name.
+    pub fn job(&self, name: &str) -> Option<&JobMetrics> {
+        self.jobs.iter().find(|j| j.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(name: &str, sim_ms: u64, bytes: u64) -> JobMetrics {
+        JobMetrics {
+            name: name.into(),
+            map_tasks: 1,
+            reduce_tasks: 1,
+            map_phase: Duration::ZERO,
+            reduce_phase: Duration::ZERO,
+            shuffle_bytes: bytes,
+            per_reducer_bytes: vec![bytes],
+            shuffle_time: Duration::ZERO,
+            cache_bytes: 0,
+            broadcast_time: Duration::ZERO,
+            startup_time: Duration::ZERO,
+            sim_runtime: Duration::from_millis(sim_ms),
+            host_wall: Duration::from_millis(1),
+            map_output_records: 0,
+            reduce_input_keys: 0,
+            output_records: 0,
+            map_retries: 0,
+            reduce_retries: 0,
+            map_task_durations: vec![],
+            reduce_task_durations: vec![],
+        }
+    }
+
+    #[test]
+    fn sums_runtimes_and_bytes() {
+        let mut p = PipelineMetrics::new();
+        p.push(dummy("bitstring", 10, 100));
+        p.push(dummy("skyline", 25, 900));
+        assert_eq!(p.sim_runtime(), Duration::from_millis(35));
+        assert_eq!(p.shuffle_bytes(), 1000);
+        assert_eq!(p.host_wall(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn job_lookup_by_name() {
+        let mut p = PipelineMetrics::new();
+        p.push(dummy("bitstring", 10, 100));
+        assert!(p.job("bitstring").is_some());
+        assert!(p.job("missing").is_none());
+    }
+
+    #[test]
+    fn empty_pipeline_is_zero() {
+        let p = PipelineMetrics::new();
+        assert_eq!(p.sim_runtime(), Duration::ZERO);
+        assert_eq!(p.shuffle_bytes(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! A minimal work-stealing-free slot pool for executing indexed tasks.
+//!
+//! The engine needs exact per-task durations (for the makespan model) and
+//! deterministic result placement (results indexed by task id), which a
+//! hand-rolled pool over `crossbeam::scope` provides with no surprises about
+//! task placement.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Runs `num_tasks` closures concurrently on at most `threads` workers.
+///
+/// `run(task_index)` is invoked exactly once per index (unless it panics).
+/// Returns per-task `(result, measured_duration)` in task-index order.
+///
+/// # Panics
+///
+/// Re-raises the first panic observed in any task after all workers have
+/// stopped, so a panicking map/reduce task fails the job loudly instead of
+/// deadlocking.
+pub fn run_indexed<T, F>(num_tasks: usize, threads: usize, run: F) -> Vec<(T, Duration)>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads > 0, "pool requires at least one thread");
+    let results: Mutex<Vec<Option<(T, Duration)>>> =
+        Mutex::new((0..num_tasks).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let workers = threads.min(num_tasks.max(1));
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= num_tasks {
+                    break;
+                }
+                let started = Instant::now();
+                match catch_unwind(AssertUnwindSafe(|| run(i))) {
+                    Ok(value) => {
+                        let elapsed = started.elapsed();
+                        results.lock()[i] = Some((value, elapsed));
+                    }
+                    Err(payload) => {
+                        let mut slot = panic_slot.lock();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        // Drain remaining work so other workers exit quickly.
+                        next.store(num_tasks, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("pool worker thread panicked outside task execution");
+
+    if let Some(payload) = panic_slot.into_inner() {
+        std::panic::resume_unwind(payload);
+    }
+
+    results
+        .into_inner()
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} never executed")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_every_task_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let results = run_indexed(100, 4, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i * 2
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        let values: Vec<usize> = results.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_are_in_task_order_despite_concurrency() {
+        let results = run_indexed(50, 8, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            i
+        });
+        for (i, (v, _)) in results.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn durations_are_measured() {
+        let results = run_indexed(2, 2, |_| {
+            std::thread::sleep(Duration::from_millis(5));
+        });
+        for (_, d) in results {
+            assert!(d >= Duration::from_millis(4), "duration {d:?} too small");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let results: Vec<((), Duration)> = run_indexed(0, 4, |_| ());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let results = run_indexed(2, 16, |i| i + 1);
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn single_thread_runs_sequentially() {
+        let seen = Mutex::new(HashSet::new());
+        run_indexed(10, 1, |i| {
+            seen.lock().insert(i);
+        });
+        assert_eq!(seen.into_inner().len(), 10);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let outcome = std::panic::catch_unwind(|| {
+            run_indexed(4, 2, |i| {
+                if i == 2 {
+                    panic!("boom in task");
+                }
+                i
+            })
+        });
+        assert!(outcome.is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Map and reduce task traits, factories, and output collectors.
+
+use skymr_common::{ByteSized, Counters};
+
+/// Marker bounds for shuffle keys.
+///
+/// Keys must be orderable (the engine sorts keys before the reduce phase,
+/// like Hadoop's sort-merge shuffle), hashable (for the default
+/// [`crate::HashPartitioner`]), and byte-sized (for traffic accounting).
+pub trait JobKey: Clone + Send + Ord + std::hash::Hash + ByteSized + 'static {}
+impl<T: Clone + Send + Ord + std::hash::Hash + ByteSized + 'static> JobKey for T {}
+
+/// Marker bounds for shuffle values.
+pub trait JobValue: Send + ByteSized + 'static {}
+impl<T: Send + ByteSized + 'static> JobValue for T {}
+
+/// Per-task context handed to factories: which task this is, the job shape,
+/// and the job's shared counters.
+#[derive(Clone)]
+pub struct TaskContext {
+    /// Index of this task within its phase (0-based).
+    pub task_index: usize,
+    /// Number of tasks in this phase.
+    pub num_tasks: usize,
+    /// Number of reducers in the job.
+    pub num_reducers: usize,
+    /// Attempt number (0 on first execution; >0 after injected failures).
+    pub attempt: u32,
+    /// Shared job counters (Hadoop-style).
+    pub counters: Counters,
+}
+
+/// A map task: one instance per input split.
+///
+/// Mirrors Hadoop's `Mapper`: the factory call is `setup`, [`MapTask::map`]
+/// is invoked once per record of the split, and [`MapTask::finish`] is
+/// `cleanup` — the place where the paper's algorithms emit their local
+/// skylines after the whole split has been consumed (Algorithms 1, 3, 8).
+pub trait MapTask: Send {
+    /// Input record type.
+    type In: Send + Sync;
+    /// Output key type.
+    type K: JobKey;
+    /// Output value type.
+    type V: JobValue;
+
+    /// Processes one input record.
+    fn map(&mut self, input: &Self::In, out: &mut Emitter<Self::K, Self::V>);
+
+    /// Called once after the last record of the split.
+    fn finish(&mut self, _out: &mut Emitter<Self::K, Self::V>) {}
+}
+
+/// Creates a [`MapTask`] per split. Factories are shared across worker
+/// threads, so they carry the job's read-only state (e.g. the global
+/// bitstring distributed via the cache).
+pub trait MapFactory: Sync {
+    /// The task type this factory creates.
+    type Task: MapTask;
+    /// Creates the task for the split described by `ctx`.
+    fn create(&self, ctx: &TaskContext) -> Self::Task;
+}
+
+/// A reduce task: one instance per reducer.
+///
+/// [`ReduceTask::reduce`] is invoked once per distinct key (keys arrive in
+/// sorted order) with all values grouped under that key, matching
+/// `Reduce(k2, list(v2)) → list(k3, v3)` from the paper's Section 2.1.
+pub trait ReduceTask: Send {
+    /// Input key type (the map output key).
+    type K: JobKey;
+    /// Input value type (the map output value).
+    type V: JobValue;
+    /// Final output record type.
+    type Out: Send;
+
+    /// Processes one key group.
+    fn reduce(&mut self, key: Self::K, values: Vec<Self::V>, out: &mut OutputCollector<Self::Out>);
+
+    /// Called once after the last key group.
+    fn finish(&mut self, _out: &mut OutputCollector<Self::Out>) {}
+}
+
+/// Creates a [`ReduceTask`] per reducer.
+pub trait ReduceFactory: Sync {
+    /// The task type this factory creates.
+    type Task: ReduceTask;
+    /// Creates the task for the reducer described by `ctx`.
+    fn create(&self, ctx: &TaskContext) -> Self::Task;
+}
+
+/// Collects intermediate key-value pairs from a map task and accounts their
+/// wire size for the shuffle-traffic model.
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+    bytes: u64,
+}
+
+impl<K: ByteSized, V: ByteSized> Emitter<K, V> {
+    pub(crate) fn new() -> Self {
+        Self {
+            pairs: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Emits one intermediate pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.bytes += key.byte_size() + value.byte_size();
+        self.pairs.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` iff nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<(K, V)>, u64) {
+        (self.pairs, self.bytes)
+    }
+}
+
+/// Collects final output records from a reduce task.
+pub struct OutputCollector<T> {
+    records: Vec<T>,
+}
+
+impl<T> OutputCollector<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            records: Vec::new(),
+        }
+    }
+
+    /// Emits one output record.
+    pub fn collect(&mut self, record: T) {
+        self.records.push(record);
+    }
+
+    /// Number of records collected so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` iff nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub(crate) fn into_records(self) -> Vec<T> {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_tracks_pairs_and_bytes() {
+        let mut e: Emitter<u32, u64> = Emitter::new();
+        assert!(e.is_empty());
+        e.emit(1, 10);
+        e.emit(2, 20);
+        assert_eq!(e.len(), 2);
+        let (pairs, bytes) = e.into_parts();
+        assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+        assert_eq!(bytes, 2 * (4 + 8));
+    }
+
+    #[test]
+    fn output_collector_preserves_order() {
+        let mut c: OutputCollector<&'static str> = OutputCollector::new();
+        c.collect("a");
+        c.collect("b");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.into_records(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Algorithm tour: watch every moving part of the paper on a tiny input.
+//!
+//! ```text
+//! cargo run -p skymr-examples --release --bin algorithm_tour
+//! ```
+//!
+//! Walks a small 2-D dataset through the whole machinery — grid
+//! partitioning, bitstring generation and pruning, independent-group
+//! formation — printing each intermediate structure, then runs all five
+//! MapReduce algorithms plus the two centralized baselines and checks they
+//! agree.
+
+use skymr::bitstring::Bitstring;
+use skymr::groups::{plan_groups, MergePolicy};
+use skymr::{mr_gpmrs, mr_gpsrs, Grid, SkylineConfig};
+use skymr_baselines::{
+    bnl_skyline, mr_angle, mr_bnl, mr_sfs, sfs_skyline, BaselineConfig, SfsOrder,
+};
+use skymr_datagen::{generate, Distribution};
+
+fn render(bs: &Bitstring) -> String {
+    (0..bs.grid().num_partitions())
+        .map(|i| if bs.is_set(i) { '1' } else { '0' })
+        .collect()
+}
+
+fn grid_picture(bs: &Bitstring) -> String {
+    // Rows printed top-down with dimension 1 increasing upward, like the
+    // paper's Figure 2.
+    let n = bs.grid().ppd();
+    let mut out = String::new();
+    for row in (0..n).rev() {
+        out.push_str("    ");
+        for col in 0..n {
+            let idx = bs.grid().index_of(&[col, row]);
+            out.push(if bs.is_set(idx) { 'x' } else { '.' });
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let data = generate(Distribution::Anticorrelated, 2, 400, 11);
+    println!(
+        "dataset: {} tuples, {} dims, anti-correlated\n",
+        data.len(),
+        data.dim()
+    );
+
+    // --- Grid partitioning & bitstring (paper Section 3) ---------------
+    let grid = Grid::new(2, 5).expect("valid grid");
+    println!(
+        "grid: {} PPD -> {} partitions, column-major indexing",
+        grid.ppd(),
+        grid.num_partitions()
+    );
+    let mut bs = Bitstring::from_tuples(grid, data.tuples());
+    println!("bitstring (Equation 1, 1 = non-empty): {}", render(&bs));
+    println!("{}", grid_picture(&bs));
+    bs.prune_dominated();
+    println!(
+        "after partition-dominance pruning (Equation 2): {}",
+        render(&bs)
+    );
+    println!("{}", grid_picture(&bs));
+
+    // --- Independent groups (paper Section 5) --------------------------
+    let plan = plan_groups(&bs, 4, MergePolicy::ComputationCost);
+    println!("independent partition groups (Algorithm 7):");
+    for (i, g) in plan.groups.iter().enumerate() {
+        println!(
+            "  IG{} seeded at p{} (coords {:?}): partitions {:?}, cost {}",
+            i + 1,
+            g.seed,
+            grid.coords_of(g.seed as usize),
+            g.partitions,
+            g.cost()
+        );
+    }
+    println!("merged into {} reducer buckets:", plan.buckets.len());
+    for (i, b) in plan.buckets.iter().enumerate() {
+        println!(
+            "  bucket {i}: partitions {:?}, cost {}",
+            b.partitions, b.cost
+        );
+    }
+    println!(
+        "designations (partition -> responsible bucket): {:?}\n",
+        plan.designated
+    );
+
+    // --- All algorithms agree ------------------------------------------
+    let config = SkylineConfig::test().with_ppd(5);
+    let bconfig = BaselineConfig::test();
+    let oracle = bnl_skyline(data.tuples());
+    println!("skyline size: {}", oracle.len());
+
+    let gpsrs = mr_gpsrs(&data, &config).expect("valid configuration");
+    let gpmrs = mr_gpmrs(&data, &config).expect("valid configuration");
+    let bnl = mr_bnl(&data, &bconfig);
+    let sfs = mr_sfs(&data, &bconfig);
+    let angle = mr_angle(&data, &bconfig);
+    let sfs_central = sfs_skyline(data.tuples(), SfsOrder::Entropy);
+
+    let oracle_ids: Vec<u64> = oracle.iter().map(|t| t.id).collect();
+    for (name, ids) in [
+        ("MR-GPSRS", gpsrs.skyline_ids()),
+        ("MR-GPMRS", gpmrs.skyline_ids()),
+        ("MR-BNL", bnl.skyline_ids()),
+        ("MR-SFS", sfs.skyline_ids()),
+        ("MR-Angle", angle.skyline_ids()),
+        (
+            "SFS (centralized)",
+            sfs_central.iter().map(|t| t.id).collect(),
+        ),
+    ] {
+        assert_eq!(ids, oracle_ids, "{name} disagrees with the BNL oracle");
+        println!("  {name:<18} ✓ matches the BNL oracle");
+    }
+
+    println!("\nsimulated runtimes on the test cluster:");
+    println!("  MR-GPSRS {:>9.3?}", gpsrs.metrics.sim_runtime());
+    println!("  MR-GPMRS {:>9.3?}", gpmrs.metrics.sim_runtime());
+    println!("  MR-BNL   {:>9.3?}", bnl.metrics.sim_runtime());
+    println!("  MR-SFS   {:>9.3?}", sfs.metrics.sim_runtime());
+    println!("  MR-Angle {:>9.3?}", angle.metrics.sim_runtime());
+}

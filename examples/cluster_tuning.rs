@@ -1,0 +1,82 @@
+//! Cluster tuning: when do multiple reducers pay off?
+//!
+//! ```text
+//! cargo run -p skymr-examples --release --bin cluster_tuning
+//! ```
+//!
+//! The paper's headline finding is that MR-GPMRS wins when a large
+//! fraction of tuples is in the skyline, while MR-GPSRS wins when the
+//! fraction is small — and its future-work section asks for an automatic
+//! switch. This example sweeps the reducer count on two contrasting
+//! workloads (like the paper's Figure 10), prints the runtime curves, and
+//! shows what the [`skymr::hybrid`] planner would have picked from the
+//! bitstring statistics alone.
+
+use skymr::bitstring::job::generate_bitstring;
+use skymr::hybrid::{choose, HybridChoice, DEFAULT_SURVIVAL_THRESHOLD};
+use skymr::{mr_gpmrs, mr_gpsrs, SkylineConfig};
+use skymr_common::Dataset;
+use skymr_datagen::{generate, Distribution};
+
+fn sweep(name: &str, data: &Dataset) {
+    println!("--- {name}: {} tuples, {} dims ---", data.len(), data.dim());
+    let mut best: Option<(usize, f64)> = None;
+    for reducers in [1usize, 2, 5, 9, 13, 17] {
+        let config = SkylineConfig::default().with_reducers(reducers);
+        let run = if reducers == 1 {
+            mr_gpsrs(data, &config).expect("valid configuration")
+        } else {
+            mr_gpmrs(data, &config).expect("valid configuration")
+        };
+        let secs = run.metrics.sim_runtime().as_secs_f64();
+        let algo = if reducers == 1 {
+            "MR-GPSRS"
+        } else {
+            "MR-GPMRS"
+        };
+        println!(
+            "  {algo:<9} reducers={reducers:>2}  runtime {secs:>7.2}s  skyline {}",
+            run.skyline.len()
+        );
+        if best.map_or(true, |(_, b)| secs < b) {
+            best = Some((reducers, secs));
+        }
+    }
+    let (best_r, best_s) = best.expect("at least one configuration ran");
+    println!("  -> best observed: {best_r} reducer(s) at {best_s:.2}s");
+
+    // What would the hybrid planner have chosen, from the bitstring alone?
+    let config = SkylineConfig::default();
+    let splits = data.split(config.mappers);
+    let (bitstring, info, _) =
+        generate_bitstring(&splits, data.dim(), data.len(), &config).expect("valid configuration");
+    let choice = choose(
+        &bitstring,
+        info.non_empty,
+        &config,
+        DEFAULT_SURVIVAL_THRESHOLD,
+    );
+    let survival = info.surviving as f64 / info.non_empty.max(1) as f64;
+    let survival_pct = survival * 100.0;
+    match choice {
+        HybridChoice::SingleReducer => {
+            println!("  -> hybrid planner: single reducer (partition survival {survival_pct:.0}%)")
+        }
+        HybridChoice::MultiReducer { reducers } => println!(
+            "  -> hybrid planner: {reducers} reducers (partition survival {survival_pct:.0}%)"
+        ),
+    }
+    println!();
+}
+
+fn main() {
+    // Small skyline: independent, low dimensionality. Extra reducers are
+    // pure overhead here.
+    let easy = generate(Distribution::Independent, 3, 40_000, 3);
+    sweep("independent 3-d (small skyline)", &easy);
+
+    // Huge skyline: anti-correlated, higher dimensionality. The single
+    // reducer becomes the bottleneck; parallel reducers pay off.
+    let hard = generate(Distribution::Anticorrelated, 7, 40_000, 3);
+    sweep("anti-correlated 7-d (large skyline)", &hard);
+}

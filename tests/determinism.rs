@@ -1,0 +1,114 @@
+//! Determinism and fault-tolerance tests: the MapReduce contract says a
+//! failed task is simply re-executed, which is only sound because every
+//! task in this workspace is deterministic. These tests run the full
+//! pipelines repeatedly, with and without injected failures, and demand
+//! bit-identical skylines.
+
+use skymr::{mr_gpmrs, mr_gpsrs, SkylineConfig};
+use skymr_baselines::{mr_angle, mr_bnl, BaselineConfig};
+use skymr_datagen::Distribution;
+use skymr_integration_tests::scenario;
+use skymr_mapreduce::FailurePlan;
+
+#[test]
+fn repeated_runs_are_identical() {
+    let data = scenario(Distribution::Anticorrelated, 4, 600, 301);
+    let config = SkylineConfig::test();
+    let first = mr_gpmrs(&data, &config).unwrap();
+    for _ in 0..3 {
+        let again = mr_gpmrs(&data, &config).unwrap();
+        assert_eq!(again.skyline, first.skyline);
+        assert_eq!(again.info.independent_groups, first.info.independent_groups);
+    }
+}
+
+#[test]
+fn gpsrs_identical_under_every_single_map_failure() {
+    let data = scenario(Distribution::Independent, 3, 400, 302);
+    let clean = mr_gpsrs(&data, &SkylineConfig::test()).unwrap();
+    for failed_task in 0..4 {
+        let mut config = SkylineConfig::test();
+        config.failures = FailurePlan::fail_maps([failed_task]);
+        let run = mr_gpsrs(&data, &config).unwrap();
+        assert_eq!(
+            run.skyline, clean.skyline,
+            "map task {failed_task} retry changed the result"
+        );
+        assert_eq!(run.metrics.jobs[1].map_retries, 1);
+    }
+}
+
+#[test]
+fn gpmrs_identical_under_reduce_failures() {
+    let data = scenario(Distribution::Anticorrelated, 3, 500, 303);
+    let clean = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
+    for failed in 0..clean.info.buckets {
+        let mut config = SkylineConfig::test();
+        config.failures = FailurePlan::fail_reduces([failed]);
+        let run = mr_gpmrs(&data, &config).unwrap();
+        assert_eq!(
+            run.skyline, clean.skyline,
+            "reduce task {failed} retry changed the result"
+        );
+        assert_eq!(run.metrics.jobs[1].reduce_retries, 1);
+    }
+}
+
+#[test]
+fn gpmrs_identical_under_combined_failures() {
+    let data = scenario(Distribution::Anticorrelated, 4, 500, 304);
+    let clean = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
+    let mut config = SkylineConfig::test();
+    config.failures = FailurePlan {
+        map_fail_once: [0, 1, 2, 3].into(),
+        reduce_fail_once: [0].into(),
+    };
+    let run = mr_gpmrs(&data, &config).unwrap();
+    assert_eq!(run.skyline, clean.skyline);
+    assert_eq!(run.metrics.jobs[1].map_retries, 4);
+}
+
+#[test]
+fn baselines_identical_under_failures() {
+    let data = scenario(Distribution::Independent, 3, 300, 305);
+    let mut config = BaselineConfig::test();
+    config.failures = FailurePlan::fail_maps([0, 2]);
+    assert_eq!(
+        mr_bnl(&data, &config).skyline_ids(),
+        mr_bnl(&data, &BaselineConfig::test()).skyline_ids()
+    );
+    assert_eq!(
+        mr_angle(&data, &config).skyline_ids(),
+        mr_angle(&data, &BaselineConfig::test()).skyline_ids()
+    );
+}
+
+#[test]
+fn split_count_does_not_affect_any_algorithm() {
+    let data = scenario(Distribution::Clustered { clusters: 4 }, 3, 450, 306);
+    let reference = mr_gpmrs(&data, &SkylineConfig::test().with_mappers(1)).unwrap();
+    for mappers in [2usize, 3, 7, 16] {
+        let run = mr_gpmrs(&data, &SkylineConfig::test().with_mappers(mappers)).unwrap();
+        assert_eq!(
+            run.skyline, reference.skyline,
+            "{mappers} mappers changed the skyline"
+        );
+    }
+}
+
+#[test]
+fn comparison_counters_are_deterministic() {
+    // The cost-model validation (Figure 11) relies on reproducible counts.
+    let data = scenario(Distribution::Independent, 4, 500, 307);
+    let config = SkylineConfig::test();
+    let a = mr_gpmrs(&data, &config).unwrap();
+    let b = mr_gpmrs(&data, &config).unwrap();
+    assert_eq!(
+        a.counters["gpmrs.map.partition_cmps"],
+        b.counters["gpmrs.map.partition_cmps"]
+    );
+    assert_eq!(
+        a.counters["gpmrs.reduce.partition_cmps.max"],
+        b.counters["gpmrs.reduce.partition_cmps.max"]
+    );
+}

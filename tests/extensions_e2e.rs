@@ -1,0 +1,161 @@
+//! Integration tests for the beyond-the-paper extensions: k-skyband,
+//! top-k dominating, SKY-MR, MR-Bitmap, the normalizer, and subspace
+//! projection — exercised together across crates.
+
+use skymr::skyband::skyband_reference;
+use skymr::topk::top_k_dominating_reference;
+use skymr::{mr_gpmrs, mr_skyband, mr_skyband_multi, mr_top_k_dominating, SkylineConfig};
+use skymr_baselines::{bnl_skyline, discretize, mr_bitmap, sky_mr, BaselineConfig, SkyMrConfig};
+use skymr_common::Dataset;
+use skymr_datagen::{generate, Direction, Distribution, Normalizer};
+use skymr_integration_tests::scenario;
+
+#[test]
+fn skyline_is_contained_in_every_band() {
+    let data = scenario(Distribution::Anticorrelated, 3, 600, 501);
+    let config = SkylineConfig::test();
+    let skyline: std::collections::BTreeSet<u64> = mr_gpmrs(&data, &config)
+        .unwrap()
+        .skyline_ids()
+        .into_iter()
+        .collect();
+    for k in [1u32, 2, 5] {
+        let band: std::collections::BTreeSet<u64> = mr_skyband(&data, k, &config)
+            .unwrap()
+            .skyline_ids()
+            .into_iter()
+            .collect();
+        assert!(
+            skyline.is_subset(&band),
+            "skyline must be inside the {k}-skyband"
+        );
+    }
+}
+
+#[test]
+fn band_topologies_agree_under_shape_changes() {
+    let data = scenario(Distribution::Clustered { clusters: 4 }, 4, 500, 502);
+    for k in [1u32, 3] {
+        let oracle = skyband_reference(data.tuples(), k);
+        for reducers in [1usize, 3, 6] {
+            let config = SkylineConfig::test().with_reducers(reducers);
+            assert_eq!(mr_skyband(&data, k, &config).unwrap().skyline, oracle);
+            assert_eq!(mr_skyband_multi(&data, k, &config).unwrap().skyline, oracle);
+        }
+    }
+}
+
+#[test]
+fn top_scorer_is_always_a_skyline_tuple() {
+    // If s dominates t, s also dominates everything t does plus t itself,
+    // so score(s) > score(t): the best scorer is never dominated.
+    for dist in [Distribution::Independent, Distribution::Anticorrelated] {
+        let data = scenario(dist, 3, 400, 503);
+        let run = mr_top_k_dominating(&data, 1, &SkylineConfig::test()).unwrap();
+        let skyline: Vec<u64> = bnl_skyline(data.tuples()).iter().map(|t| t.id).collect();
+        let top = run.ranked.first().expect("non-empty data has a top scorer");
+        assert!(
+            skyline.contains(&top.0.id),
+            "top dominating tuple {} is not in the skyline ({dist:?})",
+            top.0.id
+        );
+    }
+}
+
+#[test]
+fn topk_matches_reference_with_auto_ppd() {
+    let data = scenario(Distribution::Anticorrelated, 4, 400, 504);
+    let mut config = SkylineConfig::test();
+    config.ppd = skymr::PpdPolicy::auto();
+    let run = mr_top_k_dominating(&data, 7, &config).unwrap();
+    assert_eq!(run.ranked, top_k_dominating_reference(data.tuples(), 7));
+}
+
+#[test]
+fn normalizer_pipeline_end_to_end() {
+    // Raw rows with mixed directions -> canonical dataset -> skyline ->
+    // map back and check Pareto-optimality in raw terms.
+    let rows: Vec<Vec<f64>> = (0..300)
+        .map(|i| {
+            let f = i as f64;
+            vec![100.0 + (f * 37.0) % 400.0, 1.0 + (f * 13.0) % 4.0]
+        })
+        .collect();
+    let norm = Normalizer::fit(
+        &[
+            ("price", Direction::Minimize),
+            ("rating", Direction::Maximize),
+        ],
+        &rows,
+    )
+    .unwrap();
+    let data = norm.to_dataset(&rows).unwrap();
+    let run = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
+    assert!(!run.skyline.is_empty());
+    for t in &run.skyline {
+        let (price, rating) = {
+            let raw = norm.to_raw_row(t);
+            (raw[0], raw[1])
+        };
+        let beaten = rows.iter().enumerate().any(|(i, row)| {
+            i as u64 != t.id
+                && row[0] <= price
+                && row[1] >= rating
+                && (row[0] < price || row[1] > rating)
+        });
+        assert!(
+            !beaten,
+            "skyline row {} is Pareto-dominated in raw units",
+            t.id
+        );
+    }
+}
+
+#[test]
+fn subspace_skyline_contains_fullspace_projected_winners() {
+    // A tuple undominated in a subspace projection may still be dominated
+    // in the full space; the converse containment does not hold either —
+    // but running any algorithm on a projection must equal the oracle on
+    // that projection.
+    let data = scenario(Distribution::Anticorrelated, 5, 500, 505);
+    let sub = data.project(&[0, 3]).unwrap();
+    let run = mr_gpmrs(&sub, &SkylineConfig::test()).unwrap();
+    assert_eq!(run.skyline, bnl_skyline(sub.tuples()));
+}
+
+#[test]
+fn sky_mr_and_gpmrs_agree_everywhere() {
+    for dist in [Distribution::Independent, Distribution::Anticorrelated] {
+        for dim in [2usize, 4, 6] {
+            let data = scenario(dist, dim, 500, 506);
+            let a = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
+            let b = sky_mr(&data, &SkyMrConfig::test());
+            assert_eq!(a.skyline_ids(), b.skyline_ids(), "{dist:?} d={dim}");
+        }
+    }
+}
+
+#[test]
+fn bitmap_on_discretized_equals_grid_algorithms_on_discretized() {
+    let raw = scenario(Distribution::Independent, 3, 400, 507);
+    let data = discretize(&raw, 6);
+    let bitmap = mr_bitmap(&data, &BaselineConfig::test());
+    let grid = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
+    assert_eq!(bitmap.skyline_ids(), grid.skyline_ids());
+}
+
+#[test]
+fn extensions_tolerate_degenerate_inputs() {
+    let empty = Dataset::new(3, vec![]).unwrap();
+    let config = SkylineConfig::test();
+    assert!(mr_skyband(&empty, 2, &config).unwrap().skyline.is_empty());
+    assert!(mr_top_k_dominating(&empty, 3, &config)
+        .unwrap()
+        .ranked
+        .is_empty());
+    let one = generate(Distribution::Independent, 2, 1, 508);
+    assert_eq!(mr_skyband_multi(&one, 5, &config).unwrap().skyline.len(), 1);
+    let run = mr_top_k_dominating(&one, 5, &config).unwrap();
+    assert_eq!(run.ranked.len(), 1);
+    assert_eq!(run.ranked[0].1, 0, "a lone tuple dominates nothing");
+}

@@ -1,0 +1,132 @@
+//! End-to-end invariants of the independent-group machinery driving
+//! MR-GPMRS, validated on real pipeline runs rather than synthetic
+//! bitstrings.
+
+use std::collections::BTreeSet;
+
+use skymr::bitstring::job::generate_bitstring;
+use skymr::groups::{generate_independent_groups, plan_groups, MergePolicy};
+use skymr::{mr_gpmrs, SkylineConfig};
+use skymr_baselines::bnl_skyline;
+use skymr_datagen::Distribution;
+use skymr_integration_tests::scenario;
+
+fn real_bitstring(
+    dist: Distribution,
+    dim: usize,
+    card: usize,
+    seed: u64,
+    config: &SkylineConfig,
+) -> (skymr::Bitstring, usize) {
+    let data = scenario(dist, dim, card, seed);
+    let splits = data.split(config.mappers);
+    let (bs, info, _) = generate_bitstring(&splits, dim, data.len(), config).unwrap();
+    (bs, info.non_empty)
+}
+
+#[test]
+fn groups_cover_and_are_closed_on_real_data() {
+    for dist in [Distribution::Independent, Distribution::Anticorrelated] {
+        let config = SkylineConfig::test().with_ppd(5);
+        let (bs, _) = real_bitstring(dist, 3, 2_000, 401, &config);
+        let groups = generate_independent_groups(&bs);
+        let surviving: BTreeSet<u32> = bs.iter_set().map(|p| p as u32).collect();
+        let covered: BTreeSet<u32> = groups
+            .iter()
+            .flat_map(|g| g.partitions.iter().copied())
+            .collect();
+        assert_eq!(
+            covered, surviving,
+            "groups must cover all surviving partitions ({dist:?})"
+        );
+        // ADR-closure of every group (Definition 5 over surviving partitions).
+        let grid = bs.grid();
+        for g in &groups {
+            let members: BTreeSet<u32> = g.partitions.iter().copied().collect();
+            for &p in &g.partitions {
+                for q in grid.adr(p as usize).filter(|&q| bs.is_set(q)) {
+                    assert!(
+                        members.contains(&(q as u32)),
+                        "group not ADR-closed ({dist:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma2_group_skylines_are_global_skyline_parts() {
+    // Compute each independent group's skyline from the raw tuples and
+    // check every tuple of it is in the global skyline (Lemma 2).
+    let data = scenario(Distribution::Anticorrelated, 2, 1_500, 402);
+    let config = SkylineConfig::test().with_ppd(6);
+    let splits = data.split(config.mappers);
+    let (bs, _, _) = generate_bitstring(&splits, data.dim(), data.len(), &config).unwrap();
+    let groups = generate_independent_groups(&bs);
+    let global: BTreeSet<u64> = bnl_skyline(data.tuples()).iter().map(|t| t.id).collect();
+    let grid = bs.grid();
+    for g in &groups {
+        let members: BTreeSet<u32> = g.partitions.iter().copied().collect();
+        let tuples: Vec<skymr_common::Tuple> = data
+            .tuples()
+            .iter()
+            .filter(|t| members.contains(&(grid.partition_of(t) as u32)))
+            .cloned()
+            .collect();
+        for t in bnl_skyline(&tuples) {
+            assert!(
+                global.contains(&t.id),
+                "Lemma 2 violated: tuple {} in group {} skyline but not global",
+                t.id,
+                g.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn designated_outputs_partition_the_skyline() {
+    // Union of designated partitions over buckets = all surviving
+    // partitions; intersection pairwise empty (exactly-once output).
+    let config = SkylineConfig::test().with_ppd(5).with_reducers(3);
+    let (bs, _) = real_bitstring(Distribution::Anticorrelated, 3, 2_000, 403, &config);
+    for policy in [MergePolicy::ComputationCost, MergePolicy::CommunicationCost] {
+        let plan = plan_groups(&bs, 3, policy);
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        for (&p, &b) in &plan.designated {
+            assert!(b < plan.num_buckets());
+            assert!(seen.insert(p), "partition {p} designated twice");
+        }
+        let surviving: BTreeSet<u32> = bs.iter_set().map(|p| p as u32).collect();
+        assert_eq!(seen, surviving);
+    }
+}
+
+#[test]
+fn bucket_count_matches_run_info() {
+    let data = scenario(Distribution::Anticorrelated, 3, 1_000, 404);
+    for r in [1usize, 2, 4, 8] {
+        let run = mr_gpmrs(&data, &SkylineConfig::test().with_reducers(r)).unwrap();
+        assert!(run.info.buckets <= r);
+        assert!(run.info.buckets <= run.info.independent_groups.max(1));
+        // The skyline job really ran with that many reducers.
+        assert_eq!(run.metrics.jobs[1].reduce_tasks, run.info.buckets);
+    }
+}
+
+#[test]
+fn replication_grows_with_bucket_count() {
+    // More buckets -> more groups kept separate -> at least as many
+    // replicated partition copies shipped.
+    let config = SkylineConfig::test().with_ppd(6);
+    let (bs, _) = real_bitstring(Distribution::Anticorrelated, 3, 3_000, 405, &config);
+    let copies = |r: usize| -> usize {
+        plan_groups(&bs, r, MergePolicy::ComputationCost)
+            .buckets
+            .iter()
+            .map(|b| b.partitions.len())
+            .sum()
+    };
+    assert!(copies(4) >= copies(1), "4 buckets ship fewer copies than 1");
+}

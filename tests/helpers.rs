@@ -1,0 +1,60 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use skymr::{mr_gpmrs, mr_gpsrs, mr_hybrid, SkylineConfig};
+use skymr_baselines::{bnl_skyline, mr_angle, mr_bnl, mr_sfs, sky_mr, BaselineConfig, SkyMrConfig};
+use skymr_common::Dataset;
+use skymr_datagen::{generate, Distribution};
+
+/// All distributions exercised by the cross-algorithm tests.
+pub const ALL_DISTRIBUTIONS: [Distribution; 4] = [
+    Distribution::Independent,
+    Distribution::Correlated,
+    Distribution::Anticorrelated,
+    Distribution::Clustered { clusters: 3 },
+];
+
+/// A deterministic dataset for a scenario.
+pub fn scenario(dist: Distribution, dim: usize, card: usize, seed: u64) -> Dataset {
+    generate(dist, dim, card, seed)
+}
+
+/// The skyline ids every algorithm must produce, from the centralized BNL
+/// oracle.
+pub fn oracle_ids(data: &Dataset) -> Vec<u64> {
+    bnl_skyline(data.tuples()).iter().map(|t| t.id).collect()
+}
+
+/// Runs every MapReduce algorithm in the workspace on `data` and returns
+/// `(name, skyline ids)` pairs.
+pub fn all_algorithm_ids(
+    data: &Dataset,
+    config: &SkylineConfig,
+    bconfig: &BaselineConfig,
+) -> Vec<(&'static str, Vec<u64>)> {
+    vec![
+        (
+            "MR-GPSRS",
+            mr_gpsrs(data, config).expect("gpsrs runs").skyline_ids(),
+        ),
+        (
+            "MR-GPMRS",
+            mr_gpmrs(data, config).expect("gpmrs runs").skyline_ids(),
+        ),
+        (
+            "hybrid",
+            mr_hybrid(data, config).expect("hybrid runs").skyline_ids(),
+        ),
+        ("MR-BNL", mr_bnl(data, bconfig).skyline_ids()),
+        ("MR-SFS", mr_sfs(data, bconfig).skyline_ids()),
+        ("MR-Angle", mr_angle(data, bconfig).skyline_ids()),
+        ("SKY-MR", sky_mr(data, &SkyMrConfig::test()).skyline_ids()),
+    ]
+}
+
+/// Asserts that every algorithm agrees with the oracle on `data`.
+pub fn assert_all_agree(data: &Dataset, config: &SkylineConfig, label: &str) {
+    let oracle = oracle_ids(data);
+    for (name, ids) in all_algorithm_ids(data, config, &BaselineConfig::test()) {
+        assert_eq!(ids, oracle, "{name} disagrees with BNL oracle on {label}");
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end pipeline tests: job chaining, metrics plausibility, and the
+//! simulated-cost accounting across crates.
+
+use std::time::Duration;
+
+use skymr::{mr_gpmrs, mr_gpsrs, PpdPolicy, SkylineConfig};
+use skymr_baselines::{mr_bnl, BaselineConfig};
+use skymr_datagen::Distribution;
+use skymr_integration_tests::scenario;
+use skymr_mapreduce::ClusterConfig;
+
+#[test]
+fn skyline_pipelines_run_two_jobs_in_order() {
+    let data = scenario(Distribution::Independent, 3, 600, 201);
+    let run = mr_gpsrs(&data, &SkylineConfig::test()).unwrap();
+    let names: Vec<&str> = run.metrics.jobs.iter().map(|j| j.name.as_str()).collect();
+    assert_eq!(names, vec!["bitstring", "gpsrs"]);
+    let run = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
+    let names: Vec<&str> = run.metrics.jobs.iter().map(|j| j.name.as_str()).collect();
+    assert_eq!(names, vec!["bitstring", "gpmrs"]);
+}
+
+#[test]
+fn auto_ppd_renames_the_pre_job() {
+    let data = scenario(Distribution::Independent, 3, 600, 202);
+    let mut config = SkylineConfig::test();
+    config.ppd = PpdPolicy::auto();
+    let run = mr_gpsrs(&data, &config).unwrap();
+    assert_eq!(run.metrics.jobs[0].name, "bitstring-ppd");
+}
+
+#[test]
+fn sim_runtime_is_sum_of_jobs() {
+    let data = scenario(Distribution::Anticorrelated, 3, 500, 203);
+    let run = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
+    let total: Duration = run.metrics.jobs.iter().map(|j| j.sim_runtime).sum();
+    assert_eq!(run.metrics.sim_runtime(), total);
+    assert!(total > Duration::ZERO);
+}
+
+#[test]
+fn startup_overheads_flow_into_runtime() {
+    // With the paper-default cluster, each job carries a fixed startup: a
+    // two-job pipeline can never be faster than twice that charge.
+    let data = scenario(Distribution::Independent, 2, 200, 204);
+    let config = SkylineConfig {
+        cluster: ClusterConfig::default(),
+        ..SkylineConfig::test()
+    };
+    let floor = config.cluster.job_startup * 2;
+    let run = mr_gpsrs(&data, &config).unwrap();
+    assert!(run.metrics.sim_runtime() >= floor);
+}
+
+#[test]
+fn bitstring_pruning_reduces_shuffle_traffic() {
+    // When the dominating tuples are NOT on every mapper, mapper-local
+    // false-positive elimination cannot drop dominated partitions by
+    // itself — only the bitstring can. One origin tuple (landing on mapper
+    // 0 under round-robin splitting) dominates a large mass: with pruning
+    // the other mappers ship nothing from the mass, without it they ship
+    // their local skylines of it.
+    let mut tuples = vec![skymr_common::Tuple::new(0, vec![0.01, 0.01])];
+    for i in 1..3_000u64 {
+        let a = 0.6 + ((i * 13) % 89) as f64 / 300.0;
+        let b = 0.6 + ((i * 29) % 97) as f64 / 300.0;
+        tuples.push(skymr_common::Tuple::new(i, vec![a, b]));
+    }
+    let data = skymr_common::Dataset::new(2, tuples).unwrap();
+    let base = SkylineConfig::test().with_ppd(5);
+    let mut unpruned_cfg = base.clone();
+    unpruned_cfg.prune_bitstring = false;
+    let pruned = mr_gpsrs(&data, &base).unwrap();
+    let unpruned = mr_gpsrs(&data, &unpruned_cfg).unwrap();
+    assert_eq!(
+        pruned.skyline_ids(),
+        unpruned.skyline_ids(),
+        "pruning must not change results"
+    );
+    assert!(
+        pruned.metrics.jobs[1].shuffle_bytes < unpruned.metrics.jobs[1].shuffle_bytes,
+        "pruning should reduce shuffle bytes: {} vs {}",
+        pruned.metrics.jobs[1].shuffle_bytes,
+        unpruned.metrics.jobs[1].shuffle_bytes
+    );
+    assert!(pruned.info.surviving_partitions < pruned.info.non_empty_partitions);
+}
+
+#[test]
+fn gpmrs_spreads_reduce_work_across_buckets() {
+    // Each bucket's partition set is a proper subset of the surviving
+    // partitions (the first seed belongs only to its own group), so the
+    // busiest reducer performs at most — and typically fewer — tuple
+    // comparisons than the single reducer doing everything. (Wall-clock
+    // gains additionally need the per-partition work to dwarf the
+    // replication overhead, which requires paper-scale inputs; counters
+    // are the scale-free part of the claim.)
+    let data = scenario(Distribution::Anticorrelated, 5, 4_000, 206);
+    let one = mr_gpmrs(&data, &SkylineConfig::test().with_reducers(1)).unwrap();
+    let many = mr_gpmrs(&data, &SkylineConfig::test().with_reducers(4)).unwrap();
+    assert_eq!(one.skyline_ids(), many.skyline_ids());
+    assert!(
+        many.info.buckets > 1,
+        "scenario must actually produce multiple buckets"
+    );
+    let one_max = one.counters["gpmrs.reduce.tuple_cmps.max"];
+    let many_max = many.counters["gpmrs.reduce.tuple_cmps.max"];
+    assert!(
+        many_max <= one_max,
+        "busiest of 4 reducers did more tuple comparisons than the single reducer: \
+         {many_max} vs {one_max}"
+    );
+    // The shuffle really fans out to several reducers.
+    let active = many.metrics.jobs[1]
+        .per_reducer_bytes
+        .iter()
+        .filter(|&&b| b > 0)
+        .count();
+    assert!(active > 1, "shuffle bytes all landed on one reducer");
+}
+
+#[test]
+fn counters_report_mapper_and_reducer_work() {
+    let data = scenario(Distribution::Anticorrelated, 3, 800, 207);
+    let run = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
+    let total_map = run.counters["gpmrs.map.partition_cmps"];
+    let max_map = run.counters["gpmrs.map.partition_cmps.max"];
+    assert!(max_map <= total_map);
+    assert!(run.counters["gpmrs.map.tuple_cmps"] > 0);
+}
+
+#[test]
+fn baselines_share_the_same_cluster_accounting() {
+    let data = scenario(Distribution::Independent, 3, 500, 208);
+    let run = mr_bnl(&data, &BaselineConfig::test());
+    assert_eq!(run.metrics.jobs.len(), 2, "MR-BNL is a two-phase pipeline");
+    for job in &run.metrics.jobs {
+        assert_eq!(
+            job.sim_runtime,
+            job.startup_time
+                + job.broadcast_time
+                + job.map_phase
+                + job.shuffle_time
+                + job.reduce_phase
+        );
+    }
+}
+
+#[test]
+fn mappers_prefilter_dominated_partitions() {
+    // Tuples in pruned partitions never reach the local skylines: with a
+    // single dominating tuple at the origin, the mappers' emitted records
+    // shrink dramatically versus no pruning.
+    let mut tuples = vec![skymr_common::Tuple::new(0, vec![0.01, 0.01, 0.01])];
+    for i in 1..2_000u64 {
+        let f = 0.5 + ((i * 13) % 97) as f64 / 400.0;
+        tuples.push(skymr_common::Tuple::new(i, vec![f, f, f]));
+    }
+    let data = skymr_common::Dataset::new(3, tuples).unwrap();
+    let pruned = mr_gpsrs(&data, &SkylineConfig::test().with_ppd(4)).unwrap();
+    let mut cfg = SkylineConfig::test().with_ppd(4);
+    cfg.prune_bitstring = false;
+    let unpruned = mr_gpsrs(&data, &cfg).unwrap();
+    assert_eq!(pruned.skyline_ids(), vec![0]);
+    assert!(
+        pruned.counters["gpsrs.map.tuple_cmps"] < unpruned.counters["gpsrs.map.tuple_cmps"],
+        "bitstring pruning should cut mapper tuple comparisons"
+    );
+}

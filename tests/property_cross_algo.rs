@@ -1,0 +1,137 @@
+//! Property-based cross-algorithm tests: random datasets, random job
+//! shapes — every algorithm must agree with the BNL oracle, and core
+//! invariants must hold.
+
+use proptest::prelude::*;
+
+use skymr::{mr_gpmrs, mr_gpsrs, PpdPolicy, SkylineConfig};
+use skymr_baselines::{
+    bnl_skyline, bnl_skyline_windowed, mr_angle, mr_bnl, sfs_skyline, BaselineConfig, SfsOrder,
+};
+use skymr_common::dominance::dominates;
+use skymr_common::{Dataset, Tuple};
+
+fn arb_dataset(max_dim: usize, max_card: usize) -> impl Strategy<Value = Dataset> {
+    (1..=max_dim, 0..=max_card).prop_flat_map(|(dim, card)| {
+        proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, dim), card).prop_map(
+            move |rows| {
+                let tuples = rows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, vals)| Tuple::new(i as u64, vals))
+                    .collect();
+                Dataset::new_unchecked(dim, tuples)
+            },
+        )
+    })
+}
+
+/// The skyline definition, verified directly: output = exactly the
+/// non-dominated input tuples.
+fn assert_is_skyline(data: &Dataset, skyline: &[Tuple]) {
+    let in_skyline: std::collections::BTreeSet<u64> = skyline.iter().map(|t| t.id).collect();
+    for t in data.tuples() {
+        let dominated = data.tuples().iter().any(|o| dominates(o, t));
+        assert_eq!(
+            !dominated,
+            in_skyline.contains(&t.id),
+            "tuple {} misclassified (dominated={dominated})",
+            t.id
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gpsrs_is_a_correct_skyline(data in arb_dataset(4, 120), ppd in 1usize..6, mappers in 1usize..5) {
+        let config = SkylineConfig::test().with_ppd(ppd).with_mappers(mappers);
+        let run = mr_gpsrs(&data, &config).unwrap();
+        assert_is_skyline(&data, &run.skyline);
+    }
+
+    #[test]
+    fn gpmrs_is_a_correct_skyline(
+        data in arb_dataset(4, 120),
+        ppd in 1usize..6,
+        mappers in 1usize..5,
+        reducers in 1usize..6,
+    ) {
+        let config = SkylineConfig::test().with_ppd(ppd).with_mappers(mappers).with_reducers(reducers);
+        let run = mr_gpmrs(&data, &config).unwrap();
+        assert_is_skyline(&data, &run.skyline);
+    }
+
+    #[test]
+    fn gpmrs_with_auto_ppd_matches_oracle(data in arb_dataset(3, 150)) {
+        let mut config = SkylineConfig::test();
+        config.ppd = PpdPolicy::auto();
+        let run = mr_gpmrs(&data, &config).unwrap();
+        prop_assert_eq!(run.skyline, bnl_skyline(data.tuples()));
+    }
+
+    #[test]
+    fn baselines_match_oracle(data in arb_dataset(4, 100), mappers in 1usize..4) {
+        let config = BaselineConfig::test().with_mappers(mappers);
+        let oracle = bnl_skyline(data.tuples());
+        prop_assert_eq!(mr_bnl(&data, &config).skyline, oracle.clone());
+        prop_assert_eq!(mr_angle(&data, &config).skyline, oracle);
+    }
+
+    #[test]
+    fn windowed_bnl_matches_unbounded(data in arb_dataset(3, 80), cap in 1usize..20) {
+        prop_assert_eq!(
+            bnl_skyline_windowed(data.tuples(), cap),
+            bnl_skyline(data.tuples())
+        );
+    }
+
+    #[test]
+    fn sfs_matches_bnl(data in arb_dataset(4, 100)) {
+        prop_assert_eq!(sfs_skyline(data.tuples(), SfsOrder::Entropy), bnl_skyline(data.tuples()));
+        prop_assert_eq!(sfs_skyline(data.tuples(), SfsOrder::Sum), bnl_skyline(data.tuples()));
+    }
+
+    #[test]
+    fn skyline_is_antichain(data in arb_dataset(4, 100)) {
+        // No skyline tuple dominates another.
+        let sky = bnl_skyline(data.tuples());
+        for a in &sky {
+            for b in &sky {
+                // Dominance is irreflexive, so no pair — including a == b —
+                // may be related.
+                prop_assert!(!dominates(a, b), "skyline contains dominated tuple");
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_shrinks_under_dataset_extension_only_by_domination(
+        data in arb_dataset(3, 60),
+        extra in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 3), 1..20),
+    ) {
+        // Monotonicity: adding tuples can only remove existing skyline
+        // members if a new tuple dominates them.
+        if data.dim() != 3 { return Ok(()); }
+        let before: std::collections::BTreeSet<u64> =
+            bnl_skyline(data.tuples()).iter().map(|t| t.id).collect();
+        let mut tuples = data.tuples().to_vec();
+        let base = tuples.len() as u64;
+        for (i, vals) in extra.iter().enumerate() {
+            tuples.push(Tuple::new(base + i as u64, vals.clone()));
+        }
+        let extended = Dataset::new_unchecked(3, tuples);
+        let after: std::collections::BTreeSet<u64> =
+            bnl_skyline(extended.tuples()).iter().map(|t| t.id).collect();
+        for id in &before {
+            if !after.contains(id) {
+                let t = &data.tuples()[*id as usize];
+                let dominated_by_new = extended.tuples()[data.len()..]
+                    .iter()
+                    .any(|n| dominates(n, t));
+                prop_assert!(dominated_by_new, "tuple {id} vanished without a new dominator");
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the extension queries: k-skyband and top-k
+//! dominating must agree with exhaustive references under random data,
+//! random `k`, and random job shapes.
+
+use proptest::prelude::*;
+
+use skymr::skyband::{band_insert, skyband_reference};
+use skymr::topk::top_k_dominating_reference;
+use skymr::{mr_skyband, mr_skyband_multi, mr_top_k_dominating, SkylineConfig};
+use skymr_common::dominance::dominates;
+use skymr_common::{Dataset, Tuple};
+
+fn arb_dataset(max_dim: usize, max_card: usize) -> impl Strategy<Value = Dataset> {
+    (1..=max_dim, 0..=max_card).prop_flat_map(|(dim, card)| {
+        proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, dim), card).prop_map(
+            move |rows| {
+                let tuples = rows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, vals)| Tuple::new(i as u64, vals))
+                    .collect();
+                Dataset::new_unchecked(dim, tuples)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn skyband_matches_reference(
+        data in arb_dataset(3, 120),
+        k in 1u32..6,
+        ppd in 1usize..5,
+        mappers in 1usize..4,
+    ) {
+        let config = SkylineConfig::test().with_ppd(ppd).with_mappers(mappers);
+        let run = mr_skyband(&data, k, &config).unwrap();
+        prop_assert_eq!(run.skyline, skyband_reference(data.tuples(), k));
+    }
+
+    #[test]
+    fn multi_reducer_skyband_matches_reference(
+        data in arb_dataset(3, 120),
+        k in 1u32..5,
+        reducers in 1usize..5,
+    ) {
+        let config = SkylineConfig::test().with_reducers(reducers);
+        let run = mr_skyband_multi(&data, k, &config).unwrap();
+        prop_assert_eq!(run.skyline, skyband_reference(data.tuples(), k));
+    }
+
+    #[test]
+    fn bands_are_monotone_in_k(data in arb_dataset(3, 100)) {
+        let config = SkylineConfig::test();
+        let mut previous: Option<std::collections::BTreeSet<u64>> = None;
+        for k in [1u32, 2, 4] {
+            let band: std::collections::BTreeSet<u64> =
+                mr_skyband(&data, k, &config).unwrap().skyline_ids().into_iter().collect();
+            if let Some(prev) = &previous {
+                prop_assert!(prev.is_subset(&band), "band shrank from k to k+");
+            }
+            previous = Some(band);
+        }
+    }
+
+    #[test]
+    fn band_membership_definition_holds(data in arb_dataset(2, 90), k in 1u32..5) {
+        let band: std::collections::BTreeSet<u64> = mr_skyband(&data, k, &SkylineConfig::test())
+            .unwrap()
+            .skyline_ids()
+            .into_iter()
+            .collect();
+        for t in data.tuples() {
+            let dominators = data.tuples().iter().filter(|o| dominates(o, t)).count() as u32;
+            prop_assert_eq!(
+                dominators < k,
+                band.contains(&t.id),
+                "tuple {} misclassified (dominators={}, k={})", t.id, dominators, k
+            );
+        }
+    }
+
+    #[test]
+    fn band_insert_never_discards_true_band_members(
+        rows in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 2), 0..80),
+        k in 1u32..4,
+    ) {
+        // The witness theorem's premise: the BNL-k window is a superset of
+        // the true k-skyband of the processed tuples.
+        let tuples: Vec<Tuple> =
+            rows.into_iter().enumerate().map(|(i, v)| Tuple::new(i as u64, v)).collect();
+        let mut window = Vec::new();
+        for t in &tuples {
+            band_insert(&mut window, t.clone(), k);
+        }
+        let kept: std::collections::BTreeSet<u64> = window.iter().map(|(t, _)| t.id).collect();
+        for t in &tuples {
+            let dominators = tuples.iter().filter(|o| dominates(o, t)).count() as u32;
+            if dominators < k {
+                prop_assert!(kept.contains(&t.id), "true band member {} discarded", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn topk_matches_reference(
+        data in arb_dataset(3, 100),
+        k in 1usize..12,
+        ppd in 1usize..5,
+    ) {
+        let config = SkylineConfig::test().with_ppd(ppd);
+        let run = mr_top_k_dominating(&data, k, &config).unwrap();
+        prop_assert_eq!(run.ranked, top_k_dominating_reference(data.tuples(), k));
+    }
+
+    #[test]
+    fn topk_scores_are_sorted_and_exact(data in arb_dataset(2, 80)) {
+        let run = mr_top_k_dominating(&data, 5, &SkylineConfig::test()).unwrap();
+        for w in run.ranked.windows(2) {
+            prop_assert!(w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0.id < w[1].0.id));
+        }
+        for (t, score) in &run.ranked {
+            let truth = data.tuples().iter().filter(|x| dominates(t, x)).count() as u64;
+            prop_assert_eq!(*score, truth, "score of tuple {} wrong", t.id);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Larger-scale smoke tests, ignored by default (`cargo test -- --ignored`
+//! runs them). They exercise the pipelines at bench-like scale, where the
+//! O(n²) BNL oracle would dominate the runtime — so agreement between
+//! independent implementations stands in for the oracle.
+
+use skymr::{mr_gpmrs, mr_gpsrs, PpdPolicy, SkylineConfig};
+use skymr_baselines::{sky_mr, SkyMrConfig};
+use skymr_datagen::{generate, Distribution};
+
+#[test]
+#[ignore = "bench-scale; run with cargo test -- --ignored"]
+fn three_independent_implementations_agree_at_scale() {
+    let data = generate(Distribution::Anticorrelated, 8, 100_000, 601);
+    let config = SkylineConfig {
+        ppd: PpdPolicy::auto(),
+        ..SkylineConfig::default()
+    };
+    let gpmrs = mr_gpmrs(&data, &config).expect("gpmrs runs");
+    let gpsrs = mr_gpsrs(&data, &config).expect("gpsrs runs");
+    let skymr_run = sky_mr(&data, &SkyMrConfig::default());
+    assert_eq!(gpmrs.skyline_ids(), gpsrs.skyline_ids());
+    assert_eq!(gpmrs.skyline_ids(), skymr_run.skyline_ids());
+    assert!(
+        gpmrs.skyline.len() > data.len() / 2,
+        "8-d anti-correlated skyline should be huge"
+    );
+}
+
+#[test]
+#[ignore = "bench-scale; run with cargo test -- --ignored"]
+fn high_dimensional_wide_grid_stays_exact() {
+    // d=12 at PPD 2: 4096 partitions, deep ADR lattices.
+    let data = generate(Distribution::Independent, 12, 20_000, 602);
+    let config = SkylineConfig::test().with_ppd(2);
+    let a = mr_gpsrs(&data, &config).expect("gpsrs runs");
+    let b = mr_gpmrs(&data, &config).expect("gpmrs runs");
+    assert_eq!(a.skyline_ids(), b.skyline_ids());
+}
