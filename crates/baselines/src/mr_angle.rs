@@ -61,6 +61,7 @@ pub fn angular_partition(t: &Tuple, splits: &[usize]) -> u32 {
 }
 
 /// Phase-1 mapper factory: tags tuples with their angular cell.
+#[derive(Debug)]
 pub struct AngleMapFactory {
     splits: Vec<usize>,
 }
@@ -73,6 +74,7 @@ impl AngleMapFactory {
 }
 
 /// Phase-1 mapper.
+#[derive(Debug)]
 pub struct AngleMapTask {
     splits: Vec<usize>,
 }
@@ -97,9 +99,11 @@ impl MapFactory for AngleMapFactory {
 }
 
 /// Phase-1 reducer factory: BNL local skyline per angular cell.
+#[derive(Debug)]
 pub struct AngleLocalReduceFactory;
 
 /// Phase-1 reducer.
+#[derive(Debug)]
 pub struct AngleLocalReduceTask;
 
 impl ReduceTask for AngleLocalReduceTask {
@@ -124,9 +128,11 @@ impl ReduceFactory for AngleLocalReduceFactory {
 }
 
 /// Phase-2 reducer factory: plain BNL over all local skylines.
+#[derive(Debug)]
 pub struct AngleMergeReduceFactory;
 
 /// Phase-2 reducer.
+#[derive(Debug)]
 pub struct AngleMergeReduceTask;
 
 impl ReduceTask for AngleMergeReduceTask {

@@ -126,7 +126,7 @@ impl BitmapIndex {
 
     /// Total broadcast size of the index.
     pub fn byte_size(&self) -> u64 {
-        self.dims.iter().map(|d| d.byte_size()).sum()
+        self.dims.iter().map(ByteSized::byte_size).sum()
     }
 }
 
@@ -135,9 +135,11 @@ impl BitmapIndex {
 // ---------------------------------------------------------------------
 
 /// Phase-1 mapper factory: emits `(dimension, (tuple index, value))`.
+#[derive(Debug)]
 pub struct SliceMapFactory;
 
 /// Phase-1 mapper.
+#[derive(Debug)]
 pub struct SliceMapTask;
 
 impl MapTask for SliceMapTask {
@@ -160,11 +162,13 @@ impl MapFactory for SliceMapFactory {
 }
 
 /// Phase-1 reducer factory: builds one dimension's slices.
+#[derive(Debug)]
 pub struct SliceReduceFactory {
     num_tuples: usize,
 }
 
 /// Phase-1 reducer.
+#[derive(Debug)]
 pub struct SliceReduceTask {
     num_tuples: usize,
 }
@@ -222,9 +226,11 @@ impl ReduceFactory for SliceReduceFactory {
 // ---------------------------------------------------------------------
 
 /// Phase-2 mapper factory: routes tuples to evaluation reducers.
+#[derive(Debug)]
 pub struct EvalMapFactory;
 
 /// Phase-2 mapper.
+#[derive(Debug)]
 pub struct EvalMapTask;
 
 impl MapTask for EvalMapTask {
@@ -245,11 +251,13 @@ impl MapFactory for EvalMapFactory {
 }
 
 /// Phase-2 reducer factory: holds the broadcast index.
+#[derive(Debug)]
 pub struct EvalReduceFactory {
     index: Arc<BitmapIndex>,
 }
 
 /// Phase-2 reducer.
+#[derive(Debug)]
 pub struct EvalReduceTask {
     index: Arc<BitmapIndex>,
 }

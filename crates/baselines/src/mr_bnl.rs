@@ -103,9 +103,11 @@ pub fn eliminate_across_cells(cells: &mut CellSkylines) {
 // ---------------------------------------------------------------------
 
 /// Phase-1 mapper factory: tags tuples with their cell code.
+#[derive(Debug)]
 pub struct PartitionMapFactory;
 
 /// Phase-1 mapper.
+#[derive(Debug)]
 pub struct PartitionMapTask;
 
 impl MapTask for PartitionMapTask {
@@ -126,9 +128,11 @@ impl MapFactory for PartitionMapFactory {
 }
 
 /// Phase-1 reducer factory: BNL local skyline per cell.
+#[derive(Debug)]
 pub struct LocalSkylineReduceFactory;
 
 /// Phase-1 reducer.
+#[derive(Debug)]
 pub struct LocalSkylineReduceTask;
 
 impl ReduceTask for LocalSkylineReduceTask {
@@ -157,9 +161,11 @@ impl ReduceFactory for LocalSkylineReduceFactory {
 // ---------------------------------------------------------------------
 
 /// Phase-2 mapper factory: forwards `(cell, local skyline)` entries.
+#[derive(Debug)]
 pub struct ForwardMapFactory;
 
 /// Phase-2 mapper.
+#[derive(Debug)]
 pub struct ForwardMapTask;
 
 impl MapTask for ForwardMapTask {
@@ -194,6 +200,7 @@ pub enum MergeStrategy {
 }
 
 /// Phase-2 reducer factory: single-reducer merge.
+#[derive(Debug)]
 pub struct MergeReduceFactory {
     strategy: MergeStrategy,
 }
@@ -206,6 +213,7 @@ impl MergeReduceFactory {
 }
 
 /// Phase-2 reducer.
+#[derive(Debug)]
 pub struct MergeReduceTask {
     strategy: MergeStrategy,
 }

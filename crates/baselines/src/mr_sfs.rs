@@ -23,6 +23,7 @@ use crate::mr_bnl::{
 use crate::sfs::{sfs_skyline, SfsOrder};
 
 /// Phase-1 reducer factory: SFS local skyline per cell.
+#[derive(Debug)]
 pub struct SfsLocalReduceFactory {
     order: SfsOrder,
 }
@@ -35,6 +36,7 @@ impl SfsLocalReduceFactory {
 }
 
 /// Phase-1 reducer.
+#[derive(Debug)]
 pub struct SfsLocalReduceTask {
     order: SfsOrder,
 }

@@ -133,11 +133,13 @@ impl SkyMrPlan {
 pub type LeafPayload = Vec<(u32, Vec<Tuple>)>;
 
 /// Map side: quadtree filter + per-leaf local skylines.
+#[derive(Debug)]
 pub struct SkyMrMapFactory {
     plan: Arc<SkyMrPlan>,
 }
 
 /// Per-split mapper state.
+#[derive(Debug)]
 pub struct SkyMrMapTask {
     plan: Arc<SkyMrPlan>,
     leaves: std::collections::BTreeMap<u32, Vec<Tuple>>,
@@ -183,11 +185,13 @@ impl MapFactory for SkyMrMapFactory {
 }
 
 /// Reduce side: finalize owned leaves against their ADR sources.
+#[derive(Debug)]
 pub struct SkyMrReduceFactory {
     plan: Arc<SkyMrPlan>,
 }
 
 /// Per-reducer state.
+#[derive(Debug)]
 pub struct SkyMrReduceTask {
     plan: Arc<SkyMrPlan>,
 }
@@ -224,8 +228,8 @@ impl ReduceTask for SkyMrReduceTask {
                 let a = a as u32;
                 let dominators: Option<&[Tuple]> = owned
                     .get(&a)
-                    .map(|v| v.as_slice())
-                    .or_else(|| sources.get(&a).map(|v| v.as_slice()));
+                    .map(Vec::as_slice)
+                    .or_else(|| sources.get(&a).map(Vec::as_slice));
                 if let Some(dominators) = dominators {
                     window.retain(|t| !dominators.iter().any(|d| dominates(d, t)));
                     if window.is_empty() {
@@ -268,11 +272,13 @@ pub fn stride_sample(dataset: &Dataset, size: usize) -> Vec<Tuple> {
 }
 
 /// Sampling-job mapper: emits every `stride`-th tuple of its split.
+#[derive(Debug)]
 pub struct SampleMapFactory {
     stride: usize,
 }
 
 /// Per-split sampling state.
+#[derive(Debug)]
 pub struct SampleMapTask {
     stride: usize,
     seen: usize,
@@ -303,6 +309,7 @@ impl MapFactory for SampleMapFactory {
 
 /// Sampling-job reducer: builds the sky-quadtree plan from the collected
 /// sample.
+#[derive(Debug)]
 pub struct SampleReduceFactory {
     dim: usize,
     split_threshold: usize,
@@ -310,6 +317,7 @@ pub struct SampleReduceFactory {
 }
 
 /// The single plan-building reducer.
+#[derive(Debug)]
 pub struct SampleReduceTask {
     dim: usize,
     split_threshold: usize,

@@ -23,10 +23,10 @@ fn bench_dominance(c: &mut Criterion) {
         let a = &ds.tuples()[0];
         let b = &ds.tuples()[1];
         group.bench_with_input(BenchmarkId::new("dominates", dim), &dim, |bench, _| {
-            bench.iter(|| dominates(black_box(a), black_box(b)))
+            bench.iter(|| dominates(black_box(a), black_box(b)));
         });
         group.bench_with_input(BenchmarkId::new("compare", dim), &dim, |bench, _| {
-            bench.iter(|| compare(black_box(a), black_box(b)))
+            bench.iter(|| compare(black_box(a), black_box(b)));
         });
     }
     group.finish();
@@ -47,7 +47,7 @@ fn bench_bnl_window(c: &mut Criterion) {
                     insert_tuple(&mut window, t.clone(), &mut stats);
                 }
                 black_box(window.len())
-            })
+            });
         });
     }
     group.finish();
@@ -57,13 +57,13 @@ fn bench_centralized(c: &mut Criterion) {
     let mut group = c.benchmark_group("centralized");
     let ds = generate(Distribution::Anticorrelated, 4, 2_000, 13);
     group.bench_function("bnl_2000x4d", |b| {
-        b.iter(|| black_box(bnl_skyline(ds.tuples())))
+        b.iter(|| black_box(bnl_skyline(ds.tuples())));
     });
     group.bench_function("sfs_2000x4d", |b| {
-        b.iter(|| black_box(sfs_skyline(ds.tuples(), SfsOrder::Entropy)))
+        b.iter(|| black_box(sfs_skyline(ds.tuples(), SfsOrder::Entropy)));
     });
     group.bench_function("dnc_2000x4d", |b| {
-        b.iter(|| black_box(dnc_skyline(ds.tuples())))
+        b.iter(|| black_box(dnc_skyline(ds.tuples())));
     });
     group.finish();
 }
@@ -76,7 +76,7 @@ fn bench_local_kernels(c: &mut Criterion) {
             b.iter(|| {
                 let mut stats = CmpStats::default();
                 black_box(local_skyline(ds.tuples().to_vec(), algo, &mut stats))
-            })
+            });
         });
     }
     group.finish();
@@ -92,7 +92,7 @@ fn bench_extensions(c: &mut Criterion) {
                 band_insert(&mut window, t.clone(), 4);
             }
             black_box(window.len())
-        })
+        });
     });
     let grid = Grid::new(4, 6).unwrap();
     group.bench_function("countstring_build_prune", |b| {
@@ -100,10 +100,10 @@ fn bench_extensions(c: &mut Criterion) {
             let mut cs = Countstring::from_tuples(grid, ds.tuples());
             cs.prune_dominated(4);
             black_box(cs.active_count())
-        })
+        });
     });
     group.bench_function("sky_quadtree_build_500", |b| {
-        b.iter(|| black_box(SkyQuadtree::build(4, &ds.tuples()[..500], 16)))
+        b.iter(|| black_box(SkyQuadtree::build(4, &ds.tuples()[..500], 16)));
     });
     group.finish();
 }
@@ -113,7 +113,7 @@ fn bench_bitstring(c: &mut Criterion) {
     let ds = generate(Distribution::Independent, 4, 20_000, 17);
     let grid = Grid::new(4, 8).unwrap();
     group.bench_function("generate_20k_8ppd_4d", |b| {
-        b.iter(|| black_box(Bitstring::from_tuples(grid, ds.tuples())))
+        b.iter(|| black_box(Bitstring::from_tuples(grid, ds.tuples())));
     });
     let bs = Bitstring::from_tuples(grid, ds.tuples());
     group.bench_function("prune_prefix_or", |b| {
@@ -124,7 +124,7 @@ fn bench_bitstring(c: &mut Criterion) {
                 black_box(bs)
             },
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
     group.bench_function("prune_naive", |b| {
         b.iter_batched(
@@ -134,7 +134,7 @@ fn bench_bitstring(c: &mut Criterion) {
                 black_box(bs)
             },
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }
@@ -146,10 +146,10 @@ fn bench_groups(c: &mut Criterion) {
     let mut bs = Bitstring::from_tuples(grid, ds.tuples());
     bs.prune_dominated();
     group.bench_function("generate_independent_groups", |b| {
-        b.iter(|| black_box(generate_independent_groups(&bs)))
+        b.iter(|| black_box(generate_independent_groups(&bs)));
     });
     group.bench_function("plan_groups_13r", |b| {
-        b.iter(|| black_box(plan_groups(&bs, 13, MergePolicy::ComputationCost)))
+        b.iter(|| black_box(plan_groups(&bs, 13, MergePolicy::ComputationCost)));
     });
     group.finish();
 }
@@ -160,10 +160,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     let ds = generate(Distribution::Anticorrelated, 4, 3_000, 23);
     let config = SkylineConfig::test();
     group.bench_function("mr_gpsrs_3k", |b| {
-        b.iter(|| black_box(mr_gpsrs(&ds, &config).unwrap()))
+        b.iter(|| black_box(mr_gpsrs(&ds, &config).unwrap()));
     });
     group.bench_function("mr_gpmrs_3k", |b| {
-        b.iter(|| black_box(mr_gpmrs(&ds, &config).unwrap()))
+        b.iter(|| black_box(mr_gpmrs(&ds, &config).unwrap()));
     });
     let bconfig = BaselineConfig::test();
     group.bench_function("mr_bnl_3k", |b| b.iter(|| black_box(mr_bnl(&ds, &bconfig))));

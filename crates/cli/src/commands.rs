@@ -178,7 +178,7 @@ pub fn generate(args: &Args) -> Result<(), String> {
     match args.get("format").unwrap_or("csv") {
         "csv" => io::write_csv(&ds, out).map_err(|e| format!("cannot write {out}: {e}"))?,
         "binary" | "bin" => {
-            io::write_binary(&ds, out).map_err(|e| format!("cannot write {out}: {e}"))?
+            io::write_binary(&ds, out).map_err(|e| format!("cannot write {out}: {e}"))?;
         }
         other => return Err(format!("unknown format {other:?} (csv|binary)")),
     }

@@ -9,12 +9,10 @@
 //! population count, and forward/backward iteration over set bits (the
 //! independent-group generation scans for the *largest* set index).
 
-use serde::{Deserialize, Serialize};
-
 const WORD_BITS: usize = 64;
 
 /// A fixed-length bitset backed by `u64` words.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct BitGrid {
     len: usize,
     words: Vec<u64>,

@@ -1,7 +1,5 @@
 //! Datasets: a homogeneous collection of tuples plus split helpers.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Error, Result};
 use crate::tuple::Tuple;
 
@@ -12,7 +10,7 @@ use crate::tuple::Tuple;
 /// Figure 4 describe. Splitting is round-robin by position so that every
 /// split sees a representative sample of the input (Hadoop's block splits of
 /// a randomly ordered file have the same property).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     dim: usize,
     tuples: Vec<Tuple>,

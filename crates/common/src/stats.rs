@@ -6,7 +6,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 /// A set of named monotonically increasing counters.
 ///
@@ -25,7 +27,7 @@ impl Counters {
 
     /// Returns the counter named `name`, creating it at zero if absent.
     pub fn handle(&self, name: &str) -> Arc<AtomicU64> {
-        let mut map = self.inner.lock().expect("counter mutex poisoned");
+        let mut map = self.inner.lock();
         if let Some(c) = map.get(name) {
             return Arc::clone(c);
         }
@@ -48,13 +50,13 @@ impl Counters {
 
     /// Current value of the counter named `name` (0 if it was never touched).
     pub fn get(&self, name: &str) -> u64 {
-        let map = self.inner.lock().expect("counter mutex poisoned");
+        let map = self.inner.lock();
         map.get(name).map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
     /// Snapshot of all counters, sorted by name.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        let map = self.inner.lock().expect("counter mutex poisoned");
+        let map = self.inner.lock();
         map.iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect()

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A `d`-dimensional tuple (paper notation: `r`, `ri`, `rj`, `t`).
 ///
 /// Every tuple carries a workspace-unique `id` so that results can be
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// Values live in `[0,1)` and **smaller is better** on every dimension,
 /// matching the paper's convention ("this paper assumes that a smaller value
 /// is better", Section 1).
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Tuple {
     /// Stable identifier, assigned by the generator or loader.
     pub id: u64,

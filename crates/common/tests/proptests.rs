@@ -75,6 +75,33 @@ proptest! {
     }
 
     #[test]
+    fn bitgrid_set_get_roundtrip(
+        len in 1usize..400,
+        indices in proptest::collection::vec(0usize..400, 0..80),
+    ) {
+        // set(i) makes get(i) true without disturbing any other bit, and
+        // clear(i) undoes exactly that.
+        let mut bits = BitGrid::zeros(len);
+        for i in indices {
+            let i = i % len;
+            let before: Vec<bool> = (0..len).map(|j| bits.get(j)).collect();
+            bits.set(i);
+            prop_assert!(bits.get(i));
+            for j in (0..len).filter(|&j| j != i) {
+                prop_assert_eq!(bits.get(j), before[j], "set({}) disturbed bit {}", i, j);
+            }
+            bits.clear(i);
+            prop_assert!(!bits.get(i));
+            for j in (0..len).filter(|&j| j != i) {
+                prop_assert_eq!(bits.get(j), before[j], "clear({}) disturbed bit {}", i, j);
+            }
+            if before[i] {
+                bits.set(i);
+            }
+        }
+    }
+
+    #[test]
     fn bitgrid_or_is_union(
         len in 1usize..300,
         a in proptest::collection::vec(0usize..300, 0..50),

@@ -25,6 +25,7 @@ pub struct BitstringInfo {
 
 /// Mapper (Algorithm 1): builds a local bitstring for its split and emits
 /// it once the split is exhausted.
+#[derive(Debug)]
 pub struct BitstringMapFactory {
     grid: Grid,
 }
@@ -37,6 +38,7 @@ impl BitstringMapFactory {
 }
 
 /// Per-split mapper state: the local bitstring `BS_{R_i}`.
+#[derive(Debug)]
 pub struct BitstringMapTask {
     grid: Grid,
     local: BitGrid,
@@ -68,6 +70,7 @@ impl MapFactory for BitstringMapFactory {
 
 /// Reducer (Algorithm 2): ORs all local bitstrings and prunes dominated
 /// partitions.
+#[derive(Debug)]
 pub struct BitstringReduceFactory {
     grid: Grid,
     prune: bool,
@@ -81,6 +84,7 @@ impl BitstringReduceFactory {
 }
 
 /// The single reducer's state.
+#[derive(Debug)]
 pub struct BitstringReduceTask {
     grid: Grid,
     prune: bool,
@@ -153,7 +157,7 @@ pub fn run_bitstring_job(
         .into_flat_output()
         .into_iter()
         .next()
-        .unwrap_or(BitstringJobOutput {
+        .unwrap_or_else(|| BitstringJobOutput {
             bits: BitGrid::zeros(grid.num_partitions()),
             non_empty: 0,
         });

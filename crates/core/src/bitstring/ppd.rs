@@ -48,6 +48,7 @@ pub fn candidate_ppds(
 
 /// Mapper: one local bitstring per candidate PPD, emitted keyed by the
 /// candidate index.
+#[derive(Debug)]
 pub struct MultiPpdMapFactory {
     grids: Vec<Grid>,
 }
@@ -60,6 +61,7 @@ impl MultiPpdMapFactory {
 }
 
 /// Per-split mapper state: the candidate-indexed local bitstrings.
+#[derive(Debug)]
 pub struct MultiPpdMapTask {
     grids: Vec<Grid>,
     locals: Vec<BitGrid>,
@@ -99,6 +101,7 @@ impl MapFactory for MultiPpdMapFactory {
 
 /// Reducer: merges per-candidate bitstrings, scores each candidate, and
 /// outputs the winner's (pruned) bitstring.
+#[derive(Debug)]
 pub struct MultiPpdReduceFactory {
     grids: Vec<Grid>,
     cardinality: usize,
@@ -128,6 +131,7 @@ pub struct PpdSelection {
 }
 
 /// The selection reducer's state: merged bitstrings per candidate.
+#[derive(Debug)]
 pub struct MultiPpdReduceTask {
     grids: Vec<Grid>,
     cardinality: usize,
@@ -174,7 +178,10 @@ impl ReduceTask for MultiPpdReduceTask {
         }
         let Some((_, j)) = best else { return };
         let grid = self.grids[j];
-        let bits = self.merged[j].take().expect("winner has merged bits");
+        // The winner was scored above, so its slot is occupied.
+        let Some(bits) = self.merged[j].take() else {
+            return;
+        };
         let non_empty = bits.count_ones() as u64;
         let mut bs = Bitstring::from_parts(grid, bits);
         if self.prune {
@@ -236,7 +243,9 @@ pub fn run_ppd_selection_job(
                 .iter()
                 .copied()
                 .find(|g| g.ppd() == sel.ppd)
-                .expect("selected PPD is a candidate");
+                .ok_or_else(|| {
+                    Error::InvalidConfig(format!("selected PPD {} is not a candidate", sel.ppd))
+                })?;
             (grid, sel.bits, sel.non_empty as usize)
         }
         // Empty input: fall back to the smallest candidate grid.

@@ -15,8 +15,6 @@
 //! top. The constraint travels to the mappers like the bitstring does, as
 //! broadcast state.
 
-use serde::{Deserialize, Serialize};
-
 use skymr_common::{Dataset, Error, Result, Tuple};
 
 use crate::config::SkylineConfig;
@@ -37,7 +35,7 @@ use crate::result::SkylineRun;
 /// let run = mr_constrained_gpmrs(&data, &c, &SkylineConfig::test()).unwrap();
 /// assert!(run.skyline.iter().all(|t| c.contains(t)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Constraint {
     lo: Vec<f64>,
     hi: Vec<f64>,

@@ -31,6 +31,7 @@ use crate::local::{insert_into_partition, CmpStats, LocalSkylines};
 use crate::result::{RunInfo, SkylineRun};
 
 /// Map side of MR-GPMRS (Algorithm 8).
+#[derive(Debug)]
 pub struct GpmrsMapFactory {
     bitstring: Arc<Bitstring>,
     plan: Arc<GroupPlan>,
@@ -55,6 +56,7 @@ impl GpmrsMapFactory {
 
 /// Per-split mapper state: the shared GPSRS local-skyline logic plus the
 /// group plan used to route output.
+#[derive(Debug)]
 pub struct GpmrsMapTask {
     inner: GpsrsMapTask,
     plan: Arc<GroupPlan>,
@@ -104,6 +106,7 @@ impl MapFactory for GpmrsMapFactory {
 
 /// Reduce side of MR-GPMRS (Algorithm 9): finalize one bucket's partitions
 /// independently and output only designated partitions.
+#[derive(Debug)]
 pub struct GpmrsReduceFactory {
     bitstring: Arc<Bitstring>,
     plan: Arc<GroupPlan>,
@@ -117,6 +120,7 @@ impl GpmrsReduceFactory {
 }
 
 /// Reducer state for one bucket.
+#[derive(Debug)]
 pub struct GpmrsReduceTask {
     bitstring: Arc<Bitstring>,
     plan: Arc<GroupPlan>,
@@ -171,7 +175,9 @@ impl ReduceTask for GpmrsReduceTask {
         // hence inside this bucket (Lemma 2) — no other data is needed.
         let designated: Vec<u32> = skylines.keys().copied().collect();
         for p in designated {
-            let mut sp = skylines.remove(&p).expect("designated partition present");
+            let Some(mut sp) = skylines.remove(&p) else {
+                continue;
+            };
             crate::local::compare_partitions(
                 &grid,
                 p,
@@ -260,6 +266,11 @@ pub fn mr_gpmrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Resu
     info.buckets = plan.num_buckets();
 
     let skyline = canonicalize(outcome.into_flat_output());
+    if cfg!(debug_assertions) {
+        if let Err(v) = skymr_mapreduce::analysis::check_skyline(&skyline) {
+            panic!("mr_gpmrs produced a non-skyline: {v}");
+        }
+    }
     Ok(SkylineRun {
         skyline,
         metrics,

@@ -46,6 +46,7 @@ pub(crate) fn record_task_stats(counters: &Counters, side: &str, stats: CmpStats
 
 /// Map side of MR-GPSRS (Algorithm 3). Shared across both this algorithm
 /// and MR-GPMRS, whose map phase is identical up to output routing.
+#[derive(Debug)]
 pub struct GpsrsMapFactory {
     bitstring: Arc<Bitstring>,
     local_algo: LocalAlgo,
@@ -63,6 +64,7 @@ impl GpsrsMapFactory {
 }
 
 /// Per-split mapper state.
+#[derive(Debug)]
 pub struct GpsrsMapTask {
     bitstring: Arc<Bitstring>,
     local_algo: LocalAlgo,
@@ -100,10 +102,10 @@ impl GpsrsMapTask {
         }
         match self.local_algo {
             LocalAlgo::Bnl => {
-                insert_into_partition(&mut self.skylines, p as u32, t.clone(), &mut self.stats)
+                insert_into_partition(&mut self.skylines, p as u32, t.clone(), &mut self.stats);
             }
             LocalAlgo::Sfs | LocalAlgo::Dnc => {
-                self.buffers.entry(p as u32).or_default().push(t.clone())
+                self.buffers.entry(p as u32).or_default().push(t.clone());
             }
         }
     }
@@ -152,6 +154,7 @@ impl MapFactory for GpsrsMapFactory {
 
 /// Reduce side of MR-GPSRS (Algorithm 6): merge all mappers' local
 /// skylines per partition, then eliminate false positives globally.
+#[derive(Debug)]
 pub struct GpsrsReduceFactory {
     grid: Grid,
 }
@@ -164,6 +167,7 @@ impl GpsrsReduceFactory {
 }
 
 /// The single reducer's state.
+#[derive(Debug)]
 pub struct GpsrsReduceTask {
     grid: Grid,
     counters: Counters,
@@ -254,6 +258,11 @@ pub fn mr_gpsrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Resu
     }
 
     let skyline = canonicalize(outcome.into_flat_output());
+    if cfg!(debug_assertions) {
+        if let Err(v) = skymr_mapreduce::analysis::check_skyline(&skyline) {
+            panic!("mr_gpsrs produced a non-skyline: {v}");
+        }
+    }
     Ok(SkylineRun {
         skyline,
         metrics,

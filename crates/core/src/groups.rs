@@ -156,11 +156,10 @@ pub fn plan_groups(bs: &Bitstring, reducers: usize, policy: MergePolicy) -> Grou
             for gi in order {
                 // Least-loaded bucket (ties -> lowest index): LPT balancing
                 // of the per-group cost estimates.
-                let (bi, _) = buckets
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(i, b)| (b.cost, *i))
-                    .expect("at least one bucket");
+                let Some((bi, _)) = buckets.iter().enumerate().min_by_key(|(i, b)| (b.cost, *i))
+                else {
+                    continue;
+                };
                 assign(&mut buckets[bi], gi, &groups[gi]);
             }
         }
@@ -177,22 +176,20 @@ pub fn plan_groups(bs: &Bitstring, reducers: usize, policy: MergePolicy) -> Grou
             for &gi in order.iter().skip(num_buckets) {
                 // Bucket sharing the most partitions with this group
                 // (ties -> smaller bucket, then lowest index).
-                let (bi, _) = buckets
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(i, b)| {
-                        let overlap = groups[gi]
-                            .partitions
-                            .iter()
-                            .filter(|p| b.partitions.contains(p))
-                            .count();
-                        (
-                            overlap,
-                            std::cmp::Reverse(b.partitions.len()),
-                            std::cmp::Reverse(*i),
-                        )
-                    })
-                    .expect("at least one bucket");
+                let Some((bi, _)) = buckets.iter().enumerate().max_by_key(|(i, b)| {
+                    let overlap = groups[gi]
+                        .partitions
+                        .iter()
+                        .filter(|p| b.partitions.contains(p))
+                        .count();
+                    (
+                        overlap,
+                        std::cmp::Reverse(b.partitions.len()),
+                        std::cmp::Reverse(*i),
+                    )
+                }) else {
+                    continue;
+                };
                 assign(&mut buckets[bi], gi, &groups[gi]);
             }
         }

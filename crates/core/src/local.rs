@@ -129,7 +129,9 @@ pub fn compare_partitions<'a>(
 pub fn compare_all_partitions(grid: &Grid, skylines: &mut LocalSkylines, stats: &mut CmpStats) {
     let partitions: Vec<u32> = skylines.keys().copied().collect();
     for &p in &partitions {
-        let mut sp = skylines.remove(&p).expect("partition listed but missing");
+        let Some(mut sp) = skylines.remove(&p) else {
+            continue;
+        };
         compare_partitions(
             grid,
             p,
@@ -189,8 +191,7 @@ pub fn local_skyline(mut tuples: Vec<Tuple>, algo: LocalAlgo, stats: &mut CmpSta
         LocalAlgo::Sfs => {
             tuples.sort_by(|a, b| {
                 a.score_entropy()
-                    .partial_cmp(&b.score_entropy())
-                    .expect("scores are finite on valid data")
+                    .total_cmp(&b.score_entropy())
                     .then(a.id.cmp(&b.id))
             });
             let mut window: Vec<Tuple> = Vec::new();
@@ -223,8 +224,7 @@ fn dnc_local(tuples: &mut Vec<Tuple>, depth: usize, stats: &mut CmpStats) -> Vec
     let mid = tuples.len() / 2;
     tuples.select_nth_unstable_by(mid, |a, b| {
         a.values[split_dim]
-            .partial_cmp(&b.values[split_dim])
-            .expect("values are not NaN")
+            .total_cmp(&b.values[split_dim])
             .then(a.id.cmp(&b.id))
     });
     let mut upper = tuples.split_off(mid);

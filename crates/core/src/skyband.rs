@@ -31,8 +31,6 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use skymr_common::dominance::dominates;
 use skymr_common::{dataset::canonicalize, ByteSized, Counters, Dataset, Tuple};
 use skymr_mapreduce::{
@@ -49,10 +47,9 @@ use crate::result::{RunInfo, SkylineRun};
 // ---------------------------------------------------------------------
 
 /// Per-partition tuple counts over a grid, with `k`-dominance pruning.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Countstring {
-    dim: usize,
-    ppd: usize,
+    grid: Grid,
     counts: Vec<u64>,
     /// Partitions pruned by the k-dominated-count rule (empty until
     /// [`Countstring::prune_dominated`] runs).
@@ -63,8 +60,7 @@ impl Countstring {
     /// An all-zero countstring for `grid`.
     pub fn empty(grid: Grid) -> Self {
         Self {
-            dim: grid.dim(),
-            ppd: grid.ppd(),
+            grid,
             counts: vec![0; grid.num_partitions()],
             pruned: vec![false; grid.num_partitions()],
         }
@@ -81,7 +77,7 @@ impl Countstring {
 
     /// The grid this countstring describes.
     pub fn grid(&self) -> Grid {
-        Grid::new(self.dim, self.ppd).expect("countstring built from a valid grid")
+        self.grid
     }
 
     /// Tuple count of partition `i`.
@@ -93,8 +89,7 @@ impl Countstring {
     /// counting analogue of the bitwise OR).
     pub fn merge(&mut self, other: &Countstring) {
         assert_eq!(
-            (self.dim, self.ppd),
-            (other.dim, other.ppd),
+            self.grid, other.grid,
             "cannot merge countstrings of different grids"
         );
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -107,7 +102,8 @@ impl Countstring {
     /// sums: the dominated-by count of `p` is the box sum of counts over
     /// `[0, p.c − 1]` componentwise.
     pub fn prune_dominated(&mut self, k: u64) {
-        let n = self.ppd;
+        let dim = self.grid.dim();
+        let n = self.grid.ppd();
         let np = self.counts.len();
         if n < 2 {
             return;
@@ -115,7 +111,7 @@ impl Countstring {
         // prefix[c] = Σ counts over all q with q.c <= c (componentwise).
         let mut prefix: Vec<u64> = self.counts.clone();
         let mut stride = 1usize;
-        for _ in 0..self.dim {
+        for _ in 0..dim {
             for idx in 0..np {
                 if (idx / stride) % n >= 1 {
                     prefix[idx] = prefix[idx].saturating_add(prefix[idx - stride]);
@@ -125,7 +121,7 @@ impl Countstring {
         }
         let mut one_offset = 0usize;
         let mut s = 1usize;
-        for _ in 0..self.dim {
+        for _ in 0..dim {
             one_offset += s;
             s *= n;
         }
@@ -133,7 +129,7 @@ impl Countstring {
             // All coordinates >= 1?
             let mut rest = idx;
             let mut all_ge1 = true;
-            for _ in 0..self.dim {
+            for _ in 0..dim {
                 if rest % n == 0 {
                     all_ge1 = false;
                     break;
@@ -813,8 +809,10 @@ mod tests {
         band_insert(&mut window, t(1, &[0.3, 0.3]), 2); // 1 dominator of t0
         assert_eq!(window.len(), 2);
         band_insert(&mut window, t(2, &[0.2, 0.2]), 2); // 2nd dominator: evict t0
-        let ids: Vec<u64> = window.iter().map(|(t, _)| t.id).collect();
-        assert!(!ids.contains(&0), "t0 should be evicted at k=2");
+        assert!(
+            !window.iter().any(|(t, _)| t.id == 0),
+            "t0 should be evicted at k=2"
+        );
     }
 
     #[test]

@@ -108,6 +108,38 @@ proptest! {
     }
 
     #[test]
+    fn pruned_partitions_never_hold_skyline_points(
+        dim in 2usize..=4,
+        ppd in 2usize..=4,
+        raw in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 4), 1..120),
+    ) {
+        // Lemma 1 soundness on real data, not just bit patterns: build the
+        // occupancy bitstring of a random 2–4d dataset, prune it with the
+        // DR/ADR rule (Equation 2), and check that no tuple of the true
+        // skyline lives in a pruned partition — pruning may only discard
+        // regions that provably contain dominated tuples.
+        let grid = Grid::new(dim, ppd).expect("valid grid");
+        let tuples: Vec<Tuple> = raw
+            .iter()
+            .enumerate()
+            .map(|(id, row)| Tuple::new(id as u64, row[..dim].to_vec()))
+            .collect();
+        let mut bits = BitGrid::zeros(grid.num_partitions());
+        for t in &tuples {
+            bits.set(grid.partition_of(t));
+        }
+        let mut bs = Bitstring::from_parts(grid, bits);
+        bs.prune_dominated();
+        for t in bnl_reference(&tuples) {
+            let p = grid.partition_of(&t);
+            prop_assert!(
+                bs.is_set(p),
+                "skyline tuple {} sits in pruned partition {}", t.id, p
+            );
+        }
+    }
+
+    #[test]
     fn groups_cover_and_are_adr_closed(bs in arb_bitstring()) {
         let mut pruned = bs;
         pruned.prune_dominated();

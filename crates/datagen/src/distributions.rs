@@ -2,7 +2,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use skymr_common::{Dataset, Tuple};
 
@@ -11,7 +10,7 @@ use skymr_common::{Dataset, Tuple};
 const MAX_VALUE: f64 = 1.0 - 1e-9;
 
 /// A synthetic data distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Distribution {
     /// Each dimension i.i.d. uniform on `[0,1)`.
     Independent,

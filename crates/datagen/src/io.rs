@@ -216,8 +216,8 @@ mod tests {
 
     #[test]
     fn binary_rejects_garbage_and_truncation() {
-        assert!(decode_binary(bytes::Bytes::from_static(b"nope")).is_err());
-        assert!(decode_binary(bytes::Bytes::from_static(b"GARBAGEGARBAGEGARBAGE")).is_err());
+        assert!(decode_binary(Bytes::from_static(b"nope")).is_err());
+        assert!(decode_binary(Bytes::from_static(b"GARBAGEGARBAGEGARBAGE")).is_err());
         let ds = generate(Distribution::Independent, 2, 10, 3);
         let full = encode_binary(&ds);
         let truncated = full.slice(0..full.len() - 3);

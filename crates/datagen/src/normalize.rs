@@ -8,12 +8,10 @@
 //! from the raw rows and maps them into the canonical space, keeping
 //! enough information to map skyline answers back to the original units.
 
-use serde::{Deserialize, Serialize};
-
 use skymr_common::{Dataset, Error, Result, Tuple};
 
 /// Which direction is "better" for a raw column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// Smaller raw values are better (price, distance, latency).
     Minimize,
@@ -22,7 +20,7 @@ pub enum Direction {
 }
 
 /// Per-column normalization parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Column {
     /// Column name (for reports).
     pub name: String,
@@ -76,7 +74,7 @@ impl Column {
 /// assert!(data.tuples()[1].values[0] < data.tuples()[0].values[0]);
 /// assert!(data.tuples()[0].values[1] < data.tuples()[1].values[1]);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Normalizer {
     columns: Vec<Column>,
 }

@@ -2,8 +2,6 @@
 
 use std::time::Duration;
 
-use serde::Serialize;
-
 /// Describes the (simulated) cluster a job runs on.
 ///
 /// Defaults mirror the paper's testbed (Section 7.1): thirteen commodity
@@ -15,7 +13,7 @@ use serde::Serialize;
 /// paper's cardinalities — a scale model that keeps the compute-to-overhead
 /// *ratios*, and therefore the relative shapes of the runtime curves,
 /// intact (see DESIGN.md).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of worker machines.
     pub nodes: usize,
@@ -44,7 +42,8 @@ impl Default for ClusterConfig {
             network_bytes_per_sec: 12.5e6,
             job_startup: Duration::from_secs(2),
             task_overhead: Duration::from_millis(200),
-            host_threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            host_threads: std::thread::available_parallelism()
+                .map_or(4, std::num::NonZeroUsize::get),
         }
     }
 }
@@ -112,15 +111,16 @@ pub fn makespan(durations: &[Duration], slots: usize, per_task_overhead: Duratio
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     let mut loads = vec![Duration::ZERO; slots];
     for d in sorted {
-        // Place on the least-loaded slot.
-        let min = loads.iter_mut().min().expect("slots > 0");
-        *min += d;
+        // Place on the least-loaded slot (`loads` is non-empty: slots > 0).
+        if let Some(min) = loads.iter_mut().min() {
+            *min += d;
+        }
     }
     loads.into_iter().max().unwrap_or(Duration::ZERO)
 }
 
 /// Metrics for one executed MapReduce job.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct JobMetrics {
     /// Job name (for reports).
     pub name: String,

@@ -30,6 +30,7 @@ impl<K, V> Combiner<K, V> for NoCombiner {
 }
 
 /// Combines by folding all values into one with a binary operation.
+#[derive(Debug)]
 pub struct FoldCombiner<F> {
     fold: F,
 }

@@ -78,6 +78,9 @@ struct MapResult<K, V> {
     records: u64,
 }
 
+/// A reducer's input group, handed off to exactly one reduce task.
+type GroupSlot<K, V> = parking_lot::Mutex<Option<BTreeMap<K, Vec<V>>>>;
+
 /// Runs one MapReduce job (no combiner).
 ///
 /// `splits` is the pre-split input `R_1, …, R_m` — one map task per split,
@@ -255,19 +258,28 @@ where
     // ---- Shuffle ---------------------------------------------------------
     let mut per_reducer_bytes = vec![0u64; r];
     let mut groups: Vec<BTreeMap<K, Vec<V>>> = (0..r).map(|_| BTreeMap::new()).collect();
+    // Debug builds tally the mapper-emitted pairs per key so the shuffle
+    // can be checked as an exact partition of the map output below.
+    let mut emitted: BTreeMap<K, u64> = BTreeMap::new();
     for (result, _) in map_results {
         for (j, bucket) in result.buckets.into_iter().enumerate() {
             per_reducer_bytes[j] += result.bucket_bytes[j];
             for (k, v) in bucket {
+                if cfg!(debug_assertions) {
+                    *emitted.entry(k.clone()).or_insert(0) += 1;
+                }
                 groups[j].entry(k).or_default().push(v);
             }
         }
     }
+    if cfg!(debug_assertions) {
+        crate::analysis::assert_shuffle_invariants(&emitted, &groups);
+    }
+    drop(emitted);
     let shuffle_bytes: u64 = per_reducer_bytes.iter().sum();
     let reduce_input_keys: u64 = groups.iter().map(|g| g.len() as u64).sum();
 
     // ---- Reduce phase ----------------------------------------------------
-    type GroupSlot<K, V> = parking_lot::Mutex<Option<BTreeMap<K, Vec<V>>>>;
     let group_slots: Vec<GroupSlot<K, V>> = groups
         .into_iter()
         .map(|g| parking_lot::Mutex::new(Some(g)))
@@ -291,10 +303,11 @@ where
     };
 
     let reduce_results = run_indexed(r, cluster.host_threads, |j| {
-        let input = group_slots[j]
-            .lock()
-            .take()
-            .expect("reduce input taken twice");
+        // `run_indexed` invokes each index exactly once, so the slot is
+        // always still full here.
+        let Some(input) = group_slots[j].lock().take() else {
+            unreachable!("reduce input for task {j} taken twice")
+        };
         if config.failures.reduce_fail_once.contains(&j) {
             let _lost = run_reduce_attempt(j, 0, input.clone());
             reduce_retries.fetch_add(1, Ordering::Relaxed);
@@ -540,7 +553,7 @@ mod tests {
             &WcReduce,
             &HashPartitioner,
         );
-        let combined = crate::job::run_job_with_combiner(
+        let combined = run_job_with_combiner(
             &cluster,
             &config,
             &splits(),

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analysis;
 pub mod cluster;
 pub mod combiner;
 pub mod failure;
@@ -48,6 +49,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod task;
 
+pub use analysis::{assert_schedule_independent, schedule_shake, ShakeCase, ShakeReport};
 pub use cluster::{ClusterConfig, JobMetrics};
 pub use combiner::{Combiner, FoldCombiner, NoCombiner};
 pub use failure::FailurePlan;

@@ -9,12 +9,10 @@
 
 use std::time::Duration;
 
-use serde::Serialize;
-
 use crate::cluster::JobMetrics;
 
 /// Metrics of a chain of MapReduce jobs executed one after another.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PipelineMetrics {
     /// Per-job metrics in execution order.
     pub jobs: Vec<JobMetrics>,

@@ -2,10 +2,16 @@
 //!
 //! The engine needs exact per-task durations (for the makespan model) and
 //! deterministic result placement (results indexed by task id), which a
-//! hand-rolled pool over `crossbeam::scope` provides with no surprises about
-//! task placement.
+//! hand-rolled pool over `std::thread::scope` provides with no surprises
+//! about task placement.
+//!
+//! This module is the **only** place in the workspace allowed to spawn
+//! threads (`cargo xtask lint` enforces it): funnelling every worker through
+//! one pool keeps panic propagation, duration accounting, and the
+//! schedule-shaker's thread-count sweeps ([`crate::analysis`]) all in one
+//! auditable spot.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -13,14 +19,20 @@ use parking_lot::Mutex;
 
 /// Runs `num_tasks` closures concurrently on at most `threads` workers.
 ///
-/// `run(task_index)` is invoked exactly once per index (unless it panics).
-/// Returns per-task `(result, measured_duration)` in task-index order.
+/// `run(task_index)` is invoked exactly once per index (unless a task
+/// panics). Returns per-task `(result, measured_duration)` in task-index
+/// order regardless of which worker executed which task.
 ///
 /// # Panics
 ///
-/// Re-raises the first panic observed in any task after all workers have
-/// stopped, so a panicking map/reduce task fails the job loudly instead of
-/// deadlocking.
+/// Re-raises the **first** task panic *with its original payload*, so a
+/// panicking map/reduce task fails the job with the task's own message
+/// rather than a generic pool error. Later panics (tasks already running on
+/// other workers when the first one fired) are dropped; remaining queued
+/// tasks are drained without executing. Result slots written by tasks that
+/// completed before the panic are discarded wholesale — no partially
+/// poisoned output can escape because the panic is re-raised before the
+/// results vector is returned.
 pub fn run_indexed<T, F>(num_tasks: usize, threads: usize, run: F) -> Vec<(T, Duration)>
 where
     T: Send,
@@ -33,9 +45,9 @@ where
     let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
     let workers = threads.min(num_tasks.max(1));
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= num_tasks {
                     break;
@@ -58,11 +70,10 @@ where
                 }
             });
         }
-    })
-    .expect("pool worker thread panicked outside task execution");
+    });
 
     if let Some(payload) = panic_slot.into_inner() {
-        std::panic::resume_unwind(payload);
+        resume_unwind(payload);
     }
 
     results
@@ -137,7 +148,7 @@ mod tests {
 
     #[test]
     fn task_panic_propagates() {
-        let outcome = std::panic::catch_unwind(|| {
+        let outcome = catch_unwind(|| {
             run_indexed(4, 2, |i| {
                 if i == 2 {
                     panic!("boom in task");
@@ -146,5 +157,52 @@ mod tests {
             })
         });
         assert!(outcome.is_err());
+    }
+
+    /// Regression test: a panicking task must surface its *original*
+    /// payload (message intact), and tasks that completed before the panic
+    /// must not leak partially filled results — the call either returns a
+    /// complete result vector or unwinds.
+    #[test]
+    fn task_panic_keeps_original_payload_and_poisons_nothing() {
+        let completed = AtomicU64::new(0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(16, 3, |i| {
+                if i == 5 {
+                    panic!("map task 5 exploded on split 5");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        let payload = outcome.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("payload must be the original panic message");
+        assert_eq!(msg, "map task 5 exploded on split 5");
+        // Some tasks finished before the panic, yet none of their slots
+        // escaped: the unwind happened instead of a partial return.
+        assert!(completed.load(Ordering::Relaxed) < 16);
+    }
+
+    /// When several tasks panic, the first observed payload wins and the
+    /// pool still unwinds exactly once.
+    #[test]
+    fn first_of_many_panics_wins() {
+        let outcome = catch_unwind(|| {
+            run_indexed(8, 1, |i| {
+                panic!("task {i} failed");
+            })
+        });
+        let payload = outcome.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("formatted panic payload is a String");
+        // Single-threaded pool: task 0 is deterministically first.
+        assert_eq!(msg, "task 0 failed");
     }
 }

@@ -6,9 +6,14 @@ use skymr_common::{ByteSized, Counters};
 ///
 /// Keys must be orderable (the engine sorts keys before the reduce phase,
 /// like Hadoop's sort-merge shuffle), hashable (for the default
-/// [`crate::HashPartitioner`]), and byte-sized (for traffic accounting).
-pub trait JobKey: Clone + Send + Ord + std::hash::Hash + ByteSized + 'static {}
-impl<T: Clone + Send + Ord + std::hash::Hash + ByteSized + 'static> JobKey for T {}
+/// [`crate::HashPartitioner`]), byte-sized (for traffic accounting), and
+/// debug-printable (so [`crate::analysis`] invariant diagnostics can name
+/// the offending key).
+pub trait JobKey:
+    Clone + Send + Ord + std::hash::Hash + std::fmt::Debug + ByteSized + 'static
+{
+}
+impl<T: Clone + Send + Ord + std::hash::Hash + std::fmt::Debug + ByteSized + 'static> JobKey for T {}
 
 /// Marker bounds for shuffle values.
 pub trait JobValue: Send + ByteSized + 'static {}
@@ -16,7 +21,7 @@ impl<T: Send + ByteSized + 'static> JobValue for T {}
 
 /// Per-task context handed to factories: which task this is, the job shape,
 /// and the job's shared counters.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct TaskContext {
     /// Index of this task within its phase (0-based).
     pub task_index: usize,
@@ -91,6 +96,7 @@ pub trait ReduceFactory: Sync {
 
 /// Collects intermediate key-value pairs from a map task and accounts their
 /// wire size for the shuffle-traffic model.
+#[derive(Debug)]
 pub struct Emitter<K, V> {
     pairs: Vec<(K, V)>,
     bytes: u64,
@@ -126,6 +132,7 @@ impl<K: ByteSized, V: ByteSized> Emitter<K, V> {
 }
 
 /// Collects final output records from a reduce task.
+#[derive(Debug)]
 pub struct OutputCollector<T> {
     records: Vec<T>,
 }

@@ -1,0 +1,604 @@
+//! The repo-specific static checks behind `cargo xtask lint`.
+//!
+//! These are rules the workspace has standardized on but that clippy has no
+//! lint for (or none that can be scoped per crate/file the way we need):
+//!
+//! 1. **`no-unwrap`** — `.unwrap()` / `.expect(` are banned in non-test
+//!    code of `crates/mapreduce` and `crates/core`. Engine code routes
+//!    fallible paths through `skymr_common::error` and expresses real
+//!    invariants with `assert!`/`unreachable!`, which carry intent instead
+//!    of a panic on an arbitrary `Option`/`Result`.
+//! 2. **`seeded-rng`** — unseeded RNG construction (`thread_rng`,
+//!    `from_entropy`, `rand::random`, `OsRng`) is banned everywhere.
+//!    Every random stream derives from an explicit `u64` seed through
+//!    `crates/datagen`'s seeding API so runs are reproducible; this is
+//!    also what makes the schedule shaker's byte-identical-output
+//!    assertion meaningful.
+//! 3. **`no-std-mutex`** — `std::sync::Mutex`/`RwLock` are banned; the
+//!    workspace standard is `parking_lot` (no lock poisoning to thread
+//!    through engine code).
+//! 4. **`no-thread-spawn`** — `thread::spawn` is banned outside
+//!    `crates/mapreduce/src/pool.rs`, the single audited spawn site. All
+//!    parallelism goes through the pool so the panic-propagation and
+//!    thread-cap behavior stay in one place.
+//!
+//! The checker is deliberately line-based (the build environment has no
+//! `syn`): each file is lexed just enough to drop comments and string
+//! literal contents and to track `#[cfg(test)]` item bodies by brace
+//! depth, then substring rules run on the sanitized lines. A violation can
+//! be waived for one audited line with a trailing
+//! `// xtask: allow(<rule-name>)` comment.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One rule violation at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier, e.g. `no-unwrap`.
+    pub rule: &'static str,
+    /// What was found and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------
+
+struct Rule {
+    name: &'static str,
+    /// Skip lines inside `#[cfg(test)]` items?
+    skip_test_code: bool,
+    /// Does the rule apply to this workspace-relative path?
+    applies: fn(&str) -> bool,
+    /// Returns the offending pattern if the sanitized line violates the rule.
+    check: fn(&str) -> Option<&'static str>,
+    /// Remediation hint appended to the diagnostic.
+    help: &'static str,
+}
+
+fn in_engine_crates(path: &str) -> bool {
+    path.starts_with("crates/mapreduce/src/") || path.starts_with("crates/core/src/")
+}
+
+fn everywhere(_path: &str) -> bool {
+    true
+}
+
+fn outside_pool(path: &str) -> bool {
+    path != "crates/mapreduce/src/pool.rs"
+}
+
+fn find_any(line: &str, needles: &[&'static str]) -> Option<&'static str> {
+    needles.iter().copied().find(|n| line.contains(n))
+}
+
+fn check_unwrap(line: &str) -> Option<&'static str> {
+    find_any(line, &[".unwrap()", ".expect("])
+}
+
+fn check_unseeded_rng(line: &str) -> Option<&'static str> {
+    find_any(
+        line,
+        &["thread_rng", "from_entropy", "rand::random", "OsRng"],
+    )
+}
+
+fn check_std_mutex(line: &str) -> Option<&'static str> {
+    // Also catches grouped imports like `use std::sync::{Arc, Mutex};`.
+    if line.contains("std::sync::") {
+        if line.contains("Mutex") {
+            return Some("std::sync::Mutex");
+        }
+        if line.contains("RwLock") {
+            return Some("std::sync::RwLock");
+        }
+    }
+    None
+}
+
+fn check_thread_spawn(line: &str) -> Option<&'static str> {
+    find_any(line, &["thread::spawn"])
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "no-unwrap",
+        skip_test_code: true,
+        applies: in_engine_crates,
+        check: check_unwrap,
+        help: "engine code must route errors through skymr_common::error \
+               (or state the invariant with assert!/unreachable!)",
+    },
+    Rule {
+        name: "seeded-rng",
+        skip_test_code: false,
+        applies: everywhere,
+        check: check_unseeded_rng,
+        help: "construct RNGs from an explicit u64 seed via \
+               skymr_datagen's seeding API; unseeded randomness breaks \
+               run-to-run determinism",
+    },
+    Rule {
+        name: "no-std-mutex",
+        skip_test_code: false,
+        applies: everywhere,
+        check: check_std_mutex,
+        help: "the workspace locking standard is parking_lot",
+    },
+    Rule {
+        name: "no-thread-spawn",
+        skip_test_code: false,
+        applies: outside_pool,
+        check: check_thread_spawn,
+        help: "all parallelism goes through skymr_mapreduce::pool, the \
+               single audited spawn site",
+    },
+];
+
+// ---------------------------------------------------------------------
+// Lexing: strip comments and literal contents, track #[cfg(test)] bodies.
+// ---------------------------------------------------------------------
+
+/// Lexer state carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LexState {
+    Code,
+    /// Inside `/* ... */`; Rust block comments nest, so track depth.
+    BlockComment(u32),
+    /// Inside a normal `"..."` string.
+    Str,
+    /// Inside a raw string; the payload is the number of `#`s.
+    RawStr(u8),
+}
+
+/// Returns `line` with comments removed and string/char literal contents
+/// blanked, updating `state` for multi-line constructs. Stripped spans
+/// become single spaces so tokens never fuse across them.
+fn sanitize_line(state: &mut LexState, line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match *state {
+            LexState::BlockComment(depth) => {
+                if bytes[i..].starts_with(b"/*") {
+                    *state = LexState::BlockComment(depth + 1);
+                    i += 2;
+                } else if bytes[i..].starts_with(b"*/") {
+                    *state = if depth == 1 {
+                        out.push(' ');
+                        LexState::Code
+                    } else {
+                        LexState::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            LexState::Str => {
+                if bytes[i] == b'\\' {
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    out.push('"');
+                    *state = LexState::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            LexState::RawStr(hashes) => {
+                if bytes[i] == b'"'
+                    && bytes[i + 1..].iter().take_while(|&&b| b == b'#').count() >= hashes as usize
+                {
+                    out.push('"');
+                    *state = LexState::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            LexState::Code => {
+                if bytes[i..].starts_with(b"//") {
+                    break; // rest of the line is a comment
+                }
+                if bytes[i..].starts_with(b"/*") {
+                    *state = LexState::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == b'"' {
+                    out.push('"');
+                    *state = LexState::Str;
+                    i += 1;
+                    continue;
+                }
+                // Raw (and raw byte) string openers: r"  r#"  br"  br#" ...
+                if let Some(consumed) = raw_string_open(&bytes[i..]) {
+                    out.push('"');
+                    *state = LexState::RawStr(consumed.1);
+                    i += consumed.0;
+                    continue;
+                }
+                if bytes[i] == b'\'' {
+                    if let Some(len) = char_literal_len(&bytes[i..]) {
+                        out.push('\'');
+                        out.push(' ');
+                        out.push('\'');
+                        i += len;
+                        continue;
+                    }
+                    // A lifetime — keep it.
+                }
+                out.push(bytes[i] as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// If `bytes` starts a raw string literal (`r"`, `r#"`, `br##"`, ...),
+/// returns (bytes consumed through the opening quote, number of `#`s).
+fn raw_string_open(bytes: &[u8]) -> Option<(usize, u8)> {
+    let mut i = 0;
+    if bytes.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'r') {
+        return None;
+    }
+    i += 1;
+    let hashes = bytes[i..].iter().take_while(|&&b| b == b'#').count();
+    i += hashes;
+    if bytes.get(i) == Some(&b'"') {
+        Some((i + 1, hashes.min(255) as u8))
+    } else {
+        None
+    }
+}
+
+/// If `bytes` starts a character literal (as opposed to a lifetime),
+/// returns its total byte length.
+fn char_literal_len(bytes: &[u8]) -> Option<usize> {
+    debug_assert_eq!(bytes.first(), Some(&b'\''));
+    if bytes.get(1) == Some(&b'\\') {
+        // Escaped: scan to the closing quote.
+        let close = bytes[2..].iter().position(|&b| b == b'\'')?;
+        return Some(close + 3);
+    }
+    // Unescaped: 'x' where x is any single char (possibly multi-byte).
+    let s = std::str::from_utf8(bytes).ok()?;
+    let mut chars = s.char_indices().skip(1);
+    let (_, c) = chars.next()?;
+    let (close_idx, close) = chars.next()?;
+    (close == '\'' && c != '\'').then(|| close_idx + 1)
+}
+
+/// Tracks whether the current line sits inside a `#[cfg(test)]` item.
+#[derive(Debug, Default)]
+struct TestRegion {
+    /// Saw the attribute; waiting for the item's opening brace.
+    pending: bool,
+    active: bool,
+    depth: i64,
+}
+
+impl TestRegion {
+    /// Feeds one sanitized line; returns `true` if the line belongs to a
+    /// `#[cfg(test)]` item (including the attribute line itself).
+    fn update(&mut self, line: &str) -> bool {
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        if self.active {
+            self.depth += opens - closes;
+            if self.depth <= 0 {
+                self.active = false;
+            }
+            return true;
+        }
+        if self.pending {
+            if opens > 0 {
+                self.pending = false;
+                self.depth = opens - closes;
+                self.active = self.depth > 0;
+            } else if line.trim_end().ends_with(';') {
+                // e.g. `#[cfg(test)] use ...;` split across lines.
+                self.pending = false;
+            }
+            return true;
+        }
+        if line.contains("#[cfg(test)]") {
+            if opens > 0 && line.contains('}') {
+                // Single-line item: `#[cfg(test)] mod t { ... }`.
+            } else if opens > 0 {
+                self.depth = opens - closes;
+                self.active = self.depth > 0;
+            } else {
+                self.pending = true;
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// Lints one file's source text. `path` is the workspace-relative path
+/// (forward slashes) used for rule scoping and diagnostics.
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let rules: Vec<&Rule> = RULES.iter().filter(|r| (r.applies)(path)).collect();
+    if rules.is_empty() {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    let mut lex = LexState::Code;
+    let mut region = TestRegion::default();
+    for (idx, raw) in source.lines().enumerate() {
+        let sanitized = sanitize_line(&mut lex, raw);
+        let in_test = region.update(&sanitized);
+        for rule in &rules {
+            if rule.skip_test_code && in_test {
+                continue;
+            }
+            let Some(pattern) = (rule.check)(&sanitized) else {
+                continue;
+            };
+            if waived(raw, rule.name) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: path.to_owned(),
+                line: idx + 1,
+                rule: rule.name,
+                message: format!("`{pattern}` — {}", rule.help),
+            });
+        }
+    }
+    diags
+}
+
+/// `true` if the raw line carries a waiver comment for `rule`.
+fn waived(raw_line: &str, rule: &str) -> bool {
+    raw_line
+        .find("xtask: allow(")
+        .is_some_and(|i| raw_line[i + "xtask: allow(".len()..].starts_with(rule))
+}
+
+// ---------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------
+
+/// Directories never scanned (vendored stand-ins, build output, VCS), plus
+/// this crate itself: its rule table necessarily spells out every banned
+/// pattern, and its behavior is covered by the unit tests below instead.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", ".claude"];
+const SKIP_PREFIXES: &[&str] = &["crates/xtask"];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if path.is_dir() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if SKIP_DIRS.contains(&name.as_ref())
+                || SKIP_PREFIXES.iter().any(|p| rel_str.starts_with(p))
+            {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if rel_str.ends_with(".rs") && !SKIP_PREFIXES.iter().any(|p| rel_str.starts_with(p))
+        {
+            out.push(path);
+        }
+    }
+}
+
+/// Entry point for `cargo xtask lint`.
+pub fn run() -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("xtask lint: cannot locate the workspace root");
+        return ExitCode::from(2);
+    };
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files);
+    files.sort();
+    let mut diags = Vec::new();
+    for file in &files {
+        let Ok(source) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diags.extend(lint_source(&rel, &source));
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("xtask lint: OK ({} files scanned)", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} violation(s) across {} file(s) scanned",
+            diags.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn workspace_root() -> Option<PathBuf> {
+    // crates/xtask -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()?
+        .parent()
+        .map(Path::to_path_buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENGINE: &str = "crates/mapreduce/src/job.rs";
+    const CORE: &str = "crates/core/src/gpsrs.rs";
+    const OTHER: &str = "crates/datagen/src/lib.rs";
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_in_engine_code() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let diags = lint_source(ENGINE, src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "no-unwrap");
+        assert_eq!(diags[0].line, 2);
+        let src = "fn f(x: Option<u8>) -> u8 { x.expect(\"msg\") }\n";
+        assert_eq!(rules_hit(CORE, src), ["no-unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_is_allowed_outside_engine_crates_and_in_tests() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(lint_source(OTHER, src).is_empty());
+        assert!(lint_source("crates/mapreduce/tests/e2e.rs", src).is_empty());
+        let src = "\
+fn prod() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+    }
+}
+";
+        assert!(lint_source(ENGINE, src).is_empty());
+    }
+
+    #[test]
+    fn test_region_tracking_resumes_after_the_block() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { Some(1).unwrap(); }
+}
+fn prod(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let diags = lint_source(ENGINE, src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn flags_unseeded_rng_everywhere_even_in_tests() {
+        for src in [
+            "let mut rng = rand::thread_rng();\n",
+            "let rng = StdRng::from_entropy();\n",
+            "let x: f64 = rand::random();\n",
+            "use rand::rngs::OsRng;\n",
+        ] {
+            assert_eq!(rules_hit(OTHER, src), ["seeded-rng"], "{src}");
+        }
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { rand::thread_rng(); }\n}\n";
+        assert_eq!(rules_hit(OTHER, src), ["seeded-rng"]);
+    }
+
+    #[test]
+    fn flags_std_mutex_including_grouped_imports() {
+        assert_eq!(
+            rules_hit(OTHER, "let m = std::sync::Mutex::new(0);\n"),
+            ["no-std-mutex"]
+        );
+        assert_eq!(
+            rules_hit(OTHER, "use std::sync::{Arc, Mutex};\n"),
+            ["no-std-mutex"]
+        );
+        assert_eq!(
+            rules_hit(OTHER, "use std::sync::RwLock;\n"),
+            ["no-std-mutex"]
+        );
+        assert!(lint_source(OTHER, "use std::sync::Arc;\n").is_empty());
+        assert!(lint_source(OTHER, "use parking_lot::Mutex;\n").is_empty());
+    }
+
+    #[test]
+    fn flags_thread_spawn_outside_the_pool_only() {
+        let src = "let h = std::thread::spawn(|| {});\n";
+        assert_eq!(rules_hit(OTHER, src), ["no-thread-spawn"]);
+        assert_eq!(rules_hit(ENGINE, src), ["no-thread-spawn"]);
+        assert!(lint_source("crates/mapreduce/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_string_literals_do_not_flag() {
+        let src = "\
+// call .unwrap() here? never.
+/// let x = maybe.unwrap();
+/* thread_rng() in a block comment
+   spanning lines with std::sync::Mutex */
+let s = \".unwrap() thread_rng std::sync::Mutex thread::spawn\";
+let r = r#\"from_entropy()\"#;
+let c = '\"'; let after = \"thread_rng\";
+";
+        assert!(
+            lint_source(ENGINE, src).is_empty(),
+            "{:?}",
+            lint_source(ENGINE, src)
+        );
+    }
+
+    #[test]
+    fn code_after_a_closed_block_comment_still_flags() {
+        let src = "let x = /* ok */ y.unwrap();\n";
+        assert_eq!(rules_hit(ENGINE, src), ["no-unwrap"]);
+    }
+
+    #[test]
+    fn waiver_comment_suppresses_only_the_named_rule() {
+        let src = "let x = y.unwrap(); // xtask: allow(no-unwrap)\n";
+        assert!(lint_source(ENGINE, src).is_empty());
+        let src = "let x = y.unwrap(); // xtask: allow(seeded-rng)\n";
+        assert_eq!(rules_hit(ENGINE, src), ["no-unwrap"]);
+    }
+
+    #[test]
+    fn multiline_string_contents_are_ignored() {
+        let src = "let s = \"first line\nstill a string .unwrap()\nend\";\nlet z = q.unwrap();\n";
+        let diags = lint_source(ENGINE, src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn diagnostics_render_with_file_line_and_rule() {
+        let d = lint_source(ENGINE, "x.unwrap();\n").remove(0);
+        let rendered = d.to_string();
+        assert!(rendered.starts_with("crates/mapreduce/src/job.rs:1: [no-unwrap]"));
+    }
+}

@@ -1,0 +1,32 @@
+//! `cargo xtask` — repo-specific developer tasks.
+//!
+//! The only task today is `lint`: a line-based static checker enforcing
+//! workspace rules that clippy cannot express (see `lint.rs`). Wired up as
+//! a cargo alias in `.cargo/config.toml`, so it runs as `cargo xtask lint`.
+
+use std::process::ExitCode;
+
+mod lint;
+
+const USAGE: &str = "\
+usage: cargo xtask <task>
+
+tasks:
+  lint    run the repo-specific static checks over the workspace sources
+  help    show this message
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint::run(),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -60,7 +60,7 @@ fn sweep(name: &str, data: &Dataset) {
     let survival_pct = survival * 100.0;
     match choice {
         HybridChoice::SingleReducer => {
-            println!("  -> hybrid planner: single reducer (partition survival {survival_pct:.0}%)")
+            println!("  -> hybrid planner: single reducer (partition survival {survival_pct:.0}%)");
         }
         HybridChoice::MultiReducer { reducers } => println!(
             "  -> hybrid planner: {reducers} reducers (partition survival {survival_pct:.0}%)"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the MapReduce engine test suite under ThreadSanitizer.
+#
+# TSan needs `-Zsanitizer=thread`, which is nightly-only and wants the
+# standard library rebuilt with the same flag (`-Zbuild-std`). This script
+# is **advisory**: the analysis workflow runs it with continue-on-error,
+# and locally it exits 0 with an explanation when no nightly toolchain is
+# installed (the default offline dev container has only stable).
+#
+# Usage: ./scripts/sanitize.sh [extra cargo test args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! rustup toolchain list 2>/dev/null | grep -q nightly; then
+    echo "sanitize.sh: no nightly toolchain installed; skipping TSan run." >&2
+    echo "sanitize.sh: install one with 'rustup toolchain install nightly \
+--component rust-src' to enable this check." >&2
+    exit 0
+fi
+
+# -Zbuild-std needs the standard library sources.
+if ! rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q '^rust-src.*(installed)'; then
+    echo "sanitize.sh: nightly is missing rust-src (needed by -Zbuild-std); \
+skipping TSan run." >&2
+    echo "sanitize.sh: enable with 'rustup component add rust-src \
+--toolchain nightly'." >&2
+    exit 0
+fi
+
+host="$(rustc -vV | sed -n 's/^host: //p')"
+
+# The engine crate is where all the threading lives (pool, shuffle,
+# counters); shaking it under TSan covers the schedule-shaker's blind
+# spots (actual data races rather than output divergence).
+RUSTFLAGS="-Zsanitizer=thread" \
+RUSTDOCFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -q \
+    -Zbuild-std \
+    --target "$host" \
+    -p skymr-mapreduce -p skymr-common \
+    "$@"

@@ -71,7 +71,7 @@ fn mr_bitmap_matches_oracle_on_its_own_domain() {
     // MR-Bitmap answers for limited-distinct-value data; compare on the
     // discretized dataset (its own domain), across distributions.
     use skymr_baselines::{bnl_skyline, discretize, mr_bitmap, BaselineConfig};
-    for dist in skymr_integration_tests::ALL_DISTRIBUTIONS {
+    for dist in ALL_DISTRIBUTIONS {
         let data = discretize(&scenario(dist, 3, 400, 105), 8);
         let run = mr_bitmap(&data, &BaselineConfig::test());
         let oracle: Vec<u64> = bnl_skyline(data.tuples()).iter().map(|t| t.id).collect();

@@ -1,0 +1,116 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of proptest's API this workspace uses — the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter`,
+//! range and tuple strategies, [`collection::vec`] / [`collection::btree_set`],
+//! [`arbitrary::any`], the [`proptest!`] macro, and `prop_assert*` macros —
+//! on top of a deterministic seeded RNG.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the case index; re-running
+//!   the test reproduces it exactly (seeds derive from the test's module
+//!   path and name, not from entropy).
+//! * **Case count** defaults to 64 and is overridable per-test via
+//!   `ProptestConfig::with_cases` or globally via the `PROPTEST_CASES`
+//!   environment variable (highest precedence).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRunner};
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                let case_guard = $crate::test_runner::CaseGuard::enter(case);
+                let ($($pat,)*) = (
+                    $( $crate::strategy::Strategy::generate(&($strat), runner.rng()), )*
+                );
+                // Mirror real proptest: the body may `return Ok(())` early
+                // or fall through; assertion macros panic directly.
+                let case_result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    Ok(())
+                })();
+                if let Err(reason) = case_result {
+                    panic!("proptest case #{case} returned Err: {reason}");
+                }
+                case_guard.pass();
+            }
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when an assumption does not hold.
+///
+/// The stand-in has no case-rejection bookkeeping; an unmet assumption
+/// simply ends the case successfully.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}

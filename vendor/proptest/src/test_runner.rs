@@ -1,0 +1,98 @@
+//! Case scheduling: configuration, deterministic seeding, failure reporting.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases, overridable via the `PROPTEST_CASES` environment variable.
+    fn default() -> Self {
+        Self {
+            cases: env_cases().unwrap_or(64),
+        }
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+/// Drives the case loop for one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    cases: u32,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG is seeded from `name`, so every run of
+    /// the same test generates the same case sequence.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        // PROPTEST_CASES changes the stream length, not the stream.
+        let cases = env_cases().unwrap_or(config.cases);
+        Self {
+            cases,
+            rng: TestRng::seed_from_u64(hasher.finish()),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The runner's RNG.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// Prints the failing case index when a case body panics, since the
+/// stand-in has no shrinking to localise failures.
+#[derive(Debug)]
+pub struct CaseGuard {
+    case: u32,
+}
+
+impl CaseGuard {
+    /// Enters case `case`.
+    pub fn enter(case: u32) -> Self {
+        Self { case }
+    }
+
+    /// Marks the case as passed.
+    pub fn pass(self) {}
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest stand-in: case #{} failed (deterministic seed; \
+                 re-running the test reproduces it)",
+                self.case
+            );
+        }
+    }
+}
