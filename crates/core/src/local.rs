@@ -220,7 +220,7 @@ fn dnc_local(tuples: &mut Vec<Tuple>, depth: usize, stats: &mut CmpStats) -> Vec
     if tuples.len() <= BASE_CASE || depth >= 2 * dim {
         return local_skyline(std::mem::take(tuples), LocalAlgo::Bnl, stats);
     }
-    let split_dim = depth % dim;
+    let split_dim = depth % dim; // xtask: allow(panic-reachability) — dim == 0 hits the base case above (depth >= 2 * dim)
     let mid = tuples.len() / 2;
     tuples.select_nth_unstable_by(mid, |a, b| {
         a.values[split_dim]

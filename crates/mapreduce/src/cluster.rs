@@ -93,7 +93,7 @@ impl ClusterConfig {
         let node_count = self.nodes.max(1);
         let mut per_node = vec![0u64; node_count];
         for (r, &b) in per_reducer_bytes.iter().enumerate() {
-            per_node[r % node_count] += b;
+            per_node[r % node_count] += b; // xtask: allow(panic-reachability) — node_count = nodes.max(1) >= 1 and r % node_count < per_node.len()
         }
         let bottleneck = per_node.into_iter().max().unwrap_or(0);
         Duration::from_secs_f64(

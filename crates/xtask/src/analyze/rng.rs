@@ -1,0 +1,202 @@
+//! The `seeded-rng-dataflow` pass.
+//!
+//! The legacy `seeded-rng` rule bans unseeded constructor *names*
+//! (`thread_rng`, `from_entropy`, …); this pass checks the positive
+//! property: every RNG construction (`seed_from_u64(…)` /
+//! `from_seed(…)`) must trace back to an explicit seed root. A
+//! construction site passes when any of:
+//!
+//! 1. its argument region contains an integer literal (a pinned seed) or
+//!    a seed-named identifier (`seed`, `*_seed`, `self.seed`, …) — the
+//!    seed is visibly plumbed to the call;
+//! 2. the enclosing fn takes an explicit seed parameter (`seed` /
+//!    `*_seed`), like `skymr_datagen`'s `generate(dist, dim, n, seed)`;
+//! 3. every transitive caller chain of the enclosing fn begins at a fn
+//!    with a seed parameter (computed as a fixpoint over the workspace
+//!    call graph) — the seed arrives under another name.
+//!
+//! Anything else is a construction whose seed provenance cannot be
+//! established statically, which is exactly the hole that would let
+//! nondeterminism back in past the name-based ban. Test fns are exempt
+//! (they pin literals, and the name ban still applies to them).
+
+use std::collections::BTreeMap;
+
+use super::{AnalyzedFile, Diagnostic};
+use crate::lexer::TokenKind;
+
+const CONSTRUCTORS: &[&str] = &["seed_from_u64", "from_seed"];
+
+fn seedish(name: &str) -> bool {
+    name == "seed" || name.ends_with("_seed") || name.starts_with("seed_")
+}
+
+/// Runs the pass over the whole workspace.
+pub fn check_dataflow(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
+    // Flatten non-test fns; build name → fn-ids and the caller graph.
+    let mut fns: Vec<(usize, usize)> = Vec::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, g) in f.model.fns.iter().enumerate() {
+            if g.is_test {
+                continue;
+            }
+            by_name.entry(g.name.as_str()).or_default().push(fns.len());
+            fns.push((fi, gi));
+        }
+    }
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+    for (id, &(fi, gi)) in fns.iter().enumerate() {
+        for call in &files[fi].model.fns[gi].calls {
+            if call.is_macro {
+                continue; // macro names must not alias same-named fns
+            }
+            if let Some(targets) = by_name.get(call.name.as_str()) {
+                for &t in targets {
+                    callers[t].push(id);
+                }
+            }
+        }
+    }
+
+    // Fixpoint: seed-rooted = has a seed param, or has callers and every
+    // caller is seed-rooted.
+    let mut rooted: Vec<bool> = fns
+        .iter()
+        .map(|&(fi, gi)| files[fi].model.fns[gi].has_seed_param)
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..fns.len() {
+            if !rooted[id] && !callers[id].is_empty() && callers[id].iter().all(|&c| rooted[c]) {
+                rooted[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (id, &(fi, gi)) in fns.iter().enumerate() {
+        let f = &files[fi];
+        let g = &f.model.fns[gi];
+        for call in &g.calls {
+            if !CONSTRUCTORS.contains(&call.name.as_str()) {
+                continue;
+            }
+            if g.has_seed_param || rooted[id] || arg_carries_seed(f, call.sig_idx) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: f.path.clone(),
+                line: call.line,
+                rule: "seeded-rng-dataflow",
+                message: format!(
+                    "`{}(…)` in `{}` — no explicit-seed root reaches this RNG \
+                     construction (no literal/seed-named argument, no seed \
+                     parameter on `{}` or on every caller chain); plumb a u64 \
+                     seed down from the caller",
+                    call.name, g.name, g.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `true` if the argument region of the call at significant index
+/// `sig_idx` visibly carries a seed: an integer/float literal or a
+/// seed-named identifier.
+fn arg_carries_seed(f: &AnalyzedFile, sig_idx: usize) -> bool {
+    if f.sig_text(sig_idx + 1) != "(" {
+        return false;
+    }
+    let close = f.sig_balanced_end(sig_idx + 1, "(", ")");
+    for i in (sig_idx + 2)..close.saturating_sub(1) {
+        match f.sig_kind(i) {
+            Some(TokenKind::Num) => return true,
+            Some(TokenKind::Ident) if seedish(f.sig_text(i)) => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{apply_waivers, collect_waivers, raw_diagnostics, AnalyzedFile, Mode};
+
+    const PATH: &str = "crates/bench/src/lib.rs";
+
+    fn analyze(src: &str) -> Vec<super::super::Diagnostic> {
+        let f = AnalyzedFile::build(PATH, src);
+        let waivers = collect_waivers(&f);
+        let files = [f];
+        let raw = raw_diagnostics(&files, Mode::Analyze);
+        apply_waivers(raw, &waivers)
+            .0
+            .into_iter()
+            .filter(|d| d.rule == "seeded-rng-dataflow")
+            .collect()
+    }
+
+    #[test]
+    fn flags_a_rootless_construction_with_file_and_line() {
+        let src = "\
+fn pick() -> u64 { 7 }
+fn build_rng() -> StdRng {
+    StdRng::seed_from_u64(pick())
+}
+";
+        let diags = analyze(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].file, PATH);
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("build_rng"));
+    }
+
+    #[test]
+    fn literal_and_seed_named_arguments_are_roots() {
+        assert!(analyze("fn f() -> StdRng { StdRng::seed_from_u64(42) }\n").is_empty());
+        assert!(analyze(
+            "struct G { seed: u64 }\nimpl G {\n    fn rng(&self) -> StdRng { StdRng::seed_from_u64(self.seed ^ 0x5f3759df) }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn a_seed_parameter_roots_the_enclosing_fn() {
+        let src = "fn generate(n: usize, seed: u64) { let _r = StdRng::seed_from_u64(mix(n)); }\n";
+        assert!(analyze(src).is_empty());
+    }
+
+    #[test]
+    fn seed_plumbed_through_the_call_graph_roots_a_renamed_param() {
+        // `mk` takes the seed as `x`, but its only caller has a real seed
+        // parameter, so the fixpoint roots it.
+        let src = "\
+fn root(seed: u64) { mk(seed); }
+fn mk(x: u64) -> StdRng { StdRng::seed_from_u64(x) }
+";
+        assert!(analyze(src).is_empty());
+        // Add one unseeded caller and the chain no longer proves anything.
+        let src = "\
+fn root(seed: u64) { mk(seed); }
+fn sneaky() { mk(0xbad); }
+fn mk(x: u64) -> StdRng { StdRng::seed_from_u64(x) }
+";
+        let diags = analyze(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn waiver_and_test_fns_are_exempt() {
+        let src = "fn f() -> StdRng { StdRng::seed_from_u64(pick()) } // xtask: allow(seeded-rng-dataflow)\nfn pick() -> u64 { 7 }\n";
+        assert!(analyze(src).is_empty());
+        let src = "#[test]\nfn t() { let _ = StdRng::seed_from_u64(derive()); }\nfn derive() -> u64 { 7 }\n";
+        assert!(analyze(src).is_empty());
+    }
+}

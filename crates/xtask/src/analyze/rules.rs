@@ -1,0 +1,210 @@
+//! The three path/ident legacy rules from PR 1, re-expressed on the token
+//! backend (`seeded-rng`, `no-std-mutex`, `no-thread-spawn`). The fourth
+//! PR-1 rule, `no-unwrap`, lives in [`super::panics`] next to the
+//! reachability checks that supersede its substring implementation.
+//!
+//! Working on tokens instead of sanitized lines makes the rules exact by
+//! construction: comments and string literals are separate token kinds, so
+//! a banned name inside either can never flag, and a path like
+//! `std::sync::Mutex` is matched as the token sequence
+//! `std` `::` `sync` `::` `Mutex` rather than a substring.
+
+use super::{is_pool, AnalyzedFile, Diagnostic};
+use crate::lexer::TokenKind;
+
+const RNG_HELP: &str = "construct RNGs from an explicit u64 seed via \
+                        skymr_datagen's seeding API; unseeded randomness breaks \
+                        run-to-run determinism";
+const MUTEX_HELP: &str = "the workspace locking standard is parking_lot";
+const SPAWN_HELP: &str = "all parallelism goes through skymr_mapreduce::pool, the \
+                          single audited spawn site";
+
+/// Runs the three rules over one file.
+pub fn check_file(f: &AnalyzedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 0..f.sig.len() {
+        if f.sig_kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let line = f.sig_tok(i).map_or(0, |t| t.line);
+        let diag = |rule, pattern: &str, help: &str| Diagnostic {
+            file: f.path.clone(),
+            line,
+            rule,
+            message: format!("`{pattern}` — {help}"),
+        };
+        match f.sig_text(i) {
+            // seeded-rng: unseeded construction names, banned everywhere
+            // (tests included — reproducibility is the whole point).
+            name @ ("thread_rng" | "from_entropy" | "OsRng") => {
+                out.push(diag("seeded-rng", name, RNG_HELP));
+            }
+            "random" if path_qualifier(f, i).as_deref() == Some("rand") => {
+                out.push(diag("seeded-rng", "rand::random", RNG_HELP));
+            }
+            // no-std-mutex: `std::sync::Mutex`/`RwLock`, either as a full
+            // path or via a grouped import `use std::sync::{Arc, Mutex}`.
+            "std" if is_path_seq(f, i, &["std", "sync"]) => {
+                // Cursor is on `std`; `std : : sync : :` is six significant
+                // tokens, so the segment after `sync::` starts at i + 6.
+                let after = i + 6;
+                match f.sig_text(after) {
+                    "Mutex" => out.push(diag("no-std-mutex", "std::sync::Mutex", MUTEX_HELP)),
+                    "RwLock" => out.push(diag("no-std-mutex", "std::sync::RwLock", MUTEX_HELP)),
+                    "{" => {
+                        let end = f.sig_balanced_end(after, "{", "}");
+                        for j in after..end {
+                            let seg = f.sig_text(j);
+                            if seg == "Mutex" || seg == "RwLock" {
+                                let pat = if seg == "Mutex" {
+                                    "std::sync::Mutex"
+                                } else {
+                                    "std::sync::RwLock"
+                                };
+                                out.push(Diagnostic {
+                                    file: f.path.clone(),
+                                    line: f.sig_tok(j).map_or(line, |t| t.line),
+                                    rule: "no-std-mutex",
+                                    message: format!("`{pat}` — {MUTEX_HELP}"),
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // no-thread-spawn: `thread::spawn` outside the pool.
+            "thread"
+                if !is_pool(&f.path)
+                    && is_path_seq(f, i, &["thread"])
+                    && f.sig_text(i + 3) == "spawn" =>
+            {
+                out.push(diag("no-thread-spawn", "thread::spawn", SPAWN_HELP));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `true` if significant tokens starting at `i` spell the `::`-separated
+/// path `segs[0]::segs[1]::…::` (with a trailing `::`).
+fn is_path_seq(f: &AnalyzedFile, i: usize, segs: &[&str]) -> bool {
+    let mut at = i;
+    for seg in segs {
+        if f.sig_text(at) != *seg || f.sig_text(at + 1) != ":" || f.sig_text(at + 2) != ":" {
+            return false;
+        }
+        at += 3;
+    }
+    true
+}
+
+/// The path segment before ident `i`, if `i` is preceded by `Qual::`.
+fn path_qualifier(f: &AnalyzedFile, i: usize) -> Option<String> {
+    if i >= 3 && f.sig_text(i - 1) == ":" && f.sig_text(i - 2) == ":" {
+        let q = f.sig_tok(i - 3)?;
+        if matches!(q.kind, TokenKind::Ident | TokenKind::RawIdent) {
+            return Some(q.text(&f.src).to_owned());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{apply_waivers, collect_waivers, raw_diagnostics, AnalyzedFile, Mode};
+
+    const ENGINE: &str = "crates/mapreduce/src/job.rs";
+    const OTHER: &str = "crates/datagen/src/lib.rs";
+
+    /// Full lint-mode pipeline on one fixture: legacy rules + waivers.
+    fn lint(path: &str, src: &str) -> Vec<super::super::Diagnostic> {
+        let f = AnalyzedFile::build(path, src);
+        let waivers = collect_waivers(&f);
+        let files = [f];
+        let raw = raw_diagnostics(&files, Mode::Lint);
+        apply_waivers(raw, &waivers).0
+    }
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        lint(path, src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn flags_unseeded_rng_everywhere_even_in_tests() {
+        for src in [
+            "let mut rng = rand::thread_rng();\n",
+            "let rng = StdRng::from_entropy();\n",
+            "let x: f64 = rand::random();\n",
+            "use rand::rngs::OsRng;\n",
+        ] {
+            assert_eq!(rules_hit(OTHER, src), ["seeded-rng"], "{src}");
+        }
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { rand::thread_rng(); }\n}\n";
+        assert_eq!(rules_hit(OTHER, src), ["seeded-rng"]);
+    }
+
+    #[test]
+    fn plain_random_ident_without_rand_qualifier_is_fine() {
+        // The old substring rule could not make this distinction cheaply.
+        assert!(lint(OTHER, "fn pick(random: u32) -> u32 { random }\n").is_empty());
+        assert!(lint(OTHER, "let x = dist.random_in(lo, hi);\n").is_empty());
+    }
+
+    #[test]
+    fn flags_std_mutex_including_grouped_imports() {
+        assert_eq!(
+            rules_hit(OTHER, "let m = std::sync::Mutex::new(0);\n"),
+            ["no-std-mutex"]
+        );
+        assert_eq!(
+            rules_hit(OTHER, "use std::sync::{Arc, Mutex};\n"),
+            ["no-std-mutex"]
+        );
+        assert_eq!(
+            rules_hit(OTHER, "use std::sync::RwLock;\n"),
+            ["no-std-mutex"]
+        );
+        assert!(lint(OTHER, "use std::sync::Arc;\n").is_empty());
+        assert!(lint(OTHER, "use parking_lot::Mutex;\n").is_empty());
+    }
+
+    #[test]
+    fn flags_thread_spawn_outside_the_pool_only() {
+        let src = "let h = std::thread::spawn(|| {});\n";
+        assert_eq!(rules_hit(OTHER, src), ["no-thread-spawn"]);
+        assert_eq!(rules_hit(ENGINE, src), ["no-thread-spawn"]);
+        assert!(lint("crates/mapreduce/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_string_literals_do_not_flag() {
+        let src = "\
+// call .unwrap() here? never.
+/// let x = maybe.unwrap();
+/* thread_rng() in a block comment
+   spanning lines with std::sync::Mutex */
+let s = \".unwrap() thread_rng std::sync::Mutex thread::spawn\";
+let r = r#\"from_entropy()\"#;
+let c = '\"'; let after = \"thread_rng\";
+";
+        assert!(lint(ENGINE, src).is_empty(), "{:?}", lint(ENGINE, src));
+    }
+
+    #[test]
+    fn waiver_comment_suppresses_only_the_named_rule() {
+        let src = "let r = rand::thread_rng(); // xtask: allow(seeded-rng)\n";
+        assert!(lint(OTHER, src).is_empty());
+        let src = "let r = rand::thread_rng(); // xtask: allow(no-std-mutex)\n";
+        assert_eq!(rules_hit(OTHER, src), ["seeded-rng"]);
+    }
+
+    #[test]
+    fn diagnostics_render_with_file_line_and_rule() {
+        let d = lint(OTHER, "rand::thread_rng();\n").remove(0);
+        assert!(d
+            .to_string()
+            .starts_with("crates/datagen/src/lib.rs:1: [seeded-rng]"));
+    }
+}

@@ -1,0 +1,660 @@
+//! A hand-rolled, lossless Rust lexer.
+//!
+//! The analysis passes in [`crate::analyze`] need token-level structure —
+//! the PR-1 sanitizer worked line-by-line with substring rules, which is
+//! exactly the model that cannot represent a raw string spilling over a
+//! line boundary or an escaped-quote char literal (see the regression
+//! tests at the bottom for inputs the old approach provably misread).
+//!
+//! Design constraints:
+//!
+//! * **Lossless.** Every input byte belongs to exactly one token, and the
+//!   concatenation of all token slices reproduces the input byte-for-byte.
+//!   Malformed input never panics; bytes the lexer cannot classify become
+//!   [`TokenKind::Unknown`] tokens rather than being dropped. This is what
+//!   the workspace round-trip test and the proptest token soup pin down.
+//! * **No dependencies.** The offline build has no `syn`/`proc-macro2`;
+//!   this is a self-contained scanner covering the subset of Rust's lexical
+//!   grammar that real sources exercise: nested block comments, all string
+//!   flavors (`"…"`, `b"…"`, `c"…"`, and raw variants with up to 255 `#`s),
+//!   char/byte literals with escapes, lifetime-vs-char disambiguation, raw
+//!   identifiers (`r#fn`), numeric literals with underscores/suffixes, and
+//!   single-character punctuation.
+//!
+//! Tokens carry byte spans and the 1-based line of their first byte, so
+//! diagnostics built on top of them point at real `file:line` locations.
+
+/// The classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Runs of whitespace (spaces, tabs, newlines, …).
+    Whitespace,
+    /// `// …` to the end of the line (newline excluded), including doc `///`.
+    LineComment,
+    /// `/* … */` with Rust's nesting rules; unterminated runs to EOF.
+    BlockComment,
+    /// An identifier or keyword.
+    Ident,
+    /// A raw identifier, `r#name`.
+    RawIdent,
+    /// A lifetime or loop label, `'name`.
+    Lifetime,
+    /// A char literal `'x'` (escapes included).
+    Char,
+    /// A byte literal `b'x'`.
+    Byte,
+    /// Any string literal: `"…"`, `b"…"`, `c"…"`, `r"…"`, `br#"…"#`, ….
+    Str,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A single punctuation character (`.`, `::` arrives as two tokens).
+    Punct,
+    /// A byte sequence the lexer could not classify (kept for losslessness).
+    Unknown,
+}
+
+/// One token: kind plus the byte span it occupies in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of the first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's slice of `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// `true` for whitespace and comments — tokens the parser skips.
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Lexes `src` into a lossless token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer failed to consume input");
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// The char at `pos + ahead` bytes (must be a char boundary).
+    fn peek_char(&self, ahead: usize) -> Option<char> {
+        self.src[self.pos + ahead..].chars().next()
+    }
+
+    /// Advances over `n` bytes, maintaining the line counter.
+    fn bump(&mut self, n: usize) {
+        for &b in &self.bytes[self.pos..self.pos + n] {
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.pos += n;
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let Some(c) = self.peek_char(0) else {
+            // Mid-character position cannot happen (we always consume
+            // whole chars), but stay lossless regardless.
+            self.pos += 1;
+            return TokenKind::Unknown;
+        };
+
+        if c.is_whitespace() {
+            return self.whitespace();
+        }
+        if c == '/' {
+            match self.peek(1) {
+                Some(b'/') => return self.line_comment(),
+                Some(b'*') => return self.block_comment(),
+                _ => {}
+            }
+        }
+        // String-prefix forms must be tried before the generic ident path:
+        // r"…", r#"…"#, r#ident, b"…", br#"…"#, b'x', c"…", cr#"…"#.
+        if matches!(c, 'r' | 'b' | 'c') {
+            if let Some(kind) = self.prefixed_literal() {
+                return kind;
+            }
+        }
+        if is_ident_start(c) {
+            return self.ident();
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        match c {
+            '"' => self.string(),
+            '\'' => self.lifetime_or_char(),
+            _ if c.is_ascii() => {
+                self.bump(1);
+                TokenKind::Punct
+            }
+            _ => {
+                self.bump(c.len_utf8());
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    fn whitespace(&mut self) -> TokenKind {
+        while let Some(c) = self.peek_char(0) {
+            if !c.is_whitespace() {
+                break;
+            }
+            self.bump(c.len_utf8());
+        }
+        TokenKind::Whitespace
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump(1);
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(2); // the opening `/*`
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump(2);
+                }
+                (Some(_), _) => self.bump(1),
+                (None, _) => break, // unterminated: runs to EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Handles `r`/`b`/`c`-prefixed literals and raw identifiers; returns
+    /// `None` when the prefix is just the start of an ordinary identifier.
+    fn prefixed_literal(&mut self) -> Option<TokenKind> {
+        let c0 = self.peek(0)?;
+        // Raw variants: [b|c]? r #* "
+        let raw_at = match (c0, self.peek(1)) {
+            (b'r', _) => Some(0),
+            (b'b' | b'c', Some(b'r')) => Some(1),
+            _ => None,
+        };
+        if let Some(r_off) = raw_at {
+            let mut i = r_off + 1;
+            let mut hashes = 0usize;
+            while self.peek(i) == Some(b'#') {
+                hashes += 1;
+                i += 1;
+            }
+            if self.peek(i) == Some(b'"') {
+                self.bump(i + 1);
+                self.raw_string_body(hashes);
+                return Some(TokenKind::Str);
+            }
+            // `r#ident` — a raw identifier (only the bare-`r` form exists).
+            if r_off == 0 && hashes == 1 && self.peek_char(2).is_some_and(is_ident_start) {
+                self.bump(2);
+                self.ident();
+                return Some(TokenKind::RawIdent);
+            }
+            return None;
+        }
+        // Non-raw prefixed forms: b"…", c"…", b'x'.
+        match (c0, self.peek(1)) {
+            (b'b' | b'c', Some(b'"')) => {
+                self.bump(1);
+                Some(self.string())
+            }
+            (b'b', Some(b'\'')) => {
+                self.bump(1);
+                self.char_body();
+                Some(TokenKind::Byte)
+            }
+            _ => None,
+        }
+    }
+
+    /// Consumes a raw-string body after the opening quote: scans for a `"`
+    /// followed by `hashes` `#`s. Unterminated bodies run to EOF.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(1 + seen) == Some(b'#') {
+                    seen += 1;
+                }
+                if seen == hashes {
+                    self.bump(1 + hashes);
+                    return;
+                }
+            }
+            self.bump(1);
+        }
+    }
+
+    /// Consumes an ordinary (escaped) string body including the opening and
+    /// closing quotes. The caller has not yet consumed the opening quote.
+    fn string(&mut self) -> TokenKind {
+        self.bump(1); // opening `"`
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    // An escape: consume the backslash and, if present, the
+                    // escaped char (possibly multi-byte at a boundary).
+                    self.bump(1);
+                    if let Some(c) = self.peek_char(0) {
+                        self.bump(c.len_utf8());
+                    }
+                }
+                b'"' => {
+                    self.bump(1);
+                    return TokenKind::Str;
+                }
+                _ => self.bump(1),
+            }
+        }
+        TokenKind::Str // unterminated: runs to EOF
+    }
+
+    /// Disambiguates `'a` (lifetime/label) from `'a'` (char literal).
+    ///
+    /// Mirrors rustc: after the opening quote, a backslash always means a
+    /// char literal; otherwise it is a char literal iff the character after
+    /// the next one is the closing quote (`'x'`), and a lifetime iff the
+    /// next character starts an identifier (`'a`, `'static`). This is the
+    /// distinction the PR-1 sanitizer got wrong for `'\''` (it consumed
+    /// three of the literal's four bytes, leaving a stray quote that
+    /// poisoned everything after it — see the regression tests).
+    fn lifetime_or_char(&mut self) -> TokenKind {
+        debug_assert_eq!(self.peek(0), Some(b'\''));
+        if self.peek(1) == Some(b'\\') {
+            self.char_body();
+            return TokenKind::Char;
+        }
+        let next = self.peek_char(1);
+        let after = next.map(|c| 1 + c.len_utf8()).and_then(|o| self.peek(o));
+        match (next, after) {
+            // 'x' — a one-char literal ('' is not a char; fall through).
+            (Some(c), Some(b'\'')) if c != '\'' => {
+                self.bump(1 + c.len_utf8() + 1);
+                TokenKind::Char
+            }
+            // 'ident — a lifetime or loop label.
+            (Some(c), _) if is_ident_start(c) => {
+                self.bump(1);
+                self.ident();
+                TokenKind::Lifetime
+            }
+            // A stray quote (malformed input): kept, classified Unknown.
+            _ => {
+                self.bump(1);
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    /// Consumes a (possibly escaped) char-literal body starting at the
+    /// opening quote: `'…'`. Gives up at end of line for unterminated
+    /// literals so one stray quote cannot swallow the rest of the file.
+    fn char_body(&mut self) {
+        debug_assert_eq!(self.peek(0), Some(b'\''));
+        self.bump(1);
+        while let Some(c) = self.peek_char(0) {
+            match c {
+                '\\' => {
+                    self.bump(1);
+                    if let Some(e) = self.peek_char(0) {
+                        self.bump(e.len_utf8());
+                    }
+                }
+                '\'' => {
+                    self.bump(1);
+                    return;
+                }
+                '\n' => return, // unterminated
+                _ => self.bump(c.len_utf8()),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while let Some(c) = self.peek_char(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            self.bump(c.len_utf8());
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Base prefix?
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.bump(2);
+            while let Some(b) = self.peek(0) {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    self.bump(1);
+                } else {
+                    break;
+                }
+            }
+            return TokenKind::Num;
+        }
+        // Decimal integer part.
+        self.digits();
+        // Fractional part: consume `.` only when it cannot be a method call
+        // (`1.max(2)`), a range (`1..2`), or a field chain.
+        if self.peek(0) == Some(b'.') {
+            let after_dot = self.peek_char(1);
+            let is_float_dot = match after_dot {
+                Some(c) if c.is_ascii_digit() => true,
+                Some(c) if is_ident_start(c) => false, // method call
+                Some('.') => false,                    // range
+                _ => true,                             // `1.` is a float
+            };
+            if is_float_dot {
+                self.bump(1);
+                self.digits();
+            }
+        }
+        // Exponent: `e`/`E` with optional sign, only if digits follow —
+        // otherwise `1e` stays `1` + ident `e`? No: Rust lexes `1e` as a
+        // (malformed) literal suffix; consuming it as part of the number
+        // keeps us lossless either way via the suffix rule below.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let (sign, digit) = match self.peek(1) {
+                Some(b'+' | b'-') => (1, self.peek(2)),
+                other => (0, other),
+            };
+            if digit.is_some_and(|b| b.is_ascii_digit()) {
+                self.bump(1 + sign);
+                self.digits();
+            }
+        }
+        // Suffix (`u64`, `f32`, `_foo`): ident-continue chars.
+        while let Some(c) = self.peek_char(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            self.bump(c.len_utf8());
+        }
+        TokenKind::Num
+    }
+
+    fn digits(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_digit() || b == b'_' {
+                self.bump(1);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src, "lexer dropped or duplicated bytes");
+        for w in toks.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "non-contiguous tokens");
+        }
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let src = "fn f(x: u64) -> u64 { x + 1 }";
+        roundtrip(src);
+        let k = kinds(src);
+        assert_eq!(k[0], (TokenKind::Ident, "fn"));
+        assert_eq!(k[1], (TokenKind::Ident, "f"));
+        assert_eq!(k[2], (TokenKind::Punct, "("));
+        assert!(k.contains(&(TokenKind::Num, "1")));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "let a = 1;\n/* two\nlines */ let b = 2;\n";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text(src) == "b").expect("token b");
+        assert_eq!(b.line, 3);
+        let comment = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::BlockComment)
+            .expect("comment");
+        assert_eq!(comment.line, 2);
+    }
+
+    #[test]
+    fn numbers() {
+        roundtrip("0xff_u32 0o77 0b1010 1_000 1.5 1. 1e9 1.0e-5 2u64 1.max(2) 1..2 x.0");
+        let k = kinds("1.max(2) 1..2 1.5e3_f64 x.0.1");
+        assert_eq!(k[0], (TokenKind::Num, "1"));
+        assert_eq!(k[1], (TokenKind::Punct, "."));
+        assert_eq!(k[2], (TokenKind::Ident, "max"));
+        assert!(k.contains(&(TokenKind::Num, "1.5e3_f64")));
+        // Ranges keep both dots as puncts.
+        let r = kinds("1..2");
+        assert_eq!(
+            r,
+            vec![
+                (TokenKind::Num, "1"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Punct, "."),
+                (TokenKind::Num, "2"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let k = kinds(r#"let s = "a\"b\\"; t"#);
+        assert!(k.contains(&(TokenKind::Str, r#""a\"b\\""#)));
+        assert!(k.contains(&(TokenKind::Ident, "t")));
+        roundtrip("let s = \"multi\nline\"; x");
+        let k = kinds("b\"bytes\" c\"cstr\"");
+        assert_eq!(k[0].0, TokenKind::Str);
+        assert_eq!(k[1].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn raw_strings_all_variants() {
+        for src in [
+            r##"r"plain""##,
+            r###"r#"one "quote" inside"#"###,
+            r####"r##"has "# inside"##"####,
+            r###"br#"bytes"#"###,
+            r###"cr#"cstr"#"###,
+        ] {
+            roundtrip(src);
+            let k = kinds(src);
+            assert_eq!(k.len(), 1, "{src:?} -> {k:?}");
+            assert_eq!(k[0].0, TokenKind::Str);
+            assert_eq!(k[0].1, src);
+        }
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let k = kinds("let r#fn = r#match;");
+        assert!(k.contains(&(TokenKind::RawIdent, "r#fn")));
+        assert!(k.contains(&(TokenKind::RawIdent, "r#match")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let k = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'b'; }");
+        assert_eq!(
+            k.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            2
+        );
+        assert!(k.contains(&(TokenKind::Char, "'b'")));
+        let k = kinds("'static 'x' b'y' '\\n' '\\'' '\\\\' '\\u{7f}'");
+        assert_eq!(k[0], (TokenKind::Lifetime, "'static"));
+        assert_eq!(k[1], (TokenKind::Char, "'x'"));
+        assert_eq!(k[2], (TokenKind::Byte, "b'y'"));
+        assert_eq!(k[3], (TokenKind::Char, "'\\n'"));
+        assert_eq!(k[4], (TokenKind::Char, "'\\''"));
+        assert_eq!(k[5], (TokenKind::Char, "'\\\\'"));
+        assert_eq!(k[6], (TokenKind::Char, "'\\u{7f}'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ c */ x";
+        let k = kinds(src);
+        assert_eq!(k, vec![(TokenKind::Ident, "x")]);
+        roundtrip(src);
+        roundtrip("/* unterminated /* nested ");
+    }
+
+    #[test]
+    fn unknown_bytes_stay_lossless() {
+        roundtrip("let 🦀 = '; € stray");
+        roundtrip("\"unterminated string to eof");
+        roundtrip("'");
+        roundtrip("r#\"unterminated raw");
+    }
+
+    // -----------------------------------------------------------------
+    // Regressions for the PR-1 line-based sanitizer's blind spots. Each
+    // fixture is valid Rust on which `sanitize_line` provably misread the
+    // construct named; the expected-token assertions define the behavior
+    // the token lexer must keep. The root defect was the sanitizer's
+    // escaped-char handling: for `'\''` it consumed `'\'` (three bytes of
+    // the four-byte literal), leaving a stray quote that desynchronized
+    // every later string/comment boundary on the line — and, since its
+    // state carried across lines, on following lines too.
+    // -----------------------------------------------------------------
+
+    /// `('\'','"')` — old output `let p = (' '' '\"` then swallowed the
+    /// rest of the line as a bogus string, so the trailing `.unwrap()` was
+    /// never seen (a missed violation). The lexer must yield two exact
+    /// char literals and leave `.unwrap()` visible.
+    #[test]
+    fn regression_escaped_quote_char_vs_lifetime() {
+        let src = "let p = ('\\'','\"'); y.unwrap();";
+        roundtrip(src);
+        let k = kinds(src);
+        assert!(k.contains(&(TokenKind::Char, "'\\''")));
+        assert!(k.contains(&(TokenKind::Char, "'\"'")));
+        assert!(k.contains(&(TokenKind::Ident, "unwrap")));
+    }
+
+    /// After the same stray-quote desync, the old sanitizer treated the
+    /// *contents* of a following raw string as code (its sanitized line 2
+    /// was `"raw .expect( content"` — the `.expect(` inside the literal
+    /// became a false positive) and swallowed the real `z.unwrap()`. The
+    /// lexer must emit the raw string as one `Str` token and keep
+    /// `unwrap` visible.
+    #[test]
+    fn regression_raw_string_contents_leaked_as_code() {
+        let src = "let p = ('\\'','\"');\nlet s = r\"raw .expect( content\"; z.unwrap();";
+        roundtrip(src);
+        let k = kinds(src);
+        assert!(k.contains(&(TokenKind::Str, "r\"raw .expect( content\"")));
+        assert!(!k.iter().any(|(_, t)| *t == "expect"));
+        assert!(k.contains(&(TokenKind::Ident, "unwrap")));
+    }
+
+    /// Same desync, nested-comment flavor: the old sanitizer blanked the
+    /// entire second line (real code, a real `/* /* */ */` comment, and
+    /// the trailing `w.unwrap()`) as string contents. The lexer must see
+    /// the nested comment as one trivia token and keep both `ok` and
+    /// `unwrap` visible.
+    #[test]
+    fn regression_nested_comment_swallowed() {
+        let src = "let p = ('\\'','\"');\nlet ok = 1; /* c1 /* c2 */ tail */ w.unwrap();";
+        roundtrip(src);
+        let toks = lex(src);
+        let comment = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::BlockComment)
+            .expect("nested comment lexed as one token");
+        assert_eq!(comment.text(src), "/* c1 /* c2 */ tail */");
+        let k = kinds(src);
+        assert!(k.contains(&(TokenKind::Ident, "ok")));
+        assert!(k.contains(&(TokenKind::Ident, "unwrap")));
+    }
+
+    #[test]
+    fn roundtrip_on_this_file() {
+        let src = include_str!("lexer.rs");
+        roundtrip(src);
+    }
+}

@@ -1,30 +1,70 @@
 //! `cargo xtask` — repo-specific developer tasks.
 //!
-//! The only task today is `lint`: a line-based static checker enforcing
-//! workspace rules that clippy cannot express (see `lint.rs`). Wired up as
-//! a cargo alias in `.cargo/config.toml`, so it runs as `cargo xtask lint`.
+//! Two tasks, both built on the same token-level analysis stack (a
+//! lossless hand-rolled lexer in `lexer.rs`, a lightweight item/impl
+//! parser in `parse.rs`, rule passes under `analyze/`):
+//!
+//! * `lint` — the four fast legacy rules from PR 1 (`no-unwrap`,
+//!   `seeded-rng`, `no-std-mutex`, `no-thread-spawn`), for tight
+//!   edit-compile loops.
+//! * `analyze` — everything `lint` runs plus the whole-workspace passes:
+//!   `udf-determinism`, `panic-reachability`, and `seeded-rng-dataflow`.
+//!
+//! Wired up as a cargo alias in `.cargo/config.toml`, so it runs as
+//! `cargo xtask lint` / `cargo xtask analyze`.
 
 use std::process::ExitCode;
 
-mod lint;
+mod analyze;
+mod lexer;
+mod parse;
+#[cfg(test)]
+mod roundtrip;
+
+use analyze::{Mode, Options};
 
 const USAGE: &str = "\
-usage: cargo xtask <task>
+usage: cargo xtask <task> [options]
 
 tasks:
-  lint    run the repo-specific static checks over the workspace sources
-  help    show this message
+  lint       run the four legacy static rules over the workspace sources
+  analyze    run all rules plus the UDF-determinism, panic-reachability,
+             and seeded-randomness-dataflow passes
+  help       show this message
+
+options (lint and analyze):
+  --format <text|json|github>   diagnostic output format (default: text)
+  --list-stale-waivers          report `xtask: allow(...)` comments whose
+                                line no longer triggers the waived rule
 ";
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => lint::run(),
-        Some("help") | Some("--help") | Some("-h") | None => {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (task, rest) = match args.split_first() {
+        Some((t, rest)) => (t.as_str(), rest),
+        None => ("help", &[][..]),
+    };
+    match task {
+        "lint" | "analyze" => {
+            let opts = match Options::parse(rest) {
+                Ok(o) => o,
+                Err(msg) => {
+                    eprintln!("xtask {task}: {msg}\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            };
+            let mode = if task == "lint" {
+                Mode::Lint
+            } else {
+                Mode::Analyze
+            };
+            analyze::run(mode, &opts)
+        }
+        "help" | "--help" | "-h" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
-        Some(other) => {
+        other => {
             eprintln!("xtask: unknown task `{other}`\n\n{USAGE}");
             ExitCode::from(2)
         }

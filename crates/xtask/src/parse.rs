@@ -1,0 +1,673 @@
+//! A lightweight item/impl parser over the token stream.
+//!
+//! This is not a full Rust parser: it recovers exactly the structure the
+//! analysis passes need and skips everything else token-by-token:
+//!
+//! * a per-file **symbol table** of `fn` items — name, line, signature and
+//!   body token ranges, whether the fn sits in `#[cfg(test)]`/`#[test]`
+//!   code, and the `impl` context it belongs to;
+//! * **impl blocks** with the trait's last path segment (`impl MapTask for
+//!   X` → `MapTask`) so passes can scope themselves to UDF bodies;
+//! * **call sites** inside each fn body (`callee(…)`, `Qual::callee(…)`,
+//!   `.method(…)`, `macro!(…)`) for the intra-crate call graph;
+//! * **test regions** as byte ranges, tracked by token-level brace depth —
+//!   the successor to PR 1's line-based `#[cfg(test)]` heuristics.
+//!
+//! Known approximations, chosen deliberately: `#[cfg(not(test))]` is never
+//! treated as test code (any `cfg` attribute containing `not` is ignored);
+//! nested fns inside bodies are folded into the outer fn's call list; and
+//! macro-generated items are invisible (macros are recorded as calls, not
+//! expanded).
+
+use crate::lexer::{Token, TokenKind};
+
+/// The parsed shape of one source file.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Every `fn` item found, in source order.
+    pub fns: Vec<FnInfo>,
+    /// Every `impl` block found, in source order.
+    pub impls: Vec<ImplInfo>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl FileModel {
+    /// `true` if byte offset `at` lies inside test-only code.
+    pub fn in_test_region(&self, at: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| at >= s && at < e)
+    }
+}
+
+/// One `impl` block.
+#[derive(Debug, Clone)]
+pub struct ImplInfo {
+    /// Last path segment of the implemented trait, if a trait impl.
+    pub trait_name: Option<String>,
+    /// Last path segment of the self type. Part of the model surface for
+    /// passes that need it; currently exercised by tests only.
+    #[allow(dead_code)]
+    pub self_ty: String,
+    /// 1-based line of the `impl` keyword.
+    #[allow(dead_code)]
+    pub line: usize,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The fn's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword. Model surface; exercised by
+    /// tests only so far.
+    #[allow(dead_code)]
+    pub line: usize,
+    /// Index into [`FileModel::impls`] when defined inside an impl block.
+    pub impl_idx: Option<usize>,
+    /// Raw token-index range of the body `{ … }` (inclusive of braces),
+    /// `None` for bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Byte span of the whole item (fn keyword through body end).
+    #[allow(dead_code)]
+    pub span: (usize, usize),
+    /// `true` when inside `#[cfg(test)]` / `#[test]` code.
+    pub is_test: bool,
+    /// The parameter list contains an explicit seed parameter
+    /// (an ident named `seed` or `*_seed`).
+    pub has_seed_param: bool,
+    /// Call sites found in the body.
+    pub calls: Vec<Call>,
+}
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (last path segment, or macro name for `name!(…)`).
+    pub name: String,
+    /// The path segment immediately before the callee, if any
+    /// (`StdRng::seed_from_u64` → `Some("StdRng")`).
+    pub qualifier: Option<String>,
+    /// 1-based line of the callee token.
+    pub line: usize,
+    /// Index of the callee token into the file's significant-token list
+    /// (as built by [`crate::analyze::AnalyzedFile`]); the argument list
+    /// opens at `sig_idx + 1` (`(`) or `sig_idx + 2` (macros).
+    pub sig_idx: usize,
+    /// `true` for `.name(…)` method calls.
+    pub is_method: bool,
+    /// `true` for `name!(…)` macro invocations.
+    pub is_macro: bool,
+}
+
+/// Parses `tokens` (as produced by [`crate::lexer::lex`] on `src`).
+pub fn parse(src: &str, tokens: &[Token]) -> FileModel {
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_trivia())
+        .collect();
+    let mut p = Parser {
+        src,
+        tokens,
+        sig,
+        pos: 0,
+        model: FileModel::default(),
+    };
+    p.items(None, false);
+    p.model
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: &'a [Token],
+    /// Indices of significant (non-trivia) tokens.
+    sig: Vec<usize>,
+    /// Cursor into `sig`.
+    pos: usize,
+    model: FileModel,
+}
+
+const KEYWORDS_NOT_CALLS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "let", "ref", "mut", "move", "box", "dyn", "impl", "where", "use", "pub", "crate", "self",
+    "Self", "super", "fn", "struct", "enum", "union", "trait", "type", "const", "static", "extern",
+    "mod", "unsafe", "async", "await", "yield", "true", "false",
+];
+
+impl<'a> Parser<'a> {
+    fn peek_tok(&self, ahead: usize) -> Option<&Token> {
+        self.sig.get(self.pos + ahead).map(|&i| &self.tokens[i])
+    }
+
+    fn text(&self, ahead: usize) -> &str {
+        self.peek_tok(ahead).map_or("", |t| t.text(self.src))
+    }
+
+    fn kind(&self, ahead: usize) -> Option<TokenKind> {
+        self.peek_tok(ahead).map(|t| t.kind)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.sig.len()
+    }
+
+    /// Parses items until a closing `}` (consumed) or EOF.
+    fn items(&mut self, impl_idx: Option<usize>, in_test: bool) {
+        let mut pending_test = false;
+        while !self.at_end() {
+            match (self.kind(0), self.text(0)) {
+                (Some(TokenKind::Punct), "}") => {
+                    self.bump();
+                    return;
+                }
+                (Some(TokenKind::Punct), "#") => {
+                    pending_test |= self.attribute();
+                }
+                (Some(TokenKind::Ident), "fn") => {
+                    self.fn_item(impl_idx, in_test || pending_test);
+                    pending_test = false;
+                }
+                (Some(TokenKind::Ident), "impl") => {
+                    self.impl_item(in_test || pending_test);
+                    pending_test = false;
+                }
+                (Some(TokenKind::Ident), "mod" | "trait") => {
+                    self.mod_or_trait(impl_idx, in_test || pending_test);
+                    pending_test = false;
+                }
+                // Modifiers: attributes seen so far still apply to the item.
+                (Some(TokenKind::Ident), "pub" | "unsafe" | "async" | "const" | "extern")
+                    if self.is_item_modifier() =>
+                {
+                    self.bump();
+                }
+                (Some(TokenKind::Punct), "{") => {
+                    // An unexpected block (macro output, unsafe block at
+                    // item level): skip it wholesale.
+                    self.skip_balanced("{", "}");
+                    pending_test = false;
+                }
+                _ => {
+                    // Anything else (struct/use/static bodies, macro
+                    // invocations, stray tokens): advance, descending into
+                    // braces so nested `}` doesn't end our scope early.
+                    if self.text(0) == "{" {
+                        self.skip_balanced("{", "}");
+                    } else {
+                        let ended_item = self.text(0) == ";";
+                        self.bump();
+                        if ended_item {
+                            pending_test = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `const` may start `const fn` (modifier) or a `const ITEM: … = …;`.
+    /// Similarly `extern "C" fn` vs `extern crate`. Treat as a modifier
+    /// only when a `fn` follows within the next couple of tokens.
+    fn is_item_modifier(&self) -> bool {
+        match self.text(0) {
+            "const" => self.text(1) == "fn",
+            "extern" => self.text(1) == "fn" || self.text(2) == "fn",
+            _ => true,
+        }
+    }
+
+    /// Consumes `#[…]` / `#![…]`; returns `true` if it marks test code.
+    fn attribute(&mut self) -> bool {
+        self.bump(); // `#`
+        if self.text(0) == "!" {
+            self.bump();
+        }
+        if self.text(0) != "[" {
+            return false;
+        }
+        let start = self.pos;
+        self.skip_balanced("[", "]");
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        let mut saw_not = false;
+        let mut count = 0usize;
+        for i in start..self.pos {
+            let t = &self.tokens[self.sig[i]];
+            if t.kind == TokenKind::Ident {
+                count += 1;
+                match t.text(self.src) {
+                    "cfg" => saw_cfg = true,
+                    "test" => saw_test = true,
+                    "not" => saw_not = true,
+                    _ => {}
+                }
+            }
+        }
+        // `#[test]` (sole ident) or `#[cfg(test)]` without negation.
+        (saw_test && count == 1) || (saw_cfg && saw_test && !saw_not)
+    }
+
+    /// Skips a balanced `open … close` region, including nested pairs.
+    /// The cursor must be on `open`; ends past the matching `close`.
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        debug_assert_eq!(self.text(0), open);
+        let mut depth = 0i64;
+        while !self.at_end() {
+            let t = self.text(0);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    fn mod_or_trait(&mut self, impl_idx: Option<usize>, in_test: bool) {
+        self.bump(); // `mod` / `trait`
+        let region_start = self.peek_tok(0).map(|t| t.start);
+        // Scan to `{` (body) or `;` (declaration); traits may carry
+        // supertrait bounds and generics before the brace.
+        while !self.at_end() && self.text(0) != "{" && self.text(0) != ";" {
+            self.bump();
+        }
+        if self.text(0) == ";" {
+            self.bump();
+            return;
+        }
+        if self.at_end() {
+            return;
+        }
+        self.bump(); // `{`
+        let body_start = self.peek_tok(0).map_or(self.src.len(), |t| t.start);
+        self.items(impl_idx, in_test);
+        let body_end = self.peek_tok(0).map_or(self.src.len(), |t| t.start);
+        if in_test {
+            let s = region_start.unwrap_or(body_start);
+            self.model.test_regions.push((s, body_end));
+        }
+    }
+
+    fn impl_item(&mut self, in_test: bool) {
+        let impl_line = self.peek_tok(0).map_or(1, |t| t.line);
+        let impl_start = self.peek_tok(0).map_or(0, |t| t.start);
+        self.bump(); // `impl`
+        if self.text(0) == "<" {
+            self.skip_generics();
+        }
+        // Collect path segments until `for` (trait impl) or `{`.
+        let mut first_path = Vec::new();
+        let mut second_path = Vec::new();
+        let mut saw_for = false;
+        let mut angle = 0i64;
+        while !self.at_end() {
+            let txt = self.text(0);
+            if angle == 0 {
+                if txt == "{" {
+                    break;
+                }
+                if txt == "for" && self.kind(0) == Some(TokenKind::Ident) {
+                    saw_for = true;
+                    self.bump();
+                    continue;
+                }
+                // `impl Trait for Type where …` — stop collecting at where.
+                if txt == "where" {
+                    while !self.at_end() && self.text(0) != "{" {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            match txt {
+                "<" => angle += 1,
+                ">" if !self.is_arrow_close() => angle = (angle - 1).max(0),
+                _ => {
+                    if angle == 0 && self.kind(0) == Some(TokenKind::Ident) {
+                        let dst = if saw_for {
+                            &mut second_path
+                        } else {
+                            &mut first_path
+                        };
+                        dst.push(txt.to_owned());
+                    }
+                }
+            }
+            self.bump();
+        }
+        let (trait_name, self_ty) = if saw_for {
+            (first_path.last().cloned(), second_path.last().cloned())
+        } else {
+            (None, first_path.last().cloned())
+        };
+        self.model.impls.push(ImplInfo {
+            trait_name,
+            self_ty: self_ty.unwrap_or_default(),
+            line: impl_line,
+        });
+        let idx = self.model.impls.len() - 1;
+        if self.text(0) == "{" {
+            self.bump();
+            self.items(Some(idx), in_test);
+        }
+        if in_test {
+            let end = self.peek_tok(0).map_or(self.src.len(), |t| t.start);
+            self.model.test_regions.push((impl_start, end));
+        }
+    }
+
+    /// Skips `<…>` generics, honoring nesting and `->` inside bounds.
+    fn skip_generics(&mut self) {
+        let mut depth = 0i64;
+        while !self.at_end() {
+            match self.text(0) {
+                "<" => depth += 1,
+                ">" if !self.is_arrow_close() => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// `true` when the `>` under the cursor is the tip of a `->` arrow
+    /// (so it must not close a generics bracket).
+    fn is_arrow_close(&self) -> bool {
+        let Some(&i) = self.sig.get(self.pos) else {
+            return false;
+        };
+        let cur = &self.tokens[i];
+        if self.pos == 0 {
+            return false;
+        }
+        let prev = &self.tokens[self.sig[self.pos - 1]];
+        prev.text(self.src) == "-" && prev.end == cur.start
+    }
+
+    fn fn_item(&mut self, impl_idx: Option<usize>, is_test: bool) {
+        let fn_tok_start = self.peek_tok(0).map_or(0, |t| t.start);
+        self.bump(); // `fn`
+        let (name, line) = match self.peek_tok(0) {
+            Some(t) if matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) => {
+                (t.text(self.src).to_owned(), t.line)
+            }
+            _ => (String::new(), 0),
+        };
+        if !name.is_empty() {
+            self.bump();
+        }
+        if self.text(0) == "<" {
+            self.skip_generics();
+        }
+        // Parameter list.
+        let mut has_seed_param = false;
+        if self.text(0) == "(" {
+            let start = self.pos;
+            self.skip_balanced("(", ")");
+            for i in start..self.pos {
+                let t = &self.tokens[self.sig[i]];
+                if t.kind == TokenKind::Ident {
+                    let txt = t.text(self.src);
+                    if txt == "seed" || txt.ends_with("_seed") {
+                        has_seed_param = true;
+                    }
+                }
+            }
+        }
+        // Return type / where clause: scan to the body `{` or a `;`.
+        while !self.at_end() && self.text(0) != "{" && self.text(0) != ";" {
+            self.bump();
+        }
+        let mut body = None;
+        let mut calls = Vec::new();
+        let mut span_end = self.peek_tok(0).map_or(self.src.len(), |t| t.end);
+        if self.text(0) == "{" {
+            let body_start_sig = self.pos;
+            self.skip_balanced("{", "}");
+            let body_end_sig = self.pos; // one past the closing brace
+            body = Some((self.sig[body_start_sig], self.sig[body_end_sig - 1]));
+            span_end = self.tokens[self.sig[body_end_sig - 1]].end;
+            calls = self.collect_calls(body_start_sig, body_end_sig);
+        } else if self.text(0) == ";" {
+            span_end = self.peek_tok(0).map_or(self.src.len(), |t| t.end);
+            self.bump();
+        }
+        if is_test {
+            self.model.test_regions.push((fn_tok_start, span_end));
+        }
+        self.model.fns.push(FnInfo {
+            name,
+            line,
+            impl_idx,
+            body,
+            span: (fn_tok_start, span_end),
+            is_test,
+            has_seed_param,
+            calls,
+        });
+    }
+
+    /// Scans significant tokens `sig[start..end]` for call sites.
+    fn collect_calls(&self, start: usize, end: usize) -> Vec<Call> {
+        let mut calls = Vec::new();
+        for i in start..end {
+            let t = &self.tokens[self.sig[i]];
+            if !matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) {
+                continue;
+            }
+            let name = t.text(self.src).trim_start_matches("r#");
+            let next = self.sig.get(i + 1).map(|&j| self.tokens[j].text(self.src));
+            let next2 = self.sig.get(i + 2).map(|&j| self.tokens[j].text(self.src));
+            let (is_call, is_macro) = match (next, next2) {
+                (Some("("), _) => (true, false),
+                (Some("!"), Some("(" | "[" | "{")) => (true, true),
+                _ => (false, false),
+            };
+            if !is_call {
+                continue;
+            }
+            // Look backwards for `.method(` and `Qual::name(`.
+            let prev = (i > start).then(|| self.tokens[self.sig[i - 1]].text(self.src));
+            let is_method = prev == Some(".");
+            // Keywords are never free calls, but contextual keywords are
+            // fine as method names (`.union(…)` on sets).
+            if !is_method && KEYWORDS_NOT_CALLS.contains(&name) {
+                continue;
+            }
+            let qualifier = if prev == Some(":")
+                && i >= start + 3
+                && self.tokens[self.sig[i - 2]].text(self.src) == ":"
+            {
+                let q = &self.tokens[self.sig[i - 3]];
+                matches!(q.kind, TokenKind::Ident | TokenKind::RawIdent)
+                    .then(|| q.text(self.src).to_owned())
+            } else {
+                None
+            };
+            calls.push(Call {
+                name: name.to_owned(),
+                qualifier,
+                line: t.line,
+                sig_idx: i,
+                is_method,
+                is_macro,
+            });
+        }
+        calls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> FileModel {
+        parse(src, &lex(src))
+    }
+
+    #[test]
+    fn finds_fns_and_lines() {
+        let src = "fn a() {}\n\npub fn b(x: u32) -> u32 { x }\n";
+        let m = model(src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "a");
+        assert_eq!(m.fns[0].line, 1);
+        assert_eq!(m.fns[1].name, "b");
+        assert_eq!(m.fns[1].line, 3);
+        assert!(m.fns.iter().all(|f| !f.is_test));
+    }
+
+    #[test]
+    fn impl_blocks_carry_trait_and_self_ty() {
+        let src = "\
+impl MapTask for WcTask {
+    fn map(&mut self) {}
+}
+impl<K: Ord, V> Helper<K, V> {
+    fn go(&self) {}
+}
+impl std::fmt::Display for Wc {
+    fn fmt(&self) {}
+}
+";
+        let m = model(src);
+        assert_eq!(m.impls.len(), 3);
+        assert_eq!(m.impls[0].trait_name.as_deref(), Some("MapTask"));
+        assert_eq!(m.impls[0].self_ty, "WcTask");
+        assert_eq!(m.impls[1].trait_name, None);
+        assert_eq!(m.impls[1].self_ty, "Helper");
+        assert_eq!(m.impls[2].trait_name.as_deref(), Some("Display"));
+        let map_fn = m.fns.iter().find(|f| f.name == "map").expect("map fn");
+        assert_eq!(map_fn.impl_idx, Some(0));
+        let go_fn = m.fns.iter().find(|f| f.name == "go").expect("go fn");
+        assert_eq!(go_fn.impl_idx, Some(1));
+    }
+
+    #[test]
+    fn impl_with_fn_bound_generics() {
+        let src = "impl<F: Fn(u32) -> u32> Apply for Wrapper<F> { fn apply(&self) {} }";
+        let m = model(src);
+        assert_eq!(m.impls.len(), 1);
+        assert_eq!(m.impls[0].trait_name.as_deref(), Some("Apply"));
+        assert_eq!(m.impls[0].self_ty, "Wrapper");
+    }
+
+    #[test]
+    fn cfg_test_regions_by_brace_depth() {
+        let src = "\
+fn prod() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t() { prod(); }
+}
+
+fn also_prod() {}
+";
+        let m = model(src);
+        let prod = m.fns.iter().find(|f| f.name == "prod").expect("prod");
+        assert!(!prod.is_test);
+        let t = m.fns.iter().find(|f| f.name == "t").expect("t");
+        assert!(t.is_test);
+        let also = m.fns.iter().find(|f| f.name == "also_prod").expect("also");
+        assert!(!also.is_test);
+        assert!(m.in_test_region(src.find("prod();").expect("call")));
+        assert!(!m.in_test_region(src.find("also_prod").expect("fn2")));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nfn shipped() {}\n#[test]\nfn t() {}\n";
+        let m = model(src);
+        assert!(!m.fns[0].is_test);
+        assert!(m.fns[1].is_test);
+    }
+
+    #[test]
+    fn calls_with_qualifiers_methods_and_macros() {
+        let src = "\
+fn driver(seed: u64) {
+    let rng = StdRng::seed_from_u64(seed);
+    helper(1);
+    emitter.emit(k, v);
+    assert!(ok);
+    if cond(x) { loop {} }
+}
+";
+        let m = model(src);
+        let f = &m.fns[0];
+        assert!(f.has_seed_param);
+        let by_name = |n: &str| f.calls.iter().find(|c| c.name == n);
+        let ctor = by_name("seed_from_u64").expect("ctor call");
+        assert_eq!(ctor.qualifier.as_deref(), Some("StdRng"));
+        assert!(by_name("helper").is_some());
+        let emit = by_name("emit").expect("method call");
+        assert!(emit.is_method);
+        let am = by_name("assert").expect("macro");
+        assert!(am.is_macro);
+        assert!(by_name("cond").is_some());
+        // Keywords never register as calls.
+        assert!(by_name("if").is_none() && by_name("loop").is_none());
+    }
+
+    #[test]
+    fn seed_param_detection() {
+        let m = model("fn a(shuffle_seed: u64) {}\nfn b(n: usize) {}\n");
+        assert!(m.fns[0].has_seed_param);
+        assert!(!m.fns[1].has_seed_param);
+    }
+
+    #[test]
+    fn trait_default_methods_and_decls() {
+        let src = "\
+pub trait MapTask {
+    fn map(&mut self);
+    fn finish(&mut self) { self.map(); }
+}
+";
+        let m = model(src);
+        let map_decl = m.fns.iter().find(|f| f.name == "map").expect("decl");
+        assert!(map_decl.body.is_none());
+        let finish = m.fns.iter().find(|f| f.name == "finish").expect("default");
+        assert!(finish.body.is_some());
+        assert!(finish.calls.iter().any(|c| c.name == "map" && c.is_method));
+    }
+
+    #[test]
+    fn nested_mods_inherit_test_state() {
+        let src = "\
+#[cfg(test)]
+mod outer {
+    mod inner {
+        fn deep() {}
+    }
+}
+";
+        let m = model(src);
+        let deep = m.fns.iter().find(|f| f.name == "deep").expect("deep");
+        assert!(deep.is_test);
+    }
+
+    #[test]
+    fn const_fn_and_extern_fn_are_found() {
+        let src = "const fn cf() -> u32 { 1 }\nconst MAX: u32 = 9;\nfn after() {}\n";
+        let m = model(src);
+        assert!(m.fns.iter().any(|f| f.name == "cf"));
+        assert!(m.fns.iter().any(|f| f.name == "after"));
+    }
+}

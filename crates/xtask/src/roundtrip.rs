@@ -1,0 +1,143 @@
+//! Losslessness tests for the lexer (test-only module).
+//!
+//! The analysis passes are only trustworthy if the lexer never drops or
+//! duplicates source text — a swallowed span is exactly how PR 1's
+//! line-based sanitizer went blind (see the `regression_*` tests in
+//! `lexer.rs`). Two layers here:
+//!
+//! * every `.rs` file under the repository (workspace crates, examples,
+//!   integration tests, *and* the vendored stand-ins — any Rust text we
+//!   can find) must round-trip: the concatenation of token slices equals
+//!   the input and the token stream covers every byte exactly once;
+//! * proptest-generated "token soup" — adversarial concatenations of the
+//!   fragments that historically break hand-rolled lexers (raw strings
+//!   with hash runs, nested comments, lifetimes next to char literals,
+//!   stray quotes and backslashes, unterminated literals) — must uphold
+//!   the same invariants plus exact line numbering.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::lex;
+
+/// Asserts the full lossless contract on one source text.
+fn assert_roundtrip(src: &str, what: &str) {
+    let tokens = lex(src);
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut cursor = 0usize;
+    for t in &tokens {
+        assert_eq!(
+            t.start, cursor,
+            "{what}: token stream must cover every byte exactly once"
+        );
+        assert!(t.end >= t.start, "{what}: empty-or-negative token span");
+        rebuilt.push_str(t.text(src));
+        cursor = t.end;
+    }
+    assert_eq!(cursor, src.len(), "{what}: trailing bytes not tokenized");
+    assert_eq!(rebuilt, src, "{what}: concat of token slices != input");
+    // Line numbers must equal 1 + newlines before the token's start.
+    let mut newlines = 0usize;
+    let mut at = 0usize;
+    for t in &tokens {
+        newlines += src[at..t.start].matches('\n').count();
+        at = t.start;
+        assert_eq!(t.line, newlines + 1, "{what}: line number drift");
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if matches!(name.as_ref(), "target" | ".git" | ".claude") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_rust_file_in_the_repository_round_trips() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let mut files = Vec::new();
+    collect_rs(root, &mut files);
+    files.sort();
+    assert!(
+        files.len() >= 50,
+        "suspiciously few files found ({}); is the walk broken?",
+        files.len()
+    );
+    for f in &files {
+        let src = std::fs::read_to_string(f).expect("source files are UTF-8");
+        assert_roundtrip(&src, &f.display().to_string());
+    }
+}
+
+/// Fragments chosen to collide: every pair concatenates into something a
+/// sloppy lexer mis-brackets (quote kinds, hash runs, comment nesting,
+/// lifetimes vs chars, half-finished escapes).
+const FRAGMENTS: &[&str] = &[
+    "fn f() { ",
+    "}",
+    "let x = 1;",
+    "r\"raw\"",
+    "r#\"ra\"w\"#",
+    "br##\"b\"#b\"##",
+    "r#fn",
+    "\"str \\\" esc\"",
+    "b\"bytes\\n\"",
+    "'a'",
+    "'\\''",
+    "'\\u{1F600}'",
+    "<'a>",
+    "'static",
+    "b'x'",
+    "/* nested /* deep */ out */",
+    "// line comment\n",
+    "/*! inner doc */",
+    "/// doc\n",
+    "0x1f_u64",
+    "1.5e-3",
+    "1.",
+    "1..2",
+    "x.0",
+    "v[i]",
+    "::",
+    "->",
+    "=>",
+    "\n",
+    "\t ",
+    "\"unterminated",
+    "'",
+    "\\",
+    "r###\"many\"###",
+    "0b101",
+    "ident_with_seed",
+    "🦀",
+    "\"多字节 utf8\"",
+    "/*",
+    "#![allow(dead_code)]",
+];
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn token_soup_round_trips(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..48),
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        assert_roundtrip(&src, "token soup");
+    }
+}

@@ -74,6 +74,104 @@ fn both_algorithms_agree_under_every_shaken_schedule() {
     });
 }
 
+mod raw_engine {
+    //! Regression lock for the PR-2 nondeterminism audit of
+    //! `crates/mapreduce/src/failure.rs` and `partitioner.rs`: the
+    //! failure plan stores task ids in `BTreeSet`s and the partitioners
+    //! hash single keys (no hash-container iteration ever reaches
+    //! emitted output). This test pins the consequence — a raw engine
+    //! job routed through `HashPartitioner` *with failure injection
+    //! active* stays byte-identical across shaken schedules — so any
+    //! future `HashMap`-iteration regression in either file trips here
+    //! as well as in the `udf-determinism` static pass.
+
+    use skymr_mapreduce::{
+        run_job, ClusterConfig, Emitter, FailurePlan, HashPartitioner, JobConfig, MapFactory,
+        MapTask, OutputCollector, ReduceFactory, ReduceTask, ShakeCase, TaskContext,
+    };
+
+    struct WcMap;
+    struct WcMapTask;
+    impl MapTask for WcMapTask {
+        type In = String;
+        type K = String;
+        type V = u64;
+        fn map(&mut self, input: &String, out: &mut Emitter<String, u64>) {
+            for word in input.split_whitespace() {
+                out.emit(word.to_owned(), 1);
+            }
+        }
+    }
+    impl MapFactory for WcMap {
+        type Task = WcMapTask;
+        fn create(&self, _ctx: &TaskContext) -> WcMapTask {
+            WcMapTask
+        }
+    }
+
+    struct WcReduce;
+    struct WcReduceTask;
+    impl ReduceTask for WcReduceTask {
+        type K = String;
+        type V = u64;
+        type Out = (String, u64);
+        fn reduce(
+            &mut self,
+            key: String,
+            values: Vec<u64>,
+            out: &mut OutputCollector<(String, u64)>,
+        ) {
+            out.collect((key, values.iter().sum()));
+        }
+    }
+    impl ReduceFactory for WcReduce {
+        type Task = WcReduceTask;
+        fn create(&self, _ctx: &TaskContext) -> WcReduceTask {
+            WcReduceTask
+        }
+    }
+
+    fn run_case(case: &ShakeCase) -> Vec<u8> {
+        // Three map tasks and two reduce tasks; every one of them fails
+        // once, so each retry path replays under each shaken schedule.
+        let mut splits = vec![
+            vec!["a b a".to_owned(), "c d".to_owned()],
+            vec!["b b e".to_owned()],
+            vec!["a c e f".to_owned()],
+        ];
+        case.permute(&mut splits);
+        let cluster = case.cluster(&ClusterConfig::test());
+        let config = JobConfig::new("wc-shake", 2).with_failures(FailurePlan {
+            map_fail_once: [0, 1, 2].into(),
+            reduce_fail_once: [0, 1].into(),
+        });
+        let outcome = run_job(
+            &cluster,
+            &config,
+            &splits,
+            &WcMap,
+            &WcReduce,
+            &HashPartitioner,
+        );
+        let mut pairs = outcome.into_flat_output();
+        pairs.sort();
+        let mut bytes = Vec::new();
+        for (word, count) in pairs {
+            bytes.extend_from_slice(word.as_bytes());
+            bytes.push(b'=');
+            bytes.extend_from_slice(&count.to_le_bytes());
+        }
+        bytes
+    }
+
+    #[test]
+    fn failure_replay_with_hash_partitioning_is_schedule_independent() {
+        let report = skymr_mapreduce::assert_schedule_independent(8, 0xF417_0B5E, run_case);
+        assert_eq!(report.cases.len(), 8);
+        assert!(report.output_len > 0);
+    }
+}
+
 #[test]
 fn shaker_handles_degenerate_inputs() {
     let empty = Dataset::new(2, vec![]).expect("empty dataset is valid");
