@@ -1,7 +1,7 @@
 //! Shared configuration and result types for the baseline drivers.
 
 use skymr_common::Tuple;
-use skymr_mapreduce::{ClusterConfig, FailurePlan, PipelineMetrics};
+use skymr_mapreduce::{ClusterConfig, FaultTolerance, PipelineMetrics};
 
 /// Configuration for the MapReduce baselines.
 #[derive(Debug, Clone)]
@@ -13,8 +13,9 @@ pub struct BaselineConfig {
     pub angular_partitions: usize,
     /// The simulated cluster.
     pub cluster: ClusterConfig,
-    /// Failure injection for the skyline job (tests).
-    pub failures: FailurePlan,
+    /// Fault injection, retry budget, and speculation for the pipeline's
+    /// jobs (benign by default).
+    pub fault_tolerance: FaultTolerance,
 }
 
 impl Default for BaselineConfig {
@@ -24,7 +25,7 @@ impl Default for BaselineConfig {
             mappers: cluster.map_slots,
             angular_partitions: cluster.nodes,
             cluster,
-            failures: FailurePlan::none(),
+            fault_tolerance: FaultTolerance::none(),
         }
     }
 }
@@ -36,13 +37,19 @@ impl BaselineConfig {
             mappers: 4,
             angular_partitions: 4,
             cluster: ClusterConfig::test(),
-            failures: FailurePlan::none(),
+            fault_tolerance: FaultTolerance::none(),
         }
     }
 
     /// Sets the mapper count.
     pub fn with_mappers(mut self, mappers: usize) -> Self {
         self.mappers = mappers;
+        self
+    }
+
+    /// Sets the fault-tolerance configuration.
+    pub fn with_fault_tolerance(mut self, ft: FaultTolerance) -> Self {
+        self.fault_tolerance = ft;
         self
     }
 }
@@ -72,6 +79,7 @@ mod tests {
         let c = BaselineConfig::default();
         assert_eq!(c.mappers, 13);
         assert_eq!(c.angular_partitions, 13);
+        assert!(c.fault_tolerance.plan.is_empty());
     }
 
     #[test]

@@ -162,40 +162,39 @@ impl ReduceFactory for AngleMergeReduceFactory {
 
 /// Runs the two-phase MR-Angle pipeline with `config.angular_partitions`
 /// target cells.
-pub fn mr_angle(dataset: &Dataset, config: &BaselineConfig) -> BaselineRun {
+pub fn mr_angle(dataset: &Dataset, config: &BaselineConfig) -> skymr_common::Result<BaselineRun> {
     let splits = dataset.split(config.mappers);
     let mut metrics = PipelineMetrics::new();
+    let ft = &config.fault_tolerance;
 
     let angle_config = angle_splits(dataset.dim(), config.angular_partitions);
     let cells: usize = angle_config.iter().product::<usize>().max(1);
     let r1 = cells.min(config.cluster.reduce_slots).max(1);
-    let job1 = JobConfig::new("mr-angle-local", r1).with_failures(config.failures.clone());
-    let outcome1 = run_job(
+    let job1 = JobConfig::new("mr-angle-local", r1).with_fault_tolerance(ft);
+    let outcome1 = metrics.track(run_job(
         &config.cluster,
         &job1,
         &splits,
         &AngleMapFactory::new(angle_config),
         &AngleLocalReduceFactory,
         &ModuloPartitioner,
-    );
-    metrics.push(outcome1.metrics.clone());
+    ))?;
 
     let splits2: Vec<Vec<CellEntry>> = outcome1.outputs;
-    let job2 = JobConfig::new("mr-angle-merge", 1);
-    let outcome2 = run_job(
+    let job2 = JobConfig::new("mr-angle-merge", 1).with_fault_tolerance(ft);
+    let outcome2 = metrics.track(run_job(
         &config.cluster,
         &job2,
         &splits2,
         &ForwardMapFactory,
         &AngleMergeReduceFactory,
         &SingleReducerPartitioner,
-    );
-    metrics.push(outcome2.metrics.clone());
+    ))?;
 
-    BaselineRun {
+    Ok(BaselineRun {
         skyline: canonicalize(outcome2.into_flat_output()),
         metrics,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -240,7 +239,7 @@ mod tests {
         for dist in [Distribution::Independent, Distribution::Anticorrelated] {
             for dim in [2, 3, 5] {
                 let ds = generate(dist, dim, 400, 82);
-                let run = mr_angle(&ds, &BaselineConfig::test());
+                let run = mr_angle(&ds, &BaselineConfig::test()).unwrap();
                 assert_eq!(
                     run.skyline,
                     bnl_skyline(ds.tuples()),
@@ -253,7 +252,7 @@ mod tests {
     #[test]
     fn runs_two_jobs_and_shuffles_whole_dataset() {
         let ds = generate(Distribution::Independent, 3, 300, 85);
-        let run = mr_angle(&ds, &BaselineConfig::test());
+        let run = mr_angle(&ds, &BaselineConfig::test()).unwrap();
         let names: Vec<&str> = run.metrics.jobs.iter().map(|j| j.name.as_str()).collect();
         assert_eq!(names, vec!["mr-angle-local", "mr-angle-merge"]);
         assert_eq!(run.metrics.jobs[0].map_output_records, ds.len() as u64);
@@ -262,7 +261,7 @@ mod tests {
     #[test]
     fn one_dimensional_data_works() {
         let ds = generate(Distribution::Independent, 1, 100, 83);
-        let run = mr_angle(&ds, &BaselineConfig::test());
+        let run = mr_angle(&ds, &BaselineConfig::test()).unwrap();
         assert_eq!(run.skyline, bnl_skyline(ds.tuples()));
         assert_eq!(run.skyline.len(), 1);
     }
@@ -275,7 +274,7 @@ mod tests {
             let mut config = BaselineConfig::test();
             config.angular_partitions = target;
             assert_eq!(
-                mr_angle(&ds, &config).skyline,
+                mr_angle(&ds, &config).unwrap().skyline,
                 base,
                 "target {target} broke MR-Angle"
             );

@@ -288,7 +288,7 @@ impl ReduceFactory for EvalReduceFactory {
 /// Runs the two-phase MR-Bitmap pipeline on a limited-distinct-value
 /// dataset (pass continuous data through [`discretize`] first; the result
 /// is the skyline of the *discretized* tuples).
-pub fn mr_bitmap(dataset: &Dataset, config: &BaselineConfig) -> BaselineRun {
+pub fn mr_bitmap(dataset: &Dataset, config: &BaselineConfig) -> skymr_common::Result<BaselineRun> {
     let indexed: Vec<(u32, Tuple)> = dataset
         .tuples()
         .iter()
@@ -303,11 +303,12 @@ pub fn mr_bitmap(dataset: &Dataset, config: &BaselineConfig) -> BaselineRun {
         s
     };
     let mut metrics = PipelineMetrics::new();
+    let ft = &config.fault_tolerance;
 
     // Phase 1: per-dimension slice construction.
     let r1 = dataset.dim().min(config.cluster.reduce_slots).max(1);
-    let job1 = JobConfig::new("mr-bitmap-slices", r1).with_failures(config.failures.clone());
-    let outcome1 = run_job(
+    let job1 = JobConfig::new("mr-bitmap-slices", r1).with_fault_tolerance(ft);
+    let outcome1 = metrics.track(run_job(
         &config.cluster,
         &job1,
         &splits,
@@ -316,8 +317,7 @@ pub fn mr_bitmap(dataset: &Dataset, config: &BaselineConfig) -> BaselineRun {
             num_tuples: dataset.len(),
         },
         &ModuloPartitioner,
-    );
-    metrics.push(outcome1.metrics.clone());
+    ))?;
 
     let mut dims: BTreeMap<u32, DimSlices> = BTreeMap::new();
     for (dim, slices) in outcome1.into_flat_output() {
@@ -332,21 +332,20 @@ pub fn mr_bitmap(dataset: &Dataset, config: &BaselineConfig) -> BaselineRun {
     let r2 = config.cluster.reduce_slots.max(1);
     let job2 = JobConfig::new("mr-bitmap-eval", r2)
         .with_cache_bytes(index.byte_size())
-        .with_failures(config.failures.clone());
-    let outcome2 = run_job(
+        .with_fault_tolerance(ft);
+    let outcome2 = metrics.track(run_job(
         &config.cluster,
         &job2,
         &splits,
         &EvalMapFactory,
         &EvalReduceFactory { index },
         &ModuloPartitioner,
-    );
-    metrics.push(outcome2.metrics.clone());
+    ))?;
 
-    BaselineRun {
+    Ok(BaselineRun {
         skyline: canonicalize(outcome2.into_flat_output()),
         metrics,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -387,7 +386,7 @@ mod tests {
         for dist in [Distribution::Independent, Distribution::Anticorrelated] {
             for (dim, k) in [(2usize, 4usize), (3, 8), (5, 6)] {
                 let ds = discretized(dist, dim, 400, k, 142);
-                let run = mr_bitmap(&ds, &BaselineConfig::test());
+                let run = mr_bitmap(&ds, &BaselineConfig::test()).unwrap();
                 assert_eq!(
                     run.skyline,
                     bnl_skyline(ds.tuples()),
@@ -409,7 +408,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let run = mr_bitmap(&ds, &BaselineConfig::test());
+        let run = mr_bitmap(&ds, &BaselineConfig::test()).unwrap();
         assert_eq!(run.skyline_ids(), vec![0, 2, 3]);
     }
 
@@ -424,14 +423,14 @@ mod tests {
             ],
         )
         .unwrap();
-        let run = mr_bitmap(&ds, &BaselineConfig::test());
+        let run = mr_bitmap(&ds, &BaselineConfig::test()).unwrap();
         assert_eq!(run.skyline_ids(), vec![0, 1]);
     }
 
     #[test]
     fn runs_two_jobs_and_charges_index_broadcast() {
         let ds = discretized(Distribution::Independent, 3, 300, 8, 143);
-        let run = mr_bitmap(&ds, &BaselineConfig::test());
+        let run = mr_bitmap(&ds, &BaselineConfig::test()).unwrap();
         assert_eq!(run.metrics.jobs.len(), 2);
         assert_eq!(run.metrics.jobs[0].name, "mr-bitmap-slices");
         assert_eq!(run.metrics.jobs[1].name, "mr-bitmap-eval");
@@ -447,23 +446,30 @@ mod tests {
         let oracle = bnl_skyline(ds.tuples());
         for mappers in [1usize, 3, 8] {
             let config = BaselineConfig::test().with_mappers(mappers);
-            assert_eq!(mr_bitmap(&ds, &config).skyline, oracle);
+            assert_eq!(mr_bitmap(&ds, &config).unwrap().skyline, oracle);
         }
     }
 
     #[test]
     fn empty_input() {
         let ds = Dataset::new(2, vec![]).unwrap();
-        assert!(mr_bitmap(&ds, &BaselineConfig::test()).skyline.is_empty());
+        assert!(mr_bitmap(&ds, &BaselineConfig::test())
+            .unwrap()
+            .skyline
+            .is_empty());
     }
 
     #[test]
     fn survives_injected_failures() {
         let ds = discretized(Distribution::Independent, 3, 250, 8, 145);
-        let clean = mr_bitmap(&ds, &BaselineConfig::test());
+        let clean = mr_bitmap(&ds, &BaselineConfig::test()).unwrap();
         let mut config = BaselineConfig::test();
-        config.failures = skymr_mapreduce::FailurePlan::fail_maps([0]);
-        let failed = mr_bitmap(&ds, &config);
+        config.fault_tolerance =
+            skymr_mapreduce::FaultTolerance::with_plan(skymr_mapreduce::FaultPlan::fail_maps([0]));
+        let failed = mr_bitmap(&ds, &config).unwrap();
         assert_eq!(failed.skyline_ids(), clean.skyline_ids());
+        // Both jobs share the plan, so each charges one map retry.
+        assert_eq!(failed.metrics.jobs[0].map_retries, 1);
+        assert_eq!(failed.metrics.jobs[1].map_retries, 1);
     }
 }

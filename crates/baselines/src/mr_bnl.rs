@@ -272,7 +272,7 @@ pub(crate) fn phase1_reducers(dim: usize, reduce_slots: usize) -> usize {
 }
 
 /// Runs the two-phase MR-BNL pipeline with the faithful plain-BNL merge.
-pub fn mr_bnl(dataset: &Dataset, config: &BaselineConfig) -> BaselineRun {
+pub fn mr_bnl(dataset: &Dataset, config: &BaselineConfig) -> skymr_common::Result<BaselineRun> {
     mr_bnl_with_strategy(dataset, config, MergeStrategy::PlainBnl)
 }
 
@@ -281,41 +281,40 @@ pub fn mr_bnl_with_strategy(
     dataset: &Dataset,
     config: &BaselineConfig,
     strategy: MergeStrategy,
-) -> BaselineRun {
+) -> skymr_common::Result<BaselineRun> {
     let splits = dataset.split(config.mappers);
     let mut metrics = PipelineMetrics::new();
+    let ft = &config.fault_tolerance;
 
     // Phase 1: shuffle all tuples to per-cell reducers.
     let r1 = phase1_reducers(dataset.dim(), config.cluster.reduce_slots);
-    let job1 = JobConfig::new("mr-bnl-local", r1).with_failures(config.failures.clone());
-    let outcome1 = run_job(
+    let job1 = JobConfig::new("mr-bnl-local", r1).with_fault_tolerance(ft);
+    let outcome1 = metrics.track(run_job(
         &config.cluster,
         &job1,
         &splits,
         &PartitionMapFactory,
         &LocalSkylineReduceFactory,
         &ModuloPartitioner,
-    );
-    metrics.push(outcome1.metrics.clone());
+    ))?;
 
     // Phase 2: single-reducer merge. Each phase-1 reducer's output plays
     // the role of one input split (one HDFS file per reducer).
     let splits2: Vec<Vec<CellEntry>> = outcome1.outputs;
-    let job2 = JobConfig::new("mr-bnl-merge", 1);
-    let outcome2 = run_job(
+    let job2 = JobConfig::new("mr-bnl-merge", 1).with_fault_tolerance(ft);
+    let outcome2 = metrics.track(run_job(
         &config.cluster,
         &job2,
         &splits2,
         &ForwardMapFactory,
         &MergeReduceFactory::new(strategy),
         &SingleReducerPartitioner,
-    );
-    metrics.push(outcome2.metrics.clone());
+    ))?;
 
-    BaselineRun {
+    Ok(BaselineRun {
         skyline: canonicalize(outcome2.into_flat_output()),
         metrics,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -364,7 +363,7 @@ mod tests {
         ] {
             for dim in [2, 3, 6] {
                 let ds = generate(dist, dim, 400, 61);
-                let run = mr_bnl(&ds, &BaselineConfig::test());
+                let run = mr_bnl(&ds, &BaselineConfig::test()).unwrap();
                 assert_eq!(
                     run.skyline,
                     bnl_skyline(ds.tuples()),
@@ -377,7 +376,7 @@ mod tests {
     #[test]
     fn runs_two_jobs_and_shuffles_whole_dataset() {
         let ds = generate(Distribution::Independent, 3, 500, 65);
-        let run = mr_bnl(&ds, &BaselineConfig::test());
+        let run = mr_bnl(&ds, &BaselineConfig::test()).unwrap();
         assert_eq!(run.metrics.jobs.len(), 2);
         assert_eq!(run.metrics.jobs[0].name, "mr-bnl-local");
         assert_eq!(run.metrics.jobs[1].name, "mr-bnl-merge");
@@ -389,9 +388,11 @@ mod tests {
     fn merge_strategies_agree() {
         for dist in [Distribution::Independent, Distribution::Anticorrelated] {
             let ds = generate(dist, 4, 400, 64);
-            let plain = mr_bnl_with_strategy(&ds, &BaselineConfig::test(), MergeStrategy::PlainBnl);
+            let plain = mr_bnl_with_strategy(&ds, &BaselineConfig::test(), MergeStrategy::PlainBnl)
+                .unwrap();
             let pruned =
-                mr_bnl_with_strategy(&ds, &BaselineConfig::test(), MergeStrategy::CellCodePruning);
+                mr_bnl_with_strategy(&ds, &BaselineConfig::test(), MergeStrategy::CellCodePruning)
+                    .unwrap();
             assert_eq!(
                 plain.skyline_ids(),
                 pruned.skyline_ids(),
@@ -403,9 +404,9 @@ mod tests {
     #[test]
     fn invariant_to_mapper_count() {
         let ds = generate(Distribution::Anticorrelated, 3, 300, 62);
-        let base = mr_bnl(&ds, &BaselineConfig::test().with_mappers(1));
+        let base = mr_bnl(&ds, &BaselineConfig::test().with_mappers(1)).unwrap();
         for m in [2, 4, 7] {
-            let run = mr_bnl(&ds, &BaselineConfig::test().with_mappers(m));
+            let run = mr_bnl(&ds, &BaselineConfig::test().with_mappers(m)).unwrap();
             assert_eq!(run.skyline_ids(), base.skyline_ids());
         }
     }
@@ -413,16 +414,21 @@ mod tests {
     #[test]
     fn empty_input() {
         let ds = Dataset::new(2, vec![]).unwrap();
-        assert!(mr_bnl(&ds, &BaselineConfig::test()).skyline.is_empty());
+        assert!(mr_bnl(&ds, &BaselineConfig::test())
+            .unwrap()
+            .skyline
+            .is_empty());
     }
 
     #[test]
     fn survives_injected_failures() {
         let ds = generate(Distribution::Independent, 3, 200, 63);
-        let clean = mr_bnl(&ds, &BaselineConfig::test());
+        let clean = mr_bnl(&ds, &BaselineConfig::test()).unwrap();
         let mut config = BaselineConfig::test();
-        config.failures = skymr_mapreduce::FailurePlan::fail_maps([0]);
-        let failed = mr_bnl(&ds, &config);
+        config.fault_tolerance =
+            skymr_mapreduce::FaultTolerance::with_plan(skymr_mapreduce::FaultPlan::fail_maps([0]));
+        let failed = mr_bnl(&ds, &config).unwrap();
         assert_eq!(failed.skyline_ids(), clean.skyline_ids());
+        assert_eq!(failed.metrics.jobs[0].map_retries, 1);
     }
 }

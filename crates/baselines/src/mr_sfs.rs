@@ -59,38 +59,37 @@ impl ReduceFactory for SfsLocalReduceFactory {
 }
 
 /// Runs the two-phase MR-SFS pipeline.
-pub fn mr_sfs(dataset: &Dataset, config: &BaselineConfig) -> BaselineRun {
+pub fn mr_sfs(dataset: &Dataset, config: &BaselineConfig) -> skymr_common::Result<BaselineRun> {
     let splits = dataset.split(config.mappers);
     let mut metrics = PipelineMetrics::new();
+    let ft = &config.fault_tolerance;
 
     let r1 = phase1_reducers(dataset.dim(), config.cluster.reduce_slots);
-    let job1 = JobConfig::new("mr-sfs-local", r1).with_failures(config.failures.clone());
-    let outcome1 = run_job(
+    let job1 = JobConfig::new("mr-sfs-local", r1).with_fault_tolerance(ft);
+    let outcome1 = metrics.track(run_job(
         &config.cluster,
         &job1,
         &splits,
         &PartitionMapFactory,
         &SfsLocalReduceFactory::new(SfsOrder::Entropy),
         &ModuloPartitioner,
-    );
-    metrics.push(outcome1.metrics.clone());
+    ))?;
 
     let splits2: Vec<Vec<CellEntry>> = outcome1.outputs;
-    let job2 = JobConfig::new("mr-sfs-merge", 1);
-    let outcome2 = run_job(
+    let job2 = JobConfig::new("mr-sfs-merge", 1).with_fault_tolerance(ft);
+    let outcome2 = metrics.track(run_job(
         &config.cluster,
         &job2,
         &splits2,
         &ForwardMapFactory,
         &MergeReduceFactory::new(MergeStrategy::PlainBnl),
         &SingleReducerPartitioner,
-    );
-    metrics.push(outcome2.metrics.clone());
+    ))?;
 
-    BaselineRun {
+    Ok(BaselineRun {
         skyline: canonicalize(outcome2.into_flat_output()),
         metrics,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -104,7 +103,7 @@ mod tests {
         for dist in [Distribution::Independent, Distribution::Anticorrelated] {
             for dim in [2, 4] {
                 let ds = generate(dist, dim, 350, 71);
-                let run = mr_sfs(&ds, &BaselineConfig::test());
+                let run = mr_sfs(&ds, &BaselineConfig::test()).unwrap();
                 assert_eq!(
                     run.skyline,
                     bnl_skyline(ds.tuples()),
@@ -117,15 +116,15 @@ mod tests {
     #[test]
     fn agrees_with_mr_bnl() {
         let ds = generate(Distribution::Clustered { clusters: 3 }, 3, 400, 72);
-        let a = mr_sfs(&ds, &BaselineConfig::test());
-        let b = crate::mr_bnl::mr_bnl(&ds, &BaselineConfig::test());
+        let a = mr_sfs(&ds, &BaselineConfig::test()).unwrap();
+        let b = crate::mr_bnl::mr_bnl(&ds, &BaselineConfig::test()).unwrap();
         assert_eq!(a.skyline_ids(), b.skyline_ids());
     }
 
     #[test]
     fn runs_two_jobs() {
         let ds = generate(Distribution::Independent, 3, 300, 73);
-        let run = mr_sfs(&ds, &BaselineConfig::test());
+        let run = mr_sfs(&ds, &BaselineConfig::test()).unwrap();
         let names: Vec<&str> = run.metrics.jobs.iter().map(|j| j.name.as_str()).collect();
         assert_eq!(names, vec!["mr-sfs-local", "mr-sfs-merge"]);
     }
@@ -133,6 +132,9 @@ mod tests {
     #[test]
     fn empty_input() {
         let ds = Dataset::new(3, vec![]).unwrap();
-        assert!(mr_sfs(&ds, &BaselineConfig::test()).skyline.is_empty());
+        assert!(mr_sfs(&ds, &BaselineConfig::test())
+            .unwrap()
+            .skyline
+            .is_empty());
     }
 }

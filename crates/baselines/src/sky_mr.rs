@@ -23,7 +23,7 @@ use std::sync::Arc;
 use skymr_common::dominance::dominates;
 use skymr_common::{dataset::canonicalize, Dataset, Tuple};
 use skymr_mapreduce::{
-    run_job, ClusterConfig, Emitter, FailurePlan, JobConfig, MapFactory, MapTask,
+    run_job, ClusterConfig, Emitter, FaultTolerance, JobConfig, MapFactory, MapTask,
     ModuloPartitioner, OutputCollector, PipelineMetrics, ReduceFactory, ReduceTask, TaskContext,
 };
 
@@ -45,8 +45,8 @@ pub struct SkyMrConfig {
     pub split_threshold: usize,
     /// The simulated cluster.
     pub cluster: ClusterConfig,
-    /// Failure injection (tests).
-    pub failures: FailurePlan,
+    /// Fault injection, retry budget, and speculation for both jobs.
+    pub fault_tolerance: FaultTolerance,
 }
 
 impl Default for SkyMrConfig {
@@ -58,7 +58,7 @@ impl Default for SkyMrConfig {
             sample_size: 1_000,
             split_threshold: 24,
             cluster,
-            failures: FailurePlan::none(),
+            fault_tolerance: FaultTolerance::none(),
         }
     }
 }
@@ -72,7 +72,7 @@ impl SkyMrConfig {
             sample_size: 100,
             split_threshold: 8,
             cluster: ClusterConfig::test(),
-            failures: FailurePlan::none(),
+            fault_tolerance: FaultTolerance::none(),
         }
     }
 }
@@ -354,8 +354,9 @@ impl ReduceFactory for SampleReduceFactory {
 /// the sample and builds the sky-quadtree plan (so the pruning structure's
 /// cost is on the clock, comparable to the paper's bitstring job), then
 /// the skyline job. The plan is broadcast like a distributed-cache file.
-pub fn sky_mr(dataset: &Dataset, config: &SkyMrConfig) -> BaselineRun {
+pub fn sky_mr(dataset: &Dataset, config: &SkyMrConfig) -> skymr_common::Result<BaselineRun> {
     let mut metrics = PipelineMetrics::new();
+    let ft = &config.fault_tolerance;
     let splits = dataset.split(config.mappers);
     let dim = dataset.dim().max(1);
     let reducers = config.reducers.max(1);
@@ -366,8 +367,8 @@ pub fn sky_mr(dataset: &Dataset, config: &SkyMrConfig) -> BaselineRun {
     } else {
         (dataset.len() / config.sample_size.min(dataset.len().max(1))).max(1)
     };
-    let sample_job = JobConfig::new("sky-mr-sample", 1);
-    let outcome1 = run_job(
+    let sample_job = JobConfig::new("sky-mr-sample", 1).with_fault_tolerance(ft);
+    let outcome1 = metrics.track(run_job(
         &config.cluster,
         &sample_job,
         &splits,
@@ -378,8 +379,7 @@ pub fn sky_mr(dataset: &Dataset, config: &SkyMrConfig) -> BaselineRun {
             reducers,
         },
         &skymr_mapreduce::SingleReducerPartitioner,
-    );
-    metrics.push(outcome1.metrics.clone());
+    ))?;
     let plan = Arc::new(
         outcome1
             .into_flat_output()
@@ -391,8 +391,8 @@ pub fn sky_mr(dataset: &Dataset, config: &SkyMrConfig) -> BaselineRun {
     // Job 2: the skyline computation.
     let job = JobConfig::new("sky-mr", reducers)
         .with_cache_bytes(plan.cache_bytes())
-        .with_failures(config.failures.clone());
-    let outcome = run_job(
+        .with_fault_tolerance(ft);
+    let outcome = metrics.track(run_job(
         &config.cluster,
         &job,
         &splits,
@@ -403,12 +403,12 @@ pub fn sky_mr(dataset: &Dataset, config: &SkyMrConfig) -> BaselineRun {
             plan: Arc::clone(&plan),
         },
         &ModuloPartitioner,
-    );
+    ))?;
     metrics.push(outcome.metrics.clone());
-    BaselineRun {
+    Ok(BaselineRun {
         skyline: canonicalize(outcome.into_flat_output()),
         metrics,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -427,7 +427,7 @@ mod tests {
         ] {
             for dim in [2usize, 3, 5] {
                 let ds = generate(dist, dim, 600, 131);
-                let run = sky_mr(&ds, &SkyMrConfig::test());
+                let run = sky_mr(&ds, &SkyMrConfig::test()).unwrap();
                 assert_eq!(
                     run.skyline,
                     bnl_skyline(ds.tuples()),
@@ -449,7 +449,7 @@ mod tests {
                     ..SkyMrConfig::test()
                 };
                 assert_eq!(
-                    sky_mr(&ds, &config).skyline,
+                    sky_mr(&ds, &config).unwrap().skyline,
                     oracle,
                     "m={mappers} r={reducers} broke SKY-MR"
                 );
@@ -467,7 +467,7 @@ mod tests {
                 ..SkyMrConfig::test()
             };
             assert_eq!(
-                sky_mr(&ds, &config).skyline,
+                sky_mr(&ds, &config).unwrap().skyline,
                 oracle,
                 "sample_size={sample_size} broke SKY-MR"
             );
@@ -477,22 +477,31 @@ mod tests {
     #[test]
     fn empty_and_tiny_inputs() {
         let empty = Dataset::new(2, vec![]).unwrap();
-        assert!(sky_mr(&empty, &SkyMrConfig::test()).skyline.is_empty());
+        assert!(sky_mr(&empty, &SkyMrConfig::test())
+            .unwrap()
+            .skyline
+            .is_empty());
         let one = Dataset::new(2, vec![Tuple::new(5, vec![0.2, 0.8])]).unwrap();
-        assert_eq!(sky_mr(&one, &SkyMrConfig::test()).skyline_ids(), vec![5]);
+        assert_eq!(
+            sky_mr(&one, &SkyMrConfig::test()).unwrap().skyline_ids(),
+            vec![5]
+        );
     }
 
     #[test]
     fn survives_injected_failures() {
         let ds = generate(Distribution::Anticorrelated, 3, 400, 134);
-        let clean = sky_mr(&ds, &SkyMrConfig::test());
+        let clean = sky_mr(&ds, &SkyMrConfig::test()).unwrap();
         let mut config = SkyMrConfig::test();
-        config.failures = FailurePlan {
-            map_fail_once: [0].into(),
-            reduce_fail_once: [1].into(),
-        };
-        let failed = sky_mr(&ds, &config);
+        config.fault_tolerance = FaultTolerance::with_plan(
+            skymr_mapreduce::FaultPlan::fail_maps([0])
+                .with_reduce_fault(1, skymr_mapreduce::TaskFault::lost(1))
+                .for_job("sky-mr"),
+        );
+        let failed = sky_mr(&ds, &config).unwrap();
         assert_eq!(failed.skyline_ids(), clean.skyline_ids());
+        assert_eq!(failed.metrics.jobs[1].map_retries, 1);
+        assert_eq!(failed.metrics.jobs[1].reduce_retries, 1);
     }
 
     #[test]

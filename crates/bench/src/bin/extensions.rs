@@ -40,7 +40,7 @@ fn main() {
             let gpsrs = mr_gpsrs(&ds, &config).expect("valid config");
             let gpmrs = mr_gpmrs(&ds, &config).expect("valid config");
             let hybrid = mr_hybrid(&ds, &config).expect("valid config");
-            let skymr_run = sky_mr(&ds, &SkyMrConfig::default());
+            let skymr_run = sky_mr(&ds, &SkyMrConfig::default()).expect("fault-free run");
             assert_eq!(gpsrs.skyline_ids(), gpmrs.skyline_ids());
             assert_eq!(gpsrs.skyline_ids(), hybrid.skyline_ids());
             assert_eq!(gpsrs.skyline_ids(), skymr_run.skyline_ids());

@@ -205,7 +205,7 @@ pub fn run_algo(algo: Algo, dataset: &Dataset, reducers: usize) -> Measurement {
             }
         }
         Algo::MrBnl => {
-            let run = mr_bnl(dataset, &BaselineConfig::default());
+            let run = mr_bnl(dataset, &BaselineConfig::default()).expect("fault-free run");
             Measurement {
                 sim_runtime: run.metrics.sim_runtime(),
                 host_wall: run.metrics.host_wall(),
@@ -215,7 +215,7 @@ pub fn run_algo(algo: Algo, dataset: &Dataset, reducers: usize) -> Measurement {
             }
         }
         Algo::MrAngle => {
-            let run = mr_angle(dataset, &BaselineConfig::default());
+            let run = mr_angle(dataset, &BaselineConfig::default()).expect("fault-free run");
             Measurement {
                 sim_runtime: run.metrics.sim_runtime(),
                 host_wall: run.metrics.host_wall(),

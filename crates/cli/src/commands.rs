@@ -238,29 +238,30 @@ pub fn run(args: &Args) -> Result<(), String> {
             )
         }
         "mr-bnl" => {
-            let run = mr_bnl(&data, &baseline_config(args)?);
+            let run = mr_bnl(&data, &baseline_config(args)?).map_err(|e| e.to_string())?;
             (run.skyline, Some(run.metrics))
         }
         "mr-sfs" => {
-            let run = mr_sfs(&data, &baseline_config(args)?);
+            let run = mr_sfs(&data, &baseline_config(args)?).map_err(|e| e.to_string())?;
             (run.skyline, Some(run.metrics))
         }
         "mr-angle" => {
-            let run = mr_angle(&data, &baseline_config(args)?);
+            let run = mr_angle(&data, &baseline_config(args)?).map_err(|e| e.to_string())?;
             (run.skyline, Some(run.metrics))
         }
         "sky-mr" => {
             let mut config = SkyMrConfig::default();
             config.mappers = args.get_parsed("mappers", config.mappers)?;
             config.reducers = args.get_parsed("reducers", config.reducers)?;
-            let run = sky_mr(&data, &config);
+            let run = sky_mr(&data, &config).map_err(|e| e.to_string())?;
             (run.skyline, Some(run.metrics))
         }
         "mr-bitmap" => {
             let distinct = args.get_parsed("distinct", 16usize)?;
             let discretized = discretize(&data, distinct);
             println!("note: mr-bitmap runs on data discretized to {distinct} values/dimension");
-            let run = mr_bitmap(&discretized, &baseline_config(args)?);
+            let run =
+                mr_bitmap(&discretized, &baseline_config(args)?).map_err(|e| e.to_string())?;
             (run.skyline, Some(run.metrics))
         }
         "bnl" => (bnl_skyline(data.tuples()), None),

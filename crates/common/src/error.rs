@@ -27,6 +27,22 @@ pub enum Error {
     },
     /// A configuration parameter was invalid.
     InvalidConfig(String),
+    /// A MapReduce job exhausted the retry budget of one of its tasks and
+    /// aborted (fault-injection or a genuinely failing UDF). Carries the
+    /// pipeline-level summary of the engine's structured `JobError`; the
+    /// task kind is `"map"` or `"reduce"`.
+    JobFailed {
+        /// Name of the job that aborted.
+        job: String,
+        /// `"map"` or `"reduce"`.
+        task: String,
+        /// Index of the failed task within its phase.
+        index: usize,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// Cause of the final failed attempt.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -47,6 +63,16 @@ impl fmt::Display for Error {
                 write!(f, "tuple {tuple_id} has a value outside [0,1) (or NaN)")
             }
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::JobFailed {
+                job,
+                task,
+                index,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "job `{job}` aborted: {task} task {index} failed {attempts} attempt(s); last: {message}"
+            ),
         }
     }
 }

@@ -3,8 +3,8 @@
 
 use skymr_common::{BitGrid, Tuple};
 use skymr_mapreduce::{
-    run_job, ClusterConfig, Emitter, JobConfig, JobMetrics, MapFactory, MapTask, OutputCollector,
-    ReduceFactory, ReduceTask, SingleReducerPartitioner, TaskContext,
+    run_job, ClusterConfig, Emitter, FaultTolerance, JobConfig, JobMetrics, MapFactory, MapTask,
+    OutputCollector, ReduceFactory, ReduceTask, SingleReducerPartitioner, TaskContext,
 };
 
 use crate::bitstring::ppd::run_ppd_selection_job;
@@ -137,13 +137,17 @@ impl ReduceFactory for BitstringReduceFactory {
 }
 
 /// Runs the bitstring-generation job for a fixed grid.
+///
+/// Fails with [`skymr_common::Error::JobFailed`] when a task exhausts the
+/// retry budget of `ft`.
 pub fn run_bitstring_job(
     cluster: &ClusterConfig,
     splits: &[Vec<Tuple>],
     grid: Grid,
     prune: bool,
-) -> (Bitstring, BitstringInfo, JobMetrics) {
-    let config = JobConfig::new("bitstring", 1);
+    ft: &FaultTolerance,
+) -> skymr_common::Result<(Bitstring, BitstringInfo, JobMetrics)> {
+    let config = JobConfig::new("bitstring", 1).with_fault_tolerance(ft);
     let outcome = run_job(
         cluster,
         &config,
@@ -151,7 +155,7 @@ pub fn run_bitstring_job(
         &BitstringMapFactory::new(grid),
         &BitstringReduceFactory::new(grid, prune),
         &SingleReducerPartitioner,
-    );
+    )?;
     let metrics = outcome.metrics.clone();
     let output = outcome
         .into_flat_output()
@@ -167,7 +171,7 @@ pub fn run_bitstring_job(
         non_empty: output.non_empty as usize,
         surviving: bs.count_set(),
     };
-    (bs, info, metrics)
+    Ok((bs, info, metrics))
 }
 
 /// Runs whichever bitstring pre-job the configuration asks for: the fixed-
@@ -183,12 +187,13 @@ pub fn generate_bitstring(
     match config.ppd {
         PpdPolicy::Fixed(n) => {
             let grid = Grid::new(dim, n)?;
-            Ok(run_bitstring_job(
+            run_bitstring_job(
                 &config.cluster,
                 splits,
                 grid,
                 config.prune_bitstring,
-            ))
+                &config.fault_tolerance,
+            )
         }
         PpdPolicy::Auto {
             max_ppd,
@@ -201,6 +206,7 @@ pub fn generate_bitstring(
             max_ppd,
             max_partitions,
             config.prune_bitstring,
+            &config.fault_tolerance,
         ),
     }
 }
@@ -209,7 +215,7 @@ pub fn generate_bitstring(
 mod tests {
     use super::*;
     use skymr_common::Dataset;
-    use skymr_mapreduce::FailurePlan;
+    use skymr_mapreduce::FaultPlan;
 
     fn dataset() -> Dataset {
         // 3×3 grid occupancy mirroring Figure 2: partitions 1,2,3,4,6.
@@ -228,8 +234,14 @@ mod tests {
     fn job_reproduces_figure2_bitstring() {
         let ds = dataset();
         let grid = Grid::new(2, 3).unwrap();
-        let (bs, info, metrics) =
-            run_bitstring_job(&ClusterConfig::test(), &ds.split(3), grid, false);
+        let (bs, info, metrics) = run_bitstring_job(
+            &ClusterConfig::test(),
+            &ds.split(3),
+            grid,
+            false,
+            &FaultTolerance::none(),
+        )
+        .unwrap();
         let rendered: String = (0..9)
             .map(|i| if bs.is_set(i) { '1' } else { '0' })
             .collect();
@@ -247,7 +259,14 @@ mod tests {
         tuples.push(Tuple::new(6, vec![0.95, 0.95])); // (2,2) -> 8
         let ds = Dataset::new(2, tuples).unwrap();
         let grid = Grid::new(2, 3).unwrap();
-        let (bs, info, _) = run_bitstring_job(&ClusterConfig::test(), &ds.split(2), grid, true);
+        let (bs, info, _) = run_bitstring_job(
+            &ClusterConfig::test(),
+            &ds.split(2),
+            grid,
+            true,
+            &FaultTolerance::none(),
+        )
+        .unwrap();
         assert!(
             !bs.is_set(8),
             "partition 8 is dominated by partition 4 and must be pruned"
@@ -261,8 +280,9 @@ mod tests {
         let ds = dataset();
         let grid = Grid::new(2, 3).unwrap();
         let cluster = ClusterConfig::test();
-        let (a, _, _) = run_bitstring_job(&cluster, &ds.split(1), grid, true);
-        let (b, _, _) = run_bitstring_job(&cluster, &ds.split(5), grid, true);
+        let ft = FaultTolerance::none();
+        let (a, _, _) = run_bitstring_job(&cluster, &ds.split(1), grid, true, &ft).unwrap();
+        let (b, _, _) = run_bitstring_job(&cluster, &ds.split(5), grid, true, &ft).unwrap();
         assert_eq!(a, b);
     }
 
@@ -270,7 +290,14 @@ mod tests {
     fn empty_input_yields_empty_bitstring() {
         let grid = Grid::new(2, 3).unwrap();
         let splits: Vec<Vec<Tuple>> = vec![vec![], vec![]];
-        let (bs, info, _) = run_bitstring_job(&ClusterConfig::test(), &splits, grid, true);
+        let (bs, info, _) = run_bitstring_job(
+            &ClusterConfig::test(),
+            &splits,
+            grid,
+            true,
+            &FaultTolerance::none(),
+        )
+        .unwrap();
         assert_eq!(bs.count_set(), 0);
         assert_eq!(info.non_empty, 0);
     }
@@ -289,7 +316,7 @@ mod tests {
         let ds = dataset();
         let grid = Grid::new(2, 3).unwrap();
         let cluster = ClusterConfig::test();
-        let config = JobConfig::new("bitstring", 1).with_failures(FailurePlan::fail_maps([0]));
+        let config = JobConfig::new("bitstring", 1).with_faults(FaultPlan::fail_maps([0]));
         let outcome = run_job(
             &cluster,
             &config,
@@ -297,7 +324,8 @@ mod tests {
             &BitstringMapFactory::new(grid),
             &BitstringReduceFactory::new(grid, false),
             &SingleReducerPartitioner,
-        );
+        )
+        .unwrap();
         assert_eq!(outcome.metrics.map_retries, 1);
         let output = outcome.into_flat_output().pop().unwrap();
         let bs = Bitstring::from_parts(grid, output.bits);

@@ -17,8 +17,8 @@
 
 use skymr_common::{BitGrid, Error, Tuple};
 use skymr_mapreduce::{
-    run_job, ClusterConfig, Emitter, JobConfig, JobMetrics, MapFactory, MapTask, OutputCollector,
-    ReduceFactory, ReduceTask, SingleReducerPartitioner, TaskContext,
+    run_job, ClusterConfig, Emitter, FaultTolerance, JobConfig, JobMetrics, MapFactory, MapTask,
+    OutputCollector, ReduceFactory, ReduceTask, SingleReducerPartitioner, TaskContext,
 };
 
 use crate::bitstring::job::BitstringInfo;
@@ -217,6 +217,7 @@ pub fn run_ppd_selection_job(
     max_ppd: usize,
     max_partitions: usize,
     prune: bool,
+    ft: &FaultTolerance,
 ) -> skymr_common::Result<(Bitstring, BitstringInfo, JobMetrics)> {
     let candidates = candidate_ppds(cardinality, dim, max_ppd, max_partitions);
     let grids: Vec<Grid> = candidates
@@ -226,7 +227,7 @@ pub fn run_ppd_selection_job(
     if grids.is_empty() {
         return Err(Error::InvalidConfig("no PPD candidates".into()));
     }
-    let config = JobConfig::new("bitstring-ppd", 1);
+    let config = JobConfig::new("bitstring-ppd", 1).with_fault_tolerance(ft);
     let outcome = run_job(
         cluster,
         &config,
@@ -234,7 +235,7 @@ pub fn run_ppd_selection_job(
         &MultiPpdMapFactory::new(grids.clone()),
         &MultiPpdReduceFactory::new(grids.clone(), cardinality, prune),
         &SingleReducerPartitioner,
-    );
+    )?;
     let metrics = outcome.metrics.clone();
     let selection = outcome.into_flat_output().into_iter().next();
     let (grid, bits, non_empty) = match selection {
@@ -301,6 +302,7 @@ mod tests {
             16,
             1 << 16,
             true,
+            &FaultTolerance::none(),
         )
         .unwrap();
         assert!(info.ppd >= 2 && info.ppd <= 16);
@@ -322,8 +324,10 @@ mod tests {
         let ds = generate(Distribution::Independent, 2, 4_096, 9);
         let candidates = candidate_ppds(ds.len(), 2, 16, 1 << 16);
         let cluster = ClusterConfig::test();
+        let ft = FaultTolerance::none();
         let (bs, _, _) =
-            run_ppd_selection_job(&cluster, &ds.split(2), 2, ds.len(), 16, 1 << 16, false).unwrap();
+            run_ppd_selection_job(&cluster, &ds.split(2), 2, ds.len(), 16, 1 << 16, false, &ft)
+                .unwrap();
         // Recompute every candidate's score locally.
         let c = ds.len() as f64;
         let mut best = f64::INFINITY;
@@ -344,8 +348,10 @@ mod tests {
     #[test]
     fn empty_input_falls_back_gracefully() {
         let splits: Vec<Vec<Tuple>> = vec![vec![]];
+        let ft = FaultTolerance::none();
         let (bs, info, _) =
-            run_ppd_selection_job(&ClusterConfig::test(), &splits, 3, 0, 8, 1 << 12, true).unwrap();
+            run_ppd_selection_job(&ClusterConfig::test(), &splits, 3, 0, 8, 1 << 12, true, &ft)
+                .unwrap();
         assert_eq!(info.non_empty, 0);
         assert_eq!(bs.count_set(), 0);
     }

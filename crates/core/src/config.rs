@@ -1,7 +1,7 @@
 //! Configuration for the skyline pipelines.
 
 use skymr_common::{Error, Result};
-use skymr_mapreduce::{ClusterConfig, FailurePlan};
+use skymr_mapreduce::{ClusterConfig, FaultTolerance};
 
 use crate::groups::MergePolicy;
 use crate::local::LocalAlgo;
@@ -57,8 +57,9 @@ pub struct SkylineConfig {
     pub local_algo: LocalAlgo,
     /// The simulated cluster.
     pub cluster: ClusterConfig,
-    /// Failure injection for the skyline job (tests).
-    pub failures: FailurePlan,
+    /// Fault injection, retry budget, and speculation for the pipeline's
+    /// jobs (benign by default).
+    pub fault_tolerance: FaultTolerance,
 }
 
 impl Default for SkylineConfig {
@@ -72,7 +73,7 @@ impl Default for SkylineConfig {
             prune_bitstring: true,
             local_algo: LocalAlgo::Bnl,
             cluster,
-            failures: FailurePlan::none(),
+            fault_tolerance: FaultTolerance::none(),
         }
     }
 }
@@ -89,7 +90,7 @@ impl SkylineConfig {
             prune_bitstring: true,
             local_algo: LocalAlgo::Bnl,
             cluster: ClusterConfig::test(),
-            failures: FailurePlan::none(),
+            fault_tolerance: FaultTolerance::none(),
         }
     }
 
@@ -108,6 +109,12 @@ impl SkylineConfig {
     /// Sets the reducer count (MR-GPMRS).
     pub fn with_reducers(mut self, reducers: usize) -> Self {
         self.reducers = reducers;
+        self
+    }
+
+    /// Sets the fault-tolerance configuration.
+    pub fn with_fault_tolerance(mut self, ft: FaultTolerance) -> Self {
+        self.fault_tolerance = ft;
         self
     }
 

@@ -250,16 +250,15 @@ pub fn mr_gpmrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Resu
     let plan = Arc::new(plan);
     let job_config = JobConfig::new("gpmrs", plan.num_buckets())
         .with_cache_bytes(bitstring.bits().byte_size())
-        .with_failures(config.failures.clone());
-    let outcome = run_job(
+        .with_fault_tolerance(&config.fault_tolerance);
+    let outcome = metrics.track(run_job(
         &config.cluster,
         &job_config,
         &splits,
         &GpmrsMapFactory::new(Arc::clone(&bitstring), Arc::clone(&plan), config.local_algo),
         &GpmrsReduceFactory::new(Arc::clone(&bitstring), Arc::clone(&plan)),
         &ModuloPartitioner,
-    );
-    metrics.push(outcome.metrics.clone());
+    ))?;
     for (k, v) in outcome.counters.snapshot() {
         counters.insert(format!("gpmrs.{k}"), v);
     }
@@ -376,10 +375,11 @@ mod tests {
         let ds = generate(Distribution::Anticorrelated, 3, 400, 27);
         let clean = mr_gpmrs(&ds, &SkylineConfig::test()).unwrap();
         let mut config = SkylineConfig::test();
-        config.failures = skymr_mapreduce::FailurePlan {
-            map_fail_once: [1].into(),
-            reduce_fail_once: [0].into(),
-        };
+        config.fault_tolerance = skymr_mapreduce::FaultTolerance::with_plan(
+            skymr_mapreduce::FaultPlan::fail_maps([1])
+                .with_reduce_fault(0, skymr_mapreduce::TaskFault::lost(1))
+                .for_job("gpmrs"),
+        );
         let failed = mr_gpmrs(&ds, &config).unwrap();
         assert_eq!(failed.skyline_ids(), clean.skyline_ids());
         assert_eq!(failed.metrics.jobs[1].map_retries, 1);

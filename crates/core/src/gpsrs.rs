@@ -243,16 +243,15 @@ pub fn mr_gpsrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Resu
     let bitstring = Arc::new(bitstring);
     let job_config = JobConfig::new("gpsrs", 1)
         .with_cache_bytes(bitstring.bits().byte_size())
-        .with_failures(config.failures.clone());
-    let outcome = run_job(
+        .with_fault_tolerance(&config.fault_tolerance);
+    let outcome = metrics.track(run_job(
         &config.cluster,
         &job_config,
         &splits,
         &GpsrsMapFactory::new(Arc::clone(&bitstring), config.local_algo),
         &GpsrsReduceFactory::new(grid),
         &SingleReducerPartitioner,
-    );
-    metrics.push(outcome.metrics.clone());
+    ))?;
     for (k, v) in outcome.counters.snapshot() {
         counters.insert(format!("gpsrs.{k}"), v);
     }
@@ -397,9 +396,15 @@ mod tests {
         let ds = generate(Distribution::Independent, 3, 400, 10);
         let clean = mr_gpsrs(&ds, &SkylineConfig::test()).unwrap();
         let mut config = SkylineConfig::test();
-        config.failures = skymr_mapreduce::FailurePlan::fail_maps([0, 1]);
+        config.fault_tolerance = skymr_mapreduce::FaultTolerance::with_plan(
+            skymr_mapreduce::FaultPlan::fail_maps([0, 1]).for_job("gpsrs"),
+        );
         let failed = mr_gpsrs(&ds, &config).unwrap();
         assert_eq!(failed.skyline_ids(), clean.skyline_ids());
         assert_eq!(failed.metrics.jobs[1].map_retries, 2);
+        assert_eq!(
+            failed.metrics.jobs[0].map_retries, 0,
+            "plan is scoped to the gpsrs job"
+        );
     }
 }

@@ -314,8 +314,8 @@ pub(crate) fn run_countstring_job(
     splits: &[Vec<Tuple>],
     grid: Grid,
     prune_k: Option<u64>,
-) -> (Countstring, JobMetrics) {
-    let job = JobConfig::new("countstring", 1);
+) -> skymr_common::Result<(Countstring, JobMetrics)> {
+    let job = JobConfig::new("countstring", 1).with_fault_tolerance(&config.fault_tolerance);
     let outcome = run_job(
         &config.cluster,
         &job,
@@ -323,14 +323,14 @@ pub(crate) fn run_countstring_job(
         &CountMapFactory { grid },
         &CountReduceFactory { grid, prune_k },
         &SingleReducerPartitioner,
-    );
+    )?;
     let metrics = outcome.metrics.clone();
     let cs = outcome
         .into_flat_output()
         .into_iter()
         .next()
         .unwrap_or_else(|| Countstring::empty(grid));
-    (cs, metrics)
+    Ok((cs, metrics))
 }
 
 /// A mapper's emitted value: per-partition BNL-k windows.
@@ -646,7 +646,7 @@ pub fn mr_skyband(
     let splits = dataset.split(config.mappers);
     let mut metrics = PipelineMetrics::new();
 
-    let (countstring, cs_metrics) = run_countstring_job(config, &splits, grid, Some(k as u64));
+    let (countstring, cs_metrics) = run_countstring_job(config, &splits, grid, Some(k as u64))?;
     metrics.push(cs_metrics);
     let info = RunInfo {
         ppd: grid.ppd(),
@@ -660,8 +660,8 @@ pub fn mr_skyband(
     let countstring = Arc::new(countstring);
     let job = JobConfig::new("skyband", 1)
         .with_cache_bytes(countstring.byte_size())
-        .with_failures(config.failures.clone());
-    let outcome = run_job(
+        .with_fault_tolerance(&config.fault_tolerance);
+    let outcome = metrics.track(run_job(
         &config.cluster,
         &job,
         &splits,
@@ -671,8 +671,7 @@ pub fn mr_skyband(
         },
         &BandReduceFactory { grid, k },
         &SingleReducerPartitioner,
-    );
-    metrics.push(outcome.metrics.clone());
+    ))?;
     let mut counters = BTreeMap::new();
     for (key, v) in outcome.counters.snapshot() {
         counters.insert(format!("skyband.{key}"), v);
@@ -714,7 +713,7 @@ pub fn mr_skyband_multi(
     let splits = dataset.split(config.mappers);
     let mut metrics = PipelineMetrics::new();
 
-    let (countstring, cs_metrics) = run_countstring_job(config, &splits, grid, Some(k as u64));
+    let (countstring, cs_metrics) = run_countstring_job(config, &splits, grid, Some(k as u64))?;
     metrics.push(cs_metrics);
 
     // Independent groups over the active partitions: the bitstring of the
@@ -748,8 +747,8 @@ pub fn mr_skyband_multi(
     let plan = Arc::new(plan);
     let job = JobConfig::new("skyband-multi", plan.num_buckets())
         .with_cache_bytes(countstring.byte_size())
-        .with_failures(config.failures.clone());
-    let outcome = run_job(
+        .with_fault_tolerance(&config.fault_tolerance);
+    let outcome = metrics.track(run_job(
         &config.cluster,
         &job,
         &splits,
@@ -764,8 +763,7 @@ pub fn mr_skyband_multi(
             k,
         },
         &skymr_mapreduce::ModuloPartitioner,
-    );
-    metrics.push(outcome.metrics.clone());
+    ))?;
     let mut counters = BTreeMap::new();
     for (key, v) in outcome.counters.snapshot() {
         counters.insert(format!("skyband.{key}"), v);
@@ -937,7 +935,10 @@ mod tests {
         let ds = generate(Distribution::Anticorrelated, 3, 300, 166);
         let clean = mr_skyband(&ds, 2, &SkylineConfig::test()).unwrap();
         let mut config = SkylineConfig::test();
-        config.failures = skymr_mapreduce::FailurePlan::fail_maps([0, 1]);
+        config.fault_tolerance =
+            skymr_mapreduce::FaultTolerance::with_plan(skymr_mapreduce::FaultPlan::fail_maps([
+                0, 1,
+            ]));
         let failed = mr_skyband(&ds, 2, &config).unwrap();
         assert_eq!(failed.skyline_ids(), clean.skyline_ids());
     }

@@ -308,7 +308,7 @@ pub fn mr_top_k_dominating(
     // Job 1: countstring (no k-pruning — every tuple is a potential
     // dominated target, so nothing may be dropped).
     let (countstring, cs_metrics) =
-        crate::skyband::run_countstring_job(config, &splits, grid, None);
+        crate::skyband::run_countstring_job(config, &splits, grid, None)?;
     metrics.push(cs_metrics);
 
     let plan = Arc::new(TopKPlan::build(&countstring, k));
@@ -336,8 +336,8 @@ pub fn mr_top_k_dominating(
         .max(1);
     let job = JobConfig::new("topk-dominating", reducers)
         .with_cache_bytes(skymr_mapreduce::ByteSized::byte_size(&countstring))
-        .with_failures(config.failures.clone());
-    let outcome = run_job(
+        .with_fault_tolerance(&config.fault_tolerance);
+    let outcome = metrics.track(run_job(
         &config.cluster,
         &job,
         &splits,
@@ -349,8 +349,7 @@ pub fn mr_top_k_dominating(
             k,
         },
         &ModuloPartitioner,
-    );
-    metrics.push(outcome.metrics.clone());
+    ))?;
 
     let mut ranked = outcome.into_flat_output();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.id.cmp(&b.0.id)));

@@ -158,13 +158,58 @@ pub struct JobMetrics {
     pub map_retries: u64,
     /// Reduce task executions that were failed and retried.
     pub reduce_retries: u64,
-    /// Measured per-map-task compute durations.
+    /// Total task attempts executed, across both phases: regular attempts,
+    /// retries, lost-partition re-executions, and speculative backups.
+    pub attempts: u64,
+    /// Simulated task time that produced no surviving output: failed
+    /// attempts (straggler slowdown included) and losing halves of
+    /// speculative task pairs.
+    pub wasted_task_time: Duration,
+    /// Speculative backup attempts that beat their straggling original.
+    pub speculative_wins: u64,
+    /// Total retry backoff charged to the simulated clock.
+    pub backoff_time: Duration,
+    /// Modeled per-map-task durations as placed on the cluster: measured
+    /// compute, scaled by any straggler slowdown, plus lost attempts,
+    /// backoff, and extra per-attempt overheads (equals the measured
+    /// compute duration in a fault-free run).
     pub map_task_durations: Vec<Duration>,
-    /// Measured per-reduce-task compute durations.
+    /// Modeled per-reduce-task durations (see `map_task_durations`).
     pub reduce_task_durations: Vec<Duration>,
 }
 
 impl JobMetrics {
+    /// All-zero metrics for a job of the given shape — the starting point
+    /// for partial metrics when a job aborts before a phase completes.
+    pub fn empty(name: &str, map_tasks: usize, reduce_tasks: usize) -> Self {
+        Self {
+            name: name.to_owned(),
+            map_tasks,
+            reduce_tasks,
+            map_phase: Duration::ZERO,
+            reduce_phase: Duration::ZERO,
+            shuffle_bytes: 0,
+            per_reducer_bytes: Vec::new(),
+            shuffle_time: Duration::ZERO,
+            cache_bytes: 0,
+            broadcast_time: Duration::ZERO,
+            startup_time: Duration::ZERO,
+            sim_runtime: Duration::ZERO,
+            host_wall: Duration::ZERO,
+            map_output_records: 0,
+            reduce_input_keys: 0,
+            output_records: 0,
+            map_retries: 0,
+            reduce_retries: 0,
+            attempts: 0,
+            wasted_task_time: Duration::ZERO,
+            speculative_wins: 0,
+            backoff_time: Duration::ZERO,
+            map_task_durations: Vec::new(),
+            reduce_task_durations: Vec::new(),
+        }
+    }
+
     /// The busiest reducer's modeled compute duration — the bottleneck the
     /// paper attributes MR-GPSRS's degradation to.
     pub fn max_reduce_task(&self) -> Duration {

@@ -1,0 +1,303 @@
+//! The per-task retry executor: runs attempts under a fault plan until one
+//! succeeds or the retry budget is exhausted.
+
+use std::time::{Duration, Instant};
+
+use crate::pool::catch_attempt;
+
+use super::plan::{FaultKind, TaskFault};
+use super::retry::RetryPolicy;
+
+/// Injection directive handed to each task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Inject {
+    /// Run normally.
+    #[default]
+    None,
+    /// Panic partway through the input (the attempt must genuinely unwind,
+    /// exercising the catch-per-attempt path in the pool).
+    MidTaskPanic,
+}
+
+/// Why one attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The attempt ran to completion but its output was lost (simulated
+    /// node failure after the task finished).
+    LostOutput,
+    /// The attempt panicked (injected mid-task crash or a genuine UDF bug).
+    Panic {
+        /// Best-effort text of the panic payload.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::LostOutput => f.write_str("output lost after completion"),
+            FailureCause::Panic { message } => write!(f, "panicked: {message}"),
+        }
+    }
+}
+
+/// One failed attempt in a task's history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptFailure {
+    /// 0-based attempt number.
+    pub attempt: u32,
+    /// How it failed.
+    pub cause: FailureCause,
+    /// Real measured duration of the failed attempt.
+    pub duration: Duration,
+}
+
+/// The outcome of executing one task under the retry scheduler.
+pub struct TaskExecution<T> {
+    /// Output of the successful attempt (`None` = budget exhausted).
+    pub value: Option<T>,
+    /// Real measured duration of the successful attempt.
+    pub winner_duration: Duration,
+    /// Attempts actually executed (≥ 1).
+    pub attempts: u32,
+    /// Every failed attempt, in order.
+    pub failures: Vec<AttemptFailure>,
+    /// Total real duration burnt by failed attempts.
+    pub lost_time: Duration,
+    /// Total backoff charged between attempts.
+    pub backoff: Duration,
+    /// Original payload of the last panic, if any — re-raised or attached
+    /// to the `JobError` when the task ultimately fails.
+    pub payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl<T> std::fmt::Debug for TaskExecution<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskExecution")
+            .field("succeeded", &self.succeeded())
+            .field("attempts", &self.attempts)
+            .field("failures", &self.failures)
+            .field("lost_time", &self.lost_time)
+            .field("backoff", &self.backoff)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> TaskExecution<T> {
+    /// `true` iff the task ultimately succeeded.
+    pub fn succeeded(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// Failed attempts that were followed by a retry (the quantity the
+    /// engine has always reported as `map_retries` / `reduce_retries`).
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+}
+
+/// Runs one task under `fault` and `policy` until an attempt succeeds or
+/// the budget runs out.
+///
+/// * The first `fault.failures` attempts fail: a [`FaultKind::LostOutput`]
+///   attempt runs to completion and its output is discarded; a
+///   [`FaultKind::MidTaskPanic`] attempt receives [`Inject::MidTaskPanic`]
+///   and is expected to genuinely panic, which is caught per-attempt (the
+///   pool and sibling tasks never observe it).
+/// * Genuine (uninjected) panics from the UDF are caught the same way and
+///   consume budget like injected ones, so a deterministic always-failing
+///   task degrades into a structured failure, never a job-wide unwind.
+/// * `replay_limit` caps how many attempts can actually run, regardless of
+///   budget — the reduce phase passes the number of retained input clones
+///   here, since an attempt without input cannot be replayed. `None`
+///   means the input is always re-readable (map tasks).
+/// * Exponential backoff is charged after every failed attempt that is
+///   followed by another one.
+pub fn run_attempts<T>(
+    fault: &TaskFault,
+    policy: &RetryPolicy,
+    replay_limit: Option<u32>,
+    mut run: impl FnMut(u32, Inject) -> T,
+) -> TaskExecution<T> {
+    let budget = policy.attempt_budget();
+    let cap = replay_limit.map_or(budget, |l| l.min(budget)).max(1);
+    let mut failures = Vec::new();
+    let mut lost_time = Duration::ZERO;
+    let mut backoff = Duration::ZERO;
+    let mut payload = None;
+    for attempt in 0..cap {
+        let scheduled = attempt < fault.failures;
+        let inject = if scheduled && fault.kind == FaultKind::MidTaskPanic {
+            Inject::MidTaskPanic
+        } else {
+            Inject::None
+        };
+        let started = Instant::now();
+        let outcome = catch_attempt(|| run(attempt, inject));
+        let duration = started.elapsed();
+        match outcome {
+            Ok(value) if !scheduled => {
+                return TaskExecution {
+                    value: Some(value),
+                    winner_duration: duration,
+                    attempts: attempt + 1,
+                    failures,
+                    lost_time,
+                    backoff,
+                    payload,
+                };
+            }
+            Ok(_) => {
+                // Scheduled lost-output failure: the work happened, the
+                // result is gone.
+                failures.push(AttemptFailure {
+                    attempt,
+                    cause: FailureCause::LostOutput,
+                    duration,
+                });
+                lost_time += duration;
+            }
+            Err(caught) => {
+                failures.push(AttemptFailure {
+                    attempt,
+                    cause: FailureCause::Panic {
+                        message: caught.message,
+                    },
+                    duration,
+                });
+                lost_time += duration;
+                payload = Some(caught.payload);
+            }
+        }
+        if attempt + 1 < cap {
+            backoff += policy.backoff_after(attempt);
+        }
+    }
+    TaskExecution {
+        value: None,
+        winner_duration: Duration::ZERO,
+        attempts: cap,
+        failures,
+        lost_time,
+        backoff,
+        payload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn healthy_task_runs_once_with_no_overheads() {
+        let exec = run_attempts(&TaskFault::none(), &RetryPolicy::new(), None, |a, i| {
+            assert_eq!((a, i), (0, Inject::None));
+            7
+        });
+        assert_eq!(exec.value, Some(7));
+        assert_eq!(exec.attempts, 1);
+        assert_eq!(exec.retries(), 0);
+        assert!(exec.failures.is_empty());
+        assert_eq!(exec.backoff, Duration::ZERO);
+    }
+
+    #[test]
+    fn lost_output_failures_burn_attempts_then_succeed() {
+        let calls = AtomicU32::new(0);
+        let exec = run_attempts(&TaskFault::lost(2), &RetryPolicy::new(), None, |a, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            a
+        });
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            3,
+            "lost attempts still run fully"
+        );
+        assert_eq!(exec.value, Some(2));
+        assert_eq!(exec.attempts, 3);
+        assert_eq!(exec.retries(), 2);
+        assert_eq!(exec.failures.len(), 2);
+        assert!(exec
+            .failures
+            .iter()
+            .all(|f| f.cause == FailureCause::LostOutput));
+        // Backoff after each of the two failures: 100 + 200 ms.
+        assert_eq!(exec.backoff, Duration::from_millis(300));
+    }
+
+    #[test]
+    fn mid_task_panics_are_caught_and_retried() {
+        let exec = run_attempts(
+            &TaskFault::panics(1),
+            &RetryPolicy::new(),
+            None,
+            |a, inject| {
+                if inject == Inject::MidTaskPanic {
+                    panic!("injected crash on attempt {a}");
+                }
+                "ok"
+            },
+        );
+        assert_eq!(exec.value, Some("ok"));
+        assert_eq!(exec.attempts, 2);
+        assert_eq!(
+            exec.failures[0].cause,
+            FailureCause::Panic {
+                message: "injected crash on attempt 0".into()
+            }
+        );
+        assert!(exec.payload.is_some(), "original payload retained");
+    }
+
+    #[test]
+    fn exhausted_budget_reports_structured_failure() {
+        let exec = run_attempts(
+            &TaskFault::none(),
+            &RetryPolicy::new().with_max_attempts(3),
+            None,
+            |_, _| -> u32 { panic!("always broken") },
+        );
+        assert!(!exec.succeeded());
+        assert_eq!(exec.attempts, 3);
+        assert_eq!(exec.failures.len(), 3);
+        assert!(exec.payload.is_some());
+        // No backoff after the final failure — nothing follows it.
+        assert_eq!(exec.backoff, Duration::from_millis(300));
+    }
+
+    #[test]
+    fn replay_limit_stops_retries_early() {
+        let calls = AtomicU32::new(0);
+        let exec = run_attempts(
+            &TaskFault::none(),
+            &RetryPolicy::new(),
+            Some(1),
+            |_, _| -> u32 {
+                calls.fetch_add(1, Ordering::Relaxed);
+                panic!("input consumed")
+            },
+        );
+        assert!(!exec.succeeded());
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "no replay without input");
+        assert_eq!(exec.attempts, 1);
+        assert_eq!(exec.backoff, Duration::ZERO);
+    }
+
+    #[test]
+    fn injected_failures_beyond_budget_exhaust_the_task() {
+        let exec = run_attempts(
+            &TaskFault::lost(10),
+            &RetryPolicy::new().with_max_attempts(2),
+            None,
+            |_, _| 1,
+        );
+        assert!(!exec.succeeded());
+        assert_eq!(exec.attempts, 2);
+        assert_eq!(exec.failures.len(), 2);
+        assert!(
+            exec.payload.is_none(),
+            "lost output carries no panic payload"
+        );
+    }
+}

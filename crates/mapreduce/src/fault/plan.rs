@@ -1,0 +1,532 @@
+//! The deterministic fault model: which task attempts fail, how, and how
+//! slowly straggling tasks run.
+//!
+//! A [`FaultPlan`] is a *pure description*: the engine resolves it per task
+//! with [`FaultPlan::task_fault`] and the resolution depends only on the
+//! plan, the job name, the task kind, and the task index — never on wall
+//! clock, thread schedule, or execution order. Seeded plans
+//! ([`FaultPlan::seeded`] / [`FaultPlan::chaos`]) expand a single `u64`
+//! seed through SplitMix64, so any chaotic schedule is replayable from one
+//! number.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which phase a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TaskKind {
+    /// A map task (one per input split).
+    Map,
+    /// A reduce task (one per reducer).
+    Reduce,
+}
+
+impl TaskKind {
+    /// Lower-case name, used in diagnostics and [`skymr_common::Error`].
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskKind::Map => "map",
+            TaskKind::Reduce => "reduce",
+        }
+    }
+}
+
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How an injected attempt failure manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultKind {
+    /// The attempt runs to completion, then its output is lost (simulated
+    /// node failure after the task finished) — the pre-existing behaviour
+    /// of the old `FailurePlan`.
+    #[default]
+    LostOutput,
+    /// The attempt panics halfway through its input (simulated mid-task
+    /// crash). The panic is caught per-attempt in the worker pool and
+    /// converted into a task failure, so sibling tasks are unaffected.
+    MidTaskPanic,
+}
+
+/// The injected faults of a single task, resolved from a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskFault {
+    /// How many leading attempts fail (0 = healthy task). Bounded at run
+    /// time by the job's retry budget.
+    pub failures: u32,
+    /// How those attempts fail.
+    pub kind: FaultKind,
+    /// Straggler slowdown factor applied to the *modeled* duration of
+    /// every regular attempt of this task (`1.0` = healthy node). A
+    /// speculative backup attempt runs at full speed.
+    pub slowdown: f64,
+}
+
+impl TaskFault {
+    /// A healthy task: no failures, no slowdown.
+    pub fn none() -> Self {
+        Self {
+            failures: 0,
+            kind: FaultKind::LostOutput,
+            slowdown: 1.0,
+        }
+    }
+
+    /// `n` lost-output failures.
+    pub fn lost(n: u32) -> Self {
+        Self {
+            failures: n,
+            ..Self::none()
+        }
+    }
+
+    /// `n` mid-task panics.
+    pub fn panics(n: u32) -> Self {
+        Self {
+            failures: n,
+            kind: FaultKind::MidTaskPanic,
+            slowdown: 1.0,
+        }
+    }
+
+    /// A straggler running `factor`× slower than a healthy node.
+    pub fn straggler(factor: f64) -> Self {
+        Self {
+            slowdown: factor.max(1.0),
+            ..Self::none()
+        }
+    }
+
+    /// This fault, additionally straggling by `factor`.
+    pub fn with_slowdown(mut self, factor: f64) -> Self {
+        self.slowdown = factor.max(1.0);
+        self
+    }
+
+    /// `true` iff the task is completely healthy.
+    pub fn is_none(&self) -> bool {
+        self.failures == 0 && self.slowdown <= 1.0
+    }
+}
+
+impl Default for TaskFault {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Fault rates for seeded plans, in permille (0–1000) so profiles stay
+/// `Eq`-comparable and platform-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Chance a task has injected attempt failures at all.
+    pub task_fault_permille: u32,
+    /// Faulty tasks fail `1..=max_failures_per_task` attempts (uniform).
+    pub max_failures_per_task: u32,
+    /// Of the faulty tasks, the fraction that crash mid-task instead of
+    /// losing their finished output.
+    pub mid_task_permille: u32,
+    /// Chance a task runs on a straggling node.
+    pub straggler_permille: u32,
+    /// Slowdown factor of straggling nodes.
+    pub straggler_slowdown: f64,
+    /// Chance each (map task, reducer) shuffle partition is lost after the
+    /// map phase, forcing a re-execution of that map task.
+    pub lost_partition_permille: u32,
+    /// Chance the distributed-cache broadcast fails (and is re-charged).
+    pub broadcast_fail_permille: u32,
+}
+
+impl Default for FaultProfile {
+    /// A moderately hostile cluster: roughly a quarter of tasks fail once
+    /// or twice, stragglers run 8× slow, and a few shuffle partitions and
+    /// broadcasts are lost. Failure counts stay below the default retry
+    /// budget, so jobs always recover.
+    fn default() -> Self {
+        Self {
+            task_fault_permille: 250,
+            max_failures_per_task: 2,
+            mid_task_permille: 500,
+            straggler_permille: 150,
+            straggler_slowdown: 8.0,
+            lost_partition_permille: 50,
+            broadcast_fail_permille: 200,
+        }
+    }
+}
+
+/// Seeded (random but replayable) fault generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeededFaults {
+    /// The master seed every decision derives from.
+    pub seed: u64,
+    /// The fault rates.
+    pub profile: FaultProfile,
+}
+
+/// A deterministic fault-injection plan for one job (or a whole pipeline
+/// of jobs — per-job decisions are salted with the job name).
+///
+/// Generalizes the old `FailurePlan` (which could only discard a task's
+/// first completed attempt): scripted per-task faults with repeat counts,
+/// mid-task panics, straggler slowdowns, lost shuffle partitions, failed
+/// cache broadcasts, and a seeded random layer on top.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Scripted per-map-task faults (override the seeded layer).
+    pub map_faults: BTreeMap<usize, TaskFault>,
+    /// Scripted per-reduce-task faults (override the seeded layer).
+    pub reduce_faults: BTreeMap<usize, TaskFault>,
+    /// Scripted lost shuffle partitions, as `(map task, reducer)` pairs.
+    pub lost_partitions: BTreeSet<(usize, usize)>,
+    /// Scripted failed broadcast attempts before the cache lands.
+    pub broadcast_failures: u32,
+    /// Seeded random faults layered under the scripted ones.
+    pub seeded: Option<SeededFaults>,
+    /// Restrict the whole plan to jobs with this exact name (`None` = the
+    /// plan applies to every job it is handed to).
+    pub job_filter: Option<String>,
+}
+
+impl FaultPlan {
+    /// A plan with no injected faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Loses the first completed attempt of the given map tasks — the old
+    /// `FailurePlan::fail_maps` semantics.
+    pub fn fail_maps(indices: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            map_faults: indices
+                .into_iter()
+                .map(|i| (i, TaskFault::lost(1)))
+                .collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Loses the first completed attempt of the given reduce tasks.
+    pub fn fail_reduces(indices: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            reduce_faults: indices
+                .into_iter()
+                .map(|i| (i, TaskFault::lost(1)))
+                .collect(),
+            ..Self::default()
+        }
+    }
+
+    /// A seeded random plan with the default [`FaultProfile`].
+    pub fn seeded(seed: u64) -> Self {
+        Self::chaos(seed, FaultProfile::default())
+    }
+
+    /// A seeded random plan with explicit rates.
+    pub fn chaos(seed: u64, profile: FaultProfile) -> Self {
+        Self {
+            seeded: Some(SeededFaults { seed, profile }),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a scripted fault for map task `index`.
+    pub fn with_map_fault(mut self, index: usize, fault: TaskFault) -> Self {
+        self.map_faults.insert(index, fault);
+        self
+    }
+
+    /// Adds a scripted fault for reduce task `index`.
+    pub fn with_reduce_fault(mut self, index: usize, fault: TaskFault) -> Self {
+        self.reduce_faults.insert(index, fault);
+        self
+    }
+
+    /// Loses the shuffle partition from map task `map_index` to reducer
+    /// `reducer` after the map phase completes.
+    pub fn with_lost_partition(mut self, map_index: usize, reducer: usize) -> Self {
+        self.lost_partitions.insert((map_index, reducer));
+        self
+    }
+
+    /// Fails the distributed-cache broadcast `n` times before it succeeds.
+    pub fn with_broadcast_failures(mut self, n: u32) -> Self {
+        self.broadcast_failures = n;
+        self
+    }
+
+    /// Restricts the plan to jobs named `job` (pipelines run several jobs
+    /// through one config; this targets a single stage).
+    pub fn for_job(mut self, job: impl Into<String>) -> Self {
+        self.job_filter = Some(job.into());
+        self
+    }
+
+    /// `true` iff the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map_faults.is_empty()
+            && self.reduce_faults.is_empty()
+            && self.lost_partitions.is_empty()
+            && self.broadcast_failures == 0
+            && self.seeded.is_none()
+    }
+
+    fn applies_to(&self, job: &str) -> bool {
+        self.job_filter.as_deref().map_or(true, |f| f == job)
+    }
+
+    /// Resolves the fault of one task. Scripted faults win over the seeded
+    /// layer; healthy tasks get [`TaskFault::none`].
+    pub fn task_fault(&self, job: &str, kind: TaskKind, index: usize) -> TaskFault {
+        if !self.applies_to(job) {
+            return TaskFault::none();
+        }
+        let scripted = match kind {
+            TaskKind::Map => self.map_faults.get(&index),
+            TaskKind::Reduce => self.reduce_faults.get(&index),
+        };
+        if let Some(fault) = scripted {
+            return *fault;
+        }
+        let Some(seeded) = &self.seeded else {
+            return TaskFault::none();
+        };
+        derive_task_fault(seeded, job, kind, index)
+    }
+
+    /// All lost shuffle partitions of a job with `m` map and `r` reduce
+    /// tasks (scripted pairs out of range are ignored).
+    pub fn lost_partitions_for(&self, job: &str, m: usize, r: usize) -> Vec<(usize, usize)> {
+        if !self.applies_to(job) {
+            return Vec::new();
+        }
+        let mut lost: BTreeSet<(usize, usize)> = self
+            .lost_partitions
+            .iter()
+            .copied()
+            .filter(|&(i, j)| i < m && j < r)
+            .collect();
+        if let Some(seeded) = &self.seeded {
+            let rate = seeded.profile.lost_partition_permille;
+            for i in 0..m {
+                for j in 0..r {
+                    let h = decision(seeded.seed, job, 0xC4A5, i as u64, j as u64);
+                    if permille(h) < rate {
+                        lost.insert((i, j));
+                    }
+                }
+            }
+        }
+        lost.into_iter().collect()
+    }
+
+    /// How many times the distributed-cache broadcast fails for `job`.
+    pub fn broadcast_failures_for(&self, job: &str) -> u32 {
+        if !self.applies_to(job) {
+            return 0;
+        }
+        let mut n = self.broadcast_failures;
+        if let Some(seeded) = &self.seeded {
+            let h = decision(seeded.seed, job, 0xB04D, 0, 0);
+            if permille(h) < seeded.profile.broadcast_fail_permille {
+                n += 1 + (splitmix64_once(h) % 2) as u32;
+            }
+        }
+        n
+    }
+}
+
+fn derive_task_fault(seeded: &SeededFaults, job: &str, kind: TaskKind, index: usize) -> TaskFault {
+    let p = &seeded.profile;
+    let salt = match kind {
+        TaskKind::Map => 0x5EED_0001,
+        TaskKind::Reduce => 0x5EED_0002,
+    };
+    let h = decision(seeded.seed, job, salt, index as u64, 0);
+    let (h, fail_draw) = next(h);
+    let (h, count_draw) = next(h);
+    let (h, kind_draw) = next(h);
+    let (_, straggle_draw) = next(h);
+    let failures = if permille(fail_draw) < p.task_fault_permille {
+        let span = u64::from(p.max_failures_per_task.max(1));
+        1 + (count_draw % span) as u32 // xtask: allow(panic-reachability) — span is clamped to >= 1 above
+    } else {
+        0
+    };
+    let kind = if permille(kind_draw) < p.mid_task_permille {
+        FaultKind::MidTaskPanic
+    } else {
+        FaultKind::LostOutput
+    };
+    let slowdown = if permille(straggle_draw) < p.straggler_permille {
+        p.straggler_slowdown.max(1.0)
+    } else {
+        1.0
+    };
+    TaskFault {
+        failures,
+        kind,
+        slowdown,
+    }
+}
+
+/// FNV-1a over the job name, folded with the structured coordinates, then
+/// finalized with one SplitMix64 round — a pure function of its inputs,
+/// identical on every platform and run.
+fn decision(seed: u64, job: &str, salt: u64, a: u64, b: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in job.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for word in [seed, salt, a, b] {
+        h ^= word;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix64_once(h)
+}
+
+fn next(state: u64) -> (u64, u64) {
+    let out = splitmix64_once(state);
+    (state.wrapping_add(0x9E37_79B9_7F4A_7C15), out)
+}
+
+fn permille(h: u64) -> u32 {
+    (h % 1000) as u32
+}
+
+/// One SplitMix64 finalization round.
+fn splitmix64_once(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::seeded(1).is_empty());
+        assert!(!FaultPlan::none().with_broadcast_failures(1).is_empty());
+    }
+
+    #[test]
+    fn scripted_constructors_mirror_the_old_failure_plan() {
+        let p = FaultPlan::fail_maps([0, 2]);
+        assert_eq!(p.task_fault("j", TaskKind::Map, 0), TaskFault::lost(1));
+        assert_eq!(p.task_fault("j", TaskKind::Map, 1), TaskFault::none());
+        assert_eq!(p.task_fault("j", TaskKind::Map, 2), TaskFault::lost(1));
+        assert_eq!(p.task_fault("j", TaskKind::Reduce, 0), TaskFault::none());
+        let p = FaultPlan::fail_reduces([1]);
+        assert_eq!(p.task_fault("j", TaskKind::Reduce, 1), TaskFault::lost(1));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn job_filter_gates_every_channel() {
+        let p = FaultPlan::fail_maps([0])
+            .with_lost_partition(0, 0)
+            .with_broadcast_failures(2)
+            .for_job("skyline");
+        assert_eq!(
+            p.task_fault("skyline", TaskKind::Map, 0),
+            TaskFault::lost(1)
+        );
+        assert_eq!(
+            p.task_fault("bitstring", TaskKind::Map, 0),
+            TaskFault::none()
+        );
+        assert_eq!(p.lost_partitions_for("skyline", 2, 2), vec![(0, 0)]);
+        assert!(p.lost_partitions_for("bitstring", 2, 2).is_empty());
+        assert_eq!(p.broadcast_failures_for("skyline"), 2);
+        assert_eq!(p.broadcast_failures_for("bitstring"), 0);
+    }
+
+    #[test]
+    fn scripted_faults_override_the_seeded_layer() {
+        let mut p = FaultPlan::seeded(7);
+        p.map_faults.insert(3, TaskFault::panics(2));
+        assert_eq!(p.task_fault("j", TaskKind::Map, 3), TaskFault::panics(2));
+    }
+
+    #[test]
+    fn seeded_resolution_is_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(42);
+        let b = FaultPlan::seeded(42);
+        let c = FaultPlan::seeded(43);
+        let faults = |p: &FaultPlan| -> Vec<TaskFault> {
+            (0..64)
+                .map(|i| p.task_fault("wc", TaskKind::Map, i))
+                .collect()
+        };
+        assert_eq!(faults(&a), faults(&b), "same seed, same plan");
+        assert_ne!(faults(&a), faults(&c), "different seeds diverge");
+        assert_eq!(
+            a.lost_partitions_for("wc", 8, 8),
+            b.lost_partitions_for("wc", 8, 8)
+        );
+        assert_eq!(
+            a.broadcast_failures_for("wc"),
+            b.broadcast_failures_for("wc")
+        );
+    }
+
+    #[test]
+    fn seeded_faults_vary_across_jobs_tasks_and_kinds() {
+        let p = FaultPlan::seeded(11);
+        let per_job: Vec<TaskFault> = (0..64)
+            .map(|i| p.task_fault("a", TaskKind::Map, i))
+            .collect();
+        let other_job: Vec<TaskFault> = (0..64)
+            .map(|i| p.task_fault("b", TaskKind::Map, i))
+            .collect();
+        assert_ne!(per_job, other_job, "job name salts the decisions");
+        let reduces: Vec<TaskFault> = (0..64)
+            .map(|i| p.task_fault("a", TaskKind::Reduce, i))
+            .collect();
+        assert_ne!(per_job, reduces, "task kind salts the decisions");
+    }
+
+    #[test]
+    fn seeded_rates_are_respected_in_aggregate() {
+        let p = FaultPlan::seeded(5);
+        let profile = FaultProfile::default();
+        let mut faulty = 0usize;
+        let mut over_budget = 0usize;
+        for i in 0..2000 {
+            let f = p.task_fault("rates", TaskKind::Map, i);
+            if f.failures > 0 {
+                faulty += 1;
+            }
+            if f.failures > profile.max_failures_per_task {
+                over_budget += 1;
+            }
+        }
+        assert_eq!(over_budget, 0, "failure counts bounded by the profile");
+        // 25% ± a generous tolerance over 2000 draws.
+        assert!((300..700).contains(&faulty), "faulty tasks: {faulty}");
+    }
+
+    #[test]
+    fn lost_partitions_respect_bounds() {
+        let p = FaultPlan::none()
+            .with_lost_partition(5, 0)
+            .with_lost_partition(0, 9);
+        assert!(p.lost_partitions_for("j", 3, 3).is_empty());
+        let p = FaultPlan::none().with_lost_partition(1, 2);
+        assert_eq!(p.lost_partitions_for("j", 2, 3), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn straggler_builder_clamps_to_at_least_one() {
+        assert_eq!(TaskFault::straggler(0.25).slowdown, 1.0);
+        assert_eq!(TaskFault::straggler(4.0).slowdown, 4.0);
+        assert!(TaskFault::straggler(4.0).with_slowdown(0.0).is_none());
+    }
+}

@@ -1,14 +1,17 @@
-//! The job driver: map phase → shuffle → reduce phase.
+//! The job driver: map phase → shuffle → reduce phase, with Hadoop-style
+//! fault tolerance (bounded retries, backoff, speculative execution).
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
 use skymr_common::Counters;
 
 use crate::cluster::{makespan, ClusterConfig, JobMetrics};
 use crate::combiner::{Combiner, NoCombiner};
-use crate::failure::FailurePlan;
+use crate::fault::{
+    run_attempts, FaultPlan, FaultTolerance, Inject, JobError, RetryPolicy, SpeculationPolicy,
+    TaskExecution, TaskFault, TaskKind,
+};
 use crate::partitioner::Partitioner;
 use crate::pool::run_indexed;
 use crate::task::{
@@ -26,18 +29,25 @@ pub struct JobConfig {
     /// starts (the Hadoop Distributed Cache; the paper ships the global
     /// bitstring this way). Charged to the simulated clock.
     pub cache_bytes: u64,
-    /// Failure-injection plan (empty by default).
-    pub failures: FailurePlan,
+    /// Fault-injection plan (empty by default).
+    pub faults: FaultPlan,
+    /// Retry budget and backoff for failed task attempts.
+    pub retry: RetryPolicy,
+    /// Speculative execution of straggling tasks (off by default).
+    pub speculation: Option<SpeculationPolicy>,
 }
 
 impl JobConfig {
-    /// A job with the given name and reducer count, no cache, no failures.
+    /// A job with the given name and reducer count, no cache, no faults,
+    /// and the default retry budget.
     pub fn new(name: impl Into<String>, num_reducers: usize) -> Self {
         Self {
             name: name.into(),
             num_reducers,
             cache_bytes: 0,
-            failures: FailurePlan::none(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::new(),
+            speculation: None,
         }
     }
 
@@ -47,9 +57,31 @@ impl JobConfig {
         self
     }
 
-    /// Sets the failure-injection plan.
-    pub fn with_failures(mut self, failures: FailurePlan) -> Self {
-        self.failures = failures;
+    /// Sets the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables speculative execution.
+    pub fn with_speculation(mut self, speculation: SpeculationPolicy) -> Self {
+        self.speculation = Some(speculation);
+        self
+    }
+
+    /// Applies a bundled [`FaultTolerance`] configuration (plan, retry
+    /// policy, and speculation in one go — what the algorithm configs
+    /// carry).
+    pub fn with_fault_tolerance(mut self, ft: &FaultTolerance) -> Self {
+        self.faults = ft.plan.clone();
+        self.retry = ft.retry.clone();
+        self.speculation = ft.speculation.clone();
         self
     }
 }
@@ -78,8 +110,108 @@ struct MapResult<K, V> {
     records: u64,
 }
 
-/// A reducer's input group, handed off to exactly one reduce task.
+/// A reducer's input group, handed off to its reduce task's attempts.
 type GroupSlot<K, V> = parking_lot::Mutex<Option<BTreeMap<K, Vec<V>>>>;
+
+/// Per-phase fault-tolerance accounting, folded from each task's
+/// [`TaskExecution`].
+struct PhaseStats {
+    /// Modeled per-task durations as placed on slots: winner compute plus
+    /// lost attempts, scaled by the task's straggler slowdown, plus
+    /// backoff and the extra per-attempt launch overheads.
+    effective: Vec<Duration>,
+    retries: u64,
+    attempts: u64,
+    wasted: Duration,
+    backoff: Duration,
+    speculative_wins: u64,
+}
+
+fn phase_stats<T>(execs: &[(TaskExecution<T>, TaskFault)], overhead: Duration) -> PhaseStats {
+    let mut stats = PhaseStats {
+        effective: Vec::with_capacity(execs.len()),
+        retries: 0,
+        attempts: 0,
+        wasted: Duration::ZERO,
+        backoff: Duration::ZERO,
+        speculative_wins: 0,
+    };
+    for (exec, fault) in execs {
+        let slowdown = fault.slowdown.max(1.0);
+        let busy = (exec.winner_duration + exec.lost_time).mul_f64(slowdown);
+        let extra_launches = overhead * exec.attempts.saturating_sub(1);
+        stats.effective.push(busy + exec.backoff + extra_launches);
+        stats.retries += u64::from(exec.retries());
+        stats.attempts += u64::from(exec.attempts);
+        stats.wasted += exec.lost_time.mul_f64(slowdown);
+        stats.backoff += exec.backoff;
+    }
+    stats
+}
+
+fn median(durations: &[Duration]) -> Duration {
+    let mut sorted = durations.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    sorted.get(mid).copied().unwrap_or(Duration::ZERO)
+}
+
+/// Runs speculative backup attempts for one phase.
+///
+/// Any task whose modeled duration exceeds `policy.slowdown_threshold` ×
+/// the phase median gets a backup attempt, really re-executed at full
+/// speed (`rerun`). The winner rule is deterministic in simulated time: a
+/// backup launched at the median mark wins iff it commits before the
+/// straggling original; ties go to the original. Either loser's slot time
+/// is charged to `wasted`.
+fn speculate_phase<T: Send>(
+    execs: &mut [(TaskExecution<T>, TaskFault)],
+    stats: &mut PhaseStats,
+    policy: &SpeculationPolicy,
+    cluster: &ClusterConfig,
+    rerun: impl Fn(usize, u32) -> T + Sync,
+) {
+    if stats.effective.len() < policy.min_phase_tasks {
+        return;
+    }
+    let med = median(&stats.effective);
+    if med == Duration::ZERO {
+        return;
+    }
+    let threshold = med.mul_f64(policy.slowdown_threshold.max(1.0));
+    let candidates: Vec<usize> = stats
+        .effective
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| **d > threshold)
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return;
+    }
+    let next_attempts: Vec<u32> = candidates.iter().map(|&i| execs[i].0.attempts).collect();
+    let backups = run_indexed(candidates.len(), cluster.host_threads, |c| {
+        rerun(candidates[c], next_attempts[c])
+    });
+    for (c, (value, backup_duration)) in backups.into_iter().enumerate() {
+        let i = candidates[c];
+        let original = stats.effective[i];
+        let backup_finish = med + backup_duration + cluster.task_overhead;
+        stats.attempts += 1;
+        if backup_finish < original {
+            // Backup commits first; the original is killed at that moment,
+            // having burnt its slot since the phase started.
+            stats.speculative_wins += 1;
+            stats.wasted += backup_finish;
+            stats.effective[i] = backup_finish;
+            execs[i].0.value = Some(value);
+        } else {
+            // Original commits; the backup ran from the median mark until
+            // then (or to completion, whichever came first) for nothing.
+            stats.wasted += (original - med).min(backup_duration + cluster.task_overhead);
+        }
+    }
+}
 
 /// Runs one MapReduce job (no combiner).
 ///
@@ -87,6 +219,11 @@ type GroupSlot<K, V> = parking_lot::Mutex<Option<BTreeMap<K, Vec<V>>>>;
 /// exactly as the paper's job flows show (Figures 3–5). The reduce phase
 /// runs `config.num_reducers` tasks; keys are routed by `partitioner`,
 /// sorted, and grouped.
+///
+/// Task attempts that fail (injected via [`JobConfig::faults`] or a
+/// genuinely panicking UDF) are retried under [`JobConfig::retry`]; a task
+/// that exhausts its budget aborts the job with a structured [`JobError`]
+/// carrying the attempt history and partial metrics.
 ///
 /// ```
 /// use skymr_mapreduce::*;
@@ -123,6 +260,7 @@ type GroupSlot<K, V> = parking_lot::Mutex<Option<BTreeMap<K, Vec<V>>>>;
 ///     fn create(&self, _: &TaskContext) -> SumTask { SumTask }
 /// }
 ///
+/// # fn main() -> Result<(), JobError> {
 /// let splits = vec![vec!["a b a".to_string()], vec!["b".to_string()]];
 /// let outcome = run_job(
 ///     &ClusterConfig::test(),
@@ -131,10 +269,12 @@ type GroupSlot<K, V> = parking_lot::Mutex<Option<BTreeMap<K, Vec<V>>>>;
 ///     &Wc,
 ///     &Sum,
 ///     &HashPartitioner,
-/// );
+/// )?;
 /// let mut counts = outcome.into_flat_output();
 /// counts.sort();
 /// assert_eq!(counts, vec![("a".to_string(), 2), ("b".to_string(), 2)]);
+/// # Ok(())
+/// # }
 /// ```
 pub fn run_job<In, K, V, Out, MF, RF, P>(
     cluster: &ClusterConfig,
@@ -143,7 +283,7 @@ pub fn run_job<In, K, V, Out, MF, RF, P>(
     map_factory: &MF,
     reduce_factory: &RF,
     partitioner: &P,
-) -> JobOutcome<Out>
+) -> Result<JobOutcome<Out>, JobError>
 where
     In: Send + Sync,
     K: crate::task::JobKey,
@@ -176,7 +316,7 @@ pub fn run_job_with_combiner<In, K, V, Out, MF, RF, P, C>(
     reduce_factory: &RF,
     partitioner: &P,
     combiner: &C,
-) -> JobOutcome<Out>
+) -> Result<JobOutcome<Out>, JobError>
 where
     In: Send + Sync,
     K: crate::task::JobKey,
@@ -194,11 +334,15 @@ where
     let counters = Counters::new();
     let m = splits.len();
     let r = config.num_reducers;
-    let map_retries = AtomicU64::new(0);
-    let reduce_retries = AtomicU64::new(0);
+    let plan = &config.faults;
+
+    // The cache broadcast happens before any task launches; failed
+    // transfers are re-sent in full, multiplying the charge.
+    let broadcast_attempts = plan.broadcast_failures_for(&config.name) + 1;
+    let broadcast_time = cluster.broadcast_time(config.cache_bytes) * broadcast_attempts;
 
     // ---- Map phase -------------------------------------------------------
-    let run_map_attempt = |i: usize, attempt: u32| -> MapResult<K, V> {
+    let run_map_attempt = |i: usize, attempt: u32, inject: Inject| -> MapResult<K, V> {
         let ctx = TaskContext {
             task_index: i,
             num_tasks: m,
@@ -208,7 +352,24 @@ where
         };
         let mut task = map_factory.create(&ctx);
         let mut emitter = Emitter::new();
-        for record in &splits[i] {
+        let split = &splits[i];
+        // An injected mid-task crash fires halfway through the split — the
+        // attempt genuinely unwinds with part of its work done.
+        let crash_at = match inject {
+            Inject::MidTaskPanic => Some(split.len() / 2),
+            Inject::None => None,
+        };
+        if crash_at.is_some() && split.is_empty() {
+            crate::pool::raise_injected_panic(format!(
+                "[fault-injection] map task {i} attempt {attempt} crashed mid-task"
+            ));
+        }
+        for (n, record) in split.iter().enumerate() {
+            if crash_at == Some(n) {
+                crate::pool::raise_injected_panic(format!(
+                    "[fault-injection] map task {i} attempt {attempt} crashed mid-task"
+                ));
+            }
             task.map(record, &mut emitter);
         }
         task.finish(&mut emitter);
@@ -240,20 +401,107 @@ where
         }
     };
 
-    let map_results = run_indexed(m, cluster.host_threads, |i| {
-        if config.failures.map_fail_once.contains(&i) {
-            // First attempt runs to completion, then its output is lost
-            // (simulated node failure); the framework re-executes.
-            let _lost = run_map_attempt(i, 0);
-            map_retries.fetch_add(1, Ordering::Relaxed);
-            run_map_attempt(i, 1)
-        } else {
-            run_map_attempt(i, 0)
-        }
-    });
+    let mut map_execs: Vec<(TaskExecution<MapResult<K, V>>, TaskFault)> =
+        run_indexed(m, cluster.host_threads, |i| {
+            let fault = plan.task_fault(&config.name, TaskKind::Map, i);
+            // Map inputs are immutable splits, so every attempt can replay.
+            let exec = run_attempts(&fault, &config.retry, None, |attempt, inject| {
+                run_map_attempt(i, attempt, inject)
+            });
+            (exec, fault)
+        })
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
 
-    let map_task_durations: Vec<Duration> = map_results.iter().map(|(_, d)| *d).collect();
-    let map_output_records: u64 = map_results.iter().map(|(res, _)| res.records).sum();
+    let mut map_stats = phase_stats(&map_execs, cluster.task_overhead);
+
+    if let Some(index) = map_execs.iter().position(|(e, _)| !e.succeeded()) {
+        let (exec, _) = map_execs.swap_remove(index);
+        let mut metrics = JobMetrics::empty(&config.name, m, r);
+        metrics.map_phase = makespan(
+            &map_stats.effective,
+            cluster.map_slots,
+            cluster.task_overhead,
+        );
+        metrics.cache_bytes = config.cache_bytes;
+        metrics.broadcast_time = broadcast_time;
+        metrics.startup_time = cluster.job_startup;
+        metrics.map_retries = map_stats.retries;
+        metrics.attempts = map_stats.attempts;
+        metrics.wasted_task_time = map_stats.wasted;
+        metrics.backoff_time = map_stats.backoff;
+        metrics.map_task_durations = map_stats.effective;
+        metrics.sim_runtime = cluster.job_startup + broadcast_time + metrics.map_phase;
+        metrics.host_wall = started.elapsed();
+        return Err(JobError {
+            job: config.name.clone(),
+            task: TaskKind::Map,
+            index,
+            attempts: exec.attempts,
+            history: exec.failures,
+            counters,
+            metrics: Box::new(metrics),
+            payload: exec.payload,
+        });
+    }
+
+    if let Some(spec) = &config.speculation {
+        speculate_phase(
+            &mut map_execs,
+            &mut map_stats,
+            spec,
+            cluster,
+            |i, attempt| run_map_attempt(i, attempt, Inject::None),
+        );
+    }
+
+    let mut map_outputs: Vec<MapResult<K, V>> = Vec::with_capacity(m);
+    for (exec, _) in &mut map_execs {
+        match exec.value.take() {
+            Some(result) => map_outputs.push(result),
+            None => unreachable!("map failures were handled above"),
+        }
+    }
+
+    // Lost shuffle partitions: the affected map tasks re-execute (their
+    // inputs are replayable) in a second wave, and the regenerated buckets
+    // replace the lost ones — byte-identical because UDFs are pure.
+    let lost = plan.lost_partitions_for(&config.name, m, r);
+    let mut recovery_wave: Vec<Duration> = Vec::new();
+    if !lost.is_empty() {
+        let affected: Vec<usize> = lost
+            .iter()
+            .map(|&(i, _)| i)
+            .collect::<BTreeSet<usize>>()
+            .into_iter()
+            .collect();
+        let next_attempts: Vec<u32> = affected.iter().map(|&i| map_execs[i].0.attempts).collect();
+        let reruns = run_indexed(affected.len(), cluster.host_threads, |c| {
+            run_map_attempt(affected[c], next_attempts[c], Inject::None)
+        });
+        let mut regenerated: BTreeMap<usize, MapResult<K, V>> = BTreeMap::new();
+        for (c, (result, duration)) in reruns.into_iter().enumerate() {
+            recovery_wave.push(duration);
+            regenerated.insert(affected[c], result);
+        }
+        for &(i, j) in &lost {
+            if let (Some(regen), Some(original)) = (regenerated.get_mut(&i), map_outputs.get_mut(i))
+            {
+                original.buckets[j] = std::mem::take(&mut regen.buckets[j]);
+                original.bucket_bytes[j] = regen.bucket_bytes[j];
+            }
+        }
+        map_stats.retries += affected.len() as u64;
+        map_stats.attempts += affected.len() as u64;
+    }
+
+    let map_phase = makespan(
+        &map_stats.effective,
+        cluster.map_slots,
+        cluster.task_overhead,
+    ) + makespan(&recovery_wave, cluster.map_slots, cluster.task_overhead);
+    let map_output_records: u64 = map_outputs.iter().map(|res| res.records).sum();
 
     // ---- Shuffle ---------------------------------------------------------
     let mut per_reducer_bytes = vec![0u64; r];
@@ -261,7 +509,7 @@ where
     // Debug builds tally the mapper-emitted pairs per key so the shuffle
     // can be checked as an exact partition of the map output below.
     let mut emitted: BTreeMap<K, u64> = BTreeMap::new();
-    for (result, _) in map_results {
+    for result in map_outputs {
         for (j, bucket) in result.buckets.into_iter().enumerate() {
             per_reducer_bytes[j] += result.bucket_bytes[j];
             for (k, v) in bucket {
@@ -285,55 +533,144 @@ where
         .map(|g| parking_lot::Mutex::new(Some(g)))
         .collect();
 
-    let run_reduce_attempt = |j: usize, attempt: u32, input: BTreeMap<K, Vec<V>>| -> Vec<Out> {
-        let ctx = TaskContext {
-            task_index: j,
-            num_tasks: r,
-            num_reducers: r,
-            attempt,
-            counters: counters.clone(),
+    let run_reduce_attempt =
+        |j: usize, attempt: u32, input: BTreeMap<K, Vec<V>>, inject: Inject| -> Vec<Out> {
+            let ctx = TaskContext {
+                task_index: j,
+                num_tasks: r,
+                num_reducers: r,
+                attempt,
+                counters: counters.clone(),
+            };
+            let mut task = reduce_factory.create(&ctx);
+            let mut out = OutputCollector::new();
+            let crash_at = match inject {
+                Inject::MidTaskPanic => Some(input.len() / 2),
+                Inject::None => None,
+            };
+            if crash_at.is_some() && input.is_empty() {
+                crate::pool::raise_injected_panic(format!(
+                    "[fault-injection] reduce task {j} attempt {attempt} crashed mid-task"
+                ));
+            }
+            for (n, (k, vs)) in input.into_iter().enumerate() {
+                if crash_at == Some(n) {
+                    crate::pool::raise_injected_panic(format!(
+                        "[fault-injection] reduce task {j} attempt {attempt} crashed mid-task"
+                    ));
+                }
+                task.reduce(k, vs, &mut out);
+            }
+            task.finish(&mut out);
+            out.into_records()
         };
-        let mut task = reduce_factory.create(&ctx);
-        let mut out = OutputCollector::new();
-        for (k, vs) in input {
-            task.reduce(k, vs, &mut out);
-        }
-        task.finish(&mut out);
-        out.into_records()
-    };
 
-    let reduce_results = run_indexed(r, cluster.host_threads, |j| {
-        // `run_indexed` invokes each index exactly once, so the slot is
-        // always still full here.
-        let Some(input) = group_slots[j].lock().take() else {
-            unreachable!("reduce input for task {j} taken twice")
-        };
-        if config.failures.reduce_fail_once.contains(&j) {
-            let _lost = run_reduce_attempt(j, 0, input.clone());
-            reduce_retries.fetch_add(1, Ordering::Relaxed);
-            run_reduce_attempt(j, 1, input)
-        } else {
-            run_reduce_attempt(j, 0, input)
-        }
-    });
+    // Reduce inputs are single-consumer: attempts expected to fail get a
+    // clone, the expected winner consumes the original. With speculation
+    // on, the input is retained (cloned per attempt) so backup attempts
+    // can replay it.
+    let keep_input = config.speculation.is_some();
+    let mut reduce_execs: Vec<(TaskExecution<Vec<Out>>, TaskFault)> =
+        run_indexed(r, cluster.host_threads, |j| {
+            let fault = plan.task_fault(&config.name, TaskKind::Reduce, j);
+            let scheduled = fault.failures.min(config.retry.attempt_budget());
+            // An attempt whose input was consumed cannot be replayed: an
+            // *unscheduled* failure of the consuming attempt (a genuine UDF
+            // panic) therefore aborts immediately — unlike map tasks, whose
+            // splits replay forever.
+            let replay_limit = if keep_input {
+                None
+            } else {
+                Some(scheduled + 1)
+            };
+            let exec = run_attempts(&fault, &config.retry, replay_limit, |attempt, inject| {
+                let input = {
+                    let mut slot = group_slots[j].lock();
+                    if keep_input || attempt < scheduled {
+                        (*slot).clone().unwrap_or_default()
+                    } else {
+                        slot.take().unwrap_or_default()
+                    }
+                };
+                run_reduce_attempt(j, attempt, input, inject)
+            });
+            (exec, fault)
+        })
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
 
-    let reduce_task_durations: Vec<Duration> = reduce_results.iter().map(|(_, d)| *d).collect();
-    let outputs: Vec<Vec<Out>> = reduce_results.into_iter().map(|(o, _)| o).collect();
+    let mut reduce_stats = phase_stats(&reduce_execs, cluster.task_overhead);
+    let shuffle_time = cluster.shuffle_time(&per_reducer_bytes);
+
+    if let Some(index) = reduce_execs.iter().position(|(e, _)| !e.succeeded()) {
+        let (exec, _) = reduce_execs.swap_remove(index);
+        let mut metrics = JobMetrics::empty(&config.name, m, r);
+        metrics.map_phase = map_phase;
+        metrics.reduce_phase = makespan(
+            &reduce_stats.effective,
+            cluster.reduce_slots,
+            cluster.task_overhead,
+        );
+        metrics.shuffle_bytes = shuffle_bytes;
+        metrics.per_reducer_bytes = per_reducer_bytes;
+        metrics.shuffle_time = shuffle_time;
+        metrics.cache_bytes = config.cache_bytes;
+        metrics.broadcast_time = broadcast_time;
+        metrics.startup_time = cluster.job_startup;
+        metrics.map_output_records = map_output_records;
+        metrics.reduce_input_keys = reduce_input_keys;
+        metrics.map_retries = map_stats.retries;
+        metrics.reduce_retries = reduce_stats.retries;
+        metrics.attempts = map_stats.attempts + reduce_stats.attempts;
+        metrics.wasted_task_time = map_stats.wasted + reduce_stats.wasted;
+        metrics.speculative_wins = map_stats.speculative_wins;
+        metrics.backoff_time = map_stats.backoff + reduce_stats.backoff;
+        metrics.map_task_durations = map_stats.effective;
+        metrics.reduce_task_durations = reduce_stats.effective;
+        metrics.sim_runtime =
+            cluster.job_startup + broadcast_time + map_phase + shuffle_time + metrics.reduce_phase;
+        metrics.host_wall = started.elapsed();
+        return Err(JobError {
+            job: config.name.clone(),
+            task: TaskKind::Reduce,
+            index,
+            attempts: exec.attempts,
+            history: exec.failures,
+            counters,
+            metrics: Box::new(metrics),
+            payload: exec.payload,
+        });
+    }
+
+    if let Some(spec) = &config.speculation {
+        speculate_phase(
+            &mut reduce_execs,
+            &mut reduce_stats,
+            spec,
+            cluster,
+            |j, attempt| {
+                let input = (*group_slots[j].lock()).clone().unwrap_or_default();
+                run_reduce_attempt(j, attempt, input, Inject::None)
+            },
+        );
+    }
+
+    let mut outputs: Vec<Vec<Out>> = Vec::with_capacity(r);
+    for (exec, _) in &mut reduce_execs {
+        match exec.value.take() {
+            Some(records) => outputs.push(records),
+            None => unreachable!("reduce failures were handled above"),
+        }
+    }
     let output_records: u64 = outputs.iter().map(|o| o.len() as u64).sum();
 
     // ---- Simulated clock -------------------------------------------------
-    let map_phase = makespan(
-        &map_task_durations,
-        cluster.map_slots,
-        cluster.task_overhead,
-    );
     let reduce_phase = makespan(
-        &reduce_task_durations,
+        &reduce_stats.effective,
         cluster.reduce_slots,
         cluster.task_overhead,
     );
-    let shuffle_time = cluster.shuffle_time(&per_reducer_bytes);
-    let broadcast_time = cluster.broadcast_time(config.cache_bytes);
     let sim_runtime =
         cluster.job_startup + broadcast_time + map_phase + shuffle_time + reduce_phase;
 
@@ -354,22 +691,27 @@ where
         map_output_records,
         reduce_input_keys,
         output_records,
-        map_retries: map_retries.into_inner(),
-        reduce_retries: reduce_retries.into_inner(),
-        map_task_durations,
-        reduce_task_durations,
+        map_retries: map_stats.retries,
+        reduce_retries: reduce_stats.retries,
+        attempts: map_stats.attempts + reduce_stats.attempts,
+        wasted_task_time: map_stats.wasted + reduce_stats.wasted,
+        speculative_wins: map_stats.speculative_wins + reduce_stats.speculative_wins,
+        backoff_time: map_stats.backoff + reduce_stats.backoff,
+        map_task_durations: map_stats.effective,
+        reduce_task_durations: reduce_stats.effective,
     };
 
-    JobOutcome {
+    Ok(JobOutcome {
         outputs,
         metrics,
         counters,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultKind;
     use crate::partitioner::{HashPartitioner, ModuloPartitioner};
 
     /// Word-count: the canonical MapReduce smoke test.
@@ -414,21 +756,28 @@ mod tests {
         }
     }
 
-    fn word_count(
+    fn word_count_config(
         splits: &[Vec<String>],
-        reducers: usize,
-        failures: FailurePlan,
-    ) -> JobOutcome<(String, u64)> {
+        config: &JobConfig,
+    ) -> Result<JobOutcome<(String, u64)>, JobError> {
         let cluster = ClusterConfig::test();
-        let config = JobConfig::new("wc", reducers).with_failures(failures);
         run_job(
             &cluster,
-            &config,
+            config,
             splits,
             &WcMap,
             &WcReduce,
             &HashPartitioner,
         )
+    }
+
+    fn word_count(
+        splits: &[Vec<String>],
+        reducers: usize,
+        faults: FaultPlan,
+    ) -> JobOutcome<(String, u64)> {
+        let config = JobConfig::new("wc", reducers).with_faults(faults);
+        word_count_config(splits, &config).expect("word count must not abort")
     }
 
     fn splits() -> Vec<Vec<String>> {
@@ -445,33 +794,33 @@ mod tests {
         v
     }
 
+    fn expected_counts() -> Vec<(String, u64)> {
+        vec![
+            ("a".to_string(), 3),
+            ("b".to_string(), 3),
+            ("c".to_string(), 2),
+        ]
+    }
+
     #[test]
     fn word_count_single_reducer() {
-        let out = word_count(&splits(), 1, FailurePlan::none());
+        let out = word_count(&splits(), 1, FaultPlan::none());
         assert_eq!(out.metrics.map_tasks, 3);
         assert_eq!(out.metrics.reduce_tasks, 1);
         assert_eq!(out.metrics.map_output_records, 8);
-        assert_eq!(
-            sorted_counts(out),
-            vec![
-                ("a".to_string(), 3),
-                ("b".to_string(), 3),
-                ("c".to_string(), 2)
-            ]
-        );
+        assert_eq!(out.metrics.attempts, 4, "3 map + 1 reduce attempts");
+        assert_eq!(out.metrics.wasted_task_time, Duration::ZERO);
+        assert_eq!(out.metrics.backoff_time, Duration::ZERO);
+        assert_eq!(sorted_counts(out), expected_counts());
     }
 
     #[test]
     fn word_count_multiple_reducers_same_answer() {
         for r in [2, 3, 7] {
-            let out = word_count(&splits(), r, FailurePlan::none());
+            let out = word_count(&splits(), r, FaultPlan::none());
             assert_eq!(
                 sorted_counts(out),
-                vec![
-                    ("a".to_string(), 3),
-                    ("b".to_string(), 3),
-                    ("c".to_string(), 2)
-                ],
+                expected_counts(),
                 "wrong counts with {r} reducers"
             );
         }
@@ -479,7 +828,7 @@ mod tests {
 
     #[test]
     fn shuffle_bytes_are_positive_and_distributed() {
-        let out = word_count(&splits(), 2, FailurePlan::none());
+        let out = word_count(&splits(), 2, FaultPlan::none());
         assert!(out.metrics.shuffle_bytes > 0);
         assert_eq!(out.metrics.per_reducer_bytes.len(), 2);
         assert_eq!(
@@ -490,24 +839,232 @@ mod tests {
 
     #[test]
     fn map_failures_are_retried_without_changing_output() {
-        let clean = sorted_counts(word_count(&splits(), 2, FailurePlan::none()));
-        let out = word_count(&splits(), 2, FailurePlan::fail_maps([0, 2]));
+        let out = word_count(&splits(), 2, FaultPlan::fail_maps([0, 2]));
         assert_eq!(out.metrics.map_retries, 2);
         assert_eq!(out.metrics.reduce_retries, 0);
-        assert_eq!(sorted_counts(out), clean);
+        assert_eq!(out.metrics.attempts, 7, "5 map + 2 reduce attempts");
+        assert!(out.metrics.wasted_task_time > Duration::ZERO);
+        assert_eq!(sorted_counts(out), expected_counts());
     }
 
     #[test]
     fn reduce_failures_are_retried_without_changing_output() {
-        let clean = sorted_counts(word_count(&splits(), 3, FailurePlan::none()));
-        let out = word_count(&splits(), 3, FailurePlan::fail_reduces([1]));
+        let out = word_count(&splits(), 3, FaultPlan::fail_reduces([1]));
         assert_eq!(out.metrics.reduce_retries, 1);
-        assert_eq!(sorted_counts(out), clean);
+        assert_eq!(sorted_counts(out), expected_counts());
+    }
+
+    #[test]
+    fn repeated_failures_of_one_task_are_survived() {
+        let plan = FaultPlan::none().with_map_fault(1, TaskFault::lost(3));
+        let out = word_count(&splits(), 2, plan);
+        assert_eq!(out.metrics.map_retries, 3);
+        assert_eq!(sorted_counts(out), expected_counts());
+    }
+
+    #[test]
+    fn mid_task_panics_are_caught_and_retried() {
+        let plan = FaultPlan::none()
+            .with_map_fault(0, TaskFault::panics(2))
+            .with_reduce_fault(0, TaskFault::panics(1));
+        let out = word_count(&splits(), 2, plan);
+        assert_eq!(out.metrics.map_retries, 2);
+        assert_eq!(out.metrics.reduce_retries, 1);
+        assert_eq!(sorted_counts(out), expected_counts());
+    }
+
+    /// Regression test for the pre-fault-layer accounting bug: the failed
+    /// attempt's duration used to be discarded (`let _lost = ...`), so a
+    /// retried job could report the same phase time as a clean one. Lost
+    /// attempts and backoff are now charged to the simulated clock.
+    #[test]
+    fn failed_attempts_are_charged_to_the_simulated_clock() {
+        let clean = word_count(&splits(), 2, FaultPlan::none());
+        let faulty = word_count(&splits(), 2, FaultPlan::fail_maps([0, 1, 2]));
+        assert!(
+            faulty.metrics.sim_runtime >= clean.metrics.sim_runtime,
+            "lost attempts must not make the job faster: {:?} < {:?}",
+            faulty.metrics.sim_runtime,
+            clean.metrics.sim_runtime
+        );
+        assert!(faulty.metrics.backoff_time > Duration::ZERO);
+        assert!(faulty.metrics.wasted_task_time > Duration::ZERO);
+        // Every map task waited out one 100 ms backoff before its retry, so
+        // the phase is strictly dominated by it (clean tasks take µs here).
+        assert!(faulty.metrics.map_phase >= Duration::from_millis(100));
+        assert!(faulty.metrics.sim_runtime > clean.metrics.sim_runtime);
+    }
+
+    #[test]
+    fn straggler_slowdown_stretches_the_phase() {
+        let clean = word_count(&splits(), 2, FaultPlan::none());
+        let plan = FaultPlan::none().with_map_fault(0, TaskFault::straggler(50.0));
+        let slow = word_count(&splits(), 2, plan);
+        assert!(
+            slow.metrics.map_phase > clean.metrics.map_phase,
+            "a 50x straggler must dominate the map makespan"
+        );
+        assert_eq!(sorted_counts(slow), expected_counts());
+    }
+
+    #[test]
+    fn speculation_rescues_a_straggler() {
+        let plan = FaultPlan::none().with_map_fault(0, TaskFault::straggler(1000.0));
+        let config = JobConfig::new("wc", 2)
+            .with_faults(plan.clone())
+            .with_speculation(SpeculationPolicy::new());
+        let speculative = word_count_config(&splits(), &config).expect("job must succeed");
+        let plain = word_count(&splits(), 2, plan);
+        assert_eq!(speculative.metrics.speculative_wins, 1);
+        assert!(speculative.metrics.wasted_task_time > Duration::ZERO);
+        assert!(
+            speculative.metrics.map_phase < plain.metrics.map_phase,
+            "the backup must beat a 1000x straggler"
+        );
+        assert_eq!(sorted_counts(speculative), expected_counts());
+    }
+
+    #[test]
+    fn lost_partitions_are_regenerated() {
+        let plan = FaultPlan::none()
+            .with_lost_partition(0, 0)
+            .with_lost_partition(2, 1);
+        let out = word_count(&splits(), 2, plan);
+        assert_eq!(out.metrics.map_retries, 2, "two map tasks re-executed");
+        assert_eq!(sorted_counts(out), expected_counts());
+    }
+
+    #[test]
+    fn broadcast_failures_multiply_the_broadcast_charge() {
+        let mut cluster = ClusterConfig::test();
+        cluster.nodes = 4;
+        cluster.network_bytes_per_sec = 1e6;
+        let base = JobConfig::new("wc", 1).with_cache_bytes(1_000_000);
+        let clean = run_job(
+            &cluster,
+            &base,
+            &splits(),
+            &WcMap,
+            &WcReduce,
+            &HashPartitioner,
+        )
+        .expect("clean run");
+        let flaky = base.with_faults(FaultPlan::none().with_broadcast_failures(2));
+        let retried = run_job(
+            &cluster,
+            &flaky,
+            &splits(),
+            &WcMap,
+            &WcReduce,
+            &HashPartitioner,
+        )
+        .expect("retried run");
+        assert_eq!(
+            retried.metrics.broadcast_time,
+            clean.metrics.broadcast_time * 3
+        );
+        assert!(retried.metrics.sim_runtime > clean.metrics.sim_runtime);
+    }
+
+    #[test]
+    fn exhausted_map_retries_return_structured_error() {
+        let plan = FaultPlan::none().with_map_fault(
+            1,
+            TaskFault {
+                failures: u32::MAX,
+                kind: FaultKind::MidTaskPanic,
+                slowdown: 1.0,
+            },
+        );
+        let config = JobConfig::new("wc", 2)
+            .with_faults(plan)
+            .with_retry(RetryPolicy::new().with_max_attempts(3));
+        let err = word_count_config(&splits(), &config).expect_err("job must abort");
+        assert_eq!(err.task, TaskKind::Map);
+        assert_eq!(err.index, 1);
+        assert_eq!(err.attempts, 3);
+        assert_eq!(err.history.len(), 3, "full attempt history");
+        assert!(err.died_panicking());
+        assert!(err.to_string().contains("map task 1"));
+        // Partial metrics still account for the doomed task's attempts.
+        assert!(err.metrics.attempts >= 3);
+        assert!(err.metrics.sim_runtime > Duration::ZERO);
+    }
+
+    #[test]
+    fn exhausted_reduce_retries_return_structured_error() {
+        let plan = FaultPlan::none().with_reduce_fault(0, TaskFault::lost(u32::MAX));
+        let config = JobConfig::new("wc", 1)
+            .with_faults(plan)
+            .with_retry(RetryPolicy::new().with_max_attempts(2));
+        let err = word_count_config(&splits(), &config).expect_err("job must abort");
+        assert_eq!(err.task, TaskKind::Reduce);
+        assert_eq!(err.index, 0);
+        assert_eq!(err.attempts, 2);
+        assert!(!err.died_panicking(), "lost output is not a panic");
+        // The map phase completed; its metrics survive in the error.
+        assert_eq!(err.metrics.map_tasks, 3);
+        assert!(err.metrics.map_phase > Duration::ZERO);
+        assert!(err.metrics.shuffle_bytes > 0);
+    }
+
+    /// A genuinely broken UDF (panics on every attempt, nothing injected)
+    /// becomes a structured error once the budget is gone — the original
+    /// payload stays available for callers that want to re-raise it.
+    #[test]
+    fn genuine_udf_panic_exhausts_budget_then_surfaces_payload() {
+        struct BadMap;
+        struct BadMapTask;
+        impl MapTask for BadMapTask {
+            type In = u32;
+            type K = u32;
+            type V = u32;
+            fn map(&mut self, input: &u32, _out: &mut Emitter<u32, u32>) {
+                if *input == 3 {
+                    panic!("record 3 is poison");
+                }
+            }
+        }
+        impl MapFactory for BadMap {
+            type Task = BadMapTask;
+            fn create(&self, _: &TaskContext) -> BadMapTask {
+                BadMapTask
+            }
+        }
+        let splits: Vec<Vec<u32>> = vec![vec![1, 2], vec![3, 4]];
+        let cluster = ClusterConfig::test();
+        let config = JobConfig::new("bad", 1).with_retry(RetryPolicy::new().with_max_attempts(2));
+        let err = run_job(
+            &cluster,
+            &config,
+            &splits,
+            &BadMap,
+            &WcReduceLike,
+            &ModuloPartitioner,
+        )
+        .expect_err("poison record must abort the job");
+        assert_eq!((err.task, err.index, err.attempts), (TaskKind::Map, 1, 2));
+        assert!(err.last_cause().contains("record 3 is poison"));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| err.resume_panic()))
+            .expect_err("resume_panic re-raises");
+        assert_eq!(
+            unwound.downcast_ref::<&str>().copied(),
+            Some("record 3 is poison")
+        );
+    }
+
+    #[test]
+    fn seeded_chaos_does_not_change_the_output() {
+        let clean = sorted_counts(word_count(&splits(), 2, FaultPlan::none()));
+        for seed in 0..8 {
+            let out = word_count(&splits(), 2, FaultPlan::seeded(seed));
+            assert_eq!(sorted_counts(out), clean, "seed {seed} changed the output");
+        }
     }
 
     #[test]
     fn sim_runtime_includes_all_components() {
-        let out = word_count(&splits(), 1, FailurePlan::none());
+        let out = word_count(&splits(), 1, FaultPlan::none());
         let m = &out.metrics;
         assert_eq!(
             m.sim_runtime,
@@ -527,7 +1084,8 @@ mod tests {
             &WcMap,
             &WcReduce,
             &HashPartitioner,
-        );
+        )
+        .expect("job must succeed");
         assert_eq!(out.metrics.cache_bytes, 1_000_000);
         assert!(out.metrics.broadcast_time > Duration::ZERO);
     }
@@ -535,7 +1093,7 @@ mod tests {
     #[test]
     fn empty_input_produces_empty_output() {
         let empty: Vec<Vec<String>> = vec![vec![], vec![]];
-        let out = word_count(&empty, 2, FailurePlan::none());
+        let out = word_count(&empty, 2, FaultPlan::none());
         assert_eq!(out.metrics.map_output_records, 0);
         assert!(out.into_flat_output().is_empty());
     }
@@ -552,7 +1110,8 @@ mod tests {
             &WcMap,
             &WcReduce,
             &HashPartitioner,
-        );
+        )
+        .expect("plain run");
         let combined = run_job_with_combiner(
             &cluster,
             &config,
@@ -561,7 +1120,8 @@ mod tests {
             &WcReduce,
             &HashPartitioner,
             &FoldCombiner::new(|a: u64, b: u64| a + b),
-        );
+        )
+        .expect("combined run");
         // Split 0 holds "a b a" + "c": the duplicate 'a' combines away.
         assert!(combined.metrics.map_output_records < plain.metrics.map_output_records);
         assert!(combined.metrics.shuffle_bytes < plain.metrics.shuffle_bytes);
@@ -621,7 +1181,8 @@ mod tests {
             &OrderMap,
             &OrderReduce,
             &ModuloPartitioner,
-        );
+        )
+        .expect("job must succeed");
         let mut keys = out.into_flat_output();
         keys.sort_unstable();
         assert_eq!(keys, vec![1, 3, 5, 7, 9]);
@@ -659,7 +1220,8 @@ mod tests {
             &CountingMap,
             &WcReduceLike,
             &ModuloPartitioner,
-        );
+        )
+        .expect("job must succeed");
         assert_eq!(out.counters.get("records"), 5);
     }
 

@@ -42,7 +42,7 @@
 pub mod analysis;
 pub mod cluster;
 pub mod combiner;
-pub mod failure;
+pub mod fault;
 pub mod job;
 pub mod partitioner;
 pub mod pipeline;
@@ -52,7 +52,10 @@ pub mod task;
 pub use analysis::{assert_schedule_independent, schedule_shake, ShakeCase, ShakeReport};
 pub use cluster::{ClusterConfig, JobMetrics};
 pub use combiner::{Combiner, FoldCombiner, NoCombiner};
-pub use failure::FailurePlan;
+pub use fault::{
+    FaultKind, FaultPlan, FaultProfile, FaultTolerance, JobError, RetryPolicy, SpeculationPolicy,
+    TaskFault, TaskKind,
+};
 pub use job::{run_job, run_job_with_combiner, JobConfig, JobOutcome};
 pub use partitioner::{HashPartitioner, ModuloPartitioner, Partitioner, SingleReducerPartitioner};
 pub use pipeline::PipelineMetrics;

@@ -10,6 +10,8 @@
 use std::time::Duration;
 
 use crate::cluster::JobMetrics;
+use crate::fault::JobError;
+use crate::job::JobOutcome;
 
 /// Metrics of a chain of MapReduce jobs executed one after another.
 #[derive(Debug, Clone, Default)]
@@ -27,6 +29,30 @@ impl PipelineMetrics {
     /// Appends a job's metrics.
     pub fn push(&mut self, metrics: JobMetrics) {
         self.jobs.push(metrics);
+    }
+
+    /// Folds one job of a chain into the pipeline and propagates failure —
+    /// the chain-abort policy in one place.
+    ///
+    /// On success the job's metrics are recorded and the outcome handed
+    /// back; on failure the *partial* metrics carried by the [`JobError`]
+    /// are recorded (so the time the doomed job consumed stays visible in
+    /// [`PipelineMetrics::sim_runtime`]) and the error is returned for the
+    /// caller to bubble up, cleanly aborting the remaining jobs:
+    ///
+    /// ```ignore
+    /// let first = metrics.track(run_job(...))?;   // chain stops here on failure
+    /// let second = metrics.track(run_job(...))?;  // never runs after an abort
+    /// ```
+    pub fn track<Out>(
+        &mut self,
+        result: Result<JobOutcome<Out>, JobError>,
+    ) -> Result<JobOutcome<Out>, JobError> {
+        match &result {
+            Ok(outcome) => self.push(outcome.metrics.clone()),
+            Err(err) => self.push((*err.metrics).clone()),
+        }
+        result
     }
 
     /// End-to-end simulated runtime: jobs run back to back.
@@ -55,28 +81,12 @@ mod tests {
     use super::*;
 
     fn dummy(name: &str, sim_ms: u64, bytes: u64) -> JobMetrics {
-        JobMetrics {
-            name: name.into(),
-            map_tasks: 1,
-            reduce_tasks: 1,
-            map_phase: Duration::ZERO,
-            reduce_phase: Duration::ZERO,
-            shuffle_bytes: bytes,
-            per_reducer_bytes: vec![bytes],
-            shuffle_time: Duration::ZERO,
-            cache_bytes: 0,
-            broadcast_time: Duration::ZERO,
-            startup_time: Duration::ZERO,
-            sim_runtime: Duration::from_millis(sim_ms),
-            host_wall: Duration::from_millis(1),
-            map_output_records: 0,
-            reduce_input_keys: 0,
-            output_records: 0,
-            map_retries: 0,
-            reduce_retries: 0,
-            map_task_durations: vec![],
-            reduce_task_durations: vec![],
-        }
+        let mut m = JobMetrics::empty(name, 1, 1);
+        m.shuffle_bytes = bytes;
+        m.per_reducer_bytes = vec![bytes];
+        m.sim_runtime = Duration::from_millis(sim_ms);
+        m.host_wall = Duration::from_millis(1);
+        m
     }
 
     #[test]
@@ -102,5 +112,37 @@ mod tests {
         let p = PipelineMetrics::new();
         assert_eq!(p.sim_runtime(), Duration::ZERO);
         assert_eq!(p.shuffle_bytes(), 0);
+    }
+
+    #[test]
+    fn track_records_success_and_failure_alike() {
+        use crate::fault::TaskKind;
+
+        let mut p = PipelineMetrics::new();
+        let ok: Result<JobOutcome<u32>, JobError> = Ok(JobOutcome {
+            outputs: vec![vec![1]],
+            metrics: dummy("first", 10, 5),
+            counters: skymr_common::Counters::new(),
+        });
+        assert!(p.track(ok).is_ok());
+
+        let mut partial = dummy("second", 25, 0);
+        partial.map_retries = 3;
+        let err: Result<JobOutcome<u32>, JobError> = Err(JobError {
+            job: "second".into(),
+            task: TaskKind::Map,
+            index: 0,
+            attempts: 4,
+            history: Vec::new(),
+            counters: skymr_common::Counters::new(),
+            metrics: Box::new(partial),
+            payload: None,
+        });
+        let propagated = p.track(err).expect_err("failure must propagate");
+        assert_eq!(propagated.job, "second");
+        // Both jobs' time is on the pipeline clock, abort included.
+        assert_eq!(p.jobs.len(), 2);
+        assert_eq!(p.sim_runtime(), Duration::from_millis(35));
+        assert_eq!(p.job("second").map(|j| j.map_retries), Some(3));
     }
 }

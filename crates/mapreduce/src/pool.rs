@@ -11,8 +11,10 @@
 //! schedule-shaker's thread-count sweeps ([`crate::analysis`]) all in one
 //! auditable spot.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -82,6 +84,78 @@ where
         .enumerate()
         .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} never executed")))
         .collect()
+}
+
+/// A panic captured from one task *attempt* by [`catch_attempt`].
+///
+/// Keeps both a human-readable message (extracted when the payload is the
+/// usual `&str` / `String`) and the original payload, so the fault layer
+/// can re-raise the exact panic once a task's retry budget is exhausted.
+pub struct CaughtPanic {
+    /// Best-effort textual form of the panic payload.
+    pub message: String,
+    /// The original payload, untouched.
+    pub payload: Box<dyn std::any::Any + Send>,
+}
+
+impl std::fmt::Debug for CaughtPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaughtPanic")
+            .field("message", &self.message)
+            .finish_non_exhaustive()
+    }
+}
+
+thread_local! {
+    /// True while the current thread is unwinding from a *deliberately
+    /// injected* panic — the global hook stays silent for those.
+    static QUIET_PANIC: Cell<bool> = const { Cell::new(false) };
+}
+static QUIET_HOOK: Once = Once::new();
+
+/// Raises a deliberately injected panic without letting the global panic
+/// hook print a message and backtrace to stderr: injected mid-task crashes
+/// are expected control flow for the fault layer, not bugs worth a stderr
+/// dump on every chaos run. Genuine UDF panics are unaffected — the hook
+/// only goes quiet for panics raised through this function, and
+/// [`catch_attempt`] re-arms printing as soon as the attempt is caught.
+pub fn raise_injected_panic(message: String) -> ! {
+    QUIET_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANIC.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+    QUIET_PANIC.with(|flag| flag.set(true));
+    std::panic::panic_any(message)
+}
+
+/// Runs one task attempt, converting a panic into an `Err(CaughtPanic)`
+/// instead of unwinding into the pool.
+///
+/// This is the fault-tolerance boundary the retry scheduler builds on: a
+/// UDF panic caught here becomes a *task failure* (retried under the job's
+/// [`crate::fault::RetryPolicy`]) rather than a job abort, so one crashing
+/// attempt no longer poisons sibling tasks running on the same pool. The
+/// catch lives next to [`run_indexed`] because together they define the
+/// pool's complete panic story: caught per-attempt here, first-payload
+/// re-raised there if a panic escapes anyway.
+pub fn catch_attempt<T>(run: impl FnOnce() -> T) -> Result<T, CaughtPanic> {
+    let caught = catch_unwind(AssertUnwindSafe(run));
+    QUIET_PANIC.with(|flag| flag.set(false));
+    match caught {
+        Ok(value) => Ok(value),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(CaughtPanic { message, payload })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +260,55 @@ mod tests {
         // Some tasks finished before the panic, yet none of their slots
         // escaped: the unwind happened instead of a partial return.
         assert!(completed.load(Ordering::Relaxed) < 16);
+    }
+
+    /// Regression test (fault-tolerance layer): with retries enabled the
+    /// per-attempt catch turns a panic on attempt 0 into an `Err`, so the
+    /// pool never sees it and sibling tasks run to completion untouched.
+    #[test]
+    fn caught_attempt_panic_does_not_poison_siblings() {
+        let completed = AtomicU64::new(0);
+        let results = run_indexed(16, 3, |i| {
+            let first = catch_attempt(|| {
+                if i == 5 {
+                    panic!("map task 5 exploded on attempt 0");
+                }
+                i
+            });
+            match first {
+                Ok(v) => {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    v
+                }
+                // Retry: attempt 1 of the flaky task succeeds.
+                Err(caught) => {
+                    assert_eq!(caught.message, "map task 5 exploded on attempt 0");
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    i
+                }
+            }
+        });
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            16,
+            "no sibling was poisoned"
+        );
+        let values: Vec<usize> = results.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, (0..16).collect::<Vec<_>>());
+    }
+
+    /// The payload captured by `catch_attempt` is the *original* one, so
+    /// re-raising it after an exhausted retry budget surfaces the exact
+    /// panic the UDF threw.
+    #[test]
+    fn caught_attempt_preserves_original_payload() {
+        let err =
+            catch_attempt(|| -> () { std::panic::panic_any(42_u64) }).expect_err("must catch");
+        assert_eq!(err.message, "non-string panic payload");
+        assert_eq!(err.payload.downcast_ref::<u64>(), Some(&42));
+        let outcome = catch_unwind(AssertUnwindSafe(|| resume_unwind(err.payload)));
+        let payload = outcome.expect_err("resume re-raises");
+        assert_eq!(payload.downcast_ref::<u64>(), Some(&42));
     }
 
     /// When several tasks panic, the first observed payload wins and the

@@ -10,8 +10,8 @@ use proptest::prelude::*;
 
 use skymr_mapreduce::cluster::makespan;
 use skymr_mapreduce::{
-    run_job, ClusterConfig, Emitter, FailurePlan, HashPartitioner, JobConfig, MapFactory, MapTask,
-    OutputCollector, ReduceFactory, ReduceTask, TaskContext,
+    run_job, ClusterConfig, Emitter, FaultPlan, HashPartitioner, JobConfig, MapFactory, MapTask,
+    OutputCollector, ReduceFactory, ReduceTask, TaskContext, TaskFault,
 };
 
 /// Sum-by-key: the canonical aggregation job used as the reference model.
@@ -83,6 +83,10 @@ proptest! {
             &SumReduce,
             &HashPartitioner,
         );
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(err) => return Err(format!("job aborted: {err}")),
+        };
         let got: BTreeMap<u16, u64> = outcome.into_flat_output().into_iter().collect();
         prop_assert_eq!(got, reference(&records));
     }
@@ -96,20 +100,24 @@ proptest! {
         fail_reduce in proptest::collection::btree_set(0usize..5, 0..3),
     ) {
         let splits = split_into(&records, mappers);
-        let failures = FailurePlan {
-            map_fail_once: fail_map.into_iter().filter(|&i| i < mappers).collect(),
-            reduce_fail_once: fail_reduce.into_iter().filter(|&i| i < reducers).collect(),
-        };
+        let mut faults = FaultPlan::fail_maps(fail_map.into_iter().filter(|&i| i < mappers));
+        for j in fail_reduce.into_iter().filter(|&j| j < reducers) {
+            faults = faults.with_reduce_fault(j, TaskFault::lost(1));
+        }
         let expected_retries =
-            (failures.map_fail_once.len() + failures.reduce_fail_once.len()) as u64;
+            (faults.map_faults.len() + faults.reduce_faults.len()) as u64;
         let outcome = run_job(
             &ClusterConfig::test(),
-            &JobConfig::new("sum", reducers).with_failures(failures),
+            &JobConfig::new("sum", reducers).with_faults(faults),
             &splits,
             &SumMap,
             &SumReduce,
             &HashPartitioner,
         );
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(err) => return Err(format!("job aborted: {err}")),
+        };
         prop_assert_eq!(
             outcome.metrics.map_retries + outcome.metrics.reduce_retries,
             expected_retries
@@ -152,6 +160,10 @@ proptest! {
             &SumReduce,
             &HashPartitioner,
         );
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(err) => return Err(format!("job aborted: {err}")),
+        };
         // Each (u16, u64) pair is 2 + 8 bytes on the wire.
         prop_assert_eq!(outcome.metrics.shuffle_bytes, records.len() as u64 * 10);
         prop_assert_eq!(outcome.metrics.map_output_records, records.len() as u64);

@@ -480,4 +480,24 @@ impl M {{
         let src = reachable_fixture("let x = v[self.cursor + 1];");
         assert!(lint(ENGINE, &src).is_empty());
     }
+
+    /// The fault layer's seeded-derivation waiver shape: a modulo by an
+    /// identifier that the surrounding code clamps to nonzero, waived with
+    /// a trailing `— justification` after the rule name. Pins both that
+    /// the justification text doesn't break waiver parsing and that the
+    /// waiver stays scoped to the named rule.
+    #[test]
+    fn modulo_waiver_with_justification_text_is_honoured() {
+        let stmt = "let d = draw % span; // xtask: allow(panic-reachability) — span is clamped to >= 1 above";
+        assert!(analyze(ENGINE, &reachable_fixture(stmt)).is_empty());
+        // Without the waiver the same shape still flags…
+        let diags = analyze(ENGINE, &reachable_fixture("let d = draw % span;"));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "panic-reachability");
+        // …and a justified waiver for a *different* rule does not leak.
+        let stmt = "let d = draw % span; // xtask: allow(no-unwrap) — wrong rule";
+        let diags = analyze(ENGINE, &reachable_fixture(stmt));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "panic-reachability");
+    }
 }

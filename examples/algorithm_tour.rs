@@ -99,9 +99,9 @@ fn main() {
 
     let gpsrs = mr_gpsrs(&data, &config).expect("valid configuration");
     let gpmrs = mr_gpmrs(&data, &config).expect("valid configuration");
-    let bnl = mr_bnl(&data, &bconfig);
-    let sfs = mr_sfs(&data, &bconfig);
-    let angle = mr_angle(&data, &bconfig);
+    let bnl = mr_bnl(&data, &bconfig).expect("fault-free run");
+    let sfs = mr_sfs(&data, &bconfig).expect("fault-free run");
+    let angle = mr_angle(&data, &bconfig).expect("fault-free run");
     let sfs_central = sfs_skyline(data.tuples(), SfsOrder::Entropy);
 
     let oracle_ids: Vec<u64> = oracle.iter().map(|t| t.id).collect();

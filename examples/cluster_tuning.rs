@@ -17,6 +17,7 @@ use skymr::hybrid::{choose, HybridChoice, DEFAULT_SURVIVAL_THRESHOLD};
 use skymr::{mr_gpmrs, mr_gpsrs, SkylineConfig};
 use skymr_common::Dataset;
 use skymr_datagen::{generate, Distribution};
+use skymr_mapreduce::{FaultPlan, FaultTolerance, SpeculationPolicy};
 
 fn sweep(name: &str, data: &Dataset) {
     println!("--- {name}: {} tuples, {} dims ---", data.len(), data.dim());
@@ -69,6 +70,41 @@ fn sweep(name: &str, data: &Dataset) {
     println!();
 }
 
+/// How does an unreliable cluster change the picture? Replay the same
+/// workload under a seeded fault plan (task failures, mid-task panics,
+/// stragglers) with speculative execution on, and show what recovery cost.
+fn fault_sweep(name: &str, data: &Dataset) {
+    println!("--- {name}, unreliable cluster (seeded faults + speculation) ---");
+    let clean = mr_gpmrs(data, &SkylineConfig::default()).expect("fault-free run");
+    let config = SkylineConfig::default().with_fault_tolerance(
+        FaultTolerance::with_plan(FaultPlan::seeded(0xC0FFEE))
+            .with_speculation(SpeculationPolicy::new()),
+    );
+    let run = mr_gpmrs(data, &config).expect("seeded faults stay within the retry budget");
+    assert_eq!(
+        run.skyline.len(),
+        clean.skyline.len(),
+        "re-execution must not change the answer"
+    );
+    for job in &run.metrics.jobs {
+        println!(
+            "  {:<12} attempts {:>3}  retries {:>2} map / {:>2} reduce  \
+             speculative wins {}  backoff {:>6.2}s  wasted {:>6.2}s",
+            job.name,
+            job.attempts,
+            job.map_retries,
+            job.reduce_retries,
+            job.speculative_wins,
+            job.backoff_time.as_secs_f64(),
+            job.wasted_task_time.as_secs_f64(),
+        );
+    }
+    let clean_s = clean.metrics.sim_runtime().as_secs_f64();
+    let faulty_s = run.metrics.sim_runtime().as_secs_f64();
+    println!("  -> same skyline; runtime {clean_s:.2}s clean vs {faulty_s:.2}s under faults");
+    println!();
+}
+
 fn main() {
     // Small skyline: independent, low dimensionality. Extra reducers are
     // pure overhead here.
@@ -79,4 +115,8 @@ fn main() {
     // reducer becomes the bottleneck; parallel reducers pay off.
     let hard = generate(Distribution::Anticorrelated, 7, 40_000, 3);
     sweep("anti-correlated 7-d (large skyline)", &hard);
+
+    // Tuning is not only about reducer counts: on a flaky cluster the
+    // retry/speculation machinery adds recovery work to the makespan.
+    fault_sweep("anti-correlated 7-d", &hard);
 }

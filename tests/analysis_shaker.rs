@@ -86,8 +86,8 @@ mod raw_engine {
     //! as well as in the `udf-determinism` static pass.
 
     use skymr_mapreduce::{
-        run_job, ClusterConfig, Emitter, FailurePlan, HashPartitioner, JobConfig, MapFactory,
-        MapTask, OutputCollector, ReduceFactory, ReduceTask, ShakeCase, TaskContext,
+        run_job, ClusterConfig, Emitter, FaultPlan, HashPartitioner, JobConfig, MapFactory,
+        MapTask, OutputCollector, ReduceFactory, ReduceTask, ShakeCase, TaskContext, TaskFault,
     };
 
     struct WcMap;
@@ -141,10 +141,11 @@ mod raw_engine {
         ];
         case.permute(&mut splits);
         let cluster = case.cluster(&ClusterConfig::test());
-        let config = JobConfig::new("wc-shake", 2).with_failures(FailurePlan {
-            map_fail_once: [0, 1, 2].into(),
-            reduce_fail_once: [0, 1].into(),
-        });
+        let config = JobConfig::new("wc-shake", 2).with_faults(
+            FaultPlan::fail_maps([0, 1, 2])
+                .with_reduce_fault(0, TaskFault::lost(1))
+                .with_reduce_fault(1, TaskFault::lost(1)),
+        );
         let outcome = run_job(
             &cluster,
             &config,
@@ -152,7 +153,8 @@ mod raw_engine {
             &WcMap,
             &WcReduce,
             &HashPartitioner,
-        );
+        )
+        .expect("retries recover every injected failure");
         let mut pairs = outcome.into_flat_output();
         pairs.sort();
         let mut bytes = Vec::new();

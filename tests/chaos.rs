@@ -1,0 +1,407 @@
+//! Chaos harness for the fault-tolerance layer: every pipeline must
+//! produce byte-identical output under seeded random fault plans —
+//! repeated per-attempt failures, mid-task panics, lost shuffle
+//! partitions, failed broadcasts, stragglers — and a task that can never
+//! succeed must surface as a structured [`skymr_common::Error::JobFailed`],
+//! not a panic. Covers MR-GPSRS, MR-GPMRS, MR-BNL, and MR-Angle.
+
+use proptest::prelude::*;
+
+use skymr::{mr_gpmrs, mr_gpsrs, SkylineConfig, SkylineRun};
+use skymr_baselines::{mr_angle, mr_bnl, BaselineConfig, BaselineRun};
+use skymr_common::{Dataset, Error, Tuple};
+use skymr_datagen::Distribution;
+use skymr_integration_tests::scenario;
+use skymr_mapreduce::analysis::{assert_schedule_independent, ShakeCase};
+use skymr_mapreduce::{
+    run_job, ClusterConfig, Emitter, FaultPlan, FaultProfile, FaultTolerance, HashPartitioner,
+    JobConfig, JobMetrics, MapFactory, MapTask, OutputCollector, ReduceFactory, ReduceTask,
+    RetryPolicy, SpeculationPolicy, TaskContext, TaskFault, TaskKind,
+};
+
+/// Fixed seeds locked as a regression suite. Each one exercised a distinct
+/// mix of fault kinds when the suite was written; keeping them pinned means
+/// a future engine change replays the exact same fault schedules.
+const REGRESSION_SEEDS: [u64; 4] = [0xC0FFEE, 0x5EED_0001, 42, 0xDEAD_BEEF];
+
+fn chaos_data() -> Dataset {
+    scenario(Distribution::Anticorrelated, 3, 400, 701)
+}
+
+/// Serializes the id-sorted skyline to a canonical byte string so the
+/// "byte-identical" claim is literal, not just `Vec<u64>` id equality.
+fn tuple_bytes(tuples: &[Tuple]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for t in tuples {
+        bytes.extend_from_slice(&t.id.to_le_bytes());
+        for v in &t.values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    bytes
+}
+
+/// Every per-job retry/attempt invariant the chaos runs must respect:
+/// retries stay within the per-task budget, and the attempt ledger never
+/// undercounts the tasks that ran.
+fn assert_retry_bounds(jobs: &[JobMetrics], budget: u64) {
+    for job in jobs {
+        let tasks = (job.map_tasks + job.reduce_tasks) as u64;
+        assert!(
+            job.map_retries <= job.map_tasks as u64 * budget,
+            "job `{}`: {} map retries exceed the budget for {} tasks",
+            job.name,
+            job.map_retries,
+            job.map_tasks
+        );
+        assert!(
+            job.reduce_retries <= job.reduce_tasks as u64 * budget,
+            "job `{}`: {} reduce retries exceed the budget for {} tasks",
+            job.name,
+            job.reduce_retries,
+            job.reduce_tasks
+        );
+        assert!(
+            job.attempts >= tasks,
+            "job `{}`: {} attempts cannot cover {} tasks",
+            job.name,
+            job.attempts,
+            tasks
+        );
+        if job.map_retries + job.reduce_retries > 0 {
+            assert!(
+                job.attempts > tasks,
+                "job `{}`: retries happened but attempts == tasks",
+                job.name
+            );
+        }
+    }
+}
+
+fn run_core<F>(data: &Dataset, ft: FaultTolerance, algo: F) -> SkylineRun
+where
+    F: Fn(&Dataset, &SkylineConfig) -> skymr_common::Result<SkylineRun>,
+{
+    let config = SkylineConfig::test().with_fault_tolerance(ft);
+    algo(data, &config).expect("chaos faults are always recoverable within the retry budget")
+}
+
+fn run_baseline<F>(data: &Dataset, ft: FaultTolerance, algo: F) -> BaselineRun
+where
+    F: Fn(&Dataset, &BaselineConfig) -> skymr_common::Result<BaselineRun>,
+{
+    let config = BaselineConfig::test().with_fault_tolerance(ft);
+    algo(data, &config).expect("chaos faults are always recoverable within the retry budget")
+}
+
+/// Runs all four pipelines under `ft` and asserts each one reproduces its
+/// fault-free output byte for byte, with retry bounds respected.
+fn assert_chaos_preserves_output(data: &Dataset, ft: &FaultTolerance, label: &str) {
+    let budget = RetryPolicy::new().max_attempts as u64;
+    let clean_gpsrs = run_core(data, FaultTolerance::none(), mr_gpsrs);
+    let clean_gpmrs = run_core(data, FaultTolerance::none(), mr_gpmrs);
+    let clean_bnl = run_baseline(data, FaultTolerance::none(), mr_bnl);
+    let clean_angle = run_baseline(data, FaultTolerance::none(), mr_angle);
+
+    let gpsrs = run_core(data, ft.clone(), mr_gpsrs);
+    let gpmrs = run_core(data, ft.clone(), mr_gpmrs);
+    let bnl = run_baseline(data, ft.clone(), mr_bnl);
+    let angle = run_baseline(data, ft.clone(), mr_angle);
+
+    assert_eq!(
+        tuple_bytes(&gpsrs.skyline),
+        tuple_bytes(&clean_gpsrs.skyline),
+        "MR-GPSRS diverged under {label}"
+    );
+    assert_eq!(
+        tuple_bytes(&gpmrs.skyline),
+        tuple_bytes(&clean_gpmrs.skyline),
+        "MR-GPMRS diverged under {label}"
+    );
+    assert_eq!(
+        tuple_bytes(&bnl.skyline),
+        tuple_bytes(&clean_bnl.skyline),
+        "MR-BNL diverged under {label}"
+    );
+    assert_eq!(
+        tuple_bytes(&angle.skyline),
+        tuple_bytes(&clean_angle.skyline),
+        "MR-Angle diverged under {label}"
+    );
+
+    assert_retry_bounds(&gpsrs.metrics.jobs, budget);
+    assert_retry_bounds(&gpmrs.metrics.jobs, budget);
+    assert_retry_bounds(&bnl.metrics.jobs, budget);
+    assert_retry_bounds(&angle.metrics.jobs, budget);
+}
+
+#[test]
+fn fixed_seed_chaos_preserves_every_algorithm_output() {
+    let data = chaos_data();
+    for seed in REGRESSION_SEEDS {
+        let ft = FaultTolerance::with_plan(FaultPlan::seeded(seed));
+        assert_chaos_preserves_output(&data, &ft, &format!("seed {seed:#x}"));
+    }
+}
+
+#[test]
+fn chaos_with_speculation_preserves_every_algorithm_output() {
+    // Speculative backups race the original attempt; the deterministic
+    // winner rule must keep the output stable, and stragglers in the
+    // profile give speculation real work to do.
+    let data = chaos_data();
+    let profile = FaultProfile::default();
+    for seed in [0xBACC_0FF5u64, 7] {
+        let ft = FaultTolerance::with_plan(FaultPlan::chaos(seed, profile.clone()))
+            .with_speculation(SpeculationPolicy::new());
+        assert_chaos_preserves_output(&data, &ft, &format!("speculative chaos seed {seed:#x}"));
+    }
+}
+
+#[test]
+fn chaos_metrics_record_recovery_work() {
+    // At least one of the pinned seeds must actually injure the pipeline;
+    // a chaos suite whose plans never fire tests nothing.
+    let data = chaos_data();
+    let mut total_retries = 0u64;
+    for seed in REGRESSION_SEEDS {
+        let ft = FaultTolerance::with_plan(FaultPlan::seeded(seed));
+        let run = run_core(&data, ft, mr_gpmrs);
+        for job in &run.metrics.jobs {
+            total_retries += job.map_retries + job.reduce_retries;
+            if job.map_retries + job.reduce_retries > 0 {
+                assert!(
+                    job.wasted_task_time > std::time::Duration::ZERO,
+                    "job `{}` retried but recorded no wasted task time",
+                    job.name
+                );
+            }
+        }
+    }
+    assert!(
+        total_retries > 0,
+        "no regression seed injected a single recoverable fault"
+    );
+}
+
+#[test]
+fn chaos_output_is_schedule_independent() {
+    // A fixed fault plan replayed under shaken schedules (thread counts,
+    // slot counts, input permutations) must not leak scheduling order
+    // into the output.
+    let data = scenario(Distribution::Clustered { clusters: 3 }, 3, 300, 702);
+    let run_case = |case: &ShakeCase| -> Vec<u8> {
+        let mut tuples = data.tuples().to_vec();
+        case.permute(&mut tuples);
+        let shuffled = Dataset::new(data.dim(), tuples).expect("permutation preserves validity");
+        let mut config = SkylineConfig::test()
+            .with_mappers(1 + case.map_slots)
+            .with_reducers(case.reduce_slots)
+            .with_fault_tolerance(FaultTolerance::with_plan(FaultPlan::seeded(0xC0FFEE)));
+        config.cluster = case.cluster(&config.cluster);
+        let run = mr_gpmrs(&shuffled, &config).expect("chaos faults are recoverable");
+        tuple_bytes(&run.skyline)
+    };
+    let report = assert_schedule_independent(6, 0xC4A0_5EED, run_case);
+    assert_eq!(report.cases.len(), 6);
+    assert!(report.output_len > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Exhausted retries: structured errors, never panics.
+// ---------------------------------------------------------------------------
+
+struct SumMap;
+struct SumMapTask;
+impl MapTask for SumMapTask {
+    type In = (u16, u32);
+    type K = u16;
+    type V = u64;
+    fn map(&mut self, input: &(u16, u32), out: &mut Emitter<u16, u64>) {
+        out.emit(input.0, input.1 as u64);
+    }
+}
+impl MapFactory for SumMap {
+    type Task = SumMapTask;
+    fn create(&self, _: &TaskContext) -> SumMapTask {
+        SumMapTask
+    }
+}
+
+struct SumReduce;
+struct SumReduceTask;
+impl ReduceTask for SumReduceTask {
+    type K = u16;
+    type V = u64;
+    type Out = (u16, u64);
+    fn reduce(&mut self, key: u16, values: Vec<u64>, out: &mut OutputCollector<(u16, u64)>) {
+        out.collect((key, values.into_iter().sum()));
+    }
+}
+impl ReduceFactory for SumReduce {
+    type Task = SumReduceTask;
+    fn create(&self, _: &TaskContext) -> SumReduceTask {
+        SumReduceTask
+    }
+}
+
+fn doomed_splits() -> Vec<Vec<(u16, u32)>> {
+    vec![vec![(1, 10), (2, 20)], vec![(1, 5)]]
+}
+
+#[test]
+fn exhausted_lost_output_retries_yield_a_structured_job_error() {
+    let config = JobConfig::new("doomed", 1)
+        .with_faults(FaultPlan::none().with_map_fault(0, TaskFault::lost(10)));
+    let err = run_job(
+        &ClusterConfig::test(),
+        &config,
+        &doomed_splits(),
+        &SumMap,
+        &SumReduce,
+        &HashPartitioner,
+    )
+    .expect_err("a task that always loses its output must abort the job");
+    let budget = RetryPolicy::new().max_attempts;
+    assert_eq!(err.job, "doomed");
+    assert_eq!(err.task, TaskKind::Map);
+    assert_eq!(err.index, 0);
+    assert_eq!(err.attempts, budget);
+    assert_eq!(
+        err.history.len(),
+        budget as usize,
+        "every failed attempt must be recorded in order"
+    );
+    for (i, failure) in err.history.iter().enumerate() {
+        assert_eq!(failure.attempt, i as u32);
+    }
+    assert!(err.payload.is_none(), "output loss is not a panic");
+    assert_eq!(err.metrics.map_tasks, 2);
+}
+
+#[test]
+fn exhausted_mid_task_panics_are_caught_not_propagated() {
+    // The panic boundary is per attempt: even when every attempt panics,
+    // run_job returns Err — it never unwinds into the caller.
+    let config = JobConfig::new("doomed-panic", 1)
+        .with_faults(FaultPlan::none().with_map_fault(1, TaskFault::panics(10)));
+    let err = run_job(
+        &ClusterConfig::test(),
+        &config,
+        &doomed_splits(),
+        &SumMap,
+        &SumReduce,
+        &HashPartitioner,
+    )
+    .expect_err("a task that always panics must abort the job, not unwind");
+    assert_eq!(err.task, TaskKind::Map);
+    assert_eq!(err.index, 1);
+    assert_eq!(err.attempts, RetryPolicy::new().max_attempts);
+    assert!(
+        err.payload.is_some(),
+        "the last panic payload must be preserved for diagnostics"
+    );
+    assert!(!err.last_cause().is_empty());
+}
+
+#[test]
+fn pipeline_abort_surfaces_as_job_failed_error() {
+    // Satellite (c): at the pipeline level, the engine's JobError arrives
+    // as the crate-level Error::JobFailed with the task coordinates intact,
+    // and the pipeline chain aborts instead of running later jobs on
+    // garbage input.
+    let data = chaos_data();
+    let ft = FaultTolerance::with_plan(
+        FaultPlan::none()
+            .with_map_fault(0, TaskFault::lost(10))
+            .for_job("gpsrs"),
+    );
+    let config = SkylineConfig::test().with_fault_tolerance(ft);
+    let err = mr_gpsrs(&data, &config).expect_err("the skyline job cannot finish");
+    match err {
+        Error::JobFailed {
+            job,
+            task,
+            index,
+            attempts,
+            ..
+        } => {
+            assert_eq!(job, "gpsrs");
+            assert_eq!(task, "map");
+            assert_eq!(index, 0);
+            assert_eq!(attempts, RetryPolicy::new().max_attempts);
+        }
+        other => panic!("expected Error::JobFailed, got {other:?}"),
+    }
+
+    let bft = FaultTolerance::with_plan(
+        FaultPlan::none()
+            .with_reduce_fault(0, TaskFault::panics(10))
+            .for_job("mr-bnl-merge"),
+    );
+    let bconfig = BaselineConfig::test().with_fault_tolerance(bft);
+    let err = mr_bnl(&data, &bconfig).expect_err("the merge job cannot finish");
+    assert!(
+        matches!(err, Error::JobFailed { ref task, .. } if task == "reduce"),
+        "expected a reduce-phase JobFailed, got {err:?}"
+    );
+}
+
+#[test]
+fn tight_retry_budget_fails_what_a_default_budget_recovers() {
+    // Three losses are recoverable under the default four-attempt budget
+    // but fatal under a two-attempt budget — the bound is real, not
+    // decorative.
+    let data = chaos_data();
+    let plan = FaultPlan::none()
+        .with_map_fault(0, TaskFault::lost(3))
+        .for_job("gpsrs");
+    let lenient =
+        SkylineConfig::test().with_fault_tolerance(FaultTolerance::with_plan(plan.clone()));
+    let strict = SkylineConfig::test().with_fault_tolerance(
+        FaultTolerance::with_plan(plan).with_retry(RetryPolicy::new().with_max_attempts(2)),
+    );
+    let ok = mr_gpsrs(&data, &lenient).expect("three losses fit in four attempts");
+    assert!(!ok.skyline.is_empty());
+    let err = mr_gpsrs(&data, &strict).expect_err("three losses exceed two attempts");
+    assert!(matches!(err, Error::JobFailed { attempts: 2, .. }));
+}
+
+// ---------------------------------------------------------------------------
+// Seeded property sweep.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_fault_plans_never_change_the_skyline(seed in any::<u64>()) {
+        let data = scenario(Distribution::Independent, 3, 250, 703);
+        let clean = match mr_gpmrs(&data, &SkylineConfig::test()) {
+            Ok(run) => run,
+            Err(err) => return Err(format!("fault-free run aborted: {err}")),
+        };
+        let ft = FaultTolerance::with_plan(FaultPlan::seeded(seed));
+        let config = SkylineConfig::test().with_fault_tolerance(ft.clone());
+        let chaotic = match mr_gpmrs(&data, &config) {
+            Ok(run) => run,
+            Err(err) => return Err(format!("seeded faults must stay recoverable: {err}")),
+        };
+        prop_assert_eq!(tuple_bytes(&chaotic.skyline), tuple_bytes(&clean.skyline));
+
+        let bclean = match mr_bnl(&data, &BaselineConfig::test()) {
+            Ok(run) => run,
+            Err(err) => return Err(format!("fault-free run aborted: {err}")),
+        };
+        let bconfig = BaselineConfig::test().with_fault_tolerance(ft);
+        let bchaotic = match mr_bnl(&data, &bconfig) {
+            Ok(run) => run,
+            Err(err) => return Err(format!("seeded faults must stay recoverable: {err}")),
+        };
+        prop_assert_eq!(tuple_bytes(&bchaotic.skyline), tuple_bytes(&bclean.skyline));
+
+        let budget = RetryPolicy::new().max_attempts as u64;
+        assert_retry_bounds(&chaotic.metrics.jobs, budget);
+        assert_retry_bounds(&bchaotic.metrics.jobs, budget);
+    }
+}

@@ -8,7 +8,7 @@ use skymr::{mr_gpmrs, mr_gpsrs, SkylineConfig};
 use skymr_baselines::{mr_angle, mr_bnl, BaselineConfig};
 use skymr_datagen::Distribution;
 use skymr_integration_tests::scenario;
-use skymr_mapreduce::FailurePlan;
+use skymr_mapreduce::{FaultPlan, FaultTolerance, TaskFault};
 
 #[test]
 fn repeated_runs_are_identical() {
@@ -28,7 +28,7 @@ fn gpsrs_identical_under_every_single_map_failure() {
     let clean = mr_gpsrs(&data, &SkylineConfig::test()).unwrap();
     for failed_task in 0..4 {
         let mut config = SkylineConfig::test();
-        config.failures = FailurePlan::fail_maps([failed_task]);
+        config.fault_tolerance = FaultTolerance::with_plan(FaultPlan::fail_maps([failed_task]));
         let run = mr_gpsrs(&data, &config).unwrap();
         assert_eq!(
             run.skyline, clean.skyline,
@@ -44,7 +44,7 @@ fn gpmrs_identical_under_reduce_failures() {
     let clean = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
     for failed in 0..clean.info.buckets {
         let mut config = SkylineConfig::test();
-        config.failures = FailurePlan::fail_reduces([failed]);
+        config.fault_tolerance = FaultTolerance::with_plan(FaultPlan::fail_reduces([failed]));
         let run = mr_gpmrs(&data, &config).unwrap();
         assert_eq!(
             run.skyline, clean.skyline,
@@ -59,10 +59,11 @@ fn gpmrs_identical_under_combined_failures() {
     let data = scenario(Distribution::Anticorrelated, 4, 500, 304);
     let clean = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
     let mut config = SkylineConfig::test();
-    config.failures = FailurePlan {
-        map_fail_once: [0, 1, 2, 3].into(),
-        reduce_fail_once: [0].into(),
-    };
+    config.fault_tolerance = FaultTolerance::with_plan(
+        FaultPlan::fail_maps([0, 1, 2, 3])
+            .with_reduce_fault(0, TaskFault::lost(1))
+            .for_job("gpmrs"),
+    );
     let run = mr_gpmrs(&data, &config).unwrap();
     assert_eq!(run.skyline, clean.skyline);
     assert_eq!(run.metrics.jobs[1].map_retries, 4);
@@ -72,14 +73,18 @@ fn gpmrs_identical_under_combined_failures() {
 fn baselines_identical_under_failures() {
     let data = scenario(Distribution::Independent, 3, 300, 305);
     let mut config = BaselineConfig::test();
-    config.failures = FailurePlan::fail_maps([0, 2]);
+    config.fault_tolerance = FaultTolerance::with_plan(FaultPlan::fail_maps([0, 2]));
     assert_eq!(
-        mr_bnl(&data, &config).skyline_ids(),
-        mr_bnl(&data, &BaselineConfig::test()).skyline_ids()
+        mr_bnl(&data, &config).unwrap().skyline_ids(),
+        mr_bnl(&data, &BaselineConfig::test())
+            .unwrap()
+            .skyline_ids()
     );
     assert_eq!(
-        mr_angle(&data, &config).skyline_ids(),
-        mr_angle(&data, &BaselineConfig::test()).skyline_ids()
+        mr_angle(&data, &config).unwrap().skyline_ids(),
+        mr_angle(&data, &BaselineConfig::test())
+            .unwrap()
+            .skyline_ids()
     );
 }
 

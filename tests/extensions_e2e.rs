@@ -129,7 +129,7 @@ fn sky_mr_and_gpmrs_agree_everywhere() {
         for dim in [2usize, 4, 6] {
             let data = scenario(dist, dim, 500, 506);
             let a = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
-            let b = sky_mr(&data, &SkyMrConfig::test());
+            let b = sky_mr(&data, &SkyMrConfig::test()).unwrap();
             assert_eq!(a.skyline_ids(), b.skyline_ids(), "{dist:?} d={dim}");
         }
     }
@@ -139,7 +139,7 @@ fn sky_mr_and_gpmrs_agree_everywhere() {
 fn bitmap_on_discretized_equals_grid_algorithms_on_discretized() {
     let raw = scenario(Distribution::Independent, 3, 400, 507);
     let data = discretize(&raw, 6);
-    let bitmap = mr_bitmap(&data, &BaselineConfig::test());
+    let bitmap = mr_bitmap(&data, &BaselineConfig::test()).unwrap();
     let grid = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
     assert_eq!(bitmap.skyline_ids(), grid.skyline_ids());
 }

@@ -44,10 +44,26 @@ pub fn all_algorithm_ids(
             "hybrid",
             mr_hybrid(data, config).expect("hybrid runs").skyline_ids(),
         ),
-        ("MR-BNL", mr_bnl(data, bconfig).skyline_ids()),
-        ("MR-SFS", mr_sfs(data, bconfig).skyline_ids()),
-        ("MR-Angle", mr_angle(data, bconfig).skyline_ids()),
-        ("SKY-MR", sky_mr(data, &SkyMrConfig::test()).skyline_ids()),
+        (
+            "MR-BNL",
+            mr_bnl(data, bconfig).expect("mr-bnl runs").skyline_ids(),
+        ),
+        (
+            "MR-SFS",
+            mr_sfs(data, bconfig).expect("mr-sfs runs").skyline_ids(),
+        ),
+        (
+            "MR-Angle",
+            mr_angle(data, bconfig)
+                .expect("mr-angle runs")
+                .skyline_ids(),
+        ),
+        (
+            "SKY-MR",
+            sky_mr(data, &SkyMrConfig::test())
+                .expect("sky-mr runs")
+                .skyline_ids(),
+        ),
     ]
 }
 

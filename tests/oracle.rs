@@ -73,7 +73,7 @@ fn mr_bitmap_matches_oracle_on_its_own_domain() {
     use skymr_baselines::{bnl_skyline, discretize, mr_bitmap, BaselineConfig};
     for dist in ALL_DISTRIBUTIONS {
         let data = discretize(&scenario(dist, 3, 400, 105), 8);
-        let run = mr_bitmap(&data, &BaselineConfig::test());
+        let run = mr_bitmap(&data, &BaselineConfig::test()).unwrap();
         let oracle: Vec<u64> = bnl_skyline(data.tuples()).iter().map(|t| t.id).collect();
         assert_eq!(run.skyline_ids(), oracle, "MR-Bitmap disagrees on {dist:?}");
     }

@@ -132,7 +132,7 @@ fn counters_report_mapper_and_reducer_work() {
 #[test]
 fn baselines_share_the_same_cluster_accounting() {
     let data = scenario(Distribution::Independent, 3, 500, 208);
-    let run = mr_bnl(&data, &BaselineConfig::test());
+    let run = mr_bnl(&data, &BaselineConfig::test()).unwrap();
     assert_eq!(run.metrics.jobs.len(), 2, "MR-BNL is a two-phase pipeline");
     for job in &run.metrics.jobs {
         assert_eq!(

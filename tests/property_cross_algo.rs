@@ -75,8 +75,8 @@ proptest! {
     fn baselines_match_oracle(data in arb_dataset(4, 100), mappers in 1usize..4) {
         let config = BaselineConfig::test().with_mappers(mappers);
         let oracle = bnl_skyline(data.tuples());
-        prop_assert_eq!(mr_bnl(&data, &config).skyline, oracle.clone());
-        prop_assert_eq!(mr_angle(&data, &config).skyline, oracle);
+        prop_assert_eq!(mr_bnl(&data, &config).unwrap().skyline, oracle.clone());
+        prop_assert_eq!(mr_angle(&data, &config).unwrap().skyline, oracle);
     }
 
     #[test]

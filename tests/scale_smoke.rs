@@ -17,7 +17,7 @@ fn three_independent_implementations_agree_at_scale() {
     };
     let gpmrs = mr_gpmrs(&data, &config).expect("gpmrs runs");
     let gpsrs = mr_gpsrs(&data, &config).expect("gpsrs runs");
-    let skymr_run = sky_mr(&data, &SkyMrConfig::default());
+    let skymr_run = sky_mr(&data, &SkyMrConfig::default()).expect("sky-mr runs");
     assert_eq!(gpmrs.skyline_ids(), gpsrs.skyline_ids());
     assert_eq!(gpmrs.skyline_ids(), skymr_run.skyline_ids());
     assert!(
