@@ -7,7 +7,9 @@
 //! itself falls behind — or DNFs — at high dimensionality and cardinality,
 //! its single reducer drowning in the huge skyline.
 
-use skymr_bench::{dataset, measure_cell, Algo, DnfTracker, HarnessOptions, Table};
+use skymr_bench::{
+    dataset, measure_cell_logged, Algo, DnfTracker, HarnessOptions, PhaseLog, Table,
+};
 use skymr_datagen::Distribution;
 
 fn main() {
@@ -23,11 +25,22 @@ fn main() {
             Algo::all().iter().map(|a| a.name().to_string()).collect(),
         );
         let mut tracker = DnfTracker::new();
+        let mut phases = PhaseLog::new();
         for dim in 2..=10 {
             let ds = dataset(Distribution::Anticorrelated, dim, card, opts.seed);
             let cells = Algo::all()
                 .iter()
-                .map(|&algo| measure_cell(algo, &ds, 13, &mut tracker, opts.scale.dnf_budget()))
+                .map(|&algo| {
+                    measure_cell_logged(
+                        algo,
+                        &ds,
+                        13,
+                        &mut tracker,
+                        opts.scale.dnf_budget(),
+                        &format!("{} dim={dim}", algo.name()),
+                        Some(&mut phases),
+                    )
+                })
                 .collect();
             table.push_row(dim.to_string(), cells);
             eprint!(".");
@@ -36,6 +49,9 @@ fn main() {
         println!("{}", table.render());
         let file = format!("fig8_{label}.csv");
         let path = table.write_csv(&opts.out_dir, &file).expect("write CSV");
-        println!("wrote {}\n", path.display());
+        let json = phases
+            .write_json(&opts.out_dir, &format!("fig8_{label}_phases.json"))
+            .expect("write phase JSON");
+        println!("wrote {}\nwrote {}\n", path.display(), json.display());
     }
 }

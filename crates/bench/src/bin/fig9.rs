@@ -8,7 +8,9 @@
 //! marginally better; (d) 8-d anti-correlated — MR-GPMRS clearly best,
 //! MR-GPSRS degrading (DNF at the largest cardinalities in the paper).
 
-use skymr_bench::{dataset, measure_cell, Algo, DnfTracker, HarnessOptions, Table};
+use skymr_bench::{
+    dataset, measure_cell_logged, Algo, DnfTracker, HarnessOptions, PhaseLog, Table,
+};
 use skymr_datagen::Distribution;
 
 fn main() {
@@ -25,11 +27,22 @@ fn main() {
                 Algo::all().iter().map(|a| a.name().to_string()).collect(),
             );
             let mut tracker = DnfTracker::new();
+            let mut phases = PhaseLog::new();
             for &card in &sweep {
                 let ds = dataset(dist, dim, card, opts.seed);
                 let cells = Algo::all()
                     .iter()
-                    .map(|&algo| measure_cell(algo, &ds, 13, &mut tracker, opts.scale.dnf_budget()))
+                    .map(|&algo| {
+                        measure_cell_logged(
+                            algo,
+                            &ds,
+                            13,
+                            &mut tracker,
+                            opts.scale.dnf_budget(),
+                            &format!("{} card={card}", algo.name()),
+                            Some(&mut phases),
+                        )
+                    })
                     .collect();
                 table.push_row(card.to_string(), cells);
                 eprint!(".");
@@ -38,7 +51,13 @@ fn main() {
             println!("{}", table.render());
             let file = format!("fig9_{dim}d_{dist_label}.csv");
             let path = table.write_csv(&opts.out_dir, &file).expect("write CSV");
-            println!("wrote {}\n", path.display());
+            let json = phases
+                .write_json(
+                    &opts.out_dir,
+                    &format!("fig9_{dim}d_{dist_label}_phases.json"),
+                )
+                .expect("write phase JSON");
+            println!("wrote {}\nwrote {}\n", path.display(), json.display());
         }
     }
 }

@@ -27,6 +27,9 @@ use skymr::{mr_gpmrs, mr_gpsrs, PpdPolicy, SkylineConfig};
 use skymr_baselines::{mr_angle, mr_bnl, BaselineConfig};
 use skymr_common::Dataset;
 use skymr_datagen::{generate, Distribution};
+use skymr_mapreduce::telemetry::export::json_escape;
+use skymr_mapreduce::telemetry::JobPhaseSummary;
+use skymr_mapreduce::JobMetrics;
 
 /// Benchmark scale profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +177,14 @@ pub struct Measurement {
     pub counters: BTreeMap<String, u64>,
     /// PPD the grid algorithms used (0 for baselines).
     pub ppd: usize,
+    /// Per-job phase breakdown (map / shuffle / reduce / overhead), in
+    /// pipeline order.
+    pub phases: Vec<JobPhaseSummary>,
+}
+
+/// Per-job phase rows for a finished pipeline.
+fn phase_rows(metrics: &skymr_mapreduce::PipelineMetrics) -> Vec<JobPhaseSummary> {
+    metrics.jobs.iter().map(JobMetrics::phase_summary).collect()
 }
 
 /// Runs one algorithm on one dataset with paper-default parameters.
@@ -190,6 +201,7 @@ pub fn run_algo(algo: Algo, dataset: &Dataset, reducers: usize) -> Measurement {
                 sim_runtime: run.metrics.sim_runtime(),
                 host_wall: run.metrics.host_wall(),
                 skyline_size: run.skyline.len(),
+                phases: phase_rows(&run.metrics),
                 counters: run.counters,
                 ppd: run.info.ppd,
             }
@@ -200,6 +212,7 @@ pub fn run_algo(algo: Algo, dataset: &Dataset, reducers: usize) -> Measurement {
                 sim_runtime: run.metrics.sim_runtime(),
                 host_wall: run.metrics.host_wall(),
                 skyline_size: run.skyline.len(),
+                phases: phase_rows(&run.metrics),
                 counters: run.counters,
                 ppd: run.info.ppd,
             }
@@ -210,6 +223,7 @@ pub fn run_algo(algo: Algo, dataset: &Dataset, reducers: usize) -> Measurement {
                 sim_runtime: run.metrics.sim_runtime(),
                 host_wall: run.metrics.host_wall(),
                 skyline_size: run.skyline.len(),
+                phases: phase_rows(&run.metrics),
                 counters: BTreeMap::new(),
                 ppd: 0,
             }
@@ -220,6 +234,7 @@ pub fn run_algo(algo: Algo, dataset: &Dataset, reducers: usize) -> Measurement {
                 sim_runtime: run.metrics.sim_runtime(),
                 host_wall: run.metrics.host_wall(),
                 skyline_size: run.skyline.len(),
+                phases: phase_rows(&run.metrics),
                 counters: BTreeMap::new(),
                 ppd: 0,
             }
@@ -374,9 +389,113 @@ impl DnfTracker {
     }
 }
 
+/// Accumulates per-run phase breakdowns for one figure and writes them as
+/// a JSON sidecar next to the CSV, so plots of *where time goes* (map vs.
+/// shuffle vs. reduce vs. bitstring overhead) can be regenerated without
+/// re-running the sweep.
+#[derive(Debug, Default)]
+pub struct PhaseLog {
+    entries: Vec<(String, Measurement)>,
+}
+
+fn push_json_duration(out: &mut String, key: &str, d: Duration) {
+    out.push_str(&format!("\"{key}\":{}", d.as_micros()));
+}
+
+impl PhaseLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one finished run under a label like `"MR-GPMRS dim=4"`.
+    pub fn record(&mut self, label: impl Into<String>, m: &Measurement) {
+        self.entries.push((label.into(), m.clone()));
+    }
+
+    /// Renders the log as a JSON document (all durations in integer
+    /// microseconds; key order fixed, so output is reproducible).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"runs\":[\n");
+        for (i, (label, m)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!("{{\"label\":\"{}\",", json_escape(label)));
+            push_json_duration(&mut out, "sim_runtime_us", m.sim_runtime);
+            out.push(',');
+            push_json_duration(&mut out, "host_wall_us", m.host_wall);
+            out.push_str(&format!(
+                ",\"skyline_size\":{},\"ppd\":{},\"phases\":[",
+                m.skyline_size, m.ppd
+            ));
+            for (j, p) in m.phases.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"job\":\"{}\",\"map_tasks\":{},\"reduce_tasks\":{},",
+                    json_escape(&p.job),
+                    p.map_tasks,
+                    p.reduce_tasks
+                ));
+                for (key, d) in [
+                    ("overhead_us", p.overhead),
+                    ("map_us", p.map),
+                    ("shuffle_us", p.shuffle),
+                    ("reduce_us", p.reduce),
+                    ("total_us", p.total),
+                    ("wasted_us", p.wasted),
+                ] {
+                    push_json_duration(&mut out, key, d);
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\"attempts\":{},\"retries\":{},\"speculative_wins\":{}}}",
+                    p.attempts, p.retries, p.speculative_wins
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Writes the log as JSON into `dir/<file>`.
+    pub fn write_json(&self, dir: &std::path::Path, file: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(file);
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
 /// Generates (and memoizes per process) a dataset.
 pub fn dataset(dist: Distribution, dim: usize, card: usize, seed: u64) -> Dataset {
     generate(dist, dim, card, seed ^ ((dim as u64) << 32) ^ card as u64)
+}
+
+/// Runs one sweep cell with DNF handling; returns the simulated runtime in
+/// seconds, and records the run's phase breakdown under `label` when a log
+/// is supplied.
+pub fn measure_cell_logged(
+    algo: Algo,
+    ds: &Dataset,
+    reducers: usize,
+    tracker: &mut DnfTracker,
+    budget: Duration,
+    label: &str,
+    log: Option<&mut PhaseLog>,
+) -> Option<f64> {
+    if tracker.is_dnf(algo) {
+        return None;
+    }
+    let m = run_algo(algo, ds, reducers);
+    tracker.record(algo, m.host_wall, budget);
+    if let Some(log) = log {
+        log.record(label, &m);
+    }
+    Some(m.sim_runtime.as_secs_f64())
 }
 
 /// Runs one sweep cell with DNF handling; returns the simulated runtime in
@@ -388,12 +507,7 @@ pub fn measure_cell(
     tracker: &mut DnfTracker,
     budget: Duration,
 ) -> Option<f64> {
-    if tracker.is_dnf(algo) {
-        return None;
-    }
-    let m = run_algo(algo, ds, reducers);
-    tracker.record(algo, m.host_wall, budget);
-    Some(m.sim_runtime.as_secs_f64())
+    measure_cell_logged(algo, ds, reducers, tracker, budget, "", None)
 }
 
 #[cfg(test)]
@@ -479,8 +593,47 @@ mod tests {
         for algo in Algo::all() {
             let m = run_algo(algo, &ds, 4);
             assert!(m.sim_runtime > Duration::ZERO);
+            assert!(!m.phases.is_empty(), "{algo:?} reports no phase rows");
             sizes.insert(m.skyline_size);
         }
         assert_eq!(sizes.len(), 1, "algorithms disagree on skyline size");
+    }
+
+    #[test]
+    fn phase_log_json_is_valid_and_carries_the_breakdown() {
+        use skymr_mapreduce::telemetry::json;
+
+        let ds = dataset(Distribution::Independent, 3, 300, 1);
+        let mut log = PhaseLog::new();
+        log.record("MR-GPMRS dim=3", &run_algo(Algo::MrGpmrs, &ds, 4));
+        let text = log.to_json();
+        let doc = json::parse(&text).expect("phase log renders valid JSON");
+        let runs = doc
+            .get("runs")
+            .and_then(json::Value::as_array)
+            .expect("runs array");
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(
+            run.get("label").and_then(json::Value::as_str),
+            Some("MR-GPMRS dim=3")
+        );
+        assert!(run
+            .get("sim_runtime_us")
+            .and_then(json::Value::as_u64)
+            .is_some());
+        let phases = run
+            .get("phases")
+            .and_then(json::Value::as_array)
+            .expect("phases array");
+        // MR-GPMRS is a two-job pipeline: bitstring then gpmrs.
+        assert!(phases.len() >= 2, "{text}");
+        for p in phases {
+            for key in ["job", "map_us", "shuffle_us", "reduce_us", "total_us"] {
+                assert!(p.get(key).is_some(), "phase row missing {key}: {text}");
+            }
+        }
+        // Byte-reproducible, like the engine exporters.
+        assert_eq!(text, log.to_json());
     }
 }

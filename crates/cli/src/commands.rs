@@ -9,7 +9,9 @@ use skymr_baselines::{
 };
 use skymr_common::{Dataset, Tuple};
 use skymr_datagen::{generate as gen_data, io, Distribution};
-use skymr_mapreduce::PipelineMetrics;
+use skymr_mapreduce::telemetry::export::{chrome_trace, jsonl};
+use skymr_mapreduce::telemetry::json;
+use skymr_mapreduce::{Collector, PipelineMetrics};
 
 use crate::args::Args;
 
@@ -154,7 +156,7 @@ fn write_skyline(args: &Args, skyline: &[Tuple], dim: usize) -> Result<(), Strin
 const GENERATE_OPTS: &[&str] = &["dist", "dim", "card", "seed", "clusters", "out", "format"];
 const RUN_OPTS: &[&str] = &[
     "algo", "input", "dist", "dim", "card", "seed", "clusters", "mappers", "reducers", "ppd",
-    "out", "distinct", "verify", "k", "dims", "lo", "hi", "local",
+    "out", "distinct", "verify", "k", "dims", "lo", "hi", "local", "trace",
 ];
 const PLAN_OPTS: &[&str] = &[
     "input", "dist", "dim", "card", "seed", "clusters", "ppd", "reducers", "dims", "lo", "hi",
@@ -197,13 +199,19 @@ pub fn run(args: &Args) -> Result<(), String> {
     let algo = args.require("algo")?.to_string();
     let data = load_dataset(args)?;
     println!("dataset: {} tuples, {} dimensions", data.len(), data.dim());
+    // With --trace, the MapReduce algorithms record their span timelines
+    // into this collector; it is exported after the run completes.
+    let collector = args.get("trace").map(|_| Collector::new());
+    let sky_config = || -> Result<SkylineConfig, String> {
+        Ok(skyline_config(args)?.with_telemetry(collector.clone()))
+    };
     let (skyline, metrics): (Vec<Tuple>, Option<PipelineMetrics>) = match algo.as_str() {
         "gpsrs" => {
-            let run = mr_gpsrs(&data, &skyline_config(args)?).map_err(|e| e.to_string())?;
+            let run = mr_gpsrs(&data, &sky_config()?).map_err(|e| e.to_string())?;
             (run.skyline, Some(run.metrics))
         }
         "gpmrs" => {
-            let run = mr_gpmrs(&data, &skyline_config(args)?).map_err(|e| e.to_string())?;
+            let run = mr_gpmrs(&data, &sky_config()?).map_err(|e| e.to_string())?;
             println!(
                 "grid: PPD {}, {} surviving of {} non-empty partitions, {} groups -> {} buckets",
                 run.info.ppd,
@@ -215,19 +223,19 @@ pub fn run(args: &Args) -> Result<(), String> {
             (run.skyline, Some(run.metrics))
         }
         "hybrid" => {
-            let run = mr_hybrid(&data, &skyline_config(args)?).map_err(|e| e.to_string())?;
+            let run = mr_hybrid(&data, &sky_config()?).map_err(|e| e.to_string())?;
             (run.skyline, Some(run.metrics))
         }
         "skyband" => {
             let k = args.get_parsed("k", 2u32)?;
             println!("note: computing the {k}-skyband (tuples dominated by fewer than {k} others)");
-            let run = mr_skyband(&data, k, &skyline_config(args)?).map_err(|e| e.to_string())?;
+            let run = mr_skyband(&data, k, &sky_config()?).map_err(|e| e.to_string())?;
             (run.skyline, Some(run.metrics))
         }
         "topk" => {
             let k = args.get_parsed("k", 10usize)?;
-            let run = skymr::mr_top_k_dominating(&data, k, &skyline_config(args)?)
-                .map_err(|e| e.to_string())?;
+            let run =
+                skymr::mr_top_k_dominating(&data, k, &sky_config()?).map_err(|e| e.to_string())?;
             println!("top-{k} dominating tuples (score = tuples dominated):");
             for (t, score) in &run.ranked {
                 println!("  #{:<8} score {score}", t.id);
@@ -277,6 +285,21 @@ pub fn run(args: &Args) -> Result<(), String> {
     );
     if let Some(metrics) = &metrics {
         print_metrics(metrics);
+        if collector.is_some() {
+            println!("{}", metrics.phase_table());
+        }
+    }
+    if let (Some(collector), Some(path)) = (&collector, args.get("trace")) {
+        let doc = collector.finish();
+        // A `.jsonl` extension selects line-delimited export; anything else
+        // gets the Chrome trace_event JSON Perfetto loads directly.
+        let body = if path.ends_with(".jsonl") {
+            jsonl(&doc)
+        } else {
+            chrome_trace(&doc)
+        };
+        std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote trace ({} events) to {path}", doc.events.len());
     }
     if args.has_flag("verify") && !matches!(algo.as_str(), "mr-bitmap" | "skyband" | "topk") {
         // (mr-bitmap answers for the discretized dataset and skyband for
@@ -347,6 +370,160 @@ pub fn plan(args: &Args) -> Result<(), String> {
         .sum::<usize>()
         .saturating_sub(info.surviving);
     println!("replicated partition copies across buckets: {replicated}");
+    Ok(())
+}
+
+/// One complete span pulled out of a trace file.
+struct SpanRow {
+    pid: u64,
+    cat: String,
+    dur: u64,
+    end: u64,
+}
+
+/// Pulls the fields the summary needs out of one event object.
+fn classify_event(
+    event: &json::Value,
+    names: &mut std::collections::BTreeMap<u64, String>,
+    spans: &mut Vec<SpanRow>,
+) {
+    let pid = event.get("pid").and_then(json::Value::as_u64).unwrap_or(0);
+    let ph = event.get("ph").and_then(json::Value::as_str).unwrap_or("");
+    match ph {
+        "M" if event.get("name").and_then(json::Value::as_str) == Some("process_name") => {
+            if let Some(name) = event
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(json::Value::as_str)
+            {
+                names.insert(pid, name.to_string());
+            }
+        }
+        "X" => {
+            let ts = event.get("ts").and_then(json::Value::as_u64).unwrap_or(0);
+            let dur = event.get("dur").and_then(json::Value::as_u64).unwrap_or(0);
+            spans.push(SpanRow {
+                pid,
+                cat: event
+                    .get("cat")
+                    .and_then(json::Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                dur,
+                end: ts + dur,
+            });
+        }
+        _ => {}
+    }
+}
+
+/// How many registry counters `skymr-cli trace` prints per job.
+const SHOWN: usize = 24;
+
+/// `skymr-cli trace` — summarize a trace file written by `run --trace`.
+pub fn trace(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[])?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: skymr-cli trace FILE")?;
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let mut names: std::collections::BTreeMap<u64, String> = std::collections::BTreeMap::new();
+    let mut spans: Vec<SpanRow> = Vec::new();
+    let mut registries: Vec<(String, Vec<(String, u64)>)> = Vec::new();
+
+    if path.ends_with(".jsonl") {
+        for (n, line) in raw.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = json::parse(line).map_err(|e| format!("{path}:{}: {e}", n + 1))?;
+            match value.get("type").and_then(json::Value::as_str) {
+                Some("event") => {
+                    if let Some(event) = value.get("event") {
+                        classify_event(event, &mut names, &mut spans);
+                    }
+                }
+                Some("registry") => {
+                    let job = value
+                        .get("job")
+                        .and_then(json::Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    let counters = value
+                        .get("counters")
+                        .and_then(json::Value::as_object)
+                        .map(|kv| {
+                            kv.iter()
+                                .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    registries.push((job, counters));
+                }
+                _ => return Err(format!("{path}:{}: unknown record type", n + 1)),
+            }
+        }
+    } else {
+        let doc = json::parse(&raw).map_err(|e| format!("{path}: {e}"))?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| format!("{path}: no traceEvents array — not a Chrome trace?"))?;
+        for event in events {
+            classify_event(event, &mut names, &mut spans);
+        }
+        if let Some(regs) = doc.get("registries").and_then(json::Value::as_array) {
+            for reg in regs {
+                let job = reg
+                    .get("job")
+                    .and_then(json::Value::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                let counters = reg
+                    .get("counters")
+                    .and_then(json::Value::as_object)
+                    .map(|kv| {
+                        kv.iter()
+                            .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                registries.push((job, counters));
+            }
+        }
+    }
+
+    println!("trace      : {path}");
+    println!("spans      : {}", spans.len());
+    for (pid, name) in &names {
+        let mut by_cat: std::collections::BTreeMap<&str, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        let mut makespan = 0u64;
+        for s in spans.iter().filter(|s| s.pid == *pid) {
+            let entry = by_cat.entry(s.cat.as_str()).or_default();
+            entry.0 += 1;
+            entry.1 += s.dur;
+            makespan = makespan.max(s.end);
+        }
+        if by_cat.is_empty() {
+            continue;
+        }
+        println!("process {pid} ({name}): finishes at {makespan} ticks");
+        for (cat, (count, total)) in by_cat {
+            println!("  {cat:<12} {count:>5} spans, {total:>12} ticks total");
+        }
+    }
+    for (job, counters) in &registries {
+        println!("registry {job}: {} counters", counters.len());
+        for (k, v) in counters.iter().take(SHOWN) {
+            println!("  {k:<44} {v}");
+        }
+        if counters.len() > SHOWN {
+            println!("  … and {} more", counters.len() - SHOWN);
+        }
+    }
     Ok(())
 }
 
@@ -500,6 +677,34 @@ mod tests {
         let a = args(&format!("run --algo gpmrs --input {}", path.display()));
         run(&a).unwrap();
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_writes_and_summarizes_traces() {
+        for ext in ["json", "jsonl"] {
+            let path =
+                std::env::temp_dir().join(format!("skymr-cli-trace-{}.{ext}", std::process::id()));
+            let a = args(&format!(
+                "run --algo gpmrs --dist anticorrelated --dim 3 --card 300 --seed 7 \
+                 --mappers 3 --reducers 2 --ppd 3 --trace {}",
+                path.display()
+            ));
+            run(&a).unwrap();
+            let a = args(&format!("trace {}", path.display()));
+            trace(&a).unwrap_or_else(|e| panic!("summarizing .{ext} failed: {e}"));
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn trace_rejects_garbage() {
+        let path = std::env::temp_dir().join(format!("skymr-cli-bad-{}.json", std::process::id()));
+        std::fs::write(&path, "not json").unwrap();
+        let a = args(&format!("trace {}", path.display()));
+        assert!(trace(&a).is_err());
+        std::fs::remove_file(path).ok();
+        let a = args("trace");
+        assert!(trace(&a).is_err(), "missing file argument must fail");
     }
 
     #[test]

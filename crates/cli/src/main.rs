@@ -40,6 +40,11 @@ COMMANDS:
                [--dims i,j,…   (project onto a subspace before running)]
                [--lo a,b,… --hi a,b,…  (constrained skyline: range box)]
                [--local bnl|sfs|dnc    (mapper local-skyline kernel)]
+               [--trace FILE   (write the span timeline: Chrome trace_event
+                                JSON for Perfetto, or JSONL if FILE ends
+                                in .jsonl; MapReduce algorithms only)]
+    trace      Summarize a trace file written by `run --trace`
+               FILE   (either export format is accepted)
     plan       Show the bitstring and independent-group structure
                (--input FILE | --dist … --dim N --card N [--seed N])
                [--ppd auto|N] [--reducers N]
@@ -61,6 +66,7 @@ fn main() -> ExitCode {
         Some("run") => commands::run(&args),
         Some("plan") => commands::plan(&args),
         Some("info") => commands::info(&args),
+        Some("trace") => commands::trace(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

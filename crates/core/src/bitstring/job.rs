@@ -1,10 +1,10 @@
 //! The bitstring-generation MapReduce job (paper Algorithms 1 and 2,
 //! Figure 3) and the shared driver used by both skyline algorithms.
 
-use skymr_common::{BitGrid, Tuple};
+use skymr_common::{BitGrid, Counters, Tuple};
 use skymr_mapreduce::{
-    run_job, ClusterConfig, Emitter, FaultTolerance, JobConfig, JobMetrics, MapFactory, MapTask,
-    OutputCollector, ReduceFactory, ReduceTask, SingleReducerPartitioner, TaskContext,
+    run_job, ClusterConfig, Collector, Emitter, FaultTolerance, JobConfig, JobMetrics, MapFactory,
+    MapTask, OutputCollector, ReduceFactory, ReduceTask, SingleReducerPartitioner, TaskContext,
 };
 
 use crate::bitstring::ppd::run_ppd_selection_job;
@@ -42,6 +42,7 @@ impl BitstringMapFactory {
 pub struct BitstringMapTask {
     grid: Grid,
     local: BitGrid,
+    counters: Counters,
 }
 
 impl MapTask for BitstringMapTask {
@@ -54,16 +55,20 @@ impl MapTask for BitstringMapTask {
     }
 
     fn finish(&mut self, out: &mut Emitter<u8, BitGrid>) {
+        // Grid-cell occupancy of this split's local bitstring.
+        self.counters
+            .add("map.local_partitions_set", self.local.count_ones() as u64);
         out.emit(0, std::mem::replace(&mut self.local, BitGrid::zeros(0)));
     }
 }
 
 impl MapFactory for BitstringMapFactory {
     type Task = BitstringMapTask;
-    fn create(&self, _ctx: &TaskContext) -> BitstringMapTask {
+    fn create(&self, ctx: &TaskContext) -> BitstringMapTask {
         BitstringMapTask {
             grid: self.grid,
             local: BitGrid::zeros(self.grid.num_partitions()),
+            counters: ctx.counters.clone(),
         }
     }
 }
@@ -88,6 +93,7 @@ impl BitstringReduceFactory {
 pub struct BitstringReduceTask {
     grid: Grid,
     prune: bool,
+    counters: Counters,
 }
 
 /// Reducer output: the global bitstring plus its pre-pruning occupancy.
@@ -119,6 +125,15 @@ impl ReduceTask for BitstringReduceTask {
         if self.prune {
             bs.prune_dominated();
         }
+        // Occupancy and DR-pruning effect of the merged global bitstring
+        // (Equation 2): non-empty cells, survivors, and cells pruned.
+        let surviving = bs.count_set() as u64;
+        self.counters.add("reduce.non_empty_partitions", non_empty);
+        self.counters.add("reduce.surviving_partitions", surviving);
+        self.counters.add(
+            "reduce.dr_pruned_partitions",
+            non_empty.saturating_sub(surviving),
+        );
         out.collect(BitstringJobOutput {
             bits: bs.bits().clone(),
             non_empty,
@@ -128,10 +143,11 @@ impl ReduceTask for BitstringReduceTask {
 
 impl ReduceFactory for BitstringReduceFactory {
     type Task = BitstringReduceTask;
-    fn create(&self, _ctx: &TaskContext) -> BitstringReduceTask {
+    fn create(&self, ctx: &TaskContext) -> BitstringReduceTask {
         BitstringReduceTask {
             grid: self.grid,
             prune: self.prune,
+            counters: ctx.counters.clone(),
         }
     }
 }
@@ -146,8 +162,11 @@ pub fn run_bitstring_job(
     grid: Grid,
     prune: bool,
     ft: &FaultTolerance,
+    telemetry: Option<&Collector>,
 ) -> skymr_common::Result<(Bitstring, BitstringInfo, JobMetrics)> {
-    let config = JobConfig::new("bitstring", 1).with_fault_tolerance(ft);
+    let config = JobConfig::new("bitstring", 1)
+        .with_fault_tolerance(ft)
+        .with_collector(telemetry.cloned());
     let outcome = run_job(
         cluster,
         &config,
@@ -193,6 +212,7 @@ pub fn generate_bitstring(
                 grid,
                 config.prune_bitstring,
                 &config.fault_tolerance,
+                config.telemetry.as_ref(),
             )
         }
         PpdPolicy::Auto {
@@ -207,6 +227,7 @@ pub fn generate_bitstring(
             max_partitions,
             config.prune_bitstring,
             &config.fault_tolerance,
+            config.telemetry.as_ref(),
         ),
     }
 }
@@ -240,6 +261,7 @@ mod tests {
             grid,
             false,
             &FaultTolerance::none(),
+            None,
         )
         .unwrap();
         let rendered: String = (0..9)
@@ -265,6 +287,7 @@ mod tests {
             grid,
             true,
             &FaultTolerance::none(),
+            None,
         )
         .unwrap();
         assert!(
@@ -281,8 +304,8 @@ mod tests {
         let grid = Grid::new(2, 3).unwrap();
         let cluster = ClusterConfig::test();
         let ft = FaultTolerance::none();
-        let (a, _, _) = run_bitstring_job(&cluster, &ds.split(1), grid, true, &ft).unwrap();
-        let (b, _, _) = run_bitstring_job(&cluster, &ds.split(5), grid, true, &ft).unwrap();
+        let (a, _, _) = run_bitstring_job(&cluster, &ds.split(1), grid, true, &ft, None).unwrap();
+        let (b, _, _) = run_bitstring_job(&cluster, &ds.split(5), grid, true, &ft, None).unwrap();
         assert_eq!(a, b);
     }
 
@@ -296,6 +319,7 @@ mod tests {
             grid,
             true,
             &FaultTolerance::none(),
+            None,
         )
         .unwrap();
         assert_eq!(bs.count_set(), 0);

@@ -15,10 +15,10 @@
 //! caps only ever shrink the candidate set; the selection rule is the
 //! paper's.
 
-use skymr_common::{BitGrid, Error, Tuple};
+use skymr_common::{BitGrid, Counters, Error, Tuple};
 use skymr_mapreduce::{
-    run_job, ClusterConfig, Emitter, FaultTolerance, JobConfig, JobMetrics, MapFactory, MapTask,
-    OutputCollector, ReduceFactory, ReduceTask, SingleReducerPartitioner, TaskContext,
+    run_job, ClusterConfig, Collector, Emitter, FaultTolerance, JobConfig, JobMetrics, MapFactory,
+    MapTask, OutputCollector, ReduceFactory, ReduceTask, SingleReducerPartitioner, TaskContext,
 };
 
 use crate::bitstring::job::BitstringInfo;
@@ -65,6 +65,7 @@ impl MultiPpdMapFactory {
 pub struct MultiPpdMapTask {
     grids: Vec<Grid>,
     locals: Vec<BitGrid>,
+    counters: Counters,
 }
 
 impl MapTask for MultiPpdMapTask {
@@ -79,6 +80,13 @@ impl MapTask for MultiPpdMapTask {
     }
 
     fn finish(&mut self, out: &mut Emitter<u32, BitGrid>) {
+        // Grid-cell occupancy of the finest candidate grid — the same
+        // signal the fixed-PPD mapper records, on the grid that resolves
+        // skew best.
+        if let Some(local) = self.locals.last() {
+            self.counters
+                .add("map.local_partitions_set", local.count_ones() as u64);
+        }
         for (j, local) in self.locals.drain(..).enumerate() {
             out.emit(j as u32, local);
         }
@@ -87,7 +95,7 @@ impl MapTask for MultiPpdMapTask {
 
 impl MapFactory for MultiPpdMapFactory {
     type Task = MultiPpdMapTask;
-    fn create(&self, _ctx: &TaskContext) -> MultiPpdMapTask {
+    fn create(&self, ctx: &TaskContext) -> MultiPpdMapTask {
         MultiPpdMapTask {
             locals: self
                 .grids
@@ -95,6 +103,7 @@ impl MapFactory for MultiPpdMapFactory {
                 .map(|g| BitGrid::zeros(g.num_partitions()))
                 .collect(),
             grids: self.grids.clone(),
+            counters: ctx.counters.clone(),
         }
     }
 }
@@ -137,6 +146,7 @@ pub struct MultiPpdReduceTask {
     cardinality: usize,
     prune: bool,
     merged: Vec<Option<BitGrid>>,
+    counters: Counters,
 }
 
 impl ReduceTask for MultiPpdReduceTask {
@@ -187,6 +197,16 @@ impl ReduceTask for MultiPpdReduceTask {
         if self.prune {
             bs.prune_dominated();
         }
+        // Same occupancy / DR-pruning story the fixed-PPD reducer records,
+        // plus the PPD the selection settled on.
+        let surviving = bs.count_set() as u64;
+        self.counters.add("reduce.selected_ppd", grid.ppd() as u64);
+        self.counters.add("reduce.non_empty_partitions", non_empty);
+        self.counters.add("reduce.surviving_partitions", surviving);
+        self.counters.add(
+            "reduce.dr_pruned_partitions",
+            non_empty.saturating_sub(surviving),
+        );
         out.collect(PpdSelection {
             ppd: grid.ppd(),
             non_empty,
@@ -197,12 +217,13 @@ impl ReduceTask for MultiPpdReduceTask {
 
 impl ReduceFactory for MultiPpdReduceFactory {
     type Task = MultiPpdReduceTask;
-    fn create(&self, _ctx: &TaskContext) -> MultiPpdReduceTask {
+    fn create(&self, ctx: &TaskContext) -> MultiPpdReduceTask {
         MultiPpdReduceTask {
             merged: vec![None; self.grids.len()],
             grids: self.grids.clone(),
             cardinality: self.cardinality,
             prune: self.prune,
+            counters: ctx.counters.clone(),
         }
     }
 }
@@ -218,6 +239,7 @@ pub fn run_ppd_selection_job(
     max_partitions: usize,
     prune: bool,
     ft: &FaultTolerance,
+    telemetry: Option<&Collector>,
 ) -> skymr_common::Result<(Bitstring, BitstringInfo, JobMetrics)> {
     let candidates = candidate_ppds(cardinality, dim, max_ppd, max_partitions);
     let grids: Vec<Grid> = candidates
@@ -227,7 +249,9 @@ pub fn run_ppd_selection_job(
     if grids.is_empty() {
         return Err(Error::InvalidConfig("no PPD candidates".into()));
     }
-    let config = JobConfig::new("bitstring-ppd", 1).with_fault_tolerance(ft);
+    let config = JobConfig::new("bitstring-ppd", 1)
+        .with_fault_tolerance(ft)
+        .with_collector(telemetry.cloned());
     let outcome = run_job(
         cluster,
         &config,
@@ -303,6 +327,7 @@ mod tests {
             1 << 16,
             true,
             &FaultTolerance::none(),
+            None,
         )
         .unwrap();
         assert!(info.ppd >= 2 && info.ppd <= 16);
@@ -325,9 +350,18 @@ mod tests {
         let candidates = candidate_ppds(ds.len(), 2, 16, 1 << 16);
         let cluster = ClusterConfig::test();
         let ft = FaultTolerance::none();
-        let (bs, _, _) =
-            run_ppd_selection_job(&cluster, &ds.split(2), 2, ds.len(), 16, 1 << 16, false, &ft)
-                .unwrap();
+        let (bs, _, _) = run_ppd_selection_job(
+            &cluster,
+            &ds.split(2),
+            2,
+            ds.len(),
+            16,
+            1 << 16,
+            false,
+            &ft,
+            None,
+        )
+        .unwrap();
         // Recompute every candidate's score locally.
         let c = ds.len() as f64;
         let mut best = f64::INFINITY;
@@ -349,9 +383,18 @@ mod tests {
     fn empty_input_falls_back_gracefully() {
         let splits: Vec<Vec<Tuple>> = vec![vec![]];
         let ft = FaultTolerance::none();
-        let (bs, info, _) =
-            run_ppd_selection_job(&ClusterConfig::test(), &splits, 3, 0, 8, 1 << 12, true, &ft)
-                .unwrap();
+        let (bs, info, _) = run_ppd_selection_job(
+            &ClusterConfig::test(),
+            &splits,
+            3,
+            0,
+            8,
+            1 << 12,
+            true,
+            &ft,
+            None,
+        )
+        .unwrap();
         assert_eq!(info.non_empty, 0);
         assert_eq!(bs.count_set(), 0);
     }

@@ -1,7 +1,7 @@
 //! Configuration for the skyline pipelines.
 
 use skymr_common::{Error, Result};
-use skymr_mapreduce::{ClusterConfig, FaultTolerance};
+use skymr_mapreduce::{ClusterConfig, Collector, FaultTolerance};
 
 use crate::groups::MergePolicy;
 use crate::local::LocalAlgo;
@@ -60,6 +60,10 @@ pub struct SkylineConfig {
     /// Fault injection, retry budget, and speculation for the pipeline's
     /// jobs (benign by default).
     pub fault_tolerance: FaultTolerance,
+    /// Optional span collector: when set, every job in the pipeline emits
+    /// its deterministic span timeline (and metrics registry) into it.
+    /// `None` costs nothing — registries are still built per job.
+    pub telemetry: Option<Collector>,
 }
 
 impl Default for SkylineConfig {
@@ -74,6 +78,7 @@ impl Default for SkylineConfig {
             local_algo: LocalAlgo::Bnl,
             cluster,
             fault_tolerance: FaultTolerance::none(),
+            telemetry: None,
         }
     }
 }
@@ -91,6 +96,7 @@ impl SkylineConfig {
             local_algo: LocalAlgo::Bnl,
             cluster: ClusterConfig::test(),
             fault_tolerance: FaultTolerance::none(),
+            telemetry: None,
         }
     }
 
@@ -115,6 +121,12 @@ impl SkylineConfig {
     /// Sets the fault-tolerance configuration.
     pub fn with_fault_tolerance(mut self, ft: FaultTolerance) -> Self {
         self.fault_tolerance = ft;
+        self
+    }
+
+    /// Attaches (or detaches) a span collector for the pipeline's jobs.
+    pub fn with_telemetry(mut self, collector: Option<Collector>) -> Self {
+        self.telemetry = collector;
         self
     }
 

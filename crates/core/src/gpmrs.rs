@@ -193,6 +193,21 @@ impl ReduceTask for GpmrsReduceTask {
             }
         }
         record_task_stats(&self.counters, "reduce", stats);
+        // Per-bucket (partition-group) comparison counts: each bucket is an
+        // ADR-closed set of partitions, so these expose the per-group
+        // balance the merge policy aimed for.
+        self.counters.add(
+            &format!("reduce.bucket.{bucket_index}.partition_cmps"),
+            stats.partition_cmps,
+        );
+        self.counters.add(
+            &format!("reduce.bucket.{bucket_index}.tuple_cmps"),
+            stats.tuple_cmps,
+        );
+        self.counters.add(
+            &format!("reduce.bucket.{bucket_index}.designated_partitions"),
+            skylines.len() as u64,
+        );
         // Line 11: emit the finalized designated partitions.
         for tuples in skylines.into_values() {
             for t in tuples {
@@ -217,6 +232,11 @@ impl ReduceFactory for GpmrsReduceFactory {
 /// the multi-reducer skyline job.
 pub fn mr_gpmrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Result<SkylineRun> {
     config.validate()?;
+    // The whole two-job pipeline runs under one algorithm-level span.
+    let _scope = config
+        .telemetry
+        .as_ref()
+        .map(|c| c.scope("algo", "mr-gpmrs"));
     let splits = dataset.split(config.mappers);
     let mut metrics = PipelineMetrics::new();
     let mut counters = std::collections::BTreeMap::new();
@@ -250,7 +270,8 @@ pub fn mr_gpmrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Resu
     let plan = Arc::new(plan);
     let job_config = JobConfig::new("gpmrs", plan.num_buckets())
         .with_cache_bytes(bitstring.bits().byte_size())
-        .with_fault_tolerance(&config.fault_tolerance);
+        .with_fault_tolerance(&config.fault_tolerance)
+        .with_collector(config.telemetry.clone());
     let outcome = metrics.track(run_job(
         &config.cluster,
         &job_config,

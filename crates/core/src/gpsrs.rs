@@ -73,6 +73,9 @@ pub struct GpsrsMapTask {
     /// Buffered partition contents (sort-based kernels).
     buffers: std::collections::BTreeMap<u32, Vec<Tuple>>,
     stats: CmpStats,
+    /// Tuples dropped because their partition's bit was pruned (the
+    /// dominating-region test, Equation 2).
+    dr_pruned: u64,
     counters: Counters,
 }
 
@@ -88,6 +91,7 @@ impl GpsrsMapTask {
             skylines: LocalSkylines::new(),
             buffers: Default::default(),
             stats: CmpStats::default(),
+            dr_pruned: 0,
             counters,
         }
     }
@@ -98,6 +102,7 @@ impl GpsrsMapTask {
     pub(crate) fn consume(&mut self, t: &Tuple) {
         let p = self.bitstring.grid().partition_of(t);
         if !self.bitstring.is_set(p) {
+            self.dr_pruned += 1;
             return;
         }
         match self.local_algo {
@@ -120,8 +125,13 @@ impl GpsrsMapTask {
             }
         }
         let grid = *self.bitstring.grid();
+        let before: u64 = self.skylines.values().map(|s| s.len() as u64).sum();
         compare_all_partitions(&grid, &mut self.skylines, &mut self.stats);
+        let after: u64 = self.skylines.values().map(|s| s.len() as u64).sum();
         record_task_stats(&self.counters, "map", self.stats);
+        self.counters.add("map.dr_pruned_tuples", self.dr_pruned);
+        self.counters
+            .add("map.adr_removed_tuples", before.saturating_sub(after));
         std::mem::take(&mut self.skylines)
     }
 }
@@ -195,8 +205,12 @@ impl ReduceTask for GpsrsReduceTask {
             }
         }
         // Lines 7–8: global ComparePartitions sweep.
+        let before: u64 = skylines.values().map(|s| s.len() as u64).sum();
         compare_all_partitions(&self.grid, &mut skylines, &mut stats);
+        let after: u64 = skylines.values().map(|s| s.len() as u64).sum();
         record_task_stats(&self.counters, "reduce", stats);
+        self.counters
+            .add("reduce.adr_removed_tuples", before.saturating_sub(after));
         // Line 9: output the union.
         for tuples in skylines.into_values() {
             for t in tuples {
@@ -231,6 +245,11 @@ impl ReduceFactory for GpsrsReduceFactory {
 /// ```
 pub fn mr_gpsrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Result<SkylineRun> {
     config.validate()?;
+    // The whole two-job pipeline runs under one algorithm-level span.
+    let _scope = config
+        .telemetry
+        .as_ref()
+        .map(|c| c.scope("algo", "mr-gpsrs"));
     let splits = dataset.split(config.mappers);
     let mut metrics = PipelineMetrics::new();
     let mut counters = std::collections::BTreeMap::new();
@@ -243,7 +262,8 @@ pub fn mr_gpsrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Resu
     let bitstring = Arc::new(bitstring);
     let job_config = JobConfig::new("gpsrs", 1)
         .with_cache_bytes(bitstring.bits().byte_size())
-        .with_fault_tolerance(&config.fault_tolerance);
+        .with_fault_tolerance(&config.fault_tolerance)
+        .with_collector(config.telemetry.clone());
     let outcome = metrics.track(run_job(
         &config.cluster,
         &job_config,

@@ -315,7 +315,9 @@ pub(crate) fn run_countstring_job(
     grid: Grid,
     prune_k: Option<u64>,
 ) -> skymr_common::Result<(Countstring, JobMetrics)> {
-    let job = JobConfig::new("countstring", 1).with_fault_tolerance(&config.fault_tolerance);
+    let job = JobConfig::new("countstring", 1)
+        .with_fault_tolerance(&config.fault_tolerance)
+        .with_collector(config.telemetry.clone());
     let outcome = run_job(
         &config.cluster,
         &job,
@@ -660,7 +662,8 @@ pub fn mr_skyband(
     let countstring = Arc::new(countstring);
     let job = JobConfig::new("skyband", 1)
         .with_cache_bytes(countstring.byte_size())
-        .with_fault_tolerance(&config.fault_tolerance);
+        .with_fault_tolerance(&config.fault_tolerance)
+        .with_collector(config.telemetry.clone());
     let outcome = metrics.track(run_job(
         &config.cluster,
         &job,
@@ -747,7 +750,8 @@ pub fn mr_skyband_multi(
     let plan = Arc::new(plan);
     let job = JobConfig::new("skyband-multi", plan.num_buckets())
         .with_cache_bytes(countstring.byte_size())
-        .with_fault_tolerance(&config.fault_tolerance);
+        .with_fault_tolerance(&config.fault_tolerance)
+        .with_collector(config.telemetry.clone());
     let outcome = metrics.track(run_job(
         &config.cluster,
         &job,

@@ -336,7 +336,8 @@ pub fn mr_top_k_dominating(
         .max(1);
     let job = JobConfig::new("topk-dominating", reducers)
         .with_cache_bytes(skymr_mapreduce::ByteSized::byte_size(&countstring))
-        .with_fault_tolerance(&config.fault_tolerance);
+        .with_fault_tolerance(&config.fault_tolerance)
+        .with_collector(config.telemetry.clone());
     let outcome = metrics.track(run_job(
         &config.cluster,
         &job,

@@ -103,10 +103,15 @@ impl ClusterConfig {
 }
 
 /// Places measured task durations onto `slots` machines with longest-
-/// processing-time-first list scheduling and returns the makespan. This is
-/// the simulated duration of a task phase (a "wave" of Hadoop tasks).
-pub fn makespan(durations: &[Duration], slots: usize, per_task_overhead: Duration) -> Duration {
-    assert!(slots > 0, "makespan requires at least one slot");
+/// processing-time-first list scheduling and returns each slot's total
+/// load. The slot occupancy the telemetry layer gauges comes from here;
+/// [`makespan`] is the maximum over these loads.
+pub fn slot_loads(
+    durations: &[Duration],
+    slots: usize,
+    per_task_overhead: Duration,
+) -> Vec<Duration> {
+    assert!(slots > 0, "placement requires at least one slot");
     let mut sorted: Vec<Duration> = durations.iter().map(|d| *d + per_task_overhead).collect();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     let mut loads = vec![Duration::ZERO; slots];
@@ -116,7 +121,17 @@ pub fn makespan(durations: &[Duration], slots: usize, per_task_overhead: Duratio
             *min += d;
         }
     }
-    loads.into_iter().max().unwrap_or(Duration::ZERO)
+    loads
+}
+
+/// Places measured task durations onto `slots` machines with longest-
+/// processing-time-first list scheduling and returns the makespan. This is
+/// the simulated duration of a task phase (a "wave" of Hadoop tasks).
+pub fn makespan(durations: &[Duration], slots: usize, per_task_overhead: Duration) -> Duration {
+    slot_loads(durations, slots, per_task_overhead)
+        .into_iter()
+        .max()
+        .unwrap_or(Duration::ZERO)
 }
 
 /// Metrics for one executed MapReduce job.
@@ -219,6 +234,25 @@ impl JobMetrics {
             .max()
             .unwrap_or(Duration::ZERO)
     }
+
+    /// This job's row for the telemetry phase table
+    /// ([`skymr_telemetry::phase_table`]).
+    pub fn phase_summary(&self) -> skymr_telemetry::JobPhaseSummary {
+        skymr_telemetry::JobPhaseSummary {
+            job: self.name.clone(),
+            map_tasks: self.map_tasks,
+            reduce_tasks: self.reduce_tasks,
+            overhead: self.startup_time + self.broadcast_time,
+            map: self.map_phase,
+            shuffle: self.shuffle_time,
+            reduce: self.reduce_phase,
+            total: self.sim_runtime,
+            attempts: self.attempts,
+            retries: self.map_retries + self.reduce_retries,
+            speculative_wins: self.speculative_wins,
+            wasted: self.wasted_task_time,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +304,63 @@ mod tests {
     #[test]
     fn makespan_empty_phase_is_zero() {
         assert_eq!(makespan(&[], 4, ms(5)), Duration::ZERO);
+    }
+
+    /// Regression test (telemetry PR): the makespan can never beat the
+    /// perfectly balanced schedule — `makespan >= busy_time / slots`,
+    /// where busy time is the total slot time the phase consumes
+    /// (durations plus one launch overhead per task). Checked as
+    /// `makespan * slots >= sum(durations) + n * overhead` to stay in
+    /// integer arithmetic.
+    #[test]
+    fn makespan_is_at_least_busy_time_over_slots() {
+        let cases: Vec<(Vec<Duration>, usize, Duration)> = vec![
+            (vec![ms(10), ms(20), ms(30)], 2, ms(5)),
+            (vec![ms(1); 17], 4, ms(3)),
+            (vec![ms(40), ms(1), ms(1), ms(1)], 3, Duration::ZERO),
+            (vec![], 3, ms(7)),
+            ((1..50).map(ms).collect(), 13, ms(2)),
+        ];
+        for (durations, slots, overhead) in cases {
+            let span = makespan(&durations, slots, overhead);
+            let busy: Duration =
+                durations.iter().sum::<Duration>() + overhead * durations.len() as u32;
+            assert!(
+                span * slots as u32 >= busy,
+                "makespan {span:?} on {slots} slots under-counts busy time {busy:?}"
+            );
+        }
+    }
+
+    /// `makespan` is exactly the maximum of `slot_loads`, and the loads
+    /// conserve total busy time.
+    #[test]
+    fn slot_loads_conserve_busy_time() {
+        let d = [ms(10), ms(20), ms(30), ms(7), ms(3)];
+        let loads = slot_loads(&d, 3, ms(5));
+        assert_eq!(loads.len(), 3);
+        assert_eq!(loads.iter().copied().max(), Some(makespan(&d, 3, ms(5))));
+        let total: Duration = loads.iter().sum();
+        assert_eq!(total, d.iter().sum::<Duration>() + ms(5) * d.len() as u32);
+    }
+
+    #[test]
+    fn phase_summary_maps_metric_fields() {
+        let mut m = JobMetrics::empty("wc", 3, 2);
+        m.map_phase = ms(10);
+        m.shuffle_time = ms(2);
+        m.reduce_phase = ms(4);
+        m.startup_time = ms(1);
+        m.broadcast_time = ms(1);
+        m.sim_runtime = ms(18);
+        m.attempts = 5;
+        m.map_retries = 1;
+        m.reduce_retries = 1;
+        let row = m.phase_summary();
+        assert_eq!(row.job, "wc");
+        assert_eq!(row.overhead, ms(2));
+        assert_eq!(row.retries, 2);
+        assert_eq!(row.total, ms(18));
     }
 
     #[test]

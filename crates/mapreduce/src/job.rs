@@ -17,6 +17,8 @@ use crate::pool::run_indexed;
 use crate::task::{
     Emitter, MapFactory, MapTask, OutputCollector, ReduceFactory, ReduceTask, TaskContext,
 };
+use crate::trace::{FailKind, JobRecord, TaskModel};
+use skymr_telemetry::{Collector, MetricsRegistry};
 
 /// Per-job configuration.
 #[derive(Debug, Clone)]
@@ -35,6 +37,10 @@ pub struct JobConfig {
     pub retry: RetryPolicy,
     /// Speculative execution of straggling tasks (off by default).
     pub speculation: Option<SpeculationPolicy>,
+    /// Telemetry collector the job commits its trace to (off by default).
+    /// The metrics registry is built either way; the collector only adds
+    /// the span timeline.
+    pub collector: Option<Collector>,
 }
 
 impl JobConfig {
@@ -48,6 +54,7 @@ impl JobConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::new(),
             speculation: None,
+            collector: None,
         }
     }
 
@@ -84,6 +91,13 @@ impl JobConfig {
         self.speculation = ft.speculation.clone();
         self
     }
+
+    /// Attaches a telemetry collector: the job commits its span timeline
+    /// there on success. `None` leaves tracing off (the default).
+    pub fn with_collector(mut self, collector: Option<Collector>) -> Self {
+        self.collector = collector;
+        self
+    }
 }
 
 /// Result of a job: per-reducer outputs plus metrics and counters.
@@ -95,6 +109,9 @@ pub struct JobOutcome<Out> {
     pub metrics: JobMetrics,
     /// Job counters populated by tasks.
     pub counters: Counters,
+    /// The job's metrics registry — the structured source the countable
+    /// [`JobMetrics`] fields are derived from.
+    pub registry: MetricsRegistry,
 }
 
 impl<Out> JobOutcome<Out> {
@@ -469,6 +486,7 @@ where
     // replace the lost ones — byte-identical because UDFs are pure.
     let lost = plan.lost_partitions_for(&config.name, m, r);
     let mut recovery_wave: Vec<Duration> = Vec::new();
+    let mut recovery_tasks: Vec<usize> = Vec::new();
     if !lost.is_empty() {
         let affected: Vec<usize> = lost
             .iter()
@@ -494,6 +512,7 @@ where
         }
         map_stats.retries += affected.len() as u64;
         map_stats.attempts += affected.len() as u64;
+        recovery_tasks = affected;
     }
 
     let map_phase = makespan(
@@ -502,6 +521,12 @@ where
         cluster.task_overhead,
     ) + makespan(&recovery_wave, cluster.map_slots, cluster.task_overhead);
     let map_output_records: u64 = map_outputs.iter().map(|res| res.records).sum();
+    // Per-task I/O facts for the trace model, captured before the shuffle
+    // consumes the map outputs: (records_out, shuffle bytes emitted).
+    let map_io: Vec<(u64, u64)> = map_outputs
+        .iter()
+        .map(|res| (res.records, res.bucket_bytes.iter().sum::<u64>()))
+        .collect();
 
     // ---- Shuffle ---------------------------------------------------------
     let mut per_reducer_bytes = vec![0u64; r];
@@ -525,6 +550,14 @@ where
     }
     drop(emitted);
     let shuffle_bytes: u64 = per_reducer_bytes.iter().sum();
+    // Per-reducer group facts for the trace model: (distinct keys, values).
+    let reduce_io: Vec<(u64, u64)> = groups
+        .iter()
+        .map(|g| {
+            let values: usize = g.values().map(Vec::len).sum();
+            (g.len() as u64, values as u64)
+        })
+        .collect();
     let reduce_input_keys: u64 = groups.iter().map(|g| g.len() as u64).sum();
 
     // ---- Reduce phase ----------------------------------------------------
@@ -663,8 +696,6 @@ where
             None => unreachable!("reduce failures were handled above"),
         }
     }
-    let output_records: u64 = outputs.iter().map(|o| o.len() as u64).sum();
-
     // ---- Simulated clock -------------------------------------------------
     let reduce_phase = makespan(
         &reduce_stats.effective,
@@ -673,6 +704,74 @@ where
     );
     let sim_runtime =
         cluster.job_startup + broadcast_time + map_phase + shuffle_time + reduce_phase;
+
+    // ---- Telemetry -------------------------------------------------------
+    // Assemble the deterministic execution record, derive the metrics
+    // registry from it, and emit the span timeline if a collector is
+    // attached. The registry is built either way: the countable
+    // `JobMetrics` fields below are a facade over its counters.
+    let map_models: Vec<TaskModel> = splits
+        .iter()
+        .zip(map_execs.iter().zip(&map_io))
+        .map(
+            |(split, ((exec, fault), &(records_out, bytes)))| TaskModel {
+                records_in: split.len() as u64,
+                keys_in: 0,
+                records_out,
+                bytes,
+                failures: exec
+                    .failures
+                    .iter()
+                    .map(|f| FailKind::from_cause(&f.cause))
+                    .collect(),
+                slowdown: fault.slowdown,
+            },
+        )
+        .collect();
+    let reduce_models: Vec<TaskModel> = reduce_execs
+        .iter()
+        .zip(&reduce_io)
+        .zip(per_reducer_bytes.iter().zip(&outputs))
+        .map(
+            |(((exec, fault), &(keys, values)), (&bytes, output))| TaskModel {
+                records_in: values,
+                keys_in: keys,
+                records_out: output.len() as u64,
+                bytes,
+                failures: exec
+                    .failures
+                    .iter()
+                    .map(|f| FailKind::from_cause(&f.cause))
+                    .collect(),
+                slowdown: fault.slowdown,
+            },
+        )
+        .collect();
+    let record = JobRecord {
+        name: &config.name,
+        cluster,
+        retry: &config.retry,
+        cache_bytes: config.cache_bytes,
+        broadcast_attempts,
+        broadcast_time,
+        shuffle_time,
+        per_reducer_bytes: &per_reducer_bytes,
+        map: map_models,
+        reduce: reduce_models,
+        recovery: recovery_tasks,
+        lost,
+        map_attempts: map_stats.attempts,
+        map_retries: map_stats.retries,
+        reduce_attempts: reduce_stats.attempts,
+        reduce_retries: reduce_stats.retries,
+        map_spec_wins: map_stats.speculative_wins,
+        reduce_spec_wins: reduce_stats.speculative_wins,
+        user_counters: counters.snapshot().into_iter().collect(),
+    };
+    let registry = record.build_registry();
+    if let Some(collector) = &config.collector {
+        record.emit(collector, registry.clone());
+    }
 
     let metrics = JobMetrics {
         name: config.name.clone(),
@@ -688,14 +787,14 @@ where
         startup_time: cluster.job_startup,
         sim_runtime,
         host_wall: started.elapsed(),
-        map_output_records,
-        reduce_input_keys,
-        output_records,
-        map_retries: map_stats.retries,
-        reduce_retries: reduce_stats.retries,
-        attempts: map_stats.attempts + reduce_stats.attempts,
+        map_output_records: registry.counter("map.records_out"),
+        reduce_input_keys: registry.counter("reduce.input_keys"),
+        output_records: registry.counter("reduce.records_out"),
+        map_retries: registry.counter("map.retries"),
+        reduce_retries: registry.counter("reduce.retries"),
+        attempts: registry.counter("task.attempts"),
         wasted_task_time: map_stats.wasted + reduce_stats.wasted,
-        speculative_wins: map_stats.speculative_wins + reduce_stats.speculative_wins,
+        speculative_wins: registry.counter("task.speculative_wins"),
         backoff_time: map_stats.backoff + reduce_stats.backoff,
         map_task_durations: map_stats.effective,
         reduce_task_durations: reduce_stats.effective,
@@ -705,6 +804,7 @@ where
         outputs,
         metrics,
         counters,
+        registry,
     })
 }
 
@@ -920,6 +1020,95 @@ mod tests {
         assert!(
             speculative.metrics.map_phase < plain.metrics.map_phase,
             "the backup must beat a 1000x straggler"
+        );
+        assert_eq!(sorted_counts(speculative), expected_counts());
+    }
+
+    /// The countable `JobMetrics` fields are a facade over the registry.
+    #[test]
+    fn registry_backs_the_job_metrics_facade() {
+        let plan = FaultPlan::none().with_map_fault(0, TaskFault::lost(2));
+        let out = word_count(&splits(), 2, plan);
+        let reg = &out.registry;
+        assert_eq!(
+            reg.counter("map.records_out"),
+            out.metrics.map_output_records
+        );
+        assert_eq!(
+            reg.counter("reduce.input_keys"),
+            out.metrics.reduce_input_keys
+        );
+        assert_eq!(
+            reg.counter("reduce.records_out"),
+            out.metrics.output_records
+        );
+        assert_eq!(reg.counter("map.retries"), out.metrics.map_retries);
+        assert_eq!(reg.counter("task.attempts"), out.metrics.attempts);
+        assert_eq!(reg.counter("map.failures.lost_output"), 2);
+        let (hist_count, _) = reg
+            .histogram("map.task_ticks")
+            .map(|h| (h.count(), h.sum()))
+            .expect("map task histogram present");
+        assert_eq!(hist_count, 3, "one histogram sample per map task");
+        assert_eq!(
+            reg.gauge("cluster.map_slots"),
+            Some(i64::try_from(ClusterConfig::test().map_slots).expect("slots fit"))
+        );
+    }
+
+    /// With a collector attached, the job emits a span timeline whose
+    /// exported bytes are identical run to run.
+    #[test]
+    fn collector_receives_spans_for_every_task() {
+        let render = || {
+            let collector = Collector::new();
+            let config = JobConfig::new("wc", 2).with_collector(Some(collector.clone()));
+            word_count_config(&splits(), &config).expect("job must succeed");
+            skymr_telemetry::export::chrome_trace(&collector.finish())
+        };
+        let trace = render();
+        // (No shuffle spans here: the test cluster's shuffle of a few
+        // dozen bytes rounds to zero model ticks.)
+        for needle in [
+            "\"map[0]\"",
+            "\"map[1]\"",
+            "\"map[2]\"",
+            "\"reduce[0]\"",
+            "\"reduce[1]\"",
+        ] {
+            assert!(trace.contains(needle), "trace must contain {needle}");
+        }
+        assert_eq!(trace, render(), "trace bytes must be reproducible");
+    }
+
+    /// Reduce-side mirror of [`speculation_rescues_a_straggler`]: a backup
+    /// attempt beats a straggling reducer, and the *losing* attempt's time
+    /// is charged to `wasted_task_time` rather than discarded.
+    #[test]
+    fn reduce_speculation_charges_the_losing_attempt_as_waste() {
+        // Three reducers so the phase median is an un-faulted task (with
+        // two, the median *is* the straggler and nothing speculates).
+        let plan = FaultPlan::none().with_reduce_fault(0, TaskFault::straggler(1000.0));
+        let config = JobConfig::new("wc", 3)
+            .with_faults(plan.clone())
+            .with_speculation(SpeculationPolicy::new());
+        let speculative = word_count_config(&splits(), &config).expect("job must succeed");
+        let plain = word_count(&splits(), 3, plan);
+        // Hash-partition skew can make more than one reduce task clear the
+        // 3x-median bar, so pin only "some backup won, on the reduce side".
+        assert!(speculative.metrics.speculative_wins >= 1);
+        assert_eq!(
+            speculative.registry.counter("reduce.speculative_wins"),
+            speculative.metrics.speculative_wins
+        );
+        assert_eq!(speculative.registry.counter("map.speculative_wins"), 0);
+        assert!(
+            speculative.metrics.wasted_task_time > Duration::ZERO,
+            "the losing reduce attempt's time must be charged as waste"
+        );
+        assert!(
+            speculative.metrics.reduce_phase < plain.metrics.reduce_phase,
+            "the backup must beat a 1000x straggling reducer"
         );
         assert_eq!(sorted_counts(speculative), expected_counts());
     }

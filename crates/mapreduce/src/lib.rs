@@ -48,6 +48,7 @@ pub mod partitioner;
 pub mod pipeline;
 pub mod pool;
 pub mod task;
+pub mod trace;
 
 pub use analysis::{assert_schedule_independent, schedule_shake, ShakeCase, ShakeReport};
 pub use cluster::{ClusterConfig, JobMetrics};
@@ -65,3 +66,8 @@ pub use task::{
 };
 
 pub use skymr_common::{ByteSized, Counters};
+
+/// The telemetry subsystem (re-exported so downstream crates need no
+/// direct dependency): span tracing, metrics registry, exporters.
+pub use skymr_telemetry as telemetry;
+pub use skymr_telemetry::{Collector, MetricsRegistry, TraceDocument};

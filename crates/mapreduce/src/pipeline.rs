@@ -74,6 +74,13 @@ impl PipelineMetrics {
     pub fn job(&self, name: &str) -> Option<&JobMetrics> {
         self.jobs.iter().find(|j| j.name == name)
     }
+
+    /// Renders the per-phase breakdown of every job in the chain as an
+    /// aligned text table (see [`skymr_telemetry::phase_table`]).
+    pub fn phase_table(&self) -> String {
+        let rows: Vec<_> = self.jobs.iter().map(JobMetrics::phase_summary).collect();
+        skymr_telemetry::phase_table(&rows)
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +130,7 @@ mod tests {
             outputs: vec![vec![1]],
             metrics: dummy("first", 10, 5),
             counters: skymr_common::Counters::new(),
+            registry: skymr_telemetry::MetricsRegistry::new(),
         });
         assert!(p.track(ok).is_ok());
 

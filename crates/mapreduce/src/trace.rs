@@ -1,0 +1,625 @@
+//! Driver-side trace assembly: turns one finished job's execution record
+//! into deterministic spans and a metrics registry.
+//!
+//! Span assembly happens *after* the phases complete, on the driver
+//! thread — worker threads never touch the collector, so recording can't
+//! perturb scheduling and UDFs can't observe ambient time. Exported span
+//! times come from the deterministic model timebase
+//! ([`skymr_telemetry::model`]): a pure function of record counts, byte
+//! counts, the configured cluster `Duration`s, and the fault plan. The
+//! engine's *measured* durations stay in [`crate::cluster::JobMetrics`];
+//! they never reach an export, which is what makes traces byte-identical
+//! across host thread counts and schedule shakes.
+//!
+//! The one exception is speculative execution: which tasks get backups
+//! (and who wins) depends on measured host durations, so traces of
+//! speculative runs carry the outcome only as registry counters and make
+//! no byte-identity promise (see DESIGN.md §8).
+
+use std::time::Duration;
+
+use skymr_telemetry::model;
+use skymr_telemetry::place::place;
+use skymr_telemetry::registry::TICK_BUCKETS;
+use skymr_telemetry::{ArgValue, Collector, JobTrace, MetricsRegistry, Span, Ticks};
+
+use crate::cluster::ClusterConfig;
+use crate::fault::{FailureCause, RetryPolicy};
+
+/// Lane 0 of every job: startup, broadcast, and shuffle-wide spans.
+pub const DRIVER_LANE: u64 = 0;
+
+fn map_lane(slot: usize) -> u64 {
+    1 + slot as u64
+}
+
+fn reduce_lane(cluster: &ClusterConfig, slot: usize) -> u64 {
+    1 + (cluster.map_slots + slot) as u64
+}
+
+fn network_lane(cluster: &ClusterConfig, node: usize) -> u64 {
+    1 + (cluster.map_slots + cluster.reduce_slots + node) as u64
+}
+
+fn ticks_of(d: Duration) -> Ticks {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// How one failed attempt failed (the deterministic projection of
+/// [`FailureCause`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailKind {
+    /// Ran to completion, output discarded — costs a full attempt.
+    LostOutput,
+    /// Crashed mid-task — costs roughly half the input scan.
+    Panic,
+}
+
+impl FailKind {
+    /// Projects an execution failure cause onto the model vocabulary.
+    pub fn from_cause(cause: &FailureCause) -> Self {
+        match cause {
+            FailureCause::LostOutput => FailKind::LostOutput,
+            FailureCause::Panic { .. } => FailKind::Panic,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            FailKind::LostOutput => "lost_output",
+            FailKind::Panic => "panic",
+        }
+    }
+}
+
+/// The deterministic facts about one task: its I/O volume and its attempt
+/// history. Everything the model timebase needs, nothing measured.
+#[derive(Debug, Clone, Default)]
+pub struct TaskModel {
+    /// Input records consumed (map: split length; reduce: values).
+    pub records_in: u64,
+    /// Distinct input keys (reduce only; 0 for map tasks).
+    pub keys_in: u64,
+    /// Output records emitted.
+    pub records_out: u64,
+    /// Bytes through the task (map: emitted shuffle bytes; reduce: shuffle
+    /// bytes consumed).
+    pub bytes: u64,
+    /// Failed attempts, in order. The winning attempt follows them.
+    pub failures: Vec<FailKind>,
+    /// Straggler slowdown from the fault plan (deterministic).
+    pub slowdown: f64,
+}
+
+impl TaskModel {
+    fn winner_ticks(&self) -> Ticks {
+        model::scaled(
+            model::attempt_ticks(self.records_in, self.records_out, self.bytes),
+            self.slowdown,
+        )
+    }
+
+    fn failure_ticks(&self, kind: FailKind) -> Ticks {
+        match kind {
+            FailKind::LostOutput => self.winner_ticks(),
+            // The injected crash fires halfway through the input, before
+            // any output is emitted.
+            FailKind::Panic => model::scaled(
+                model::attempt_ticks(self.records_in / 2, 0, 0),
+                self.slowdown,
+            ),
+        }
+    }
+
+    /// Total model ticks the task occupies its slot: all attempts,
+    /// backoff gaps, and the extra launch overheads of retries. (The
+    /// first attempt's launch overhead is charged by placement.)
+    fn total_ticks(&self, retry: &RetryPolicy, overhead: Ticks) -> Ticks {
+        let mut total = self.winner_ticks() + overhead * self.failures.len() as u64;
+        for (k, &kind) in self.failures.iter().enumerate() {
+            total += self.failure_ticks(kind);
+            total += ticks_of(retry.backoff_after(k as u32));
+        }
+        total
+    }
+}
+
+/// Everything `run_job` hands over for one completed job.
+#[derive(Debug)]
+pub struct JobRecord<'a> {
+    /// Job name.
+    pub name: &'a str,
+    /// The cluster the job ran on.
+    pub cluster: &'a ClusterConfig,
+    /// The job's retry policy (deterministic backoff schedule).
+    pub retry: &'a RetryPolicy,
+    /// Distributed-cache bytes broadcast before the job.
+    pub cache_bytes: u64,
+    /// Broadcast transfers executed (1 + injected failures).
+    pub broadcast_attempts: u32,
+    /// Modeled broadcast charge.
+    pub broadcast_time: Duration,
+    /// Modeled shuffle transfer time (bottleneck node).
+    pub shuffle_time: Duration,
+    /// Shuffle bytes routed to each reducer.
+    pub per_reducer_bytes: &'a [u64],
+    /// Per-map-task facts.
+    pub map: Vec<TaskModel>,
+    /// Per-reduce-task facts.
+    pub reduce: Vec<TaskModel>,
+    /// Map tasks re-executed in the lost-partition recovery wave.
+    pub recovery: Vec<usize>,
+    /// Lost `(map_task, reducer)` shuffle partitions.
+    pub lost: Vec<(usize, usize)>,
+    /// Final phase-level attempt count (includes recovery and backups).
+    pub map_attempts: u64,
+    /// Failed-and-retried map executions.
+    pub map_retries: u64,
+    /// Final reduce attempt count.
+    pub reduce_attempts: u64,
+    /// Failed-and-retried reduce executions.
+    pub reduce_retries: u64,
+    /// Map-side speculative wins (measured decision; counters only).
+    pub map_spec_wins: u64,
+    /// Reduce-side speculative wins.
+    pub reduce_spec_wins: u64,
+    /// Snapshot of the job's user counters (already sorted).
+    pub user_counters: Vec<(String, u64)>,
+}
+
+impl JobRecord<'_> {
+    /// Builds the job's metrics registry — the structured source of truth
+    /// the legacy `JobMetrics` count fields are derived from.
+    pub fn build_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let overhead = ticks_of(self.cluster.task_overhead);
+        for task in &self.map {
+            reg.add("map.records_in", task.records_in);
+            reg.add("map.records_out", task.records_out);
+            reg.add("map.bytes_out", task.bytes);
+            for &kind in &task.failures {
+                reg.add(&format!("map.failures.{}", kind.label()), 1);
+            }
+            reg.record(
+                "map.task_ticks",
+                TICK_BUCKETS,
+                task.total_ticks(self.retry, overhead),
+            );
+        }
+        for task in &self.reduce {
+            reg.add("reduce.records_in", task.records_in);
+            reg.add("reduce.input_keys", task.keys_in);
+            reg.add("reduce.records_out", task.records_out);
+            reg.add("reduce.bytes_in", task.bytes);
+            for &kind in &task.failures {
+                reg.add(&format!("reduce.failures.{}", kind.label()), 1);
+            }
+            reg.record(
+                "reduce.task_ticks",
+                TICK_BUCKETS,
+                task.total_ticks(self.retry, overhead),
+            );
+        }
+        reg.add("map.attempts", self.map_attempts);
+        reg.add("map.retries", self.map_retries);
+        reg.add("reduce.attempts", self.reduce_attempts);
+        reg.add("reduce.retries", self.reduce_retries);
+        reg.add("task.attempts", self.map_attempts + self.reduce_attempts);
+        reg.add("map.speculative_wins", self.map_spec_wins);
+        reg.add("reduce.speculative_wins", self.reduce_spec_wins);
+        reg.add(
+            "task.speculative_wins",
+            self.map_spec_wins + self.reduce_spec_wins,
+        );
+        reg.add("map.recovery_tasks", self.recovery.len() as u64);
+        reg.add("shuffle.lost_partitions", self.lost.len() as u64);
+        reg.add("shuffle.bytes", self.per_reducer_bytes.iter().sum());
+        reg.add("broadcast.bytes", self.cache_bytes);
+        reg.add("broadcast.attempts", u64::from(self.broadcast_attempts));
+        reg.set_gauge("cluster.nodes", self.cluster.nodes as i64);
+        reg.set_gauge("cluster.map_slots", self.cluster.map_slots as i64);
+        reg.set_gauge("cluster.reduce_slots", self.cluster.reduce_slots as i64);
+        for (key, value) in &self.user_counters {
+            reg.add(&format!("user.{key}"), *value);
+        }
+        reg
+    }
+
+    /// Assembles the job's span timeline and commits it (with `registry`
+    /// attached) to `collector`, advancing the pipeline model clock.
+    pub fn emit(&self, collector: &Collector, registry: MetricsRegistry) {
+        let mut job = JobTrace::new(self.name);
+        *job.registry_mut() = registry;
+        let cluster = self.cluster;
+        job.name_lane(DRIVER_LANE, "driver");
+        for slot in 0..cluster.map_slots {
+            job.name_lane(map_lane(slot), format!("map slot {slot}"));
+        }
+        for slot in 0..cluster.reduce_slots {
+            job.name_lane(reduce_lane(cluster, slot), format!("reduce slot {slot}"));
+        }
+
+        // Driver lane: startup, then the cache broadcast.
+        let startup = ticks_of(cluster.job_startup);
+        let broadcast = ticks_of(self.broadcast_time);
+        job.span(
+            Span::new(
+                &[self.name, "startup"],
+                "startup",
+                "driver",
+                DRIVER_LANE,
+                0,
+                startup,
+            )
+            .with_arg("job", self.name),
+        );
+        if broadcast > 0 {
+            job.span(
+                Span::new(
+                    &[self.name, "broadcast"],
+                    "broadcast",
+                    "driver",
+                    DRIVER_LANE,
+                    startup,
+                    broadcast,
+                )
+                .with_arg("bytes", self.cache_bytes)
+                .with_arg("transfers", u64::from(self.broadcast_attempts)),
+            );
+        }
+
+        // Map wave.
+        let overhead = ticks_of(cluster.task_overhead);
+        let map_start = startup + broadcast;
+        let map_ticks: Vec<Ticks> = self
+            .map
+            .iter()
+            .map(|t| t.total_ticks(self.retry, overhead))
+            .collect();
+        let (placed, map_makespan) = place(&map_ticks, cluster.map_slots, overhead);
+        let mut occupancy: Vec<(Ticks, i64)> = Vec::new();
+        for (i, (task, p)) in self.map.iter().zip(&placed).enumerate() {
+            let lane = map_lane(p.slot);
+            self.emit_task(
+                &mut job,
+                "map",
+                i,
+                task,
+                lane,
+                map_start + p.start,
+                overhead,
+            );
+            occupancy.push((map_start + p.start, 1));
+            occupancy.push((map_start + p.end, -1));
+        }
+        emit_occupancy(&mut job, "map running", occupancy);
+
+        // Lost-partition recovery wave: affected map tasks re-execute in a
+        // second wave, one clean attempt each.
+        let recovery_ticks: Vec<Ticks> = self
+            .recovery
+            .iter()
+            .map(|&i| self.map.get(i).map_or(0, TaskModel::winner_ticks))
+            .collect();
+        let (replaced, recovery_makespan) = place(&recovery_ticks, cluster.map_slots, overhead);
+        let recovery_start = map_start + map_makespan;
+        for (&i, p) in self.recovery.iter().zip(&replaced) {
+            job.span(
+                Span::new(
+                    &[self.name, "map-recovery", &i.to_string()],
+                    format!("map[{i}] (recovery)"),
+                    "map",
+                    map_lane(p.slot),
+                    recovery_start + p.start,
+                    p.end - p.start,
+                )
+                .with_arg("recovered_task", i as u64),
+            );
+        }
+
+        // Shuffle: reducers pull their partitions; reducer j's transfer
+        // lands on node j % nodes, transfers on one node are sequential,
+        // and the phase ends at the bottleneck node's finish — the same
+        // accounting as `ClusterConfig::shuffle_time`.
+        let shuffle_start = recovery_start + recovery_makespan;
+        let shuffle = ticks_of(self.shuffle_time);
+        if shuffle > 0 {
+            let nodes = cluster.nodes.max(1);
+            // Per-node download cursor and whether the lane is named yet.
+            let mut node_state: Vec<(Ticks, bool)> = vec![(shuffle_start, false); nodes];
+            for (j, &bytes) in self.per_reducer_bytes.iter().enumerate() {
+                let node = j % nodes; // xtask: allow(panic-reachability) — nodes is .max(1) two lines up, so the remainder cannot panic
+                let secs = bytes as f64 * cluster.remote_fraction() / cluster.network_bytes_per_sec;
+                let dur = ticks_of(Duration::from_secs_f64(secs));
+                if dur == 0 {
+                    continue;
+                }
+                let Some((cursor, named)) = node_state.get_mut(node) else {
+                    continue;
+                };
+                if !*named {
+                    job.name_lane(network_lane(cluster, node), format!("node {node} downlink"));
+                    *named = true;
+                }
+                job.span(
+                    Span::new(
+                        &[self.name, "shuffle", &j.to_string()],
+                        format!("shuffle→reduce[{j}]"),
+                        "shuffle",
+                        network_lane(cluster, node),
+                        *cursor,
+                        dur,
+                    )
+                    .with_arg("bytes", bytes)
+                    .with_arg("reducer", j as u64),
+                );
+                *cursor += dur;
+            }
+        }
+
+        // Reduce wave.
+        let reduce_start = shuffle_start + shuffle;
+        let reduce_ticks: Vec<Ticks> = self
+            .reduce
+            .iter()
+            .map(|t| t.total_ticks(self.retry, overhead))
+            .collect();
+        let (placed, reduce_makespan) = place(&reduce_ticks, cluster.reduce_slots, overhead);
+        let mut occupancy: Vec<(Ticks, i64)> = Vec::new();
+        for (j, (task, p)) in self.reduce.iter().zip(&placed).enumerate() {
+            let lane = reduce_lane(cluster, p.slot);
+            self.emit_task(
+                &mut job,
+                "reduce",
+                j,
+                task,
+                lane,
+                reduce_start + p.start,
+                overhead,
+            );
+            occupancy.push((reduce_start + p.start, 1));
+            occupancy.push((reduce_start + p.end, -1));
+        }
+        emit_occupancy(&mut job, "reduce running", occupancy);
+
+        job.set_total(reduce_start + reduce_makespan);
+        collector.commit(job);
+    }
+
+    /// One task's span with nested attempt children, fault instants, and
+    /// backoff gaps.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_task(
+        &self,
+        job: &mut JobTrace,
+        phase: &str,
+        index: usize,
+        task: &TaskModel,
+        lane: u64,
+        start: Ticks,
+        overhead: Ticks,
+    ) {
+        let idx = index.to_string();
+        let task_id = job.id(&[phase, &idx]);
+        let total = overhead + task.total_ticks(self.retry, overhead);
+        job.span(
+            Span::new(
+                &[self.name, phase, &idx],
+                format!("{phase}[{index}]"),
+                phase,
+                lane,
+                start,
+                total,
+            )
+            .with_arg("records_in", task.records_in)
+            .with_arg("records_out", task.records_out)
+            .with_arg("bytes", task.bytes)
+            .with_arg("attempts", task.failures.len() as u64 + 1)
+            .with_arg("slowdown_pct", (task.slowdown.max(1.0) * 100.0) as u64),
+        );
+        let mut cursor = start;
+        let winner = task.failures.len() as u32;
+        for (k, &kind) in task.failures.iter().enumerate() {
+            cursor += overhead;
+            let ticks = task.failure_ticks(kind);
+            let attempt = k.to_string();
+            job.span(
+                Span::new(
+                    &[self.name, phase, &idx, "attempt", &attempt],
+                    format!("attempt {k}"),
+                    "attempt",
+                    lane,
+                    cursor,
+                    ticks,
+                )
+                .with_parent(task_id)
+                .with_arg("outcome", kind.label()),
+            );
+            cursor += ticks;
+            job.instant(
+                format!("fault:{}", kind.label()),
+                "fault",
+                lane,
+                cursor,
+                vec![
+                    ("task".to_owned(), ArgValue::U64(index as u64)),
+                    ("attempt".to_owned(), ArgValue::U64(k as u64)),
+                ],
+            );
+            let backoff = ticks_of(self.retry.backoff_after(k as u32));
+            if backoff > 0 {
+                job.span(
+                    Span::new(
+                        &[self.name, phase, &idx, "backoff", &attempt],
+                        "backoff",
+                        "backoff",
+                        lane,
+                        cursor,
+                        backoff,
+                    )
+                    .with_parent(task_id),
+                );
+                cursor += backoff;
+            }
+        }
+        cursor += overhead;
+        let attempt = winner.to_string();
+        job.span(
+            Span::new(
+                &[self.name, phase, &idx, "attempt", &attempt],
+                format!("attempt {winner}"),
+                "attempt",
+                lane,
+                cursor,
+                task.winner_ticks(),
+            )
+            .with_parent(task_id)
+            .with_arg("outcome", "winner"),
+        );
+    }
+}
+
+/// Turns start/end deltas into counter samples (a stacked-area track in
+/// the viewer). Ends sort before starts at the same tick so the count
+/// never over-shoots.
+fn emit_occupancy(job: &mut JobTrace, name: &str, mut deltas: Vec<(Ticks, i64)>) {
+    deltas.sort_unstable();
+    let mut running: i64 = 0;
+    let mut iter = deltas.into_iter().peekable();
+    while let Some((tick, delta)) = iter.next() {
+        running += delta;
+        while let Some(&(next_tick, next_delta)) = iter.peek() {
+            if next_tick != tick {
+                break;
+            }
+            running += next_delta;
+            iter.next();
+        }
+        job.counter(name, tick, "tasks", running.max(0) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skymr_telemetry::EventKind;
+
+    fn test_record<'a>(
+        cluster: &'a ClusterConfig,
+        retry: &'a RetryPolicy,
+        per_reducer_bytes: &'a [u64],
+    ) -> JobRecord<'a> {
+        JobRecord {
+            name: "wc",
+            cluster,
+            retry,
+            cache_bytes: 0,
+            broadcast_attempts: 1,
+            broadcast_time: Duration::ZERO,
+            shuffle_time: Duration::from_micros(40),
+            per_reducer_bytes,
+            map: vec![
+                TaskModel {
+                    records_in: 10,
+                    records_out: 8,
+                    bytes: 256,
+                    failures: vec![FailKind::LostOutput],
+                    slowdown: 1.0,
+                    ..Default::default()
+                },
+                TaskModel {
+                    records_in: 6,
+                    records_out: 6,
+                    bytes: 128,
+                    slowdown: 1.0,
+                    ..Default::default()
+                },
+            ],
+            reduce: vec![TaskModel {
+                records_in: 14,
+                keys_in: 5,
+                records_out: 5,
+                bytes: 384,
+                slowdown: 1.0,
+                ..Default::default()
+            }],
+            recovery: Vec::new(),
+            lost: Vec::new(),
+            map_attempts: 3,
+            map_retries: 1,
+            reduce_attempts: 1,
+            reduce_retries: 0,
+            map_spec_wins: 0,
+            reduce_spec_wins: 0,
+            user_counters: vec![("gpsrs.map.tuple_cmps".to_owned(), 99)],
+        }
+    }
+
+    #[test]
+    fn registry_derives_phase_counters() {
+        let cluster = ClusterConfig::test();
+        let retry = RetryPolicy::new();
+        let rec = test_record(&cluster, &retry, &[384]);
+        let reg = rec.build_registry();
+        assert_eq!(reg.counter("map.records_out"), 14);
+        assert_eq!(reg.counter("reduce.input_keys"), 5);
+        assert_eq!(reg.counter("map.failures.lost_output"), 1);
+        assert_eq!(reg.counter("task.attempts"), 4);
+        assert_eq!(reg.counter("user.gpsrs.map.tuple_cmps"), 99);
+        assert_eq!(reg.gauge("cluster.map_slots"), Some(4));
+        let hist = reg.histogram("map.task_ticks").expect("map histogram");
+        assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    fn emit_lays_out_phases_in_order_with_attempt_children() {
+        let cluster = ClusterConfig::test();
+        let retry = RetryPolicy::new();
+        let rec = test_record(&cluster, &retry, &[384]);
+        let collector = Collector::new();
+        let registry = rec.build_registry();
+        rec.emit(&collector, registry);
+        let doc = collector.finish();
+
+        let span = |name: &str| {
+            doc.events
+                .iter()
+                .find(|e| e.kind == EventKind::Complete && e.name == name)
+                .unwrap_or_else(|| panic!("span {name} missing"))
+        };
+        let startup = span("startup");
+        let map0 = span("map[0]");
+        let reduce0 = span("reduce[0]");
+        assert!(map0.ts >= startup.ts + startup.dur);
+        assert!(reduce0.ts >= map0.ts + map0.dur);
+        // map[0]: one failed + one winning attempt; map[1] and reduce[0]:
+        // one winning attempt each.
+        let attempts = doc
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Complete && e.cat == "attempt")
+            .count();
+        assert_eq!(attempts, 4, "2 + 1 + 1 attempts across tasks");
+        assert!(doc
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::Instant && e.name == "fault:lost_output"));
+        assert!(doc
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::Counter && e.name == "map running"));
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let cluster = ClusterConfig::test();
+        let retry = RetryPolicy::new();
+        let rec = test_record(&cluster, &retry, &[384]);
+        let run = || {
+            let collector = Collector::new();
+            rec.emit(&collector, rec.build_registry());
+            skymr_telemetry::export::chrome_trace(&collector.finish())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,377 @@
+//! The collector: assembles per-job traces into one pipeline timeline.
+//!
+//! A [`Collector`] owns the pipeline's model clock cursor. Each job builds
+//! a [`JobTrace`] with ticks relative to its own start; committing the
+//! trace assigns the job a process-track, offsets its events by the
+//! cursor, and advances the cursor by the job's total model duration — so
+//! consecutive jobs of a pipeline lay out end-to-end exactly like the
+//! simulated clock says they ran.
+//!
+//! [`Collector::scope`] opens a pipeline-level [`SpanGuard`] (lane 0 of
+//! process 0) that closes at whatever cursor position the collector has
+//! reached when the guard drops — the job-chain spans that wrap
+//! `mr_gpsrs` / `mr_gpmrs`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::registry::MetricsRegistry;
+use crate::span::{span_id, ArgValue, EventKind, Span, Ticks, TraceEvent};
+
+/// Process-track reserved for pipeline-level scopes.
+pub const PIPELINE_PID: u64 = 0;
+
+/// The finished product of a collector: every event placed on the absolute
+/// model clock, plus each job's registry snapshot in commit order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceDocument {
+    /// All events, sorted by [`TraceEvent::sort_key`].
+    pub events: Vec<TraceEvent>,
+    /// `(job name, registry)` per committed job, in commit order.
+    pub registries: Vec<(String, MetricsRegistry)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cursor: Ticks,
+    next_pid: u64,
+    events: Vec<TraceEvent>,
+    registries: Vec<(String, MetricsRegistry)>,
+    open_scopes: usize,
+}
+
+/// A shared, clonable handle to a trace under construction.
+///
+/// Clones share the same underlying trace, so a collector stored in a
+/// config struct and cloned along with it keeps appending to one timeline.
+#[derive(Clone, Default)]
+pub struct Collector {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Collector")
+            .field("cursor", &inner.cursor)
+            .field("jobs", &inner.registries.len())
+            .field("events", &inner.events.len())
+            .finish()
+    }
+}
+
+impl Collector {
+    /// An empty collector with the model clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current position of the pipeline model clock.
+    pub fn cursor(&self) -> Ticks {
+        self.inner.lock().cursor
+    }
+
+    /// Opens a pipeline-level span that closes when the returned guard
+    /// drops, covering every job committed in between.
+    pub fn scope(&self, cat: impl Into<String>, name: impl Into<String>) -> SpanGuard {
+        let mut inner = self.inner.lock();
+        inner.open_scopes += 1;
+        SpanGuard {
+            collector: self.clone(),
+            cat: cat.into(),
+            name: name.into(),
+            start: inner.cursor,
+        }
+    }
+
+    /// Commits a finished job trace: assigns it the next process-track,
+    /// offsets its events by the current cursor, and advances the cursor
+    /// by the job's total model duration.
+    pub fn commit(&self, job: JobTrace) {
+        let mut inner = self.inner.lock();
+        let base = inner.cursor;
+        inner.next_pid += 1;
+        let pid = inner.next_pid;
+        inner.events.push(TraceEvent {
+            kind: EventKind::Meta,
+            name: "process_name".to_owned(),
+            cat: String::new(),
+            pid,
+            tid: 0,
+            ts: 0,
+            dur: 0,
+            args: vec![("name".to_owned(), ArgValue::Str(job.name.clone()))],
+        });
+        for mut event in job.events {
+            event.pid = pid;
+            event.ts += base;
+            inner.events.push(event);
+        }
+        inner.cursor = base + job.total;
+        inner.registries.push((job.name, job.registry));
+    }
+
+    fn close_scope(&self, cat: String, name: String, start: Ticks) {
+        let mut inner = self.inner.lock();
+        let end = inner.cursor;
+        inner.open_scopes -= 1;
+        inner.events.push(TraceEvent {
+            kind: EventKind::Complete,
+            name,
+            cat,
+            pid: PIPELINE_PID,
+            tid: 0,
+            ts: start,
+            dur: end - start,
+            args: Vec::new(),
+        });
+    }
+
+    /// Snapshots the trace into a sorted, export-ready document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`SpanGuard`] is still open — finishing with dangling
+    /// scopes would silently drop their spans.
+    pub fn finish(&self) -> TraceDocument {
+        let inner = self.inner.lock();
+        assert_eq!(inner.open_scopes, 0, "finish() with an open SpanGuard");
+        let mut events = inner.events.clone();
+        if !events.is_empty() {
+            events.push(TraceEvent {
+                kind: EventKind::Meta,
+                name: "process_name".to_owned(),
+                cat: String::new(),
+                pid: PIPELINE_PID,
+                tid: 0,
+                ts: 0,
+                dur: 0,
+                args: vec![("name".to_owned(), ArgValue::Str("pipeline".to_owned()))],
+            });
+        }
+        events.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        TraceDocument {
+            events,
+            registries: inner.registries.clone(),
+        }
+    }
+}
+
+/// Closes its pipeline-level span on drop (RAII).
+#[derive(Debug)]
+pub struct SpanGuard {
+    collector: Collector,
+    cat: String,
+    name: String,
+    start: Ticks,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.collector.close_scope(
+            std::mem::take(&mut self.cat),
+            std::mem::take(&mut self.name),
+            self.start,
+        );
+    }
+}
+
+/// One job's trace under construction: events in job-relative ticks plus
+/// the job's metrics registry.
+#[derive(Debug)]
+pub struct JobTrace {
+    name: String,
+    events: Vec<TraceEvent>,
+    registry: MetricsRegistry,
+    total: Ticks,
+}
+
+impl JobTrace {
+    /// An empty trace for the named job.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            events: Vec::new(),
+            registry: MetricsRegistry::new(),
+            total: 0,
+        }
+    }
+
+    /// The job name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records a complete span. The span's ID and parent ID are exported
+    /// as args so machine consumers can rebuild the tree without relying
+    /// on time containment.
+    pub fn span(&mut self, span: Span) {
+        let mut args = Vec::with_capacity(span.args.len() + 2);
+        args.push(("span_id".to_owned(), ArgValue::U64(span.id)));
+        if let Some(parent) = span.parent {
+            args.push(("parent_id".to_owned(), ArgValue::U64(parent)));
+        }
+        args.extend(span.args);
+        self.events.push(TraceEvent {
+            kind: EventKind::Complete,
+            name: span.name,
+            cat: span.cat,
+            pid: 0,
+            tid: span.lane,
+            ts: span.start,
+            dur: span.dur,
+            args,
+        });
+    }
+
+    /// Records a point-in-time marker (fault injections, speculation
+    /// decisions).
+    pub fn instant(
+        &mut self,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        lane: u64,
+        ts: Ticks,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        self.events.push(TraceEvent {
+            kind: EventKind::Instant,
+            name: name.into(),
+            cat: cat.into(),
+            pid: 0,
+            tid: lane,
+            ts,
+            dur: 0,
+            args,
+        });
+    }
+
+    /// Records a counter sample (`series` → value at `ts`), rendered by
+    /// Chrome as a stacked area track.
+    pub fn counter(&mut self, name: impl Into<String>, ts: Ticks, series: &str, value: u64) {
+        self.events.push(TraceEvent {
+            kind: EventKind::Counter,
+            name: name.into(),
+            cat: String::new(),
+            pid: 0,
+            tid: 0,
+            ts,
+            dur: 0,
+            args: vec![(series.to_owned(), ArgValue::U64(value))],
+        });
+    }
+
+    /// Names a thread-track (slot lane) of this job.
+    pub fn name_lane(&mut self, lane: u64, label: impl Into<String>) {
+        self.events.push(TraceEvent {
+            kind: EventKind::Meta,
+            name: "thread_name".to_owned(),
+            cat: String::new(),
+            pid: 0,
+            tid: lane,
+            ts: 0,
+            dur: 0,
+            args: vec![("name".to_owned(), ArgValue::Str(label.into()))],
+        });
+    }
+
+    /// The job's metrics registry.
+    pub fn registry_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
+    /// Sets the job's total model duration (how far the pipeline cursor
+    /// advances on commit).
+    pub fn set_total(&mut self, total: Ticks) {
+        self.total = total;
+    }
+
+    /// Stable span ID for a part path rooted at this job's name.
+    pub fn id(&self, parts: &[&str]) -> u64 {
+        let mut all: Vec<&str> = Vec::with_capacity(parts.len() + 1);
+        all.push(&self.name);
+        all.extend_from_slice(parts);
+        span_id(&all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_offsets_events_and_advances_cursor() {
+        let c = Collector::new();
+        let mut job = JobTrace::new("a");
+        job.span(Span::new(&["a", "map", "0"], "map[0]", "map", 1, 10, 5));
+        job.set_total(100);
+        c.commit(job);
+        assert_eq!(c.cursor(), 100);
+
+        let mut job = JobTrace::new("b");
+        job.span(Span::new(&["b", "map", "0"], "map[0]", "map", 1, 0, 7));
+        job.set_total(50);
+        c.commit(job);
+        assert_eq!(c.cursor(), 150);
+
+        let doc = c.finish();
+        let spans: Vec<&TraceEvent> = doc
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Complete)
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].pid, spans[0].ts), (1, 10));
+        assert_eq!((spans[1].pid, spans[1].ts), (2, 100));
+        assert_eq!(doc.registries.len(), 2);
+    }
+
+    #[test]
+    fn scope_covers_jobs_committed_inside_it() {
+        let c = Collector::new();
+        {
+            let _guard = c.scope("algo", "mr-gpmrs");
+            let mut job = JobTrace::new("bitstring");
+            job.set_total(40);
+            c.commit(job);
+            let mut job = JobTrace::new("gpmrs");
+            job.set_total(60);
+            c.commit(job);
+        }
+        let doc = c.finish();
+        let scope = doc
+            .events
+            .iter()
+            .find(|e| e.name == "mr-gpmrs")
+            .expect("scope span present");
+        assert_eq!(scope.pid, PIPELINE_PID);
+        assert_eq!((scope.ts, scope.dur), (0, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "open SpanGuard")]
+    fn finish_rejects_dangling_scopes() {
+        let c = Collector::new();
+        let _guard = c.scope("algo", "dangling");
+        let _ = c.finish();
+    }
+
+    #[test]
+    fn finish_is_sorted_and_repeatable() {
+        let c = Collector::new();
+        let mut job = JobTrace::new("j");
+        job.span(Span::new(&["j", "x"], "late", "map", 2, 50, 5));
+        job.span(Span::new(&["j", "y"], "early", "map", 1, 0, 5));
+        job.name_lane(1, "slot 1");
+        job.set_total(60);
+        c.commit(job);
+        let a = c.finish();
+        let b = c.finish();
+        assert_eq!(a, b);
+        let keys: Vec<_> = a.events.iter().map(|e| (e.pid, e.tid, e.ts)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -1,0 +1,263 @@
+//! Exporters: Chrome `trace_event` JSON and machine-readable JSONL.
+//!
+//! Both exporters are byte-stable: events are emitted in the document's
+//! sorted order, object keys are written in a fixed sequence, and every
+//! number is an integer (no float formatting anywhere). The Chrome export
+//! loads directly in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+
+use crate::collector::TraceDocument;
+use crate::registry::MetricsRegistry;
+use crate::span::{ArgValue, EventKind, TraceEvent};
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_arg_value(out: &mut String, value: &ArgValue) {
+    match value {
+        ArgValue::U64(v) => out.push_str(&v.to_string()),
+        ArgValue::I64(v) => out.push_str(&v.to_string()),
+        ArgValue::Str(s) => {
+            out.push('"');
+            out.push_str(&json_escape(s));
+            out.push('"');
+        }
+    }
+}
+
+fn write_args(out: &mut String, args: &[(String, ArgValue)]) {
+    out.push('{');
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(key));
+        out.push_str("\":");
+        write_arg_value(out, value);
+    }
+    out.push('}');
+}
+
+fn write_event(out: &mut String, e: &TraceEvent) {
+    out.push_str("{\"name\":\"");
+    out.push_str(&json_escape(&e.name));
+    out.push_str("\",\"cat\":\"");
+    out.push_str(&json_escape(&e.cat));
+    out.push_str("\",\"ph\":\"");
+    out.push_str(e.kind.code());
+    out.push_str("\",\"ts\":");
+    out.push_str(&e.ts.to_string());
+    if e.kind == EventKind::Complete {
+        out.push_str(",\"dur\":");
+        out.push_str(&e.dur.to_string());
+    }
+    if e.kind == EventKind::Instant {
+        // Thread-scoped instants render as small arrows on the lane.
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(",\"pid\":");
+    out.push_str(&e.pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&e.tid.to_string());
+    out.push_str(",\"args\":");
+    write_args(out, &e.args);
+    out.push('}');
+}
+
+fn write_registry_body(out: &mut String, registry: &MetricsRegistry) {
+    out.push_str("\"counters\":{");
+    for (i, (name, value)) in registry.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(name));
+        out.push_str("\":");
+        out.push_str(&value.to_string());
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in registry.gauges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(name));
+        out.push_str("\":");
+        out.push_str(&value.to_string());
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, hist)) in registry.histograms().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(name));
+        out.push_str("\":{\"count\":");
+        out.push_str(&hist.count().to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&hist.sum().to_string());
+        out.push_str(",\"buckets\":[");
+        for (j, (bound, count)) in hist.buckets().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"le\":");
+            match bound {
+                Some(b) => out.push_str(&b.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"count\":");
+            out.push_str(&count.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push('}');
+}
+
+/// Renders the document as Chrome `trace_event` JSON (the "JSON object
+/// format": a `traceEvents` array plus metadata). Per-job registries ride
+/// along under a top-level `registries` key, which trace viewers ignore.
+pub fn chrome_trace(doc: &TraceDocument) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, event) in doc.events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        write_event(&mut out, event);
+    }
+    out.push_str("\n],\"registries\":[\n");
+    for (i, (job, registry)) in doc.registries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("{\"job\":\"");
+        out.push_str(&json_escape(job));
+        out.push_str("\",");
+        write_registry_body(&mut out, registry);
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders the document as JSONL: one `event` object per line followed by
+/// one `registry` object per job — the format the bench harness and
+/// external tooling consume.
+pub fn jsonl(doc: &TraceDocument) -> String {
+    let mut out = String::new();
+    for event in &doc.events {
+        out.push_str("{\"type\":\"event\",\"event\":");
+        write_event(&mut out, event);
+        out.push_str("}\n");
+    }
+    for (job, registry) in &doc.registries {
+        out.push_str("{\"type\":\"registry\",\"job\":\"");
+        out.push_str(&json_escape(job));
+        out.push_str("\",");
+        write_registry_body(&mut out, registry);
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{Collector, JobTrace};
+    use crate::span::Span;
+
+    fn sample_doc() -> TraceDocument {
+        let c = Collector::new();
+        let mut job = JobTrace::new("wc");
+        job.name_lane(1, "map slot 0");
+        job.span(
+            Span::new(&["wc", "map", "0"], "map[0]", "map", 1, 0, 40).with_arg("records_in", 12u64),
+        );
+        job.instant(
+            "fault:lost_output",
+            "fault",
+            1,
+            40,
+            vec![("task".to_owned(), ArgValue::U64(0))],
+        );
+        job.counter("map running", 0, "tasks", 1);
+        job.registry_mut().add("map.records_out", 12);
+        job.registry_mut().record("map.task_ticks", &[100], 40);
+        job.set_total(50);
+        c.commit(job);
+        c.finish()
+    }
+
+    #[test]
+    fn escape_handles_quotes_backslashes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t\u{1}"), "x\\n\\t\\u0001");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_expected_fields() {
+        let text = chrome_trace(&sample_doc());
+        let value = crate::json::parse(&text).expect("chrome export parses as JSON");
+        let events = value
+            .get("traceEvents")
+            .and_then(crate::json::Value::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        for event in events {
+            assert!(event.get("name").is_some());
+            assert!(event.get("ph").is_some());
+            assert!(event.get("ts").is_some());
+            assert!(event.get("pid").is_some());
+            assert!(event.get("tid").is_some());
+        }
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").and_then(crate::json::Value::as_str) == Some("X"))
+            .expect("a complete span");
+        assert!(x.get("dur").is_some(), "complete spans carry a duration");
+        assert!(value.get("registries").is_some());
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let text = jsonl(&sample_doc());
+        let mut kinds = Vec::new();
+        for line in text.lines() {
+            let value = crate::json::parse(line).expect("each JSONL line parses");
+            kinds.push(
+                value
+                    .get("type")
+                    .and_then(crate::json::Value::as_str)
+                    .expect("type tag")
+                    .to_owned(),
+            );
+        }
+        assert!(kinds.contains(&"event".to_owned()));
+        assert_eq!(kinds.last().map(String::as_str), Some("registry"));
+    }
+
+    #[test]
+    fn exports_are_byte_stable() {
+        assert_eq!(chrome_trace(&sample_doc()), chrome_trace(&sample_doc()));
+        assert_eq!(jsonl(&sample_doc()), jsonl(&sample_doc()));
+    }
+}

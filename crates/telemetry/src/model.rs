@@ -1,0 +1,61 @@
+//! The model timebase: deterministic per-attempt cost in ticks.
+//!
+//! Measured host durations (what `JobMetrics` reports) vary run-to-run
+//! and with host thread count, so they can never appear in a byte-stable
+//! export. Exported span durations instead come from this cost model — a
+//! pure function of record counts, byte counts, and the fault plan. The
+//! model is *not* calibrated to be accurate; it exists to make relative
+//! shapes (skew, retries, phase balance) visible and reproducible.
+
+use crate::span::Ticks;
+
+/// Fixed setup cost charged to every attempt, in ticks.
+pub const ATTEMPT_BASE_TICKS: Ticks = 150;
+
+/// Cost per input record processed.
+pub const TICKS_PER_RECORD_IN: Ticks = 2;
+
+/// Cost per output record emitted.
+pub const TICKS_PER_RECORD_OUT: Ticks = 1;
+
+/// Output bytes serialized per tick.
+pub const BYTES_PER_TICK: Ticks = 64;
+
+/// Model cost of one full task attempt.
+pub fn attempt_ticks(records_in: u64, records_out: u64, bytes_out: u64) -> Ticks {
+    ATTEMPT_BASE_TICKS
+        + records_in * TICKS_PER_RECORD_IN
+        + records_out * TICKS_PER_RECORD_OUT
+        + bytes_out / BYTES_PER_TICK
+}
+
+/// Applies a straggler slowdown factor to a model duration. The factor
+/// comes from the (deterministic) fault plan; the multiply rounds down,
+/// and factors below 1 are clamped to 1, mirroring the engine's charge.
+pub fn scaled(ticks: Ticks, slowdown: f64) -> Ticks {
+    let factor = if slowdown > 1.0 { slowdown } else { 1.0 };
+    // f64 arithmetic on identical inputs is bit-stable; the cast truncates.
+    (ticks as f64 * factor) as Ticks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_cost_is_linear_in_inputs() {
+        let base = attempt_ticks(0, 0, 0);
+        assert_eq!(base, ATTEMPT_BASE_TICKS);
+        assert_eq!(attempt_ticks(10, 0, 0), base + 20);
+        assert_eq!(attempt_ticks(0, 10, 0), base + 10);
+        assert_eq!(attempt_ticks(0, 0, 640), base + 10);
+    }
+
+    #[test]
+    fn slowdown_clamps_below_one_and_truncates() {
+        assert_eq!(scaled(100, 0.5), 100);
+        assert_eq!(scaled(100, 1.0), 100);
+        assert_eq!(scaled(100, 2.5), 250);
+        assert_eq!(scaled(3, 1.5), 4);
+    }
+}

@@ -1,0 +1,253 @@
+//! Span identity and the trace-event vocabulary.
+//!
+//! A [`Span`] is one box on the timeline: a task, an attempt, a phase. A
+//! [`TraceEvent`] is the exporter's unit — spans plus the auxiliary event
+//! kinds the Chrome `trace_event` format knows (instants, counter samples,
+//! metadata). Span IDs are stable FNV-1a hashes over the span's identity
+//! parts, so the same logical span gets the same ID in every run.
+
+/// Model time, in microseconds on the simulated cluster clock.
+pub type Ticks = u64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Stable 64-bit span ID: FNV-1a over the identity parts with a unit
+/// separator folded in between them, so `["a", "bc"]` and `["ab", "c"]`
+/// hash differently. Identity parts are typically
+/// `(job, phase, task, attempt)` rendered as strings.
+pub fn span_id(parts: &[&str]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for part in parts {
+        for &b in part.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h ^= 0x1f; // ASCII unit separator: cannot appear in identifiers
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A typed argument value attached to an event. Deliberately no float
+/// variant: exported numbers are integers so formatting is trivially
+/// byte-stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// Unsigned quantity (counts, bytes, ticks).
+    U64(u64),
+    /// Signed quantity (gauge levels).
+    I64(i64),
+    /// Free-form label.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// What kind of event this is, mapping 1:1 onto Chrome `ph` codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// Metadata (`"M"`): process / thread names. Sorts first so lane
+    /// naming precedes the lane's events.
+    Meta,
+    /// A complete span (`"X"`): has a duration.
+    Complete,
+    /// A point-in-time marker (`"i"`): faults, speculation decisions.
+    Instant,
+    /// A counter sample (`"C"`): slot occupancy over time.
+    Counter,
+}
+
+impl EventKind {
+    /// The Chrome `trace_event` phase code.
+    pub fn code(self) -> &'static str {
+        match self {
+            EventKind::Meta => "M",
+            EventKind::Complete => "X",
+            EventKind::Instant => "i",
+            EventKind::Counter => "C",
+        }
+    }
+}
+
+/// One box on the timeline, before it is committed to a lane.
+///
+/// `lane` is the thread-track the span renders on (a slot index, or a
+/// reserved lane like the driver's); the process-track (`pid`) is assigned
+/// when the owning job commits, so spans are built without knowing where
+/// in the pipeline their job sits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Stable identity hash (see [`span_id`]).
+    pub id: u64,
+    /// Identity hash of the enclosing span, if any. Chrome nests spans by
+    /// time containment; the explicit parent ID is carried in `args` for
+    /// machine consumers.
+    pub parent: Option<u64>,
+    /// Human-readable name, e.g. `"map[3]"` or `"attempt 1"`.
+    pub name: String,
+    /// Category, e.g. `"map"`, `"reduce"`, `"shuffle"`, `"fault"`.
+    pub cat: String,
+    /// Thread-track within the job's process-track.
+    pub lane: u64,
+    /// Start tick, relative to the owning job's start.
+    pub start: Ticks,
+    /// Duration in ticks.
+    pub dur: Ticks,
+    /// Typed arguments, in insertion order (kept sorted by the caller or
+    /// left in build order — exporters preserve it verbatim).
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl Span {
+    /// A span with the given identity parts, name and category, covering
+    /// `[start, start + dur)` on `lane`.
+    pub fn new(
+        id_parts: &[&str],
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        lane: u64,
+        start: Ticks,
+        dur: Ticks,
+    ) -> Self {
+        Self {
+            id: span_id(id_parts),
+            parent: None,
+            name: name.into(),
+            cat: cat.into(),
+            lane,
+            start,
+            dur,
+            args: Vec::new(),
+        }
+    }
+
+    /// Sets the parent span ID.
+    pub fn with_parent(mut self, parent: u64) -> Self {
+        self.parent = Some(parent);
+        self
+    }
+
+    /// Appends one argument.
+    pub fn with_arg(mut self, key: impl Into<String>, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// The exporter's unit: a span or auxiliary event, fully placed (absolute
+/// ticks, process-track assigned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event kind (Chrome `ph`).
+    pub kind: EventKind,
+    /// Event name.
+    pub name: String,
+    /// Category.
+    pub cat: String,
+    /// Process-track: 0 = pipeline, then one per job in run order.
+    pub pid: u64,
+    /// Thread-track within the process.
+    pub tid: u64,
+    /// Absolute start tick.
+    pub ts: Ticks,
+    /// Duration (complete spans only; 0 otherwise).
+    pub dur: Ticks,
+    /// Arguments, exported in this order.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// The total order exporters sort by, making export output independent
+    /// of event insertion order: `(pid, tid, ts, kind, longest-first dur,
+    /// name)`.
+    pub fn sort_key(&self) -> (u64, u64, Ticks, EventKind, std::cmp::Reverse<Ticks>, &str) {
+        (
+            self.pid,
+            self.tid,
+            self.ts,
+            self.kind,
+            std::cmp::Reverse(self.dur),
+            &self.name,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ids_are_stable_across_calls() {
+        let a = span_id(&["wc", "map", "3", "0"]);
+        let b = span_id(&["wc", "map", "3", "0"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn span_ids_distinguish_part_boundaries() {
+        assert_ne!(span_id(&["ab", "c"]), span_id(&["a", "bc"]));
+        assert_ne!(span_id(&["ab"]), span_id(&["ab", ""]));
+    }
+
+    #[test]
+    fn span_ids_depend_on_every_part() {
+        let base = span_id(&["job", "map", "0", "0"]);
+        assert_ne!(base, span_id(&["job", "map", "0", "1"]));
+        assert_ne!(base, span_id(&["job", "map", "1", "0"]));
+        assert_ne!(base, span_id(&["job", "reduce", "0", "0"]));
+    }
+
+    #[test]
+    fn builder_attaches_args_in_order() {
+        let s = Span::new(&["j", "map", "0"], "map[0]", "map", 2, 10, 5)
+            .with_arg("records_in", 7u64)
+            .with_arg("kind", "winner");
+        assert_eq!(s.args.len(), 2);
+        assert_eq!(s.args[0], ("records_in".to_owned(), ArgValue::U64(7)));
+        assert_eq!(s.lane, 2);
+        assert_eq!((s.start, s.dur), (10, 5));
+    }
+
+    #[test]
+    fn sort_key_orders_meta_first_and_long_spans_first() {
+        let mk = |kind, ts, dur, name: &str| TraceEvent {
+            kind,
+            name: name.to_owned(),
+            cat: String::new(),
+            pid: 1,
+            tid: 1,
+            ts,
+            dur,
+            args: Vec::new(),
+        };
+        let meta = mk(EventKind::Meta, 0, 0, "thread_name");
+        let outer = mk(EventKind::Complete, 0, 10, "task");
+        let inner = mk(EventKind::Complete, 0, 4, "attempt");
+        let mut events = vec![inner.clone(), outer.clone(), meta.clone()];
+        events.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        assert_eq!(events, vec![meta, outer, inner]);
+    }
+}

@@ -20,7 +20,12 @@
 //!   channels the replay machinery cannot roll back;
 //! * **nondeterministic iteration** (`HashMap`, `HashSet`): iteration
 //!   order varies run to run and silently feeds emitted output; use
-//!   `BTreeMap`/`BTreeSet` or sort before emitting.
+//!   `BTreeMap`/`BTreeSet` or sort before emitting;
+//! * **telemetry recording** (`Collector`, `SpanGuard`, `JobTrace`,
+//!   `MetricsRegistry`, `TraceDocument`, `Histogram`): span assembly is a
+//!   driver-side concern — a UDF touching the collector would observe (and
+//!   perturb) scheduling, and re-runs would double-record. UDFs report
+//!   through the replay-aware `Counters` channel instead.
 //!
 //! Test code is exempt, and any audited exception can be waived with
 //! `// xtask: allow(udf-determinism)` on the flagged line.
@@ -87,6 +92,10 @@ fn verdict(name: &str) -> Option<&'static str> {
         }
         "HashMap" | "HashSet" => {
             Some("nondeterministic iteration order can feed emitted output; use BTreeMap/BTreeSet or sort before emitting")
+        }
+        "Collector" | "SpanGuard" | "JobTrace" | "MetricsRegistry" | "TraceDocument"
+        | "Histogram" => {
+            Some("telemetry recording is driver-side only; UDFs report through Counters, which the replay machinery de-duplicates")
         }
         _ => None,
     }
@@ -204,6 +213,27 @@ impl ReduceTask for M {{
             "#[cfg(test)]\nmod t {{\n{}\n}}\n",
             udf_fixture("let x = Instant::now();")
         );
+        assert!(analyze(PATH, &src).is_empty());
+    }
+
+    #[test]
+    fn flags_telemetry_recording_in_udf_bodies() {
+        for (stmt, needle) in [
+            ("let c = Collector::new(); drop(c);", "Collector"),
+            (
+                "let r = MetricsRegistry::new(); drop(r);",
+                "MetricsRegistry",
+            ),
+            ("let h = Histogram::new(&[1, 2]); drop(h);", "Histogram"),
+            ("self.trace.span(JobTrace::new(\"x\"));", "JobTrace"),
+        ] {
+            let diags = analyze(PATH, &udf_fixture(stmt));
+            assert_eq!(diags.len(), 1, "{stmt} → {diags:?}");
+            assert!(diags[0].message.contains(needle), "{stmt}");
+            assert!(diags[0].message.contains("driver-side"), "{stmt}");
+        }
+        // The sanctioned channel stays clean.
+        let src = udf_fixture("self.counters.add(\"map.records\", 1);");
         assert!(analyze(PATH, &src).is_empty());
     }
 

@@ -1,14 +1,17 @@
 //! `cargo xtask` — repo-specific developer tasks.
 //!
-//! Two tasks, both built on the same token-level analysis stack (a
-//! lossless hand-rolled lexer in `lexer.rs`, a lightweight item/impl
-//! parser in `parse.rs`, rule passes under `analyze/`):
+//! Three tasks. The first two are built on the same token-level analysis
+//! stack (a lossless hand-rolled lexer in `lexer.rs`, a lightweight
+//! item/impl parser in `parse.rs`, rule passes under `analyze/`):
 //!
 //! * `lint` — the four fast legacy rules from PR 1 (`no-unwrap`,
 //!   `seeded-rng`, `no-std-mutex`, `no-thread-spawn`), for tight
 //!   edit-compile loops.
 //! * `analyze` — everything `lint` runs plus the whole-workspace passes:
 //!   `udf-determinism`, `panic-reachability`, and `seeded-rng-dataflow`.
+//! * `trace-schema` — validate a `--trace` export (Chrome JSON or JSONL)
+//!   against the telemetry exporters' documented shape; CI runs it on a
+//!   freshly produced trace.
 //!
 //! Wired up as a cargo alias in `.cargo/config.toml`, so it runs as
 //! `cargo xtask lint` / `cargo xtask analyze`.
@@ -20,6 +23,7 @@ mod lexer;
 mod parse;
 #[cfg(test)]
 mod roundtrip;
+mod trace_schema;
 
 use analyze::{Mode, Options};
 
@@ -30,6 +34,10 @@ tasks:
   lint       run the four legacy static rules over the workspace sources
   analyze    run all rules plus the UDF-determinism, panic-reachability,
              and seeded-randomness-dataflow passes
+  trace-schema <file>
+             validate a trace written by `skymr-cli run --trace`
+             (Chrome trace_event JSON, or JSONL if the file ends
+             in .jsonl)
   help       show this message
 
 options (lint and analyze):
@@ -60,6 +68,7 @@ fn main() -> ExitCode {
             };
             analyze::run(mode, &opts)
         }
+        "trace-schema" => trace_schema::run(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             ExitCode::SUCCESS

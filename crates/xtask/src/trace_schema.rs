@@ -1,0 +1,288 @@
+//! The `trace-schema` task: validate a trace file written by
+//! `skymr-cli run --trace` against the shape the exporters document.
+//!
+//! CI runs an example with `--trace` and feeds the output through this
+//! checker, so a drive-by change to the exporters that breaks Perfetto
+//! compatibility (or the bench harness's JSONL consumer) fails the build
+//! instead of silently producing unloadable files. Both formats are
+//! accepted, keyed on the `.jsonl` extension, and every violation is
+//! reported (not just the first).
+
+use std::process::ExitCode;
+
+use skymr_telemetry::json::{self, Value};
+
+/// Entry point for `cargo xtask trace-schema <file>`.
+pub fn run(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("xtask trace-schema: expected exactly one trace file argument");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask trace-schema: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = if path.ends_with(".jsonl") {
+        check_jsonl(&text)
+    } else {
+        check_chrome(&text)
+    };
+    match report {
+        Ok((events, registries)) => {
+            println!("trace-schema: {path} OK ({events} events, {registries} registries)");
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("trace-schema: {path}: {e}");
+            }
+            eprintln!("trace-schema: {} violation(s)", errors.len());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validates a Chrome `trace_event` JSON document. Returns the event and
+/// registry counts on success.
+fn check_chrome(text: &str) -> Result<(usize, usize), Vec<String>> {
+    let doc = json::parse(text).map_err(|e| vec![e.to_string()])?;
+    let mut errors = Vec::new();
+    if doc.get("displayTimeUnit").and_then(Value::as_str) != Some("ms") {
+        errors.push("displayTimeUnit must be the string \"ms\"".to_owned());
+    }
+    let events = doc.get("traceEvents").and_then(Value::as_array);
+    match events {
+        Some(events) => {
+            if events.is_empty() {
+                errors.push("traceEvents is empty — a run always emits spans".to_owned());
+            }
+            for (i, event) in events.iter().enumerate() {
+                check_event(event, &format!("traceEvents[{i}]"), &mut errors);
+            }
+        }
+        None => errors.push("missing traceEvents array".to_owned()),
+    }
+    let registries = doc.get("registries").and_then(Value::as_array);
+    match registries {
+        Some(regs) => {
+            for (i, reg) in regs.iter().enumerate() {
+                check_registry(reg, &format!("registries[{i}]"), &mut errors);
+            }
+        }
+        None => errors.push("missing registries array".to_owned()),
+    }
+    if errors.is_empty() {
+        Ok((
+            events.map_or(0, <[Value]>::len),
+            registries.map_or(0, <[Value]>::len),
+        ))
+    } else {
+        Err(errors)
+    }
+}
+
+/// Validates a JSONL export: one tagged object per line.
+fn check_jsonl(text: &str) -> Result<(usize, usize), Vec<String>> {
+    let mut errors = Vec::new();
+    let (mut events, mut registries) = (0usize, 0usize);
+    for (lineno, line) in text.lines().enumerate() {
+        let at = format!("line {}", lineno + 1);
+        let value = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                errors.push(format!("{at}: {e}"));
+                continue;
+            }
+        };
+        match value.get("type").and_then(Value::as_str) {
+            Some("event") => {
+                events += 1;
+                match value.get("event") {
+                    Some(event) => check_event(event, &at, &mut errors),
+                    None => errors.push(format!("{at}: event record without an event object")),
+                }
+            }
+            Some("registry") => {
+                registries += 1;
+                check_registry(&value, &at, &mut errors);
+            }
+            Some(other) => errors.push(format!("{at}: unknown record type {other:?}")),
+            None => errors.push(format!("{at}: record without a type tag")),
+        }
+    }
+    if events == 0 {
+        errors.push("no event records — a run always emits spans".to_owned());
+    }
+    if errors.is_empty() {
+        Ok((events, registries))
+    } else {
+        Err(errors)
+    }
+}
+
+fn require_u64(v: &Value, key: &str, at: &str, errors: &mut Vec<String>) {
+    if v.get(key).and_then(Value::as_u64).is_none() {
+        errors.push(format!("{at}: missing or non-integer {key:?}"));
+    }
+}
+
+/// Checks one trace event against the exporter's fixed key set.
+fn check_event(event: &Value, at: &str, errors: &mut Vec<String>) {
+    if event.as_object().is_none() {
+        errors.push(format!("{at}: event is not an object"));
+        return;
+    }
+    for key in ["name", "cat"] {
+        if event.get(key).and_then(Value::as_str).is_none() {
+            errors.push(format!("{at}: missing or non-string {key:?}"));
+        }
+    }
+    for key in ["ts", "pid", "tid"] {
+        require_u64(event, key, at, errors);
+    }
+    if event.get("args").and_then(Value::as_object).is_none() {
+        errors.push(format!("{at}: missing or non-object \"args\""));
+    }
+    match event.get("ph").and_then(Value::as_str) {
+        Some("X") => require_u64(event, "dur", at, errors),
+        Some("i") => {
+            if event.get("s").and_then(Value::as_str) != Some("t") {
+                errors.push(format!("{at}: instant event without thread scope s=\"t\""));
+            }
+        }
+        Some("M" | "C") => {}
+        Some(other) => errors.push(format!("{at}: unexpected phase {other:?}")),
+        None => errors.push(format!("{at}: missing or non-string \"ph\"")),
+    }
+}
+
+/// Checks one per-job registry object: counters/gauges are integer maps,
+/// histograms are cumulative bucket lists whose counts sum to `count`.
+fn check_registry(reg: &Value, at: &str, errors: &mut Vec<String>) {
+    if reg.get("job").and_then(Value::as_str).is_none() {
+        errors.push(format!("{at}: missing or non-string \"job\""));
+    }
+    for section in ["counters", "gauges"] {
+        match reg.get(section).and_then(Value::as_object) {
+            Some(members) => {
+                for (name, value) in members {
+                    if value.as_u64().is_none() {
+                        errors.push(format!("{at}: {section}.{name} is not a u64"));
+                    }
+                }
+            }
+            None => errors.push(format!("{at}: missing or non-object {section:?}")),
+        }
+    }
+    let Some(histograms) = reg.get("histograms").and_then(Value::as_object) else {
+        errors.push(format!("{at}: missing or non-object \"histograms\""));
+        return;
+    };
+    for (name, hist) in histograms {
+        let here = format!("{at}: histograms.{name}");
+        let count = hist.get("count").and_then(Value::as_u64);
+        if count.is_none() {
+            errors.push(format!("{here}: missing or non-integer count"));
+        }
+        if hist.get("sum").and_then(Value::as_u64).is_none() {
+            errors.push(format!("{here}: missing or non-integer sum"));
+        }
+        let Some(buckets) = hist.get("buckets").and_then(Value::as_array) else {
+            errors.push(format!("{here}: missing or non-array buckets"));
+            continue;
+        };
+        let mut total = 0u64;
+        let mut saw_overflow = false;
+        for (i, bucket) in buckets.iter().enumerate() {
+            let le = bucket.get("le");
+            match le {
+                Some(Value::Null) => saw_overflow = true,
+                Some(v) if v.as_u64().is_some() => {}
+                _ => errors.push(format!("{here}: buckets[{i}].le is neither u64 nor null")),
+            }
+            match bucket.get("count").and_then(Value::as_u64) {
+                Some(c) => total += c,
+                None => errors.push(format!("{here}: buckets[{i}].count is not a u64")),
+            }
+        }
+        if !saw_overflow {
+            errors.push(format!("{here}: no overflow bucket (le:null)"));
+        }
+        if let Some(count) = count {
+            if total != count {
+                errors.push(format!(
+                    "{here}: bucket counts sum to {total} but count is {count}"
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skymr_telemetry::export::{chrome_trace, jsonl};
+    use skymr_telemetry::span::Span;
+    use skymr_telemetry::{Collector, JobTrace, TraceDocument};
+
+    fn sample_doc() -> TraceDocument {
+        let c = Collector::new();
+        let mut job = JobTrace::new("wc");
+        job.name_lane(1, "map slot 0");
+        job.span(Span::new(&["wc", "map", "0"], "map[0]", "map", 1, 0, 40));
+        job.counter("map running", 0, "tasks", 1);
+        job.registry_mut().add("map.records_out", 12);
+        job.registry_mut().record("map.task_ticks", &[100], 40);
+        job.set_total(50);
+        c.commit(job);
+        c.finish()
+    }
+
+    #[test]
+    fn accepts_both_export_formats() {
+        let doc = sample_doc();
+        let (events, regs) = check_chrome(&chrome_trace(&doc)).expect("chrome export validates");
+        assert!(events > 0);
+        assert_eq!(regs, 1);
+        let (events, regs) = check_jsonl(&jsonl(&doc)).expect("jsonl export validates");
+        assert!(events > 0);
+        assert_eq!(regs, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_and_incomplete_documents() {
+        assert!(check_chrome("not json").is_err());
+        assert!(check_chrome("{}").is_err());
+        // A complete span without a duration is a violation.
+        let doc = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                   {\"name\":\"x\",\"cat\":\"map\",\"ph\":\"X\",\"ts\":0,\
+                   \"pid\":1,\"tid\":1,\"args\":{}}],\"registries\":[]}";
+        let errors = check_chrome(doc).expect_err("missing dur rejected");
+        assert!(errors.iter().any(|e| e.contains("dur")), "{errors:?}");
+    }
+
+    #[test]
+    fn rejects_histograms_whose_buckets_disagree_with_count() {
+        let doc = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                   {\"name\":\"x\",\"cat\":\"map\",\"ph\":\"M\",\"ts\":0,\
+                   \"pid\":1,\"tid\":1,\"args\":{}}],\"registries\":[\
+                   {\"job\":\"wc\",\"counters\":{},\"gauges\":{},\
+                   \"histograms\":{\"h\":{\"count\":3,\"sum\":9,\"buckets\":[\
+                   {\"le\":10,\"count\":1},{\"le\":null,\"count\":1}]}}}]}";
+        let errors = check_chrome(doc).expect_err("count mismatch rejected");
+        assert!(
+            errors.iter().any(|e| e.contains("sum to 2 but count is 3")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn jsonl_reports_per_line_violations() {
+        let errors = check_jsonl("{\"type\":\"mystery\"}\nnot json\n").expect_err("rejected");
+        assert!(errors.iter().any(|e| e.contains("line 1")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("line 2")), "{errors:?}");
+    }
+}

@@ -86,18 +86,10 @@ fn fault_sweep(name: &str, data: &Dataset) {
         clean.skyline.len(),
         "re-execution must not change the answer"
     );
-    for job in &run.metrics.jobs {
-        println!(
-            "  {:<12} attempts {:>3}  retries {:>2} map / {:>2} reduce  \
-             speculative wins {}  backoff {:>6.2}s  wasted {:>6.2}s",
-            job.name,
-            job.attempts,
-            job.map_retries,
-            job.reduce_retries,
-            job.speculative_wins,
-            job.backoff_time.as_secs_f64(),
-            job.wasted_task_time.as_secs_f64(),
-        );
+    // One row per job: phase breakdown plus the fault-tolerance story
+    // (attempts, retries, speculative wins, wasted task time).
+    for line in run.metrics.phase_table().lines() {
+        println!("  {line}");
     }
     let clean_s = clean.metrics.sim_runtime().as_secs_f64();
     let faulty_s = run.metrics.sim_runtime().as_secs_f64();
@@ -119,4 +111,21 @@ fn main() {
     // Tuning is not only about reducer counts: on a flaky cluster the
     // retry/speculation machinery adds recovery work to the makespan.
     fault_sweep("anti-correlated 7-d", &hard);
+}
+
+#[cfg(test)]
+mod tests {
+    use skymr_mapreduce::{JobMetrics, PipelineMetrics};
+
+    #[test]
+    fn phase_table_renders_for_a_map_only_job() {
+        // A job with zero reducers (map-only, like a pure sampling pass)
+        // must still produce a printable row — no division by the reducer
+        // count anywhere in the renderer.
+        let mut metrics = PipelineMetrics::new();
+        metrics.push(JobMetrics::empty("map-only", 4, 0));
+        let table = metrics.phase_table();
+        assert!(table.contains("map-only"));
+        assert!(table.contains("4m/0r"));
+    }
 }
