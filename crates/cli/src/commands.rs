@@ -11,7 +11,9 @@ use skymr_common::{Dataset, Tuple};
 use skymr_datagen::{generate as gen_data, io, Distribution};
 use skymr_mapreduce::telemetry::export::{chrome_trace, jsonl};
 use skymr_mapreduce::telemetry::json;
-use skymr_mapreduce::{Collector, PipelineMetrics};
+use skymr_mapreduce::{
+    BlacklistPolicy, Collector, FaultPlan, FaultTolerance, PipelineMetrics, Placement,
+};
 
 use crate::args::Args;
 
@@ -116,6 +118,24 @@ fn skyline_config(args: &Args) -> Result<SkylineConfig, String> {
         Some("dnc") => skymr::LocalAlgo::Dnc,
         Some(other) => return Err(format!("unknown local kernel {other:?} (bnl|sfs|dnc)")),
     };
+    // Node-hostile chaos: a seeded placement plus a node-loss/partition
+    // fault plan, with Hadoop-style blacklisting. The skyline must come out
+    // byte-identical regardless (pair with --verify to check).
+    if let Some(seed) = args.get("chaos-nodes") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|e| format!("bad --chaos-nodes seed: {e}"))?;
+        config.cluster.placement = Some(Placement::new(seed));
+        config.fault_tolerance = FaultTolerance::with_plan(FaultPlan::chaos_nodes(seed))
+            .with_blacklist(BlacklistPolicy::new());
+    }
+    if let Some(path) = args.get("checkpoint") {
+        config.checkpoint.file = Some(path.into());
+    }
+    config.checkpoint.resume = args.has_flag("resume");
+    if args.get("kill-after").is_some() {
+        config.checkpoint.kill_after = Some(args.get_parsed("kill-after", 0usize)?);
+    }
     Ok(config)
 }
 
@@ -136,6 +156,12 @@ fn print_metrics(metrics: &PipelineMetrics) {
             job.shuffle_time,
             job.reduce_phase
         );
+        if job.nodes_lost > 0 || job.maps_reexecuted > 0 || job.nodes_blacklisted > 0 {
+            println!(
+                "      node faults: {} lost, {} blacklisted; {} maps re-executed ({:.2?})",
+                job.nodes_lost, job.nodes_blacklisted, job.maps_reexecuted, job.reexecution_time
+            );
+        }
     }
     println!(
         "  total simulated runtime {:.2?}   (host wall {:.2?})",
@@ -155,8 +181,29 @@ fn write_skyline(args: &Args, skyline: &[Tuple], dim: usize) -> Result<(), Strin
 
 const GENERATE_OPTS: &[&str] = &["dist", "dim", "card", "seed", "clusters", "out", "format"];
 const RUN_OPTS: &[&str] = &[
-    "algo", "input", "dist", "dim", "card", "seed", "clusters", "mappers", "reducers", "ppd",
-    "out", "distinct", "verify", "k", "dims", "lo", "hi", "local", "trace",
+    "algo",
+    "input",
+    "dist",
+    "dim",
+    "card",
+    "seed",
+    "clusters",
+    "mappers",
+    "reducers",
+    "ppd",
+    "out",
+    "distinct",
+    "verify",
+    "k",
+    "dims",
+    "lo",
+    "hi",
+    "local",
+    "trace",
+    "chaos-nodes",
+    "checkpoint",
+    "resume",
+    "kill-after",
 ];
 const PLAN_OPTS: &[&str] = &[
     "input", "dist", "dim", "card", "seed", "clusters", "ppd", "reducers", "dims", "lo", "hi",
@@ -705,6 +752,34 @@ mod tests {
         std::fs::remove_file(path).ok();
         let a = args("trace");
         assert!(trace(&a).is_err(), "missing file argument must fail");
+    }
+
+    #[test]
+    fn run_with_node_chaos_still_verifies() {
+        // A handful of seeds so at least one actually loses a node; every
+        // run must still match the BNL oracle.
+        for seed in 0..4 {
+            let a = args(&format!(
+                "run --algo gpmrs --dist anticorrelated --dim 3 --card 300 \
+                 --mappers 4 --reducers 2 --chaos-nodes {seed} --verify"
+            ));
+            run(&a).unwrap_or_else(|e| panic!("chaos seed {seed} failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn run_kill_and_resume_via_flags() {
+        let path = std::env::temp_dir().join(format!("skymr-cli-ckpt-{}.json", std::process::id()));
+        let base = format!(
+            "run --algo gpsrs --dist anticorrelated --dim 3 --card 300 --seed 11 \
+             --checkpoint {}",
+            path.display()
+        );
+        let killed = run(&args(&format!("{base} --kill-after 1")))
+            .expect_err("the kill-point must abort the run");
+        assert!(killed.contains("killed"), "unexpected error: {killed}");
+        run(&args(&format!("{base} --resume --verify"))).unwrap();
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub enum Error {
         /// Cause of the final failed attempt.
         message: String,
     },
+    /// A pipeline runner hit its configured kill-point (chaos testing's
+    /// deterministic stand-in for a driver crash between chained jobs).
+    /// The checkpoint taken after `after_jobs` completed jobs survives and
+    /// can seed a resumed run.
+    PipelineKilled {
+        /// How many jobs had completed (and checkpointed) before the kill.
+        after_jobs: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -73,6 +81,10 @@ impl fmt::Display for Error {
                 f,
                 "job `{job}` aborted: {task} task {index} failed {attempts} attempt(s); last: {message}"
             ),
+            Error::PipelineKilled { after_jobs } => write!(
+                f,
+                "pipeline killed after {after_jobs} completed job(s); checkpoint available for resume"
+            ),
         }
     }
 }
@@ -99,5 +111,7 @@ mod tests {
         assert!(Error::InvalidConfig("bad".into())
             .to_string()
             .contains("bad"));
+        let killed = Error::PipelineKilled { after_jobs: 1 }.to_string();
+        assert!(killed.contains('1') && killed.contains("resume"));
     }
 }

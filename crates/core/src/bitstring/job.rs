@@ -13,7 +13,7 @@ use crate::config::{PpdPolicy, SkylineConfig};
 use crate::grid::Grid;
 
 /// What the bitstring pre-job learned about the data.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BitstringInfo {
     /// PPD of the grid that was (chosen and) used.
     pub ppd: usize,

@@ -1,10 +1,53 @@
 //! Configuration for the skyline pipelines.
 
+use std::path::PathBuf;
+
 use skymr_common::{Error, Result};
-use skymr_mapreduce::{ClusterConfig, Collector, FaultTolerance};
+use skymr_mapreduce::{Checkpoint, ClusterConfig, Collector, FaultTolerance, Runner};
 
 use crate::groups::MergePolicy;
 use crate::local::LocalAlgo;
+
+/// Pipeline checkpoint/resume controls (all off by default).
+///
+/// The drivers run their two-job chains through a
+/// [`Runner`]; these knobs decide whether the runner persists checkpoints
+/// to a file, resumes from one, and/or kills itself at a deterministic
+/// point for chaos testing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Checkpoint file, rewritten after every completed job (and read back
+    /// on resume). `None` keeps checkpoints in memory only.
+    pub file: Option<PathBuf>,
+    /// Resume from `file` when it holds a valid checkpoint; a missing or
+    /// stale file silently falls back to a fresh run.
+    pub resume: bool,
+    /// Chaos kill-point: abort with
+    /// [`Error::PipelineKilled`] when entering the
+    /// stage after this many completed jobs.
+    pub kill_after: Option<usize>,
+}
+
+impl CheckpointConfig {
+    /// Builds the [`Runner`] these controls describe.
+    pub fn runner(&self) -> Runner {
+        let mut runner = if self.resume {
+            self.file
+                .as_deref()
+                .and_then(|p| Checkpoint::load(p).map(Runner::resume))
+                .unwrap_or_default()
+        } else {
+            Runner::new()
+        };
+        if let Some(n) = self.kill_after {
+            runner = runner.with_kill_after(n);
+        }
+        if let Some(path) = &self.file {
+            runner = runner.with_checkpoint_file(path);
+        }
+        runner
+    }
+}
 
 /// How the grid's partitions-per-dimension (PPD) value is chosen.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +107,8 @@ pub struct SkylineConfig {
     /// its deterministic span timeline (and metrics registry) into it.
     /// `None` costs nothing — registries are still built per job.
     pub telemetry: Option<Collector>,
+    /// Pipeline checkpoint/resume controls (off by default).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for SkylineConfig {
@@ -79,6 +124,7 @@ impl Default for SkylineConfig {
             cluster,
             fault_tolerance: FaultTolerance::none(),
             telemetry: None,
+            checkpoint: CheckpointConfig::default(),
         }
     }
 }
@@ -97,6 +143,7 @@ impl SkylineConfig {
             cluster: ClusterConfig::test(),
             fault_tolerance: FaultTolerance::none(),
             telemetry: None,
+            checkpoint: CheckpointConfig::default(),
         }
     }
 
@@ -127,6 +174,27 @@ impl SkylineConfig {
     /// Attaches (or detaches) a span collector for the pipeline's jobs.
     pub fn with_telemetry(mut self, collector: Option<Collector>) -> Self {
         self.telemetry = collector;
+        self
+    }
+
+    /// Persists pipeline checkpoints to `path` after every completed job.
+    pub fn with_checkpoint_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint.file = Some(path.into());
+        self
+    }
+
+    /// Resumes from the checkpoint file (no-op without one, or when the
+    /// file is missing or stale).
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.checkpoint.resume = resume;
+        self
+    }
+
+    /// Chaos kill-point: the pipeline aborts with
+    /// [`Error::PipelineKilled`] when entering the
+    /// job after `n` completed jobs.
+    pub fn with_kill_after(mut self, n: usize) -> Self {
+        self.checkpoint.kill_after = Some(n);
         self
     }
 

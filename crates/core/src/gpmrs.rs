@@ -24,6 +24,7 @@ use skymr_mapreduce::{
 
 use crate::bitstring::job::generate_bitstring;
 use crate::bitstring::Bitstring;
+use crate::checkpoint::BitstringStage;
 use crate::config::SkylineConfig;
 use crate::gpsrs::{record_task_stats, GpsrsMapTask, PartitionSkylines};
 use crate::groups::{plan_groups, GroupPlan};
@@ -240,10 +241,17 @@ pub fn mr_gpmrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Resu
     let splits = dataset.split(config.mappers);
     let mut metrics = PipelineMetrics::new();
     let mut counters = std::collections::BTreeMap::new();
+    let mut runner = config.checkpoint.runner();
 
-    let (bitstring, bs_info, bs_metrics) =
-        generate_bitstring(&splits, dataset.dim(), dataset.len(), config)?;
-    metrics.push(bs_metrics);
+    let BitstringStage {
+        bitstring,
+        info: bs_info,
+    } = runner.stage("bitstring", &mut metrics, |metrics| {
+        let (bitstring, info, bs_metrics) =
+            generate_bitstring(&splits, dataset.dim(), dataset.len(), config)?;
+        metrics.push(bs_metrics);
+        Ok(BitstringStage { bitstring, info })
+    })?;
 
     let grid = *bitstring.grid();
     let plan = plan_groups(&bitstring, config.reducers, config.merge_policy);
@@ -272,20 +280,21 @@ pub fn mr_gpmrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Resu
         .with_cache_bytes(bitstring.bits().byte_size())
         .with_fault_tolerance(&config.fault_tolerance)
         .with_collector(config.telemetry.clone());
-    let outcome = metrics.track(run_job(
-        &config.cluster,
-        &job_config,
-        &splits,
-        &GpmrsMapFactory::new(Arc::clone(&bitstring), Arc::clone(&plan), config.local_algo),
-        &GpmrsReduceFactory::new(Arc::clone(&bitstring), Arc::clone(&plan)),
-        &ModuloPartitioner,
-    ))?;
-    for (k, v) in outcome.counters.snapshot() {
-        counters.insert(format!("gpmrs.{k}"), v);
-    }
+    let skyline = runner.stage("gpmrs", &mut metrics, |metrics| {
+        let outcome = metrics.track(run_job(
+            &config.cluster,
+            &job_config,
+            &splits,
+            &GpmrsMapFactory::new(Arc::clone(&bitstring), Arc::clone(&plan), config.local_algo),
+            &GpmrsReduceFactory::new(Arc::clone(&bitstring), Arc::clone(&plan)),
+            &ModuloPartitioner,
+        ))?;
+        for (k, v) in outcome.counters.snapshot() {
+            counters.insert(format!("gpmrs.{k}"), v);
+        }
+        Ok(canonicalize(outcome.into_flat_output()))
+    })?;
     info.buckets = plan.num_buckets();
-
-    let skyline = canonicalize(outcome.into_flat_output());
     if cfg!(debug_assertions) {
         if let Err(v) = skymr_mapreduce::analysis::check_skyline(&skyline) {
             panic!("mr_gpmrs produced a non-skyline: {v}");

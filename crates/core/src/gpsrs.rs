@@ -21,6 +21,7 @@ use skymr_mapreduce::{
 
 use crate::bitstring::job::generate_bitstring;
 use crate::bitstring::Bitstring;
+use crate::checkpoint::BitstringStage;
 use crate::config::SkylineConfig;
 use crate::grid::Grid;
 use crate::local::{
@@ -253,10 +254,17 @@ pub fn mr_gpsrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Resu
     let splits = dataset.split(config.mappers);
     let mut metrics = PipelineMetrics::new();
     let mut counters = std::collections::BTreeMap::new();
+    let mut runner = config.checkpoint.runner();
 
-    let (bitstring, bs_info, bs_metrics) =
-        generate_bitstring(&splits, dataset.dim(), dataset.len(), config)?;
-    metrics.push(bs_metrics);
+    let BitstringStage {
+        bitstring,
+        info: bs_info,
+    } = runner.stage("bitstring", &mut metrics, |metrics| {
+        let (bitstring, info, bs_metrics) =
+            generate_bitstring(&splits, dataset.dim(), dataset.len(), config)?;
+        metrics.push(bs_metrics);
+        Ok(BitstringStage { bitstring, info })
+    })?;
 
     let grid = *bitstring.grid();
     let bitstring = Arc::new(bitstring);
@@ -264,19 +272,20 @@ pub fn mr_gpsrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Resu
         .with_cache_bytes(bitstring.bits().byte_size())
         .with_fault_tolerance(&config.fault_tolerance)
         .with_collector(config.telemetry.clone());
-    let outcome = metrics.track(run_job(
-        &config.cluster,
-        &job_config,
-        &splits,
-        &GpsrsMapFactory::new(Arc::clone(&bitstring), config.local_algo),
-        &GpsrsReduceFactory::new(grid),
-        &SingleReducerPartitioner,
-    ))?;
-    for (k, v) in outcome.counters.snapshot() {
-        counters.insert(format!("gpsrs.{k}"), v);
-    }
-
-    let skyline = canonicalize(outcome.into_flat_output());
+    let skyline = runner.stage("gpsrs", &mut metrics, |metrics| {
+        let outcome = metrics.track(run_job(
+            &config.cluster,
+            &job_config,
+            &splits,
+            &GpsrsMapFactory::new(Arc::clone(&bitstring), config.local_algo),
+            &GpsrsReduceFactory::new(grid),
+            &SingleReducerPartitioner,
+        ))?;
+        for (k, v) in outcome.counters.snapshot() {
+            counters.insert(format!("gpsrs.{k}"), v);
+        }
+        Ok(canonicalize(outcome.into_flat_output()))
+    })?;
     if cfg!(debug_assertions) {
         if let Err(v) = skymr_mapreduce::analysis::check_skyline(&skyline) {
             panic!("mr_gpsrs produced a non-skyline: {v}");

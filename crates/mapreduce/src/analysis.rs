@@ -36,7 +36,7 @@ use std::fmt;
 use skymr_common::dominance::dominates;
 use skymr_common::Tuple;
 
-use crate::cluster::ClusterConfig;
+use crate::cluster::{ClusterConfig, Placement};
 
 // ---------------------------------------------------------------------
 // Invariant checkers.
@@ -173,15 +173,20 @@ pub struct ShakeCase {
     pub reduce_slots: usize,
     /// Seed for input-order permutations via [`ShakeCase::permute`].
     pub shuffle_seed: u64,
+    /// Seed for the case's task [`Placement`]: where tasks live on the
+    /// simulated nodes must never leak into job output either.
+    pub placement_seed: u64,
 }
 
 impl ShakeCase {
-    /// `base` with this case's thread and slot counts applied.
+    /// `base` with this case's thread and slot counts applied, plus a
+    /// case-seeded [`Placement`] so node assignment varies across cases.
     pub fn cluster(&self, base: &ClusterConfig) -> ClusterConfig {
         let mut c = base.clone();
         c.host_threads = self.host_threads;
         c.map_slots = self.map_slots;
         c.reduce_slots = self.reduce_slots;
+        c.placement = Some(Placement::new(self.placement_seed));
         c
     }
 
@@ -212,6 +217,7 @@ pub fn shake_cases(n: usize, seed: u64) -> Vec<ShakeCase> {
             map_slots: 1 + (splitmix64(&mut state) as usize) % 6,
             reduce_slots: 1 + (splitmix64(&mut state) as usize) % 6,
             shuffle_seed: splitmix64(&mut state),
+            placement_seed: splitmix64(&mut state),
         })
         .collect()
 }
@@ -460,12 +466,22 @@ mod tests {
             map_slots: 2,
             reduce_slots: 3,
             shuffle_seed: 0,
+            placement_seed: 0xA11CE,
         };
         let c = case.cluster(&base);
         assert_eq!(c.host_threads, 7);
         assert_eq!(c.map_slots, 2);
         assert_eq!(c.reduce_slots, 3);
+        assert_eq!(c.placement, Some(Placement::new(0xA11CE)));
         assert_eq!(c.nodes, base.nodes);
         assert_eq!(c.job_startup, base.job_startup);
+    }
+
+    #[test]
+    fn cases_vary_the_placement_seed() {
+        let cases = shake_cases(8, 42);
+        let seeds: std::collections::BTreeSet<u64> =
+            cases.iter().map(|c| c.placement_seed).collect();
+        assert!(seeds.len() > 1, "placement seeds must vary across cases");
     }
 }

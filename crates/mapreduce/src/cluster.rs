@@ -1,6 +1,91 @@
-//! The simulated cluster: topology, cost constants, and per-job metrics.
+//! The simulated cluster: topology, placement, cost constants, and
+//! per-job metrics.
 
 use std::time::Duration;
+
+use crate::fault::TaskKind;
+
+/// Deterministic assignment of tasks and attempts to home nodes.
+///
+/// Hadoop materializes map outputs on the local disk of the machine that
+/// ran the task, so losing a *machine* invalidates the outputs stored
+/// there. To model that, every task (and every retry attempt) gets a home
+/// node derived purely from `(seed, job, kind, index[, attempt])` over the
+/// list of currently-alive nodes — never from the measured LPT schedule,
+/// which depends on host timing. The same seed therefore always produces
+/// the same task→node map, making node-loss recovery replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Seed from which every assignment is derived.
+    pub seed: u64,
+}
+
+/// Hash salt for task-level home assignment (distinct from the fault
+/// plan's salts in `fault/plan.rs`).
+const PLACE_TASK_SALT: u64 = 0x9C0D_E001;
+/// Hash salt for per-attempt home assignment.
+const PLACE_ATTEMPT_SALT: u64 = 0x9C0D_E002;
+
+impl Placement {
+    /// A placement derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The node that hosts slot `slot`: slots map round-robin onto nodes,
+    /// so removing a node from scheduling removes `slots/nodes` slots.
+    pub fn node_of_slot(slot: usize, nodes: usize) -> usize {
+        slot % nodes.max(1) // xtask: allow(panic-reachability) — `.max(1)` keeps the divisor nonzero
+    }
+
+    /// Home node of a task's *materialized output* — attempt-independent,
+    /// so re-executions land the replacement output on the same home and
+    /// the expected re-execution count is a pure function of the plan.
+    pub fn task_home(&self, job: &str, kind: TaskKind, index: usize, alive: &[usize]) -> usize {
+        let h = crate::fault::plan::decision(
+            self.seed,
+            job,
+            PLACE_TASK_SALT,
+            kind as u64,
+            index as u64,
+        );
+        pick(alive, h)
+    }
+
+    /// Home node of one *attempt* of a task — used to attribute failed
+    /// attempts to nodes for blacklisting.
+    pub fn attempt_home(
+        &self,
+        job: &str,
+        kind: TaskKind,
+        index: usize,
+        attempt: u32,
+        alive: &[usize],
+    ) -> usize {
+        let mixed = crate::fault::plan::decision(
+            self.seed,
+            job,
+            PLACE_ATTEMPT_SALT,
+            index as u64,
+            u64::from(attempt),
+        );
+        let h = match kind {
+            TaskKind::Map => mixed,
+            TaskKind::Reduce => mixed.rotate_left(17),
+        };
+        pick(alive, h)
+    }
+}
+
+/// Picks a node from the alive list by hash; falls back to node 0 when the
+/// list is empty (the engine clamps the alive set to at least one node).
+fn pick(alive: &[usize], hash: u64) -> usize {
+    if alive.is_empty() {
+        return 0;
+    }
+    let i = (hash % alive.len() as u64) as usize; // xtask: allow(panic-reachability) — guarded by the is_empty early return above
+    alive[i]
+}
 
 /// Describes the (simulated) cluster a job runs on.
 ///
@@ -31,6 +116,14 @@ pub struct ClusterConfig {
     /// is derived from per-task measured durations placed onto slots, so
     /// this only bounds host parallelism, not the simulated clock.
     pub host_threads: usize,
+    /// Deterministic task→node placement. `None` (the default) keeps the
+    /// pre-placement behaviour: nodes stay a pure cost-model scalar and
+    /// node-scoped fault events are ignored.
+    pub placement: Option<Placement>,
+    /// How long the job tracker waits after a node's last heartbeat before
+    /// declaring it dead. Charged to the simulated clock once per lost
+    /// node, before re-execution of its map outputs begins.
+    pub heartbeat_timeout: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -44,6 +137,8 @@ impl Default for ClusterConfig {
             task_overhead: Duration::from_millis(200),
             host_threads: std::thread::available_parallelism()
                 .map_or(4, std::num::NonZeroUsize::get),
+            placement: None,
+            heartbeat_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -60,6 +155,17 @@ impl ClusterConfig {
             job_startup: Duration::from_micros(10),
             task_overhead: Duration::from_micros(1),
             host_threads: 4,
+            placement: None,
+            heartbeat_timeout: Duration::from_millis(2),
+        }
+    }
+
+    /// The same test cluster with a seeded task→node placement — the entry
+    /// point for node-level chaos tests.
+    pub fn test_placed(seed: u64) -> Self {
+        Self {
+            placement: Some(Placement::new(seed)),
+            ..Self::test()
         }
     }
 
@@ -99,6 +205,18 @@ impl ClusterConfig {
         Duration::from_secs_f64(
             bottleneck as f64 * self.remote_fraction() / self.network_bytes_per_sec,
         )
+    }
+
+    /// Shuffle time from a real [`Placement`]: `remote_per_node[n]` is the
+    /// byte total that reducers homed on node `n` must pull from *other*
+    /// nodes (buckets whose producing map task is homed elsewhere). The
+    /// bottleneck downlink carries exactly those bytes — no
+    /// [`remote_fraction`](Self::remote_fraction) estimate. The closed-form
+    /// [`shuffle_time`](Self::shuffle_time) remains the documented
+    /// fallback when `placement` is `None`.
+    pub fn shuffle_time_placed(&self, remote_per_node: &[u64]) -> Duration {
+        let bottleneck = remote_per_node.iter().copied().max().unwrap_or(0);
+        Duration::from_secs_f64(bottleneck as f64 / self.network_bytes_per_sec)
     }
 }
 
@@ -191,6 +309,16 @@ pub struct JobMetrics {
     pub map_task_durations: Vec<Duration>,
     /// Modeled per-reduce-task durations (see `map_task_durations`).
     pub reduce_task_durations: Vec<Duration>,
+    /// Nodes lost (declared dead) during this job.
+    pub nodes_lost: u64,
+    /// Completed map tasks whose materialized outputs were invalidated by
+    /// a node loss and had to re-execute before the shuffle could finish.
+    pub maps_reexecuted: u64,
+    /// Simulated time spent detecting node losses (heartbeat timeouts) and
+    /// re-executing invalidated map tasks. Folded into `map_phase`.
+    pub reexecution_time: Duration,
+    /// Nodes removed from scheduling by the blacklist policy.
+    pub nodes_blacklisted: u64,
 }
 
 impl JobMetrics {
@@ -222,6 +350,10 @@ impl JobMetrics {
             backoff_time: Duration::ZERO,
             map_task_durations: Vec::new(),
             reduce_task_durations: Vec::new(),
+            nodes_lost: 0,
+            maps_reexecuted: 0,
+            reexecution_time: Duration::ZERO,
+            nodes_blacklisted: 0,
         }
     }
 
@@ -390,6 +522,51 @@ mod tests {
         let mut c = ClusterConfig::test();
         c.nodes = 1;
         assert_eq!(c.shuffle_time(&[1_000_000]), Duration::ZERO);
+    }
+
+    #[test]
+    fn placement_homes_are_deterministic_and_in_range() {
+        let p = Placement::new(0xFEED);
+        let alive: Vec<usize> = (0..4).collect();
+        for i in 0..32 {
+            let home = p.task_home("wc", TaskKind::Map, i, &alive);
+            assert!(home < 4);
+            assert_eq!(home, p.task_home("wc", TaskKind::Map, i, &alive));
+        }
+        // A different seed must disagree somewhere over 32 tasks.
+        let q = Placement::new(0xFEED + 1);
+        assert!((0..32).any(|i| {
+            p.task_home("wc", TaskKind::Map, i, &alive)
+                != q.task_home("wc", TaskKind::Map, i, &alive)
+        }));
+    }
+
+    #[test]
+    fn placement_respects_the_alive_list() {
+        let p = Placement::new(7);
+        // With node 2 dead, no task may be homed there.
+        let alive = [0usize, 1, 3];
+        for i in 0..64 {
+            assert_ne!(p.task_home("wc", TaskKind::Map, i, &alive), 2);
+            assert_ne!(p.attempt_home("wc", TaskKind::Reduce, i, 1, &alive), 2);
+        }
+    }
+
+    #[test]
+    fn slots_map_round_robin_onto_nodes() {
+        assert_eq!(Placement::node_of_slot(0, 4), 0);
+        assert_eq!(Placement::node_of_slot(5, 4), 1);
+        assert_eq!(Placement::node_of_slot(3, 0), 0);
+    }
+
+    #[test]
+    fn placed_shuffle_charges_only_remote_bytes() {
+        let mut c = ClusterConfig::test();
+        c.network_bytes_per_sec = 1000.0;
+        // Busiest node pulls 2000 remote bytes -> 2 s, no remote_fraction.
+        let t = c.shuffle_time_placed(&[2000, 500]);
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(c.shuffle_time_placed(&[]), Duration::ZERO);
     }
 
     #[test]

@@ -33,10 +33,12 @@
 
 mod error;
 mod exec;
-mod plan;
+pub(crate) mod plan;
 mod retry;
 
 pub use error::JobError;
 pub use exec::{run_attempts, AttemptFailure, FailureCause, Inject, TaskExecution};
-pub use plan::{FaultKind, FaultPlan, FaultProfile, SeededFaults, TaskFault, TaskKind};
-pub use retry::{FaultTolerance, RetryPolicy, SpeculationPolicy};
+pub use plan::{
+    FaultKind, FaultPlan, FaultProfile, NodeLoss, NodePartition, SeededFaults, TaskFault, TaskKind,
+};
+pub use retry::{BlacklistPolicy, FaultTolerance, RetryPolicy, SpeculationPolicy};

@@ -117,6 +117,40 @@ impl Default for TaskFault {
     }
 }
 
+/// A node dying for good at a point on the simulated clock.
+///
+/// `at_tick` is in model ticks (microseconds of simulated time) from the
+/// start of the job's map phase. When the loss lands after the map phase
+/// it is clamped to the shuffle barrier — the moment the shuffle discovers
+/// the dead node's materialized map outputs are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NodeLoss {
+    /// Model tick (relative to the map phase start) at which the node's
+    /// last heartbeat is sent. Ordered first so scripted losses sort by
+    /// time, then node.
+    pub at_tick: u64,
+    /// The dying node.
+    pub node: usize,
+}
+
+/// A node unreachable for a bounded window (a network partition). The
+/// node's materialized outputs survive, but the shuffle stalls for the
+/// window's duration while reducers wait to pull from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NodePartition {
+    /// Model tick at which the node becomes unreachable.
+    pub at_tick: u64,
+    /// How long the node stays unreachable, in model ticks.
+    pub for_ticks: u64,
+    /// The partitioned node.
+    pub node: usize,
+}
+
+/// Hash salt for seeded node-loss decisions.
+const NODE_LOSS_SALT: u64 = 0x4E0D_E001;
+/// Hash salt for seeded node-partition decisions.
+const NODE_PART_SALT: u64 = 0x4E0D_E002;
+
 /// Fault rates for seeded plans, in permille (0–1000) so profiles stay
 /// `Eq`-comparable and platform-independent.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +171,14 @@ pub struct FaultProfile {
     pub lost_partition_permille: u32,
     /// Chance the distributed-cache broadcast fails (and is re-charged).
     pub broadcast_fail_permille: u32,
+    /// Chance each node dies during the job (requires a
+    /// [`Placement`](crate::Placement) on the cluster to have any effect).
+    /// Zero in [`FaultProfile::default`], so pre-existing seeded plans
+    /// replay bit-for-bit.
+    pub node_loss_permille: u32,
+    /// Chance each node suffers a transient network partition that stalls
+    /// the shuffle. Zero in the default profile.
+    pub node_partition_permille: u32,
 }
 
 impl Default for FaultProfile {
@@ -153,6 +195,27 @@ impl Default for FaultProfile {
             straggler_slowdown: 8.0,
             lost_partition_permille: 50,
             broadcast_fail_permille: 200,
+            node_loss_permille: 0,
+            node_partition_permille: 0,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// A node-hostile cluster: machines die and partition, but task-level
+    /// faults are rare — the profile behind [`FaultPlan::chaos_nodes`],
+    /// aimed at exercising map-output re-execution rather than retries.
+    pub fn nodes() -> Self {
+        Self {
+            task_fault_permille: 50,
+            max_failures_per_task: 1,
+            mid_task_permille: 500,
+            straggler_permille: 0,
+            straggler_slowdown: 1.0,
+            lost_partition_permille: 0,
+            broadcast_fail_permille: 0,
+            node_loss_permille: 400,
+            node_partition_permille: 200,
         }
     }
 }
@@ -183,6 +246,10 @@ pub struct FaultPlan {
     pub lost_partitions: BTreeSet<(usize, usize)>,
     /// Scripted failed broadcast attempts before the cache lands.
     pub broadcast_failures: u32,
+    /// Scripted node deaths (ignored unless the cluster has a placement).
+    pub node_losses: Vec<NodeLoss>,
+    /// Scripted transient node partitions.
+    pub node_partitions: Vec<NodePartition>,
     /// Seeded random faults layered under the scripted ones.
     pub seeded: Option<SeededFaults>,
     /// Restrict the whole plan to jobs with this exact name (`None` = the
@@ -232,6 +299,12 @@ impl FaultPlan {
         }
     }
 
+    /// A seeded node-hostile plan ([`FaultProfile::nodes`]): machines die
+    /// and partition, forcing map-output re-execution and shuffle stalls.
+    pub fn chaos_nodes(seed: u64) -> Self {
+        Self::chaos(seed, FaultProfile::nodes())
+    }
+
     /// Adds a scripted fault for map task `index`.
     pub fn with_map_fault(mut self, index: usize, fault: TaskFault) -> Self {
         self.map_faults.insert(index, fault);
@@ -257,6 +330,24 @@ impl FaultPlan {
         self
     }
 
+    /// Kills `node` at `at_tick` model ticks into the job's map phase.
+    /// Only effective when the cluster has a [`Placement`](crate::Placement).
+    pub fn with_node_loss(mut self, node: usize, at_tick: u64) -> Self {
+        self.node_losses.push(NodeLoss { at_tick, node });
+        self
+    }
+
+    /// Makes `node` unreachable for `for_ticks` model ticks starting at
+    /// `at_tick`, stalling the shuffle by the window's duration.
+    pub fn with_node_partition(mut self, node: usize, at_tick: u64, for_ticks: u64) -> Self {
+        self.node_partitions.push(NodePartition {
+            at_tick,
+            for_ticks,
+            node,
+        });
+        self
+    }
+
     /// Restricts the plan to jobs named `job` (pipelines run several jobs
     /// through one config; this targets a single stage).
     pub fn for_job(mut self, job: impl Into<String>) -> Self {
@@ -270,6 +361,8 @@ impl FaultPlan {
             && self.reduce_faults.is_empty()
             && self.lost_partitions.is_empty()
             && self.broadcast_failures == 0
+            && self.node_losses.is_empty()
+            && self.node_partitions.is_empty()
             && self.seeded.is_none()
     }
 
@@ -320,6 +413,73 @@ impl FaultPlan {
             }
         }
         lost.into_iter().collect()
+    }
+
+    /// All node losses of a job on a cluster with `nodes` machines:
+    /// scripted losses (one per node — the earliest wins) plus seeded
+    /// draws, sorted by `(at_tick, node)` and truncated so at least one
+    /// node always survives. Seeded losses draw an astronomically large
+    /// `at_tick`, so they always land at the shuffle barrier — after every
+    /// map task has completed.
+    pub fn node_losses_for(&self, job: &str, nodes: usize) -> Vec<NodeLoss> {
+        if !self.applies_to(job) || nodes == 0 {
+            return Vec::new();
+        }
+        let mut by_node: BTreeMap<usize, u64> = BTreeMap::new();
+        for loss in &self.node_losses {
+            if loss.node < nodes {
+                let at = by_node.entry(loss.node).or_insert(loss.at_tick);
+                *at = (*at).min(loss.at_tick);
+            }
+        }
+        if let Some(seeded) = &self.seeded {
+            let rate = seeded.profile.node_loss_permille;
+            for node in 0..nodes {
+                let h = decision(seeded.seed, job, NODE_LOSS_SALT, node as u64, 0);
+                if permille(h) < rate {
+                    let at = (1u64 << 40) | (splitmix64_once(h) & ((1u64 << 40) - 1));
+                    by_node.entry(node).or_insert(at);
+                }
+            }
+        }
+        let mut losses: Vec<NodeLoss> = by_node
+            .into_iter()
+            .map(|(node, at_tick)| NodeLoss { at_tick, node })
+            .collect();
+        losses.sort_unstable();
+        losses.truncate(nodes.saturating_sub(1));
+        losses
+    }
+
+    /// All transient node partitions of a job, scripted plus seeded,
+    /// sorted by `(at_tick, for_ticks, node)`.
+    pub fn node_partitions_for(&self, job: &str, nodes: usize) -> Vec<NodePartition> {
+        if !self.applies_to(job) || nodes == 0 {
+            return Vec::new();
+        }
+        let mut parts: Vec<NodePartition> = self
+            .node_partitions
+            .iter()
+            .copied()
+            .filter(|p| p.node < nodes)
+            .collect();
+        if let Some(seeded) = &self.seeded {
+            let rate = seeded.profile.node_partition_permille;
+            for node in 0..nodes {
+                let h = decision(seeded.seed, job, NODE_PART_SALT, node as u64, 0);
+                if permille(h) < rate {
+                    let (h, at_draw) = next(h);
+                    let (_, len_draw) = next(h);
+                    parts.push(NodePartition {
+                        at_tick: at_draw & ((1u64 << 40) - 1),
+                        for_ticks: 500 + len_draw % 4500,
+                        node,
+                    });
+                }
+            }
+        }
+        parts.sort_unstable();
+        parts
     }
 
     /// How many times the distributed-cache broadcast fails for `job`.
@@ -374,8 +534,9 @@ fn derive_task_fault(seeded: &SeededFaults, job: &str, kind: TaskKind, index: us
 
 /// FNV-1a over the job name, folded with the structured coordinates, then
 /// finalized with one SplitMix64 round — a pure function of its inputs,
-/// identical on every platform and run.
-fn decision(seed: u64, job: &str, salt: u64, a: u64, b: u64) -> u64 {
+/// identical on every platform and run. Shared with the placement model
+/// in `cluster.rs`, which derives task→node homes the same way.
+pub(crate) fn decision(seed: u64, job: &str, salt: u64, a: u64, b: u64) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for byte in job.as_bytes() {
         h ^= u64::from(*byte);
@@ -521,6 +682,70 @@ mod tests {
         assert!(p.lost_partitions_for("j", 3, 3).is_empty());
         let p = FaultPlan::none().with_lost_partition(1, 2);
         assert_eq!(p.lost_partitions_for("j", 2, 3), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn node_losses_dedupe_sort_and_keep_a_survivor() {
+        let p = FaultPlan::none()
+            .with_node_loss(2, 500)
+            .with_node_loss(0, 100)
+            .with_node_loss(2, 50); // earlier loss of the same node wins
+        let losses = p.node_losses_for("j", 4);
+        assert_eq!(
+            losses,
+            vec![
+                NodeLoss {
+                    at_tick: 50,
+                    node: 2
+                },
+                NodeLoss {
+                    at_tick: 100,
+                    node: 0
+                },
+            ]
+        );
+        // Out-of-range nodes are ignored; a 1-node cluster never loses it.
+        assert!(p.node_losses_for("j", 1).is_empty());
+        // Losing every node is truncated to leave one alive.
+        let all = FaultPlan::none()
+            .with_node_loss(0, 1)
+            .with_node_loss(1, 2)
+            .with_node_loss(2, 3);
+        assert_eq!(all.node_losses_for("j", 3).len(), 2);
+    }
+
+    #[test]
+    fn seeded_node_events_are_deterministic_and_late() {
+        let a = FaultPlan::chaos_nodes(9);
+        let b = FaultPlan::chaos_nodes(9);
+        assert_eq!(a.node_losses_for("j", 8), b.node_losses_for("j", 8));
+        assert_eq!(a.node_partitions_for("j", 8), b.node_partitions_for("j", 8));
+        // Seeded losses always land past any realistic map phase (the
+        // shuffle barrier clamps them), and the default profile stays node
+        //-fault free so pinned seeds replay identically.
+        for loss in a.node_losses_for("j", 8) {
+            assert!(loss.at_tick >= 1 << 40);
+        }
+        assert!(FaultPlan::seeded(9).node_losses_for("j", 8).is_empty());
+        assert!(FaultPlan::seeded(9).node_partitions_for("j", 8).is_empty());
+        // Over many seeds the nodes() profile actually kills machines.
+        let hits: usize = (0..32)
+            .map(|s| FaultPlan::chaos_nodes(s).node_losses_for("j", 8).len())
+            .sum();
+        assert!(hits > 0, "chaos_nodes never killed a node over 32 seeds");
+    }
+
+    #[test]
+    fn node_events_respect_the_job_filter() {
+        let p = FaultPlan::none().with_node_loss(1, 5).for_job("skyline");
+        assert_eq!(p.node_losses_for("skyline", 4).len(), 1);
+        assert!(p.node_losses_for("bitstring", 4).is_empty());
+        let p = FaultPlan::none()
+            .with_node_partition(1, 5, 10)
+            .for_job("skyline");
+        assert_eq!(p.node_partitions_for("skyline", 4).len(), 1);
+        assert!(p.node_partitions_for("bitstring", 4).is_empty());
+        assert!(!p.is_empty());
     }
 
     #[test]

@@ -113,6 +113,38 @@ impl Default for SpeculationPolicy {
     }
 }
 
+/// Node blacklisting (Hadoop's per-node failure tracker).
+///
+/// Failed attempts are attributed to their home node via the cluster's
+/// [`Placement`](crate::Placement); a node that accumulates `max_failures`
+/// of them is removed from scheduling — its slots leave the pool, shrinking
+/// effective parallelism for the rest of the job. No effect without a
+/// placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlacklistPolicy {
+    /// Failed attempts on one node before it is blacklisted.
+    pub max_failures: u32,
+}
+
+impl BlacklistPolicy {
+    /// Hadoop-flavoured default: three strikes.
+    pub fn new() -> Self {
+        Self { max_failures: 3 }
+    }
+
+    /// Sets the strike budget (clamped to at least 1).
+    pub fn with_max_failures(mut self, max_failures: u32) -> Self {
+        self.max_failures = max_failures.max(1);
+        self
+    }
+}
+
+impl Default for BlacklistPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The full fault-tolerance configuration of a job or pipeline: what to
 /// inject ([`FaultPlan`]), how to recover ([`RetryPolicy`]), and whether to
 /// launch backup attempts for stragglers ([`SpeculationPolicy`]).
@@ -124,6 +156,8 @@ pub struct FaultTolerance {
     pub retry: RetryPolicy,
     /// Speculative execution (off by default).
     pub speculation: Option<SpeculationPolicy>,
+    /// Node blacklisting (off by default; needs a cluster placement).
+    pub blacklist: Option<BlacklistPolicy>,
 }
 
 impl FaultTolerance {
@@ -149,6 +183,12 @@ impl FaultTolerance {
     /// Enables speculative execution.
     pub fn with_speculation(mut self, speculation: SpeculationPolicy) -> Self {
         self.speculation = Some(speculation);
+        self
+    }
+
+    /// Enables node blacklisting.
+    pub fn with_blacklist(mut self, blacklist: BlacklistPolicy) -> Self {
+        self.blacklist = Some(blacklist);
         self
     }
 }
@@ -189,5 +229,14 @@ mod tests {
         assert!(ft.plan.is_empty());
         assert_eq!(ft.retry.max_attempts, 4);
         assert!(ft.speculation.is_none());
+        assert!(ft.blacklist.is_none());
+    }
+
+    #[test]
+    fn blacklist_strike_budget_clamps() {
+        assert_eq!(BlacklistPolicy::new().max_failures, 3);
+        assert_eq!(BlacklistPolicy::new().with_max_failures(0).max_failures, 1);
+        let ft = FaultTolerance::none().with_blacklist(BlacklistPolicy::new());
+        assert!(ft.blacklist.is_some());
     }
 }

@@ -51,15 +51,15 @@ pub mod task;
 pub mod trace;
 
 pub use analysis::{assert_schedule_independent, schedule_shake, ShakeCase, ShakeReport};
-pub use cluster::{ClusterConfig, JobMetrics};
+pub use cluster::{ClusterConfig, JobMetrics, Placement};
 pub use combiner::{Combiner, FoldCombiner, NoCombiner};
 pub use fault::{
-    FaultKind, FaultPlan, FaultProfile, FaultTolerance, JobError, RetryPolicy, SpeculationPolicy,
-    TaskFault, TaskKind,
+    BlacklistPolicy, FaultKind, FaultPlan, FaultProfile, FaultTolerance, JobError, NodeLoss,
+    NodePartition, RetryPolicy, SpeculationPolicy, TaskFault, TaskKind,
 };
 pub use job::{run_job, run_job_with_combiner, JobConfig, JobOutcome};
 pub use partitioner::{HashPartitioner, ModuloPartitioner, Partitioner, SingleReducerPartitioner};
-pub use pipeline::PipelineMetrics;
+pub use pipeline::{Checkpoint, JobSnapshot, PipelineMetrics, Runner, Snapshot};
 pub use task::{
     Emitter, JobKey, JobValue, MapFactory, MapTask, OutputCollector, ReduceFactory, ReduceTask,
     TaskContext,

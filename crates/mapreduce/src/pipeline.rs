@@ -1,4 +1,4 @@
-//! Metrics aggregation for chained jobs.
+//! Metrics aggregation and checkpoint/resume for chained jobs.
 //!
 //! The paper's skyline algorithms are two-job pipelines: the bitstring
 //! generation job followed by the skyline computation job ("For MR-GPSRS
@@ -6,8 +6,20 @@
 //! generation in the runtime", Section 7.1). [`PipelineMetrics`] holds the
 //! per-job metrics of such a chain and exposes the end-to-end simulated
 //! runtime the benchmarks report.
+//!
+//! [`Runner`] adds Hadoop-JobControl-style durability to such chains: after
+//! each job completes, its forward-flowing output is snapshotted into a
+//! [`Checkpoint`] (in memory, and optionally to a JSON file). A chain
+//! killed between jobs — simulated deterministically with
+//! [`Runner::with_kill_after`] — can be restarted from the last completed
+//! job with [`Runner::resume`]; because UDFs are pure, the resumed chain
+//! produces byte-identical outputs to an uninterrupted run.
 
+use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::time::Duration;
+
+use skymr_common::{Error, Tuple};
 
 use crate::cluster::JobMetrics;
 use crate::fault::JobError;
@@ -83,6 +95,298 @@ impl PipelineMetrics {
     }
 }
 
+/// A value that can cross a pipeline checkpoint: encoded to bytes after
+/// its job completes, decoded when a killed chain resumes. Encodings must
+/// be self-contained and deterministic (byte-identical for equal values) —
+/// the chaos suite diffs checkpoint files across runs.
+pub trait Snapshot {
+    /// Serializes the value. Must be deterministic.
+    fn encode(&self) -> Vec<u8>;
+    /// Recovers a value from [`encode`](Self::encode)'s output; `None` on
+    /// any structural mismatch (a corrupt or foreign payload).
+    fn decode(bytes: &[u8]) -> Option<Self>
+    where
+        Self: Sized;
+}
+
+/// Tuples are the forward-flowing value of every skyline job, so the
+/// canonical snapshot payload is a tuple list: `[count, dim]` header then
+/// `id` + `dim` values per tuple, all little-endian fixed-width.
+impl Snapshot for Vec<Tuple> {
+    fn encode(&self) -> Vec<u8> {
+        let dim = self.first().map_or(0, Tuple::dim);
+        let mut out = Vec::with_capacity(16 + self.len() * (8 + dim * 8));
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(dim as u64).to_le_bytes());
+        for t in self {
+            out.extend_from_slice(&t.id.to_le_bytes());
+            for v in t.values.iter() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let count = usize::try_from(r.u64()?).ok()?;
+        let dim = usize::try_from(r.u64()?).ok()?;
+        let mut tuples = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let id = r.u64()?;
+            let mut values = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                values.push(r.f64()?);
+            }
+            tuples.push(Tuple::new(id, values));
+        }
+        r.done().then_some(tuples)
+    }
+}
+
+/// Little-endian cursor over a snapshot payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.bytes.len() < n {
+            return None;
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Some(head)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)?.try_into().ok().map(u64::from_le_bytes)
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.take(8)?.try_into().ok().map(f64::from_le_bytes)
+    }
+
+    fn done(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// One completed job's checkpoint entry: the encoded forward-flowing value
+/// plus the simulated time the job cost (restored into the pipeline clock
+/// on resume).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSnapshot {
+    /// The stage name (must match the [`Runner::stage`] call on resume).
+    pub name: String,
+    /// The stage value, encoded via [`Snapshot::encode`].
+    pub payload: Vec<u8>,
+    /// The job's simulated runtime when it originally ran.
+    pub sim_runtime: Duration,
+}
+
+/// The durable state of a (partially) completed pipeline: one
+/// [`JobSnapshot`] per finished job, in chain order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Snapshots of completed jobs, in execution order.
+    pub jobs: Vec<JobSnapshot>,
+}
+
+impl Checkpoint {
+    /// Renders the checkpoint as versioned JSON (payloads hex-encoded).
+    /// The format is deterministic: equal checkpoints render to equal
+    /// bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"jobs\":[");
+        for (i, job) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            for c in job.name.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push_str("\",\"payload\":\"");
+            for b in &job.payload {
+                out.push_str(&format!("{b:02x}"));
+            }
+            out.push_str(&format!(
+                "\",\"sim_us\":{}}}",
+                u64::try_from(job.sim_runtime.as_micros()).unwrap_or(u64::MAX)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a checkpoint rendered by [`to_json`](Self::to_json); `None`
+    /// on malformed input or an unknown version.
+    pub fn from_json(text: &str) -> Option<Self> {
+        let value = skymr_telemetry::json::parse(text).ok()?;
+        if value.get("version")?.as_u64()? != 1 {
+            return None;
+        }
+        let mut jobs = Vec::new();
+        for job in value.get("jobs")?.as_array()? {
+            let name = job.get("name")?.as_str()?.to_owned();
+            let hex = job.get("payload")?.as_str()?;
+            if hex.len() % 2 != 0 {
+                return None;
+            }
+            let mut payload = Vec::with_capacity(hex.len() / 2);
+            for i in (0..hex.len()).step_by(2) {
+                payload.push(u8::from_str_radix(hex.get(i..i + 2)?, 16).ok()?);
+            }
+            let sim_us = job.get("sim_us")?.as_u64()?;
+            jobs.push(JobSnapshot {
+                name,
+                payload,
+                sim_runtime: Duration::from_micros(sim_us),
+            });
+        }
+        Some(Self { jobs })
+    }
+
+    /// Loads a checkpoint file written by a [`Runner`] with
+    /// [`with_checkpoint_file`](Runner::with_checkpoint_file); `None` when
+    /// the file is missing or malformed.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Option<Self> {
+        Self::from_json(&std::fs::read_to_string(path).ok()?)
+    }
+}
+
+/// Executes a chain of jobs with per-job checkpointing, deterministic
+/// kill-points for chaos tests, and resume-from-checkpoint.
+///
+/// Drivers wrap each job in [`stage`](Self::stage); the runner either
+/// replays the stage from a restored snapshot (skipping execution) or runs
+/// it and snapshots the result. See the crate's chaos suite for the
+/// end-to-end kill → resume → byte-identical-output property.
+#[derive(Debug, Default)]
+pub struct Runner {
+    /// Restored snapshots not yet consumed by stages, in chain order.
+    pending: VecDeque<JobSnapshot>,
+    /// Snapshots of every stage completed (restored or executed) this run.
+    completed: Vec<JobSnapshot>,
+    /// Deterministic chaos kill-point: entering stage `n` (0-based count of
+    /// completed stages) fails with [`Error::PipelineKilled`].
+    kill_after: Option<usize>,
+    /// Checkpoint file rewritten after every completed stage.
+    file: Option<PathBuf>,
+}
+
+impl Runner {
+    /// A fresh runner: no restored state, no kill-point, no file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A runner that resumes from `checkpoint`: stages matching the
+    /// checkpointed names replay their snapshotted values instead of
+    /// executing.
+    pub fn resume(checkpoint: Checkpoint) -> Self {
+        Self {
+            pending: checkpoint.jobs.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Kills the chain (with [`Error::PipelineKilled`]) when a stage is
+    /// entered after `n` stages have completed — the deterministic stand-in
+    /// for a driver crash between jobs.
+    pub fn with_kill_after(mut self, n: usize) -> Self {
+        self.kill_after = Some(n);
+        self
+    }
+
+    /// Also persists the checkpoint to `path` (rewritten after every
+    /// completed stage) so a later process can [`Checkpoint::load`] it.
+    pub fn with_checkpoint_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.file = Some(path.into());
+        self
+    }
+
+    /// The checkpoint of everything completed so far.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            jobs: self.completed.clone(),
+        }
+    }
+
+    /// Runs (or replays) one job of the chain.
+    ///
+    /// If the next restored snapshot matches `name`, its value is decoded
+    /// and returned without executing `run`; a stub [`JobMetrics`] carrying
+    /// the snapshotted `sim_runtime` keeps the pipeline clock truthful. (A
+    /// replayed stage re-runs no tasks, so it contributes no counters.)
+    /// Otherwise `run` executes, and on success its value is snapshotted
+    /// (and persisted, when a checkpoint file is configured). A name
+    /// mismatch or undecodable payload discards the rest of the restored
+    /// state and falls back to executing — a stale checkpoint can slow a
+    /// chain down but never corrupt it.
+    pub fn stage<T, F>(
+        &mut self,
+        name: &str,
+        metrics: &mut PipelineMetrics,
+        run: F,
+    ) -> skymr_common::Result<T>
+    where
+        T: Snapshot,
+        F: FnOnce(&mut PipelineMetrics) -> skymr_common::Result<T>,
+    {
+        if self.kill_after == Some(self.completed.len()) {
+            return Err(Error::PipelineKilled {
+                after_jobs: self.completed.len(),
+            });
+        }
+        if let Some(front) = self.pending.front() {
+            if front.name == name {
+                if let Some(value) = T::decode(&front.payload) {
+                    if let Some(snap) = self.pending.pop_front() {
+                        let mut stub = JobMetrics::empty(name, 0, 0);
+                        stub.sim_runtime = snap.sim_runtime;
+                        metrics.push(stub);
+                        self.completed.push(snap);
+                        self.persist();
+                        return Ok(value);
+                    }
+                }
+            }
+            self.pending.clear();
+        }
+        let value = run(metrics)?;
+        let sim_runtime = metrics
+            .jobs
+            .last()
+            .map_or(Duration::ZERO, |j| j.sim_runtime);
+        self.completed.push(JobSnapshot {
+            name: name.to_owned(),
+            payload: value.encode(),
+            sim_runtime,
+        });
+        self.persist();
+        Ok(value)
+    }
+
+    /// Best-effort checkpoint-file write; the in-memory checkpoint is the
+    /// source of truth, and a resume from a missing file simply re-runs.
+    fn persist(&self) {
+        if let Some(path) = &self.file {
+            let _ = std::fs::write(path, self.checkpoint().to_json());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +456,165 @@ mod tests {
         assert_eq!(p.jobs.len(), 2);
         assert_eq!(p.sim_runtime(), Duration::from_millis(35));
         assert_eq!(p.job("second").map(|j| j.map_retries), Some(3));
+    }
+
+    fn tuples() -> Vec<Tuple> {
+        vec![
+            Tuple::new(1, vec![0.25, 0.75]),
+            Tuple::new(2, vec![0.5, 0.125]),
+        ]
+    }
+
+    #[test]
+    fn tuple_snapshot_round_trips() {
+        let original = tuples();
+        let bytes = original.encode();
+        assert_eq!(Vec::<Tuple>::decode(&bytes).as_ref(), Some(&original));
+        // Deterministic: equal values, equal bytes.
+        assert_eq!(bytes, original.encode());
+        // Empty list round-trips too.
+        let empty: Vec<Tuple> = Vec::new();
+        assert_eq!(Vec::<Tuple>::decode(&empty.encode()), Some(Vec::new()));
+        // Truncated and over-long payloads are rejected, not mis-decoded.
+        assert!(Vec::<Tuple>::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(Vec::<Tuple>::decode(&padded).is_none());
+    }
+
+    #[test]
+    fn checkpoint_json_round_trips() {
+        let cp = Checkpoint {
+            jobs: vec![
+                JobSnapshot {
+                    name: "bitstring".into(),
+                    payload: vec![0x00, 0xff, 0x10],
+                    sim_runtime: Duration::from_micros(1234),
+                },
+                JobSnapshot {
+                    name: "gpsrs".into(),
+                    payload: tuples().encode(),
+                    sim_runtime: Duration::from_millis(9),
+                },
+            ],
+        };
+        let json = cp.to_json();
+        assert_eq!(Checkpoint::from_json(&json).as_ref(), Some(&cp));
+        // Deterministic rendering (the chaos suite diffs checkpoint files).
+        assert_eq!(json, cp.clone().to_json());
+        assert!(Checkpoint::from_json("{\"version\":2,\"jobs\":[]}").is_none());
+        assert!(Checkpoint::from_json("not json").is_none());
+    }
+
+    #[test]
+    fn runner_checkpoints_and_replays_stages() {
+        let mut metrics = PipelineMetrics::new();
+        let mut runner = Runner::new();
+        let mut ran = 0;
+        let first = runner
+            .stage("first", &mut metrics, |m| {
+                ran += 1;
+                m.push(dummy("first", 10, 100));
+                Ok(tuples())
+            })
+            .expect("stage runs");
+        assert_eq!((ran, first.len()), (1, 2));
+
+        // Resume from the checkpoint: the stage replays without executing,
+        // and the stub metrics restore the snapshotted clock.
+        let mut metrics2 = PipelineMetrics::new();
+        let mut resumed = Runner::resume(runner.checkpoint());
+        let replayed = resumed
+            .stage("first", &mut metrics2, |_| {
+                ran += 1;
+                Ok(Vec::new())
+            })
+            .expect("replay succeeds");
+        assert_eq!(ran, 1, "replayed stage must not execute");
+        assert_eq!(replayed, first);
+        assert_eq!(metrics2.sim_runtime(), Duration::from_millis(10));
+        // A second, never-checkpointed stage executes normally.
+        let second = resumed
+            .stage("second", &mut metrics2, |m| {
+                ran += 1;
+                m.push(dummy("second", 5, 0));
+                Ok(Vec::new())
+            })
+            .expect("fresh stage runs");
+        assert_eq!((ran, second.len()), (2, 0));
+        assert_eq!(resumed.checkpoint().jobs.len(), 2);
+    }
+
+    #[test]
+    fn runner_kill_point_is_deterministic() {
+        let mut metrics = PipelineMetrics::new();
+        let mut runner = Runner::new().with_kill_after(1);
+        runner
+            .stage("first", &mut metrics, |_| Ok(tuples()))
+            .expect("stage before the kill-point runs");
+        let err = runner
+            .stage("second", &mut metrics, |_| Ok(Vec::new()))
+            .expect_err("kill-point fires");
+        assert_eq!(err, Error::PipelineKilled { after_jobs: 1 });
+        // The checkpoint of the completed prefix survives the kill.
+        assert_eq!(runner.checkpoint().jobs.len(), 1);
+    }
+
+    #[test]
+    fn stale_checkpoint_falls_back_to_execution() {
+        // Name mismatch: restored state is discarded, the stage runs.
+        let cp = Checkpoint {
+            jobs: vec![JobSnapshot {
+                name: "other".into(),
+                payload: tuples().encode(),
+                sim_runtime: Duration::from_millis(3),
+            }],
+        };
+        let mut metrics = PipelineMetrics::new();
+        let mut runner = Runner::resume(cp);
+        let mut ran = false;
+        runner
+            .stage("first", &mut metrics, |_| {
+                ran = true;
+                Ok(tuples())
+            })
+            .expect("mismatched stage re-runs");
+        assert!(ran, "stale checkpoint must not replay");
+
+        // Corrupt payload: likewise discarded.
+        let cp = Checkpoint {
+            jobs: vec![JobSnapshot {
+                name: "first".into(),
+                payload: vec![1, 2, 3],
+                sim_runtime: Duration::ZERO,
+            }],
+        };
+        let mut runner = Runner::resume(cp);
+        let mut ran = false;
+        runner
+            .stage("first", &mut PipelineMetrics::new(), |_| {
+                ran = true;
+                Ok(tuples())
+            })
+            .expect("corrupt stage re-runs");
+        assert!(ran, "undecodable payload must not replay");
+    }
+
+    #[test]
+    fn checkpoint_file_persists_and_loads() {
+        let path =
+            std::env::temp_dir().join(format!("skymr-checkpoint-test-{}.json", std::process::id()));
+        let mut metrics = PipelineMetrics::new();
+        let mut runner = Runner::new().with_checkpoint_file(&path);
+        runner
+            .stage("first", &mut metrics, |m| {
+                m.push(dummy("first", 10, 100));
+                Ok(tuples())
+            })
+            .expect("stage runs");
+        let loaded = Checkpoint::load(&path).expect("file written and parseable");
+        assert_eq!(loaded, runner.checkpoint());
+        let _ = std::fs::remove_file(&path);
+        assert!(Checkpoint::load(&path).is_none(), "missing file is None");
     }
 }

@@ -23,7 +23,7 @@ use skymr_telemetry::place::place;
 use skymr_telemetry::registry::TICK_BUCKETS;
 use skymr_telemetry::{ArgValue, Collector, JobTrace, MetricsRegistry, Span, Ticks};
 
-use crate::cluster::ClusterConfig;
+use crate::cluster::{ClusterConfig, Placement};
 use crate::fault::{FailureCause, RetryPolicy};
 
 /// Lane 0 of every job: startup, broadcast, and shuffle-wide spans.
@@ -41,8 +41,20 @@ fn network_lane(cluster: &ClusterConfig, node: usize) -> u64 {
     1 + (cluster.map_slots + cluster.reduce_slots + node) as u64
 }
 
-fn ticks_of(d: Duration) -> Ticks {
+pub(crate) fn ticks_of(d: Duration) -> Ticks {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// One node loss as resolved by the driver on the model-tick timeline:
+/// when the node died and when the heartbeat detector declared it dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLossEvent {
+    /// The node that died.
+    pub node: usize,
+    /// Model tick (within the map phase) the node went down.
+    pub at_tick: Ticks,
+    /// Model tick the heartbeat timeout expired and recovery began.
+    pub detect_tick: Ticks,
 }
 
 /// How one failed attempt failed (the deterministic projection of
@@ -114,7 +126,7 @@ impl TaskModel {
     /// Total model ticks the task occupies its slot: all attempts,
     /// backoff gaps, and the extra launch overheads of retries. (The
     /// first attempt's launch overhead is charged by placement.)
-    fn total_ticks(&self, retry: &RetryPolicy, overhead: Ticks) -> Ticks {
+    pub(crate) fn total_ticks(&self, retry: &RetryPolicy, overhead: Ticks) -> Ticks {
         let mut total = self.winner_ticks() + overhead * self.failures.len() as u64;
         for (k, &kind) in self.failures.iter().enumerate() {
             total += self.failure_ticks(kind);
@@ -151,6 +163,16 @@ pub struct JobRecord<'a> {
     pub recovery: Vec<usize>,
     /// Lost `(map_task, reducer)` shuffle partitions.
     pub lost: Vec<(usize, usize)>,
+    /// Node losses resolved this job, in event order.
+    pub node_losses: Vec<NodeLossEvent>,
+    /// Map tasks re-executed because their home node died (completed
+    /// outputs invalidated or in-flight attempts killed).
+    pub reexecuted: Vec<usize>,
+    /// Completed map outputs invalidated by node loss (the subset of
+    /// `reexecuted` whose attempt had already finished).
+    pub maps_reexecuted: u64,
+    /// Nodes blacklisted by the end of the job.
+    pub nodes_blacklisted: u64,
     /// Final phase-level attempt count (includes recovery and backups).
     pub map_attempts: u64,
     /// Failed-and-retried map executions.
@@ -213,6 +235,9 @@ impl JobRecord<'_> {
         );
         reg.add("map.recovery_tasks", self.recovery.len() as u64);
         reg.add("shuffle.lost_partitions", self.lost.len() as u64);
+        reg.add("node.lost", self.node_losses.len() as u64);
+        reg.add("map.reexecuted", self.maps_reexecuted);
+        reg.add("node.blacklisted", self.nodes_blacklisted);
         reg.add("shuffle.bytes", self.per_reducer_bytes.iter().sum());
         reg.add("broadcast.bytes", self.cache_bytes);
         reg.add("broadcast.attempts", u64::from(self.broadcast_attempts));
@@ -232,11 +257,23 @@ impl JobRecord<'_> {
         *job.registry_mut() = registry;
         let cluster = self.cluster;
         job.name_lane(DRIVER_LANE, "driver");
+        // With a placement, slot lanes carry their home node so node-loss
+        // instants can be read against the lanes they hit. Unplaced
+        // clusters keep the historical names (byte-identity).
+        let placed_nodes = cluster.placement.as_ref().map(|_| cluster.nodes.max(1));
         for slot in 0..cluster.map_slots {
-            job.name_lane(map_lane(slot), format!("map slot {slot}"));
+            let name = match placed_nodes {
+                Some(n) => format!("map slot {slot} @n{}", Placement::node_of_slot(slot, n)),
+                None => format!("map slot {slot}"),
+            };
+            job.name_lane(map_lane(slot), name);
         }
         for slot in 0..cluster.reduce_slots {
-            job.name_lane(reduce_lane(cluster, slot), format!("reduce slot {slot}"));
+            let name = match placed_nodes {
+                Some(n) => format!("reduce slot {slot} @n{}", Placement::node_of_slot(slot, n)),
+                None => format!("reduce slot {slot}"),
+            };
+            job.name_lane(reduce_lane(cluster, slot), name);
         }
 
         // Driver lane: startup, then the cache broadcast.
@@ -317,11 +354,54 @@ impl JobRecord<'_> {
             );
         }
 
+        // Node-loss re-execution wave: each loss fires a `node-loss`
+        // instant when detected, then the invalidated map tasks re-run
+        // (one clean attempt each) after the heartbeat timeouts expire.
+        let heartbeat = ticks_of(cluster.heartbeat_timeout);
+        let heartbeat_total = heartbeat * self.node_losses.len() as u64;
+        for loss in &self.node_losses {
+            job.instant(
+                "node-loss",
+                "fault",
+                DRIVER_LANE,
+                map_start.saturating_add(loss.detect_tick),
+                vec![
+                    ("node".to_owned(), ArgValue::U64(loss.node as u64)),
+                    ("at_tick".to_owned(), ArgValue::U64(loss.at_tick)),
+                ],
+            );
+        }
+        let reexec_ticks: Vec<Ticks> = self
+            .reexecuted
+            .iter()
+            .map(|&i| self.map.get(i).map_or(0, TaskModel::winner_ticks))
+            .collect();
+        let (replaced, reexec_makespan) = place(&reexec_ticks, cluster.map_slots, overhead);
+        let reexec_start = recovery_start + recovery_makespan + heartbeat_total;
+        for (&i, p) in self.reexecuted.iter().zip(&replaced) {
+            job.span(
+                Span::new(
+                    &[self.name, "map-reexec", &i.to_string()],
+                    format!("map[{i}] (re-exec)"),
+                    "reexec",
+                    map_lane(p.slot),
+                    reexec_start + p.start,
+                    p.end - p.start,
+                )
+                .with_arg("reexecuted_task", i as u64),
+            );
+        }
+        let reexec_shift = if self.reexecuted.is_empty() && self.node_losses.is_empty() {
+            0
+        } else {
+            heartbeat_total + reexec_makespan
+        };
+
         // Shuffle: reducers pull their partitions; reducer j's transfer
         // lands on node j % nodes, transfers on one node are sequential,
         // and the phase ends at the bottleneck node's finish — the same
         // accounting as `ClusterConfig::shuffle_time`.
-        let shuffle_start = recovery_start + recovery_makespan;
+        let shuffle_start = recovery_start + recovery_makespan + reexec_shift;
         let shuffle = ticks_of(self.shuffle_time);
         if shuffle > 0 {
             let nodes = cluster.nodes.max(1);
@@ -545,6 +625,10 @@ mod tests {
             }],
             recovery: Vec::new(),
             lost: Vec::new(),
+            node_losses: Vec::new(),
+            reexecuted: Vec::new(),
+            maps_reexecuted: 0,
+            nodes_blacklisted: 0,
             map_attempts: 3,
             map_retries: 1,
             reduce_attempts: 1,

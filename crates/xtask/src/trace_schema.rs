@@ -157,6 +157,48 @@ fn check_event(event: &Value, at: &str, errors: &mut Vec<String>) {
         Some(other) => errors.push(format!("{at}: unexpected phase {other:?}")),
         None => errors.push(format!("{at}: missing or non-string \"ph\"")),
     }
+    check_fault_domain_event(event, at, errors);
+}
+
+/// Pins the shape of the node failure-domain events the engine emits so a
+/// consumer filtering on them (the chaos CI step greps the trace, the
+/// summarizer groups by category) never silently loses them to a rename.
+fn check_fault_domain_event(event: &Value, at: &str, errors: &mut Vec<String>) {
+    let name = event.get("name").and_then(Value::as_str).unwrap_or("");
+    if name == "node-loss" {
+        if event.get("ph").and_then(Value::as_str) != Some("i") {
+            errors.push(format!(
+                "{at}: node-loss must be an instant event (ph \"i\")"
+            ));
+        }
+        if event.get("cat").and_then(Value::as_str) != Some("fault") {
+            errors.push(format!("{at}: node-loss must use cat \"fault\""));
+        }
+        let args = event.get("args");
+        for key in ["node", "at_tick"] {
+            if args
+                .and_then(|a| a.get(key))
+                .and_then(Value::as_u64)
+                .is_none()
+            {
+                errors.push(format!(
+                    "{at}: node-loss instant without integer args.{key}"
+                ));
+            }
+        }
+    }
+    if name.contains("(re-exec)") {
+        if event.get("cat").and_then(Value::as_str) != Some("reexec") {
+            errors.push(format!(
+                "{at}: re-execution span {name:?} must use cat \"reexec\""
+            ));
+        }
+        if event.get("ph").and_then(Value::as_str) != Some("X") {
+            errors.push(format!(
+                "{at}: re-execution span {name:?} must be a complete span (ph \"X\")"
+            ));
+        }
+    }
 }
 
 /// Checks one per-job registry object: counters/gauges are integer maps,
@@ -275,6 +317,38 @@ mod tests {
         let errors = check_chrome(doc).expect_err("count mismatch rejected");
         assert!(
             errors.iter().any(|e| e.contains("sum to 2 but count is 3")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn pins_the_node_failure_domain_event_shapes() {
+        // A well-formed loss instant and re-execution span pass.
+        let good = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                    {\"name\":\"node-loss\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                    \"ts\":5,\"pid\":1,\"tid\":0,\"args\":{\"node\":2,\"at_tick\":5}},\
+                    {\"name\":\"map[3] (re-exec)\",\"cat\":\"reexec\",\"ph\":\"X\",\
+                    \"ts\":9,\"dur\":4,\"pid\":1,\"tid\":1,\"args\":{}}],\
+                    \"registries\":[]}";
+        check_chrome(good).expect("failure-domain events validate");
+
+        // A loss demoted to a span, or stripped of its node, is a violation.
+        let bad = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                   {\"name\":\"node-loss\",\"cat\":\"fault\",\"ph\":\"X\",\
+                   \"ts\":5,\"dur\":1,\"pid\":1,\"tid\":0,\"args\":{\"at_tick\":5}},\
+                   {\"name\":\"map[3] (re-exec)\",\"cat\":\"map\",\"ph\":\"X\",\
+                   \"ts\":9,\"dur\":4,\"pid\":1,\"tid\":1,\"args\":{}}],\
+                   \"registries\":[]}";
+        let errors = check_chrome(bad).expect_err("malformed fault events rejected");
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("instant event (ph \"i\")")),
+            "{errors:?}"
+        );
+        assert!(errors.iter().any(|e| e.contains("args.node")), "{errors:?}");
+        assert!(
+            errors.iter().any(|e| e.contains("cat \"reexec\"")),
             "{errors:?}"
         );
     }

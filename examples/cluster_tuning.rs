@@ -17,7 +17,9 @@ use skymr::hybrid::{choose, HybridChoice, DEFAULT_SURVIVAL_THRESHOLD};
 use skymr::{mr_gpmrs, mr_gpsrs, SkylineConfig};
 use skymr_common::Dataset;
 use skymr_datagen::{generate, Distribution};
-use skymr_mapreduce::{FaultPlan, FaultTolerance, SpeculationPolicy};
+use skymr_mapreduce::{
+    BlacklistPolicy, FaultPlan, FaultProfile, FaultTolerance, Placement, SpeculationPolicy,
+};
 
 fn sweep(name: &str, data: &Dataset) {
     println!("--- {name}: {} tuples, {} dims ---", data.len(), data.dim());
@@ -97,6 +99,42 @@ fn fault_sweep(name: &str, data: &Dataset) {
     println!();
 }
 
+/// Whole machines fail too: place tasks on nodes, kill some of them
+/// mid-run, and show the node-level recovery bill — nodes lost, completed
+/// map outputs re-executed, and nodes the blacklist took out of scheduling.
+fn node_chaos_sweep(name: &str, data: &Dataset) {
+    println!("--- {name}, node failures (placement + loss + blacklist) ---");
+    let clean = mr_gpmrs(data, &SkylineConfig::default()).expect("fault-free run");
+    let seed = 0xC0FFEE;
+    // Node-hostile chaos, but with enough task-level faults on top that
+    // the one-strike blacklist below has something to bench.
+    let profile = FaultProfile {
+        task_fault_permille: 400,
+        ..FaultProfile::nodes()
+    };
+    let mut config = SkylineConfig::default().with_fault_tolerance(
+        FaultTolerance::with_plan(FaultPlan::chaos(seed, profile))
+            .with_blacklist(BlacklistPolicy::new().with_max_failures(1)),
+    );
+    config.cluster.placement = Some(Placement::new(seed));
+    let run = mr_gpmrs(data, &config).expect("node losses stay recoverable");
+    assert_eq!(
+        run.skyline.len(),
+        clean.skyline.len(),
+        "node-loss recovery must not change the answer"
+    );
+    for job in &run.metrics.jobs {
+        println!(
+            "  {:<13} nodes lost {:>2}  blacklisted {:>2}  maps re-executed {:>2}  recovery {:>8.2?}",
+            job.name, job.nodes_lost, job.nodes_blacklisted, job.maps_reexecuted, job.reexecution_time
+        );
+    }
+    let clean_s = clean.metrics.sim_runtime().as_secs_f64();
+    let faulty_s = run.metrics.sim_runtime().as_secs_f64();
+    println!("  -> same skyline; runtime {clean_s:.2}s clean vs {faulty_s:.2}s with node loss");
+    println!();
+}
+
 fn main() {
     // Small skyline: independent, low dimensionality. Extra reducers are
     // pure overhead here.
@@ -111,6 +149,10 @@ fn main() {
     // Tuning is not only about reducer counts: on a flaky cluster the
     // retry/speculation machinery adds recovery work to the makespan.
     fault_sweep("anti-correlated 7-d", &hard);
+
+    // And sometimes whole nodes go away, taking their finished map
+    // outputs with them.
+    node_chaos_sweep("anti-correlated 7-d", &hard);
 }
 
 #[cfg(test)]

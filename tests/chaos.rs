@@ -13,10 +13,11 @@ use skymr_common::{Dataset, Error, Tuple};
 use skymr_datagen::Distribution;
 use skymr_integration_tests::scenario;
 use skymr_mapreduce::analysis::{assert_schedule_independent, ShakeCase};
+use skymr_mapreduce::telemetry::export::chrome_trace;
 use skymr_mapreduce::{
-    run_job, ClusterConfig, Emitter, FaultPlan, FaultProfile, FaultTolerance, HashPartitioner,
-    JobConfig, JobMetrics, MapFactory, MapTask, OutputCollector, ReduceFactory, ReduceTask,
-    RetryPolicy, SpeculationPolicy, TaskContext, TaskFault, TaskKind,
+    run_job, ClusterConfig, Collector, Emitter, FaultPlan, FaultProfile, FaultTolerance,
+    HashPartitioner, JobConfig, JobMetrics, MapFactory, MapTask, OutputCollector, Placement,
+    ReduceFactory, ReduceTask, RetryPolicy, SpeculationPolicy, TaskContext, TaskFault, TaskKind,
 };
 
 /// Fixed seeds locked as a regression suite. Each one exercised a distinct
@@ -205,6 +206,144 @@ fn chaos_output_is_schedule_independent() {
     let report = assert_schedule_independent(6, 0xC4A0_5EED, run_case);
     assert_eq!(report.cases.len(), 6);
     assert!(report.output_len > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Node-level failure domains: node loss, re-execution, checkpoint/resume.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn node_loss_reexecutes_maps_and_preserves_the_skyline() {
+    // Kill the node hosting map task 0's output after the map phase
+    // finishes: the completed output is invalidated, the map re-executes,
+    // and the skyline still comes out byte-identical to the fault-free run
+    // — with the loss and the re-execution visible in the exported trace.
+    let data = chaos_data();
+    let clean = run_core(&data, FaultTolerance::none(), mr_gpsrs);
+
+    let seed = 0xD00D_u64;
+    let cluster = ClusterConfig::test_placed(seed);
+    let alive: Vec<usize> = (0..cluster.nodes).collect();
+    let victim = Placement::new(seed).task_home("gpsrs", TaskKind::Map, 0, &alive);
+    let plan = FaultPlan::none()
+        .with_node_loss(victim, u64::MAX / 2)
+        .for_job("gpsrs");
+
+    let collector = Collector::new();
+    let mut config = SkylineConfig::test()
+        .with_fault_tolerance(FaultTolerance::with_plan(plan))
+        .with_telemetry(Some(collector.clone()));
+    config.cluster = cluster;
+    let run = mr_gpsrs(&data, &config).expect("a node loss is recoverable");
+
+    assert_eq!(
+        tuple_bytes(&run.skyline),
+        tuple_bytes(&clean.skyline),
+        "MR-GPSRS diverged under a node loss"
+    );
+    let job = &run.metrics.jobs[1];
+    assert_eq!(job.nodes_lost, 1);
+    assert!(job.maps_reexecuted > 0, "the lost output must re-execute");
+    assert!(
+        job.reexecution_time >= config.cluster.heartbeat_timeout,
+        "re-execution time must include the loss-detection timeout"
+    );
+    assert_eq!(run.metrics.jobs[0].nodes_lost, 0, "plan is job-scoped");
+
+    let trace = chrome_trace(&collector.finish());
+    assert!(
+        trace.contains("node-loss"),
+        "the trace must carry the node-loss instant"
+    );
+    assert!(
+        trace.contains("(re-exec)"),
+        "the trace must carry the re-execution spans"
+    );
+}
+
+#[test]
+fn crash_between_jobs_then_resume_matches_the_fresh_run() {
+    // A driver killed after the bitstring job resumes from its checkpoint
+    // file, replays the bitstring stage without re-running it, survives a
+    // node loss in the skyline job, and produces the same bytes a fresh
+    // fault-free run does.
+    let data = chaos_data();
+    let fresh = run_core(&data, FaultTolerance::none(), mr_gpsrs);
+
+    let path = std::env::temp_dir().join(format!("skymr-chaos-resume-{}.json", std::process::id()));
+    let err = mr_gpsrs(
+        &data,
+        &SkylineConfig::test()
+            .with_checkpoint_file(&path)
+            .with_kill_after(1),
+    )
+    .expect_err("the kill-point fires between the two jobs");
+    assert!(matches!(err, Error::PipelineKilled { after_jobs: 1 }));
+
+    let seed = 0xBEEF_u64;
+    let alive: Vec<usize> = (0..ClusterConfig::test().nodes).collect();
+    let victim = Placement::new(seed).task_home("gpsrs", TaskKind::Map, 1, &alive);
+    let mut config = SkylineConfig::test()
+        .with_checkpoint_file(&path)
+        .with_resume(true)
+        .with_fault_tolerance(FaultTolerance::with_plan(
+            FaultPlan::none()
+                .with_node_loss(victim, u64::MAX / 2)
+                .for_job("gpsrs"),
+        ));
+    config.cluster = ClusterConfig::test_placed(seed);
+    let resumed = mr_gpsrs(&data, &config).expect("resume + node loss is recoverable");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(
+        tuple_bytes(&resumed.skyline),
+        tuple_bytes(&fresh.skyline),
+        "crash-and-resume diverged from the fresh run"
+    );
+    assert_eq!(resumed.metrics.jobs.len(), 2);
+    assert_eq!(
+        resumed.metrics.jobs[0].map_tasks, 0,
+        "the bitstring stage must replay from the checkpoint, not re-run"
+    );
+    assert_eq!(resumed.metrics.jobs[1].nodes_lost, 1);
+    assert!(resumed.metrics.jobs[1].maps_reexecuted > 0);
+}
+
+#[test]
+fn seeded_node_chaos_preserves_core_algorithm_output() {
+    // Seeded node-hostile plans (losses + partitions + occasional task
+    // faults) across a seed sweep: both grid algorithms must reproduce
+    // their fault-free bytes, and at least one seed must actually kill a
+    // node so the sweep tests what it claims to.
+    let data = chaos_data();
+    let clean_gpsrs = run_core(&data, FaultTolerance::none(), mr_gpsrs);
+    let clean_gpmrs = run_core(&data, FaultTolerance::none(), mr_gpmrs);
+    let mut nodes_lost = 0u64;
+    for seed in 0..8u64 {
+        let mut config = SkylineConfig::test()
+            .with_fault_tolerance(FaultTolerance::with_plan(FaultPlan::chaos_nodes(seed)));
+        config.cluster = ClusterConfig::test_placed(seed);
+        let gpsrs = mr_gpsrs(&data, &config).expect("node chaos is recoverable");
+        let gpmrs = mr_gpmrs(&data, &config).expect("node chaos is recoverable");
+        assert_eq!(
+            tuple_bytes(&gpsrs.skyline),
+            tuple_bytes(&clean_gpsrs.skyline),
+            "MR-GPSRS diverged under node chaos seed {seed}"
+        );
+        assert_eq!(
+            tuple_bytes(&gpmrs.skyline),
+            tuple_bytes(&clean_gpmrs.skyline),
+            "MR-GPMRS diverged under node chaos seed {seed}"
+        );
+        nodes_lost += gpsrs
+            .metrics
+            .jobs
+            .iter()
+            .chain(&gpmrs.metrics.jobs)
+            .map(|j| j.nodes_lost)
+            .sum::<u64>();
+    }
+    assert!(nodes_lost > 0, "no chaos seed lost a single node");
 }
 
 // ---------------------------------------------------------------------------
@@ -403,5 +542,51 @@ proptest! {
         let budget = RetryPolicy::new().max_attempts as u64;
         assert_retry_bounds(&chaotic.metrics.jobs, budget);
         assert_retry_bounds(&bchaotic.metrics.jobs, budget);
+    }
+
+    #[test]
+    fn node_losses_reexecute_exactly_the_lost_completed_maps(seed in any::<u64>()) {
+        // Seeded node losses fire after the map phase completes, so the
+        // exact re-execution bill has a closed form: every map task whose
+        // home node is on the job's loss list runs again, no more and no
+        // less. The detection timeout also makes lossy runs strictly
+        // slower on the simulated clock than the fault-free run.
+        let data = scenario(Distribution::Independent, 3, 250, 704);
+        let clean = match mr_gpmrs(&data, &SkylineConfig::test()) {
+            Ok(run) => run,
+            Err(err) => return Err(format!("fault-free run aborted: {err}")),
+        };
+        let plan = FaultPlan::chaos_nodes(seed);
+        let mut config = SkylineConfig::test()
+            .with_fault_tolerance(FaultTolerance::with_plan(plan.clone()));
+        config.cluster = ClusterConfig::test_placed(seed);
+        let nodes = config.cluster.nodes;
+        let placement = Placement::new(seed);
+        let alive: Vec<usize> = (0..nodes).collect();
+        let chaotic = match mr_gpmrs(&data, &config) {
+            Ok(run) => run,
+            Err(err) => return Err(format!("node chaos must stay recoverable: {err}")),
+        };
+        prop_assert_eq!(tuple_bytes(&chaotic.skyline), tuple_bytes(&clean.skyline));
+
+        let mut total_losses = 0u64;
+        for job in &chaotic.metrics.jobs {
+            let losses = plan.node_losses_for(&job.name, nodes);
+            let expected = (0..job.map_tasks)
+                .filter(|&i| {
+                    let home = placement.task_home(&job.name, TaskKind::Map, i, &alive);
+                    losses.iter().any(|l| l.node == home)
+                })
+                .count() as u64;
+            prop_assert_eq!(job.nodes_lost, losses.len() as u64, "job {}", job.name);
+            prop_assert_eq!(job.maps_reexecuted, expected, "job {}", job.name);
+            total_losses += losses.len() as u64;
+        }
+        if total_losses > 0 {
+            prop_assert!(
+                chaotic.metrics.sim_runtime() >= clean.metrics.sim_runtime(),
+                "losing nodes must never make the simulated run faster"
+            );
+        }
     }
 }
