@@ -1,0 +1,75 @@
+//! Dominance-kernel micro-benchmark with a machine-readable baseline.
+//!
+//! Times the two `skymr_common::dominance` primitives and the BNL
+//! local-skyline kernel — the paper's §6 cost-model bottleneck — on
+//! correlated, independent, and anti-correlated data, then writes the
+//! per-distribution means to `BENCH_dominance.json` at the repo root. CI
+//! smoke-runs this bench and checks the document parses, so the perf arc
+//! started by `cargo xtask perf` has a committed timing baseline to
+//! compare against.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use skymr::local::{local_skyline, CmpStats, LocalAlgo};
+use skymr_bench::{render_kernel_bench_json, KernelTiming};
+use skymr_common::dominance::{compare, dominates};
+use skymr_datagen::{generate, Distribution};
+
+/// Dataset size for the BNL kernel runs: large enough that window
+/// scanning dominates, small enough for a CI smoke run.
+const KERNEL_TUPLES: usize = 2_000;
+const DIM: usize = 4;
+const SEED: u64 = 41;
+
+const DISTRIBUTIONS: [(Distribution, &str); 3] = [
+    (Distribution::Correlated, "correlated"),
+    (Distribution::Independent, "independent"),
+    (Distribution::Anticorrelated, "anticorrelated"),
+];
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominance");
+    for (dist, label) in DISTRIBUTIONS {
+        let ds = generate(dist, DIM, KERNEL_TUPLES, SEED);
+        let a = &ds.tuples()[0];
+        let b = &ds.tuples()[1];
+        group.bench_with_input(BenchmarkId::new("dominates", label), &dist, |bench, _| {
+            bench.iter(|| dominates(black_box(a), black_box(b)));
+        });
+        group.bench_with_input(BenchmarkId::new("compare", label), &dist, |bench, _| {
+            bench.iter(|| compare(black_box(a), black_box(b)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("local_skyline_bnl", label),
+            &dist,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut stats = CmpStats::default();
+                    black_box(local_skyline(
+                        ds.tuples().to_vec(),
+                        LocalAlgo::Bnl,
+                        &mut stats,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_kernels(&mut criterion);
+
+    let rows: Vec<KernelTiming> = criterion::take_measurements()
+        .into_iter()
+        .map(|m| KernelTiming {
+            label: m.label,
+            mean_ns: m.mean_ns,
+            iters: m.iters,
+        })
+        .collect();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dominance.json");
+    std::fs::write(path, render_kernel_bench_json("dominance", &rows))
+        .expect("write BENCH_dominance.json at the repo root");
+    println!("wrote {path} ({} results)", rows.len());
+}

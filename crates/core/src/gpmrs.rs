@@ -28,7 +28,7 @@ use crate::checkpoint::BitstringStage;
 use crate::config::SkylineConfig;
 use crate::gpsrs::{record_task_stats, GpsrsMapTask, PartitionSkylines};
 use crate::groups::{plan_groups, GroupPlan};
-use crate::local::{insert_into_partition, CmpStats, LocalSkylines};
+use crate::local::{insert_into_partition, CmpStats, CoordScratch, LocalSkylines};
 use crate::result::{RunInfo, SkylineRun};
 
 /// Map side of MR-GPMRS (Algorithm 8).
@@ -133,6 +133,7 @@ impl ReduceTask for GpmrsReduceTask {
     type V = PartitionSkylines;
     type Out = Tuple;
 
+    // xtask: hot
     fn reduce(
         &mut self,
         key: u32,
@@ -161,33 +162,47 @@ impl ReduceTask for GpmrsReduceTask {
             }
         }
         // Lines 1–8 for the designated partitions only: merge the
-        // per-mapper local skylines with InsertTuple.
+        // per-mapper local skylines with InsertTuple. Designated entries
+        // are *moved* out of `sources` rather than cloned: the merged
+        // skyline eliminates everything the raw union would (a dropped
+        // union tuple's dominator survives the merge, and dominance is
+        // transitive), so the union is not needed afterwards.
+        let designated: Vec<u32> = sources
+            .keys()
+            .copied()
+            .filter(|p| self.plan.designated.get(p) == Some(&bucket_index))
+            .collect();
         let mut skylines = LocalSkylines::new();
-        for (&p, tuples) in &sources {
-            if self.plan.designated.get(&p) == Some(&bucket_index) {
-                for t in tuples {
-                    insert_into_partition(&mut skylines, p, t.clone(), &mut stats);
-                }
+        for p in designated {
+            let Some(tuples) = sources.remove(&p) else {
+                continue;
+            };
+            for t in tuples {
+                insert_into_partition(&mut skylines, p, t, &mut stats);
             }
         }
         // Lines 9–10: false-positive elimination for designated partitions
-        // against every partition of the bucket. Every designated
-        // partition's surviving ADR lies inside its own independent group,
-        // hence inside this bucket (Lemma 2) — no other data is needed.
-        let designated: Vec<u32> = skylines.keys().copied().collect();
-        for p in designated {
+        // against every partition of the bucket — the raw unions still in
+        // `sources` plus the other designated partitions' merged skylines.
+        // Every designated partition's surviving ADR lies inside its own
+        // independent group, hence inside this bucket (Lemma 2) — no other
+        // data is needed.
+        let mut scratch = CoordScratch::new(&grid);
+        let finalized: Vec<u32> = skylines.keys().copied().collect();
+        for p in finalized {
             let Some(mut sp) = skylines.remove(&p) else {
                 continue;
             };
-            crate::local::compare_partitions(
+            crate::local::compare_partitions_scratch(
                 &grid,
                 p,
                 &mut sp,
                 sources
                     .iter()
-                    .filter(|(&q, _)| q != p)
-                    .map(|(&q, s)| (q, s.as_slice())),
+                    .map(|(&q, s)| (q, s.as_slice()))
+                    .chain(skylines.iter().map(|(&q, s)| (q, s.as_slice()))),
                 &mut stats,
+                &mut scratch,
             );
             if !sp.is_empty() {
                 skylines.insert(p, sp);

@@ -65,7 +65,7 @@ pub fn insert_tuple(s: &mut Vec<Tuple>, t: Tuple, stats: &mut CmpStats) -> bool 
             DomOrdering::Incomparable => i += 1,
         }
     }
-    s.push(t);
+    s.push(t); // xtask: allow(hot-path-alloc) — amortized window growth; skyline size is data-dependent, callers pre-size when a bound is known
     true
 }
 
@@ -80,12 +80,33 @@ pub fn insert_into_partition(
     insert_tuple(skylines.entry(partition).or_default(), t, stats);
 }
 
+/// Reusable coordinate buffers for [`compare_partitions_scratch`]: two
+/// allocations per *task* instead of two per compared partition — the
+/// `hot-path-alloc` pass flags the per-call version at loop depth ≥ 1.
+#[derive(Debug)]
+pub struct CoordScratch {
+    p: Vec<usize>,
+    q: Vec<usize>,
+}
+
+impl CoordScratch {
+    /// Scratch sized for `grid`'s dimensionality.
+    pub fn new(grid: &Grid) -> Self {
+        Self {
+            p: vec![0usize; grid.dim()],
+            q: vec![0usize; grid.dim()],
+        }
+    }
+}
+
 /// Algorithm 5 (`ComparePartitions`): removes from partition `p`'s local
 /// skyline every tuple dominated by a tuple of another partition's skyline,
 /// considering only partitions in `ADR(p)`.
 ///
 /// `others` yields `(partition, skyline)` pairs; entries not in `ADR(p)`
 /// are skipped (and not counted). Returns the number of tuples removed.
+/// Allocating convenience wrapper over [`compare_partitions_scratch`] —
+/// hot callers comparing many partitions hoist the scratch instead.
 pub fn compare_partitions<'a>(
     grid: &Grid,
     p: u32,
@@ -93,17 +114,33 @@ pub fn compare_partitions<'a>(
     others: impl Iterator<Item = (u32, &'a [Tuple])>,
     stats: &mut CmpStats,
 ) -> usize {
+    compare_partitions_scratch(grid, p, sp, others, stats, &mut CoordScratch::new(grid))
+}
+
+/// [`compare_partitions`] with caller-owned coordinate scratch; the body
+/// is allocation-free.
+pub fn compare_partitions_scratch<'a>(
+    grid: &Grid,
+    p: u32,
+    sp: &mut Vec<Tuple>,
+    others: impl Iterator<Item = (u32, &'a [Tuple])>,
+    stats: &mut CmpStats,
+    scratch: &mut CoordScratch,
+) -> usize {
     let before = sp.len();
-    let mut p_coords = vec![0usize; grid.dim()];
-    grid.coords_into(p as usize, &mut p_coords);
-    let mut q_coords = vec![0usize; grid.dim()];
+    grid.coords_into(p as usize, &mut scratch.p);
     for (q, sq) in others {
         if q == p {
             continue;
         }
-        grid.coords_into(q as usize, &mut q_coords);
+        grid.coords_into(q as usize, &mut scratch.q);
         // q ∈ ADR(p) ⟺ q.c ≤ p.c componentwise.
-        if !q_coords.iter().zip(p_coords.iter()).all(|(&b, &a)| b <= a) {
+        if !scratch
+            .q
+            .iter()
+            .zip(scratch.p.iter())
+            .all(|(&b, &a)| b <= a)
+        {
             continue;
         }
         stats.partition_cmps += 1;
@@ -128,16 +165,18 @@ pub fn compare_partitions<'a>(
 /// Partitions emptied by the comparison are dropped from the map.
 pub fn compare_all_partitions(grid: &Grid, skylines: &mut LocalSkylines, stats: &mut CmpStats) {
     let partitions: Vec<u32> = skylines.keys().copied().collect();
+    let mut scratch = CoordScratch::new(grid);
     for &p in &partitions {
         let Some(mut sp) = skylines.remove(&p) else {
             continue;
         };
-        compare_partitions(
+        compare_partitions_scratch(
             grid,
             p,
             &mut sp,
             skylines.iter().map(|(&q, sq)| (q, sq.as_slice())),
             stats,
+            &mut scratch,
         );
         if !sp.is_empty() {
             skylines.insert(p, sp);
@@ -177,12 +216,20 @@ pub enum LocalAlgo {
     Dnc,
 }
 
+/// Initial window reservation for the local-skyline kernels: generous for
+/// the per-partition skylines the grid produces, small enough that tiny
+/// partitions don't pay for it.
+const WINDOW_CAPACITY_HINT: usize = 64;
+
 /// Computes one partition's local skyline with the chosen kernel,
 /// counting tuple comparisons into `stats`.
 pub fn local_skyline(mut tuples: Vec<Tuple>, algo: LocalAlgo, stats: &mut CmpStats) -> Vec<Tuple> {
+    // The window can only hold incomparable tuples, so it is bounded by
+    // the input; cap the hint so huge splits don't over-reserve.
+    let window_hint = tuples.len().min(WINDOW_CAPACITY_HINT);
     match algo {
         LocalAlgo::Bnl => {
-            let mut window = Vec::new();
+            let mut window = Vec::with_capacity(window_hint);
             for t in tuples {
                 insert_tuple(&mut window, t, stats);
             }
@@ -194,7 +241,7 @@ pub fn local_skyline(mut tuples: Vec<Tuple>, algo: LocalAlgo, stats: &mut CmpSta
                     .total_cmp(&b.score_entropy())
                     .then(a.id.cmp(&b.id))
             });
-            let mut window: Vec<Tuple> = Vec::new();
+            let mut window: Vec<Tuple> = Vec::with_capacity(window_hint);
             'next: for t in tuples {
                 for w in &window {
                     stats.tuple_cmps += 1;

@@ -1,0 +1,476 @@
+//! `lock-discipline` — the locking half of `cargo xtask perf`.
+//!
+//! The workspace standard is `parking_lot` (`common::stats` counters, the
+//! pool's result slots, the telemetry collector), whose guards are
+//! non-reentrant and unfair: holding one across blocking work is either a
+//! latency cliff or a deadlock. This pass finds every guard acquisition
+//! (`.lock()` / `.read()` / `.write()` with no arguments), determines the
+//! guard's live region — to the end of the enclosing block for
+//! `let g = x.lock();` bindings (shortened by an explicit `drop(g)`), to
+//! the end of the statement for temporaries — and reports:
+//!
+//! * a guard held across a **pool dispatch** (`run_indexed`, `spawn`);
+//! * a guard held across a **channel operation** (`send`, `recv`);
+//! * the same lock **re-acquired** while its own guard is live (an
+//!   immediate self-deadlock with non-reentrant locks);
+//! * **lock-order cycles**: nested acquisitions build a global
+//!   lock-acquisition graph keyed by receiver name, and every edge that
+//!   closes a cycle is reported with the path that completes it.
+//!
+//! Locks are identified by the receiver ident feeding the call
+//! (`self.inner.lock()` → `inner`, `group_slots[j].lock()` →
+//! `group_slots`), which matches how this workspace names its mutexes —
+//! one field per lock. Closures inside a guard's live region count as
+//! running under the guard (conservative: the pool invokes its closures
+//! synchronously on worker threads it joins).
+
+use std::collections::BTreeMap;
+
+use super::{AnalyzedFile, Diagnostic};
+use crate::lexer::TokenKind;
+
+pub const RULE: &str = "lock-discipline";
+
+const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
+const DISPATCH_CALLS: &[&str] = &["run_indexed", "spawn"];
+const CHANNEL_CALLS: &[&str] = &["send", "recv"];
+
+/// The whole-workspace pass: per-fn guard regions plus a global
+/// lock-order graph.
+pub fn check(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // Edge (held, acquired) → first site seen, in deterministic file order.
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    for f in files {
+        for g in &f.model.fns {
+            if g.is_test {
+                continue;
+            }
+            let Some(body) = g.body else { continue };
+            let (start, end) = f.sig_range(body);
+            scan_fn(f, start, end, &mut out, &mut edges);
+        }
+    }
+    report_cycles(&edges, &mut out);
+    out
+}
+
+/// One guard acquisition inside a fn body.
+struct Acquisition {
+    /// Receiver ident naming the lock.
+    name: String,
+    /// Significant index of the `lock`/`read`/`write` ident.
+    at: usize,
+    /// Significant index one past the end of the guard's live region.
+    until: usize,
+}
+
+fn scan_fn(
+    f: &AnalyzedFile,
+    start: usize,
+    end: usize,
+    out: &mut Vec<Diagnostic>,
+    edges: &mut BTreeMap<(String, String), (String, usize)>,
+) {
+    // Collect acquisitions first, then look for events in each region.
+    let mut acqs: Vec<Acquisition> = Vec::new();
+    for i in start..end {
+        if f.sig_kind(i) != Some(TokenKind::Ident)
+            || !GUARD_METHODS.contains(&f.sig_text(i))
+            || i == start
+            || f.sig_text(i - 1) != "."
+            || f.sig_text(i + 1) != "("
+            || f.sig_text(i + 2) != ")"
+        {
+            continue;
+        }
+        let Some((name, head)) = receiver_chain(f, i, start) else {
+            continue;
+        };
+        // A bound guard (`let g = x.lock();`) lives to the enclosing block
+        // end or `drop(g)`; a temporary dies at the statement's `;`.
+        let until = match let_binding_before(f, head, start) {
+            Some(g) => region_to_block_end(f, i + 3, end, Some(g.as_str())),
+            None => region_to_statement_end(f, i + 3, end),
+        };
+        acqs.push(Acquisition { name, at: i, until });
+    }
+
+    for a in &acqs {
+        let line_of = |j: usize| f.sig_tok(j).map_or(0, |t| t.line);
+        let diag = |j: usize, message: String| Diagnostic {
+            file: f.path.clone(),
+            line: line_of(j),
+            rule: RULE,
+            rank: 0,
+            message,
+        };
+        for j in (a.at + 3)..a.until {
+            if f.sig_kind(j) != Some(TokenKind::Ident) {
+                continue;
+            }
+            let name = f.sig_text(j);
+            let is_call = f.sig_text(j + 1) == "(";
+            // Another acquisition while this guard is live.
+            if let Some(inner) = acqs.iter().find(|b| b.at == j) {
+                if inner.name == a.name {
+                    out.push(diag(
+                        j,
+                        format!(
+                            "`{}` re-acquired while its own guard is live (acquired at \
+                             line {}) — parking_lot locks are non-reentrant, this \
+                             deadlocks",
+                            a.name,
+                            line_of(a.at)
+                        ),
+                    ));
+                } else {
+                    edges
+                        .entry((a.name.clone(), inner.name.clone()))
+                        .or_insert_with(|| (f.path.clone(), line_of(j)));
+                }
+                continue;
+            }
+            if !is_call {
+                continue;
+            }
+            if DISPATCH_CALLS.contains(&name) {
+                out.push(diag(
+                    j,
+                    format!(
+                        "guard on `{}` (acquired at line {}) is still live across the \
+                         pool dispatch `{name}(…)` — release it before dispatching",
+                        a.name,
+                        line_of(a.at)
+                    ),
+                ));
+            } else if CHANNEL_CALLS.contains(&name) && f.sig_text(j - 1) == "." {
+                out.push(diag(
+                    j,
+                    format!(
+                        "guard on `{}` (acquired at line {}) is still live across the \
+                         channel `{name}` — a blocked peer now blocks the lock too",
+                        a.name,
+                        line_of(a.at)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Walks the dotted receiver chain backwards from the guard method at `i`
+/// (`self.inner.lock` → head at `self`, name `inner`). Returns the lock
+/// name (last ident before the method) and the chain's head index.
+fn receiver_chain(f: &AnalyzedFile, i: usize, start: usize) -> Option<(String, usize)> {
+    let mut name: Option<String> = None;
+    let mut pos = i; // on an ident of the chain; i-1 is `.`
+    loop {
+        if pos < start + 2 || f.sig_text(pos - 1) != "." {
+            return name.map(|n| (n, pos));
+        }
+        let prev = pos - 2;
+        match f.sig_kind(prev) {
+            Some(TokenKind::Ident | TokenKind::RawIdent) => {
+                if name.is_none() {
+                    name = Some(f.sig_text(prev).to_owned());
+                }
+                pos = prev;
+            }
+            Some(TokenKind::Punct) if matches!(f.sig_text(prev), "]" | ")") => {
+                let (open, close) = match f.sig_text(prev) {
+                    "]" => ("[", "]"),
+                    _ => ("(", ")"),
+                };
+                // Balance backwards to the opener.
+                let mut depth = 0i64;
+                let mut k = prev;
+                loop {
+                    let t = f.sig_text(k);
+                    if t == close {
+                        depth += 1;
+                    } else if t == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if k == start {
+                        return name.map(|n| (n, pos));
+                    }
+                    k -= 1;
+                }
+                if k > start && f.sig_kind(k - 1) == Some(TokenKind::Ident) {
+                    if name.is_none() {
+                        name = Some(f.sig_text(k - 1).to_owned());
+                    }
+                    pos = k - 1;
+                } else {
+                    return name.map(|n| (n, k));
+                }
+            }
+            _ => return name.map(|n| (n, pos)),
+        }
+    }
+}
+
+/// If the chain head at `head` is the right-hand side of `let [mut] g =`,
+/// returns `g` — the guard is a named binding living to block end.
+fn let_binding_before(f: &AnalyzedFile, head: usize, start: usize) -> Option<String> {
+    if head < start + 3 || f.sig_text(head - 1) != "=" {
+        return None;
+    }
+    let var = head - 2;
+    if f.sig_kind(var) != Some(TokenKind::Ident) {
+        return None;
+    }
+    let before = f.sig_text(var - 1);
+    let is_let =
+        before == "let" || (before == "mut" && var >= start + 2 && f.sig_text(var - 2) == "let");
+    is_let.then(|| f.sig_text(var).to_owned())
+}
+
+/// Live region of a temporary guard: to the `;` ending the statement.
+fn region_to_statement_end(f: &AnalyzedFile, from: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    for j in from..end {
+        match f.sig_text(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            ";" if depth <= 0 => return j,
+            _ => {}
+        }
+    }
+    end
+}
+
+/// Live region of a bound guard: to the end of the enclosing block, or to
+/// an explicit `drop(g)`.
+fn region_to_block_end(f: &AnalyzedFile, from: usize, end: usize, var: Option<&str>) -> usize {
+    let mut depth = 0i64;
+    for j in from..end {
+        match f.sig_text(j) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            "drop"
+                if depth >= 0
+                    && f.sig_text(j + 1) == "("
+                    && Some(f.sig_text(j + 2)) == var
+                    && f.sig_text(j + 3) == ")" =>
+            {
+                return j;
+            }
+            _ => {}
+        }
+    }
+    end
+}
+
+/// Reports every edge that completes a cycle in the lock-order graph,
+/// with the path that closes it.
+fn report_cycles(edges: &BTreeMap<(String, String), (String, usize)>, out: &mut Vec<Diagnostic>) {
+    let adj = |from: &str| {
+        edges
+            .keys()
+            .filter(move |(a, _)| a == from)
+            .map(|(_, b)| b.as_str())
+            .collect::<Vec<_>>()
+    };
+    for ((a, b), (file, line)) in edges {
+        // BFS from b back to a; parents reconstruct the closing path.
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue = vec![b.as_str()];
+        let mut found = false;
+        while let Some(n) = queue.pop() {
+            if n == a.as_str() {
+                found = true;
+                break;
+            }
+            for m in adj(n) {
+                if m != b.as_str() && !parent.contains_key(m) {
+                    parent.insert(m, n);
+                    queue.push(m);
+                }
+            }
+        }
+        if !found {
+            continue;
+        }
+        let mut path = vec![a.as_str()];
+        let mut cur = a.as_str();
+        while cur != b.as_str() {
+            cur = parent.get(cur).copied().unwrap_or(b.as_str());
+            path.push(cur);
+        }
+        path.reverse(); // b … a
+        path.insert(0, a.as_str()); // the full cycle a → b → … → a
+        out.push(Diagnostic {
+            file: file.clone(),
+            line: *line,
+            rule: RULE,
+            rank: 0,
+            message: format!(
+                "lock-order cycle: acquiring `{b}` while holding `{a}` completes \
+                 {} — pick one acquisition order",
+                path.iter()
+                    .map(|n| format!("`{n}`"))
+                    .collect::<Vec<_>>()
+                    .join(" → ")
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{apply_waivers, collect_waivers, raw_diagnostics, AnalyzedFile, Mode};
+
+    const POOLISH: &str = "crates/mapreduce/src/locks_fixture.rs";
+
+    fn perf_multi(sources: &[(&str, &str)]) -> Vec<super::super::Diagnostic> {
+        let files: Vec<AnalyzedFile> = sources
+            .iter()
+            .map(|(p, s)| AnalyzedFile::build(*p, *s))
+            .collect();
+        let waivers: Vec<_> = files.iter().flat_map(collect_waivers).collect();
+        let raw = raw_diagnostics(&files, Mode::Perf);
+        apply_waivers(raw, &waivers).0
+    }
+
+    fn perf(src: &str) -> Vec<super::super::Diagnostic> {
+        perf_multi(&[(POOLISH, src)])
+    }
+
+    #[test]
+    fn guard_across_pool_dispatch_flags() {
+        let src = "\
+fn f(pool: &Pool, m: &Mutex<u32>) {
+    let g = m.lock();
+    pool.run_indexed(4, |i| i);
+    drop(g);
+}
+";
+        let diags = perf(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "lock-discipline");
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("run_indexed"));
+    }
+
+    #[test]
+    fn drop_and_block_scope_end_the_guard_region() {
+        let src = "\
+fn f(pool: &Pool, m: &Mutex<u32>) {
+    let g = m.lock();
+    drop(g);
+    pool.run_indexed(4, |i| i);
+    {
+        let h = m.lock();
+    }
+    pool.spawn(work);
+}
+";
+        assert!(perf(src).is_empty(), "{:?}", perf(src));
+    }
+
+    #[test]
+    fn temporary_guard_region_is_the_statement() {
+        let src = "\
+fn f(results: &Mutex<Vec<u32>>, tx: &Sender<u32>) {
+    *results.lock() = Vec::new();
+    tx.send(1);
+}
+";
+        assert!(perf(src).is_empty(), "{:?}", perf(src));
+    }
+
+    #[test]
+    fn guard_across_channel_send_flags() {
+        let src = "\
+fn f(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock();
+    tx.send(*g);
+}
+";
+        let diags = perf(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("send"));
+    }
+
+    #[test]
+    fn self_relock_is_a_deadlock_diagnostic() {
+        let src = "\
+fn f(m: &Mutex<u32>) {
+    let g = m.lock();
+    let h = m.lock();
+}
+";
+        let diags = perf(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("re-acquired"), "{diags:?}");
+    }
+
+    #[test]
+    fn lock_order_cycle_across_files_is_reported() {
+        let a = "\
+fn ab(x: &Mutex<u32>, y: &Mutex<u32>) {
+    let g = x.lock();
+    let h = y.lock();
+}
+";
+        let b = "\
+fn ba(x: &Mutex<u32>, y: &Mutex<u32>) {
+    let g = y.lock();
+    let h = x.lock();
+}
+";
+        let diags = perf_multi(&[
+            ("crates/core/src/a_fixture.rs", a),
+            ("crates/core/src/b_fixture.rs", b),
+        ]);
+        assert_eq!(diags.len(), 2, "both closing edges report: {diags:?}");
+        assert!(diags.iter().all(|d| d.message.contains("lock-order cycle")));
+    }
+
+    #[test]
+    fn nested_distinct_locks_without_cycle_are_edges_only() {
+        let src = "\
+fn f(x: &Mutex<u32>, y: &Mutex<u32>) {
+    let g = x.lock();
+    let h = y.lock();
+}
+";
+        assert!(perf(src).is_empty(), "{:?}", perf(src));
+    }
+
+    #[test]
+    fn indexed_receiver_names_the_collection_and_waivers_apply() {
+        let src = "\
+fn f(slots: &[Mutex<u32>], tx: &Sender<u32>) {
+    let g = slots[0].lock();
+    tx.send(*g); // xtask: allow(lock-discipline) — send is non-blocking here
+}
+";
+        assert!(perf(src).is_empty(), "{:?}", perf(src));
+        let unwaived = "\
+fn f(slots: &[Mutex<u32>], tx: &Sender<u32>) {
+    let g = slots[0].lock();
+    tx.send(*g);
+}
+";
+        let diags = perf(unwaived);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`slots`"), "{diags:?}");
+    }
+}

@@ -18,6 +18,12 @@
 //! * [`rng`] — `seeded-rng-dataflow`: every RNG construction must trace
 //!   to an explicit seed root (a literal seed or a `seed`/`*_seed`
 //!   parameter plumbed down the call graph).
+//! * [`perf`] — `hot-path-alloc` (`cargo xtask perf`): allocation, clone,
+//!   unsized-push, and hash-map findings in fns reachable from the hot
+//!   entry registry, ranked by effective loop depth.
+//! * [`locks`] — `lock-discipline` (`cargo xtask perf`): parking_lot
+//!   guards held across pool dispatch, channel ops, or other lock
+//!   acquisitions, plus lock-order cycle detection.
 //!
 //! A diagnostic can be waived for one audited line with a trailing
 //! `// xtask: allow(<rule>)` comment (several rules comma-separated).
@@ -25,7 +31,9 @@
 //! --list-stale-waivers` reports waivers whose line no longer triggers
 //! the waived rule, so audited exceptions cannot rot silently.
 
+pub mod locks;
 pub mod panics;
+pub mod perf;
 pub mod rng;
 pub mod rules;
 pub mod udf;
@@ -50,6 +58,9 @@ pub struct Diagnostic {
     pub line: usize,
     /// Rule identifier, e.g. `udf-determinism`.
     pub rule: &'static str,
+    /// Severity rank; perf findings carry their effective loop depth so
+    /// the deepest-nested problem sorts first. 0 for every other rule.
+    pub rank: u32,
     /// What was found and what to do instead.
     pub message: String,
 }
@@ -281,25 +292,39 @@ pub enum Mode {
     /// Everything: legacy rules plus the three analysis passes
     /// (`cargo xtask analyze`).
     Analyze,
+    /// The performance linter: `hot-path-alloc` and `lock-discipline`
+    /// (`cargo xtask perf`).
+    Perf,
 }
 
 /// Runs the selected passes over `files`, returning raw (pre-waiver)
-/// diagnostics sorted by file, line, rule.
+/// diagnostics sorted by rank (deepest first), then file, line, rule.
+/// Non-perf rules all rank 0, so lint/analyze ordering is unchanged.
 pub fn raw_diagnostics(files: &[AnalyzedFile], mode: Mode) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for f in files {
-        out.extend(rules::check_file(f));
-        out.extend(panics::check_unwrap_family(f));
-        if mode == Mode::Analyze {
-            out.extend(udf::check_file(f));
+    match mode {
+        Mode::Lint | Mode::Analyze => {
+            for f in files {
+                out.extend(rules::check_file(f));
+                out.extend(panics::check_unwrap_family(f));
+                if mode == Mode::Analyze {
+                    out.extend(udf::check_file(f));
+                }
+            }
+            if mode == Mode::Analyze {
+                out.extend(panics::check_reachability(files));
+                out.extend(rng::check_dataflow(files));
+            }
+        }
+        Mode::Perf => {
+            out.extend(perf::check(files));
+            out.extend(locks::check(files));
         }
     }
-    if mode == Mode::Analyze {
-        out.extend(panics::check_reachability(files));
-        out.extend(rng::check_dataflow(files));
-    }
     out.sort_by(|a, b| {
-        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+        b.rank.cmp(&a.rank).then_with(|| {
+            (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+        })
     });
     out.dedup();
     out
@@ -406,10 +431,11 @@ fn render(diags: &[Diagnostic], format: Format, task: &str, files_scanned: usize
                     out.push(',');
                 }
                 out.push_str(&format!(
-                    "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                    "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"rank\":{},\"message\":\"{}\"}}",
                     json_escape(&d.file),
                     d.line,
                     json_escape(d.rule),
+                    d.rank,
                     json_escape(&d.message)
                 ));
             }
@@ -477,14 +503,16 @@ pub fn run(mode: Mode, opts: &Options) -> ExitCode {
     let task = match mode {
         Mode::Lint => "lint",
         Mode::Analyze => "analyze",
+        Mode::Perf => "perf",
     };
     let waivers: Vec<Waiver> = files.iter().flat_map(collect_waivers).collect();
 
     if opts.list_stale_waivers {
         // Staleness is judged against the FULL rule set: a waiver for an
-        // analyze-only rule is not stale just because `lint` runs fewer
-        // passes.
-        let raw = raw_diagnostics(&files, Mode::Analyze);
+        // analyze-only or perf-only rule is not stale just because `lint`
+        // runs fewer passes.
+        let mut raw = raw_diagnostics(&files, Mode::Analyze);
+        raw.extend(raw_diagnostics(&files, Mode::Perf));
         let stale = stale_waivers(&waivers, &raw);
         for w in &stale {
             println!(
@@ -552,6 +580,7 @@ mod tests {
             file: "a.rs".into(),
             line,
             rule: "no-unwrap",
+            rank: 0,
             message: "m".into(),
         };
         let w = |line, rule: &str| Waiver {
@@ -609,7 +638,30 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n")
         );
-        let stale = stale_waivers(&waivers, &raw);
+        // Staleness is judged against the full rule set, like the CLI.
+        let mut full = raw;
+        full.extend(raw_diagnostics(&files, Mode::Perf));
+        let stale = stale_waivers(&waivers, &full);
         assert!(stale.is_empty(), "stale waivers in tree: {stale:?}");
+    }
+
+    #[test]
+    fn whole_workspace_is_clean_under_perf() {
+        // The acceptance gate: `cargo xtask perf` exits 0 on this tree —
+        // hot kernels stay allocation-free (or carry audited waivers) and
+        // the lock graph stays acyclic.
+        let files = load_workspace().expect("workspace root");
+        let waivers: Vec<Waiver> = files.iter().flat_map(collect_waivers).collect();
+        let raw = raw_diagnostics(&files, Mode::Perf);
+        let (active, _) = apply_waivers(raw, &waivers);
+        assert!(
+            active.is_empty(),
+            "workspace has active perf violations:\n{}",
+            active
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
     }
 }

@@ -63,6 +63,7 @@ pub fn check_unwrap_family(f: &AnalyzedFile) -> Vec<Diagnostic> {
             file: f.path.clone(),
             line: t.line,
             rule: "no-unwrap",
+            rank: 0,
             message: format!("`.{}()` — {UNWRAP_HELP}", t.text(&f.src)),
         });
     }
@@ -153,6 +154,7 @@ fn scan_body(f: &AnalyzedFile, start: usize, end: usize, out: &mut Vec<Diagnosti
                         file: f.path.clone(),
                         line: f.sig_tok(i).map_or(0, |t| t.line),
                         rule: "panic-reachability",
+                        rank: 0,
                         message: format!(
                             "{why} in a UDF-reachable hot path can panic and livelock \
                              failure replay; use checked access or waive with the \
@@ -176,6 +178,7 @@ fn scan_body(f: &AnalyzedFile, start: usize, end: usize, out: &mut Vec<Diagnosti
                 file: f.path.clone(),
                 line: f.sig_tok(i).map_or(0, |t| t.line),
                 rule: "panic-reachability",
+                rank: 0,
                 message: format!(
                     "`{txt} {}` — division/remainder by a runtime value in a \
                      UDF-reachable hot path panics on zero; guard it or waive \

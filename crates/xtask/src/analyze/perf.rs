@@ -1,0 +1,697 @@
+//! `hot-path-alloc` — the allocation half of `cargo xtask perf`.
+//!
+//! Mullesgaard et al.'s §6 cost model makes dominance comparisons the
+//! dominant term of every MapReduce phase, so the kernels that run them
+//! must not silently grow heap traffic. This pass starts from a **hot
+//! entry registry** (`crates/xtask/hot_entries.conf`, plus in-place
+//! `// xtask: hot` markers for impl methods), walks the intra-workspace
+//! call graph from those entries, and inside every reachable fn flags:
+//!
+//! * direct allocation: `Vec::new()`, `vec![…]`, `Box::new(…)`,
+//!   `.to_vec()`, no-argument `.collect()` (turbofish included),
+//!   `format!(…)`, `String::from(…)`;
+//! * `.clone()` calls (the receiver may be non-`Copy`; `Copy` values
+//!   should be dereferenced instead);
+//! * `Vec::push` with no visible `with_capacity`/`reserve` for the same
+//!   receiver anywhere in the fn;
+//! * `HashMap`/`HashSet` use (per-probe hashing plus unordered
+//!   iteration — the workspace standard is `BTreeMap`).
+//!
+//! Each diagnostic carries an **effective loop depth**: the loop nesting
+//! at the flagged token plus the deepest loop nesting accumulated along
+//! the call chain from a hot entry (a fn called inside a double loop
+//! starts at depth 2). Allocation/clone/push findings fire only at depth
+//! ≥ 1 — a one-off allocation in straight-line kernel code is fine — and
+//! diagnostics are ranked deepest-first. The registry itself is checked:
+//! an entry naming a fn that no longer exists, or a marker binding to no
+//! fn, is an error, so the hot set cannot rot.
+//!
+//! Approximations, shared with the other graph passes: calls resolve by
+//! name (plus impl self-type when a `Type::` qualifier is present),
+//! closures fold into the enclosing fn, and iterator adapters are not
+//! loop regions. Effective depth is capped so recursive cycles through
+//! loops terminate. Method calls whose name collides with a std
+//! prelude/iterator method (`.map(…)`, `.len()`, `.push(…)`, …) are not
+//! traversed: on a workspace full of MapReduce UDFs literally named
+//! `map`, resolving `window.into_iter().map(…)` to every mapper would
+//! mark the whole tree hot. An impl method with such a name joins the
+//! hot set via the registry or its own `// xtask: hot` marker instead.
+
+use std::collections::BTreeMap;
+
+use super::{AnalyzedFile, Diagnostic};
+use crate::lexer::TokenKind;
+
+/// The checked hot-entry registry, embedded at compile time.
+const HOT_ENTRIES_CONF: &str = include_str!("../../hot_entries.conf");
+/// Workspace-relative path diagnostics about the registry point at.
+const HOT_ENTRIES_PATH: &str = "crates/xtask/hot_entries.conf";
+/// Effective-depth cap: keeps propagation finite on recursive cycles.
+const DEPTH_CAP: u32 = 8;
+
+/// Std prelude/iterator/collection method names the call graph never
+/// traverses when they appear in method position. Name-based resolution
+/// cannot tell `window.into_iter().map(f)` from a MapReduce `map` UDF,
+/// and this workspace defines fns named `map`, `collect`, `send`, … on
+/// nearly every layer; following them would mark the whole tree hot.
+const UNTRACKED_METHODS: &[&str] = &[
+    "all",
+    "any",
+    "chain",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "expect",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "fold",
+    "for_each",
+    "get",
+    "get_mut",
+    "get_or_insert",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "is_none",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "last",
+    "len",
+    "lock",
+    "map",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "next",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "position",
+    "push",
+    "push_str",
+    "read",
+    "recv",
+    "remove",
+    "resize",
+    "retain",
+    "rev",
+    "reverse",
+    "send",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "split",
+    "sum",
+    "swap_remove",
+    "take",
+    "to_string",
+    "to_vec",
+    "truncate",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "windows",
+    "write",
+    "zip",
+];
+
+pub const RULE: &str = "hot-path-alloc";
+
+/// One `file::fn` line of the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfEntry {
+    /// Workspace-relative file the hot fn lives in.
+    pub file: String,
+    /// The fn's name.
+    pub name: String,
+    /// 1-based line in the conf file (for registry-error diagnostics).
+    pub line: usize,
+}
+
+/// Parses the embedded registry. Lines are `path::fn`; `#` comments and
+/// blanks are skipped.
+pub fn parse_registry() -> Vec<ConfEntry> {
+    let mut out = Vec::new();
+    for (idx, raw) in HOT_ENTRIES_CONF.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((file, name)) = line.rsplit_once("::") {
+            out.push(ConfEntry {
+                file: file.to_owned(),
+                name: name.to_owned(),
+                line: idx + 1,
+            });
+        }
+    }
+    out
+}
+
+/// The whole-workspace pass with the embedded registry.
+pub fn check(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
+    check_with_registry(files, &parse_registry())
+}
+
+/// One fn in the flattened call graph.
+struct Node {
+    file: usize,
+    func: usize,
+}
+
+/// Hot state of a node: effective loop depth at its entry, and the hot
+/// entry fn it was reached from (for the diagnostic message).
+#[derive(Clone)]
+struct Hot {
+    depth: u32,
+    via: String,
+}
+
+pub fn check_with_registry(files: &[AnalyzedFile], registry: &[ConfEntry]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Flatten every non-test bodied fn; index by name for call resolution.
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, g) in f.model.fns.iter().enumerate() {
+            if g.is_test || g.body.is_none() {
+                continue;
+            }
+            by_name
+                .entry(g.name.as_str())
+                .or_default()
+                .push(nodes.len());
+            nodes.push(Node { file: fi, func: gi });
+        }
+    }
+    let self_ty_of = |n: &Node| -> Option<&str> {
+        let f = &files[n.file];
+        let g = &f.model.fns[n.func];
+        g.impl_idx.map(|ii| f.model.impls[ii].self_ty.as_str())
+    };
+
+    // Seed the hot set: registry entries (checked against the file set)…
+    let mut hot: Vec<Option<Hot>> = (0..nodes.len()).map(|_| None).collect();
+    let mut work: Vec<usize> = Vec::new();
+    for entry in registry {
+        let Some(_) = files.iter().position(|f| f.path == entry.file) else {
+            // Entry file not in this file set (fixture runs analyze a
+            // handful of files); the whole-workspace gate test asserts
+            // every registry file actually exists in the tree.
+            continue;
+        };
+        let mut matched = false;
+        for (id, n) in nodes.iter().enumerate() {
+            if files[n.file].path == entry.file
+                && files[n.file].model.fns[n.func].name == entry.name
+            {
+                matched = true;
+                if hot[id].is_none() {
+                    hot[id] = Some(Hot {
+                        depth: 0,
+                        via: entry.name.clone(),
+                    });
+                    work.push(id);
+                }
+            }
+        }
+        if !matched {
+            out.push(Diagnostic {
+                file: HOT_ENTRIES_PATH.to_owned(),
+                line: entry.line,
+                rule: RULE,
+                rank: 0,
+                message: format!(
+                    "hot-entry registry names `{}::{}` but that file has no such \
+                     non-test fn — update the registry",
+                    entry.file, entry.name
+                ),
+            });
+        }
+    }
+    // …and `// xtask: hot` markers (bind to the next fn within 3 lines).
+    for (fi, f) in files.iter().enumerate() {
+        for t in &f.tokens {
+            if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            let text = t
+                .text(&f.src)
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim_end_matches('/')
+                .trim_end_matches('*')
+                .trim();
+            if text != "xtask: hot" {
+                continue;
+            }
+            let bound = nodes.iter().enumerate().find(|(_, n)| {
+                n.file == fi && {
+                    let g = &f.model.fns[n.func];
+                    g.line >= t.line && g.line <= t.line + 3
+                }
+            });
+            match bound {
+                Some((id, _)) => {
+                    if hot[id].is_none() {
+                        hot[id] = Some(Hot {
+                            depth: 0,
+                            via: f.model.fns[nodes[id].func].name.clone(),
+                        });
+                        work.push(id);
+                    }
+                }
+                None => out.push(Diagnostic {
+                    file: f.path.clone(),
+                    line: t.line,
+                    rule: RULE,
+                    rank: 0,
+                    message: "dangling `// xtask: hot` marker: no non-test fn with a body \
+                              starts within the next 3 lines"
+                        .to_owned(),
+                }),
+            }
+        }
+    }
+
+    // Propagate effective loop depth along the call graph: a callee's
+    // depth is the caller's depth plus the loop nesting at the call site,
+    // maximized over call chains and capped for termination.
+    while let Some(id) = work.pop() {
+        let Some(cur) = hot[id].clone() else { continue };
+        let n = &nodes[id];
+        let caller = &files[n.file].model.fns[n.func];
+        for call in &caller.calls {
+            if call.is_macro {
+                continue;
+            }
+            // `.map(…)`, `.push(…)`, … are std methods, not UDF calls.
+            if call.is_method && UNTRACKED_METHODS.contains(&call.name.as_str()) {
+                continue;
+            }
+            let Some(candidates) = by_name.get(call.name.as_str()) else {
+                continue;
+            };
+            let nd = (cur.depth + caller.loop_depth_at(call.sig_idx)).min(DEPTH_CAP);
+            for &target in candidates {
+                // `Type::fn` calls only resolve to fns in an `impl Type`.
+                if let Some(q) = &call.qualifier {
+                    if q.chars().next().is_some_and(char::is_uppercase)
+                        && self_ty_of(&nodes[target]) != Some(q.as_str())
+                    {
+                        continue;
+                    }
+                }
+                let better = match &hot[target] {
+                    None => true,
+                    Some(h) => nd > h.depth,
+                };
+                if better {
+                    hot[target] = Some(Hot {
+                        depth: nd,
+                        via: cur.via.clone(),
+                    });
+                    work.push(target);
+                }
+            }
+        }
+    }
+
+    // Scan every hot fn body.
+    for (id, n) in nodes.iter().enumerate() {
+        let Some(h) = &hot[id] else { continue };
+        let f = &files[n.file];
+        let g = &f.model.fns[n.func];
+        let Some(body) = g.body else { continue };
+        let (start, end) = f.sig_range(body);
+        scan_hot_body(f, g, h, start, end, &mut out);
+    }
+    out
+}
+
+/// Scans one hot fn body (significant range `[start, end)`).
+fn scan_hot_body(
+    f: &AnalyzedFile,
+    g: &crate::parse::FnInfo,
+    h: &Hot,
+    start: usize,
+    end: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let presized = capacity_receivers(f, start, end);
+    let mut hash_lines: Vec<usize> = Vec::new();
+    for i in start..end {
+        let Some(t) = f.sig_tok(i) else { continue };
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t.text(&f.src);
+        let rank = h.depth + g.loop_depth_at(i);
+        let diag = |rank: u32, message: String| Diagnostic {
+            file: f.path.clone(),
+            line: t.line,
+            rule: RULE,
+            rank,
+            message,
+        };
+        let alloc = |what: &str| {
+            format!(
+                "`{what}` allocates on a hot path (effective loop depth {rank}, \
+                 via `{}`) — hoist it out of the loop or pre-size the buffer",
+                h.via
+            )
+        };
+        let is_method = i > start && f.sig_text(i - 1) == ".";
+        match name {
+            // Constructors spelled `Type::name(…)`.
+            "new" if path_qualifier(f, i).as_deref() == Some("Vec") && rank >= 1 => {
+                out.push(diag(rank, alloc("Vec::new()")));
+            }
+            "new" if path_qualifier(f, i).as_deref() == Some("Box") && rank >= 1 => {
+                out.push(diag(rank, alloc("Box::new(…)")));
+            }
+            "from" if path_qualifier(f, i).as_deref() == Some("String") && rank >= 1 => {
+                out.push(diag(rank, alloc("String::from(…)")));
+            }
+            // Allocating macros.
+            "vec" | "format" if f.sig_text(i + 1) == "!" && rank >= 1 => {
+                out.push(diag(rank, alloc(&format!("{name}![…]"))));
+            }
+            // Allocating methods.
+            "to_vec" if is_method && f.sig_text(i + 1) == "(" && rank >= 1 => {
+                out.push(diag(rank, alloc(".to_vec()")));
+            }
+            "collect" if is_method && no_arg_call_after(f, i) && rank >= 1 => {
+                out.push(diag(rank, alloc(".collect()")));
+            }
+            "clone" if is_method && no_arg_call_after(f, i) && rank >= 1 => {
+                out.push(diag(
+                    rank,
+                    format!(
+                        "`.clone()` on a hot path (effective loop depth {rank}, via \
+                         `{}`) — borrow or move instead; if the copy is the \
+                         algorithm's contract, waive with that invariant",
+                        h.via
+                    ),
+                ));
+            }
+            // Unsized growth: `recv.push(…)` with no visible pre-sizing.
+            "push" if is_method && f.sig_text(i + 1) == "(" && rank >= 1 => {
+                let recv = (i >= start + 2 && f.sig_kind(i - 2) == Some(TokenKind::Ident))
+                    .then(|| f.sig_text(i - 2).to_owned());
+                let known = recv.as_ref().is_some_and(|r| presized.contains(r));
+                if !known {
+                    let recv = recv.unwrap_or_else(|| "<expr>".into());
+                    out.push(diag(
+                        rank,
+                        format!(
+                            "`{recv}.push(…)` with no visible `with_capacity`/`reserve` \
+                             for `{recv}` in this fn (effective loop depth {rank}, via \
+                             `{}`) — pre-size the vector",
+                            h.via
+                        ),
+                    ));
+                }
+            }
+            // Hash containers anywhere in a hot fn, once per line.
+            "HashMap" | "HashSet" if !hash_lines.contains(&t.line) => {
+                hash_lines.push(t.line);
+                out.push(diag(
+                    rank,
+                    format!(
+                        "`{name}` in hot fn `{}` (via `{}`) — per-probe hashing and \
+                         unordered iteration; the workspace standard is `BTreeMap` \
+                         or a dense `Vec`",
+                        g.name, h.via
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Receivers that the fn visibly pre-sizes: every ident appearing in a
+/// statement that also mentions `with_capacity` or `reserve`.
+fn capacity_receivers(f: &AnalyzedFile, start: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in start..end {
+        if f.sig_kind(i) != Some(TokenKind::Ident)
+            || !matches!(f.sig_text(i), "with_capacity" | "reserve")
+        {
+            continue;
+        }
+        let boundary = |t: &str| matches!(t, ";" | "{" | "}");
+        let lo = (start..i)
+            .rev()
+            .find(|&j| boundary(f.sig_text(j)))
+            .map_or(start, |j| j + 1);
+        let hi = (i..end).find(|&j| boundary(f.sig_text(j))).unwrap_or(end);
+        for j in lo..hi {
+            if f.sig_kind(j) == Some(TokenKind::Ident) {
+                let t = f.sig_text(j).to_owned();
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `true` for `name()` / `name::<T>()` — a call with an empty argument
+/// list, turbofish tolerated.
+fn no_arg_call_after(f: &AnalyzedFile, i: usize) -> bool {
+    let mut j = i + 1;
+    if f.sig_text(j) == ":" && f.sig_text(j + 1) == ":" && f.sig_text(j + 2) == "<" {
+        let mut depth = 0i64;
+        let mut k = j + 2;
+        while k < f.sig.len() {
+            match f.sig_text(k) {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        j = k + 1;
+    }
+    f.sig_text(j) == "(" && f.sig_text(j + 1) == ")"
+}
+
+/// The path segment before ident `i`, if `i` is preceded by `Qual::`.
+fn path_qualifier(f: &AnalyzedFile, i: usize) -> Option<String> {
+    if i >= 3 && f.sig_text(i - 1) == ":" && f.sig_text(i - 2) == ":" {
+        let q = f.sig_tok(i - 3)?;
+        if matches!(q.kind, TokenKind::Ident | TokenKind::RawIdent) {
+            return Some(q.text(&f.src).to_owned());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{apply_waivers, collect_waivers, raw_diagnostics, AnalyzedFile, Mode};
+    use super::{parse_registry, ConfEntry};
+
+    // A path no hot_entries.conf line names, so fixture runs see marker
+    // entries only (registry entries check against their own files).
+    const KERNEL: &str = "crates/core/src/kernel_fixture.rs";
+
+    /// Full perf-mode pipeline (marker-based entries; no registry).
+    fn perf(path: &str, src: &str) -> Vec<super::super::Diagnostic> {
+        let f = AnalyzedFile::build(path, src);
+        let waivers = collect_waivers(&f);
+        let files = [f];
+        let raw = raw_diagnostics(&files, Mode::Perf);
+        apply_waivers(raw, &waivers).0
+    }
+
+    #[test]
+    fn registry_parses_and_files_exist_in_tree() {
+        let reg = parse_registry();
+        assert!(reg.len() >= 8, "registry lost entries: {reg:?}");
+        let root = super::super::workspace_root().expect("workspace root");
+        for e in &reg {
+            assert!(
+                root.join(&e.file).is_file(),
+                "hot_entries.conf names a missing file: {}",
+                e.file
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_in_hot_loop_flags_with_file_line_and_rank() {
+        let src = "\
+// xtask: hot
+fn kernel(xs: &[u64]) {
+    for x in xs {
+        let v = Vec::new();
+        use_it(v, x);
+    }
+}
+";
+        let diags = perf(KERNEL, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "hot-path-alloc");
+        assert_eq!(diags[0].file, KERNEL);
+        assert_eq!(diags[0].line, 4);
+        assert_eq!(diags[0].rank, 1);
+    }
+
+    #[test]
+    fn depth_propagates_through_the_call_graph_and_ranks_deepest_first() {
+        // helper() is called from inside a double loop, so its single-loop
+        // allocation ranks at effective depth 3; the caller's own depth-1
+        // allocation ranks 1 and sorts after it.
+        let src = "\
+// xtask: hot
+fn kernel(xs: &[u64]) {
+    for x in xs {
+        let v = vec![0; 4];
+        for y in xs {
+            helper(x, y);
+        }
+    }
+}
+fn helper(a: &u64, b: &u64) {
+    for _ in 0..4 {
+        let s = format!(\"{a}{b}\");
+        drop(s);
+    }
+}
+";
+        let diags = perf(KERNEL, src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[0].rank, 3, "deepest finding first: {diags:?}");
+        assert!(diags[0].message.contains("format!"));
+        assert!(diags[0].message.contains("via `kernel`"));
+        assert_eq!(diags[1].rank, 1);
+    }
+
+    #[test]
+    fn straight_line_allocation_in_a_hot_fn_is_fine() {
+        let src = "\
+// xtask: hot
+fn kernel(xs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(xs.len());
+    out.extend(xs.iter().copied());
+    out
+}
+";
+        assert!(perf(KERNEL, src).is_empty());
+    }
+
+    #[test]
+    fn push_without_capacity_flags_but_presized_receiver_is_exempt() {
+        let src = "\
+// xtask: hot
+fn kernel(xs: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let mut sized = Vec::with_capacity(xs.len());
+    let mut unsized_v = Vec::with_capacity(0);
+    for &x in xs {
+        sized.push(x);
+        grown.push(x);
+    }
+    (sized, unsized_v)
+}
+";
+        let diags = perf(KERNEL, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`grown.push"));
+    }
+
+    #[test]
+    fn clone_collect_and_hashmap_rules_fire() {
+        let src = "\
+// xtask: hot
+fn kernel(xs: &[Thing]) {
+    let m = HashMap::new();
+    for x in xs {
+        let a = x.clone();
+        let b: Vec<u8> = x.bytes().collect();
+        sink(a, b, &m);
+    }
+}
+";
+        let rules: Vec<_> = perf(KERNEL, src)
+            .iter()
+            .map(|d| d.message.split('`').nth(1).unwrap_or_default().to_owned())
+            .collect();
+        assert!(rules.iter().any(|m| m.contains("clone")), "{rules:?}");
+        assert!(rules.iter().any(|m| m.contains("collect")), "{rules:?}");
+        assert!(rules.iter().any(|m| m.contains("HashMap")), "{rules:?}");
+    }
+
+    #[test]
+    fn waived_hit_is_suppressed_and_unmarked_code_is_never_scanned() {
+        let src = "\
+// xtask: hot
+fn kernel(xs: &[u64]) {
+    for x in xs {
+        let v = x.to_vec(); // xtask: allow(hot-path-alloc) — copy is the contract
+        drop(v);
+    }
+}
+fn cold(xs: &[u64]) -> Vec<u64> {
+    xs.iter().map(|x| x + 1).collect()
+}
+";
+        assert!(perf(KERNEL, src).is_empty());
+    }
+
+    #[test]
+    fn registry_entry_for_missing_fn_is_an_error() {
+        let f = AnalyzedFile::build(KERNEL, "fn present() {}\n");
+        let files = [f];
+        let registry = [ConfEntry {
+            file: KERNEL.to_owned(),
+            name: "vanished".to_owned(),
+            line: 7,
+        }];
+        let diags = super::check_with_registry(&files, &registry);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].file, "crates/xtask/hot_entries.conf");
+        assert_eq!(diags[0].line, 7);
+        assert!(diags[0].message.contains("vanished"));
+    }
+
+    #[test]
+    fn dangling_hot_marker_is_an_error() {
+        let src = "// xtask: hot\nconst N: usize = 4;\n\n\n\nfn far_away() {}\n";
+        let diags = perf(KERNEL, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("dangling"));
+    }
+}

@@ -93,6 +93,7 @@ pub fn check_dataflow(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
                 file: f.path.clone(),
                 line: call.line,
                 rule: "seeded-rng-dataflow",
+                rank: 0,
                 message: format!(
                     "`{}(…)` in `{}` — no explicit-seed root reaches this RNG \
                      construction (no literal/seed-named argument, no seed \

@@ -31,6 +31,7 @@ pub fn check_file(f: &AnalyzedFile) -> Vec<Diagnostic> {
             file: f.path.clone(),
             line,
             rule,
+            rank: 0,
             message: format!("`{pattern}` — {help}"),
         };
         match f.sig_text(i) {
@@ -65,6 +66,7 @@ pub fn check_file(f: &AnalyzedFile) -> Vec<Diagnostic> {
                                     file: f.path.clone(),
                                     line: f.sig_tok(j).map_or(line, |t| t.line),
                                     rule: "no-std-mutex",
+                                    rank: 0,
                                     message: format!("`{pat}` — {MUTEX_HELP}"),
                                 });
                             }

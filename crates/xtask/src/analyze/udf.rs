@@ -125,6 +125,7 @@ fn scan(f: &AnalyzedFile, start: usize, end: usize, ctx: &str, out: &mut Vec<Dia
                 file: f.path.clone(),
                 line: t.line,
                 rule: "udf-determinism",
+                rank: 0,
                 message: format!("`std::{seg}` in a {ctx} — {why}"),
             });
             continue;
@@ -134,6 +135,7 @@ fn scan(f: &AnalyzedFile, start: usize, end: usize, ctx: &str, out: &mut Vec<Dia
                 file: f.path.clone(),
                 line: t.line,
                 rule: "udf-determinism",
+                rank: 0,
                 message: format!("`{name}` in a {ctx} — {why}"),
             });
         }

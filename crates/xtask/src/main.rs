@@ -9,6 +9,11 @@
 //!   edit-compile loops.
 //! * `analyze` — everything `lint` runs plus the whole-workspace passes:
 //!   `udf-determinism`, `panic-reachability`, and `seeded-rng-dataflow`.
+//! * `perf` — the performance linter: `hot-path-alloc` (allocation,
+//!   clone, unsized-push, and hash-map findings in fns reachable from
+//!   the hot-entry registry, ranked by effective loop depth) and
+//!   `lock-discipline` (guards held across dispatch/channels/locks,
+//!   lock-order cycles).
 //! * `trace-schema` — validate a `--trace` export (Chrome JSON or JSONL)
 //!   against the telemetry exporters' documented shape; CI runs it on a
 //!   freshly produced trace.
@@ -34,13 +39,17 @@ tasks:
   lint       run the four legacy static rules over the workspace sources
   analyze    run all rules plus the UDF-determinism, panic-reachability,
              and seeded-randomness-dataflow passes
+  perf       run the performance linter: hot-path-alloc (allocations,
+             clones, unsized pushes, hash maps reachable from the hot
+             entry registry, ranked by loop depth) and lock-discipline
+             (guards held across dispatch/channels/locks, lock cycles)
   trace-schema <file>
              validate a trace written by `skymr-cli run --trace`
              (Chrome trace_event JSON, or JSONL if the file ends
              in .jsonl)
   help       show this message
 
-options (lint and analyze):
+options (lint, analyze, and perf):
   --format <text|json|github>   diagnostic output format (default: text)
   --list-stale-waivers          report `xtask: allow(...)` comments whose
                                 line no longer triggers the waived rule
@@ -53,7 +62,7 @@ fn main() -> ExitCode {
         None => ("help", &[][..]),
     };
     match task {
-        "lint" | "analyze" => {
+        "lint" | "analyze" | "perf" => {
             let opts = match Options::parse(rest) {
                 Ok(o) => o,
                 Err(msg) => {
@@ -61,10 +70,10 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            let mode = if task == "lint" {
-                Mode::Lint
-            } else {
-                Mode::Analyze
+            let mode = match task {
+                "lint" => Mode::Lint,
+                "analyze" => Mode::Analyze,
+                _ => Mode::Perf,
             };
             analyze::run(mode, &opts)
         }

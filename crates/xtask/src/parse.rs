@@ -10,14 +10,18 @@
 //!   X` → `MapTask`) so passes can scope themselves to UDF bodies;
 //! * **call sites** inside each fn body (`callee(…)`, `Qual::callee(…)`,
 //!   `.method(…)`, `macro!(…)`) for the intra-crate call graph;
+//! * **loop regions** inside each fn body (`for`/`while`/`loop` bodies as
+//!   significant-token ranges with their nesting depth), so the perf pass
+//!   can rank a call site by how deeply it sits inside loops;
 //! * **test regions** as byte ranges, tracked by token-level brace depth —
 //!   the successor to PR 1's line-based `#[cfg(test)]` heuristics.
 //!
 //! Known approximations, chosen deliberately: `#[cfg(not(test))]` is never
 //! treated as test code (any `cfg` attribute containing `not` is ignored);
-//! nested fns inside bodies are folded into the outer fn's call list; and
+//! nested fns inside bodies are folded into the outer fn's call list;
 //! macro-generated items are invisible (macros are recorded as calls, not
-//! expanded).
+//! expanded); and iterator adapters (`.map`, `.any`, …) are not loop
+//! regions — only the three loop keywords open one.
 
 use crate::lexer::{Token, TokenKind};
 
@@ -77,6 +81,37 @@ pub struct FnInfo {
     pub has_seed_param: bool,
     /// Call sites found in the body.
     pub calls: Vec<Call>,
+    /// Loop bodies found in the body, in source order.
+    pub loops: Vec<LoopRegion>,
+}
+
+impl FnInfo {
+    /// How many loop bodies enclose significant-token index `sig_idx`
+    /// (0 = straight-line code, 1 = inside one loop, …). Enclosing
+    /// regions form a nesting chain, so the innermost one's recorded
+    /// depth is exactly that count.
+    pub fn loop_depth_at(&self, sig_idx: usize) -> u32 {
+        self.loops
+            .iter()
+            .filter(|r| r.sig_start < sig_idx && sig_idx < r.sig_end)
+            .map(|r| r.depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One `for`/`while`/`loop` body inside a fn.
+#[derive(Debug, Clone)]
+pub struct LoopRegion {
+    /// Significant-token index of the body's opening `{`.
+    pub sig_start: usize,
+    /// Significant-token index one past the body's closing `}`.
+    pub sig_end: usize,
+    /// Nesting depth of this loop (outermost loop in the fn = 1).
+    pub depth: u32,
+    /// 1-based line of the loop keyword.
+    #[allow(dead_code)]
+    pub line: usize,
 }
 
 /// One call site inside a fn body.
@@ -431,6 +466,7 @@ impl<'a> Parser<'a> {
         }
         let mut body = None;
         let mut calls = Vec::new();
+        let mut loops = Vec::new();
         let mut span_end = self.peek_tok(0).map_or(self.src.len(), |t| t.end);
         if self.text(0) == "{" {
             let body_start_sig = self.pos;
@@ -439,6 +475,7 @@ impl<'a> Parser<'a> {
             body = Some((self.sig[body_start_sig], self.sig[body_end_sig - 1]));
             span_end = self.tokens[self.sig[body_end_sig - 1]].end;
             calls = self.collect_calls(body_start_sig, body_end_sig);
+            loops = self.collect_loops(body_start_sig, body_end_sig);
         } else if self.text(0) == ";" {
             span_end = self.peek_tok(0).map_or(self.src.len(), |t| t.end);
             self.bump();
@@ -455,7 +492,90 @@ impl<'a> Parser<'a> {
             is_test,
             has_seed_param,
             calls,
+            loops,
         });
+    }
+
+    /// Scans significant tokens `sig[start..end]` for `for`/`while`/`loop`
+    /// bodies, recording each as a region with its nesting depth.
+    ///
+    /// A loop body is the first `{` after the keyword at paren/bracket
+    /// depth 0 — the same approximation rustc's grammar encourages, since
+    /// conditions cannot contain bare block expressions. `for<'a>`
+    /// higher-ranked bounds are excluded (the keyword is followed by `<`).
+    fn collect_loops(&self, start: usize, end: usize) -> Vec<LoopRegion> {
+        let mut out: Vec<LoopRegion> = Vec::new();
+        // Ends of the loop regions currently enclosing the cursor.
+        let mut active: Vec<usize> = Vec::new();
+        for i in start..end {
+            while active.last().is_some_and(|&e| i >= e) {
+                active.pop();
+            }
+            let t = &self.tokens[self.sig[i]];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let kw = t.text(self.src);
+            if !matches!(kw, "for" | "while" | "loop") {
+                continue;
+            }
+            // `.await`-style field position or HRTB `for<'a>`: not loops.
+            let prev_is_dot = i > start && self.tokens[self.sig[i - 1]].text(self.src) == ".";
+            let next_is_lt = self
+                .sig
+                .get(i + 1)
+                .is_some_and(|&j| self.tokens[j].text(self.src) == "<");
+            if prev_is_dot || (kw == "for" && next_is_lt) {
+                continue;
+            }
+            let Some(open) = self.loop_body_open(i + 1, end) else {
+                continue;
+            };
+            let close = self.balanced_close(open, end);
+            out.push(LoopRegion {
+                sig_start: open,
+                sig_end: close,
+                depth: u32::try_from(active.len()).unwrap_or(u32::MAX - 1) + 1,
+                line: t.line,
+            });
+            active.push(close);
+        }
+        out
+    }
+
+    /// The significant index of the first `{` at paren/bracket depth 0 in
+    /// `sig[from..end]`, i.e. a loop's body brace; `None` if a `;` ends the
+    /// statement first.
+    fn loop_body_open(&self, from: usize, end: usize) -> Option<usize> {
+        let mut grouping = 0i64;
+        for j in from..end {
+            match self.tokens[self.sig[j]].text(self.src) {
+                "(" | "[" => grouping += 1,
+                ")" | "]" => grouping -= 1,
+                "{" if grouping == 0 => return Some(j),
+                ";" if grouping <= 0 => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Significant index one past the `}` matching the `{` at `open`.
+    fn balanced_close(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i64;
+        for j in open..end {
+            match self.tokens[self.sig[j]].text(self.src) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        end
     }
 
     /// Scans significant tokens `sig[start..end]` for call sites.
@@ -669,5 +789,159 @@ mod outer {
         let m = model(src);
         assert!(m.fns.iter().any(|f| f.name == "cf"));
         assert!(m.fns.iter().any(|f| f.name == "after"));
+    }
+
+    #[test]
+    fn loop_regions_and_nesting_depth() {
+        let src = "\
+fn kernel(xs: &[u32]) {
+    setup();
+    'outer: for x in xs {
+        one(x);
+        while cond(x) {
+            two(x);
+            loop { three(); break 'outer; }
+        }
+    }
+    teardown();
+}
+";
+        let m = model(src);
+        let f = &m.fns[0];
+        assert_eq!(f.loops.len(), 3);
+        assert_eq!(
+            f.loops.iter().map(|r| r.depth).collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+        let at = |name: &str| {
+            f.calls
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("call {name}"))
+                .sig_idx
+        };
+        assert_eq!(f.loop_depth_at(at("setup")), 0);
+        assert_eq!(f.loop_depth_at(at("one")), 1);
+        assert_eq!(f.loop_depth_at(at("two")), 2);
+        assert_eq!(f.loop_depth_at(at("three")), 3);
+        assert_eq!(f.loop_depth_at(at("teardown")), 0);
+    }
+
+    #[test]
+    fn loop_conditions_with_closure_braces_and_hrtb_do_not_open_regions() {
+        let src = "\
+fn f(v: &[u32]) {
+    while v.iter().any(|x| { pred(x) }) {
+        body(v);
+    }
+    let g: Box<dyn for<'a> Fn(&'a u32)> = mk();
+    for (i, x) in v.iter().enumerate() {
+        use_it(i, x);
+    }
+}
+";
+        let m = model(src);
+        let f = &m.fns[0];
+        // Exactly two loop regions: the `while` body and the `for` body —
+        // neither the closure braces in the condition nor the HRTB `for`.
+        assert_eq!(f.loops.len(), 2);
+        assert!(f.loops.iter().all(|r| r.depth == 1));
+        let at = |name: &str| {
+            f.calls
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("call {name}"))
+                .sig_idx
+        };
+        assert_eq!(f.loop_depth_at(at("body")), 1);
+        assert_eq!(f.loop_depth_at(at("use_it")), 1);
+        assert_eq!(f.loop_depth_at(at("mk")), 0);
+    }
+
+    #[test]
+    fn plain_blocks_do_not_count_as_loop_depth() {
+        let src = "fn f() { { inner(); } for x in v { { deep(x); } } }";
+        let m = model(src);
+        let f = &m.fns[0];
+        assert_eq!(f.loops.len(), 1);
+        let at = |name: &str| {
+            f.calls
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("call {name}"))
+                .sig_idx
+        };
+        assert_eq!(f.loop_depth_at(at("inner")), 0);
+        assert_eq!(f.loop_depth_at(at("deep")), 1);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(192))]
+
+        /// Round-trip: emit a fn body from nesting opcodes, recording the
+        /// loop depth at which each probe call is written; the parsed
+        /// model must report the same depth for every probe.
+        #[test]
+        fn loop_depth_round_trips_on_generated_nesting(
+            ops in proptest::collection::vec(0u8..6, 0..64),
+        ) {
+            let mut src = String::from("fn soup(xs: &[u32]) {\n");
+            let mut depth = 0u32;
+            let mut open = Vec::new(); // true = loop region, false = block
+            let mut expected = Vec::new();
+            for (n, op) in ops.iter().enumerate() {
+                match op {
+                    0 => {
+                        src.push_str("for i in xs {\n");
+                        open.push(true);
+                        depth += 1;
+                    }
+                    1 => {
+                        src.push_str("while go() {\n");
+                        open.push(true);
+                        depth += 1;
+                    }
+                    2 => {
+                        src.push_str("loop {\n");
+                        open.push(true);
+                        depth += 1;
+                    }
+                    3 => {
+                        src.push_str("{\n");
+                        open.push(false);
+                    }
+                    4 => {
+                        if let Some(was_loop) = open.pop() {
+                            src.push_str("}\n");
+                            if was_loop {
+                                depth -= 1;
+                            }
+                        }
+                    }
+                    _ => {
+                        src.push_str(&format!("probe_{n}(x);\n"));
+                        expected.push((format!("probe_{n}"), depth));
+                    }
+                }
+            }
+            while open.pop().is_some() {
+                src.push_str("}\n");
+            }
+            src.push_str("}\n");
+            let m = model(&src);
+            let f = &m.fns[0];
+            for (name, want) in &expected {
+                let call = f
+                    .calls
+                    .iter()
+                    .find(|c| &c.name == name)
+                    .expect("probe call parsed");
+                assert_eq!(
+                    f.loop_depth_at(call.sig_idx),
+                    *want,
+                    "probe {name} in:\n{src}"
+                );
+            }
+        }
     }
 }

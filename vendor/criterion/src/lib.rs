@@ -5,14 +5,38 @@
 //! over a small fixed number of iterations; the mean per-iteration time is
 //! printed. No statistics, baselines, or HTML reports — run the real
 //! criterion in a connected environment for publishable numbers.
+//!
+//! On top of the printed lines, every completed benchmark is recorded in a
+//! process-global registry ([`take_measurements`]) so harness-free bench
+//! binaries can export machine-readable results (the repo's
+//! `BENCH_dominance.json` baseline is produced this way).
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export so `criterion::black_box` callers keep working.
 pub use std::hint::black_box;
 
 const MEASURE_ITERS: u64 = 20;
+
+/// One completed benchmark: label plus mean per-iteration time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Full benchmark label (`group/function/parameter`).
+    pub label: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed iterations behind the mean.
+    pub iters: u64,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drains and returns every measurement recorded so far, in run order.
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut MEASUREMENTS.lock().expect("measurement registry poisoned"))
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -162,6 +186,13 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
         "bench {label:<50} {per_iter:>12.2?}/iter ({} iters)",
         bencher.iters
     );
+    if let Ok(mut all) = MEASUREMENTS.lock() {
+        all.push(Measurement {
+            label: label.to_owned(),
+            mean_ns: per_iter.as_nanos() as f64,
+            iters: bencher.iters,
+        });
+    }
 }
 
 /// Collects benchmark functions into a runnable group.
