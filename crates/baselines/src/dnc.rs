@@ -63,14 +63,14 @@ fn skyline_rec(tuples: &mut Vec<Tuple>, dim: usize, depth: usize) -> Vec<Tuple> 
     if tuples.len() <= BASE_CASE || depth >= 2 * dim {
         return bnl_base(tuples);
     }
-    let split_dim = depth % dim;
+    let split_dim = depth % dim; // xtask: allow(panic-reachability) — dim == 0 takes the depth >= 2*dim base case above
+
     // Median split by the current dimension (ties broken by id so the
     // split is deterministic and both halves are strictly smaller).
     let mid = tuples.len() / 2;
     tuples.select_nth_unstable_by(mid, |a, b| {
         a.values[split_dim]
-            .partial_cmp(&b.values[split_dim])
-            .expect("values are not NaN")
+            .total_cmp(&b.values[split_dim])
             .then(a.id.cmp(&b.id))
     });
     let mut upper: Vec<Tuple> = tuples.split_off(mid);

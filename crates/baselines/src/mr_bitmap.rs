@@ -84,7 +84,7 @@ impl DimSlices {
     /// phase-2 tuple went through phase 1, so this indicates corruption).
     pub fn rank_of(&self, v: f64) -> usize {
         self.values
-            .binary_search_by(|probe| probe.partial_cmp(&v).expect("values are not NaN"))
+            .binary_search_by(|probe| probe.total_cmp(&v))
             .expect("value seen in phase 2 but not in phase 1")
     }
 }
@@ -185,7 +185,7 @@ impl ReduceTask for SliceReduceTask {
         out: &mut OutputCollector<(u32, DimSlices)>,
     ) {
         let mut distinct: Vec<f64> = values.iter().map(|&(_, v)| v).collect();
-        distinct.sort_by(|a, b| a.partial_cmp(b).expect("values are not NaN"));
+        distinct.sort_by(f64::total_cmp);
         distinct.dedup();
         // One bitmap per rank: tuples with value rank <= r.
         let mut le: Vec<BitGrid> = (0..distinct.len())
@@ -193,7 +193,7 @@ impl ReduceTask for SliceReduceTask {
             .collect();
         for &(index, v) in &values {
             let r = distinct
-                .binary_search_by(|probe| probe.partial_cmp(&v).expect("values are not NaN"))
+                .binary_search_by(|probe| probe.total_cmp(&v))
                 .expect("distinct list covers all values");
             le[r].set(index as usize);
         }
@@ -298,7 +298,7 @@ pub fn mr_bitmap(dataset: &Dataset, config: &BaselineConfig) -> skymr_common::Re
     let splits: Vec<Vec<(u32, Tuple)>> = {
         let mut s: Vec<Vec<(u32, Tuple)>> = (0..config.mappers).map(|_| Vec::new()).collect();
         for (i, item) in indexed.into_iter().enumerate() {
-            s[i % config.mappers].push(item);
+            s[i % config.mappers].push(item); // xtask: allow(panic-reachability) — mappers > 0 validated by JobConfig; i % mappers < s.len()
         }
         s
     };

@@ -36,8 +36,7 @@ pub fn sfs_skyline(tuples: &[Tuple], order: SfsOrder) -> Vec<Tuple> {
     sorted.sort_by(|a, b| {
         order
             .score(a)
-            .partial_cmp(&order.score(b))
-            .expect("scores are finite on valid data")
+            .total_cmp(&order.score(b))
             .then(a.id.cmp(&b.id))
     });
     let mut window: Vec<Tuple> = Vec::new();

@@ -1,16 +1,21 @@
 //! Dominance-kernel micro-benchmark with a machine-readable baseline.
 //!
-//! Times the two `skymr_common::dominance` primitives and the BNL
-//! local-skyline kernel — the paper's §6 cost-model bottleneck — on
-//! correlated, independent, and anti-correlated data, then writes the
-//! per-distribution means to `BENCH_dominance.json` at the repo root. CI
-//! smoke-runs this bench and checks the document parses, so the perf arc
-//! started by `cargo xtask perf` has a committed timing baseline to
-//! compare against.
+//! Times the two `skymr_common::dominance` primitives, the BNL
+//! local-skyline kernel — the paper's §6 cost-model bottleneck — and the
+//! grid/bitstring assignment kernels (§4's per-tuple partition mapping
+//! and the `BitGrid` merge the MR-GPMRS reducers hammer) on correlated,
+//! independent, and anti-correlated data, then writes the
+//! per-distribution means to `BENCH_dominance.json` at the repo root
+//! (override the destination with `SKYMR_BENCH_OUT`, which
+//! `cargo xtask bench-gate` uses for its sample runs). CI smoke-runs
+//! this bench and checks the document parses, and `bench-gate` compares
+//! fresh medians against the committed baseline.
 
 use criterion::{black_box, BenchmarkId, Criterion};
+use skymr::grid::Grid;
 use skymr::local::{local_skyline, CmpStats, LocalAlgo};
 use skymr_bench::{render_kernel_bench_json, KernelTiming};
+use skymr_common::bitgrid::BitGrid;
 use skymr_common::dominance::{compare, dominates};
 use skymr_datagen::{generate, Distribution};
 
@@ -19,6 +24,11 @@ use skymr_datagen::{generate, Distribution};
 const KERNEL_TUPLES: usize = 2_000;
 const DIM: usize = 4;
 const SEED: u64 = 41;
+
+/// Partitions per dimension for the grid-assignment kernels — the
+/// midpoint of the paper's recommended 2‥6 range, giving `4⁴ = 256`
+/// partitions at `DIM = 4`.
+const PPD: usize = 4;
 
 const DISTRIBUTIONS: [(Distribution, &str); 3] = [
     (Distribution::Correlated, "correlated"),
@@ -52,7 +62,52 @@ fn bench_kernels(c: &mut Criterion) {
                 });
             },
         );
+        // The MR-GPMRS map side: every tuple maps to its grid partition
+        // (the paper's §4 bitstring-generation inner loop).
+        let grid = Grid::new(DIM, PPD).expect("valid grid");
+        group.bench_with_input(BenchmarkId::new("grid_assign", label), &dist, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0usize;
+                for t in ds.tuples() {
+                    acc ^= grid.partition_of(black_box(t));
+                }
+                acc
+            });
+        });
+        // The reduce side of the same loop: fold the per-tuple partition
+        // hits into a `BitGrid` bitstring.
+        group.bench_with_input(
+            BenchmarkId::new("bitgrid_assign", label),
+            &dist,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut bits = BitGrid::zeros(grid.num_partitions());
+                    for t in ds.tuples() {
+                        bits.set(grid.partition_of(black_box(t)));
+                    }
+                    bits.count_ones()
+                });
+            },
+        );
     }
+    // The bitstring merge the MR-GPMRS reducers hammer: OR-fold of
+    // per-mapper bitstrings. Data-independent, so a single series.
+    let words = Grid::new(DIM, PPD).expect("valid grid").num_partitions();
+    let mut lhs = BitGrid::zeros(words);
+    let mut rhs = BitGrid::zeros(words);
+    for i in (0..words).step_by(3) {
+        lhs.set(i);
+    }
+    for i in (0..words).step_by(5) {
+        rhs.set(i);
+    }
+    group.bench_function("bitgrid_or_assign/merge", |bench| {
+        bench.iter(|| {
+            let mut acc = black_box(&lhs).clone();
+            acc.or_assign(black_box(&rhs));
+            acc.count_ones()
+        });
+    });
     group.finish();
 }
 
@@ -68,8 +123,12 @@ fn main() {
             iters: m.iters,
         })
         .collect();
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dominance.json");
-    std::fs::write(path, render_kernel_bench_json("dominance", &rows))
-        .expect("write BENCH_dominance.json at the repo root");
+    // `cargo xtask bench-gate` points each sample run at a scratch file;
+    // a plain `cargo bench` refreshes the committed baseline in place.
+    let path = std::env::var("SKYMR_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dominance.json").to_owned()
+    });
+    std::fs::write(&path, render_kernel_bench_json("dominance", &rows))
+        .expect("write the kernel bench export");
     println!("wrote {path} ({} results)", rows.len());
 }

@@ -83,7 +83,7 @@ fn pick(alive: &[usize], hash: u64) -> usize {
     if alive.is_empty() {
         return 0;
     }
-    let i = (hash % alive.len() as u64) as usize; // xtask: allow(panic-reachability) — guarded by the is_empty early return above
+    let i = (hash % alive.len() as u64) as usize; // invariant: guarded by the is_empty early return above
     alive[i]
 }
 

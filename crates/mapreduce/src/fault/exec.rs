@@ -132,7 +132,7 @@ pub fn run_attempts<T>(
         } else {
             Inject::None
         };
-        let started = Instant::now();
+        let started = Instant::now(); // xtask: allow(clock-discipline) — attempt host duration feeds winner_duration reporting only; retry/speculation decisions run on injected fault plans, not wall time
         let outcome = catch_attempt(|| run(attempt, inject));
         let duration = started.elapsed();
         match outcome {

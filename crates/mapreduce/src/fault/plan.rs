@@ -511,7 +511,7 @@ fn derive_task_fault(seeded: &SeededFaults, job: &str, kind: TaskKind, index: us
     let (_, straggle_draw) = next(h);
     let failures = if permille(fail_draw) < p.task_fault_permille {
         let span = u64::from(p.max_failures_per_task.max(1));
-        1 + (count_draw % span) as u32 // xtask: allow(panic-reachability) — span is clamped to >= 1 above
+        1 + (count_draw % span) as u32 // invariant: span is clamped to >= 1 above
     } else {
         0
     };

@@ -378,7 +378,7 @@ where
     C: Combiner<K, V>,
 {
     assert!(config.num_reducers > 0, "a job needs at least one reducer");
-    let started = Instant::now();
+    let started = Instant::now(); // xtask: allow(clock-discipline) — feeds only metrics.host_wall (advisory); sim_runtime is derived from the cluster cost model
     let counters = Counters::new();
     let m = splits.len();
     let r = config.num_reducers;

@@ -17,7 +17,7 @@ impl<K: Hash> Partitioner<K> for HashPartitioner {
     fn partition(&self, key: &K, num_reducers: usize) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        (h.finish() % num_reducers as u64) as usize // xtask: allow(panic-reachability) — run_job asserts num_reducers > 0 before any partition call
+        (h.finish() % num_reducers as u64) as usize // invariant: run_job asserts num_reducers > 0 before any partition call
     }
 }
 

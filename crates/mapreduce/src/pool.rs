@@ -54,7 +54,7 @@ where
                 if i >= num_tasks {
                     break;
                 }
-                let started = Instant::now();
+                let started = Instant::now(); // xtask: allow(clock-discipline) — per-task host duration lands in the worker's result slot as an advisory metric; sim time comes from the cost model
                 match catch_unwind(AssertUnwindSafe(|| run(i))) {
                     Ok(value) => {
                         let elapsed = started.elapsed();

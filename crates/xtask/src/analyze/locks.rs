@@ -24,8 +24,9 @@
 //! running under the guard (conservative: the pool invokes its closures
 //! synchronously on worker threads it joins).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+use super::resolve::Workspace;
 use super::{AnalyzedFile, Diagnostic};
 use crate::lexer::TokenKind;
 
@@ -37,18 +38,106 @@ const CHANNEL_CALLS: &[&str] = &["send", "recv"];
 
 /// The whole-workspace pass: per-fn guard regions plus a global
 /// lock-order graph.
-pub fn check(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
+///
+/// The lock-order graph is **interprocedural**: when a call inside a
+/// guard's live region resolves (via the workspace symbol graph) to a fn
+/// that itself acquires locks — directly or transitively — those
+/// acquisitions become `held → acquired` edges too, so an A→B / B→A
+/// cycle split across helper fns is still caught. A callee that
+/// re-acquires the *same* lock name on the *same* self type while the
+/// guard is live is reported directly: that is the
+/// `self.inner.lock()` → `self.other_method()` → `self.inner.lock()`
+/// non-reentrant deadlock shape.
+pub fn check(ws: &Workspace<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     // Edge (held, acquired) → first site seen, in deterministic file order.
     let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
-    for f in files {
-        for g in &f.model.fns {
-            if g.is_test {
-                continue;
+
+    // Per-node guard acquisitions and body ranges.
+    let n = ws.nodes.len();
+    let mut acqs: Vec<Vec<Acquisition>> = Vec::with_capacity(n);
+    let mut ranges: Vec<Option<(usize, usize)>> = Vec::with_capacity(n);
+    for id in 0..n {
+        let f = ws.file_of(id);
+        let g = ws.fn_info(id);
+        match g.body {
+            Some(body) if !g.is_test => {
+                let (start, end) = f.sig_range(body);
+                acqs.push(collect_acquisitions(f, start, end));
+                ranges.push(Some((start, end)));
             }
-            let Some(body) = g.body else { continue };
-            let (start, end) = f.sig_range(body);
-            scan_fn(f, start, end, &mut out, &mut edges);
+            _ => {
+                acqs.push(Vec::new());
+                ranges.push(None);
+            }
+        }
+    }
+
+    // Transitive lock-name sets: what each fn may acquire, including
+    // through its resolved callees (fixpoint; the graph is small).
+    let mut trans: Vec<BTreeSet<String>> = acqs
+        .iter()
+        .map(|a| a.iter().map(|x| x.name.clone()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            for &(_, t) in ws.callees(id) {
+                let add: Vec<String> = trans[t]
+                    .iter()
+                    .filter(|l| !trans[id].contains(*l))
+                    .cloned()
+                    .collect();
+                if !add.is_empty() {
+                    trans[id].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for id in 0..n {
+        if ranges[id].is_none() {
+            continue;
+        }
+        let f = ws.file_of(id);
+        scan_events(f, &acqs[id], &mut out, &mut edges);
+
+        // Interprocedural edges: resolved calls inside a live region.
+        let g = ws.fn_info(id);
+        for a in &acqs[id] {
+            for &(ci, t) in ws.callees(id) {
+                let call = &g.calls[ci];
+                if call.sig_idx <= a.at + 2 || call.sig_idx >= a.until {
+                    continue;
+                }
+                for lock in &trans[t] {
+                    if *lock == a.name {
+                        let same_ty = ws.self_ty(id).is_some() && ws.self_ty(id) == ws.self_ty(t);
+                        if same_ty {
+                            out.push(Diagnostic {
+                                file: f.path.clone(),
+                                line: call.line,
+                                rule: RULE,
+                                rank: 0,
+                                message: format!(
+                                    "`{}(…)` re-acquires `{}` while this fn's own guard \
+                                     on it is live — parking_lot locks are \
+                                     non-reentrant, this deadlocks",
+                                    call.name, a.name
+                                ),
+                            });
+                        }
+                    } else {
+                        edges
+                            .entry((a.name.clone(), lock.clone()))
+                            .or_insert_with(|| (f.path.clone(), call.line));
+                    }
+                }
+            }
         }
     }
     report_cycles(&edges, &mut out);
@@ -65,14 +154,8 @@ struct Acquisition {
     until: usize,
 }
 
-fn scan_fn(
-    f: &AnalyzedFile,
-    start: usize,
-    end: usize,
-    out: &mut Vec<Diagnostic>,
-    edges: &mut BTreeMap<(String, String), (String, usize)>,
-) {
-    // Collect acquisitions first, then look for events in each region.
+/// Finds every guard acquisition in one fn body, with its live region.
+fn collect_acquisitions(f: &AnalyzedFile, start: usize, end: usize) -> Vec<Acquisition> {
     let mut acqs: Vec<Acquisition> = Vec::new();
     for i in start..end {
         if f.sig_kind(i) != Some(TokenKind::Ident)
@@ -95,8 +178,18 @@ fn scan_fn(
         };
         acqs.push(Acquisition { name, at: i, until });
     }
+    acqs
+}
 
-    for a in &acqs {
+/// Reports intra-fn events inside each guard's live region: re-acquires,
+/// nested acquisitions (as lock-order edges), pool dispatch, channel ops.
+fn scan_events(
+    f: &AnalyzedFile,
+    acqs: &[Acquisition],
+    out: &mut Vec<Diagnostic>,
+    edges: &mut BTreeMap<(String, String), (String, usize)>,
+) {
+    for a in acqs {
         let line_of = |j: usize| f.sig_tok(j).map_or(0, |t| t.line);
         let diag = |j: usize, message: String| Diagnostic {
             file: f.path.clone(),

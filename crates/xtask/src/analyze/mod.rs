@@ -24,6 +24,10 @@
 //! * [`locks`] — `lock-discipline` (`cargo xtask perf`): parking_lot
 //!   guards held across pool dispatch, channel ops, or other lock
 //!   acquisitions, plus lock-order cycle detection.
+//! * [`flow`] — `clock-discipline`, `ambient-io`, `float-ord`
+//!   (`cargo xtask flow`): taint-style dataflow rules on the resolved
+//!   graph — wall-clock values must stay advisory, UDF-reachable code
+//!   must not do ambient I/O, and float comparators must be total.
 //!
 //! A diagnostic can be waived for one audited line with a trailing
 //! `// xtask: allow(<rule>)` comment (several rules comma-separated).
@@ -31,9 +35,11 @@
 //! --list-stale-waivers` reports waivers whose line no longer triggers
 //! the waived rule, so audited exceptions cannot rot silently.
 
+pub mod flow;
 pub mod locks;
 pub mod panics;
 pub mod perf;
+pub mod resolve;
 pub mod rng;
 pub mod rules;
 pub mod udf;
@@ -295,6 +301,9 @@ pub enum Mode {
     /// The performance linter: `hot-path-alloc` and `lock-discipline`
     /// (`cargo xtask perf`).
     Perf,
+    /// The dataflow linter: `clock-discipline`, `ambient-io`, and
+    /// `float-ord` (`cargo xtask flow`).
+    Flow,
 }
 
 /// Runs the selected passes over `files`, returning raw (pre-waiver)
@@ -302,6 +311,8 @@ pub enum Mode {
 /// Non-perf rules all rank 0, so lint/analyze ordering is unchanged.
 pub fn raw_diagnostics(files: &[AnalyzedFile], mode: Mode) -> Vec<Diagnostic> {
     let mut out = Vec::new();
+    // One resolved symbol graph, shared by every graph pass of the mode.
+    let ws = resolve::Workspace::build(files);
     match mode {
         Mode::Lint | Mode::Analyze => {
             for f in files {
@@ -312,13 +323,16 @@ pub fn raw_diagnostics(files: &[AnalyzedFile], mode: Mode) -> Vec<Diagnostic> {
                 }
             }
             if mode == Mode::Analyze {
-                out.extend(panics::check_reachability(files));
-                out.extend(rng::check_dataflow(files));
+                out.extend(panics::check_reachability(&ws));
+                out.extend(rng::check_dataflow(&ws));
             }
         }
         Mode::Perf => {
-            out.extend(perf::check(files));
-            out.extend(locks::check(files));
+            out.extend(perf::check(&ws));
+            out.extend(locks::check(&ws));
+        }
+        Mode::Flow => {
+            out.extend(flow::check(&ws));
         }
     }
     out.sort_by(|a, b| {
@@ -364,7 +378,7 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-fn workspace_root() -> Option<PathBuf> {
+pub(crate) fn workspace_root() -> Option<PathBuf> {
     // crates/xtask -> crates -> workspace root.
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()?
@@ -504,6 +518,7 @@ pub fn run(mode: Mode, opts: &Options) -> ExitCode {
         Mode::Lint => "lint",
         Mode::Analyze => "analyze",
         Mode::Perf => "perf",
+        Mode::Flow => "flow",
     };
     let waivers: Vec<Waiver> = files.iter().flat_map(collect_waivers).collect();
 
@@ -513,6 +528,7 @@ pub fn run(mode: Mode, opts: &Options) -> ExitCode {
         // runs fewer passes.
         let mut raw = raw_diagnostics(&files, Mode::Analyze);
         raw.extend(raw_diagnostics(&files, Mode::Perf));
+        raw.extend(raw_diagnostics(&files, Mode::Flow));
         let stale = stale_waivers(&waivers, &raw);
         for w in &stale {
             println!(
@@ -641,6 +657,7 @@ mod tests {
         // Staleness is judged against the full rule set, like the CLI.
         let mut full = raw;
         full.extend(raw_diagnostics(&files, Mode::Perf));
+        full.extend(raw_diagnostics(&files, Mode::Flow));
         let stale = stale_waivers(&waivers, &full);
         assert!(stale.is_empty(), "stale waivers in tree: {stale:?}");
     }

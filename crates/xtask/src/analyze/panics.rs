@@ -9,7 +9,7 @@
 //!   comments, strings, and test regions can never confuse it.
 //! * **`panic-reachability`** (new): in functions reachable from a UDF
 //!   entry point (mapper/reducer/combiner/factory impls, `run_job*`)
-//!   through the intra-crate call graph, flag the other panic edges the
+//!   through the resolved workspace call graph, flag the other panic edges the
 //!   unwrap ban does not cover — indexing/slicing with a *computed*
 //!   index and division/remainder by a runtime value. A shuffle panic
 //!   takes down a simulated task mid-job, which the failure machinery
@@ -25,9 +25,8 @@
 //! (`v[a..b]`). Division is flagged only for an identifier divisor —
 //! literal divisors cannot be zero.
 
-use std::collections::BTreeMap;
-
-use super::{in_engine_crates, AnalyzedFile, Diagnostic, UDF_TRAITS};
+use super::resolve::{is_harness_path, Workspace};
+use super::{in_engine_crates, AnalyzedFile, Diagnostic};
 use crate::lexer::TokenKind;
 
 const UNWRAP_FAMILY: &[&str] = &[
@@ -71,64 +70,52 @@ pub fn check_unwrap_family(f: &AnalyzedFile) -> Vec<Diagnostic> {
 }
 
 /// The `panic-reachability` pass over the whole workspace.
-pub fn check_reachability(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
-    // Engine fns, flattened to ids. BTreeMap keeps diagnostics in a
-    // deterministic order regardless of discovery order.
-    let mut fns: Vec<(usize, usize)> = Vec::new(); // (file idx, fn idx)
-    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    for (fi, f) in files.iter().enumerate() {
-        if !in_engine_crates(&f.path) {
+///
+/// Roots are engine-crate UDF impls and the job drivers; reachability
+/// then follows the resolved graph wherever it leads — including into
+/// `skymr_common` helpers the engine calls through `use` imports, which
+/// the old intra-crate name graph could not see. Harness files (tests,
+/// benches, examples) are never scanned: a panic there fails a test run,
+/// not a simulated job.
+pub fn check_reachability(ws: &Workspace<'_>) -> Vec<Diagnostic> {
+    // Roots: UDF trait impls and the job drivers, in engine crates.
+    let mut reachable = vec![false; ws.nodes.len()];
+    let mut work: Vec<usize> = Vec::new();
+    for (id, seed) in reachable.iter_mut().enumerate() {
+        let g = ws.fn_info(id);
+        if g.is_test || g.body.is_none() || !in_engine_crates(&ws.file_of(id).path) {
             continue;
         }
-        for (gi, g) in f.model.fns.iter().enumerate() {
-            if g.is_test || g.body.is_none() {
-                continue;
-            }
-            by_name.entry(g.name.as_str()).or_default().push(fns.len());
-            fns.push((fi, gi));
-        }
-    }
-
-    // Roots: UDF trait impls and the job drivers.
-    let mut reachable = vec![false; fns.len()];
-    let mut work: Vec<usize> = Vec::new();
-    for (id, &(fi, gi)) in fns.iter().enumerate() {
-        let f = &files[fi];
-        let g = &f.model.fns[gi];
-        let is_udf_impl = g
-            .impl_idx
-            .and_then(|ii| f.model.impls[ii].trait_name.as_deref())
-            .is_some_and(|t| UDF_TRAITS.contains(&t));
-        if is_udf_impl || g.name == "run_job" || g.name == "run_job_with_combiner" {
-            reachable[id] = true;
+        if ws.is_udf_impl(id) || g.name == "run_job" || g.name == "run_job_with_combiner" {
+            *seed = true;
             work.push(id);
         }
     }
-    // BFS over the name-based call graph.
+    // BFS over the resolved call graph (macro "calls" produce no edges,
+    // so `assert!` can never match a fn named `assert`).
     while let Some(id) = work.pop() {
-        let (fi, gi) = fns[id];
-        for call in &files[fi].model.fns[gi].calls {
-            if call.is_macro {
-                continue; // `assert!` must not match a fn named `assert`
+        for &(_, t) in ws.callees(id) {
+            let g = ws.fn_info(t);
+            if g.is_test || g.body.is_none() {
+                continue;
             }
-            if let Some(targets) = by_name.get(call.name.as_str()) {
-                for &t in targets {
-                    if !reachable[t] {
-                        reachable[t] = true;
-                        work.push(t);
-                    }
-                }
+            if !reachable[t] {
+                reachable[t] = true;
+                work.push(t);
             }
         }
     }
 
     let mut out = Vec::new();
-    for (id, &(fi, gi)) in fns.iter().enumerate() {
-        if !reachable[id] {
+    for (id, &hit) in reachable.iter().enumerate() {
+        if !hit {
             continue;
         }
-        let f = &files[fi];
-        let g = &f.model.fns[gi];
+        let f = ws.file_of(id);
+        if is_harness_path(&f.path) {
+            continue;
+        }
+        let g = ws.fn_info(id);
         let Some(body) = g.body else { continue };
         let (start, end) = f.sig_range(body);
         scan_body(f, start, end, &mut out);
@@ -173,6 +160,7 @@ fn scan_body(f: &AnalyzedFile, start: usize, end: usize, out: &mut Vec<Diagnosti
             && is_binary_position(f, i, start)
             && !float_context(f, i)
             && f.sig_kind(i + 1) == Some(TokenKind::Ident)
+            && !is_const_name(f.sig_text(i + 1))
         {
             out.push(Diagnostic {
                 file: f.path.clone(),
@@ -225,6 +213,18 @@ fn float_context(f: &AnalyzedFile, i: usize) -> bool {
         }
     }
     false
+}
+
+/// `true` for SCREAMING_SNAKE_CASE idents — `const` items by workspace
+/// convention. A compile-time-constant divisor (`% WORD_BITS`,
+/// `/ BYTES_PER_TICK`) cannot be a runtime zero, so dividing by one is
+/// as safe as a literal divisor.
+fn is_const_name(name: &str) -> bool {
+    name.len() > 1
+        && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
 }
 
 /// Keywords that may directly precede `[` without forming an index
@@ -458,6 +458,9 @@ impl M {{
             "let s = &v[..];",
             "let s = &v[1..];",
             "let neg = -1i64; let p = *ptr;",
+            // Const divisors (SCREAMING_CASE) cannot be a runtime zero.
+            "let w = v.len() % WORD_BITS;",
+            "let b = total / BYTES_PER_TICK;",
             // Float division saturates instead of panicking.
             "let t = v.len() as f64 / rate;",
             "let u = total / count as f64;",

@@ -26,19 +26,18 @@
 //! an entry naming a fn that no longer exists, or a marker binding to no
 //! fn, is an error, so the hot set cannot rot.
 //!
-//! Approximations, shared with the other graph passes: calls resolve by
-//! name (plus impl self-type when a `Type::` qualifier is present),
-//! closures fold into the enclosing fn, and iterator adapters are not
-//! loop regions. Effective depth is capped so recursive cycles through
-//! loops terminate. Method calls whose name collides with a std
-//! prelude/iterator method (`.map(…)`, `.len()`, `.push(…)`, …) are not
-//! traversed: on a workspace full of MapReduce UDFs literally named
-//! `map`, resolving `window.into_iter().map(…)` to every mapper would
-//! mark the whole tree hot. An impl method with such a name joins the
-//! hot set via the registry or its own `// xtask: hot` marker instead.
+//! Calls resolve through the workspace symbol graph
+//! ([`super::resolve`]): `use`-aware free-fn resolution gives the pass
+//! cross-crate reach (an allocation inside a `skymr_common` helper called
+//! from a hot `core` kernel is flagged), and receiver typing means a
+//! method edge exists only when the receiver's type is statically
+//! evident — so `window.into_iter().map(…)` resolves to nothing and can
+//! never alias a MapReduce `map` UDF, which is what used to require a
+//! std-prelude method-name denylist here. Closures still fold into the
+//! enclosing fn, iterator adapters are not loop regions, and effective
+//! depth is capped so recursive cycles through loops terminate.
 
-use std::collections::BTreeMap;
-
+use super::resolve::Workspace;
 use super::{AnalyzedFile, Diagnostic};
 use crate::lexer::TokenKind;
 
@@ -48,95 +47,6 @@ const HOT_ENTRIES_CONF: &str = include_str!("../../hot_entries.conf");
 const HOT_ENTRIES_PATH: &str = "crates/xtask/hot_entries.conf";
 /// Effective-depth cap: keeps propagation finite on recursive cycles.
 const DEPTH_CAP: u32 = 8;
-
-/// Std prelude/iterator/collection method names the call graph never
-/// traverses when they appear in method position. Name-based resolution
-/// cannot tell `window.into_iter().map(f)` from a MapReduce `map` UDF,
-/// and this workspace defines fns named `map`, `collect`, `send`, … on
-/// nearly every layer; following them would mark the whole tree hot.
-const UNTRACKED_METHODS: &[&str] = &[
-    "all",
-    "any",
-    "chain",
-    "clear",
-    "clone",
-    "cloned",
-    "cmp",
-    "collect",
-    "contains",
-    "contains_key",
-    "copied",
-    "count",
-    "drain",
-    "entry",
-    "enumerate",
-    "eq",
-    "expect",
-    "extend",
-    "filter",
-    "filter_map",
-    "find",
-    "first",
-    "flat_map",
-    "flatten",
-    "fold",
-    "for_each",
-    "get",
-    "get_mut",
-    "get_or_insert",
-    "insert",
-    "into_iter",
-    "is_empty",
-    "is_none",
-    "is_some",
-    "iter",
-    "iter_mut",
-    "join",
-    "last",
-    "len",
-    "lock",
-    "map",
-    "max",
-    "max_by",
-    "max_by_key",
-    "min",
-    "min_by",
-    "min_by_key",
-    "next",
-    "parse",
-    "partial_cmp",
-    "pop",
-    "position",
-    "push",
-    "push_str",
-    "read",
-    "recv",
-    "remove",
-    "resize",
-    "retain",
-    "rev",
-    "reverse",
-    "send",
-    "skip",
-    "sort",
-    "sort_by",
-    "sort_by_key",
-    "sort_unstable",
-    "split",
-    "sum",
-    "swap_remove",
-    "take",
-    "to_string",
-    "to_vec",
-    "truncate",
-    "unwrap",
-    "unwrap_or",
-    "unwrap_or_default",
-    "unwrap_or_else",
-    "windows",
-    "write",
-    "zip",
-];
 
 pub const RULE: &str = "hot-path-alloc";
 
@@ -172,14 +82,8 @@ pub fn parse_registry() -> Vec<ConfEntry> {
 }
 
 /// The whole-workspace pass with the embedded registry.
-pub fn check(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
-    check_with_registry(files, &parse_registry())
-}
-
-/// One fn in the flattened call graph.
-struct Node {
-    file: usize,
-    func: usize,
+pub fn check(ws: &Workspace<'_>) -> Vec<Diagnostic> {
+    check_with_registry(ws, &parse_registry())
 }
 
 /// Hot state of a node: effective loop depth at its entry, and the hot
@@ -190,32 +94,15 @@ struct Hot {
     via: String,
 }
 
-pub fn check_with_registry(files: &[AnalyzedFile], registry: &[ConfEntry]) -> Vec<Diagnostic> {
+pub fn check_with_registry(ws: &Workspace<'_>, registry: &[ConfEntry]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
+    let files = ws.files();
 
-    // Flatten every non-test bodied fn; index by name for call resolution.
-    let mut nodes: Vec<Node> = Vec::new();
-    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    for (fi, f) in files.iter().enumerate() {
-        for (gi, g) in f.model.fns.iter().enumerate() {
-            if g.is_test || g.body.is_none() {
-                continue;
-            }
-            by_name
-                .entry(g.name.as_str())
-                .or_default()
-                .push(nodes.len());
-            nodes.push(Node { file: fi, func: gi });
-        }
-    }
-    let self_ty_of = |n: &Node| -> Option<&str> {
-        let f = &files[n.file];
-        let g = &f.model.fns[n.func];
-        g.impl_idx.map(|ii| f.model.impls[ii].self_ty.as_str())
-    };
+    // Test fns and bodiless decls never join the hot set.
+    let eligible = |id: usize| !ws.fn_info(id).is_test && ws.fn_info(id).body.is_some();
 
     // Seed the hot set: registry entries (checked against the file set)…
-    let mut hot: Vec<Option<Hot>> = (0..nodes.len()).map(|_| None).collect();
+    let mut hot: Vec<Option<Hot>> = (0..ws.nodes.len()).map(|_| None).collect();
     let mut work: Vec<usize> = Vec::new();
     for entry in registry {
         let Some(_) = files.iter().position(|f| f.path == entry.file) else {
@@ -225,13 +112,14 @@ pub fn check_with_registry(files: &[AnalyzedFile], registry: &[ConfEntry]) -> Ve
             continue;
         };
         let mut matched = false;
-        for (id, n) in nodes.iter().enumerate() {
-            if files[n.file].path == entry.file
-                && files[n.file].model.fns[n.func].name == entry.name
+        for (id, slot) in hot.iter_mut().enumerate() {
+            if eligible(id)
+                && ws.file_of(id).path == entry.file
+                && ws.fn_info(id).name == entry.name
             {
                 matched = true;
-                if hot[id].is_none() {
-                    hot[id] = Some(Hot {
+                if slot.is_none() {
+                    *slot = Some(Hot {
                         depth: 0,
                         via: entry.name.clone(),
                     });
@@ -269,18 +157,18 @@ pub fn check_with_registry(files: &[AnalyzedFile], registry: &[ConfEntry]) -> Ve
             if text != "xtask: hot" {
                 continue;
             }
-            let bound = nodes.iter().enumerate().find(|(_, n)| {
-                n.file == fi && {
-                    let g = &f.model.fns[n.func];
+            let bound = (0..ws.nodes.len()).find(|&id| {
+                eligible(id) && ws.nodes[id].file == fi && {
+                    let g = ws.fn_info(id);
                     g.line >= t.line && g.line <= t.line + 3
                 }
             });
             match bound {
-                Some((id, _)) => {
+                Some(id) => {
                     if hot[id].is_none() {
                         hot[id] = Some(Hot {
                             depth: 0,
-                            via: f.model.fns[nodes[id].func].name.clone(),
+                            via: ws.fn_info(id).name.clone(),
                         });
                         work.push(id);
                     }
@@ -303,49 +191,32 @@ pub fn check_with_registry(files: &[AnalyzedFile], registry: &[ConfEntry]) -> Ve
     // maximized over call chains and capped for termination.
     while let Some(id) = work.pop() {
         let Some(cur) = hot[id].clone() else { continue };
-        let n = &nodes[id];
-        let caller = &files[n.file].model.fns[n.func];
-        for call in &caller.calls {
-            if call.is_macro {
+        let caller = ws.fn_info(id);
+        for &(ci, target) in ws.callees(id) {
+            if !eligible(target) {
                 continue;
             }
-            // `.map(…)`, `.push(…)`, … are std methods, not UDF calls.
-            if call.is_method && UNTRACKED_METHODS.contains(&call.name.as_str()) {
-                continue;
-            }
-            let Some(candidates) = by_name.get(call.name.as_str()) else {
-                continue;
-            };
+            let call = &caller.calls[ci];
             let nd = (cur.depth + caller.loop_depth_at(call.sig_idx)).min(DEPTH_CAP);
-            for &target in candidates {
-                // `Type::fn` calls only resolve to fns in an `impl Type`.
-                if let Some(q) = &call.qualifier {
-                    if q.chars().next().is_some_and(char::is_uppercase)
-                        && self_ty_of(&nodes[target]) != Some(q.as_str())
-                    {
-                        continue;
-                    }
-                }
-                let better = match &hot[target] {
-                    None => true,
-                    Some(h) => nd > h.depth,
-                };
-                if better {
-                    hot[target] = Some(Hot {
-                        depth: nd,
-                        via: cur.via.clone(),
-                    });
-                    work.push(target);
-                }
+            let better = match &hot[target] {
+                None => true,
+                Some(h) => nd > h.depth,
+            };
+            if better {
+                hot[target] = Some(Hot {
+                    depth: nd,
+                    via: cur.via.clone(),
+                });
+                work.push(target);
             }
         }
     }
 
     // Scan every hot fn body.
-    for (id, n) in nodes.iter().enumerate() {
-        let Some(h) = &hot[id] else { continue };
-        let f = &files[n.file];
-        let g = &f.model.fns[n.func];
+    for (id, slot) in hot.iter().enumerate() {
+        let Some(h) = slot else { continue };
+        let f = ws.file_of(id);
+        let g = ws.fn_info(id);
         let Some(body) = g.body else { continue };
         let (start, end) = f.sig_range(body);
         scan_hot_body(f, g, h, start, end, &mut out);
@@ -672,15 +543,101 @@ fn cold(xs: &[u64]) -> Vec<u64> {
     }
 
     #[test]
+    fn iterator_map_adapter_never_marks_udf_map_hot() {
+        // The receiver of `.map(…)` is an iterator chain, which receiver
+        // typing refuses to resolve — so the allocating UDF named `map`
+        // below never joins the hot set. This is the fixture that lets
+        // the old std-prelude method denylist stay deleted.
+        let src = "\
+// xtask: hot
+fn kernel(xs: &[u64]) -> u64 {
+    let mut acc = 0;
+    for chunk in xs.chunks(8) {
+        acc += chunk.iter().map(|x| x + 1).sum::<u64>();
+    }
+    acc
+}
+struct M;
+impl MapTask for M {
+    fn map(&mut self, xs: &[u64]) {
+        for _ in xs {
+            let v = Vec::new();
+            drop(v);
+        }
+    }
+}
+";
+        assert!(perf(KERNEL, src).is_empty());
+    }
+
+    #[test]
+    fn typed_receiver_method_calls_do_propagate_heat() {
+        // The inverse of the fixture above: when the receiver IS typed,
+        // the method edge exists and heat flows through it.
+        let src = "\
+struct M;
+impl MapTask for M {
+    fn map(&mut self, xs: &[u64]) {
+        for _ in xs {
+            let v = Vec::new();
+            drop(v);
+        }
+    }
+}
+// xtask: hot
+fn kernel(m: &mut M, xs: &[u64]) {
+    m.map(xs);
+}
+";
+        let diags = perf(KERNEL, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("Vec::new()"));
+    }
+
+    #[test]
+    fn cross_crate_callee_of_hot_kernel_is_scanned() {
+        // A hot `core` kernel calling an allocating `skymr_common` helper
+        // through a `use` import: the old intra-crate-name graph missed
+        // this; the resolved graph must not.
+        let kernel = "\
+use skymr_common::cmp_fixture::compare_all;
+// xtask: hot
+fn kernel(xs: &[u64]) {
+    for w in xs.chunks(2) {
+        compare_all(w);
+    }
+}
+";
+        let helper = "\
+pub fn compare_all(w: &[u64]) {
+    for _ in w {
+        let scratch = Vec::new();
+        drop(scratch);
+    }
+}
+";
+        let files = [
+            AnalyzedFile::build(KERNEL, kernel),
+            AnalyzedFile::build("crates/common/src/cmp_fixture.rs", helper),
+        ];
+        let raw = raw_diagnostics(&files, Mode::Perf);
+        assert_eq!(raw.len(), 1, "{raw:?}");
+        assert_eq!(raw[0].file, "crates/common/src/cmp_fixture.rs");
+        assert_eq!(raw[0].rank, 2, "kernel loop + helper loop");
+        assert!(raw[0].message.contains("via `kernel`"));
+    }
+
+    #[test]
     fn registry_entry_for_missing_fn_is_an_error() {
         let f = AnalyzedFile::build(KERNEL, "fn present() {}\n");
         let files = [f];
+        let ws = super::super::resolve::Workspace::build(&files);
         let registry = [ConfEntry {
             file: KERNEL.to_owned(),
             name: "vanished".to_owned(),
             line: 7,
         }];
-        let diags = super::check_with_registry(&files, &registry);
+        let diags = super::check_with_registry(&ws, &registry);
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].file, "crates/xtask/hot_entries.conf");
         assert_eq!(diags[0].line, 7);

@@ -20,8 +20,7 @@
 //! nondeterminism back in past the name-based ban. Test fns are exempt
 //! (they pin literals, and the name ban still applies to them).
 
-use std::collections::BTreeMap;
-
+use super::resolve::Workspace;
 use super::{AnalyzedFile, Diagnostic};
 use crate::lexer::TokenKind;
 
@@ -31,44 +30,27 @@ fn seedish(name: &str) -> bool {
     name == "seed" || name.ends_with("_seed") || name.starts_with("seed_")
 }
 
-/// Runs the pass over the whole workspace.
-pub fn check_dataflow(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
-    // Flatten non-test fns; build name → fn-ids and the caller graph.
-    let mut fns: Vec<(usize, usize)> = Vec::new();
-    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    for (fi, f) in files.iter().enumerate() {
-        for (gi, g) in f.model.fns.iter().enumerate() {
-            if g.is_test {
-                continue;
-            }
-            by_name.entry(g.name.as_str()).or_default().push(fns.len());
-            fns.push((fi, gi));
-        }
-    }
-    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
-    for (id, &(fi, gi)) in fns.iter().enumerate() {
-        for call in &files[fi].model.fns[gi].calls {
-            if call.is_macro {
-                continue; // macro names must not alias same-named fns
-            }
-            if let Some(targets) = by_name.get(call.name.as_str()) {
-                for &t in targets {
-                    callers[t].push(id);
-                }
-            }
-        }
-    }
+/// Runs the pass over the whole workspace. The caller graph comes from
+/// the resolved symbol graph, so a seed plumbed across a crate boundary
+/// (datagen → common, say) roots the callee; test fns are excluded from
+/// the graph — a test pinning a literal must not root production code.
+pub fn check_dataflow(ws: &Workspace<'_>) -> Vec<Diagnostic> {
+    let in_graph = |id: usize| !ws.fn_info(id).is_test;
+    let callers = |id: usize| ws.callers(id).iter().copied().filter(|&c| in_graph(c));
 
     // Fixpoint: seed-rooted = has a seed param, or has callers and every
     // caller is seed-rooted.
-    let mut rooted: Vec<bool> = fns
-        .iter()
-        .map(|&(fi, gi)| files[fi].model.fns[gi].has_seed_param)
+    let mut rooted: Vec<bool> = (0..ws.nodes.len())
+        .map(|id| ws.fn_info(id).has_seed_param)
         .collect();
     loop {
         let mut changed = false;
-        for id in 0..fns.len() {
-            if !rooted[id] && !callers[id].is_empty() && callers[id].iter().all(|&c| rooted[c]) {
+        for id in 0..ws.nodes.len() {
+            if !rooted[id]
+                && in_graph(id)
+                && callers(id).next().is_some()
+                && callers(id).all(|c| rooted[c])
+            {
                 rooted[id] = true;
                 changed = true;
             }
@@ -79,14 +61,17 @@ pub fn check_dataflow(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
     }
 
     let mut out = Vec::new();
-    for (id, &(fi, gi)) in fns.iter().enumerate() {
-        let f = &files[fi];
-        let g = &f.model.fns[gi];
+    for (id, &is_rooted) in rooted.iter().enumerate() {
+        if !in_graph(id) {
+            continue;
+        }
+        let f = ws.file_of(id);
+        let g = ws.fn_info(id);
         for call in &g.calls {
             if !CONSTRUCTORS.contains(&call.name.as_str()) {
                 continue;
             }
-            if g.has_seed_param || rooted[id] || arg_carries_seed(f, call.sig_idx) {
+            if g.has_seed_param || is_rooted || arg_carries_seed(f, call.sig_idx) {
                 continue;
             }
             out.push(Diagnostic {

@@ -14,6 +14,13 @@
 //!   the hot-entry registry, ranked by effective loop depth) and
 //!   `lock-discipline` (guards held across dispatch/channels/locks,
 //!   lock-order cycles).
+//! * `flow` — the dataflow linter on the workspace-resolved symbol
+//!   graph: `clock-discipline` (wall-clock readings must stay advisory),
+//!   `ambient-io` (no file/env/stdio reachable from UDF entry points),
+//!   and `float-ord` (comparators must use `total_cmp`).
+//! * `bench-gate` — run the criterion benches and compare medians
+//!   against the committed `BENCH_*.json` baselines with a noise-aware
+//!   (MAD-scaled) threshold; fails on regressions.
 //! * `trace-schema` — validate a `--trace` export (Chrome JSON or JSONL)
 //!   against the telemetry exporters' documented shape; CI runs it on a
 //!   freshly produced trace.
@@ -24,6 +31,7 @@
 use std::process::ExitCode;
 
 mod analyze;
+mod bench_gate;
 mod lexer;
 mod parse;
 #[cfg(test)]
@@ -43,16 +51,29 @@ tasks:
              clones, unsized pushes, hash maps reachable from the hot
              entry registry, ranked by loop depth) and lock-discipline
              (guards held across dispatch/channels/locks, lock cycles)
+  flow       run the dataflow linter on the resolved symbol graph:
+             clock-discipline (wall-clock values stay advisory-only),
+             ambient-io (no file/env/stdio reachable from UDF entry
+             points), float-ord (total_cmp in sort/search comparators)
+  bench-gate re-run the criterion benches and compare against the
+             committed BENCH_*.json baselines (median-of-samples with a
+             MAD-scaled noise threshold); non-zero exit on regression
   trace-schema <file>
              validate a trace written by `skymr-cli run --trace`
              (Chrome trace_event JSON, or JSONL if the file ends
              in .jsonl)
   help       show this message
 
-options (lint, analyze, and perf):
+options (lint, analyze, perf, and flow):
   --format <text|json|github>   diagnostic output format (default: text)
   --list-stale-waivers          report `xtask: allow(...)` comments whose
                                 line no longer triggers the waived rule
+
+options (bench-gate):
+  --update-baseline             rewrite the BENCH_*.json baselines from
+                                this run instead of gating against them
+  --bench <name>                gate only the named bench target
+                                (default: all registered targets)
 ";
 
 fn main() -> ExitCode {
@@ -62,7 +83,7 @@ fn main() -> ExitCode {
         None => ("help", &[][..]),
     };
     match task {
-        "lint" | "analyze" | "perf" => {
+        "lint" | "analyze" | "perf" | "flow" => {
             let opts = match Options::parse(rest) {
                 Ok(o) => o,
                 Err(msg) => {
@@ -73,10 +94,12 @@ fn main() -> ExitCode {
             let mode = match task {
                 "lint" => Mode::Lint,
                 "analyze" => Mode::Analyze,
-                _ => Mode::Perf,
+                "perf" => Mode::Perf,
+                _ => Mode::Flow,
             };
             analyze::run(mode, &opts)
         }
+        "bench-gate" => bench_gate::run(rest),
         "trace-schema" => trace_schema::run(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -34,6 +34,13 @@ pub struct FileModel {
     pub impls: Vec<ImplInfo>,
     /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
     pub test_regions: Vec<(usize, usize)>,
+    /// Every `use` declaration, flattened (groups expanded).
+    pub uses: Vec<UseDecl>,
+    /// Every `struct` definition with its named fields.
+    pub structs: Vec<StructInfo>,
+    /// Names of inline `mod name { … }` and `mod name;` declarations at
+    /// any nesting level, paired with the enclosing inline-module path.
+    pub mods: Vec<(Vec<String>, String)>,
 }
 
 impl FileModel {
@@ -41,6 +48,32 @@ impl FileModel {
     pub fn in_test_region(&self, at: usize) -> bool {
         self.test_regions.iter().any(|&(s, e)| at >= s && at < e)
     }
+}
+
+/// One flattened `use` declaration (`use a::{b, c as d};` yields two).
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Path segments as written, including leading `crate`/`self`/`super`.
+    pub path: Vec<String>,
+    /// The name the import binds locally: the `as` alias when present,
+    /// otherwise the last path segment.
+    pub alias: String,
+    /// `true` for `use path::*;`.
+    pub is_glob: bool,
+    /// Inline-module path of the enclosing `mod` blocks within the file.
+    pub module: Vec<String>,
+}
+
+/// One `struct` definition.
+#[derive(Debug, Clone)]
+pub struct StructInfo {
+    /// The struct's name.
+    pub name: String,
+    /// Inline-module path of the enclosing `mod` blocks within the file.
+    pub module: Vec<String>,
+    /// Named fields as `(name, type-last-segment)`; tuple/unit structs
+    /// have none, and fields of non-path types record an empty segment.
+    pub fields: Vec<(String, String)>,
 }
 
 /// One `impl` block.
@@ -55,6 +88,11 @@ pub struct ImplInfo {
     /// 1-based line of the `impl` keyword.
     #[allow(dead_code)]
     pub line: usize,
+    /// Inline-module path of the enclosing `mod` blocks within the file.
+    /// Model surface; exercised by tests only (fn-level modules carry the
+    /// scope the resolver needs).
+    #[allow(dead_code)]
+    pub module: Vec<String>,
 }
 
 /// One `fn` item.
@@ -79,6 +117,13 @@ pub struct FnInfo {
     /// The parameter list contains an explicit seed parameter
     /// (an ident named `seed` or `*_seed`).
     pub has_seed_param: bool,
+    /// Parameters as `(name, type-last-segment)`. `self` receivers are
+    /// omitted (the impl context carries the type); parameters with
+    /// non-path types (slices, tuples, `impl Trait`, …) record an empty
+    /// type segment.
+    pub params: Vec<(String, String)>,
+    /// Inline-module path of the enclosing `mod` blocks within the file.
+    pub module: Vec<String>,
     /// Call sites found in the body.
     pub calls: Vec<Call>,
     /// Loop bodies found in the body, in source order.
@@ -144,6 +189,7 @@ pub fn parse(src: &str, tokens: &[Token]) -> FileModel {
         tokens,
         sig,
         pos: 0,
+        mod_stack: Vec::new(),
         model: FileModel::default(),
     };
     p.items(None, false);
@@ -157,6 +203,8 @@ struct Parser<'a> {
     sig: Vec<usize>,
     /// Cursor into `sig`.
     pos: usize,
+    /// Names of the inline `mod` blocks enclosing the cursor.
+    mod_stack: Vec<String>,
     model: FileModel,
 }
 
@@ -210,6 +258,14 @@ impl<'a> Parser<'a> {
                 }
                 (Some(TokenKind::Ident), "mod" | "trait") => {
                     self.mod_or_trait(impl_idx, in_test || pending_test);
+                    pending_test = false;
+                }
+                (Some(TokenKind::Ident), "use") => {
+                    self.use_item();
+                    pending_test = false;
+                }
+                (Some(TokenKind::Ident), "struct") => {
+                    self.struct_item();
                     pending_test = false;
                 }
                 // Modifiers: attributes seen so far still apply to the item.
@@ -305,12 +361,21 @@ impl<'a> Parser<'a> {
     }
 
     fn mod_or_trait(&mut self, impl_idx: Option<usize>, in_test: bool) {
+        let is_mod = self.text(0) == "mod";
         self.bump(); // `mod` / `trait`
         let region_start = self.peek_tok(0).map(|t| t.start);
+        let name = if self.kind(0) == Some(TokenKind::Ident) {
+            self.text(0).to_owned()
+        } else {
+            String::new()
+        };
         // Scan to `{` (body) or `;` (declaration); traits may carry
         // supertrait bounds and generics before the brace.
         while !self.at_end() && self.text(0) != "{" && self.text(0) != ";" {
             self.bump();
+        }
+        if is_mod && !name.is_empty() {
+            self.model.mods.push((self.mod_stack.clone(), name.clone()));
         }
         if self.text(0) == ";" {
             self.bump();
@@ -321,12 +386,156 @@ impl<'a> Parser<'a> {
         }
         self.bump(); // `{`
         let body_start = self.peek_tok(0).map_or(self.src.len(), |t| t.start);
+        if is_mod {
+            self.mod_stack.push(name);
+        }
         self.items(impl_idx, in_test);
+        if is_mod {
+            self.mod_stack.pop();
+        }
         let body_end = self.peek_tok(0).map_or(self.src.len(), |t| t.start);
         if in_test {
             let s = region_start.unwrap_or(body_start);
             self.model.test_regions.push((s, body_end));
         }
+    }
+
+    /// Parses `use …;`, flattening groups into one [`UseDecl`] per leaf.
+    fn use_item(&mut self) {
+        self.bump(); // `use`
+        let mut prefix = Vec::new();
+        self.use_tree(&mut prefix);
+        if self.text(0) == ";" {
+            self.bump();
+        }
+    }
+
+    /// Parses one use-tree with `prefix` already collected; the cursor
+    /// ends on the terminator (`;`, `,`, or past the tree's `}`).
+    fn use_tree(&mut self, prefix: &mut Vec<String>) {
+        let entry_len = prefix.len();
+        loop {
+            match (self.kind(0), self.text(0)) {
+                (Some(TokenKind::Ident | TokenKind::RawIdent), "as") => {
+                    self.bump();
+                    let alias = if self.kind(0) == Some(TokenKind::Ident) {
+                        self.text(0).to_owned()
+                    } else {
+                        String::new()
+                    };
+                    if !alias.is_empty() {
+                        self.bump();
+                    }
+                    self.record_use(prefix, alias);
+                    return;
+                }
+                (Some(TokenKind::Ident | TokenKind::RawIdent), txt) => {
+                    prefix.push(txt.trim_start_matches("r#").to_owned());
+                    self.bump();
+                }
+                (Some(TokenKind::Punct), ":") => self.bump(),
+                (Some(TokenKind::Punct), "*") => {
+                    self.bump();
+                    self.model.uses.push(UseDecl {
+                        path: prefix.clone(),
+                        alias: String::new(),
+                        is_glob: true,
+                        module: self.mod_stack.clone(),
+                    });
+                    return;
+                }
+                (Some(TokenKind::Punct), "{") => {
+                    self.bump();
+                    while !self.at_end() && self.text(0) != "}" {
+                        if self.text(0) == "," {
+                            self.bump();
+                            continue;
+                        }
+                        let saved = prefix.len();
+                        self.use_tree(prefix);
+                        prefix.truncate(saved);
+                    }
+                    if self.text(0) == "}" {
+                        self.bump();
+                    }
+                    return;
+                }
+                _ => {
+                    // `;`, `,`, `}` or EOF: a simple leaf ends here.
+                    if prefix.len() > entry_len {
+                        self.record_use(prefix, String::new());
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Records a non-glob use leaf. An empty `alias` means "bind the last
+    /// segment"; a trailing `self` segment (`use foo::bar::{self}`) binds
+    /// the parent module's name instead.
+    fn record_use(&mut self, prefix: &[String], alias: String) {
+        let mut path = prefix.to_vec();
+        if path.last().is_some_and(|s| s == "self") && path.len() > 1 {
+            path.pop();
+        }
+        let alias = if alias.is_empty() {
+            match path.last() {
+                Some(last) => last.clone(),
+                None => return,
+            }
+        } else {
+            alias
+        };
+        self.model.uses.push(UseDecl {
+            path,
+            alias,
+            is_glob: false,
+            module: self.mod_stack.clone(),
+        });
+    }
+
+    /// Parses `struct Name … ;` / `struct Name(…);` / `struct Name { … }`,
+    /// recording named fields as `(name, type-last-segment)`.
+    fn struct_item(&mut self) {
+        self.bump(); // `struct`
+        let name = if self.kind(0) == Some(TokenKind::Ident) {
+            self.text(0).to_owned()
+        } else {
+            String::new()
+        };
+        if name.is_empty() {
+            return;
+        }
+        self.bump();
+        if self.text(0) == "<" {
+            self.skip_generics();
+        }
+        // Tuple struct or where clause: scan to `{`, `(`, or `;`.
+        while !self.at_end() && !matches!(self.text(0), "{" | "(" | ";") {
+            self.bump();
+        }
+        let mut fields = Vec::new();
+        match self.text(0) {
+            ";" => self.bump(),
+            "(" => {
+                self.skip_balanced("(", ")");
+                if self.text(0) == ";" {
+                    self.bump();
+                }
+            }
+            "{" => {
+                let start = self.pos;
+                self.skip_balanced("{", "}");
+                fields = self.split_typed_bindings(start + 1, self.pos - 1);
+            }
+            _ => {}
+        }
+        self.model.structs.push(StructInfo {
+            name,
+            module: self.mod_stack.clone(),
+            fields,
+        });
     }
 
     fn impl_item(&mut self, in_test: bool) {
@@ -385,6 +594,7 @@ impl<'a> Parser<'a> {
             trait_name,
             self_ty: self_ty.unwrap_or_default(),
             line: impl_line,
+            module: self.mod_stack.clone(),
         });
         let idx = self.model.impls.len() - 1;
         if self.text(0) == "{" {
@@ -419,15 +629,147 @@ impl<'a> Parser<'a> {
     /// `true` when the `>` under the cursor is the tip of a `->` arrow
     /// (so it must not close a generics bracket).
     fn is_arrow_close(&self) -> bool {
-        let Some(&i) = self.sig.get(self.pos) else {
+        self.is_arrow_close_at(self.pos)
+    }
+
+    /// [`Self::is_arrow_close`] for an arbitrary significant index.
+    fn is_arrow_close_at(&self, at: usize) -> bool {
+        let Some(&i) = self.sig.get(at) else {
             return false;
         };
-        let cur = &self.tokens[i];
-        if self.pos == 0 {
+        if at == 0 {
             return false;
         }
-        let prev = &self.tokens[self.sig[self.pos - 1]];
+        let cur = &self.tokens[i];
+        let prev = &self.tokens[self.sig[at - 1]];
         prev.text(self.src) == "-" && prev.end == cur.start
+    }
+
+    /// Splits `sig[start..end]` on top-level commas and parses each piece
+    /// as a `name: Type` binding (fn parameter or struct field), skipping
+    /// attributes, visibility, `mut`/`ref`, and `self` receivers. The
+    /// type is reduced to its last path segment (empty for non-path
+    /// types: slices, tuples, `dyn`/`impl` bounds, fn pointers).
+    fn split_typed_bindings(&self, start: usize, end: usize) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        let mut group = 0i64;
+        let mut angle = 0i64;
+        let mut piece: Vec<usize> = Vec::new();
+        for j in start..end {
+            let txt = self.tokens[self.sig[j]].text(self.src);
+            match txt {
+                "(" | "[" | "{" => group += 1,
+                ")" | "]" | "}" => group -= 1,
+                "<" => angle += 1,
+                ">" if !self.is_arrow_close_at(j) => angle = (angle - 1).max(0),
+                "," if group == 0 && angle == 0 => {
+                    self.push_typed_binding(&piece, &mut out);
+                    piece.clear();
+                    continue;
+                }
+                _ => {}
+            }
+            piece.push(j);
+        }
+        self.push_typed_binding(&piece, &mut out);
+        out
+    }
+
+    /// Parses one `name: Type` piece (significant indices) into `out`.
+    fn push_typed_binding(&self, piece: &[usize], out: &mut Vec<(String, String)>) {
+        let mut k = 0usize;
+        let txt = |k: usize| {
+            piece
+                .get(k)
+                .map_or("", |&j| self.tokens[self.sig[j]].text(self.src))
+        };
+        let kind = |k: usize| piece.get(k).map(|&j| self.tokens[self.sig[j]].kind);
+        // Skip field attributes `#[…]`.
+        while txt(k) == "#" {
+            k += 1;
+            if txt(k) == "[" {
+                let mut depth = 0i64;
+                while k < piece.len() {
+                    match txt(k) {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+        }
+        // Skip visibility `pub` / `pub(crate)` / `pub(in path)`.
+        if txt(k) == "pub" {
+            k += 1;
+            if txt(k) == "(" {
+                while k < piece.len() && txt(k) != ")" {
+                    k += 1;
+                }
+                k += 1; // `)`
+            }
+        }
+        while matches!(txt(k), "mut" | "ref") {
+            k += 1;
+        }
+        // `self` receivers (`self`, `&self`, `&'a mut self`): no binding.
+        {
+            let mut r = k;
+            while matches!(txt(r), "&" | "mut") || kind(r) == Some(TokenKind::Lifetime) {
+                r += 1;
+            }
+            if txt(r) == "self" {
+                return;
+            }
+        }
+        if !matches!(kind(k), Some(TokenKind::Ident | TokenKind::RawIdent)) {
+            return;
+        }
+        let name = txt(k).trim_start_matches("r#").to_owned();
+        // The separator must be a single `:` (not `::`).
+        if txt(k + 1) != ":" || txt(k + 2) == ":" {
+            return;
+        }
+        let ty = self.type_last_segment(&piece[k + 2..]);
+        out.push((name, ty));
+    }
+
+    /// Reduces a type's significant indices to the last path segment of
+    /// its outermost path (`&mut Vec<Tuple>` → `Vec`); empty when the
+    /// type is not a plain path.
+    fn type_last_segment(&self, piece: &[usize]) -> String {
+        let txt = |k: usize| {
+            piece
+                .get(k)
+                .map_or("", |&j| self.tokens[self.sig[j]].text(self.src))
+        };
+        let kind = |k: usize| piece.get(k).map(|&j| self.tokens[self.sig[j]].kind);
+        let mut k = 0usize;
+        while matches!(txt(k), "&" | "mut") || kind(k) == Some(TokenKind::Lifetime) {
+            k += 1;
+        }
+        if matches!(txt(k), "dyn" | "impl") {
+            return String::new();
+        }
+        let mut last = String::new();
+        while k < piece.len() {
+            if !matches!(kind(k), Some(TokenKind::Ident | TokenKind::RawIdent)) {
+                break;
+            }
+            last = txt(k).trim_start_matches("r#").to_owned();
+            if txt(k + 1) == ":" && txt(k + 2) == ":" {
+                k += 3;
+            } else {
+                break;
+            }
+        }
+        last
     }
 
     fn fn_item(&mut self, impl_idx: Option<usize>, is_test: bool) {
@@ -447,6 +789,7 @@ impl<'a> Parser<'a> {
         }
         // Parameter list.
         let mut has_seed_param = false;
+        let mut params = Vec::new();
         if self.text(0) == "(" {
             let start = self.pos;
             self.skip_balanced("(", ")");
@@ -459,6 +802,7 @@ impl<'a> Parser<'a> {
                     }
                 }
             }
+            params = self.split_typed_bindings(start + 1, self.pos - 1);
         }
         // Return type / where clause: scan to the body `{` or a `;`.
         while !self.at_end() && self.text(0) != "{" && self.text(0) != ";" {
@@ -491,6 +835,8 @@ impl<'a> Parser<'a> {
             span: (fn_tok_start, span_end),
             is_test,
             has_seed_param,
+            params,
+            module: self.mod_stack.clone(),
             calls,
             loops,
         });
@@ -856,6 +1202,122 @@ fn f(v: &[u32]) {
         assert_eq!(f.loop_depth_at(at("body")), 1);
         assert_eq!(f.loop_depth_at(at("use_it")), 1);
         assert_eq!(f.loop_depth_at(at("mk")), 0);
+    }
+
+    #[test]
+    fn use_decls_flatten_groups_aliases_and_globs() {
+        let src = "\
+use std::collections::HashMap;
+use crate::dominance::{dominates, compare as cmp};
+use skymr_common::tuple::*;
+use super::job::{self, JobSpec};
+pub use crate::grid::Grid;
+";
+        let m = model(src);
+        let find = |alias: &str| {
+            m.uses
+                .iter()
+                .find(|u| u.alias == alias)
+                .unwrap_or_else(|| panic!("use {alias}"))
+        };
+        assert_eq!(
+            find("HashMap").path,
+            ["std", "collections", "HashMap"],
+            "plain path"
+        );
+        assert_eq!(find("dominates").path, ["crate", "dominance", "dominates"]);
+        assert_eq!(find("cmp").path, ["crate", "dominance", "compare"]);
+        let glob = m.uses.iter().find(|u| u.is_glob).expect("glob");
+        assert_eq!(glob.path, ["skymr_common", "tuple"]);
+        // `{self, …}` binds the parent module's name.
+        assert_eq!(find("job").path, ["super", "job"]);
+        assert_eq!(find("JobSpec").path, ["super", "job", "JobSpec"]);
+        assert_eq!(find("Grid").path, ["crate", "grid", "Grid"]);
+    }
+
+    #[test]
+    fn struct_fields_record_type_last_segments() {
+        let src = "\
+pub struct Job {
+    pub name: String,
+    grid: crate::grid::Grid,
+    #[allow(dead_code)]
+    slots: Vec<Slot>,
+    raw: [u8; 4],
+}
+struct Marker;
+struct Pair(u32, u32);
+";
+        let m = model(src);
+        assert_eq!(m.structs.len(), 3);
+        let job = &m.structs[0];
+        assert_eq!(job.name, "Job");
+        assert_eq!(
+            job.fields,
+            [
+                ("name".to_owned(), "String".to_owned()),
+                ("grid".to_owned(), "Grid".to_owned()),
+                ("slots".to_owned(), "Vec".to_owned()),
+                ("raw".to_owned(), String::new()),
+            ]
+        );
+        assert!(m.structs[1].fields.is_empty());
+        assert!(m.structs[2].fields.is_empty());
+    }
+
+    #[test]
+    fn fn_params_record_names_and_types() {
+        let src = "\
+impl Grid {
+    fn assign(&self, t: &Tuple, out: &mut Vec<usize>, n: usize) -> usize { 0 }
+}
+fn free(spec: crate::job::JobSpec, xs: &[Tuple], f: impl Fn(u32) -> u32) {}
+";
+        let m = model(src);
+        let assign = m.fns.iter().find(|f| f.name == "assign").expect("assign");
+        assert_eq!(
+            assign.params,
+            [
+                ("t".to_owned(), "Tuple".to_owned()),
+                ("out".to_owned(), "Vec".to_owned()),
+                ("n".to_owned(), "usize".to_owned()),
+            ]
+        );
+        let free = m.fns.iter().find(|f| f.name == "free").expect("free");
+        assert_eq!(free.params.len(), 3);
+        assert_eq!(free.params[0], ("spec".to_owned(), "JobSpec".to_owned()));
+        assert_eq!(free.params[1], ("xs".to_owned(), String::new()));
+        assert_eq!(free.params[2], ("f".to_owned(), String::new()));
+    }
+
+    #[test]
+    fn inline_mod_paths_are_recorded() {
+        let src = "\
+mod outer {
+    pub mod inner {
+        pub fn deep() {}
+        impl Thing { fn m(&self) {} }
+    }
+    use crate::top::Item;
+    fn shallow() {}
+}
+mod sibling;
+fn top() {}
+";
+        let m = model(src);
+        let deep = m.fns.iter().find(|f| f.name == "deep").expect("deep");
+        assert_eq!(deep.module, ["outer", "inner"]);
+        let shallow = m.fns.iter().find(|f| f.name == "shallow").expect("shallow");
+        assert_eq!(shallow.module, ["outer"]);
+        let top = m.fns.iter().find(|f| f.name == "top").expect("top");
+        assert!(top.module.is_empty());
+        assert_eq!(m.impls[0].module, ["outer", "inner"]);
+        assert_eq!(m.uses[0].module, ["outer"]);
+        assert!(m.mods.contains(&(Vec::new(), "outer".to_owned())));
+        assert!(m
+            .mods
+            .contains(&(vec!["outer".to_owned()], "inner".to_owned())));
+        assert!(m.mods.contains(&(Vec::new(), "sibling".to_owned())));
     }
 
     #[test]
