@@ -108,6 +108,32 @@ fn bench_kernels(c: &mut Criterion) {
             acc.count_ones()
         });
     });
+    // The shuffle-frame integrity path every partition fetch now runs:
+    // the CRC32C inner loop, framing a partition-sized payload, and the
+    // verify-on-decode. Payload size mirrors one reducer's bucket for a
+    // KERNEL_TUPLES split (id + DIM values per tuple).
+    let payload: Vec<u8> = (0..KERNEL_TUPLES * (8 + DIM * 8))
+        .map(|i| (i * 31 % 251) as u8)
+        .collect();
+    group.bench_function("crc32c/partition", |bench| {
+        bench.iter(|| skymr_common::crc32c(black_box(&payload)));
+    });
+    group.bench_function("frame_encode/partition", |bench| {
+        bench.iter(|| {
+            let mut out = Vec::new();
+            skymr_common::frame_encode(black_box(&payload), &mut out);
+            out.len()
+        });
+    });
+    let mut framed = Vec::new();
+    skymr_common::frame_encode(&payload, &mut framed);
+    group.bench_function("frame_decode/partition", |bench| {
+        bench.iter(|| {
+            let (body, rest) =
+                skymr_common::frame_decode(black_box(&framed)).expect("frame verifies");
+            body.len() + rest.len()
+        });
+    });
     group.finish();
 }
 

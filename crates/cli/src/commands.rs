@@ -129,6 +129,40 @@ fn skyline_config(args: &Args) -> Result<SkylineConfig, String> {
         config.fault_tolerance = FaultTolerance::with_plan(FaultPlan::chaos_nodes(seed))
             .with_blacklist(BlacklistPolicy::new());
     }
+    // Data-plane chaos: seeded shuffle-frame corruption and hung attempts.
+    // The frame CRC plus the progress timeout must recover to a
+    // byte-identical skyline (pair with --verify to check).
+    let data_plan = match args.get("chaos-corrupt") {
+        Some(seed) => {
+            let seed: u64 = seed
+                .parse()
+                .map_err(|e| format!("bad --chaos-corrupt seed: {e}"))?;
+            Some(FaultPlan::chaos_data(seed))
+        }
+        None => None,
+    };
+    // A scripted poison record `MAP:RECORD`: that map task panics
+    // deterministically on that record every attempt; pair with
+    // --skip-bad-records to complete (degraded) instead of aborting.
+    let data_plan = match args.get("poison") {
+        Some(spec) => {
+            let (m, n) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("bad --poison {spec:?}, expected MAP:RECORD"))?;
+            let m: usize = m.parse().map_err(|e| format!("bad --poison map: {e}"))?;
+            let n: usize = n.parse().map_err(|e| format!("bad --poison record: {e}"))?;
+            Some(
+                data_plan
+                    .unwrap_or_else(FaultPlan::none)
+                    .with_poison_record(m, n),
+            )
+        }
+        None => data_plan,
+    };
+    if let Some(plan) = data_plan {
+        config.fault_tolerance = FaultTolerance::with_plan(plan);
+    }
+    config.cluster.skip_bad_records = args.has_flag("skip-bad-records");
     if let Some(path) = args.get("checkpoint") {
         config.checkpoint.file = Some(path.into());
     }
@@ -160,6 +194,18 @@ fn print_metrics(metrics: &PipelineMetrics) {
             println!(
                 "      node faults: {} lost, {} blacklisted; {} maps re-executed ({:.2?})",
                 job.nodes_lost, job.nodes_blacklisted, job.maps_reexecuted, job.reexecution_time
+            );
+        }
+        if job.corrupt_fetches > 0 || job.records_skipped > 0 {
+            println!(
+                "      data faults: {} corrupt fetches re-fetched, {} bad records skipped{}",
+                job.corrupt_fetches,
+                job.records_skipped,
+                if job.degraded {
+                    " (degraded output)"
+                } else {
+                    ""
+                }
             );
         }
     }
@@ -201,6 +247,9 @@ const RUN_OPTS: &[&str] = &[
     "local",
     "trace",
     "chaos-nodes",
+    "chaos-corrupt",
+    "poison",
+    "skip-bad-records",
     "checkpoint",
     "resume",
     "kill-after",
@@ -765,6 +814,33 @@ mod tests {
             ));
             run(&a).unwrap_or_else(|e| panic!("chaos seed {seed} failed: {e}"));
         }
+    }
+
+    #[test]
+    fn run_with_data_chaos_still_verifies() {
+        // Seeded shuffle corruption and hangs must be invisible in the
+        // output: every seed still matches the BNL oracle.
+        for seed in 0..4 {
+            let a = args(&format!(
+                "run --algo gpmrs --dist anticorrelated --dim 3 --card 300 \
+                 --mappers 4 --reducers 2 --chaos-corrupt {seed} --verify"
+            ));
+            run(&a).unwrap_or_else(|e| panic!("data chaos seed {seed} failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn run_poison_record_needs_skip_bad_records() {
+        // Without the skip policy the poisoned record aborts the job …
+        let base = "run --algo gpsrs --dist independent --dim 3 --card 200 --seed 5 \
+                    --mappers 2 --reducers 2 --poison 0:3";
+        let err = run(&args(base)).expect_err("poison without skip must abort");
+        assert!(err.contains("poisoned"), "unexpected error: {err}");
+        // … with it, the job completes degraded, skipping exactly one record.
+        run(&args(&format!("{base} --skip-bad-records"))).unwrap();
+        // Malformed specs are rejected up front.
+        let bad = args("run --algo gpsrs --dist independent --dim 2 --card 50 --poison nope");
+        assert!(run(&bad).unwrap_err().contains("MAP:RECORD"));
     }
 
     #[test]

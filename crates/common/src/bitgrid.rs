@@ -132,6 +132,28 @@ impl BitGrid {
     pub fn packed_bytes(&self) -> u64 {
         (self.words.len() * 8) as u64
     }
+
+    /// The backing words, least-significant bit first (for the wire
+    /// codec in [`crate::bytes`]).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitset from its wire representation. `None` when the
+    /// word count disagrees with the bit length or a padding bit beyond
+    /// `len` is set (the encoder never produces either).
+    pub(crate) fn from_words(len: usize, words: Vec<u64>) -> Option<Self> {
+        if words.len() != len.div_ceil(WORD_BITS) {
+            return None;
+        }
+        if let Some(&last) = words.last() {
+            let used = len - (words.len() - 1) * WORD_BITS;
+            if used < WORD_BITS && last >> used != 0 {
+                return None;
+            }
+        }
+        Some(Self { len, words })
+    }
 }
 
 impl std::fmt::Debug for BitGrid {

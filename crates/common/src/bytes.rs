@@ -1,10 +1,31 @@
-//! Byte-size accounting for simulated network traffic.
+//! Byte-size accounting and the checksummed wire codec.
 //!
 //! The MapReduce engine charges shuffle and distributed-cache traffic to a
 //! simulated cluster clock (the paper's testbed moved data over a
 //! 100 Mbit/s LAN, and the communication overhead of MR-GPMRS is one of the
 //! effects its evaluation studies). [`ByteSized`] reports how many bytes a
 //! value would occupy in a compact on-the-wire encoding.
+//!
+//! [`Wire`] is that encoding made real: a deterministic little-endian
+//! byte codec for every type that crosses a shuffle boundary. Encoded
+//! pairs travel inside CRC32C-checksummed, length-prefixed *frames*
+//! ([`frame_encode`] / [`frame_decode_exact`]), so a reducer fetching a
+//! map-output partition verifies its integrity before consuming a single
+//! record — the data-plane half of the engine's fault story.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! +----------------+------------------+----------------------------+
+//! | len: u32       | payload: len B   | crc: u32                   |
+//! +----------------+------------------+----------------------------+
+//!                                       CRC32C over len ‖ payload
+//! ```
+//!
+//! The checksum covers the length prefix as well as the payload, so any
+//! single-bit flip anywhere in a frame — header, body, or trailer — is
+//! caught by [`frame_decode_exact`] (bit flips that shrink the length
+//! leave trailing bytes, which full-consumption decoding rejects).
 
 use crate::bitgrid::BitGrid;
 use crate::tuple::Tuple;
@@ -76,6 +97,408 @@ impl ByteSized for String {
     }
 }
 
+// ---------------------------------------------------------------------
+// CRC32C (Castagnoli).
+// ---------------------------------------------------------------------
+
+/// The reflected Castagnoli polynomial (0x1EDC6F41 bit-reversed) — the
+/// CRC32C variant Hadoop uses for its checksummed file and shuffle
+/// streams, hand-rolled here so the workspace stays dependency-free.
+const CRC32C_POLY: u32 = 0x82F6_3B78;
+
+/// Byte-at-a-time lookup table for [`crc32c_update`], built at compile
+/// time.
+const fn crc32c_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ CRC32C_POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32C_TABLE: [u32; 256] = crc32c_table();
+
+/// Folds `data` into a running CRC32C state.
+///
+/// `crc32c_update(crc32c_update(0, a), b)` equals `crc32c` of `a ‖ b`,
+/// so framed streams can be checksummed incrementally without
+/// concatenating buffers.
+#[inline]
+pub fn crc32c_update(crc: u32, data: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &byte in data {
+        c = CRC32C_TABLE[((c ^ u32::from(byte)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The CRC32C checksum of `data`.
+#[inline]
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_update(0, data)
+}
+
+// ---------------------------------------------------------------------
+// Checksummed frames.
+// ---------------------------------------------------------------------
+
+/// Bytes a frame adds around its payload (u32 length + u32 CRC).
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the frame its header announces.
+    Truncated {
+        /// Bytes the header claims the frame needs.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The stored checksum disagrees with the recomputed one — the frame
+    /// was corrupted in flight or at rest.
+    Corrupt {
+        /// CRC32C recomputed over the received header and payload.
+        expected: u32,
+        /// CRC32C stored in the frame trailer.
+        got: u32,
+    },
+    /// Bytes remain after the frame a full-consumption decode expected
+    /// to be alone in the buffer.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        got: usize,
+    },
+    /// The payload verified but its contents did not parse as the
+    /// expected record stream.
+    Malformed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { needed, got } => {
+                write!(f, "frame truncated: header needs {needed} bytes, got {got}")
+            }
+            FrameError::Corrupt { expected, got } => write!(
+                f,
+                "frame checksum mismatch: computed {expected:#010x}, stored {got:#010x}"
+            ),
+            FrameError::TrailingBytes { got } => {
+                write!(f, "{got} trailing byte(s) after the frame")
+            }
+            FrameError::Malformed => write!(f, "frame payload is not a valid record stream"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Appends one checksummed frame wrapping `payload` onto `out`.
+pub fn frame_encode(payload: &[u8], out: &mut Vec<u8>) {
+    out.reserve(payload.len() + FRAME_OVERHEAD);
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32::MAX bytes");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32c_update(crc32c(&len.to_le_bytes()), payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Decodes and verifies one frame from the front of `buf`, returning the
+/// payload and the unconsumed remainder.
+pub fn frame_decode(buf: &[u8]) -> Result<(&[u8], &[u8]), FrameError> {
+    if buf.len() < 4 {
+        return Err(FrameError::Truncated {
+            needed: FRAME_OVERHEAD,
+            got: buf.len(),
+        });
+    }
+    let header: [u8; 4] = buf[..4].try_into().expect("4-byte slice");
+    let len = u32::from_le_bytes(header) as usize;
+    let needed = len + FRAME_OVERHEAD;
+    if buf.len() < needed {
+        return Err(FrameError::Truncated {
+            needed,
+            got: buf.len(),
+        });
+    }
+    let payload = &buf[4..4 + len];
+    let stored = u32::from_le_bytes(buf[4 + len..needed].try_into().expect("4-byte slice"));
+    let expected = crc32c_update(crc32c(&header), payload);
+    if expected != stored {
+        return Err(FrameError::Corrupt {
+            expected,
+            got: stored,
+        });
+    }
+    Ok((payload, &buf[needed..]))
+}
+
+/// Decodes exactly one frame filling the whole buffer.
+///
+/// This is the shuffle-fetch entry point: a partition travels as one
+/// frame, so trailing bytes are as much a corruption signal as a bad
+/// checksum (a bit flip that shrinks the length prefix leaves them).
+pub fn frame_decode_exact(buf: &[u8]) -> Result<&[u8], FrameError> {
+    let (payload, rest) = frame_decode(buf)?;
+    if !rest.is_empty() {
+        return Err(FrameError::TrailingBytes { got: rest.len() });
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------
+// Wire: the deterministic byte codec behind the frames.
+// ---------------------------------------------------------------------
+
+/// Cursor over an encoded byte stream for [`Wire::wire_decode`].
+#[derive(Debug)]
+pub struct WireCursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireCursor<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// `true` iff every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the next `n` bytes, or `None` if fewer remain.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Some(head)
+    }
+
+    fn array<const N: usize>(&mut self) -> Option<[u8; N]> {
+        self.take(N)?.try_into().ok()
+    }
+}
+
+/// A value with a deterministic little-endian wire encoding.
+///
+/// Every key and value type crossing a shuffle boundary implements
+/// `Wire`; the engine encodes map-output partitions through it into
+/// checksummed frames and decodes them on the reduce side, so the codec
+/// is load-bearing — a round-trip bug changes job output, not just a
+/// byte count. Encodings mirror the [`ByteSized`] accounting (length
+/// prefixes are u32, integers are fixed-width little-endian).
+pub trait Wire: Sized {
+    /// Appends this value's encoding onto `out`.
+    fn wire_encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the cursor; `None` on any structural
+    /// mismatch (truncation, invalid length, bad tag).
+    fn wire_decode(r: &mut WireCursor<'_>) -> Option<Self>;
+}
+
+macro_rules! wire_int {
+    ($($t:ty),* $(,)?) => {
+        $(impl Wire for $t {
+            #[inline]
+            fn wire_encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn wire_decode(r: &mut WireCursor<'_>) -> Option<Self> {
+                r.array().map(<$t>::from_le_bytes)
+            }
+        })*
+    };
+}
+
+wire_int!(u8, u16, u32, u64, i32, i64, f32, f64);
+
+impl Wire for usize {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).wire_encode(out);
+    }
+    fn wire_decode(r: &mut WireCursor<'_>) -> Option<Self> {
+        usize::try_from(u64::wire_decode(r)?).ok()
+    }
+}
+
+impl Wire for bool {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn wire_decode(r: &mut WireCursor<'_>) -> Option<Self> {
+        match u8::wire_decode(r)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for () {
+    fn wire_encode(&self, _out: &mut Vec<u8>) {}
+    fn wire_decode(_r: &mut WireCursor<'_>) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl Wire for String {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).wire_encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn wire_decode(r: &mut WireCursor<'_>) -> Option<Self> {
+        let len = u32::wire_decode(r)? as usize;
+        String::from_utf8(r.take(len)?.to_vec()).ok()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).wire_encode(out);
+        for item in self {
+            item.wire_encode(out);
+        }
+    }
+    fn wire_decode(r: &mut WireCursor<'_>) -> Option<Self> {
+        let len = u32::wire_decode(r)? as usize;
+        let mut items = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            items.push(T::wire_decode(r)?);
+        }
+        Some(items)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.0.wire_encode(out);
+        self.1.wire_encode(out);
+    }
+    fn wire_decode(r: &mut WireCursor<'_>) -> Option<Self> {
+        Some((A::wire_decode(r)?, B::wire_decode(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.0.wire_encode(out);
+        self.1.wire_encode(out);
+        self.2.wire_encode(out);
+    }
+    fn wire_decode(r: &mut WireCursor<'_>) -> Option<Self> {
+        Some((A::wire_decode(r)?, B::wire_decode(r)?, C::wire_decode(r)?))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.wire_encode(out);
+            }
+        }
+    }
+    fn wire_decode(r: &mut WireCursor<'_>) -> Option<Self> {
+        match u8::wire_decode(r)? {
+            0 => Some(None),
+            1 => Some(Some(T::wire_decode(r)?)),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for Tuple {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.id.wire_encode(out);
+        (self.values.len() as u32).wire_encode(out);
+        for v in &*self.values {
+            v.wire_encode(out);
+        }
+    }
+    fn wire_decode(r: &mut WireCursor<'_>) -> Option<Self> {
+        let id = u64::wire_decode(r)?;
+        let dim = u32::wire_decode(r)? as usize;
+        let mut values = Vec::with_capacity(dim.min(1 << 10));
+        for _ in 0..dim {
+            values.push(f64::wire_decode(r)?);
+        }
+        Some(Tuple::new(id, values))
+    }
+}
+
+impl Wire for BitGrid {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).wire_encode(out);
+        for word in self.words() {
+            word.wire_encode(out);
+        }
+    }
+    fn wire_decode(r: &mut WireCursor<'_>) -> Option<Self> {
+        let len = u32::wire_decode(r)? as usize;
+        let word_count = len.div_ceil(64);
+        let mut words = Vec::with_capacity(word_count.min(1 << 16));
+        for _ in 0..word_count {
+            words.push(u64::wire_decode(r)?);
+        }
+        BitGrid::from_words(len, words)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framed pair streams: the shuffle-partition unit.
+// ---------------------------------------------------------------------
+
+/// Encodes a shuffle partition — a batch of key/value pairs — as one
+/// checksummed frame: `[count: u32][pair encodings…]` wrapped by
+/// [`frame_encode`]. Empty partitions encode to a valid (count 0) frame.
+pub fn encode_pairs<K: Wire, V: Wire>(pairs: &[(K, V)]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    (pairs.len() as u32).wire_encode(&mut payload);
+    for (k, v) in pairs {
+        k.wire_encode(&mut payload);
+        v.wire_encode(&mut payload);
+    }
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    frame_encode(&payload, &mut out);
+    out
+}
+
+/// Verifies and decodes one partition frame produced by [`encode_pairs`].
+pub fn decode_pairs<K: Wire, V: Wire>(frame: &[u8]) -> Result<Vec<(K, V)>, FrameError> {
+    let payload = frame_decode_exact(frame)?;
+    let mut r = WireCursor::new(payload);
+    let count = u32::wire_decode(&mut r).ok_or(FrameError::Malformed)? as usize;
+    let mut pairs = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let k = K::wire_decode(&mut r).ok_or(FrameError::Malformed)?;
+        let v = V::wire_decode(&mut r).ok_or(FrameError::Malformed)?;
+        pairs.push((k, v));
+    }
+    if !r.is_empty() {
+        return Err(FrameError::Malformed);
+    }
+    Ok(pairs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +543,172 @@ mod tests {
     fn bitgrid_charges_packed_words() {
         let b = BitGrid::zeros(128);
         assert_eq!(b.byte_size(), 4 + 16);
+    }
+
+    // -----------------------------------------------------------------
+    // CRC32C.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn crc32c_matches_published_check_values() {
+        // RFC 3720 appendix B.4 test vectors for CRC32C.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn crc32c_update_chains_like_concatenation() {
+        let whole = crc32c(b"hello world");
+        let chained = crc32c_update(crc32c(b"hello "), b"world");
+        assert_eq!(whole, chained);
+    }
+
+    // -----------------------------------------------------------------
+    // Frames.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn frame_roundtrip_including_empty_payload() {
+        for payload in [&b""[..], b"x", b"some longer payload bytes"] {
+            let mut frame = Vec::new();
+            frame_encode(payload, &mut frame);
+            assert_eq!(frame.len(), payload.len() + FRAME_OVERHEAD);
+            assert_eq!(frame_decode_exact(&frame).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn frame_decode_streams_multiple_frames() {
+        let mut buf = Vec::new();
+        frame_encode(b"first", &mut buf);
+        frame_encode(b"second", &mut buf);
+        let (a, rest) = frame_decode(&buf).unwrap();
+        assert_eq!(a, b"first");
+        let (b, rest) = frame_decode(rest).unwrap();
+        assert_eq!(b, b"second");
+        assert!(rest.is_empty());
+        assert!(matches!(
+            frame_decode_exact(&buf),
+            Err(FrameError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_rejects_truncation_and_corruption() {
+        let mut frame = Vec::new();
+        frame_encode(b"payload", &mut frame);
+        assert!(matches!(
+            frame_decode(&frame[..frame.len() - 1]),
+            Err(FrameError::Truncated { .. })
+        ));
+        assert!(matches!(
+            frame_decode(&[1, 0]),
+            Err(FrameError::Truncated { .. })
+        ));
+        let mut bad = frame.clone();
+        bad[5] ^= 0x10;
+        assert!(matches!(
+            frame_decode(&bad),
+            Err(FrameError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn pair_stream_roundtrip_and_empty_partition() {
+        let pairs: Vec<(u32, String)> = vec![(7, "alpha".into()), (9, String::new())];
+        let frame = encode_pairs(&pairs);
+        assert_eq!(decode_pairs::<u32, String>(&frame).unwrap(), pairs);
+        let empty: Vec<(u32, String)> = Vec::new();
+        let frame = encode_pairs(&empty);
+        assert_eq!(decode_pairs::<u32, String>(&frame).unwrap(), empty);
+    }
+
+    #[test]
+    fn wire_roundtrips_every_builtin() {
+        fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+            let mut bytes = Vec::new();
+            v.wire_encode(&mut bytes);
+            let mut r = WireCursor::new(&bytes);
+            assert_eq!(T::wire_decode(&mut r), Some(v));
+            assert!(r.is_empty(), "decoder left unconsumed bytes");
+        }
+        roundtrip(0xABu8);
+        roundtrip(0xABCDu16);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(-5i32);
+        roundtrip(-5i64);
+        roundtrip(1.5f32);
+        roundtrip(0.123_456_789f64);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(());
+        roundtrip(String::from("héllo"));
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip((1u8, 2u16));
+        roundtrip((1u8, 2u16, 3u32));
+        roundtrip(Some(7u64));
+        roundtrip(None::<u64>);
+        roundtrip(Tuple::new(42, vec![0.1, 0.2, 0.3]));
+        let mut grid = BitGrid::zeros(130);
+        grid.set(0);
+        grid.set(64);
+        grid.set(129);
+        roundtrip(grid);
+        roundtrip(vec![(3u32, vec![Tuple::new(1, vec![0.5])])]);
+    }
+
+    #[test]
+    fn wire_decode_rejects_malformed_streams() {
+        let mut r = WireCursor::new(&[1, 0, 0]);
+        assert_eq!(u32::wire_decode(&mut r), None);
+        let mut r = WireCursor::new(&[2u8]);
+        assert_eq!(bool::wire_decode(&mut r), None, "bad bool tag");
+        // A BitGrid with a set padding bit cannot come from the encoder.
+        let mut bytes = Vec::new();
+        1u32.wire_encode(&mut bytes);
+        u64::MAX.wire_encode(&mut bytes);
+        let mut r = WireCursor::new(&bytes);
+        assert_eq!(BitGrid::wire_decode(&mut r), None);
+    }
+
+    mod codec_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_tuple() -> impl Strategy<Value = Tuple> {
+            (any::<u64>(), proptest::collection::vec(0.0f64..1.0, 0..6))
+                .prop_map(|(id, values)| Tuple::new(id, values))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn pair_frames_roundtrip(
+                pairs in proptest::collection::vec((any::<u32>(), arb_tuple()), 0..24)
+            ) {
+                let frame = encode_pairs(&pairs);
+                let decoded = decode_pairs::<u32, Tuple>(&frame).expect("clean frame decodes");
+                prop_assert_eq!(decoded, pairs);
+            }
+
+            #[test]
+            fn any_single_bit_flip_is_caught(
+                pairs in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..8),
+                bit_seed in any::<u64>()
+            ) {
+                let frame = encode_pairs(&pairs);
+                let bit = (bit_seed % (frame.len() as u64 * 8)) as usize;
+                let mut corrupted = frame.clone();
+                corrupted[bit / 8] ^= 1 << (bit % 8);
+                prop_assert!(
+                    decode_pairs::<u32, u64>(&corrupted).is_err(),
+                    "bit {} flip went undetected", bit
+                );
+            }
+        }
     }
 }

@@ -51,6 +51,19 @@ pub enum Error {
         /// How many jobs had completed (and checkpointed) before the kill.
         after_jobs: usize,
     },
+    /// A checkpoint file failed its integrity check — a snapshot payload's
+    /// CRC32C no longer matches what was recorded at write time (bit rot at
+    /// rest), or the document itself is unreadable. Unlike a *stale*
+    /// checkpoint (job-name mismatch, which silently falls back to
+    /// execution), rot is surfaced: resuming from a damaged file aborts so
+    /// the operator can discard it deliberately.
+    CheckpointCorrupt {
+        /// Name of the job whose snapshot failed verification, or
+        /// `"<document>"` when the file as a whole is unreadable.
+        job: String,
+        /// What failed to verify.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -85,6 +98,10 @@ impl fmt::Display for Error {
                 f,
                 "pipeline killed after {after_jobs} completed job(s); checkpoint available for resume"
             ),
+            Error::CheckpointCorrupt { job, detail } => write!(
+                f,
+                "checkpoint for job `{job}` failed verification: {detail}"
+            ),
         }
     }
 }
@@ -113,5 +130,11 @@ mod tests {
             .contains("bad"));
         let killed = Error::PipelineKilled { after_jobs: 1 }.to_string();
         assert!(killed.contains('1') && killed.contains("resume"));
+        let rotted = Error::CheckpointCorrupt {
+            job: "bitstring".into(),
+            detail: "payload CRC32C mismatch".into(),
+        }
+        .to_string();
+        assert!(rotted.contains("bitstring") && rotted.contains("CRC32C"));
     }
 }

@@ -27,7 +27,10 @@ pub mod stats;
 pub mod tuple;
 
 pub use bitgrid::BitGrid;
-pub use bytes::ByteSized;
+pub use bytes::{
+    crc32c, crc32c_update, decode_pairs, encode_pairs, frame_decode, frame_decode_exact,
+    frame_encode, ByteSized, FrameError, Wire, WireCursor,
+};
 pub use dataset::Dataset;
 pub use dominance::{dominates, dominates_counted, DomOrdering};
 pub use error::{Error, Result};

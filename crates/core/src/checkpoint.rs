@@ -171,4 +171,50 @@ mod tests {
             fresh.info.surviving_partitions
         );
     }
+
+    #[test]
+    fn resuming_from_a_bit_rotted_checkpoint_aborts_with_a_structured_error() {
+        let ds = generate(Distribution::Independent, 2, 200, 7);
+        let path =
+            std::env::temp_dir().join(format!("skymr-core-rot-test-{}.json", std::process::id()));
+        mr_gpsrs(
+            &ds,
+            &SkylineConfig::test()
+                .with_checkpoint_file(&path)
+                .with_kill_after(1),
+        )
+        .expect_err("kill-point fires");
+
+        // Rot one payload bit in the file: swap the first hex digit of the
+        // bitstring snapshot's payload.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let at = text.find("\"payload\":\"").unwrap() + 11;
+        let swapped = if text.as_bytes()[at] == b'0' {
+            "1"
+        } else {
+            "0"
+        };
+        let mut rotted = text;
+        rotted.replace_range(at..at + 1, swapped);
+        std::fs::write(&path, rotted).unwrap();
+
+        let err = mr_gpsrs(
+            &ds,
+            &SkylineConfig::test()
+                .with_checkpoint_file(&path)
+                .with_resume(true),
+        )
+        .expect_err("rot must abort the resume, not silently re-run");
+        let _ = std::fs::remove_file(&path);
+        match err {
+            Error::CheckpointCorrupt { job, detail } => {
+                assert_eq!(job, "bitstring");
+                assert!(
+                    detail.contains("CRC32C"),
+                    "detail names the check: {detail}"
+                );
+            }
+            other => panic!("expected CheckpointCorrupt, got {other:?}"),
+        }
+    }
 }

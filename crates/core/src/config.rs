@@ -1,6 +1,7 @@
 //! Configuration for the skyline pipelines.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use skymr_common::{Error, Result};
 use skymr_mapreduce::{Checkpoint, ClusterConfig, Collector, FaultTolerance, Runner};
@@ -19,8 +20,11 @@ pub struct CheckpointConfig {
     /// Checkpoint file, rewritten after every completed job (and read back
     /// on resume). `None` keeps checkpoints in memory only.
     pub file: Option<PathBuf>,
-    /// Resume from `file` when it holds a valid checkpoint; a missing or
-    /// stale file silently falls back to a fresh run.
+    /// Resume from `file` when it holds a valid checkpoint. A missing file
+    /// falls back to a fresh run; a file that fails its CRC32C payload
+    /// verification aborts with
+    /// [`Error::CheckpointCorrupt`] instead — bit rot
+    /// is surfaced, never silently re-run over.
     pub resume: bool,
     /// Chaos kill-point: abort with
     /// [`Error::PipelineKilled`] when entering the
@@ -30,14 +34,15 @@ pub struct CheckpointConfig {
 
 impl CheckpointConfig {
     /// Builds the [`Runner`] these controls describe.
-    pub fn runner(&self) -> Runner {
-        let mut runner = if self.resume {
-            self.file
-                .as_deref()
-                .and_then(|p| Checkpoint::load(p).map(Runner::resume))
-                .unwrap_or_default()
-        } else {
-            Runner::new()
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CheckpointCorrupt`] when resuming from a checkpoint file
+    /// whose payloads fail CRC32C verification.
+    pub fn runner(&self) -> Result<Runner> {
+        let mut runner = match (self.resume, self.file.as_deref()) {
+            (true, Some(path)) => Checkpoint::load(path)?.map_or_else(Runner::new, Runner::resume),
+            _ => Runner::new(),
         };
         if let Some(n) = self.kill_after {
             runner = runner.with_kill_after(n);
@@ -45,7 +50,7 @@ impl CheckpointConfig {
         if let Some(path) = &self.file {
             runner = runner.with_checkpoint_file(path);
         }
-        runner
+        Ok(runner)
     }
 }
 
@@ -171,6 +176,23 @@ impl SkylineConfig {
         self
     }
 
+    /// Enables (or disables) Hadoop-style skip-bad-records recovery on the
+    /// simulated cluster: a record that deterministically fails its task is
+    /// narrowed to and skipped, and the job completes with
+    /// `degraded: true` instead of aborting. Off by default — skipping
+    /// changes the job's output.
+    pub fn with_skip_bad_records(mut self, skip: bool) -> Self {
+        self.cluster.skip_bad_records = skip;
+        self
+    }
+
+    /// Sets the simulated-clock progress timeout after which a hung
+    /// attempt is killed and retried.
+    pub fn with_progress_timeout(mut self, timeout: Duration) -> Self {
+        self.cluster.progress_timeout = timeout;
+        self
+    }
+
     /// Attaches (or detaches) a span collector for the pipeline's jobs.
     pub fn with_telemetry(mut self, collector: Option<Collector>) -> Self {
         self.telemetry = collector;
@@ -237,10 +259,14 @@ mod tests {
         let c = SkylineConfig::test()
             .with_ppd(5)
             .with_mappers(2)
-            .with_reducers(3);
+            .with_reducers(3)
+            .with_skip_bad_records(true)
+            .with_progress_timeout(Duration::from_millis(9));
         assert_eq!(c.ppd, PpdPolicy::Fixed(5));
         assert_eq!(c.mappers, 2);
         assert_eq!(c.reducers, 3);
+        assert!(c.cluster.skip_bad_records);
+        assert_eq!(c.cluster.progress_timeout, Duration::from_millis(9));
     }
 
     #[test]

@@ -256,7 +256,7 @@ pub fn mr_gpmrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Resu
     let splits = dataset.split(config.mappers);
     let mut metrics = PipelineMetrics::new();
     let mut counters = std::collections::BTreeMap::new();
-    let mut runner = config.checkpoint.runner();
+    let mut runner = config.checkpoint.runner()?;
 
     let BitstringStage {
         bitstring,

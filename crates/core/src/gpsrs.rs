@@ -255,7 +255,7 @@ pub fn mr_gpsrs(dataset: &Dataset, config: &SkylineConfig) -> skymr_common::Resu
     let splits = dataset.split(config.mappers);
     let mut metrics = PipelineMetrics::new();
     let mut counters = std::collections::BTreeMap::new();
-    let mut runner = config.checkpoint.runner();
+    let mut runner = config.checkpoint.runner()?;
 
     let BitstringStage {
         bitstring,

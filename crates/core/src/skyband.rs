@@ -32,7 +32,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use skymr_common::dominance::dominates;
-use skymr_common::{dataset::canonicalize, ByteSized, Counters, Dataset, Tuple};
+use skymr_common::{dataset::canonicalize, ByteSized, Counters, Dataset, Tuple, Wire, WireCursor};
 use skymr_mapreduce::{
     run_job, Emitter, JobConfig, JobMetrics, MapFactory, MapTask, OutputCollector, PipelineMetrics,
     ReduceFactory, ReduceTask, SingleReducerPartitioner, TaskContext,
@@ -174,6 +174,31 @@ impl Countstring {
 impl ByteSized for Countstring {
     fn byte_size(&self) -> u64 {
         8 + self.counts.len() as u64 * 8 + self.pruned.len() as u64
+    }
+}
+
+impl Wire for Countstring {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        (self.grid.dim() as u32).wire_encode(out);
+        (self.grid.ppd() as u32).wire_encode(out);
+        self.counts.wire_encode(out);
+        self.pruned.wire_encode(out);
+    }
+
+    fn wire_decode(r: &mut WireCursor<'_>) -> Option<Self> {
+        let dim = u32::wire_decode(r)? as usize;
+        let ppd = u32::wire_decode(r)? as usize;
+        let grid = Grid::new(dim, ppd).ok()?;
+        let counts = Vec::<u64>::wire_decode(r)?;
+        let pruned = Vec::<bool>::wire_decode(r)?;
+        if counts.len() != grid.num_partitions() || pruned.len() != grid.num_partitions() {
+            return None;
+        }
+        Some(Self {
+            grid,
+            counts,
+            pruned,
+        })
     }
 }
 

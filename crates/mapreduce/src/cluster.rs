@@ -124,6 +124,16 @@ pub struct ClusterConfig {
     /// declaring it dead. Charged to the simulated clock once per lost
     /// node, before re-execution of its map outputs begins.
     pub heartbeat_timeout: Duration,
+    /// How long an attempt may go without reporting progress before the
+    /// tracker kills it (Hadoop's `mapred.task.timeout`). A hung attempt
+    /// occupies its slot for exactly this long on the simulated clock,
+    /// then fails and retries.
+    pub progress_timeout: Duration,
+    /// Hadoop-style `SkipBadRecords`: when a map task exhausts its retry
+    /// budget panicking on the same input record, the engine narrows to
+    /// that record, skips it, and completes the job `degraded` instead of
+    /// aborting. Off by default — skipping changes the job's output.
+    pub skip_bad_records: bool,
 }
 
 impl Default for ClusterConfig {
@@ -139,6 +149,8 @@ impl Default for ClusterConfig {
                 .map_or(4, std::num::NonZeroUsize::get),
             placement: None,
             heartbeat_timeout: Duration::from_secs(30),
+            progress_timeout: Duration::from_secs(600),
+            skip_bad_records: false,
         }
     }
 }
@@ -157,6 +169,8 @@ impl ClusterConfig {
             host_threads: 4,
             placement: None,
             heartbeat_timeout: Duration::from_millis(2),
+            progress_timeout: Duration::from_millis(5),
+            skip_bad_records: false,
         }
     }
 
@@ -319,6 +333,15 @@ pub struct JobMetrics {
     pub reexecution_time: Duration,
     /// Nodes removed from scheduling by the blacklist policy.
     pub nodes_blacklisted: u64,
+    /// Shuffle fetches whose frame failed checksum verification (each is
+    /// either re-fetched or escalated to a map re-execution).
+    pub corrupt_fetches: u64,
+    /// Input records skipped by the skip-bad-records policy.
+    pub records_skipped: u64,
+    /// `true` iff the job completed by skipping poisoned records — its
+    /// output is the fault-free output of the input minus the skipped
+    /// records, not of the full input.
+    pub degraded: bool,
 }
 
 impl JobMetrics {
@@ -354,6 +377,9 @@ impl JobMetrics {
             maps_reexecuted: 0,
             reexecution_time: Duration::ZERO,
             nodes_blacklisted: 0,
+            corrupt_fetches: 0,
+            records_skipped: 0,
+            degraded: false,
         }
     }
 

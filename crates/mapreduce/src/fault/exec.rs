@@ -30,6 +30,12 @@ pub enum FailureCause {
         /// Best-effort text of the panic payload.
         message: String,
     },
+    /// The attempt made no progress and was killed by the progress-timeout
+    /// detector after `timeout` of simulated time.
+    Hang {
+        /// The progress timeout that was waited out before the kill.
+        timeout: Duration,
+    },
 }
 
 impl std::fmt::Display for FailureCause {
@@ -37,6 +43,9 @@ impl std::fmt::Display for FailureCause {
         match self {
             FailureCause::LostOutput => f.write_str("output lost after completion"),
             FailureCause::Panic { message } => write!(f, "panicked: {message}"),
+            FailureCause::Hang { timeout } => {
+                write!(f, "made no progress for {timeout:?}; killed")
+            }
         }
     }
 }
@@ -111,12 +120,16 @@ impl<T> TaskExecution<T> {
 ///   budget — the reduce phase passes the number of retained input clones
 ///   here, since an attempt without input cannot be replayed. `None`
 ///   means the input is always re-readable (map tasks).
+/// * A [`FaultKind::Hang`] attempt never runs at all: the progress-timeout
+///   detector waits out `hang_timeout` of simulated time, kills it, and
+///   charges the whole window as lost slot time before the retry launches.
 /// * Exponential backoff is charged after every failed attempt that is
 ///   followed by another one.
 pub fn run_attempts<T>(
     fault: &TaskFault,
     policy: &RetryPolicy,
     replay_limit: Option<u32>,
+    hang_timeout: Duration,
     mut run: impl FnMut(u32, Inject) -> T,
 ) -> TaskExecution<T> {
     let budget = policy.attempt_budget();
@@ -127,6 +140,22 @@ pub fn run_attempts<T>(
     let mut payload = None;
     for attempt in 0..cap {
         let scheduled = attempt < fault.failures;
+        if scheduled && fault.kind == FaultKind::Hang {
+            // The attempt is wedged: nothing executes, the slot sits idle
+            // until the detector declares it dead on the model clock.
+            failures.push(AttemptFailure {
+                attempt,
+                cause: FailureCause::Hang {
+                    timeout: hang_timeout,
+                },
+                duration: hang_timeout,
+            });
+            lost_time += hang_timeout;
+            if attempt + 1 < cap {
+                backoff += policy.backoff_after(attempt);
+            }
+            continue;
+        }
         let inject = if scheduled && fault.kind == FaultKind::MidTaskPanic {
             Inject::MidTaskPanic
         } else {
@@ -189,12 +218,73 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU32, Ordering};
 
+    /// Progress timeout used by the tests — deliberately distinctive so
+    /// assertions can recognize it in the charged durations.
+    const HANG: Duration = Duration::from_millis(7);
+
+    #[test]
+    fn hung_attempts_never_run_and_charge_the_timeout() {
+        let calls = AtomicU32::new(0);
+        let exec = run_attempts(
+            &TaskFault::hangs(2),
+            &RetryPolicy::new(),
+            None,
+            HANG,
+            |a, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                a
+            },
+        );
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "only the post-hang retry actually executes"
+        );
+        assert_eq!(exec.value, Some(2));
+        assert_eq!(exec.attempts, 3);
+        assert_eq!(exec.failures.len(), 2);
+        assert!(exec
+            .failures
+            .iter()
+            .all(|f| f.cause == FailureCause::Hang { timeout: HANG } && f.duration == HANG));
+        assert_eq!(exec.lost_time, HANG * 2, "each kill charges the timeout");
+        // Backoff after each of the two kills: 100 + 200 ms.
+        assert_eq!(exec.backoff, Duration::from_millis(300));
+        assert!(exec.payload.is_none(), "a hang carries no panic payload");
+    }
+
+    #[test]
+    fn hangs_beyond_budget_exhaust_the_task_without_running_it() {
+        let calls = AtomicU32::new(0);
+        let exec = run_attempts(
+            &TaskFault::hangs(10),
+            &RetryPolicy::new().with_max_attempts(2),
+            None,
+            HANG,
+            |_, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                1
+            },
+        );
+        assert!(!exec.succeeded());
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "every attempt hung");
+        assert_eq!(exec.attempts, 2);
+        assert_eq!(exec.failures.len(), 2);
+        assert_eq!(exec.lost_time, HANG * 2);
+    }
+
     #[test]
     fn healthy_task_runs_once_with_no_overheads() {
-        let exec = run_attempts(&TaskFault::none(), &RetryPolicy::new(), None, |a, i| {
-            assert_eq!((a, i), (0, Inject::None));
-            7
-        });
+        let exec = run_attempts(
+            &TaskFault::none(),
+            &RetryPolicy::new(),
+            None,
+            HANG,
+            |a, i| {
+                assert_eq!((a, i), (0, Inject::None));
+                7
+            },
+        );
         assert_eq!(exec.value, Some(7));
         assert_eq!(exec.attempts, 1);
         assert_eq!(exec.retries(), 0);
@@ -205,10 +295,16 @@ mod tests {
     #[test]
     fn lost_output_failures_burn_attempts_then_succeed() {
         let calls = AtomicU32::new(0);
-        let exec = run_attempts(&TaskFault::lost(2), &RetryPolicy::new(), None, |a, _| {
-            calls.fetch_add(1, Ordering::Relaxed);
-            a
-        });
+        let exec = run_attempts(
+            &TaskFault::lost(2),
+            &RetryPolicy::new(),
+            None,
+            HANG,
+            |a, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                a
+            },
+        );
         assert_eq!(
             calls.load(Ordering::Relaxed),
             3,
@@ -232,6 +328,7 @@ mod tests {
             &TaskFault::panics(1),
             &RetryPolicy::new(),
             None,
+            HANG,
             |a, inject| {
                 if inject == Inject::MidTaskPanic {
                     panic!("injected crash on attempt {a}");
@@ -256,6 +353,7 @@ mod tests {
             &TaskFault::none(),
             &RetryPolicy::new().with_max_attempts(3),
             None,
+            HANG,
             |_, _| -> u32 { panic!("always broken") },
         );
         assert!(!exec.succeeded());
@@ -273,6 +371,7 @@ mod tests {
             &TaskFault::none(),
             &RetryPolicy::new(),
             Some(1),
+            HANG,
             |_, _| -> u32 {
                 calls.fetch_add(1, Ordering::Relaxed);
                 panic!("input consumed")
@@ -290,6 +389,7 @@ mod tests {
             &TaskFault::lost(10),
             &RetryPolicy::new().with_max_attempts(2),
             None,
+            HANG,
             |_, _| 1,
         );
         assert!(!exec.succeeded());

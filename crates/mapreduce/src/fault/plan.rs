@@ -48,6 +48,11 @@ pub enum FaultKind {
     /// crash). The panic is caught per-attempt in the worker pool and
     /// converted into a task failure, so sibling tasks are unaffected.
     MidTaskPanic,
+    /// The attempt stops making progress forever (a wedged JVM, a stuck
+    /// NFS mount). It never runs; the progress-timeout detector kills it
+    /// after [`crate::ClusterConfig::progress_timeout`] on the simulated
+    /// clock, and the retry path takes over.
+    Hang,
 }
 
 /// The injected faults of a single task, resolved from a [`FaultPlan`].
@@ -87,6 +92,15 @@ impl TaskFault {
         Self {
             failures: n,
             kind: FaultKind::MidTaskPanic,
+            slowdown: 1.0,
+        }
+    }
+
+    /// `n` hung attempts (killed by the progress timeout).
+    pub fn hangs(n: u32) -> Self {
+        Self {
+            failures: n,
+            kind: FaultKind::Hang,
             slowdown: 1.0,
         }
     }
@@ -150,6 +164,31 @@ pub struct NodePartition {
 const NODE_LOSS_SALT: u64 = 0x4E0D_E001;
 /// Hash salt for seeded node-partition decisions.
 const NODE_PART_SALT: u64 = 0x4E0D_E002;
+/// Hash salt for seeded shuffle-frame corruption decisions (and the bit
+/// position the flip lands on).
+const CORRUPT_SALT: u64 = 0xDA7A_0001;
+
+/// One shuffle partition whose fetched frame bytes arrive corrupted, as
+/// resolved from a [`FaultPlan`].
+///
+/// `fetches` is how many consecutive fetch attempts deliver a corrupted
+/// frame: `1` models a transient transfer error (the re-fetch succeeds);
+/// `2` or more models at-rest corruption of the materialized map output —
+/// the re-fetch fails too, and the engine re-executes the producing map
+/// task. `bit_seed` picks the flipped bit deterministically
+/// (`bit_seed % (frame_len * 8)`), so the corruption is replayable
+/// bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptFetch {
+    /// Producing map task.
+    pub map: usize,
+    /// Fetching reducer.
+    pub reducer: usize,
+    /// Consecutive fetch attempts that deliver corrupted bytes.
+    pub fetches: u32,
+    /// Seed for the flipped bit position within the encoded frame.
+    pub bit_seed: u64,
+}
 
 /// Fault rates for seeded plans, in permille (0–1000) so profiles stay
 /// `Eq`-comparable and platform-independent.
@@ -179,6 +218,15 @@ pub struct FaultProfile {
     /// Chance each node suffers a transient network partition that stalls
     /// the shuffle. Zero in the default profile.
     pub node_partition_permille: u32,
+    /// Chance each (map task, reducer) shuffle frame arrives corrupted at
+    /// the fetching reducer (checksum verification catches it). Zero in
+    /// the default profile, so pre-existing seeded plans replay
+    /// bit-for-bit.
+    pub corrupt_shuffle_permille: u32,
+    /// Of the faulty tasks, the fraction whose failed attempts *hang*
+    /// (no progress until the progress-timeout kill) instead of failing
+    /// per their drawn kind. Zero in the default profile.
+    pub hang_permille: u32,
 }
 
 impl Default for FaultProfile {
@@ -197,6 +245,8 @@ impl Default for FaultProfile {
             broadcast_fail_permille: 200,
             node_loss_permille: 0,
             node_partition_permille: 0,
+            corrupt_shuffle_permille: 0,
+            hang_permille: 0,
         }
     }
 }
@@ -216,6 +266,29 @@ impl FaultProfile {
             broadcast_fail_permille: 0,
             node_loss_permille: 400,
             node_partition_permille: 200,
+            corrupt_shuffle_permille: 0,
+            hang_permille: 0,
+        }
+    }
+
+    /// A data-hostile cluster: shuffle frames arrive corrupted and task
+    /// attempts wedge, but machines stay up — the profile behind
+    /// [`FaultPlan::chaos_data`], aimed at exercising checksum
+    /// verification, re-fetch, map re-execution, and the progress-timeout
+    /// kill path.
+    pub fn data() -> Self {
+        Self {
+            task_fault_permille: 150,
+            max_failures_per_task: 1,
+            mid_task_permille: 500,
+            straggler_permille: 0,
+            straggler_slowdown: 1.0,
+            lost_partition_permille: 0,
+            broadcast_fail_permille: 0,
+            node_loss_permille: 0,
+            node_partition_permille: 0,
+            corrupt_shuffle_permille: 250,
+            hang_permille: 400,
         }
     }
 }
@@ -244,6 +317,15 @@ pub struct FaultPlan {
     pub reduce_faults: BTreeMap<usize, TaskFault>,
     /// Scripted lost shuffle partitions, as `(map task, reducer)` pairs.
     pub lost_partitions: BTreeSet<(usize, usize)>,
+    /// Scripted corrupted shuffle fetches: `(map task, reducer)` → how
+    /// many consecutive fetches deliver corrupted frame bytes.
+    pub corrupt_shuffle: BTreeMap<(usize, usize), u32>,
+    /// Scripted poisoned input records, as `(map task, record index)`
+    /// pairs: the mapper's UDF deterministically panics on that record,
+    /// on every attempt. Scripted-only — a poisoned record changes the
+    /// job's output under skip-bad-records, so it never rides the seeded
+    /// layer.
+    pub poison_records: BTreeSet<(usize, usize)>,
     /// Scripted failed broadcast attempts before the cache lands.
     pub broadcast_failures: u32,
     /// Scripted node deaths (ignored unless the cluster has a placement).
@@ -305,6 +387,13 @@ impl FaultPlan {
         Self::chaos(seed, FaultProfile::nodes())
     }
 
+    /// A seeded data-hostile plan ([`FaultProfile::data`]): shuffle frames
+    /// corrupt in flight and at rest, and task attempts hang until the
+    /// progress timeout kills them.
+    pub fn chaos_data(seed: u64) -> Self {
+        Self::chaos(seed, FaultProfile::data())
+    }
+
     /// Adds a scripted fault for map task `index`.
     pub fn with_map_fault(mut self, index: usize, fault: TaskFault) -> Self {
         self.map_faults.insert(index, fault);
@@ -321,6 +410,24 @@ impl FaultPlan {
     /// `reducer` after the map phase completes.
     pub fn with_lost_partition(mut self, map_index: usize, reducer: usize) -> Self {
         self.lost_partitions.insert((map_index, reducer));
+        self
+    }
+
+    /// Corrupts the shuffle frame from map task `map_index` to reducer
+    /// `reducer` for `fetches` consecutive fetch attempts: `1` is a
+    /// transient transfer error (the re-fetch succeeds), `2` or more is
+    /// at-rest corruption (the producing map task re-executes).
+    pub fn with_corrupt_shuffle(mut self, map_index: usize, reducer: usize, fetches: u32) -> Self {
+        self.corrupt_shuffle.insert((map_index, reducer), fetches);
+        self
+    }
+
+    /// Poisons record `record` of map task `map_index`'s split: the UDF
+    /// deterministically panics there on every attempt. Without
+    /// skip-bad-records the task exhausts its retry budget and the job
+    /// aborts; with it, the engine narrows to the record and skips it.
+    pub fn with_poison_record(mut self, map_index: usize, record: usize) -> Self {
+        self.poison_records.insert((map_index, record));
         self
     }
 
@@ -360,6 +467,8 @@ impl FaultPlan {
         self.map_faults.is_empty()
             && self.reduce_faults.is_empty()
             && self.lost_partitions.is_empty()
+            && self.corrupt_shuffle.is_empty()
+            && self.poison_records.is_empty()
             && self.broadcast_failures == 0
             && self.node_losses.is_empty()
             && self.node_partitions.is_empty()
@@ -413,6 +522,64 @@ impl FaultPlan {
             }
         }
         lost.into_iter().collect()
+    }
+
+    /// All corrupted shuffle fetches of a job with `m` map and `r` reduce
+    /// tasks: scripted entries (which override the seeded layer per
+    /// partition) plus seeded draws, sorted by `(map, reducer)`. The bit
+    /// the flip lands on is itself a pure function of the decision hash,
+    /// so a corrupted frame is byte-identical across replays.
+    pub fn corrupt_fetches_for(&self, job: &str, m: usize, r: usize) -> Vec<CorruptFetch> {
+        if !self.applies_to(job) {
+            return Vec::new();
+        }
+        let mut by_key: BTreeMap<(usize, usize), (u32, u64)> = BTreeMap::new();
+        if let Some(seeded) = &self.seeded {
+            let rate = seeded.profile.corrupt_shuffle_permille;
+            if rate > 0 {
+                for i in 0..m {
+                    for j in 0..r {
+                        let h = decision(seeded.seed, job, CORRUPT_SALT, i as u64, j as u64);
+                        if permille(h) < rate {
+                            let (h, count_draw) = next(h);
+                            let (_, bit_draw) = next(h);
+                            by_key.insert((i, j), (1 + (count_draw % 2) as u32, bit_draw));
+                        }
+                    }
+                }
+            }
+        }
+        for (&(i, j), &fetches) in &self.corrupt_shuffle {
+            if i < m && j < r && fetches > 0 {
+                // Scripted plans may have no seed; the bit position still
+                // has to be deterministic, so derive it from the partition
+                // coordinates alone.
+                let bit_seed = decision(0xDA7A, job, CORRUPT_SALT, i as u64, j as u64);
+                by_key.insert((i, j), (fetches, bit_seed));
+            }
+        }
+        by_key
+            .into_iter()
+            .map(|((map, reducer), (fetches, bit_seed))| CorruptFetch {
+                map,
+                reducer,
+                fetches,
+                bit_seed,
+            })
+            .collect()
+    }
+
+    /// The poisoned record indices of map task `map_index`'s split, in
+    /// increasing order (scripted-only; the seeded layer never poisons).
+    pub fn poison_records_for(&self, job: &str, map_index: usize) -> Vec<usize> {
+        if !self.applies_to(job) {
+            return Vec::new();
+        }
+        self.poison_records
+            .iter()
+            .filter(|&&(i, _)| i == map_index)
+            .map(|&(_, record)| record)
+            .collect()
     }
 
     /// All node losses of a job on a cluster with `nodes` machines:
@@ -508,14 +675,19 @@ fn derive_task_fault(seeded: &SeededFaults, job: &str, kind: TaskKind, index: us
     let (h, fail_draw) = next(h);
     let (h, count_draw) = next(h);
     let (h, kind_draw) = next(h);
-    let (_, straggle_draw) = next(h);
+    let (h, straggle_draw) = next(h);
+    // The hang draw extends the chain *after* every pre-existing draw, so
+    // profiles with `hang_permille: 0` replay pinned seeds bit-for-bit.
+    let (_, hang_draw) = next(h);
     let failures = if permille(fail_draw) < p.task_fault_permille {
         let span = u64::from(p.max_failures_per_task.max(1));
         1 + (count_draw % span) as u32 // invariant: span is clamped to >= 1 above
     } else {
         0
     };
-    let kind = if permille(kind_draw) < p.mid_task_permille {
+    let kind = if permille(hang_draw) < p.hang_permille {
+        FaultKind::Hang
+    } else if permille(kind_draw) < p.mid_task_permille {
         FaultKind::MidTaskPanic
     } else {
         FaultKind::LostOutput
@@ -746,6 +918,75 @@ mod tests {
         assert_eq!(p.node_partitions_for("skyline", 4).len(), 1);
         assert!(p.node_partitions_for("bitstring", 4).is_empty());
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn corrupt_fetches_respect_bounds_filter_and_determinism() {
+        let p = FaultPlan::none()
+            .with_corrupt_shuffle(1, 0, 1)
+            .with_corrupt_shuffle(9, 9, 2)
+            .for_job("skyline");
+        let hits = p.corrupt_fetches_for("skyline", 3, 3);
+        assert_eq!(hits.len(), 1, "out-of-range partitions are ignored");
+        assert_eq!((hits[0].map, hits[0].reducer, hits[0].fetches), (1, 0, 1));
+        assert!(p.corrupt_fetches_for("bitstring", 3, 3).is_empty());
+        assert_eq!(hits, p.corrupt_fetches_for("skyline", 3, 3));
+        assert!(!FaultPlan::none().with_corrupt_shuffle(0, 0, 1).is_empty());
+        // Zero-fetch entries are inert.
+        assert!(FaultPlan::none()
+            .with_corrupt_shuffle(0, 0, 0)
+            .corrupt_fetches_for("j", 2, 2)
+            .is_empty());
+    }
+
+    #[test]
+    fn seeded_corruption_is_replayable_and_rate_bounded() {
+        let a = FaultPlan::chaos_data(21);
+        let b = FaultPlan::chaos_data(21);
+        assert_eq!(
+            a.corrupt_fetches_for("j", 8, 8),
+            b.corrupt_fetches_for("j", 8, 8)
+        );
+        // The default profile keeps corruption off, so pinned seeds replay.
+        assert!(FaultPlan::seeded(21)
+            .corrupt_fetches_for("j", 8, 8)
+            .is_empty());
+        // ~25% of 64 partitions, generous tolerance; every draw has a
+        // valid fetch count.
+        let hits = a.corrupt_fetches_for("j", 8, 8);
+        assert!((4..30).contains(&hits.len()), "hits: {}", hits.len());
+        assert!(hits.iter().all(|c| (1..=2).contains(&c.fetches)));
+        // Hang draws appear under the data profile but never under the
+        // default one (replay compatibility).
+        let hangs = (0..256)
+            .filter(|&i| a.task_fault("j", TaskKind::Map, i).kind == FaultKind::Hang)
+            .count();
+        assert!(hangs > 0, "data profile never drew a hang over 256 tasks");
+        assert!((0..256).all(|i| {
+            FaultPlan::seeded(21).task_fault("j", TaskKind::Map, i).kind != FaultKind::Hang
+        }));
+    }
+
+    #[test]
+    fn poison_records_are_scripted_per_task_and_filtered() {
+        let p = FaultPlan::none()
+            .with_poison_record(1, 3)
+            .with_poison_record(1, 0)
+            .with_poison_record(2, 5)
+            .for_job("skyline");
+        assert_eq!(p.poison_records_for("skyline", 1), vec![0, 3]);
+        assert_eq!(p.poison_records_for("skyline", 2), vec![5]);
+        assert!(p.poison_records_for("skyline", 0).is_empty());
+        assert!(p.poison_records_for("bitstring", 1).is_empty());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn hang_builder_sets_the_kind() {
+        let f = TaskFault::hangs(2);
+        assert_eq!(f.failures, 2);
+        assert_eq!(f.kind, FaultKind::Hang);
+        assert!(!f.is_none());
     }
 
     #[test]

@@ -2,22 +2,23 @@
 //! fault tolerance (bounded retries, backoff, speculative execution).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use skymr_common::Counters;
+use skymr_common::{decode_pairs, encode_pairs, Counters};
 
 use crate::cluster::{makespan, ClusterConfig, JobMetrics, Placement};
 use crate::combiner::{Combiner, NoCombiner};
 use crate::fault::{
-    run_attempts, BlacklistPolicy, FaultPlan, FaultTolerance, Inject, JobError, RetryPolicy,
-    SpeculationPolicy, TaskExecution, TaskFault, TaskKind,
+    run_attempts, BlacklistPolicy, CorruptFetch, FailureCause, FaultPlan, FaultTolerance, Inject,
+    JobError, RetryPolicy, SpeculationPolicy, TaskExecution, TaskFault, TaskKind,
 };
 use crate::partitioner::Partitioner;
 use crate::pool::run_indexed;
 use crate::task::{
     Emitter, MapFactory, MapTask, OutputCollector, ReduceFactory, ReduceTask, TaskContext,
 };
-use crate::trace::{FailKind, JobRecord, NodeLossEvent, TaskModel};
+use crate::trace::{CorruptEvent, FailKind, JobRecord, NodeLossEvent, TaskModel};
 use skymr_telemetry::{Collector, MetricsRegistry};
 
 /// Per-job configuration.
@@ -390,7 +391,18 @@ where
     let broadcast_time = cluster.broadcast_time(config.cache_bytes) * broadcast_attempts;
 
     // ---- Map phase -------------------------------------------------------
-    let run_map_attempt = |i: usize, attempt: u32, inject: Inject| -> MapResult<K, V> {
+    // Scripted poison records: the UDF deterministically dies on these on
+    // every attempt, so only the skip-bad-records protocol below can get
+    // the task past them.
+    let map_poison: Vec<Vec<usize>> = (0..m)
+        .map(|i| plan.poison_records_for(&config.name, i))
+        .collect();
+    let run_map_attempt = |i: usize,
+                           attempt: u32,
+                           inject: Inject,
+                           skips: &BTreeSet<usize>,
+                           progress: &AtomicUsize|
+     -> MapResult<K, V> {
         let ctx = TaskContext {
             task_index: i,
             num_tasks: m,
@@ -413,9 +425,20 @@ where
             ));
         }
         for (n, record) in split.iter().enumerate() {
+            // The tracker's per-attempt progress report: if this attempt
+            // dies, record `n` is the suspect the skip protocol narrows to.
+            progress.store(n, Ordering::Relaxed);
             if crash_at == Some(n) {
                 crate::pool::raise_injected_panic(format!(
                     "[fault-injection] map task {i} attempt {attempt} crashed mid-task"
+                ));
+            }
+            if skips.contains(&n) {
+                continue;
+            }
+            if map_poison[i].binary_search(&n).is_ok() {
+                crate::pool::raise_injected_panic(format!(
+                    "[fault-injection] map task {i} attempt {attempt} poisoned at record {n}"
                 ));
             }
             task.map(record, &mut emitter);
@@ -449,17 +472,73 @@ where
         }
     };
 
-    let mut map_execs: Vec<(TaskExecution<MapResult<K, V>>, TaskFault)> =
-        run_indexed(m, cluster.host_threads, |i| {
-            let fault = plan.task_fault(&config.name, TaskKind::Map, i);
-            // Map inputs are immutable splits, so every attempt can replay.
-            let exec = run_attempts(&fault, &config.retry, None, |attempt, inject| {
-                run_map_attempt(i, attempt, inject)
-            });
-            (exec, fault)
-        })
-        .into_iter()
-        .map(|(v, _)| v)
+    let map_runs = run_indexed(m, cluster.host_threads, |i| {
+        let fault = plan.task_fault(&config.name, TaskKind::Map, i);
+        let mut skips: BTreeSet<usize> = BTreeSet::new();
+        let progress = AtomicUsize::new(usize::MAX);
+        // Map inputs are immutable splits, so every attempt can replay.
+        progress.store(usize::MAX, Ordering::Relaxed);
+        let mut exec = run_attempts(
+            &fault,
+            &config.retry,
+            None,
+            cluster.progress_timeout,
+            |attempt, inject| run_map_attempt(i, attempt, inject, &skips, &progress),
+        );
+        // Hadoop's skip-bad-records protocol: when the budget exhausts
+        // with a panic, the tracker's last progress report names the
+        // suspect record; it enters the skip set and the task re-runs
+        // without it. Scripted attempt failures were consumed by the
+        // first round, so later rounds face only the data. Each round
+        // retires one record, bounding the loop by the split length.
+        let mut round_fault = fault;
+        round_fault.failures = 0;
+        for _round in 0..splits[i].len() {
+            if exec.succeeded() || !cluster.skip_bad_records {
+                break;
+            }
+            // Only a panicking attempt names a record; lost outputs and
+            // hangs are the node's fault, not the data's.
+            let panicked = matches!(
+                exec.failures.last().map(|f| &f.cause),
+                Some(FailureCause::Panic { .. })
+            );
+            let suspect = progress.load(Ordering::Relaxed);
+            if !panicked || suspect >= splits[i].len() || !skips.insert(suspect) {
+                break;
+            }
+            progress.store(usize::MAX, Ordering::Relaxed);
+            let next = run_attempts(
+                &round_fault,
+                &config.retry,
+                None,
+                cluster.progress_timeout,
+                |attempt, inject| run_map_attempt(i, attempt, inject, &skips, &progress),
+            );
+            exec.attempts += next.attempts;
+            exec.failures.extend(next.failures);
+            exec.lost_time += next.lost_time;
+            exec.backoff += next.backoff;
+            exec.winner_duration = next.winner_duration;
+            exec.value = next.value;
+            if next.payload.is_some() {
+                exec.payload = next.payload;
+            }
+        }
+        ((exec, fault), skips)
+    });
+    let mut map_execs: Vec<(TaskExecution<MapResult<K, V>>, TaskFault)> = Vec::with_capacity(m);
+    let mut map_skips: Vec<BTreeSet<usize>> = Vec::with_capacity(m);
+    for ((pair, skips), _) in map_runs {
+        map_execs.push(pair);
+        map_skips.push(skips);
+    }
+    // Records retired by the skip protocol, as (task, record) pairs —
+    // the job completes without them and reports itself degraded.
+    let skipped: Vec<(usize, usize)> = map_skips
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| s.iter().map(move |&n| (i, n)))
         .collect();
 
     let mut map_stats = phase_stats(&map_execs, cluster.task_overhead);
@@ -480,6 +559,8 @@ where
         metrics.wasted_task_time = map_stats.wasted;
         metrics.backoff_time = map_stats.backoff;
         metrics.map_task_durations = map_stats.effective;
+        metrics.records_skipped = skipped.len() as u64;
+        metrics.degraded = !skipped.is_empty();
         metrics.sim_runtime = cluster.job_startup + broadcast_time + metrics.map_phase;
         metrics.host_wall = started.elapsed();
         return Err(JobError {
@@ -500,7 +581,10 @@ where
             &mut map_stats,
             spec,
             cluster,
-            |i, attempt| run_map_attempt(i, attempt, Inject::None),
+            |i, attempt| {
+                let progress = AtomicUsize::new(usize::MAX);
+                run_map_attempt(i, attempt, Inject::None, &map_skips[i], &progress)
+            },
         );
     }
 
@@ -527,7 +611,9 @@ where
             .collect();
         let next_attempts: Vec<u32> = affected.iter().map(|&i| map_execs[i].0.attempts).collect();
         let reruns = run_indexed(affected.len(), cluster.host_threads, |c| {
-            run_map_attempt(affected[c], next_attempts[c], Inject::None)
+            let i = affected[c];
+            let progress = AtomicUsize::new(usize::MAX);
+            run_map_attempt(i, next_attempts[c], Inject::None, &map_skips[i], &progress)
         });
         let mut regenerated: BTreeMap<usize, MapResult<K, V>> = BTreeMap::new();
         for (c, (result, duration)) in reruns.into_iter().enumerate() {
@@ -673,7 +759,9 @@ where
                 .map(|&i| map_execs[i].0.attempts)
                 .collect();
             let reruns = run_indexed(reexec_tasks.len(), cluster.host_threads, |c| {
-                run_map_attempt(reexec_tasks[c], next_attempts[c], Inject::None)
+                let i = reexec_tasks[c];
+                let progress = AtomicUsize::new(usize::MAX);
+                run_map_attempt(i, next_attempts[c], Inject::None, &map_skips[i], &progress)
             });
             let mut reexec_wave: Vec<Duration> = Vec::with_capacity(reexec_tasks.len());
             for (c, (result, duration)) in reruns.into_iter().enumerate() {
@@ -719,9 +807,53 @@ where
     let mut remote_per_node = vec![0u64; cluster.nodes.max(1)];
     let mut per_reducer_bytes = vec![0u64; r];
     let mut groups: Vec<BTreeMap<K, Vec<V>>> = (0..r).map(|_| BTreeMap::new()).collect();
+
+    // ---- Data-plane integrity --------------------------------------------
+    // Partition fetches whose frames arrive corrupted, keyed by
+    // (map, reducer). One bad fetch is transient: the reducer re-fetches
+    // and the second copy verifies. Two bad fetches mean the materialized
+    // map output itself is rotten: the producer re-executes (pure UDFs
+    // regenerate byte-identical output) before the merge below consumes
+    // it, and the wave is charged to the shuffle clock where the
+    // corruption was discovered.
+    let corrupt_plan: BTreeMap<(usize, usize), CorruptFetch> = plan
+        .corrupt_fetches_for(&config.name, m, r)
+        .into_iter()
+        .map(|c| ((c.map, c.reducer), c))
+        .collect();
+    let corrupt_reexec: Vec<usize> = corrupt_plan
+        .values()
+        .filter(|c| c.fetches >= 2)
+        .map(|c| c.map)
+        .collect::<BTreeSet<usize>>()
+        .into_iter()
+        .collect();
+    let mut corrupt_reexec_time = Duration::ZERO;
+    if !corrupt_reexec.is_empty() {
+        let next_attempts: Vec<u32> = corrupt_reexec
+            .iter()
+            .map(|&i| map_execs[i].0.attempts)
+            .collect();
+        let reruns = run_indexed(corrupt_reexec.len(), cluster.host_threads, |c| {
+            let i = corrupt_reexec[c];
+            let progress = AtomicUsize::new(usize::MAX);
+            run_map_attempt(i, next_attempts[c], Inject::None, &map_skips[i], &progress)
+        });
+        let mut wave: Vec<Duration> = Vec::with_capacity(corrupt_reexec.len());
+        for (c, (result, duration)) in reruns.into_iter().enumerate() {
+            wave.push(duration);
+            map_outputs[corrupt_reexec[c]] = result;
+        }
+        map_stats.retries += corrupt_reexec.len() as u64;
+        map_stats.attempts += corrupt_reexec.len() as u64;
+        corrupt_reexec_time = makespan(&wave, cluster.map_slots, cluster.task_overhead);
+    }
+
     // Debug builds tally the mapper-emitted pairs per key so the shuffle
     // can be checked as an exact partition of the map output below.
     let mut emitted: BTreeMap<K, u64> = BTreeMap::new();
+    let mut corrupt_events: Vec<CorruptEvent> = Vec::new();
+    let mut refetch_bytes = 0u64;
     for (i, result) in map_outputs.into_iter().enumerate() {
         for (j, bucket) in result.buckets.into_iter().enumerate() {
             per_reducer_bytes[j] += result.bucket_bytes[j];
@@ -730,7 +862,38 @@ where
                     remote_per_node[homes[j]] += result.bucket_bytes[j];
                 }
             }
-            for (k, v) in bucket {
+            // Every partition crosses the shuffle boundary as one
+            // checksummed frame; the reduce side verifies before it
+            // consumes a single record, so the codec is load-bearing.
+            let frame = encode_pairs(&bucket);
+            drop(bucket);
+            if let Some(c) = corrupt_plan.get(&(i, j)) {
+                // Deliver the corrupted copy first: flip one seeded bit
+                // and require verification to reject it, then charge the
+                // re-fetch traffic. At-rest corruption (two bad fetches)
+                // already escalated to re-executing the producer above,
+                // so the frame in hand is clean either way.
+                let failed = c.fetches.min(2);
+                let bit = c.bit_seed % (frame.len() as u64 * 8);
+                let byte = (bit / 8) as usize;
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << (bit % 8);
+                assert!(
+                    decode_pairs::<K, V>(&bad).is_err(),
+                    "a single-bit flip must never pass frame verification"
+                );
+                refetch_bytes += frame.len() as u64 * u64::from(failed);
+                corrupt_events.push(CorruptEvent {
+                    map: i,
+                    reducer: j,
+                    fetches: failed,
+                    reexecuted: c.fetches >= 2,
+                });
+            }
+            let Ok(pairs) = decode_pairs::<K, V>(&frame) else {
+                unreachable!("a freshly encoded frame always verifies");
+            };
+            for (k, v) in pairs {
                 if cfg!(debug_assertions) {
                     *emitted.entry(k.clone()).or_insert(0) += 1;
                 }
@@ -809,17 +972,23 @@ where
             } else {
                 Some(scheduled + 1)
             };
-            let exec = run_attempts(&fault, &config.retry, replay_limit, |attempt, inject| {
-                let input = {
-                    let mut slot = group_slots[j].lock();
-                    if keep_input || attempt < scheduled {
-                        (*slot).clone().unwrap_or_default()
-                    } else {
-                        slot.take().unwrap_or_default()
-                    }
-                };
-                run_reduce_attempt(j, attempt, input, inject)
-            });
+            let exec = run_attempts(
+                &fault,
+                &config.retry,
+                replay_limit,
+                cluster.progress_timeout,
+                |attempt, inject| {
+                    let input = {
+                        let mut slot = group_slots[j].lock();
+                        if keep_input || attempt < scheduled {
+                            (*slot).clone().unwrap_or_default()
+                        } else {
+                            slot.take().unwrap_or_default()
+                        }
+                    };
+                    run_reduce_attempt(j, attempt, input, inject)
+                },
+            );
             (exec, fault)
         })
         .into_iter()
@@ -829,14 +998,21 @@ where
     let mut reduce_stats = phase_stats(&reduce_execs, cluster.task_overhead);
     // Transient node partitions stall the shuffle barrier for their
     // duration (model ticks); folding the stall into `shuffle_time` shifts
-    // everything downstream — trace, sim clock — consistently.
+    // everything downstream — trace, sim clock — consistently. Corrupted
+    // fetches charge the same way: each failed fetch re-transfers its
+    // whole frame (always remote — the local copy is the bad one), and an
+    // escalated producer re-execution wave runs before the barrier lifts.
     let partition_stall =
         Duration::from_micros(node_partitions.iter().map(|p| p.for_ticks).sum::<u64>());
+    let refetch_stall =
+        Duration::from_secs_f64(refetch_bytes as f64 / cluster.network_bytes_per_sec);
     let shuffle_time = if reducer_homes.is_some() {
         cluster.shuffle_time_placed(&remote_per_node)
     } else {
         cluster.shuffle_time(&per_reducer_bytes)
-    } + partition_stall;
+    } + partition_stall
+        + refetch_stall
+        + corrupt_reexec_time;
 
     if let Some(index) = reduce_execs.iter().position(|(e, _)| !e.succeeded()) {
         let (exec, _) = reduce_execs.swap_remove(index);
@@ -866,6 +1042,9 @@ where
         metrics.backoff_time = map_stats.backoff + reduce_stats.backoff;
         metrics.map_task_durations = map_stats.effective;
         metrics.reduce_task_durations = reduce_stats.effective;
+        metrics.corrupt_fetches = corrupt_events.iter().map(|c| u64::from(c.fetches)).sum();
+        metrics.records_skipped = skipped.len() as u64;
+        metrics.degraded = !skipped.is_empty();
         metrics.sim_runtime =
             cluster.job_startup + broadcast_time + map_phase + shuffle_time + metrics.reduce_phase;
         metrics.host_wall = started.elapsed();
@@ -966,6 +1145,8 @@ where
         reduce: reduce_models,
         recovery: recovery_tasks,
         lost,
+        corrupt: corrupt_events,
+        skipped,
         node_losses: node_loss_events,
         reexecuted: reexec_tasks,
         maps_reexecuted,
@@ -1010,6 +1191,9 @@ where
         maps_reexecuted: registry.counter("map.reexecuted"),
         reexecution_time,
         nodes_blacklisted: registry.counter("node.blacklisted"),
+        corrupt_fetches: registry.counter("shuffle.corrupt_fetches"),
+        records_skipped: registry.counter("map.records_skipped"),
+        degraded: registry.counter("map.records_skipped") > 0,
         map_task_durations: map_stats.effective,
         reduce_task_durations: reduce_stats.effective,
     };
@@ -1644,6 +1828,101 @@ mod tests {
             &WcReduce,
             &HashPartitioner,
         )
+    }
+
+    #[test]
+    fn transient_corruption_is_detected_refetched_and_output_preserving() {
+        let clean = word_count(&splits(), 2, FaultPlan::none());
+        let plan = FaultPlan::none().with_corrupt_shuffle(0, 0, 1);
+        let out = word_count(&splits(), 2, plan);
+        assert_eq!(
+            out.metrics.corrupt_fetches, 1,
+            "one bad fetch, one re-fetch"
+        );
+        assert_eq!(out.registry.counter("shuffle.corrupt_partitions"), 1);
+        assert_eq!(out.registry.counter("shuffle.corrupt_fetches"), 1);
+        assert!(
+            out.metrics.shuffle_time > clean.metrics.shuffle_time,
+            "the re-fetched frame must cost shuffle time"
+        );
+        assert!(!out.metrics.degraded, "corruption recovery loses nothing");
+        assert_eq!(out.metrics.map_retries, 0, "no re-execution for transient");
+        assert_eq!(sorted_counts(out), expected_counts());
+    }
+
+    #[test]
+    fn at_rest_corruption_reexecutes_the_producing_map() {
+        let plan = FaultPlan::none().with_corrupt_shuffle(1, 0, 2);
+        let out = word_count(&splits(), 2, plan);
+        assert_eq!(out.metrics.corrupt_fetches, 2, "both fetches were bad");
+        assert_eq!(
+            out.metrics.map_retries, 1,
+            "the producer re-executed once the re-fetch failed too"
+        );
+        assert_eq!(sorted_counts(out), expected_counts());
+    }
+
+    #[test]
+    fn hung_attempts_are_killed_by_the_progress_timeout_and_retried() {
+        let cluster = ClusterConfig::test();
+        let plan = FaultPlan::none().with_map_fault(0, TaskFault::hangs(2));
+        let config = JobConfig::new("wc", 2).with_faults(plan);
+        let out = word_count_on(&cluster, &config).expect("job must survive hangs");
+        assert_eq!(out.metrics.map_retries, 2);
+        assert_eq!(out.registry.counter("map.failures.hang"), 2);
+        assert!(
+            out.metrics.wasted_task_time >= cluster.progress_timeout * 2,
+            "each kill charges the full progress timeout"
+        );
+        assert_eq!(sorted_counts(out), expected_counts());
+    }
+
+    #[test]
+    fn poison_record_without_skip_policy_aborts_the_job() {
+        let plan = FaultPlan::none().with_poison_record(1, 0);
+        let config = JobConfig::new("wc", 2)
+            .with_faults(plan)
+            .with_retry(RetryPolicy::new().with_max_attempts(3));
+        let err = word_count_config(&splits(), &config).expect_err("poison must abort");
+        assert_eq!((err.task, err.index, err.attempts), (TaskKind::Map, 1, 3));
+        assert!(err.last_cause().contains("poisoned at record 0"));
+        assert!(!err.metrics.degraded);
+    }
+
+    #[test]
+    fn skip_bad_records_narrows_to_the_poison_and_completes_degraded() {
+        let mut cluster = ClusterConfig::test();
+        cluster.skip_bad_records = true;
+        // Poison split 1's only record ("b b"); the surviving input is
+        // exactly splits 0 and 2.
+        let plan = FaultPlan::none().with_poison_record(1, 0);
+        let config = JobConfig::new("wc", 2).with_faults(plan);
+        let out = word_count_on(&cluster, &config).expect("skip policy must rescue the job");
+        assert!(out.metrics.degraded);
+        assert_eq!(out.metrics.records_skipped, 1);
+        assert_eq!(out.registry.counter("map.records_skipped"), 1);
+        // Budget exhausted once (4 attempts), then one clean skip round.
+        assert_eq!(out.metrics.map_retries, 4);
+        let reduced: Vec<Vec<String>> = vec![splits()[0].clone(), Vec::new(), splits()[2].clone()];
+        let baseline = word_count(&reduced, 2, FaultPlan::none());
+        assert_eq!(
+            sorted_counts(out),
+            sorted_counts(baseline),
+            "output must equal the fault-free run minus the poisoned record"
+        );
+    }
+
+    #[test]
+    fn seeded_data_chaos_preserves_output_and_is_replayable() {
+        let clean = sorted_counts(word_count(&splits(), 2, FaultPlan::none()));
+        for seed in 0..6 {
+            let run = || word_count(&splits(), 2, FaultPlan::chaos_data(seed));
+            let a = run();
+            let b = run();
+            assert_eq!(a.metrics.corrupt_fetches, b.metrics.corrupt_fetches);
+            assert_eq!(sorted_counts(a), clean, "seed {seed} changed the output");
+            assert_eq!(sorted_counts(b), clean, "seed {seed} changed the output");
+        }
     }
 
     #[test]

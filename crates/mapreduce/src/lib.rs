@@ -54,8 +54,8 @@ pub use analysis::{assert_schedule_independent, schedule_shake, ShakeCase, Shake
 pub use cluster::{ClusterConfig, JobMetrics, Placement};
 pub use combiner::{Combiner, FoldCombiner, NoCombiner};
 pub use fault::{
-    BlacklistPolicy, FaultKind, FaultPlan, FaultProfile, FaultTolerance, JobError, NodeLoss,
-    NodePartition, RetryPolicy, SpeculationPolicy, TaskFault, TaskKind,
+    BlacklistPolicy, CorruptFetch, FaultKind, FaultPlan, FaultProfile, FaultTolerance, JobError,
+    NodeLoss, NodePartition, RetryPolicy, SpeculationPolicy, TaskFault, TaskKind,
 };
 pub use job::{run_job, run_job_with_combiner, JobConfig, JobOutcome};
 pub use partitioner::{HashPartitioner, ModuloPartitioner, Partitioner, SingleReducerPartitioner};

@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use skymr_common::{Error, Tuple};
+use skymr_common::{crc32c, Error, Tuple};
 
 use crate::cluster::JobMetrics;
 use crate::fault::JobError;
@@ -198,11 +198,13 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Renders the checkpoint as versioned JSON (payloads hex-encoded).
-    /// The format is deterministic: equal checkpoints render to equal
-    /// bytes.
+    /// Renders the checkpoint as versioned JSON. Each payload is
+    /// hex-encoded and accompanied by its CRC32C (the shuffle-frame
+    /// checksum, [`skymr_common::crc32c`]), so bit rot at rest is caught at
+    /// parse time. The format is deterministic: equal checkpoints render to
+    /// equal bytes.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"version\":1,\"jobs\":[");
+        let mut out = String::from("{\"version\":2,\"jobs\":[");
         for (i, job) in self.jobs.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -220,8 +222,9 @@ impl Checkpoint {
             for b in &job.payload {
                 out.push_str(&format!("{b:02x}"));
             }
+            out.push_str(&format!("\",\"crc\":{}", crc32c(&job.payload)));
             out.push_str(&format!(
-                "\",\"sim_us\":{}}}",
+                ",\"sim_us\":{}}}",
                 u64::try_from(job.sim_runtime.as_micros()).unwrap_or(u64::MAX)
             ));
         }
@@ -229,39 +232,97 @@ impl Checkpoint {
         out
     }
 
-    /// Parses a checkpoint rendered by [`to_json`](Self::to_json); `None`
-    /// on malformed input or an unknown version.
-    pub fn from_json(text: &str) -> Option<Self> {
-        let value = skymr_telemetry::json::parse(text).ok()?;
-        if value.get("version")?.as_u64()? != 1 {
-            return None;
+    /// Parses and verifies a checkpoint rendered by
+    /// [`to_json`](Self::to_json).
+    ///
+    /// Every snapshot payload is checked against its recorded CRC32C; a
+    /// mismatch — a bit-rotted file — is a structured
+    /// [`Error::CheckpointCorrupt`] naming the damaged job, never a silent
+    /// fallback. Unreadable documents and unknown versions are reported the
+    /// same way under the pseudo-job `"<document>"`.
+    pub fn from_json(text: &str) -> skymr_common::Result<Self> {
+        fn corrupt(job: &str, detail: impl Into<String>) -> Error {
+            Error::CheckpointCorrupt {
+                job: job.into(),
+                detail: detail.into(),
+            }
         }
+        let value = skymr_telemetry::json::parse(text)
+            .map_err(|_| corrupt("<document>", "not valid JSON"))?;
+        let version = value
+            .get("version")
+            .and_then(skymr_telemetry::json::Value::as_u64)
+            .ok_or_else(|| corrupt("<document>", "missing version field"))?;
+        if version != 2 {
+            return Err(corrupt(
+                "<document>",
+                format!("unsupported checkpoint version {version} (expected 2)"),
+            ));
+        }
+        let entries = value
+            .get("jobs")
+            .and_then(skymr_telemetry::json::Value::as_array)
+            .ok_or_else(|| corrupt("<document>", "missing jobs array"))?;
         let mut jobs = Vec::new();
-        for job in value.get("jobs")?.as_array()? {
-            let name = job.get("name")?.as_str()?.to_owned();
-            let hex = job.get("payload")?.as_str()?;
+        for job in entries {
+            let name = job
+                .get("name")
+                .and_then(skymr_telemetry::json::Value::as_str)
+                .ok_or_else(|| corrupt("<document>", "snapshot without a name"))?
+                .to_owned();
+            let hex = job
+                .get("payload")
+                .and_then(skymr_telemetry::json::Value::as_str)
+                .ok_or_else(|| corrupt(&name, "snapshot without a payload"))?;
             if hex.len() % 2 != 0 {
-                return None;
+                return Err(corrupt(&name, "payload hex has odd length"));
             }
             let mut payload = Vec::with_capacity(hex.len() / 2);
             for i in (0..hex.len()).step_by(2) {
-                payload.push(u8::from_str_radix(hex.get(i..i + 2)?, 16).ok()?);
+                let pair = hex.get(i..i + 2).unwrap_or_default();
+                payload.push(
+                    u8::from_str_radix(pair, 16)
+                        .map_err(|_| corrupt(&name, format!("non-hex payload byte `{pair}`")))?,
+                );
             }
-            let sim_us = job.get("sim_us")?.as_u64()?;
+            let recorded = job
+                .get("crc")
+                .and_then(skymr_telemetry::json::Value::as_u64)
+                .ok_or_else(|| corrupt(&name, "snapshot without a crc"))?;
+            let actual = u64::from(crc32c(&payload));
+            if actual != recorded {
+                return Err(corrupt(
+                    &name,
+                    format!(
+                        "payload CRC32C {actual:#010x} != recorded {recorded:#010x}; \
+                         the snapshot bit-rotted at rest"
+                    ),
+                ));
+            }
+            let sim_us = job
+                .get("sim_us")
+                .and_then(skymr_telemetry::json::Value::as_u64)
+                .ok_or_else(|| corrupt(&name, "snapshot without sim_us"))?;
             jobs.push(JobSnapshot {
                 name,
                 payload,
                 sim_runtime: Duration::from_micros(sim_us),
             });
         }
-        Some(Self { jobs })
+        Ok(Self { jobs })
     }
 
-    /// Loads a checkpoint file written by a [`Runner`] with
-    /// [`with_checkpoint_file`](Runner::with_checkpoint_file); `None` when
-    /// the file is missing or malformed.
-    pub fn load(path: impl AsRef<std::path::Path>) -> Option<Self> {
-        Self::from_json(&std::fs::read_to_string(path).ok()?)
+    /// Loads and verifies a checkpoint file written by a [`Runner`] with
+    /// [`with_checkpoint_file`](Runner::with_checkpoint_file).
+    ///
+    /// `Ok(None)` when the file does not exist (a fresh run is the correct
+    /// fallback); [`Error::CheckpointCorrupt`] when it exists but fails
+    /// verification — damage is surfaced, never silently re-run over.
+    pub fn load(path: impl AsRef<std::path::Path>) -> skymr_common::Result<Option<Self>> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::from_json(&text).map(Some),
+            Err(_) => Ok(None),
+        }
     }
 }
 
@@ -499,11 +560,55 @@ mod tests {
             ],
         };
         let json = cp.to_json();
-        assert_eq!(Checkpoint::from_json(&json).as_ref(), Some(&cp));
+        assert_eq!(Checkpoint::from_json(&json).as_ref(), Ok(&cp));
         // Deterministic rendering (the chaos suite diffs checkpoint files).
         assert_eq!(json, cp.clone().to_json());
-        assert!(Checkpoint::from_json("{\"version\":2,\"jobs\":[]}").is_none());
-        assert!(Checkpoint::from_json("not json").is_none());
+        assert!(Checkpoint::from_json("{\"version\":1,\"jobs\":[]}").is_err());
+        assert!(Checkpoint::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn bit_rotted_checkpoint_is_rejected_with_a_structured_error() {
+        let cp = Checkpoint {
+            jobs: vec![JobSnapshot {
+                name: "gpsrs".into(),
+                payload: tuples().encode(),
+                sim_runtime: Duration::from_millis(9),
+            }],
+        };
+        let json = cp.to_json();
+        // Flip one payload bit by swapping a hex digit in place — exactly
+        // what at-rest corruption of the file looks like.
+        let start = json.find("\"payload\":\"").expect("payload field") + 11;
+        let byte = json.as_bytes()[start];
+        let flipped = if byte == b'0' { '1' } else { '0' };
+        let mut rotted = json.clone();
+        rotted.replace_range(start..start + 1, &flipped.to_string());
+        match Checkpoint::from_json(&rotted) {
+            Err(Error::CheckpointCorrupt { job, detail }) => {
+                assert_eq!(job, "gpsrs");
+                assert!(
+                    detail.contains("CRC32C"),
+                    "detail names the check: {detail}"
+                );
+            }
+            other => panic!("bit rot must be CheckpointCorrupt, got {other:?}"),
+        }
+        // Tampering with the recorded CRC itself is caught the same way.
+        let with_bad_crc = json.replace("\"crc\":", "\"crc\":1");
+        assert!(matches!(
+            Checkpoint::from_json(&with_bad_crc),
+            Err(Error::CheckpointCorrupt { .. })
+        ));
+        // A missing crc field (e.g. a hand-edited file) is also rejected.
+        let cut = json.find(",\"sim_us\"").expect("sim_us field");
+        let crc_start = json.find("\"crc\":").expect("crc field") - 1;
+        let mut without_crc = json.clone();
+        without_crc.replace_range(crc_start..cut, "");
+        assert!(matches!(
+            Checkpoint::from_json(&without_crc),
+            Err(Error::CheckpointCorrupt { .. })
+        ));
     }
 
     #[test]
@@ -612,9 +717,15 @@ mod tests {
                 Ok(tuples())
             })
             .expect("stage runs");
-        let loaded = Checkpoint::load(&path).expect("file written and parseable");
+        let loaded = Checkpoint::load(&path)
+            .expect("file verifies")
+            .expect("file exists");
         assert_eq!(loaded, runner.checkpoint());
         let _ = std::fs::remove_file(&path);
-        assert!(Checkpoint::load(&path).is_none(), "missing file is None");
+        assert_eq!(
+            Checkpoint::load(&path),
+            Ok(None),
+            "a missing file is a fresh run, not an error"
+        );
     }
 }

@@ -1,23 +1,28 @@
 //! Map and reduce task traits, factories, and output collectors.
 
-use skymr_common::{ByteSized, Counters};
+use skymr_common::{ByteSized, Counters, Wire};
 
 /// Marker bounds for shuffle keys.
 ///
 /// Keys must be orderable (the engine sorts keys before the reduce phase,
 /// like Hadoop's sort-merge shuffle), hashable (for the default
-/// [`crate::HashPartitioner`]), byte-sized (for traffic accounting), and
-/// debug-printable (so [`crate::analysis`] invariant diagnostics can name
-/// the offending key).
+/// [`crate::HashPartitioner`]), byte-sized (for traffic accounting),
+/// wire-encodable (map-output partitions travel as checksummed frames),
+/// and debug-printable (so [`crate::analysis`] invariant diagnostics can
+/// name the offending key).
 pub trait JobKey:
-    Clone + Send + Ord + std::hash::Hash + std::fmt::Debug + ByteSized + 'static
+    Clone + Send + Ord + std::hash::Hash + std::fmt::Debug + ByteSized + Wire + 'static
 {
 }
-impl<T: Clone + Send + Ord + std::hash::Hash + std::fmt::Debug + ByteSized + 'static> JobKey for T {}
+impl<T: Clone + Send + Ord + std::hash::Hash + std::fmt::Debug + ByteSized + Wire + 'static> JobKey
+    for T
+{
+}
 
-/// Marker bounds for shuffle values.
-pub trait JobValue: Send + ByteSized + 'static {}
-impl<T: Send + ByteSized + 'static> JobValue for T {}
+/// Marker bounds for shuffle values. Like keys, values cross the shuffle
+/// inside checksummed frames, so they must be wire-encodable.
+pub trait JobValue: Send + ByteSized + Wire + 'static {}
+impl<T: Send + ByteSized + Wire + 'static> JobValue for T {}
 
 /// Per-task context handed to factories: which task this is, the job shape,
 /// and the job's shared counters.

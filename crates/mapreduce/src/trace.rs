@@ -65,6 +65,10 @@ pub enum FailKind {
     LostOutput,
     /// Crashed mid-task — costs roughly half the input scan.
     Panic,
+    /// Made no progress; killed after the carried timeout (model ticks).
+    /// The cost is the timeout itself, never scaled by a straggler factor —
+    /// a wedged attempt does no work to slow down.
+    Hang(Ticks),
 }
 
 impl FailKind {
@@ -73,6 +77,7 @@ impl FailKind {
         match cause {
             FailureCause::LostOutput => FailKind::LostOutput,
             FailureCause::Panic { .. } => FailKind::Panic,
+            FailureCause::Hang { timeout } => FailKind::Hang(ticks_of(*timeout)),
         }
     }
 
@@ -80,8 +85,24 @@ impl FailKind {
         match self {
             FailKind::LostOutput => "lost_output",
             FailKind::Panic => "panic",
+            FailKind::Hang(_) => "hang",
         }
     }
+}
+
+/// One shuffle partition whose fetched frame failed checksum verification,
+/// as resolved by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptEvent {
+    /// Producing map task.
+    pub map: usize,
+    /// Fetching reducer.
+    pub reducer: usize,
+    /// Fetch attempts that delivered corrupted bytes (1 = transient,
+    /// recovered by re-fetch; 2 = at-rest, escalated to map re-execution).
+    pub fetches: u32,
+    /// `true` iff the corruption escalated to re-executing the producer.
+    pub reexecuted: bool,
 }
 
 /// The deterministic facts about one task: its I/O volume and its attempt
@@ -120,6 +141,9 @@ impl TaskModel {
                 model::attempt_ticks(self.records_in / 2, 0, 0),
                 self.slowdown,
             ),
+            // A hung attempt occupies its slot for the full progress
+            // timeout before the tracker kills it.
+            FailKind::Hang(timeout) => timeout,
         }
     }
 
@@ -163,6 +187,12 @@ pub struct JobRecord<'a> {
     pub recovery: Vec<usize>,
     /// Lost `(map_task, reducer)` shuffle partitions.
     pub lost: Vec<(usize, usize)>,
+    /// Shuffle partitions whose frames failed checksum verification, in
+    /// `(map, reducer)` order.
+    pub corrupt: Vec<CorruptEvent>,
+    /// Records skipped by the skip-bad-records policy, as
+    /// `(map_task, record)` pairs in increasing order.
+    pub skipped: Vec<(usize, usize)>,
     /// Node losses resolved this job, in event order.
     pub node_losses: Vec<NodeLossEvent>,
     /// Map tasks re-executed because their home node died (completed
@@ -235,6 +265,11 @@ impl JobRecord<'_> {
         );
         reg.add("map.recovery_tasks", self.recovery.len() as u64);
         reg.add("shuffle.lost_partitions", self.lost.len() as u64);
+        reg.add("shuffle.corrupt_partitions", self.corrupt.len() as u64);
+        for c in &self.corrupt {
+            reg.add("shuffle.corrupt_fetches", u64::from(c.fetches));
+        }
+        reg.add("map.records_skipped", self.skipped.len() as u64);
         reg.add("node.lost", self.node_losses.len() as u64);
         reg.add("map.reexecuted", self.maps_reexecuted);
         reg.add("node.blacklisted", self.nodes_blacklisted);
@@ -331,6 +366,21 @@ impl JobRecord<'_> {
         }
         emit_occupancy(&mut job, "map running", occupancy);
 
+        // Skip-bad-records outcomes: one instant per skipped record, at
+        // the map phase start (the narrowing happened inside the map wave).
+        for &(task, record) in &self.skipped {
+            job.instant(
+                "skip-record",
+                "fault",
+                DRIVER_LANE,
+                map_start,
+                vec![
+                    ("task".to_owned(), ArgValue::U64(task as u64)),
+                    ("record".to_owned(), ArgValue::U64(record as u64)),
+                ],
+            );
+        }
+
         // Lost-partition recovery wave: affected map tasks re-execute in a
         // second wave, one clean attempt each.
         let recovery_ticks: Vec<Ticks> = self
@@ -402,6 +452,23 @@ impl JobRecord<'_> {
         // and the phase ends at the bottleneck node's finish — the same
         // accounting as `ClusterConfig::shuffle_time`.
         let shuffle_start = recovery_start + recovery_makespan + reexec_shift;
+        // Corrupted partition fetches: one instant per partition whose
+        // frame failed checksum verification, at the shuffle start (the
+        // re-fetch/re-execution cost is already folded into
+        // `shuffle_time` and the re-exec accounting).
+        for c in &self.corrupt {
+            job.instant(
+                "fault:corrupt",
+                "fault",
+                DRIVER_LANE,
+                shuffle_start,
+                vec![
+                    ("map".to_owned(), ArgValue::U64(c.map as u64)),
+                    ("reducer".to_owned(), ArgValue::U64(c.reducer as u64)),
+                    ("fetches".to_owned(), ArgValue::U64(u64::from(c.fetches))),
+                ],
+            );
+        }
         let shuffle = ticks_of(self.shuffle_time);
         if shuffle > 0 {
             let nodes = cluster.nodes.max(1);
@@ -516,16 +583,33 @@ impl JobRecord<'_> {
                 .with_arg("outcome", kind.label()),
             );
             cursor += ticks;
-            job.instant(
-                format!("fault:{}", kind.label()),
-                "fault",
-                lane,
-                cursor,
-                vec![
-                    ("task".to_owned(), ArgValue::U64(index as u64)),
-                    ("attempt".to_owned(), ArgValue::U64(k as u64)),
-                ],
-            );
+            // A hung attempt is killed by the progress-timeout detector,
+            // not observed failing; its instant carries the timeout so the
+            // kill decision is auditable from the trace alone.
+            if let FailKind::Hang(timeout) = kind {
+                job.instant(
+                    "hang-kill",
+                    "fault",
+                    lane,
+                    cursor,
+                    vec![
+                        ("task".to_owned(), ArgValue::U64(index as u64)),
+                        ("attempt".to_owned(), ArgValue::U64(k as u64)),
+                        ("timeout_ticks".to_owned(), ArgValue::U64(timeout)),
+                    ],
+                );
+            } else {
+                job.instant(
+                    format!("fault:{}", kind.label()),
+                    "fault",
+                    lane,
+                    cursor,
+                    vec![
+                        ("task".to_owned(), ArgValue::U64(index as u64)),
+                        ("attempt".to_owned(), ArgValue::U64(k as u64)),
+                    ],
+                );
+            }
             let backoff = ticks_of(self.retry.backoff_after(k as u32));
             if backoff > 0 {
                 job.span(
@@ -625,6 +709,8 @@ mod tests {
             }],
             recovery: Vec::new(),
             lost: Vec::new(),
+            corrupt: Vec::new(),
+            skipped: Vec::new(),
             node_losses: Vec::new(),
             reexecuted: Vec::new(),
             maps_reexecuted: 0,
@@ -692,6 +778,56 @@ mod tests {
             .events
             .iter()
             .any(|e| e.kind == EventKind::Counter && e.name == "map running"));
+    }
+
+    #[test]
+    fn data_integrity_events_reach_instants_and_counters() {
+        let cluster = ClusterConfig::test();
+        let retry = RetryPolicy::new();
+        let mut rec = test_record(&cluster, &retry, &[384]);
+        rec.corrupt = vec![
+            CorruptEvent {
+                map: 0,
+                reducer: 0,
+                fetches: 1,
+                reexecuted: false,
+            },
+            CorruptEvent {
+                map: 1,
+                reducer: 0,
+                fetches: 2,
+                reexecuted: true,
+            },
+        ];
+        rec.skipped = vec![(1, 3)];
+        rec.map[0].failures = vec![FailKind::Hang(5000)];
+
+        let reg = rec.build_registry();
+        assert_eq!(reg.counter("shuffle.corrupt_partitions"), 2);
+        assert_eq!(reg.counter("shuffle.corrupt_fetches"), 3);
+        assert_eq!(reg.counter("map.records_skipped"), 1);
+        assert_eq!(reg.counter("map.failures.hang"), 1);
+
+        let collector = Collector::new();
+        rec.emit(&collector, reg);
+        let doc = collector.finish();
+        let instants = |name: &str| {
+            doc.events
+                .iter()
+                .filter(|e| e.kind == EventKind::Instant && e.name == name)
+                .count()
+        };
+        assert_eq!(instants("fault:corrupt"), 2);
+        assert_eq!(instants("skip-record"), 1);
+        assert_eq!(instants("hang-kill"), 1);
+        assert_eq!(instants("fault:hang"), 0, "hangs emit hang-kill instead");
+        // The hung attempt's span charges exactly the carried timeout.
+        let hung = doc
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Complete && e.cat == "attempt" && e.name == "attempt 0")
+            .expect("hung attempt span");
+        assert_eq!(hung.dur, 5000);
     }
 
     #[test]

@@ -654,6 +654,67 @@ fn summarize(map_ticks: u64) -> Metrics {
         assert!(flow(BASE, src).is_empty(), "{:?}", flow(BASE, src));
     }
 
+    #[test]
+    fn hang_detection_must_use_the_simulated_clock() {
+        // A progress-timeout that polls the wall clock is a scheduling
+        // decision fed by wall time — exactly how an injected-hang killer
+        // would smuggle host nondeterminism into the engine.
+        let src = "\
+fn kill_if_hung(task: &Task) {
+    let watch = Instant::now();
+    if watch.elapsed() > task.progress_timeout {
+        kill(task);
+    }
+}
+";
+        let diags = flow(ENGINE, src);
+        // Engine crate: the acquisition needs a waiver AND the branch is a
+        // wall-fed scheduling decision.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("scheduling decision")));
+
+        // The engine's actual shape: the hang's cost is a tick quantity
+        // carried on the fault, charged straight into simulated lost time.
+        let src = "\
+fn charge_hang(fault: &TaskFault, lost_ticks: &mut u64, timeout_ticks: u64) {
+    if fault.hangs() {
+        *lost_ticks += timeout_ticks;
+    }
+}
+";
+        assert!(flow(ENGINE, src).is_empty(), "{:?}", flow(ENGINE, src));
+    }
+
+    #[test]
+    fn corrupt_refetch_accounting_must_not_mix_wall_time() {
+        // Timing a re-fetch of a corrupted shuffle frame with the host
+        // clock and folding it into the simulated stall is tick
+        // arithmetic on wall time — both the acquisition and the mix
+        // must flag.
+        let src = "\
+fn charge_refetch(sim_ticks: &mut u64) {
+    let fetch_started = Instant::now();
+    *sim_ticks += fetch_started.elapsed().as_nanos() as u64;
+}
+";
+        let diags = flow(ENGINE, src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("simulated-clock arithmetic")));
+
+        // Charging the stall from byte counts over simulated bandwidth —
+        // the engine's real recovery accounting — is clean.
+        let src = "\
+fn refetch_stall_ticks(refetch_bytes: u64, bytes_per_tick: u64) -> u64 {
+    refetch_bytes / bytes_per_tick.max(1)
+}
+";
+        assert!(flow(ENGINE, src).is_empty(), "{:?}", flow(ENGINE, src));
+    }
+
     // ------------------------------------------------------------------
     // ambient-io.
     // ------------------------------------------------------------------

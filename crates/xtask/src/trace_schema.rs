@@ -187,6 +187,32 @@ fn check_fault_domain_event(event: &Value, at: &str, errors: &mut Vec<String>) {
             }
         }
     }
+    // Data-plane integrity instants: corruption detections, skip-bad-record
+    // outcomes, and progress-timeout kills all carry fixed integer args.
+    let instant_args: Option<&[&str]> = match name {
+        "fault:corrupt" => Some(&["map", "reducer", "fetches"]),
+        "skip-record" => Some(&["task", "record"]),
+        "hang-kill" => Some(&["task", "attempt", "timeout_ticks"]),
+        _ => None,
+    };
+    if let Some(keys) = instant_args {
+        if event.get("ph").and_then(Value::as_str) != Some("i") {
+            errors.push(format!("{at}: {name} must be an instant event (ph \"i\")"));
+        }
+        if event.get("cat").and_then(Value::as_str) != Some("fault") {
+            errors.push(format!("{at}: {name} must use cat \"fault\""));
+        }
+        let args = event.get("args");
+        for key in keys {
+            if args
+                .and_then(|a| a.get(key))
+                .and_then(Value::as_u64)
+                .is_none()
+            {
+                errors.push(format!("{at}: {name} instant without integer args.{key}"));
+            }
+        }
+    }
     if name.contains("(re-exec)") {
         if event.get("cat").and_then(Value::as_str) != Some("reexec") {
             errors.push(format!(
@@ -349,6 +375,40 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("args.node")), "{errors:?}");
         assert!(
             errors.iter().any(|e| e.contains("cat \"reexec\"")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn pins_the_data_integrity_instant_shapes() {
+        let good = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                    {\"name\":\"fault:corrupt\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                    \"ts\":5,\"pid\":1,\"tid\":0,\"args\":{\"map\":1,\"reducer\":0,\"fetches\":2}},\
+                    {\"name\":\"skip-record\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                    \"ts\":5,\"pid\":1,\"tid\":0,\"args\":{\"task\":1,\"record\":3}},\
+                    {\"name\":\"hang-kill\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                    \"ts\":5,\"pid\":1,\"tid\":2,\
+                    \"args\":{\"task\":0,\"attempt\":0,\"timeout_ticks\":5000}}],\
+                    \"registries\":[]}";
+        check_chrome(good).expect("data-integrity instants validate");
+
+        // Stripping the fetch count or demoting the kill to a span fails.
+        let bad = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                   {\"name\":\"fault:corrupt\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                   \"ts\":5,\"pid\":1,\"tid\":0,\"args\":{\"map\":1,\"reducer\":0}},\
+                   {\"name\":\"hang-kill\",\"cat\":\"fault\",\"ph\":\"X\",\"dur\":1,\
+                   \"ts\":5,\"pid\":1,\"tid\":2,\
+                   \"args\":{\"task\":0,\"attempt\":0,\"timeout_ticks\":5000}}],\
+                   \"registries\":[]}";
+        let errors = check_chrome(bad).expect_err("malformed integrity events rejected");
+        assert!(
+            errors.iter().any(|e| e.contains("args.fetches")),
+            "{errors:?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("hang-kill must be an instant event")),
             "{errors:?}"
         );
     }

@@ -347,6 +347,200 @@ fn seeded_node_chaos_preserves_core_algorithm_output() {
 }
 
 // ---------------------------------------------------------------------------
+// Data-plane failure domains: shuffle corruption, hangs, poison records.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_data_chaos_preserves_every_algorithm_output() {
+    // Seeded data-plane plans (shuffle-frame corruption + hung attempts)
+    // across all four pipelines: the CRC re-fetch/re-execute ladder and the
+    // progress timeout must keep every skyline byte-identical.
+    let data = chaos_data();
+    for seed in [0u64, 1, 2, 0xDA7A] {
+        let ft = FaultTolerance::with_plan(FaultPlan::chaos_data(seed));
+        assert_chaos_preserves_output(&data, &ft, &format!("data chaos seed {seed:#x}"));
+    }
+}
+
+#[test]
+fn data_chaos_metrics_record_corruption_and_hang_recovery() {
+    // The sweep must actually injure the data plane: corrupt fetches and
+    // killed attempts have to show up in the ledger, and none of it may
+    // degrade the output.
+    let data = chaos_data();
+    let mut corrupt_fetches = 0u64;
+    let mut retries = 0u64;
+    for seed in 0..8u64 {
+        let ft = FaultTolerance::with_plan(FaultPlan::chaos_data(seed));
+        let run = run_core(&data, ft, mr_gpmrs);
+        for job in &run.metrics.jobs {
+            corrupt_fetches += job.corrupt_fetches;
+            retries += job.map_retries + job.reduce_retries;
+            assert!(!job.degraded, "data chaos must never degrade the output");
+            assert_eq!(job.records_skipped, 0, "nothing was poisoned");
+        }
+    }
+    assert!(
+        corrupt_fetches > 0,
+        "no data-chaos seed corrupted a single shuffle fetch"
+    );
+    assert!(
+        retries > 0,
+        "no data-chaos seed forced a retry (hangs and at-rest corruption both should)"
+    );
+}
+
+#[test]
+fn data_plane_faults_are_visible_in_trace_and_metrics() {
+    // One scripted plan exercising the whole recovery ladder: a transient
+    // corrupt fetch (re-fetched), an at-rest one (producer re-executed), a
+    // hung attempt (killed by the progress timeout), and a poisoned record
+    // (narrowed to and skipped). Every event must surface as its pinned
+    // trace instant and in JobMetrics.
+    let data = chaos_data();
+    let collector = Collector::new();
+    let plan = FaultPlan::none()
+        .with_corrupt_shuffle(0, 0, 1)
+        .with_corrupt_shuffle(1, 0, 2)
+        .with_map_fault(2, TaskFault::hangs(1))
+        .with_poison_record(3, 0)
+        .for_job("gpsrs");
+    let config = SkylineConfig::test()
+        .with_fault_tolerance(FaultTolerance::with_plan(plan))
+        .with_skip_bad_records(true)
+        .with_telemetry(Some(collector.clone()));
+    let run = mr_gpsrs(&data, &config).expect("the whole ladder is recoverable");
+
+    let job = run.metrics.job("gpsrs").expect("skyline job ran");
+    assert_eq!(job.corrupt_fetches, 3, "1 transient + 2 at-rest fetches");
+    assert_eq!(job.records_skipped, 1);
+    assert!(job.degraded, "a skipped record degrades the job");
+    assert!(
+        job.map_retries >= 2,
+        "the hang and the re-execution both retry"
+    );
+    let bitstring = run.metrics.job("bitstring").expect("pre-job ran");
+    assert!(!bitstring.degraded, "the plan is scoped to the skyline job");
+
+    let trace = chrome_trace(&collector.finish());
+    for instant in ["fault:corrupt", "hang-kill", "skip-record"] {
+        assert!(
+            trace.contains(instant),
+            "the trace must carry the {instant} instant"
+        );
+    }
+}
+
+#[test]
+fn poison_with_skip_matches_the_fault_free_run_minus_the_poisoned_record() {
+    // Hadoop's SkipBadRecords semantics, end to end: the degraded output is
+    // exactly the fault-free output of the dataset with the poisoned record
+    // removed — for both grid algorithms.
+    let data = chaos_data();
+    let mappers = SkylineConfig::test().mappers;
+    let poisoned_id = data.split(mappers)[1][5].id;
+    let reduced = Dataset::new(
+        data.dim(),
+        data.tuples()
+            .iter()
+            .filter(|t| t.id != poisoned_id)
+            .cloned()
+            .collect(),
+    )
+    .expect("removing one tuple keeps the dataset valid");
+
+    let ft = FaultTolerance::with_plan(FaultPlan::none().with_poison_record(1, 5));
+    for algo in [mr_gpsrs, mr_gpmrs] {
+        let expected = run_core(&reduced, FaultTolerance::none(), algo);
+        let config = SkylineConfig::test()
+            .with_fault_tolerance(ft.clone())
+            .with_skip_bad_records(true);
+        let run = algo(&data, &config).expect("skip-bad-records completes the job");
+        assert_eq!(
+            tuple_bytes(&run.skyline),
+            tuple_bytes(&expected.skyline),
+            "degraded output must equal the fault-free run minus the poisoned record"
+        );
+        for job in &run.metrics.jobs {
+            assert!(job.degraded, "job `{}` must be marked degraded", job.name);
+            assert_eq!(
+                job.records_skipped, 1,
+                "job `{}` skips exactly the poisoned record",
+                job.name
+            );
+        }
+    }
+}
+
+#[test]
+fn poison_without_skip_policy_aborts_with_a_structured_error() {
+    let data = chaos_data();
+    let ft = FaultTolerance::with_plan(FaultPlan::none().with_poison_record(0, 0));
+    let config = SkylineConfig::test().with_fault_tolerance(ft);
+    let err = mr_gpsrs(&data, &config).expect_err("a poisoned record with no skip policy is fatal");
+    match err {
+        Error::JobFailed { task, message, .. } => {
+            assert_eq!(task, "map");
+            assert!(
+                message.contains("poisoned at record 0"),
+                "the cause must name the record: {message}"
+            );
+        }
+        other => panic!("expected Error::JobFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn skip_bad_records_is_schedule_independent() {
+    // The poisoned (map, record) coordinate must name the same tuple in
+    // every case, so the input and mapper count stay fixed while slot and
+    // thread counts shake — the skipped set, and therefore the output,
+    // cannot depend on scheduling.
+    let data = scenario(Distribution::Clustered { clusters: 3 }, 3, 300, 705);
+    let run_case = |case: &ShakeCase| -> Vec<u8> {
+        let mut config = SkylineConfig::test()
+            .with_reducers(case.reduce_slots)
+            .with_fault_tolerance(FaultTolerance::with_plan(
+                FaultPlan::none().with_poison_record(0, 3),
+            ))
+            .with_skip_bad_records(true);
+        config.cluster = case.cluster(&config.cluster);
+        let run = mr_gpmrs(&data, &config).expect("skip-bad-records completes the job");
+        assert!(run
+            .metrics
+            .jobs
+            .iter()
+            .all(|j| j.records_skipped == 1 && j.degraded));
+        tuple_bytes(&run.skyline)
+    };
+    let report = assert_schedule_independent(8, 0xDA7A_5EED, run_case);
+    assert_eq!(report.cases.len(), 8);
+    assert!(report.output_len > 0);
+}
+
+#[test]
+fn data_chaos_output_is_schedule_independent() {
+    // A fixed data-plane fault plan replayed under shaken schedules: seeded
+    // corruption and hangs must not leak scheduling order into the output.
+    let data = scenario(Distribution::Clustered { clusters: 3 }, 3, 300, 706);
+    let run_case = |case: &ShakeCase| -> Vec<u8> {
+        let mut tuples = data.tuples().to_vec();
+        case.permute(&mut tuples);
+        let shuffled = Dataset::new(data.dim(), tuples).expect("permutation preserves validity");
+        let mut config = SkylineConfig::test()
+            .with_mappers(1 + case.map_slots)
+            .with_reducers(case.reduce_slots)
+            .with_fault_tolerance(FaultTolerance::with_plan(FaultPlan::chaos_data(0xDA7A)));
+        config.cluster = case.cluster(&config.cluster);
+        let run = mr_gpmrs(&shuffled, &config).expect("data chaos is recoverable");
+        tuple_bytes(&run.skyline)
+    };
+    let report = assert_schedule_independent(8, 0xDA7A_C4A0, run_case);
+    assert_eq!(report.cases.len(), 8);
+    assert!(report.output_len > 0);
+}
+
+// ---------------------------------------------------------------------------
 // Exhausted retries: structured errors, never panics.
 // ---------------------------------------------------------------------------
 
