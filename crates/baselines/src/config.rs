@@ -52,6 +52,19 @@ impl BaselineConfig {
         self.fault_tolerance = ft;
         self
     }
+
+    /// Sets (or clears) the per-slot memory budget; `Some` turns the
+    /// out-of-core storage plane on for every job in the pipeline.
+    pub fn with_memory_budget(mut self, bytes: Option<u64>) -> Self {
+        self.cluster.storage.memory_budget = bytes;
+        self
+    }
+
+    /// Sets the directory spill files are created under.
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cluster.storage.spill_dir = Some(dir.into());
+        self
+    }
 }
 
 /// Result of one baseline MapReduce run.
@@ -85,5 +98,22 @@ mod tests {
     #[test]
     fn builder_sets_mappers() {
         assert_eq!(BaselineConfig::test().with_mappers(7).mappers, 7);
+    }
+
+    #[test]
+    fn builders_set_storage_plane() {
+        let c = BaselineConfig::test()
+            .with_memory_budget(Some(1 << 20))
+            .with_spill_dir("/tmp/spills");
+        assert_eq!(c.cluster.storage.memory_budget, Some(1 << 20));
+        assert_eq!(
+            c.cluster.storage.spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/spills"))
+        );
+        assert!(BaselineConfig::test()
+            .cluster
+            .storage
+            .memory_budget
+            .is_none());
     }
 }

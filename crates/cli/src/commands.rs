@@ -107,6 +107,21 @@ fn parse_ppd(args: &Args) -> Result<PpdPolicy, String> {
     }
 }
 
+/// Applies `--memory-budget SIZE` / `--spill-dir DIR` — the out-of-core
+/// storage plane — to a simulated cluster. SIZE takes `k`/`m`/`g`
+/// suffixes (powers of 1024).
+fn apply_storage(args: &Args, cluster: &mut skymr_mapreduce::ClusterConfig) -> Result<(), String> {
+    if let Some(v) = args.get("memory-budget") {
+        let bytes =
+            skymr_mapreduce::parse_byte_size(v).map_err(|e| format!("bad --memory-budget: {e}"))?;
+        cluster.storage.memory_budget = Some(bytes);
+    }
+    if let Some(dir) = args.get("spill-dir") {
+        cluster.storage.spill_dir = Some(dir.into());
+    }
+    Ok(())
+}
+
 fn skyline_config(args: &Args) -> Result<SkylineConfig, String> {
     let mut config = SkylineConfig::default();
     config.mappers = args.get_parsed("mappers", config.mappers)?;
@@ -163,6 +178,7 @@ fn skyline_config(args: &Args) -> Result<SkylineConfig, String> {
         config.fault_tolerance = FaultTolerance::with_plan(plan);
     }
     config.cluster.skip_bad_records = args.has_flag("skip-bad-records");
+    apply_storage(args, &mut config.cluster)?;
     if let Some(path) = args.get("checkpoint") {
         config.checkpoint.file = Some(path.into());
     }
@@ -176,6 +192,7 @@ fn skyline_config(args: &Args) -> Result<SkylineConfig, String> {
 fn baseline_config(args: &Args) -> Result<BaselineConfig, String> {
     let mut config = BaselineConfig::default();
     config.mappers = args.get_parsed("mappers", config.mappers)?;
+    apply_storage(args, &mut config.cluster)?;
     Ok(config)
 }
 
@@ -194,6 +211,14 @@ fn print_metrics(metrics: &PipelineMetrics) {
             println!(
                 "      node faults: {} lost, {} blacklisted; {} maps re-executed ({:.2?})",
                 job.nodes_lost, job.nodes_blacklisted, job.maps_reexecuted, job.reexecution_time
+            );
+        }
+        if job.spill_files > 0 {
+            println!(
+                "      storage: {} spill files ({} KiB) merged in {} passes",
+                job.spill_files,
+                job.spilled_bytes / 1024,
+                job.merge_passes
             );
         }
         if job.corrupt_fetches > 0 || job.records_skipped > 0 {
@@ -253,6 +278,8 @@ const RUN_OPTS: &[&str] = &[
     "checkpoint",
     "resume",
     "kill-after",
+    "memory-budget",
+    "spill-dir",
 ];
 const PLAN_OPTS: &[&str] = &[
     "input", "dist", "dim", "card", "seed", "clusters", "ppd", "reducers", "dims", "lo", "hi",
@@ -856,6 +883,35 @@ mod tests {
         assert!(killed.contains("killed"), "unexpected error: {killed}");
         run(&args(&format!("{base} --resume --verify"))).unwrap();
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_spilling_under_a_memory_budget_still_verifies() {
+        // A 1 KiB budget forces every MapReduce algorithm out of core; the
+        // skyline must stay byte-identical to the in-memory oracle.
+        for algo in ["gpsrs", "gpmrs", "mr-bnl", "mr-angle"] {
+            let a = args(&format!(
+                "run --algo {algo} --dist anticorrelated --dim 3 --card 300 --seed 5 \
+                 --mappers 3 --reducers 2 --memory-budget 1k --verify"
+            ));
+            run(&a).unwrap_or_else(|e| panic!("{algo} spill run failed: {e}"));
+        }
+        let bad =
+            args("run --algo gpsrs --dist independent --dim 2 --card 50 --memory-budget nope");
+        assert!(run(&bad).unwrap_err().contains("--memory-budget"));
+    }
+
+    #[test]
+    fn run_spilling_into_an_explicit_spill_dir() {
+        let dir = std::env::temp_dir().join(format!("skymr-cli-spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = args(&format!(
+            "run --algo gpmrs --dist anticorrelated --dim 3 --card 300 --seed 7 \
+             --memory-budget 512 --spill-dir {} --verify",
+            dir.display()
+        ));
+        run(&a).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

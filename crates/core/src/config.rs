@@ -193,6 +193,22 @@ impl SkylineConfig {
         self
     }
 
+    /// Caps each map task's output buffer at `bytes`, spilling sorted runs
+    /// to disk and external-merging them on the reduce side (the
+    /// out-of-core storage plane). `None` keeps all intermediates in
+    /// memory.
+    pub fn with_memory_budget(mut self, bytes: Option<u64>) -> Self {
+        self.cluster.storage.memory_budget = bytes;
+        self
+    }
+
+    /// Directory for spill files (default: the OS temp directory). Only
+    /// meaningful together with [`Self::with_memory_budget`].
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cluster.storage.spill_dir = Some(dir.into());
+        self
+    }
+
     /// Attaches (or detaches) a span collector for the pipeline's jobs.
     pub fn with_telemetry(mut self, collector: Option<Collector>) -> Self {
         self.telemetry = collector;
@@ -261,12 +277,19 @@ mod tests {
             .with_mappers(2)
             .with_reducers(3)
             .with_skip_bad_records(true)
-            .with_progress_timeout(Duration::from_millis(9));
+            .with_progress_timeout(Duration::from_millis(9))
+            .with_memory_budget(Some(1 << 20))
+            .with_spill_dir("/tmp/spills");
         assert_eq!(c.ppd, PpdPolicy::Fixed(5));
         assert_eq!(c.mappers, 2);
         assert_eq!(c.reducers, 3);
         assert!(c.cluster.skip_bad_records);
         assert_eq!(c.cluster.progress_timeout, Duration::from_millis(9));
+        assert_eq!(c.cluster.storage.memory_budget, Some(1 << 20));
+        assert_eq!(
+            c.cluster.storage.spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/spills"))
+        );
     }
 
     #[test]

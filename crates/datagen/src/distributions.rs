@@ -58,9 +58,34 @@ impl Distribution {
 /// Panics if `dim == 0` or (for [`Distribution::Clustered`]) if
 /// `clusters == 0`.
 pub fn generate(dist: Distribution, dim: usize, cardinality: usize, seed: u64) -> Dataset {
+    let mut s = stream(dist, dim, cardinality, seed);
+    let mut tuples = Vec::with_capacity(cardinality);
+    tuples.extend(&mut s);
+    Dataset::new_unchecked(dim, tuples)
+}
+
+/// Streaming variant of [`generate`]: yields the *same tuples in the same
+/// order* as `generate(dist, dim, cardinality, seed)` without ever
+/// materializing the full dataset — the producer for out-of-core runs
+/// whose input would not fit the memory budget. Draws from the RNG in
+/// exactly `generate`'s order (cluster centers up front, then one tuple
+/// per `next`), so the two stay bit-identical by construction.
+///
+/// ```
+/// use skymr_datagen::{generate, stream, Distribution};
+///
+/// let eager = generate(Distribution::Clustered { clusters: 3 }, 4, 100, 7);
+/// let lazy: Vec<_> = stream(Distribution::Clustered { clusters: 3 }, 4, 100, 7).collect();
+/// assert_eq!(eager.tuples(), &lazy[..]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or (for [`Distribution::Clustered`]) if
+/// `clusters == 0`.
+pub fn stream(dist: Distribution, dim: usize, cardinality: usize, seed: u64) -> TupleStream {
     assert!(dim >= 1, "dimensionality must be at least 1");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5f3759df);
-    let mut tuples = Vec::with_capacity(cardinality);
     let centers = match dist {
         Distribution::Clustered { clusters } => {
             assert!(
@@ -77,17 +102,70 @@ pub fn generate(dist: Distribution, dim: usize, cardinality: usize, seed: u64) -
         }
         _ => Vec::new(),
     };
-    for id in 0..cardinality {
-        let values = match dist {
-            Distribution::Independent => independent(&mut rng, dim),
-            Distribution::Correlated => correlated(&mut rng, dim),
-            Distribution::Anticorrelated => anticorrelated(&mut rng, dim),
-            Distribution::Clustered { .. } => clustered(&mut rng, dim, &centers),
-        };
-        tuples.push(Tuple::new(id as u64, values));
+    TupleStream {
+        rng,
+        dist,
+        dim,
+        centers,
+        next_id: 0,
+        remaining: cardinality,
     }
-    Dataset::new_unchecked(dim, tuples)
 }
+
+/// Lazy tuple source created by [`stream`]. See there for the equivalence
+/// guarantee with [`generate`].
+#[derive(Debug)]
+pub struct TupleStream {
+    rng: StdRng,
+    dist: Distribution,
+    dim: usize,
+    centers: Vec<Vec<f64>>,
+    next_id: u64,
+    remaining: usize,
+}
+
+impl TupleStream {
+    /// Groups the stream into `chunk`-sized batches (the last may be
+    /// shorter) — the unit a bounded-memory driver feeds to its splits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn chunks(self, chunk: usize) -> impl Iterator<Item = Vec<Tuple>> {
+        assert!(chunk >= 1, "chunk size must be at least 1");
+        let mut inner = self;
+        std::iter::from_fn(move || {
+            let batch: Vec<Tuple> = inner.by_ref().take(chunk).collect();
+            (!batch.is_empty()).then_some(batch)
+        })
+    }
+}
+
+impl Iterator for TupleStream {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let values = match self.dist {
+            Distribution::Independent => independent(&mut self.rng, self.dim),
+            Distribution::Correlated => correlated(&mut self.rng, self.dim),
+            Distribution::Anticorrelated => anticorrelated(&mut self.rng, self.dim),
+            Distribution::Clustered { .. } => clustered(&mut self.rng, self.dim, &self.centers),
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        Some(Tuple::new(id, values))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for TupleStream {}
 
 fn clamp01(v: f64) -> f64 {
     v.clamp(0.0, MAX_VALUE)
@@ -297,5 +375,42 @@ mod tests {
     fn zero_cardinality_is_fine() {
         let ds = generate(Distribution::Independent, 2, 0, 0);
         assert!(ds.is_empty());
+        assert_eq!(stream(Distribution::Independent, 2, 0, 0).count(), 0);
+    }
+
+    #[test]
+    fn stream_matches_generate_for_every_distribution() {
+        for dist in DISTS {
+            let eager = generate(dist, 3, 257, 13);
+            let lazy: Vec<Tuple> = stream(dist, 3, 257, 13).collect();
+            assert_eq!(eager.tuples(), &lazy[..], "{dist:?} stream diverged");
+        }
+    }
+
+    #[test]
+    fn chunked_stream_concatenates_to_generate() {
+        let eager = generate(Distribution::Anticorrelated, 4, 100, 9);
+        for chunk in [1, 7, 100, 1000] {
+            let batches: Vec<Vec<Tuple>> = stream(Distribution::Anticorrelated, 4, 100, 9)
+                .chunks(chunk)
+                .collect();
+            assert!(batches.iter().all(|b| b.len() <= chunk));
+            assert!(
+                batches[..batches.len() - 1]
+                    .iter()
+                    .all(|b| b.len() == chunk),
+                "only the last batch may run short"
+            );
+            let flat: Vec<Tuple> = batches.into_iter().flatten().collect();
+            assert_eq!(eager.tuples(), &flat[..], "chunk size {chunk} diverged");
+        }
+    }
+
+    #[test]
+    fn stream_reports_exact_length() {
+        let mut s = stream(Distribution::Independent, 2, 5, 0);
+        assert_eq!(s.len(), 5);
+        s.next();
+        assert_eq!(s.len(), 4);
     }
 }

@@ -29,5 +29,5 @@ pub mod distributions;
 pub mod io;
 pub mod normalize;
 
-pub use distributions::{generate, Distribution};
+pub use distributions::{generate, stream, Distribution, TupleStream};
 pub use normalize::{Direction, Normalizer};

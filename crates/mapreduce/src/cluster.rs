@@ -4,6 +4,7 @@
 use std::time::Duration;
 
 use crate::fault::TaskKind;
+use crate::storage::StorageConfig;
 
 /// Deterministic assignment of tasks and attempts to home nodes.
 ///
@@ -134,6 +135,10 @@ pub struct ClusterConfig {
     /// that record, skips it, and completes the job `degraded` instead of
     /// aborting. Off by default — skipping changes the job's output.
     pub skip_bad_records: bool,
+    /// Out-of-core storage plane: per-task memory budget, spill
+    /// directory, and the disk cost model. Inert until a budget is set
+    /// (see [`StorageConfig`]).
+    pub storage: StorageConfig,
 }
 
 impl Default for ClusterConfig {
@@ -151,6 +156,7 @@ impl Default for ClusterConfig {
             heartbeat_timeout: Duration::from_secs(30),
             progress_timeout: Duration::from_secs(600),
             skip_bad_records: false,
+            storage: StorageConfig::default().with_env_overrides(),
         }
     }
 }
@@ -171,6 +177,7 @@ impl ClusterConfig {
             heartbeat_timeout: Duration::from_millis(2),
             progress_timeout: Duration::from_millis(5),
             skip_bad_records: false,
+            storage: StorageConfig::test().with_env_overrides(),
         }
     }
 
@@ -338,6 +345,13 @@ pub struct JobMetrics {
     pub corrupt_fetches: u64,
     /// Input records skipped by the skip-bad-records policy.
     pub records_skipped: u64,
+    /// Spill segments written by map tasks (out-of-core mode).
+    pub spill_files: u64,
+    /// On-disk bytes written by map-side spills.
+    pub spilled_bytes: u64,
+    /// External-merge passes executed on the reduce side (intermediate
+    /// cascade passes plus final streaming passes over disk runs).
+    pub merge_passes: u64,
     /// `true` iff the job completed by skipping poisoned records — its
     /// output is the fault-free output of the input minus the skipped
     /// records, not of the full input.
@@ -379,6 +393,9 @@ impl JobMetrics {
             nodes_blacklisted: 0,
             corrupt_fetches: 0,
             records_skipped: 0,
+            spill_files: 0,
+            spilled_bytes: 0,
+            merge_passes: 0,
             degraded: false,
         }
     }

@@ -15,6 +15,11 @@ use crate::fault::{
 };
 use crate::partitioner::Partitioner;
 use crate::pool::run_indexed;
+use crate::storage::{
+    merge::{cascade_stats, external_merge, KWayMerge, MergeStats, RunSource},
+    segment::{flip_bit, verify_frames, write_segment, Segment},
+    SpillSession,
+};
 use crate::task::{
     Emitter, MapFactory, MapTask, OutputCollector, ReduceFactory, ReduceTask, TaskContext,
 };
@@ -132,14 +137,29 @@ impl<Out> JobOutcome<Out> {
     }
 }
 
+/// Where one map task's partitioned output lives: in memory (the default
+/// engine) or on disk as spill segments (the out-of-core storage plane,
+/// engaged when [`crate::StorageConfig::memory_budget`] is set).
+enum MapBuckets<K, V> {
+    Memory(Vec<Vec<(K, V)>>),
+    Spilled(Vec<Segment>),
+}
+
 struct MapResult<K, V> {
-    buckets: Vec<Vec<(K, V)>>,
+    buckets: MapBuckets<K, V>,
+    /// Wire-size accounting per reducer ([`skymr_common::ByteSized`]) —
+    /// identical between the memory and spilled representations, so the
+    /// shuffle traffic model never notices spilling.
     bucket_bytes: Vec<u64>,
     records: u64,
 }
 
 /// A reducer's input group, handed off to its reduce task's attempts.
 type GroupSlot<K, V> = parking_lot::Mutex<Option<BTreeMap<K, Vec<V>>>>;
+
+/// One combined, partitioned batch of map output: per-reducer buckets,
+/// their wire-byte sizes, and the post-combiner record count.
+type RoutedBatch<K, V> = (Vec<Vec<(K, V)>>, Vec<u64>, u64);
 
 /// Per-phase fault-tolerance accounting, folded from each task's
 /// [`TaskExecution`].
@@ -390,6 +410,22 @@ where
     let broadcast_attempts = plan.broadcast_failures_for(&config.name) + 1;
     let broadcast_time = cluster.broadcast_time(config.cache_bytes) * broadcast_attempts;
 
+    // ---- Storage plane ----------------------------------------------------
+    // With a memory budget set, map output spills to sorted on-disk
+    // segments and reducers stream their input through an external merge;
+    // the session owns the job's spill directory and removes it on every
+    // exit path. Failing to create it is an environment fault the job
+    // cannot work around.
+    let spill_session: Option<SpillSession> = if cluster.storage.enabled() {
+        Some(
+            SpillSession::create(&cluster.storage, &config.name)
+                .expect("storage plane: cannot create spill directory"), // xtask: allow(no-unwrap) — an unusable spill root is an environment fault with no in-job recovery
+        )
+    } else {
+        None
+    };
+    let spill_budget = cluster.storage.memory_budget;
+
     // ---- Map phase -------------------------------------------------------
     // Scripted poison records: the UDF deterministically dies on these on
     // every attempt, so only the skip-bad-records protocol below can get
@@ -397,6 +433,30 @@ where
     let map_poison: Vec<Vec<usize>> = (0..m)
         .map(|i| plan.poison_records_for(&config.name, i))
         .collect();
+    // Groups one batch of emitted pairs per key, applies the combiner,
+    // and partitions the result — the shared kernel of the in-memory path
+    // and of each spill (spilling combines per spill batch, exactly as
+    // Hadoop runs the combiner on each spill).
+    let route_batch = |pairs: Vec<(K, V)>| -> RoutedBatch<K, V> {
+        let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for (k, v) in pairs {
+            grouped.entry(k).or_default().push(v);
+        }
+        let mut buckets: Vec<Vec<(K, V)>> = (0..r).map(|_| Vec::new()).collect();
+        let mut bucket_bytes = vec![0u64; r];
+        let mut records = 0u64;
+        for (k, vs) in grouped {
+            let combined = combiner.combine(&k, vs);
+            let dest = partitioner.partition(&k, r);
+            assert!(dest < r, "partitioner returned reducer {dest} of {r}");
+            for v in combined {
+                records += 1;
+                bucket_bytes[dest] += k.byte_size() + v.byte_size();
+                buckets[dest].push((k.clone(), v));
+            }
+        }
+        (buckets, bucket_bytes, records)
+    };
     let run_map_attempt = |i: usize,
                            attempt: u32,
                            inject: Inject,
@@ -413,6 +473,32 @@ where
         let mut task = map_factory.create(&ctx);
         let mut emitter = Emitter::new();
         let split = &splits[i];
+        // Out-of-core state for this attempt. The spill trigger compares
+        // the emitter's wire-size accounting against the budget — a pure
+        // function of the emitted data, so spill points are identical on
+        // every host and every replay of this attempt.
+        let mut spilled: Vec<Segment> = Vec::new();
+        let mut bucket_bytes = vec![0u64; r];
+        let mut records = 0u64;
+        let spill_now = |emitter: &mut Emitter<K, V>,
+                         spilled: &mut Vec<Segment>,
+                         bucket_bytes: &mut Vec<u64>,
+                         records: &mut u64| {
+            let session = spill_session.as_ref().expect("spilling without a session"); // xtask: allow(no-unwrap) — spill_now only runs under a budget, which creates the session
+            let (pairs, _) = emitter.drain();
+            let (buckets, batch_bytes, batch_records) = route_batch(pairs);
+            let segment = write_segment(
+                session.segment_path(i, attempt),
+                &buckets,
+                cluster.storage.io_chunk,
+            )
+            .expect("storage plane: spill write failed"); // xtask: allow(no-unwrap) — the panic unwinds this attempt into the retry ladder, the storage plane's recovery path
+            for (dest, b) in batch_bytes.into_iter().enumerate() {
+                bucket_bytes[dest] += b;
+            }
+            *records += batch_records;
+            spilled.push(segment);
+        };
         // An injected mid-task crash fires halfway through the split — the
         // attempt genuinely unwinds with part of its work done.
         let crash_at = match inject {
@@ -442,31 +528,32 @@ where
                 ));
             }
             task.map(record, &mut emitter);
+            if let Some(budget) = spill_budget {
+                if emitter.buffered_bytes() >= budget {
+                    spill_now(&mut emitter, &mut spilled, &mut bucket_bytes, &mut records);
+                }
+            }
         }
         task.finish(&mut emitter);
+        if spill_budget.is_some() {
+            // The tail batch always goes to disk too — with a budget set,
+            // map RAM never holds the task's full output.
+            if !emitter.is_empty() {
+                spill_now(&mut emitter, &mut spilled, &mut bucket_bytes, &mut records);
+            }
+            return MapResult {
+                buckets: MapBuckets::Spilled(spilled),
+                bucket_bytes,
+                records,
+            };
+        }
         let (pairs, _) = emitter.into_parts();
         // Group this task's output per key and apply the combiner (the
         // identity combiner leaves values untouched); the key-sorted order
         // keeps the downstream pipeline deterministic.
-        let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
-        for (k, v) in pairs {
-            grouped.entry(k).or_default().push(v);
-        }
-        let mut buckets: Vec<Vec<(K, V)>> = (0..r).map(|_| Vec::new()).collect();
-        let mut bucket_bytes = vec![0u64; r];
-        let mut records = 0u64;
-        for (k, vs) in grouped {
-            let combined = combiner.combine(&k, vs);
-            let dest = partitioner.partition(&k, r);
-            assert!(dest < r, "partitioner returned reducer {dest} of {r}");
-            for v in combined {
-                records += 1;
-                bucket_bytes[dest] += k.byte_size() + v.byte_size();
-                buckets[dest].push((k.clone(), v));
-            }
-        }
+        let (buckets, bucket_bytes, records) = route_batch(pairs);
         MapResult {
-            buckets,
+            buckets: MapBuckets::Memory(buckets),
             bucket_bytes,
             records,
         }
@@ -620,11 +707,34 @@ where
             recovery_wave.push(duration);
             regenerated.insert(affected[c], result);
         }
-        for &(i, j) in &lost {
-            if let (Some(regen), Some(original)) = (regenerated.get_mut(&i), map_outputs.get_mut(i))
-            {
-                original.buckets[j] = std::mem::take(&mut regen.buckets[j]);
-                original.bucket_bytes[j] = regen.bucket_bytes[j];
+        if spill_session.is_some() {
+            // Spilled outputs are whole segment files; the regenerated
+            // output replaces the lost task's segments wholesale —
+            // equivalent to patching one bucket because pure UDFs
+            // regenerate byte-identical output.
+            for (i, regen) in regenerated {
+                if let Some(original) = map_outputs.get_mut(i) {
+                    *original = regen;
+                }
+            }
+        } else {
+            for &(i, j) in &lost {
+                if let (
+                    Some(MapResult {
+                        buckets: MapBuckets::Memory(regen_buckets),
+                        bucket_bytes: regen_bytes,
+                        ..
+                    }),
+                    Some(MapResult {
+                        buckets: MapBuckets::Memory(buckets),
+                        bucket_bytes,
+                        ..
+                    }),
+                ) = (regenerated.get_mut(&i), map_outputs.get_mut(i))
+                {
+                    buckets[j] = std::mem::take(&mut regen_buckets[j]);
+                    bucket_bytes[j] = regen_bytes[j];
+                }
             }
         }
         map_stats.retries += affected.len() as u64;
@@ -639,11 +749,30 @@ where
         .iter()
         .map(|res| (res.records, res.bucket_bytes.iter().sum::<u64>()))
         .collect();
+    // Spill accounting: on-disk bytes per spill file backing the final
+    // shuffle (failed and superseded attempts' files are dropped unread).
+    // Each task's spill traffic is charged to its modeled duration through
+    // the disk cost model *before* the phase makespan and the node-loss
+    // timeline consume those durations, so spilling slows the simulated
+    // job exactly where Hadoop pays for it.
+    let map_spills: Vec<Vec<u64>> = map_outputs
+        .iter()
+        .map(|res| match &res.buckets {
+            MapBuckets::Spilled(segments) => segments.iter().map(Segment::disk_bytes).collect(),
+            MapBuckets::Memory(_) => Vec::new(),
+        })
+        .collect();
+    for (i, spills) in map_spills.iter().enumerate() {
+        if !spills.is_empty() {
+            let bytes: u64 = spills.iter().sum();
+            map_stats.effective[i] += cluster.storage.io_time(bytes, spills.len() as u64);
+        }
+    }
     let map_models: Vec<TaskModel> = splits
         .iter()
-        .zip(map_execs.iter().zip(&map_io))
+        .zip(map_execs.iter().zip(map_io.iter().zip(&map_spills)))
         .map(
-            |(split, ((exec, fault), &(records_out, bytes)))| TaskModel {
+            |(split, ((exec, fault), (&(records_out, bytes), spills)))| TaskModel {
                 records_in: split.len() as u64,
                 keys_in: 0,
                 records_out,
@@ -654,6 +783,8 @@ where
                     .map(|f| FailKind::from_cause(&f.cause))
                     .collect(),
                 slowdown: fault.slowdown,
+                spills: spills.clone(),
+                merge: None,
             },
         )
         .collect();
@@ -807,6 +938,10 @@ where
     let mut remote_per_node = vec![0u64; cluster.nodes.max(1)];
     let mut per_reducer_bytes = vec![0u64; r];
     let mut groups: Vec<BTreeMap<K, Vec<V>>> = (0..r).map(|_| BTreeMap::new()).collect();
+    // Spill mode: each reducer's input is a priority-ordered list of runs
+    // (map index, then spill sequence) merged lazily in the reduce phase;
+    // nothing is materialized here.
+    let mut reducer_runs: Vec<Vec<(Segment, usize)>> = (0..r).map(|_| Vec::new()).collect();
 
     // ---- Data-plane integrity --------------------------------------------
     // Partition fetches whose frames arrive corrupted, keyed by
@@ -855,49 +990,116 @@ where
     let mut corrupt_events: Vec<CorruptEvent> = Vec::new();
     let mut refetch_bytes = 0u64;
     for (i, result) in map_outputs.into_iter().enumerate() {
-        for (j, bucket) in result.buckets.into_iter().enumerate() {
+        for j in 0..r {
             per_reducer_bytes[j] += result.bucket_bytes[j];
             if let Some(homes) = &reducer_homes {
                 if map_homes[i] != homes[j] {
                     remote_per_node[homes[j]] += result.bucket_bytes[j];
                 }
             }
-            // Every partition crosses the shuffle boundary as one
-            // checksummed frame; the reduce side verifies before it
-            // consumes a single record, so the codec is load-bearing.
-            let frame = encode_pairs(&bucket);
-            drop(bucket);
-            if let Some(c) = corrupt_plan.get(&(i, j)) {
-                // Deliver the corrupted copy first: flip one seeded bit
-                // and require verification to reject it, then charge the
-                // re-fetch traffic. At-rest corruption (two bad fetches)
-                // already escalated to re-executing the producer above,
-                // so the frame in hand is clean either way.
-                let failed = c.fetches.min(2);
-                let bit = c.bit_seed % (frame.len() as u64 * 8);
-                let byte = (bit / 8) as usize;
-                let mut bad = frame.clone();
-                bad[byte] ^= 1 << (bit % 8);
-                assert!(
-                    decode_pairs::<K, V>(&bad).is_err(),
-                    "a single-bit flip must never pass frame verification"
-                );
-                refetch_bytes += frame.len() as u64 * u64::from(failed);
-                corrupt_events.push(CorruptEvent {
-                    map: i,
-                    reducer: j,
-                    fetches: failed,
-                    reexecuted: c.fetches >= 2,
-                });
-            }
-            let Ok(pairs) = decode_pairs::<K, V>(&frame) else {
-                unreachable!("a freshly encoded frame always verifies");
-            };
-            for (k, v) in pairs {
-                if cfg!(debug_assertions) {
-                    *emitted.entry(k.clone()).or_insert(0) += 1;
+        }
+        match result.buckets {
+            MapBuckets::Memory(buckets) => {
+                for (j, bucket) in buckets.into_iter().enumerate() {
+                    // Every partition crosses the shuffle boundary as one
+                    // checksummed frame; the reduce side verifies before it
+                    // consumes a single record, so the codec is load-bearing.
+                    let frame = encode_pairs(&bucket);
+                    drop(bucket);
+                    if let Some(c) = corrupt_plan.get(&(i, j)) {
+                        // Deliver the corrupted copy first: flip one seeded bit
+                        // and require verification to reject it, then charge the
+                        // re-fetch traffic. At-rest corruption (two bad fetches)
+                        // already escalated to re-executing the producer above,
+                        // so the frame in hand is clean either way.
+                        let failed = c.fetches.min(2);
+                        let bit = c.bit_seed % (frame.len() as u64 * 8);
+                        let byte = (bit / 8) as usize;
+                        let mut bad = frame.clone();
+                        bad[byte] ^= 1 << (bit % 8);
+                        assert!(
+                            decode_pairs::<K, V>(&bad).is_err(),
+                            "a single-bit flip must never pass frame verification"
+                        );
+                        refetch_bytes += frame.len() as u64 * u64::from(failed);
+                        corrupt_events.push(CorruptEvent {
+                            map: i,
+                            reducer: j,
+                            fetches: failed,
+                            reexecuted: c.fetches >= 2,
+                        });
+                    }
+                    let Ok(pairs) = decode_pairs::<K, V>(&frame) else {
+                        unreachable!("a freshly encoded frame always verifies");
+                    };
+                    for (k, v) in pairs {
+                        if cfg!(debug_assertions) {
+                            *emitted.entry(k.clone()).or_insert(0) += 1;
+                        }
+                        groups[j].entry(k).or_default().push(v);
+                    }
                 }
-                groups[j].entry(k).or_default().push(v);
+            }
+            MapBuckets::Spilled(segments) => {
+                // The shuffle-phase integrity scan: every partition's
+                // frames are checksum-verified at rest before the merge
+                // consumes a single record. Corruption injection flips a
+                // real bit in the segment file, and verification must
+                // reject it; the re-fetch is modeled by flipping the bit
+                // back (XOR restores the byte) and re-verifying clean.
+                // Two bad fetches already escalated to re-executing the
+                // producer above, so the files in hand regenerate clean.
+                debug_assert_eq!(
+                    segments
+                        .iter()
+                        .flat_map(|s| s.parts.iter())
+                        .map(|p| p.records)
+                        .sum::<u64>(),
+                    result.records,
+                    "spill manifests must account for every map output record"
+                );
+                for j in 0..r {
+                    if let Some(c) = corrupt_plan.get(&(i, j)) {
+                        let failed = c.fetches.min(2);
+                        let target = segments
+                            .iter()
+                            .find(|s| s.parts.get(j).is_some_and(|p| p.len > 0));
+                        if let Some(seg) = target {
+                            let meta = &seg.parts[j];
+                            flip_bit(&seg.path, meta.offset, meta.len, c.bit_seed)
+                                .expect("storage plane: corruption injection failed"); // xtask: allow(no-unwrap) — scripted-fault machinery; a failing injection must abort the experiment loudly
+                            let err = verify_frames(seg, j)
+                                .expect_err("a flipped bit must never pass frame verification"); // xtask: allow(no-unwrap) — asserts the CRC invariant the chaos test exists to prove
+                            let restored = flip_bit(&seg.path, meta.offset, meta.len, c.bit_seed);
+                            restored.expect("storage plane: corruption restore failed"); // xtask: allow(no-unwrap) — scripted-fault machinery; a failing restore must abort the experiment loudly
+                            assert!(err.is_corruption(), "flip must read as corruption: {err}");
+                        }
+                        let part_bytes: u64 = segments
+                            .iter()
+                            .filter_map(|s| s.parts.get(j))
+                            .map(|p| p.len)
+                            .sum();
+                        refetch_bytes += part_bytes * u64::from(failed);
+                        corrupt_events.push(CorruptEvent {
+                            map: i,
+                            reducer: j,
+                            fetches: failed,
+                            reexecuted: c.fetches >= 2,
+                        });
+                    }
+                    for seg in &segments {
+                        if let Err(e) = verify_frames(seg, j) {
+                            panic!("storage plane: spill segment failed the shuffle integrity scan after recovery: {e}");
+                        }
+                    }
+                }
+                for seg in segments {
+                    for (j, runs) in reducer_runs.iter_mut().enumerate() {
+                        if seg.parts.get(j).is_some_and(|p| p.records > 0) {
+                            runs.push((seg.clone(), j));
+                        }
+                    }
+                }
             }
         }
     }
@@ -906,15 +1108,60 @@ where
     }
     drop(emitted);
     let shuffle_bytes: u64 = per_reducer_bytes.iter().sum();
-    // Per-reducer group facts for the trace model: (distinct keys, values).
-    let reduce_io: Vec<(u64, u64)> = groups
-        .iter()
-        .map(|g| {
-            let values: usize = g.values().map(Vec::len).sum();
-            (g.len() as u64, values as u64)
-        })
-        .collect();
-    let reduce_input_keys: u64 = groups.iter().map(|g| g.len() as u64).sum();
+    // Per-reducer group facts for the trace model: (distinct keys, values),
+    // plus (spill mode) the closed-form merge-cascade cost the model
+    // charges — a pure function of the manifests, identical for every
+    // attempt of the reducer.
+    let (reduce_io, merge_models): (Vec<(u64, u64)>, Vec<Option<MergeStats>>) =
+        if spill_session.is_some() {
+            let counted = run_indexed(r, cluster.host_threads, |j| {
+                let sources: Vec<RunSource<K, V>> = reducer_runs[j]
+                    .iter()
+                    .map(|(segment, part)| RunSource::Disk {
+                        segment: segment.clone(),
+                        part: *part,
+                    })
+                    .collect();
+                let run_bytes: Vec<u64> = reducer_runs[j]
+                    .iter()
+                    .map(|(segment, part)| segment.parts[*part].len)
+                    .collect();
+                let stats = cascade_stats(&run_bytes, cluster.storage.merge_fan_in);
+                // Counting pass: distinct keys and total values, so the
+                // trace model and mid-task crash injection see the same
+                // figures the in-memory engine reads off its group maps.
+                let mut merge =
+                    KWayMerge::open(sources).expect("storage plane: cannot open runs for counting"); // xtask: allow(no-unwrap) — every segment passed the shuffle integrity scan just above
+                let mut keys = 0u64;
+                let mut values = 0u64;
+                let mut last: Option<K> = None;
+                loop {
+                    let next = merge.next_pair().expect("counting merge failed"); // xtask: allow(no-unwrap) — every segment passed the integrity scan above
+                    let Some((k, _v)) = next else { break };
+                    values += 1;
+                    if last.as_ref() != Some(&k) {
+                        keys += 1;
+                        last = Some(k);
+                    }
+                }
+                ((keys, values), stats)
+            });
+            counted
+                .into_iter()
+                .map(|(((keys, values), stats), _)| ((keys, values), Some(stats)))
+                .unzip()
+        } else {
+            let io: Vec<(u64, u64)> = groups
+                .iter()
+                .map(|g| {
+                    let values: usize = g.values().map(Vec::len).sum();
+                    (g.len() as u64, values as u64)
+                })
+                .collect();
+            let none = vec![None; r];
+            (io, none)
+        };
+    let reduce_input_keys: u64 = reduce_io.iter().map(|&(keys, _)| keys).sum();
 
     // ---- Reduce phase ----------------------------------------------------
     let group_slots: Vec<GroupSlot<K, V>> = groups
@@ -954,10 +1201,72 @@ where
             out.into_records()
         };
 
+    // Spill-mode reduce attempt: the input is never materialized — the
+    // external merge streams `(key, values)` groups straight off the spill
+    // segments in exactly the order the in-memory engine's group map
+    // produces. Mid-task crash injection counts key groups, so crash
+    // points match the in-memory engine group for group.
+    let run_reduce_attempt_spilled = |j: usize, attempt: u32, inject: Inject| -> Vec<Out> {
+        let session = spill_session
+            .as_ref()
+            .expect("spill-mode reduce without a session"); // xtask: allow(no-unwrap) — this closure is only entered when the session exists
+        let ctx = TaskContext {
+            task_index: j,
+            num_tasks: r,
+            num_reducers: r,
+            attempt,
+            counters: counters.clone(),
+        };
+        let mut task = reduce_factory.create(&ctx);
+        let mut out = OutputCollector::new();
+        let crash_at = match inject {
+            Inject::MidTaskPanic => Some((reduce_io[j].0 / 2) as usize),
+            Inject::None => None,
+        };
+        if crash_at.is_some() && reduce_io[j].0 == 0 {
+            crate::pool::raise_injected_panic(format!(
+                "[fault-injection] reduce task {j} attempt {attempt} crashed mid-task"
+            ));
+        }
+        let sources: Vec<RunSource<K, V>> = reducer_runs[j]
+            .iter()
+            .map(|(segment, part)| RunSource::Disk {
+                segment: segment.clone(),
+                part: *part,
+            })
+            .collect();
+        let (mut merge, _stats) = external_merge(
+            session,
+            j,
+            sources,
+            cluster.storage.merge_fan_in,
+            cluster.storage.io_chunk,
+        )
+        .expect("storage plane: external merge failed"); // xtask: allow(no-unwrap) — the panic unwinds this attempt into the retry ladder, the storage plane's recovery path
+        let mut n = 0usize;
+        loop {
+            let group = merge
+                .next_group()
+                .expect("storage plane: merge read failed"); // xtask: allow(no-unwrap) — the panic unwinds this attempt into the retry ladder
+            let Some((k, vs)) = group else { break };
+            if crash_at == Some(n) {
+                crate::pool::raise_injected_panic(format!(
+                    "[fault-injection] reduce task {j} attempt {attempt} crashed mid-task"
+                ));
+            }
+            n += 1;
+            task.reduce(k, vs, &mut out);
+        }
+        task.finish(&mut out);
+        out.into_records()
+    };
+
     // Reduce inputs are single-consumer: attempts expected to fail get a
     // clone, the expected winner consumes the original. With speculation
     // on, the input is retained (cloned per attempt) so backup attempts
-    // can replay it.
+    // can replay it. Spill mode streams from disk instead, but keeps the
+    // same replay budget so the fault ladder behaves identically in both
+    // modes.
     let keep_input = config.speculation.is_some();
     let mut reduce_execs: Vec<(TaskExecution<Vec<Out>>, TaskFault)> =
         run_indexed(r, cluster.host_threads, |j| {
@@ -978,6 +1287,9 @@ where
                 replay_limit,
                 cluster.progress_timeout,
                 |attempt, inject| {
+                    if spill_session.is_some() {
+                        return run_reduce_attempt_spilled(j, attempt, inject);
+                    }
                     let input = {
                         let mut slot = group_slots[j].lock();
                         if keep_input || attempt < scheduled {
@@ -996,6 +1308,18 @@ where
         .collect();
 
     let mut reduce_stats = phase_stats(&reduce_execs, cluster.task_overhead);
+    // Spill mode: the external-merge cascade's disk traffic (reads of
+    // every run, intermediate-run writes, one seek per file open) is
+    // charged to each reducer's modeled duration before the makespan —
+    // the model pays for the merge once, with the closed-form cost every
+    // attempt of the reducer incurs identically.
+    for (j, model) in merge_models.iter().enumerate() {
+        if let Some(s) = model {
+            reduce_stats.effective[j] += cluster
+                .storage
+                .io_time(s.bytes_read + s.bytes_written, s.seeks);
+        }
+    }
     // Transient node partitions stall the shuffle barrier for their
     // duration (model ticks); folding the stall into `shuffle_time` shifts
     // everything downstream — trace, sim clock — consistently. Corrupted
@@ -1045,6 +1369,9 @@ where
         metrics.corrupt_fetches = corrupt_events.iter().map(|c| u64::from(c.fetches)).sum();
         metrics.records_skipped = skipped.len() as u64;
         metrics.degraded = !skipped.is_empty();
+        metrics.spill_files = map_spills.iter().map(|s| s.len() as u64).sum();
+        metrics.spilled_bytes = map_spills.iter().flatten().sum();
+        metrics.merge_passes = merge_models.iter().flatten().map(|s| s.passes).sum();
         metrics.sim_runtime =
             cluster.job_startup + broadcast_time + map_phase + shuffle_time + metrics.reduce_phase;
         metrics.host_wall = started.elapsed();
@@ -1067,6 +1394,9 @@ where
             spec,
             cluster,
             |j, attempt| {
+                if spill_session.is_some() {
+                    return run_reduce_attempt_spilled(j, attempt, Inject::None);
+                }
                 let input = (*group_slots[j].lock()).clone().unwrap_or_default();
                 run_reduce_attempt(j, attempt, input, Inject::None)
             },
@@ -1115,10 +1445,10 @@ where
     // `JobMetrics` fields below are a facade over its counters.
     let reduce_models: Vec<TaskModel> = reduce_execs
         .iter()
-        .zip(&reduce_io)
+        .zip(reduce_io.iter().zip(&merge_models))
         .zip(per_reducer_bytes.iter().zip(&outputs))
         .map(
-            |(((exec, fault), &(keys, values)), (&bytes, output))| TaskModel {
+            |(((exec, fault), (&(keys, values), merge)), (&bytes, output))| TaskModel {
                 records_in: values,
                 keys_in: keys,
                 records_out: output.len() as u64,
@@ -1129,6 +1459,8 @@ where
                     .map(|f| FailKind::from_cause(&f.cause))
                     .collect(),
                 slowdown: fault.slowdown,
+                spills: Vec::new(),
+                merge: *merge,
             },
         )
         .collect();
@@ -1193,6 +1525,9 @@ where
         nodes_blacklisted: registry.counter("node.blacklisted"),
         corrupt_fetches: registry.counter("shuffle.corrupt_fetches"),
         records_skipped: registry.counter("map.records_skipped"),
+        spill_files: registry.counter("storage.spill_files"),
+        spilled_bytes: registry.counter("storage.spilled_bytes"),
+        merge_passes: registry.counter("storage.merge_passes"),
         degraded: registry.counter("map.records_skipped") > 0,
         map_task_durations: map_stats.effective,
         reduce_task_durations: reduce_stats.effective,
@@ -2020,6 +2355,112 @@ mod tests {
             assert_eq!(sorted_counts(a), expected_counts(), "seed {seed}");
             assert_eq!(sorted_counts(b), expected_counts(), "seed {seed}");
         }
+    }
+
+    /// Test cluster with the out-of-core plane forced on: a `budget`-byte
+    /// map output buffer spills (almost) every emitted pair.
+    fn spill_cluster(budget: u64) -> ClusterConfig {
+        let mut cluster = ClusterConfig::test();
+        cluster.storage.memory_budget = Some(budget);
+        cluster
+    }
+
+    #[test]
+    fn spill_mode_is_output_identical_and_reports_storage_metrics() {
+        let clean = word_count(&splits(), 2, FaultPlan::none());
+        let cluster = spill_cluster(1);
+        let out = word_count_on(&cluster, &JobConfig::new("wc", 2)).expect("spill run");
+        assert!(out.metrics.spill_files > 0, "a 1-byte budget must spill");
+        assert!(out.metrics.spilled_bytes > 0);
+        assert!(out.metrics.merge_passes >= 1, "disk runs need a final pass");
+        assert_eq!(
+            out.registry.counter("storage.spill_files"),
+            out.metrics.spill_files
+        );
+        assert_eq!(
+            out.registry.counter("storage.spilled_bytes"),
+            out.metrics.spilled_bytes
+        );
+        assert_eq!(
+            out.registry.counter("storage.merge_passes"),
+            out.metrics.merge_passes
+        );
+        // The shuffle model accounts wire bytes, not the representation.
+        assert_eq!(out.metrics.shuffle_bytes, clean.metrics.shuffle_bytes);
+        assert_eq!(
+            out.metrics.reduce_input_keys,
+            clean.metrics.reduce_input_keys
+        );
+        // A clean in-memory run reports no storage traffic at all.
+        assert_eq!(clean.metrics.spill_files, 0);
+        assert_eq!(clean.metrics.spilled_bytes, 0);
+        assert_eq!(clean.metrics.merge_passes, 0);
+        assert_eq!(sorted_counts(out), sorted_counts(clean));
+    }
+
+    #[test]
+    fn spill_mode_survives_faults_and_chaos() {
+        let clean = sorted_counts(word_count(&splits(), 2, FaultPlan::none()));
+        let cluster = spill_cluster(1);
+        let run = |plan: FaultPlan| {
+            word_count_on(&cluster, &JobConfig::new("wc", 2).with_faults(plan))
+                .expect("spill run must survive")
+        };
+        let retried = run(FaultPlan::fail_maps([0, 2]));
+        assert_eq!(retried.metrics.map_retries, 2);
+        assert_eq!(sorted_counts(retried), clean);
+
+        let panicky = run(FaultPlan::none().with_reduce_fault(0, TaskFault::panics(1)));
+        assert_eq!(panicky.metrics.reduce_retries, 1);
+        assert_eq!(sorted_counts(panicky), clean);
+
+        let regenerated = run(FaultPlan::none().with_lost_partition(0, 0));
+        assert_eq!(regenerated.metrics.map_retries, 1);
+        assert_eq!(sorted_counts(regenerated), clean);
+
+        for seed in 0..4 {
+            let out = run(FaultPlan::seeded(seed));
+            assert_eq!(sorted_counts(out), clean, "seed {seed} changed the output");
+        }
+    }
+
+    /// Spill-mode corruption physically bit-flips the on-disk segment; the
+    /// CRC scan must catch it and route into the re-fetch → re-exec ladder.
+    #[test]
+    fn spill_segment_corruption_routes_into_the_recovery_ladder() {
+        let cluster = spill_cluster(1);
+        let run = |plan: FaultPlan| {
+            word_count_on(&cluster, &JobConfig::new("wc", 2).with_faults(plan))
+                .expect("spill run must survive")
+        };
+        // Transient: the first fetch hits the flipped bit, the re-fetch
+        // (bit restored — a clean replica) passes the scan.
+        let transient = run(FaultPlan::none().with_corrupt_shuffle(0, 0, 1));
+        assert_eq!(transient.metrics.corrupt_fetches, 1);
+        assert_eq!(transient.registry.counter("shuffle.corrupt_partitions"), 1);
+        assert_eq!(transient.metrics.map_retries, 0);
+        assert_eq!(sorted_counts(transient), expected_counts());
+        // At rest: both fetches fail the scan, the producing map re-executes
+        // and rewrites its segments.
+        let at_rest = run(FaultPlan::none().with_corrupt_shuffle(1, 0, 2));
+        assert_eq!(at_rest.metrics.corrupt_fetches, 2);
+        assert_eq!(at_rest.metrics.map_retries, 1);
+        assert_eq!(sorted_counts(at_rest), expected_counts());
+    }
+
+    #[test]
+    fn spill_runs_emit_storage_spans_reproducibly() {
+        let cluster = spill_cluster(1);
+        let render = || {
+            let collector = Collector::new();
+            let config = JobConfig::new("wc", 2).with_collector(Some(collector.clone()));
+            word_count_on(&cluster, &config).expect("job must succeed");
+            skymr_telemetry::export::chrome_trace(&collector.finish())
+        };
+        let trace = render();
+        assert!(trace.contains("\"spill[0]\""), "spill span missing");
+        assert!(trace.contains("\"merge\""), "merge span missing");
+        assert_eq!(trace, render(), "spill trace bytes must be reproducible");
     }
 
     struct WcReduceLike;

@@ -47,6 +47,7 @@ pub mod job;
 pub mod partitioner;
 pub mod pipeline;
 pub mod pool;
+pub mod storage;
 pub mod task;
 pub mod trace;
 
@@ -60,6 +61,7 @@ pub use fault::{
 pub use job::{run_job, run_job_with_combiner, JobConfig, JobOutcome};
 pub use partitioner::{HashPartitioner, ModuloPartitioner, Partitioner, SingleReducerPartitioner};
 pub use pipeline::{Checkpoint, JobSnapshot, PipelineMetrics, Runner, Snapshot};
+pub use storage::{parse_byte_size, StorageConfig};
 pub use task::{
     Emitter, JobKey, JobValue, MapFactory, MapTask, OutputCollector, ReduceFactory, ReduceTask,
     TaskContext,

@@ -134,6 +134,23 @@ impl<K: ByteSized, V: ByteSized> Emitter<K, V> {
     pub(crate) fn into_parts(self) -> (Vec<(K, V)>, u64) {
         (self.pairs, self.bytes)
     }
+
+    /// Wire size of the currently buffered pairs — the value the
+    /// out-of-core engine compares against the memory budget (a pure
+    /// function of the emitted data, never host memory).
+    pub(crate) fn buffered_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Takes the buffered pairs and their wire size, resetting the
+    /// buffer — the spill drain. The emitter itself never touches disk
+    /// (it is called from UDF bodies); the job driver spills what this
+    /// returns.
+    pub(crate) fn drain(&mut self) -> (Vec<(K, V)>, u64) {
+        let bytes = self.bytes;
+        self.bytes = 0;
+        (std::mem::take(&mut self.pairs), bytes)
+    }
 }
 
 /// Collects final output records from a reduce task.

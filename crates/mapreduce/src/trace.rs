@@ -25,6 +25,7 @@ use skymr_telemetry::{ArgValue, Collector, JobTrace, MetricsRegistry, Span, Tick
 
 use crate::cluster::{ClusterConfig, Placement};
 use crate::fault::{FailureCause, RetryPolicy};
+use crate::storage::MergeStats;
 
 /// Lane 0 of every job: startup, broadcast, and shuffle-wide spans.
 pub const DRIVER_LANE: u64 = 0;
@@ -122,6 +123,12 @@ pub struct TaskModel {
     pub failures: Vec<FailKind>,
     /// Straggler slowdown from the fault plan (deterministic).
     pub slowdown: f64,
+    /// On-disk bytes of each spill segment the task wrote (map tasks in
+    /// spill mode; empty otherwise). Pure manifest facts, never measured.
+    pub spills: Vec<u64>,
+    /// External-merge cascade cost (reduce tasks in spill mode; `None`
+    /// otherwise) — the closed-form accounting from the run manifests.
+    pub merge: Option<MergeStats>,
 }
 
 impl TaskModel {
@@ -147,11 +154,28 @@ impl TaskModel {
         }
     }
 
+    /// Model ticks of the task's storage-plane I/O: one charge per spill
+    /// file written plus the external-merge cascade. Zero unless the job
+    /// ran under a memory budget, which keeps unspilled traces
+    /// byte-identical to the pre-storage-plane engine.
+    fn storage_ticks(&self) -> Ticks {
+        let mut total = 0;
+        for &bytes in &self.spills {
+            total += model::storage_ticks(bytes, 1);
+        }
+        if let Some(m) = &self.merge {
+            total += model::storage_ticks(m.bytes_read + m.bytes_written, m.seeks);
+        }
+        total
+    }
+
     /// Total model ticks the task occupies its slot: all attempts,
-    /// backoff gaps, and the extra launch overheads of retries. (The
-    /// first attempt's launch overhead is charged by placement.)
+    /// backoff gaps, the extra launch overheads of retries, and (spill
+    /// mode) the storage-plane I/O. (The first attempt's launch overhead
+    /// is charged by placement.)
     pub(crate) fn total_ticks(&self, retry: &RetryPolicy, overhead: Ticks) -> Ticks {
-        let mut total = self.winner_ticks() + overhead * self.failures.len() as u64;
+        let mut total =
+            self.winner_ticks() + self.storage_ticks() + overhead * self.failures.len() as u64;
         for (k, &kind) in self.failures.iter().enumerate() {
             total += self.failure_ticks(kind);
             total += ticks_of(retry.backoff_after(k as u32));
@@ -232,6 +256,13 @@ impl JobRecord<'_> {
             for &kind in &task.failures {
                 reg.add(&format!("map.failures.{}", kind.label()), 1);
             }
+            // Storage-plane counters exist only for jobs that spilled, so
+            // unspilled registries (and their exports) stay byte-identical.
+            if !task.spills.is_empty() {
+                reg.add("storage.spill_files", task.spills.len() as u64);
+                reg.add("storage.spilled_bytes", task.spills.iter().sum());
+                reg.add("storage.seeks", task.spills.len() as u64);
+            }
             reg.record(
                 "map.task_ticks",
                 TICK_BUCKETS,
@@ -245,6 +276,13 @@ impl JobRecord<'_> {
             reg.add("reduce.bytes_in", task.bytes);
             for &kind in &task.failures {
                 reg.add(&format!("reduce.failures.{}", kind.label()), 1);
+            }
+            if let Some(m) = &task.merge {
+                reg.add("storage.merge_runs", m.runs);
+                reg.add("storage.merge_passes", m.passes);
+                reg.add("storage.merge_bytes_read", m.bytes_read);
+                reg.add("storage.merge_bytes_written", m.bytes_written);
+                reg.add("storage.seeks", m.seeks);
             }
             reg.record(
                 "reduce.task_ticks",
@@ -640,6 +678,45 @@ impl JobRecord<'_> {
             .with_parent(task_id)
             .with_arg("outcome", "winner"),
         );
+        cursor += task.winner_ticks();
+        // Storage-plane children (spill mode only): each spill file the
+        // winning attempt wrote, then the reduce-side merge cascade. Their
+        // ticks are exactly what `storage_ticks` folded into the task
+        // span's total, so the children stay inside the parent.
+        for (k, &bytes) in task.spills.iter().enumerate() {
+            let ticks = model::storage_ticks(bytes, 1);
+            job.span(
+                Span::new(
+                    &[self.name, phase, &idx, "spill", &k.to_string()],
+                    format!("spill[{k}]"),
+                    "storage",
+                    lane,
+                    cursor,
+                    ticks,
+                )
+                .with_parent(task_id)
+                .with_arg("bytes", bytes),
+            );
+            cursor += ticks;
+        }
+        if let Some(m) = &task.merge {
+            let ticks = model::storage_ticks(m.bytes_read + m.bytes_written, m.seeks);
+            job.span(
+                Span::new(
+                    &[self.name, phase, &idx, "merge"],
+                    "merge",
+                    "storage",
+                    lane,
+                    cursor,
+                    ticks,
+                )
+                .with_parent(task_id)
+                .with_arg("runs", m.runs)
+                .with_arg("passes", m.passes)
+                .with_arg("bytes_read", m.bytes_read)
+                .with_arg("bytes_written", m.bytes_written),
+            );
+        }
     }
 }
 
@@ -828,6 +905,72 @@ mod tests {
             .find(|e| e.kind == EventKind::Complete && e.cat == "attempt" && e.name == "attempt 0")
             .expect("hung attempt span");
         assert_eq!(hung.dur, 5000);
+    }
+
+    #[test]
+    fn storage_plane_reaches_spans_and_counters() {
+        let cluster = ClusterConfig::test();
+        let retry = RetryPolicy::new();
+        let mut rec = test_record(&cluster, &retry, &[384]);
+        rec.map[0].spills = vec![4096, 2048];
+        rec.reduce[0].merge = Some(MergeStats {
+            runs: 2,
+            passes: 1,
+            bytes_read: 6144,
+            bytes_written: 0,
+            seeks: 2,
+        });
+
+        let reg = rec.build_registry();
+        assert_eq!(reg.counter("storage.spill_files"), 2);
+        assert_eq!(reg.counter("storage.spilled_bytes"), 6144);
+        assert_eq!(reg.counter("storage.merge_passes"), 1);
+        assert_eq!(reg.counter("storage.merge_bytes_read"), 6144);
+        assert_eq!(
+            reg.counter("storage.seeks"),
+            4,
+            "2 spill creates + 2 merge opens"
+        );
+
+        let collector = Collector::new();
+        rec.emit(&collector, reg);
+        let doc = collector.finish();
+        let storage: Vec<_> = doc
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Complete && e.cat == "storage")
+            .collect();
+        assert_eq!(storage.len(), 3, "two spills + one merge");
+        assert!(storage.iter().any(|e| e.name == "spill[1]"));
+        assert!(storage.iter().any(|e| e.name == "merge"));
+        // Storage children stay inside their parent task span.
+        let span = |name: &str| {
+            doc.events
+                .iter()
+                .find(|e| e.kind == EventKind::Complete && e.name == name)
+                .unwrap_or_else(|| panic!("span {name} missing"))
+        };
+        let map0 = span("map[0]");
+        let spill1 = span("spill[1]");
+        assert!(spill1.ts >= map0.ts);
+        assert!(spill1.ts + spill1.dur <= map0.ts + map0.dur);
+        let reduce0 = span("reduce[0]");
+        let merge = span("merge");
+        assert!(merge.ts >= reduce0.ts);
+        assert!(merge.ts + merge.dur <= reduce0.ts + reduce0.dur);
+    }
+
+    #[test]
+    fn unspilled_records_emit_no_storage_artifacts() {
+        let cluster = ClusterConfig::test();
+        let retry = RetryPolicy::new();
+        let rec = test_record(&cluster, &retry, &[384]);
+        let reg = rec.build_registry();
+        assert_eq!(reg.counter("storage.spill_files"), 0);
+        let collector = Collector::new();
+        rec.emit(&collector, reg);
+        let doc = collector.finish();
+        assert!(doc.events.iter().all(|e| e.cat != "storage"));
     }
 
     #[test]

@@ -29,6 +29,20 @@ pub fn attempt_ticks(records_in: u64, records_out: u64, bytes_out: u64) -> Ticks
         + bytes_out / BYTES_PER_TICK
 }
 
+/// Local-disk bytes moved per tick by the out-of-core storage plane —
+/// faster than the shuffle's [`BYTES_PER_TICK`], as sequential local disk
+/// beats the paper-era 100 Mbit/s LAN.
+pub const DISK_BYTES_PER_TICK: Ticks = 256;
+
+/// Fixed per-file-open charge (a modeled seek) for spill and merge I/O.
+pub const SEEK_TICKS: Ticks = 20;
+
+/// Model cost of moving `bytes` over local disk with `seeks` file opens —
+/// the tick analogue of the storage plane's simulated-clock disk charge.
+pub fn storage_ticks(bytes: u64, seeks: u64) -> Ticks {
+    bytes / DISK_BYTES_PER_TICK + seeks * SEEK_TICKS
+}
+
 /// Applies a straggler slowdown factor to a model duration. The factor
 /// comes from the (deterministic) fault plan; the multiply rounds down,
 /// and factors below 1 are clamped to 1, mirroring the engine's charge.

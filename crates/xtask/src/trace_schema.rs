@@ -158,6 +158,38 @@ fn check_event(event: &Value, at: &str, errors: &mut Vec<String>) {
         None => errors.push(format!("{at}: missing or non-string \"ph\"")),
     }
     check_fault_domain_event(event, at, errors);
+    check_storage_event(event, at, errors);
+}
+
+/// Pins the out-of-core storage-plane span shapes: spill files and the
+/// external-merge cascade must always surface as complete spans under cat
+/// "storage" with their byte accounting intact, so tooling that sums
+/// `args.bytes` across a budget sweep never silently reads zeros.
+fn check_storage_event(event: &Value, at: &str, errors: &mut Vec<String>) {
+    let name = event.get("name").and_then(Value::as_str).unwrap_or("");
+    let keys: &[&str] = if name.starts_with("spill[") && name.ends_with(']') {
+        &["bytes"]
+    } else if name == "merge" {
+        &["runs", "passes", "bytes_read", "bytes_written"]
+    } else {
+        return;
+    };
+    if event.get("cat").and_then(Value::as_str) != Some("storage") {
+        errors.push(format!("{at}: {name} must use cat \"storage\""));
+    }
+    if event.get("ph").and_then(Value::as_str) != Some("X") {
+        errors.push(format!("{at}: {name} must be a complete span (ph \"X\")"));
+    }
+    let args = event.get("args");
+    for key in keys {
+        if args
+            .and_then(|a| a.get(key))
+            .and_then(Value::as_u64)
+            .is_none()
+        {
+            errors.push(format!("{at}: {name} span without integer args.{key}"));
+        }
+    }
 }
 
 /// Pins the shape of the node failure-domain events the engine emits so a
@@ -409,6 +441,41 @@ mod tests {
             errors
                 .iter()
                 .any(|e| e.contains("hang-kill must be an instant event")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn pins_the_storage_plane_span_shapes() {
+        let good = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                    {\"name\":\"spill[0]\",\"cat\":\"storage\",\"ph\":\"X\",\
+                    \"ts\":5,\"dur\":16,\"pid\":1,\"tid\":1,\"args\":{\"bytes\":4096}},\
+                    {\"name\":\"merge\",\"cat\":\"storage\",\"ph\":\"X\",\
+                    \"ts\":30,\"dur\":24,\"pid\":1,\"tid\":2,\"args\":\
+                    {\"runs\":3,\"passes\":1,\"bytes_read\":6144,\"bytes_written\":0}}],\
+                    \"registries\":[]}";
+        check_chrome(good).expect("storage spans validate");
+
+        // A spill demoted out of its category, or a merge missing its byte
+        // accounting, is a violation.
+        let bad = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                   {\"name\":\"spill[0]\",\"cat\":\"map\",\"ph\":\"X\",\
+                   \"ts\":5,\"dur\":16,\"pid\":1,\"tid\":1,\"args\":{}},\
+                   {\"name\":\"merge\",\"cat\":\"storage\",\"ph\":\"X\",\
+                   \"ts\":30,\"dur\":24,\"pid\":1,\"tid\":2,\"args\":\
+                   {\"runs\":3,\"passes\":1}}],\
+                   \"registries\":[]}";
+        let errors = check_chrome(bad).expect_err("malformed storage spans rejected");
+        assert!(
+            errors.iter().any(|e| e.contains("cat \"storage\"")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("args.bytes")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("args.bytes_read")),
             "{errors:?}"
         );
     }

@@ -541,6 +541,144 @@ fn data_chaos_output_is_schedule_independent() {
 }
 
 // ---------------------------------------------------------------------------
+// Out-of-core storage plane: spilled runs under the same chaos.
+// ---------------------------------------------------------------------------
+
+/// A per-slot budget small enough that every scenario in this file spills:
+/// the serialized shuffle output of even one map task exceeds 1 KiB.
+const SPILL_BUDGET: u64 = 1024;
+
+#[test]
+fn spilled_chaos_preserves_every_algorithm_output() {
+    // Seeded fault plans replayed with the storage plane forced on: the
+    // spilled runs must reproduce the *in-memory* fault-free bytes, so
+    // spilling composes with the whole recovery ladder instead of adding a
+    // second source of nondeterminism.
+    let data = chaos_data();
+    let clean_gpsrs = run_core(&data, FaultTolerance::none(), mr_gpsrs);
+    let clean_gpmrs = run_core(&data, FaultTolerance::none(), mr_gpmrs);
+    let clean_bnl = run_baseline(&data, FaultTolerance::none(), mr_bnl);
+    let clean_angle = run_baseline(&data, FaultTolerance::none(), mr_angle);
+
+    let mut spill_files = 0u64;
+    for seed in REGRESSION_SEEDS {
+        let ft = FaultTolerance::with_plan(FaultPlan::seeded(seed));
+        let config = SkylineConfig::test()
+            .with_fault_tolerance(ft.clone())
+            .with_memory_budget(Some(SPILL_BUDGET));
+        let bconfig = BaselineConfig::test()
+            .with_fault_tolerance(ft)
+            .with_memory_budget(Some(SPILL_BUDGET));
+        let gpsrs = mr_gpsrs(&data, &config).expect("spilled chaos is recoverable");
+        let gpmrs = mr_gpmrs(&data, &config).expect("spilled chaos is recoverable");
+        let bnl = mr_bnl(&data, &bconfig).expect("spilled chaos is recoverable");
+        let angle = mr_angle(&data, &bconfig).expect("spilled chaos is recoverable");
+
+        assert_eq!(
+            tuple_bytes(&gpsrs.skyline),
+            tuple_bytes(&clean_gpsrs.skyline),
+            "spilled MR-GPSRS diverged under seed {seed:#x}"
+        );
+        assert_eq!(
+            tuple_bytes(&gpmrs.skyline),
+            tuple_bytes(&clean_gpmrs.skyline),
+            "spilled MR-GPMRS diverged under seed {seed:#x}"
+        );
+        assert_eq!(
+            tuple_bytes(&bnl.skyline),
+            tuple_bytes(&clean_bnl.skyline),
+            "spilled MR-BNL diverged under seed {seed:#x}"
+        );
+        assert_eq!(
+            tuple_bytes(&angle.skyline),
+            tuple_bytes(&clean_angle.skyline),
+            "spilled MR-Angle diverged under seed {seed:#x}"
+        );
+        spill_files += gpsrs
+            .metrics
+            .jobs
+            .iter()
+            .chain(&gpmrs.metrics.jobs)
+            .map(|j| j.spill_files)
+            .sum::<u64>();
+    }
+    assert!(
+        spill_files > 0,
+        "the budget never forced a spill — the sweep tested nothing"
+    );
+}
+
+#[test]
+fn corrupt_spilled_segments_route_into_the_recovery_ladder() {
+    // With the storage plane on, reducer input lives in on-disk spill
+    // segments, and the corruption plan flips bytes in those files. A
+    // transient hit must heal via a clean re-fetch; an at-rest hit must
+    // escalate to re-executing the producing map — and the skyline must
+    // still come out byte-identical to the fault-free in-memory run.
+    let data = chaos_data();
+    let clean = run_core(&data, FaultTolerance::none(), mr_gpsrs);
+
+    let collector = Collector::new();
+    let plan = FaultPlan::none()
+        .with_corrupt_shuffle(0, 0, 1) // transient: the second fetch is clean
+        .with_corrupt_shuffle(1, 0, 2) // at-rest: both fetches fail, map re-runs
+        .for_job("gpsrs");
+    let config = SkylineConfig::test()
+        .with_fault_tolerance(FaultTolerance::with_plan(plan))
+        .with_memory_budget(Some(SPILL_BUDGET))
+        .with_telemetry(Some(collector.clone()));
+    let run = mr_gpsrs(&data, &config).expect("segment corruption is recoverable");
+
+    assert_eq!(
+        tuple_bytes(&run.skyline),
+        tuple_bytes(&clean.skyline),
+        "MR-GPSRS diverged under spilled-segment corruption"
+    );
+    let job = run.metrics.job("gpsrs").expect("skyline job ran");
+    assert!(job.spill_files > 0, "the budget must actually force spills");
+    assert!(job.merge_passes >= 1, "spilled runs must externally merge");
+    assert_eq!(job.corrupt_fetches, 3, "1 transient + 2 at-rest fetches");
+    assert!(
+        job.map_retries >= 1,
+        "the at-rest corruption must re-execute its producer"
+    );
+
+    let trace = chrome_trace(&collector.finish());
+    for needle in ["\"spill[0]\"", "\"merge\"", "fault:corrupt"] {
+        assert!(trace.contains(needle), "the trace must carry {needle}");
+    }
+}
+
+#[test]
+fn spilled_chaos_output_is_schedule_independent() {
+    // The fixed fault plan from `chaos_output_is_schedule_independent`,
+    // replayed with every schedule shaken *and* the storage plane on:
+    // spill-file boundaries and merge order must not leak scheduling
+    // order into the output.
+    let data = scenario(Distribution::Clustered { clusters: 3 }, 3, 300, 707);
+    let run_case = |case: &ShakeCase| -> Vec<u8> {
+        let mut tuples = data.tuples().to_vec();
+        case.permute(&mut tuples);
+        let shuffled = Dataset::new(data.dim(), tuples).expect("permutation preserves validity");
+        let mut config = SkylineConfig::test()
+            .with_mappers(1 + case.map_slots)
+            .with_reducers(case.reduce_slots)
+            .with_fault_tolerance(FaultTolerance::with_plan(FaultPlan::seeded(0xC0FFEE)));
+        config.cluster = case.cluster(&config.cluster);
+        config.cluster.storage.memory_budget = Some(SPILL_BUDGET);
+        let run = mr_gpmrs(&shuffled, &config).expect("spilled chaos is recoverable");
+        assert!(
+            run.metrics.jobs.iter().map(|j| j.spill_files).sum::<u64>() > 0,
+            "every shaken case must spill"
+        );
+        tuple_bytes(&run.skyline)
+    };
+    let report = assert_schedule_independent(6, 0x5B11_5EED, run_case);
+    assert_eq!(report.cases.len(), 6);
+    assert!(report.output_len > 0);
+}
+
+// ---------------------------------------------------------------------------
 // Exhausted retries: structured errors, never panics.
 // ---------------------------------------------------------------------------
 

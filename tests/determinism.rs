@@ -102,6 +102,73 @@ fn split_count_does_not_affect_any_algorithm() {
 }
 
 #[test]
+fn spilling_is_invisible_in_every_algorithm_output() {
+    // Forcing the out-of-core storage plane on (a 512-byte budget makes
+    // everything spill) must not change a single output tuple for any
+    // algorithm, while the metrics prove the spill/merge path really ran.
+    // A budget comfortably above the dataset's serialized size must also
+    // leave the output untouched.
+    let data = scenario(Distribution::Anticorrelated, 3, 400, 308);
+    let mem_gpsrs = mr_gpsrs(&data, &SkylineConfig::test()).unwrap();
+    let mem_gpmrs = mr_gpmrs(&data, &SkylineConfig::test()).unwrap();
+    let mem_bnl = mr_bnl(&data, &BaselineConfig::test()).unwrap();
+    let mem_angle = mr_angle(&data, &BaselineConfig::test()).unwrap();
+
+    for budget in [512u64, 8 << 20] {
+        let config = SkylineConfig::test().with_memory_budget(Some(budget));
+        let bconfig = BaselineConfig::test().with_memory_budget(Some(budget));
+        let gpsrs = mr_gpsrs(&data, &config).unwrap();
+        let gpmrs = mr_gpmrs(&data, &config).unwrap();
+        let bnl = mr_bnl(&data, &bconfig).unwrap();
+        let angle = mr_angle(&data, &bconfig).unwrap();
+        assert_eq!(gpsrs.skyline, mem_gpsrs.skyline, "budget {budget}");
+        assert_eq!(gpmrs.skyline, mem_gpmrs.skyline, "budget {budget}");
+        assert_eq!(bnl.skyline, mem_bnl.skyline, "budget {budget}");
+        assert_eq!(angle.skyline, mem_angle.skyline, "budget {budget}");
+
+        // Every job that spilled must also have merged, and the tight
+        // budget must actually exercise the path in every pipeline.
+        for run_jobs in [
+            &gpsrs.metrics.jobs,
+            &gpmrs.metrics.jobs,
+            &bnl.metrics.jobs,
+            &angle.metrics.jobs,
+        ] {
+            for job in run_jobs {
+                if job.spill_files > 0 {
+                    assert!(
+                        job.merge_passes >= 1,
+                        "job `{}` spilled without merging",
+                        job.name
+                    );
+                    assert!(job.spilled_bytes > 0, "job `{}`", job.name);
+                }
+            }
+            if budget == 512 {
+                assert!(
+                    run_jobs.iter().map(|j| j.spill_files).sum::<u64>() > 0,
+                    "a 512-byte budget must force spills"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spilled_runs_are_identical_under_failures() {
+    // Spilling composed with task retries: a re-executed map rebuilds its
+    // spill segments from scratch, and the output must not move.
+    let data = scenario(Distribution::Independent, 3, 400, 309);
+    let clean = mr_gpsrs(&data, &SkylineConfig::test()).unwrap();
+    let mut config = SkylineConfig::test().with_memory_budget(Some(512));
+    config.fault_tolerance = FaultTolerance::with_plan(FaultPlan::fail_maps([0, 2]));
+    let run = mr_gpsrs(&data, &config).unwrap();
+    assert_eq!(run.skyline, clean.skyline);
+    assert_eq!(run.metrics.jobs[1].map_retries, 2);
+    assert!(run.metrics.jobs[1].spill_files > 0);
+}
+
+#[test]
 fn comparison_counters_are_deterministic() {
     // The cost-model validation (Figure 11) relies on reproducible counts.
     let data = scenario(Distribution::Independent, 4, 500, 307);

@@ -5,7 +5,10 @@
 
 use skymr::{mr_gpmrs, mr_gpsrs, PpdPolicy, SkylineConfig};
 use skymr_baselines::{sky_mr, SkyMrConfig};
+use skymr_common::bytes::Wire;
 use skymr_datagen::{generate, Distribution};
+use skymr_mapreduce::telemetry::export::chrome_trace;
+use skymr_mapreduce::Collector;
 
 #[test]
 #[ignore = "bench-scale; run with cargo test -- --ignored"]
@@ -24,6 +27,45 @@ fn three_independent_implementations_agree_at_scale() {
         gpmrs.skyline.len() > data.len() / 2,
         "8-d anti-correlated skyline should be huge"
     );
+}
+
+#[test]
+#[ignore = "bench-scale; run with cargo test -- --ignored"]
+fn out_of_core_run_at_ten_times_fig7_cardinality() {
+    // Figure 7's low-cardinality setting is 1×10⁵ tuples; run MR-GPSRS at
+    // 10× that under a per-slot budget far below the dataset's serialized
+    // size. The storage plane has to carry the job — nonzero spill/merge
+    // metrics, spill/merge spans in the trace — and the skyline must equal
+    // the in-memory run's exactly.
+    let data = generate(Distribution::Independent, 3, 1_000_000, 603);
+    let mut wire = Vec::new();
+    for t in data.tuples() {
+        t.wire_encode(&mut wire);
+    }
+    let budget = 4u64 << 20;
+    assert!(
+        budget < wire.len() as u64,
+        "the budget ({budget} B) must be smaller than the serialized dataset ({} B)",
+        wire.len()
+    );
+    drop(wire);
+
+    let collector = Collector::new();
+    let config = SkylineConfig::test()
+        .with_memory_budget(Some(budget))
+        .with_telemetry(Some(collector.clone()));
+    let spilled = mr_gpsrs(&data, &config).expect("the spilled run completes");
+    let in_memory = mr_gpsrs(&data, &SkylineConfig::test()).expect("the in-memory run completes");
+    assert_eq!(spilled.skyline, in_memory.skyline);
+
+    let spilled_bytes: u64 = spilled.metrics.jobs.iter().map(|j| j.spilled_bytes).sum();
+    let merge_passes: u64 = spilled.metrics.jobs.iter().map(|j| j.merge_passes).sum();
+    assert!(spilled_bytes > 0, "the run must actually go out of core");
+    assert!(merge_passes > 0, "spilled runs must externally merge");
+
+    let trace = chrome_trace(&collector.finish());
+    assert!(trace.contains("\"spill[0]\""), "spill spans must be traced");
+    assert!(trace.contains("\"merge\""), "merge spans must be traced");
 }
 
 #[test]
