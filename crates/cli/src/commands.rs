@@ -186,6 +186,11 @@ fn skyline_config(args: &Args) -> Result<SkylineConfig, String> {
     if args.get("kill-after").is_some() {
         config.checkpoint.kill_after = Some(args.get_parsed("kill-after", 0usize)?);
     }
+    // Gate the pipeline's stages behind an admission queue of this depth;
+    // resumed stages re-enter the queue rather than bypassing it.
+    if args.get("admission-queue").is_some() {
+        config.checkpoint.admission_queue = Some(args.get_parsed("admission-queue", 0usize)?);
+    }
     Ok(config)
 }
 
@@ -233,6 +238,12 @@ fn print_metrics(metrics: &PipelineMetrics) {
                 }
             );
         }
+        if !job.queue_wait_time.is_zero() || job.preemptions > 0 {
+            println!(
+                "      scheduling: queued {:.2?}, {} preemptions, {:.2?} wasted",
+                job.queue_wait_time, job.preemptions, job.wasted_task_time
+            );
+        }
     }
     println!(
         "  total simulated runtime {:.2?}   (host wall {:.2?})",
@@ -278,6 +289,7 @@ const RUN_OPTS: &[&str] = &[
     "checkpoint",
     "resume",
     "kill-after",
+    "admission-queue",
     "memory-budget",
     "spill-dir",
 ];
@@ -883,6 +895,17 @@ mod tests {
         assert!(killed.contains("killed"), "unexpected error: {killed}");
         run(&args(&format!("{base} --resume --verify"))).unwrap();
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_admission_queue_gates_the_pipeline() {
+        let base = "run --algo gpsrs --dist independent --dim 3 --card 200 --seed 5";
+        // Depth 1 admits the sequential two-stage chain one stage at a time.
+        run(&args(&format!("{base} --admission-queue 1 --verify"))).unwrap();
+        // Depth 0 rejects the very first stage with the structured error.
+        let err = run(&args(&format!("{base} --admission-queue 0")))
+            .expect_err("zero-depth admission queue must reject");
+        assert!(err.contains("admission"), "unexpected error: {err}");
     }
 
     #[test]

@@ -51,6 +51,19 @@ pub enum Error {
         /// How many jobs had completed (and checkpointed) before the kill.
         after_jobs: usize,
     },
+    /// A multi-tenant executor refused to queue a job submission: the
+    /// admission queue was at capacity, or the job's slot/memory
+    /// reservation cannot be satisfied by the cluster it was submitted to.
+    /// Rejection is deterministic — the same submission set against the
+    /// same cluster produces the same rejections on every run.
+    AdmissionRejected {
+        /// Name of the rejected job.
+        job: String,
+        /// Tenant that submitted it.
+        tenant: String,
+        /// Why admission refused it (queue depth, reservation vs capacity).
+        reason: String,
+    },
     /// A checkpoint file failed its integrity check — a snapshot payload's
     /// CRC32C no longer matches what was recorded at write time (bit rot at
     /// rest), or the document itself is unreadable. Unlike a *stale*
@@ -98,6 +111,14 @@ impl fmt::Display for Error {
                 f,
                 "pipeline killed after {after_jobs} completed job(s); checkpoint available for resume"
             ),
+            Error::AdmissionRejected {
+                job,
+                tenant,
+                reason,
+            } => write!(
+                f,
+                "job `{job}` (tenant `{tenant}`) rejected at admission: {reason}"
+            ),
             Error::CheckpointCorrupt { job, detail } => write!(
                 f,
                 "checkpoint for job `{job}` failed verification: {detail}"
@@ -128,6 +149,17 @@ mod tests {
         assert!(Error::InvalidConfig("bad".into())
             .to_string()
             .contains("bad"));
+        let rejected = Error::AdmissionRejected {
+            job: "gpsrs-42".into(),
+            tenant: "analytics".into(),
+            reason: "admission queue full (8 of 8)".into(),
+        }
+        .to_string();
+        assert!(
+            rejected.contains("gpsrs-42")
+                && rejected.contains("analytics")
+                && rejected.contains("queue full")
+        );
         let killed = Error::PipelineKilled { after_jobs: 1 }.to_string();
         assert!(killed.contains('1') && killed.contains("resume"));
         let rotted = Error::CheckpointCorrupt {

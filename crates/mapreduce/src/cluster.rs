@@ -356,6 +356,15 @@ pub struct JobMetrics {
     /// output is the fault-free output of the input minus the skipped
     /// records, not of the full input.
     pub degraded: bool,
+    /// Simulated time the job sat in the executor's admission queue before
+    /// its first task was placed. Zero for jobs run outside a
+    /// [`sched::ClusterExecutor`](crate::sched::ClusterExecutor) (a
+    /// dedicated cluster never queues).
+    pub queue_wait_time: Duration,
+    /// Task attempts killed by the scheduler to make room for a
+    /// higher-priority job. Each one's elapsed slot time is charged to
+    /// `wasted_task_time` and the task re-enters the retry/backoff ladder.
+    pub preemptions: u64,
 }
 
 impl JobMetrics {
@@ -397,6 +406,8 @@ impl JobMetrics {
             spilled_bytes: 0,
             merge_passes: 0,
             degraded: false,
+            queue_wait_time: Duration::ZERO,
+            preemptions: 0,
         }
     }
 
@@ -426,6 +437,8 @@ impl JobMetrics {
             retries: self.map_retries + self.reduce_retries,
             speculative_wins: self.speculative_wins,
             wasted: self.wasted_task_time,
+            queued: self.queue_wait_time,
+            preemptions: self.preemptions,
         }
     }
 }

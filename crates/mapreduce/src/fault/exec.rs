@@ -36,6 +36,14 @@ pub enum FailureCause {
         /// The progress timeout that was waited out before the kill.
         timeout: Duration,
     },
+    /// The attempt was stopped by the scheduler rather than by a fault:
+    /// its job's deadline expired, or a preemption storm exhausted the
+    /// re-queue budget. The work it had done is charged to
+    /// `wasted_task_time`; no output survives.
+    Cancelled {
+        /// Why the scheduler stopped it (deadline, preemption budget).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for FailureCause {
@@ -45,6 +53,9 @@ impl std::fmt::Display for FailureCause {
             FailureCause::Panic { message } => write!(f, "panicked: {message}"),
             FailureCause::Hang { timeout } => {
                 write!(f, "made no progress for {timeout:?}; killed")
+            }
+            FailureCause::Cancelled { reason } => {
+                write!(f, "cancelled by the scheduler: {reason}")
             }
         }
     }

@@ -15,6 +15,7 @@ use crate::fault::{
 };
 use crate::partitioner::Partitioner;
 use crate::pool::run_indexed;
+use crate::splits::{SliceSplits, SplitSource};
 use crate::storage::{
     merge::{cascade_stats, external_merge, KWayMerge, MergeStats, RunSource},
     segment::{flip_bit, verify_frames, write_segment, Segment},
@@ -398,10 +399,85 @@ where
     P: Partitioner<K>,
     C: Combiner<K, V>,
 {
+    run_job_with_combiner_from(
+        cluster,
+        config,
+        &SliceSplits::new(splits),
+        map_factory,
+        reduce_factory,
+        partitioner,
+        combiner,
+    )
+}
+
+/// [`run_job`], but fed from a [`SplitSource`] instead of materialized
+/// `Vec` splits: each map attempt materializes only its own split, for
+/// only as long as it runs. This is how queued jobs under the
+/// [`sched`](crate::sched) executor avoid pinning their whole input in
+/// RAM while they wait, and how datasets larger than memory stream in
+/// from a seeded [`FnSplits`](crate::splits::FnSplits) recipe.
+pub fn run_job_from<In, K, V, Out, S, MF, RF, P>(
+    cluster: &ClusterConfig,
+    config: &JobConfig,
+    source: &S,
+    map_factory: &MF,
+    reduce_factory: &RF,
+    partitioner: &P,
+) -> Result<JobOutcome<Out>, JobError>
+where
+    In: Send + Sync,
+    K: crate::task::JobKey,
+    V: crate::task::JobValue + Clone,
+    Out: Send,
+    S: SplitSource<In>,
+    MF: MapFactory,
+    MF::Task: MapTask<In = In, K = K, V = V>,
+    RF: ReduceFactory,
+    RF::Task: ReduceTask<K = K, V = V, Out = Out>,
+    P: Partitioner<K>,
+{
+    run_job_with_combiner_from(
+        cluster,
+        config,
+        source,
+        map_factory,
+        reduce_factory,
+        partitioner,
+        &NoCombiner,
+    )
+}
+
+/// The fully general driver: [`SplitSource`] input plus a map-side
+/// [`Combiner`]. Everything else delegates here.
+pub fn run_job_with_combiner_from<In, K, V, Out, S, MF, RF, P, C>(
+    cluster: &ClusterConfig,
+    config: &JobConfig,
+    source: &S,
+    map_factory: &MF,
+    reduce_factory: &RF,
+    partitioner: &P,
+    combiner: &C,
+) -> Result<JobOutcome<Out>, JobError>
+where
+    In: Send + Sync,
+    K: crate::task::JobKey,
+    V: crate::task::JobValue + Clone,
+    Out: Send,
+    S: SplitSource<In>,
+    MF: MapFactory,
+    MF::Task: MapTask<In = In, K = K, V = V>,
+    RF: ReduceFactory,
+    RF::Task: ReduceTask<K = K, V = V, Out = Out>,
+    P: Partitioner<K>,
+    C: Combiner<K, V>,
+{
     assert!(config.num_reducers > 0, "a job needs at least one reducer");
     let started = Instant::now(); // xtask: allow(clock-discipline) — feeds only metrics.host_wall (advisory); sim_runtime is derived from the cluster cost model
     let counters = Counters::new();
-    let m = splits.len();
+    let m = source.num_splits();
+    // Split lengths are model facts (skip-bad-records bounds, per-task
+    // records_in); sources report them without materializing any records.
+    let split_lens: Vec<usize> = (0..m).map(|i| source.split_len(i)).collect();
     let r = config.num_reducers;
     let plan = &config.faults;
 
@@ -472,7 +548,9 @@ where
         };
         let mut task = map_factory.create(&ctx);
         let mut emitter = Emitter::new();
-        let split = &splits[i];
+        // Materialized for this attempt only; dropped when it returns.
+        let split = source.load(i);
+        let split: &[In] = &split;
         // Out-of-core state for this attempt. The spill trigger compares
         // the emitter's wire-size accounting against the budget — a pure
         // function of the emitted data, so spill points are identical on
@@ -580,7 +658,7 @@ where
         // retires one record, bounding the loop by the split length.
         let mut round_fault = fault;
         round_fault.failures = 0;
-        for _round in 0..splits[i].len() {
+        for _round in 0..split_lens[i] {
             if exec.succeeded() || !cluster.skip_bad_records {
                 break;
             }
@@ -591,7 +669,7 @@ where
                 Some(FailureCause::Panic { .. })
             );
             let suspect = progress.load(Ordering::Relaxed);
-            if !panicked || suspect >= splits[i].len() || !skips.insert(suspect) {
+            if !panicked || suspect >= split_lens[i] || !skips.insert(suspect) {
                 break;
             }
             progress.store(usize::MAX, Ordering::Relaxed);
@@ -768,12 +846,12 @@ where
             map_stats.effective[i] += cluster.storage.io_time(bytes, spills.len() as u64);
         }
     }
-    let map_models: Vec<TaskModel> = splits
+    let map_models: Vec<TaskModel> = split_lens
         .iter()
         .zip(map_execs.iter().zip(map_io.iter().zip(&map_spills)))
         .map(
-            |(split, ((exec, fault), (&(records_out, bytes), spills)))| TaskModel {
-                records_in: split.len() as u64,
+            |(&split_len, ((exec, fault), (&(records_out, bytes), spills)))| TaskModel {
+                records_in: split_len as u64,
                 keys_in: 0,
                 records_out,
                 bytes,
@@ -1531,6 +1609,10 @@ where
         degraded: registry.counter("map.records_skipped") > 0,
         map_task_durations: map_stats.effective,
         reduce_task_durations: reduce_stats.effective,
+        // Scheduling charges belong to the executor a job ran under, not
+        // to the job itself; `sched::ClusterExecutor` fills them in.
+        queue_wait_time: Duration::ZERO,
+        preemptions: 0,
     };
 
     Ok(JobOutcome {

@@ -47,6 +47,8 @@ pub mod job;
 pub mod partitioner;
 pub mod pipeline;
 pub mod pool;
+pub mod sched;
+pub mod splits;
 pub mod storage;
 pub mod task;
 pub mod trace;
@@ -58,9 +60,17 @@ pub use fault::{
     BlacklistPolicy, CorruptFetch, FaultKind, FaultPlan, FaultProfile, FaultTolerance, JobError,
     NodeLoss, NodePartition, RetryPolicy, SpeculationPolicy, TaskFault, TaskKind,
 };
-pub use job::{run_job, run_job_with_combiner, JobConfig, JobOutcome};
+pub use job::{
+    run_job, run_job_from, run_job_with_combiner, run_job_with_combiner_from, JobConfig, JobOutcome,
+};
 pub use partitioner::{HashPartitioner, ModuloPartitioner, Partitioner, SingleReducerPartitioner};
 pub use pipeline::{Checkpoint, JobSnapshot, PipelineMetrics, Runner, Snapshot};
+pub use sched::{
+    AdmissionConfig, AdmissionController, ClusterExecutor, FairShareScheduler, FifoScheduler,
+    JobCompletion, JobHandle, JobSpec, PriorityScheduler, Reservation, SchedOutcome, SchedReport,
+    Scheduler, TenantStats,
+};
+pub use splits::{FnSplits, SliceSplits, SplitData, SplitSource};
 pub use storage::{parse_byte_size, StorageConfig};
 pub use task::{
     Emitter, JobKey, JobValue, MapFactory, MapTask, OutputCollector, ReduceFactory, ReduceTask,

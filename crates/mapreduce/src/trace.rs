@@ -70,6 +70,11 @@ pub enum FailKind {
     /// The cost is the timeout itself, never scaled by a straggler factor —
     /// a wedged attempt does no work to slow down.
     Hang(Ticks),
+    /// Stopped by the scheduler (deadline or preemption budget). Costs
+    /// nothing here: the multi-tenant executor charges the elapsed slot
+    /// time to the job's `wasted_task_time` at the moment of the kill, so
+    /// the model would double-count it.
+    Cancelled,
 }
 
 impl FailKind {
@@ -79,6 +84,7 @@ impl FailKind {
             FailureCause::LostOutput => FailKind::LostOutput,
             FailureCause::Panic { .. } => FailKind::Panic,
             FailureCause::Hang { timeout } => FailKind::Hang(ticks_of(*timeout)),
+            FailureCause::Cancelled { .. } => FailKind::Cancelled,
         }
     }
 
@@ -87,6 +93,7 @@ impl FailKind {
             FailKind::LostOutput => "lost_output",
             FailKind::Panic => "panic",
             FailKind::Hang(_) => "hang",
+            FailKind::Cancelled => "cancelled",
         }
     }
 }
@@ -151,6 +158,8 @@ impl TaskModel {
             // A hung attempt occupies its slot for the full progress
             // timeout before the tracker kills it.
             FailKind::Hang(timeout) => timeout,
+            // Elapsed slot time is charged by the executor at kill time.
+            FailKind::Cancelled => 0,
         }
     }
 

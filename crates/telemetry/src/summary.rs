@@ -34,6 +34,10 @@ pub struct JobPhaseSummary {
     pub speculative_wins: u64,
     /// Simulated task time that produced no surviving output.
     pub wasted: Duration,
+    /// Simulated time spent waiting in an executor's admission queue.
+    pub queued: Duration,
+    /// Task attempts preempted by the scheduler for higher-priority work.
+    pub preemptions: u64,
 }
 
 /// Renders a duration compactly: `1.234s`, `56.7ms`, `890us`.
@@ -64,6 +68,8 @@ pub fn phase_table(rows: &[JobPhaseSummary]) -> String {
         "retries",
         "spec wins",
         "wasted",
+        "queued",
+        "preempt",
     ];
     let mut cells: Vec<Vec<String>> = vec![headers.iter().map(|&h| h.to_owned()).collect()];
     for row in rows {
@@ -79,6 +85,8 @@ pub fn phase_table(rows: &[JobPhaseSummary]) -> String {
             row.retries.to_string(),
             row.speculative_wins.to_string(),
             fmt_duration(row.wasted),
+            fmt_duration(row.queued),
+            row.preemptions.to_string(),
         ]);
     }
     let mut widths = vec![0usize; headers.len()];

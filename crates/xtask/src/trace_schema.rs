@@ -159,6 +159,63 @@ fn check_event(event: &Value, at: &str, errors: &mut Vec<String>) {
     }
     check_fault_domain_event(event, at, errors);
     check_storage_event(event, at, errors);
+    check_sched_event(event, at, errors);
+}
+
+/// Pins the multi-tenant scheduler's event shapes: every admitted job's
+/// queue wait surfaces as a complete `queued` span naming its job and
+/// tenant, and every preemption as a `preempt` instant naming the killed
+/// attempt — both under cat "sched", so a fairness dashboard summing
+/// per-tenant queue waits (or the CI grep for preemptions) never loses
+/// them to a rename.
+fn check_sched_event(event: &Value, at: &str, errors: &mut Vec<String>) {
+    let name = event.get("name").and_then(Value::as_str).unwrap_or("");
+    match name {
+        "queued" => {
+            if event.get("cat").and_then(Value::as_str) != Some("sched") {
+                errors.push(format!("{at}: queued must use cat \"sched\""));
+            }
+            if event.get("ph").and_then(Value::as_str) != Some("X") {
+                errors.push(format!("{at}: queued must be a complete span (ph \"X\")"));
+            }
+            let args = event.get("args");
+            for key in ["job", "tenant"] {
+                if args
+                    .and_then(|a| a.get(key))
+                    .and_then(Value::as_str)
+                    .is_none()
+                {
+                    errors.push(format!("{at}: queued span without string args.{key}"));
+                }
+            }
+        }
+        "preempt" => {
+            if event.get("cat").and_then(Value::as_str) != Some("sched") {
+                errors.push(format!("{at}: preempt must use cat \"sched\""));
+            }
+            if event.get("ph").and_then(Value::as_str) != Some("i") {
+                errors.push(format!("{at}: preempt must be an instant event (ph \"i\")"));
+            }
+            let args = event.get("args");
+            if args
+                .and_then(|a| a.get("job"))
+                .and_then(Value::as_str)
+                .is_none()
+            {
+                errors.push(format!("{at}: preempt instant without string args.job"));
+            }
+            for key in ["task", "attempt"] {
+                if args
+                    .and_then(|a| a.get(key))
+                    .and_then(Value::as_u64)
+                    .is_none()
+                {
+                    errors.push(format!("{at}: preempt instant without integer args.{key}"));
+                }
+            }
+        }
+        _ => {}
+    }
 }
 
 /// Pins the out-of-core storage-plane span shapes: spill files and the
@@ -476,6 +533,41 @@ mod tests {
         );
         assert!(
             errors.iter().any(|e| e.contains("args.bytes_read")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn pins_the_scheduler_event_shapes() {
+        let good = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                    {\"name\":\"queued\",\"cat\":\"sched\",\"ph\":\"X\",\
+                    \"ts\":0,\"dur\":12,\"pid\":1,\"tid\":0,\
+                    \"args\":{\"job\":\"gpsrs\",\"tenant\":\"team-a\"}},\
+                    {\"name\":\"preempt\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\
+                    \"ts\":7,\"pid\":1,\"tid\":0,\
+                    \"args\":{\"job\":\"bnl\",\"task\":2,\"attempt\":0}}],\
+                    \"registries\":[]}";
+        check_chrome(good).expect("scheduler events validate");
+
+        // A queued span stripped of its tenant, demoted out of its
+        // category, or a preempt missing its attempt, is a violation.
+        let bad = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                   {\"name\":\"queued\",\"cat\":\"map\",\"ph\":\"X\",\
+                   \"ts\":0,\"dur\":12,\"pid\":1,\"tid\":0,\"args\":{\"job\":\"gpsrs\"}},\
+                   {\"name\":\"preempt\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\
+                   \"ts\":7,\"pid\":1,\"tid\":0,\"args\":{\"job\":\"bnl\",\"task\":2}}],\
+                   \"registries\":[]}";
+        let errors = check_chrome(bad).expect_err("malformed sched events rejected");
+        assert!(
+            errors.iter().any(|e| e.contains("cat \"sched\"")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("args.tenant")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("args.attempt")),
             "{errors:?}"
         );
     }
